@@ -1,0 +1,438 @@
+package dswp
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// micro-benchmarks of the library's own hot paths. The experiment
+// benchmarks report the headline numbers as custom metrics so
+// `go test -bench` regenerates the evaluation: speedups are the paper's
+// y-axes, and the shape expectations are recorded in EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	"dswp/internal/core"
+	"dswp/internal/exp"
+	"dswp/internal/interp"
+	"dswp/internal/profile"
+	"dswp/internal/sim"
+	"dswp/internal/workloads"
+)
+
+// BenchmarkTable1 regenerates the loop-statistics table.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", exp.RenderTable1(rows))
+			totalSCCs := 0
+			for _, r := range rows {
+				totalSCCs += r.SCCs
+			}
+			b.ReportMetric(float64(totalSCCs)/float64(len(rows)), "SCCs/loop")
+		}
+	}
+}
+
+// benchFig6 shares the Figure 6 measurement across the 6a/6b/8 benches.
+func benchFig6(b *testing.B) []exp.Fig6Row {
+	b.Helper()
+	rows, err := exp.Fig6(sim.FullWidth())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rows
+}
+
+// BenchmarkFig6a regenerates the headline speedup figure.
+func BenchmarkFig6a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := benchFig6(b)
+		if i == 0 {
+			b.Logf("\n%s", exp.RenderFig6a(rows))
+			g := exp.Fig6GeoMeans(rows)
+			b.ReportMetric(g.AutoLoop, "geomean-auto-x")
+			b.ReportMetric(g.BestLoop, "geomean-best-x")
+			b.ReportMetric(g.AutoProg, "geomean-auto-prog-x")
+			b.ReportMetric(g.BestProg, "geomean-best-prog-x")
+		}
+	}
+}
+
+// BenchmarkFig6b regenerates the IPC comparison.
+func BenchmarkFig6b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := benchFig6(b)
+		if i == 0 {
+			b.Logf("\n%s", exp.RenderFig6b(rows))
+			var base, prod, cons float64
+			for _, r := range rows {
+				base += r.BaseIPC
+				prod += r.ProducerIPC
+				cons += r.ConsumerIPC
+			}
+			n := float64(len(rows))
+			b.ReportMetric(base/n, "base-IPC")
+			b.ReportMetric(prod/n, "producer-IPC")
+			b.ReportMetric(cons/n, "consumer-IPC")
+		}
+	}
+}
+
+// BenchmarkFig7 regenerates the mcf balancing study.
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cuts, autoP1, err := exp.Fig7(sim.FullWidth())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", exp.RenderFig7(cuts, autoP1))
+			best := 0.0
+			for _, c := range cuts {
+				if c.Speedup > best {
+					best = c.Speedup
+				}
+			}
+			b.ReportMetric(best, "best-cut-x")
+			b.ReportMetric(cuts[len(cuts)-1].Speedup, "worst-cut-x")
+		}
+	}
+}
+
+// BenchmarkFig8 regenerates the occupancy distribution.
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := exp.Fig8(benchFig6(b))
+		if i == 0 {
+			b.Logf("\n%s", exp.RenderFig8(rows))
+			var active float64
+			for _, r := range rows {
+				active += r.Active + r.Empty
+			}
+			b.ReportMetric(active/float64(len(rows)), "avg-both-active-pct")
+		}
+	}
+}
+
+// BenchmarkFig9a regenerates the issue-width study.
+func BenchmarkFig9a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Fig9a()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", exp.RenderFig9a(rows))
+			var hb, hd []float64
+			for _, r := range rows {
+				hb = append(hb, r.HalfBase)
+				hd = append(hd, r.HalfDSWP)
+			}
+			b.ReportMetric(exp.GeoMean(hb), "half-base-x")
+			b.ReportMetric(exp.GeoMean(hd), "half-dswp-x")
+		}
+	}
+}
+
+// BenchmarkFig9b regenerates the comm-latency sensitivity.
+func BenchmarkFig9b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Fig9b()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", exp.RenderFig9b(rows))
+			var l1, l10 []float64
+			for _, r := range rows {
+				l1 = append(l1, r.Lat1)
+				l10 = append(l10, r.Lat10)
+			}
+			b.ReportMetric(exp.GeoMean(l1), "lat1-x")
+			b.ReportMetric(exp.GeoMean(l10), "lat10-x")
+		}
+	}
+}
+
+// BenchmarkQueueSize regenerates the §4.4 queue-depth sweep.
+func BenchmarkQueueSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.QueueSize()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", exp.RenderQueueSize(rows))
+			var q8, q128 []float64
+			for _, r := range rows {
+				q8 = append(q8, r.Q8)
+				q128 = append(q128, r.Q128)
+			}
+			b.ReportMetric(exp.GeoMean(q8), "q8-x")
+			b.ReportMetric(exp.GeoMean(q128), "q128-x")
+		}
+	}
+}
+
+// BenchmarkFig1 regenerates the motivating DOACROSS/DSWP comparison.
+func BenchmarkFig1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Fig1(4000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", exp.RenderFig1(rows))
+			b.ReportMetric(rows[0].DoacrossSpeedup, "doacross-lat1-x")
+			b.ReportMetric(rows[len(rows)-1].DoacrossSpeedup, "doacross-lat10-x")
+			b.ReportMetric(rows[0].DSWPSpeedup, "dswp-lat1-x")
+			b.ReportMetric(rows[len(rows)-1].DSWPSpeedup, "dswp-lat10-x")
+		}
+	}
+}
+
+// BenchmarkCaseEpic regenerates §5.1.
+func BenchmarkCaseEpic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.CaseEpic(sim.FullWidth())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", exp.RenderCaseEpic(r))
+			b.ReportMetric(float64(r.ConservativeSCCs), "conservative-SCCs")
+			b.ReportMetric(float64(r.AccurateSCCs), "accurate-SCCs")
+			b.ReportMetric(r.AccurateSpeedup, "accurate-x")
+		}
+	}
+}
+
+// BenchmarkCaseAdpcm regenerates §5.2.
+func BenchmarkCaseAdpcm(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.CaseAdpcm(sim.FullWidth())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", exp.RenderCaseAdpcm(r))
+			b.ReportMetric(r.SpuriousLargestPct, "spurious-largest-scc-pct")
+			b.ReportMetric(r.CleanSpeedup, "clean-x")
+		}
+	}
+}
+
+// BenchmarkCaseArt regenerates §5.3.
+func BenchmarkCaseArt(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.CaseArt(sim.FullWidth())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", exp.RenderCaseArt(r))
+			b.ReportMetric(r.OrigSpeedup, "orig-x")
+			b.ReportMetric(r.ExpandedSpeedup, "expanded-x")
+		}
+	}
+}
+
+// BenchmarkCaseGzip regenerates §5.4.
+func BenchmarkCaseGzip(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.CaseGzip()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", exp.RenderCaseGzip(r))
+			b.ReportMetric(float64(r.SCCs), "SCCs")
+		}
+	}
+}
+
+// --- library micro-benchmarks ---
+
+// BenchmarkDependenceGraph measures dependence-graph construction on the
+// mcf loop.
+func BenchmarkDependenceGraph(b *testing.B) {
+	p := workloads.MCF()
+	prof, err := profile.Collect(p.F, p.Options())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Analyze(p.F, p.LoopHeader, prof, core.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTransform measures the full DSWP split on the mcf loop.
+func BenchmarkTransform(b *testing.B) {
+	p := workloads.MCF()
+	prof, err := profile.Collect(p.F, p.Options())
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := core.Analyze(p.F, p.LoopHeader, prof, core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	part := a.Heuristic()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Transform(part); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInterpreter measures functional execution throughput.
+func BenchmarkInterpreter(b *testing.B) {
+	p := workloads.WC()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := interp.Run(p.F, p.Options())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(res.Threads[0].Steps)
+	}
+}
+
+// BenchmarkMachineModel measures timing-simulation throughput.
+func BenchmarkMachineModel(b *testing.B) {
+	p := workloads.WC()
+	opts := p.Options()
+	opts.RecordTrace = true
+	res, err := interp.Run(p.F, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(sim.FullWidth(), res.Threads); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- ablation benchmarks: the design choices DESIGN.md calls out ---
+
+// ablationCycles transforms p under opts and returns pipeline cycles.
+func ablationCycles(b *testing.B, p *workloads.Program, opts core.SplitOptions) int64 {
+	b.Helper()
+	prof, err := profile.Collect(p.F, p.Options())
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := core.Analyze(p.F, p.LoopHeader, prof, core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := core.SplitOpt(a.G, a.Heuristic(), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	iopts := p.Options()
+	iopts.RecordTrace = true
+	run, err := interp.RunThreads(tr.Threads, iopts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := sim.Run(sim.FullWidth(), run.Threads)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.Cycles
+}
+
+// BenchmarkAblationRedundantFlows quantifies §2.2.4's redundant flow
+// elimination: per-arc queues vs per-(source,thread) queues.
+func BenchmarkAblationRedundantFlows(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		with := ablationCycles(b, workloads.ListOfLists(300, 6), core.SplitOptions{})
+		without := ablationCycles(b, workloads.ListOfLists(300, 6), core.SplitOptions{NoRedundantFlowElim: true})
+		if i == 0 {
+			b.ReportMetric(float64(without)/float64(with), "slowdown-without-elim-x")
+		}
+	}
+}
+
+// BenchmarkAblationMasterLoop quantifies the §3 runtime protocol overhead.
+func BenchmarkAblationMasterLoop(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		plain := ablationCycles(b, workloads.MCF(), core.SplitOptions{})
+		master := ablationCycles(b, workloads.MCF(), core.SplitOptions{MasterLoop: true})
+		if i == 0 {
+			b.ReportMetric(float64(master)/float64(plain), "protocol-overhead-x")
+		}
+	}
+}
+
+// BenchmarkAblationPartitionBalance quantifies the TPP load-balance
+// heuristic: its cut vs the worst valid cut of the mcf DAG_SCC.
+func BenchmarkAblationPartitionBalance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := workloads.MCF()
+		prof, err := profile.Collect(p.F, p.Options())
+		if err != nil {
+			b.Fatal(err)
+		}
+		a, err := core.Analyze(p.F, p.LoopHeader, prof, core.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		measure := func(part *core.Partitioning) int64 {
+			tr, err := a.Transform(part)
+			if err != nil {
+				b.Fatal(err)
+			}
+			iopts := p.Options()
+			iopts.RecordTrace = true
+			run, err := interp.RunThreads(tr.Threads, iopts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := sim.Run(sim.FullWidth(), run.Threads)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return res.Cycles
+		}
+		heur := measure(a.Heuristic())
+		var worst int64
+		for _, cand := range a.Enumerate(64) {
+			if c := measure(cand); c > worst {
+				worst = c
+			}
+		}
+		if i == 0 {
+			b.ReportMetric(float64(worst)/float64(heur), "worst-over-heuristic-x")
+		}
+	}
+}
+
+// BenchmarkPipelineDepth regenerates the depth-sweep extension.
+func BenchmarkPipelineDepth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.PipelineDepth(sim.FullWidth())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", exp.RenderDepth(rows))
+			for di, d := range exp.Depths {
+				var vals []float64
+				for _, r := range rows {
+					vals = append(vals, r.Speedup[di])
+				}
+				b.ReportMetric(exp.GeoMean(vals), "t"+string(rune('0'+d))+"-x")
+			}
+		}
+	}
+}

@@ -1,0 +1,181 @@
+// Command dswpc is the DSWP compiler driver: it takes a loop (from a
+// built-in workload or a textual IR file), builds the dependence graph and
+// DAG_SCC, partitions it, and prints the transformed thread functions with
+// their flows — the compiler's-eye view of Figure 2.
+//
+//	dswpc -workload list-of-lists
+//	dswpc -file loop.ir -loop header
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"dswp/internal/core"
+	"dswp/internal/interp"
+	"dswp/internal/ir"
+	"dswp/internal/profile"
+	"dswp/internal/workloads"
+)
+
+func main() {
+	workload := flag.String("workload", "", "built-in workload name (see -list)")
+	list := flag.Bool("list", false, "list built-in workloads")
+	file := flag.String("file", "", "textual IR file containing one func")
+	loop := flag.String("loop", "", "loop header block name (required with -file)")
+	threads := flag.Int("threads", 2, "pipeline depth")
+	force := flag.Bool("force", false, "skip the profitability test")
+	showIR := flag.Bool("ir", true, "print the transformed thread functions")
+	dot := flag.String("dot", "", "emit Graphviz instead of a report: dep | dag")
+	flag.Parse()
+
+	if *list {
+		for _, wb := range append(workloads.Table1Suite(), workloads.CaseStudies()...) {
+			p := wb.Build()
+			fmt.Printf("%-20s %s\n", p.Name, p.Description)
+		}
+		fmt.Printf("%-20s %s\n", "list-traversal", workloads.ListTraversal(8).Description)
+		fmt.Printf("%-20s %s\n", "list-of-lists", workloads.ListOfLists(2, 2).Description)
+		return
+	}
+
+	p, err := selectProgram(*workload, *file, *loop)
+	if err != nil {
+		fail(err)
+	}
+
+	prof, err := profile.Collect(p.F, p.Options())
+	if err != nil {
+		fail(fmt.Errorf("profiling run: %w", err))
+	}
+	cfg := core.Config{NumThreads: *threads, SkipProfitability: *force}
+	a, err := core.Analyze(p.F, p.LoopHeader, prof, cfg)
+	if err != nil {
+		fail(err)
+	}
+
+	switch *dot {
+	case "dep":
+		fmt.Print(a.G.DOT(a.Cond))
+		return
+	case "dag":
+		var assign []int
+		if a.NumSCCs() > 1 {
+			assign = a.Heuristic().Assign
+		}
+		fmt.Print(a.G.DAGDOT(a.Cond, assign))
+		return
+	case "":
+	default:
+		fail(fmt.Errorf("unknown -dot mode %q (want dep or dag)", *dot))
+	}
+
+	fmt.Printf("loop %s in %s: %d instructions, %d dependence arcs, %d SCCs\n",
+		p.LoopHeader, p.F.Name, len(a.G.Instrs), len(a.G.Arcs), a.NumSCCs())
+	fmt.Println("\nDAG_SCC (topological order; weight = profiled cycles):")
+	for i, comp := range a.Cond.Comps {
+		fmt.Printf("  SCC %2d  weight %-10d instrs:", i, a.Weights[i])
+		for _, v := range comp {
+			fmt.Printf(" [%s]", a.G.Instrs[v])
+		}
+		fmt.Println()
+		succs := append([]int(nil), a.Cond.DAG.Succs(i)...)
+		sort.Ints(succs)
+		if len(succs) > 0 {
+			fmt.Printf("          -> %v\n", succs)
+		}
+	}
+
+	if a.NumSCCs() == 1 {
+		fmt.Println("\nsingle SCC: DSWP not applicable (Figure 3 step 3)")
+		os.Exit(2)
+	}
+	part := a.Heuristic()
+	fmt.Printf("\nTPP heuristic partitioning (%d stages): %v\n", part.N, part.Assign)
+	fmt.Printf("stage weights: %v\n", part.StageWeights())
+	if part.N == 1 || (!*force && !core.Profitable(part, prof, 0.02)) {
+		fmt.Println("estimated unprofitable: DSWP bails out (Figure 3 step 6); use -force to override")
+		os.Exit(2)
+	}
+
+	tr, err := a.Transform(part)
+	if err != nil {
+		fail(err)
+	}
+	initF, loopF, finF := tr.FlowCounts()
+	fmt.Printf("\nflows: %d initial, %d loop, %d final (%d queues)\n", initF, loopF, finF, tr.NumQueues)
+	for _, fl := range tr.Flows {
+		var src string
+		switch {
+		case fl.Source != nil:
+			src = fl.Source.String()
+		case fl.Pos == core.FlowFinal:
+			src = fmt.Sprintf("(live-out %s)", fl.Reg)
+		default:
+			src = fmt.Sprintf("(live-in %s)", fl.Reg)
+		}
+		fmt.Printf("  queue %-3d %-7s %-7s thread %d -> %d  %s\n",
+			fl.Queue, fl.Kind, fl.Pos, fl.From, fl.To, src)
+	}
+	if *showIR {
+		for i, th := range tr.Threads {
+			fmt.Printf("\n--- thread %d ---\n%s", i, th)
+		}
+	}
+
+	// Always validate before declaring success.
+	base, err := interp.Run(p.F, p.Options())
+	if err != nil {
+		fail(err)
+	}
+	multi, err := interp.RunThreads(tr.Threads, p.Options())
+	if err != nil {
+		fail(fmt.Errorf("transformed code failed: %w", err))
+	}
+	if d := base.Mem.Diff(multi.Mem); d != -1 {
+		fail(fmt.Errorf("BUG: memory diverges at word %d", d))
+	}
+	fmt.Println("\nequivalence check: transformed threads match the original run")
+}
+
+func selectProgram(workload, file, loop string) (*workloads.Program, error) {
+	switch {
+	case workload != "":
+		switch workload {
+		case "list-traversal":
+			return workloads.ListTraversal(2000), nil
+		case "list-of-lists":
+			return workloads.ListOfLists(100, 6), nil
+		}
+		for _, wb := range append(workloads.Table1Suite(), workloads.CaseStudies()...) {
+			if wb.Name == workload {
+				return wb.Build(), nil
+			}
+		}
+		return nil, fmt.Errorf("unknown workload %q (try -list)", workload)
+	case file != "":
+		if loop == "" {
+			return nil, fmt.Errorf("-file requires -loop HEADER")
+		}
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		f, err := ir.Parse(string(src))
+		if err != nil {
+			return nil, err
+		}
+		return &workloads.Program{
+			Name: file, F: f, LoopHeader: loop,
+			Mem: interp.MemoryFor(f), Coverage: 1,
+		}, nil
+	}
+	return nil, fmt.Errorf("need -workload NAME or -file FILE -loop HEADER")
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dswpc:", err)
+	os.Exit(1)
+}

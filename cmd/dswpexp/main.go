@@ -1,0 +1,131 @@
+// Command dswpexp regenerates the paper's evaluation artifacts: every
+// table and figure has an experiment id. With no flags it runs everything.
+//
+//	dswpexp -exp table1,fig6a,fig6b,fig7,fig8,fig9a,fig9b,qsize,fig1,depth,cases
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dswp/internal/exp"
+	"dswp/internal/sim"
+)
+
+func main() {
+	expFlag := flag.String("exp", "all",
+		"comma-separated experiments: table1,fig6a,fig6b,fig7,fig8,fig9a,fig9b,qsize,fig1,depth,cases")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*expFlag, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	sel := func(name string) bool { return all || want[name] }
+
+	full := sim.FullWidth()
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "dswpexp:", err)
+		os.Exit(1)
+	}
+
+	if sel("table1") {
+		rows, err := exp.Table1()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(exp.RenderTable1(rows))
+	}
+
+	var fig6 []exp.Fig6Row
+	needFig6 := sel("fig6a") || sel("fig6b") || sel("fig8")
+	if needFig6 {
+		var err error
+		fig6, err = exp.Fig6(full)
+		if err != nil {
+			fail(err)
+		}
+	}
+	if sel("fig6a") {
+		fmt.Println(exp.RenderFig6a(fig6))
+	}
+	if sel("fig6b") {
+		fmt.Println(exp.RenderFig6b(fig6))
+	}
+	if sel("fig7") {
+		cuts, autoP1, err := exp.Fig7(full)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(exp.RenderFig7(cuts, autoP1))
+	}
+	if sel("fig8") {
+		fmt.Println(exp.RenderFig8(exp.Fig8(fig6)))
+	}
+	if sel("fig9a") {
+		rows, err := exp.Fig9a()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(exp.RenderFig9a(rows))
+	}
+	if sel("fig9b") {
+		rows, err := exp.Fig9b()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(exp.RenderFig9b(rows))
+	}
+	if sel("qsize") {
+		rows, err := exp.QueueSize()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(exp.RenderQueueSize(rows))
+	}
+	if sel("fig1") {
+		rows, err := exp.Fig1(4000)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(exp.RenderFig1(rows))
+	}
+	if sel("depth") {
+		rows, err := exp.PipelineDepth(full)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(exp.RenderDepth(rows))
+	}
+	if sel("cases") || sel("cs-epic") {
+		r, err := exp.CaseEpic(full)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(exp.RenderCaseEpic(r))
+	}
+	if sel("cases") || sel("cs-adpcm") {
+		r, err := exp.CaseAdpcm(full)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(exp.RenderCaseAdpcm(r))
+	}
+	if sel("cases") || sel("cs-art") {
+		r, err := exp.CaseArt(full)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(exp.RenderCaseArt(r))
+	}
+	if sel("cases") || sel("cs-gzip") {
+		r, err := exp.CaseGzip()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(exp.RenderCaseGzip(r))
+	}
+}

@@ -1,0 +1,157 @@
+// Command dswpsim runs a workload on the cycle-level dual-core model under
+// a chosen execution scheme and machine configuration, printing cycles,
+// per-core IPC, stall breakdowns, and synchronization-array occupancy.
+//
+//	dswpsim -workload 181.mcf -scheme dswp -width full -comm 1 -qsize 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dswp/internal/core"
+	"dswp/internal/doacross"
+	"dswp/internal/interp"
+	"dswp/internal/profile"
+	"dswp/internal/sim"
+	"dswp/internal/workloads"
+)
+
+func main() {
+	workload := flag.String("workload", "181.mcf", "workload name (dswpc -list shows all)")
+	scheme := flag.String("scheme", "dswp", "execution scheme: base | dswp | best | doacross")
+	width := flag.String("width", "full", "core width: full | half")
+	comm := flag.Int("comm", 1, "inter-core communication latency (cycles)")
+	qsize := flag.Int("qsize", 32, "synchronization-array queue depth")
+	threads := flag.Int("threads", 2, "thread count (doacross supports >2)")
+	flag.Parse()
+
+	p, err := findWorkload(*workload)
+	if err != nil {
+		fail(err)
+	}
+	cfg := sim.FullWidth()
+	if *width == "half" {
+		cfg = sim.HalfWidth()
+	}
+	cfg = cfg.WithCommLatency(*comm).WithQueueSize(*qsize)
+
+	traces, err := buildTraces(p, *scheme, *threads)
+	if err != nil {
+		fail(err)
+	}
+	res, err := sim.Run(cfg, traces)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("workload %s, scheme %s, machine %s (comm %d, queues %dx%d)\n",
+		p.Name, *scheme, cfg.Name, cfg.CommLatency, cfg.NumQueues, cfg.QueueSize)
+	fmt.Printf("cycles: %d   machine IPC: %.2f\n", res.Cycles, res.IPC())
+	for i, c := range res.Cores {
+		fmt.Printf("core %d: %8d cycles, %8d instrs (+%d flow ops), IPC %.2f, "+
+			"stalls full/empty %d/%d, mispredicts %d, L1/L2 misses %d/%d\n",
+			i, c.Cycles, c.Instrs, c.FlowOps, c.IPC(),
+			c.StallFull, c.StallEmpty, c.Mispredicts, c.L1Misses, c.L2Misses)
+	}
+	if len(res.Cores) > 1 {
+		occ := res.Occ
+		total := float64(occ.Total())
+		fmt.Printf("occupancy: %.1f%% full/producer-stalled, %.1f%% balanced, "+
+			"%.1f%% empty/active, %.1f%% empty/consumer-stalled\n",
+			100*float64(occ.FullProducerStalled)/total,
+			100*float64(occ.BalancedBothActive)/total,
+			100*float64(occ.EmptyBothActive)/total,
+			100*float64(occ.EmptyConsumerStalled)/total)
+	}
+}
+
+func findWorkload(name string) (*workloads.Program, error) {
+	switch name {
+	case "list-traversal":
+		return workloads.ListTraversal(2000), nil
+	case "list-of-lists":
+		return workloads.ListOfLists(100, 6), nil
+	}
+	for _, wb := range append(workloads.Table1Suite(), workloads.CaseStudies()...) {
+		if wb.Name == name {
+			return wb.Build(), nil
+		}
+	}
+	return nil, fmt.Errorf("unknown workload %q", name)
+}
+
+func buildTraces(p *workloads.Program, scheme string, threads int) ([]*interp.ThreadResult, error) {
+	opts := p.Options()
+	opts.RecordTrace = true
+	switch scheme {
+	case "base":
+		res, err := interp.Run(p.F, opts)
+		if err != nil {
+			return nil, err
+		}
+		return res.Threads, nil
+	case "dswp", "best":
+		prof, err := profile.Collect(p.F, p.Options())
+		if err != nil {
+			return nil, err
+		}
+		a, err := core.Analyze(p.F, p.LoopHeader, prof, core.Config{NumThreads: threads})
+		if err != nil {
+			return nil, err
+		}
+		if a.NumSCCs() == 1 {
+			return nil, fmt.Errorf("%s: single SCC, DSWP not applicable", p.Name)
+		}
+		part := a.Heuristic()
+		if scheme == "best" {
+			best := part
+			bestCycles := int64(-1)
+			for _, cand := range a.Enumerate(512) {
+				tr, err := a.Transform(cand)
+				if err != nil {
+					continue
+				}
+				run, err := interp.RunThreads(tr.Threads, opts)
+				if err != nil {
+					continue
+				}
+				res, err := sim.Run(sim.FullWidth(), run.Threads)
+				if err != nil {
+					continue
+				}
+				if bestCycles < 0 || res.Cycles < bestCycles {
+					bestCycles = res.Cycles
+					best = cand
+				}
+			}
+			part = best
+		}
+		tr, err := a.Transform(part)
+		if err != nil {
+			return nil, err
+		}
+		res, err := interp.RunThreads(tr.Threads, opts)
+		if err != nil {
+			return nil, err
+		}
+		return res.Threads, nil
+	case "doacross":
+		fns, err := doacross.Transform(p.F, p.LoopHeader, threads)
+		if err != nil {
+			return nil, err
+		}
+		res, err := interp.RunThreads(fns, opts)
+		if err != nil {
+			return nil, err
+		}
+		return res.Threads, nil
+	}
+	return nil, fmt.Errorf("unknown scheme %q", scheme)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dswpsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,175 @@
+// Package dswp is a full implementation of Decoupled Software Pipelining
+// (Ottoni, Rangan, Stoler, August — MICRO 2005): an automatic,
+// non-speculative compiler transformation that extracts pipeline
+// parallelism from ordinary loops by partitioning the loop's dependence
+// graph SCCs across threads that communicate through hardware queues.
+//
+// The package is a facade over the implementation:
+//
+//   - an IR with a builder and a textual format (internal/ir),
+//   - control-flow and dependence analyses, including the paper's
+//     loop-iteration and conditional control dependences (internal/cfg,
+//     internal/dep),
+//   - the DSWP algorithm itself — SCC partitioning, code splitting, flow
+//     insertion (internal/core),
+//   - a DOACROSS baseline (internal/doacross),
+//   - a functional interpreter and a cycle-level dual-core machine model
+//     with a synchronization array (internal/interp, internal/sim),
+//   - the paper's benchmark workloads and every evaluation experiment
+//     (internal/workloads, internal/exp).
+//
+// Quick start:
+//
+//	p := dswp.ListTraversal(2000)             // a pointer-chasing loop
+//	tr, err := dswp.Pipeline(p, dswp.Config{})
+//	base, _ := dswp.RunBaseline(p, dswp.FullWidth())
+//	piped, _ := dswp.RunThreads(tr, p, dswp.FullWidth())
+//	fmt.Printf("speedup %.2fx\n", float64(base.Cycles)/float64(piped.Cycles))
+package dswp
+
+import (
+	"fmt"
+
+	"dswp/internal/core"
+	"dswp/internal/doacross"
+	"dswp/internal/interp"
+	"dswp/internal/ir"
+	"dswp/internal/profile"
+	"dswp/internal/sim"
+	"dswp/internal/workloads"
+)
+
+// Re-exported types: the facade aliases the implementation types so
+// callers outside this module can name them.
+type (
+	// Function is an IR function; Builder constructs one; Reg is a
+	// virtual register.
+	Function = ir.Function
+	Builder  = ir.Builder
+	Instr    = ir.Instr
+	Reg      = ir.Reg
+	Op       = ir.Op
+
+	// Program is a runnable workload: IR plus its memory image.
+	Program = workloads.Program
+
+	// Memory is the word-addressed memory image programs run against.
+	Memory = interp.Memory
+
+	// Config tunes the DSWP transformation (thread count, profitability
+	// margin, dependence options).
+	Config = core.Config
+
+	// Transformed is the result of pipelining a loop: thread functions
+	// plus flow metadata.
+	Transformed = core.Transformed
+
+	// Partitioning is a valid DAG_SCC partitioning.
+	Partitioning = core.Partitioning
+
+	// MachineConfig describes the simulated CMP; MachineResult is one
+	// timing run.
+	MachineConfig = sim.Config
+	MachineResult = sim.Result
+)
+
+// Sentinel errors from the transformation (Figure 3 steps 3 and 6).
+var (
+	ErrSingleSCC    = core.ErrSingleSCC
+	ErrUnprofitable = core.ErrUnprofitable
+)
+
+// NewBuilder starts a new IR function.
+func NewBuilder(name string) *Builder { return ir.NewBuilder(name) }
+
+// Parse reads a function in the textual IR format.
+func Parse(src string) (*Function, error) { return ir.Parse(src) }
+
+// NewMemory allocates the memory image a function's objects require.
+func NewMemory(f *Function) *Memory { return interp.MemoryFor(f) }
+
+// Layout returns the base word-address of each declared memory object.
+func Layout(f *Function) []int64 { return interp.Layout(f) }
+
+// FullWidth and HalfWidth are the paper's machine configurations.
+func FullWidth() MachineConfig { return sim.FullWidth() }
+func HalfWidth() MachineConfig { return sim.HalfWidth() }
+
+// Pipeline applies automatic DSWP (Figure 3) to the program's target loop:
+// profile, build the dependence graph, partition the DAG_SCC with the
+// load-balance heuristic, split the code, and insert flows.
+func Pipeline(p *Program, config Config) (*Transformed, error) {
+	prof, err := profile.Collect(p.F, p.Options())
+	if err != nil {
+		return nil, fmt.Errorf("dswp: profiling: %w", err)
+	}
+	return core.Apply(p.F, p.LoopHeader, prof, config)
+}
+
+// Doacross applies the DOACROSS baseline transformation across n threads.
+func Doacross(p *Program, n int) ([]*Function, error) {
+	return doacross.Transform(p.F, p.LoopHeader, n)
+}
+
+// RunBaseline executes the program single-threaded on the machine model
+// and returns its timing.
+func RunBaseline(p *Program, m MachineConfig) (*MachineResult, error) {
+	opts := p.Options()
+	opts.RecordTrace = true
+	res, err := interp.Run(p.F, opts)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(m, res.Threads)
+}
+
+// RunThreads executes the pipelined threads, validates they compute the
+// same memory image and live-outs as the original program, and returns
+// their timing.
+func RunThreads(tr *Transformed, p *Program, m MachineConfig) (*MachineResult, error) {
+	return RunFunctions(tr.Threads, p, m)
+}
+
+// RunFunctions is RunThreads for an explicit thread list (e.g. DOACROSS
+// output).
+func RunFunctions(threads []*Function, p *Program, m MachineConfig) (*MachineResult, error) {
+	opts := p.Options()
+	opts.RecordTrace = true
+	multi, err := interp.RunThreads(threads, opts)
+	if err != nil {
+		return nil, err
+	}
+	base, err := interp.Run(p.F, p.Options())
+	if err != nil {
+		return nil, err
+	}
+	if d := base.Mem.Diff(multi.Mem); d != -1 {
+		return nil, fmt.Errorf("dswp: transformed code diverges from original at memory word %d", d)
+	}
+	for r, v := range base.LiveOuts {
+		if multi.LiveOuts[r] != v {
+			return nil, fmt.Errorf("dswp: live-out %s differs (%d vs %d)", r, v, multi.LiveOuts[r])
+		}
+	}
+	return sim.Run(m, multi.Threads)
+}
+
+// Built-in workloads: the paper's pedagogy kernels and Table 1 suite.
+
+// ListTraversal builds the Figure 1 pointer-chasing loop over n nodes.
+func ListTraversal(n int64) *Program { return workloads.ListTraversal(n) }
+
+// ListOfLists builds the Figure 2 running example.
+func ListOfLists(outer, inner int64) *Program { return workloads.ListOfLists(outer, inner) }
+
+// Workloads returns the Table 1 benchmark suite builders by name.
+func Workloads() map[string]func() *Program {
+	out := map[string]func() *Program{}
+	for _, wb := range workloads.Table1Suite() {
+		out[wb.Name] = wb.Build
+	}
+	for _, wb := range workloads.CaseStudies() {
+		out[wb.Name] = wb.Build
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package dswp
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestFacadePipelineListTraversal(t *testing.T) {
+	p := ListTraversal(500)
+	tr, err := Pipeline(p, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Threads) != 2 {
+		t.Fatalf("threads = %d", len(tr.Threads))
+	}
+	m := FullWidth()
+	base, err := RunBaseline(p, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	piped, err := RunThreads(tr, p, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if piped.Cycles >= base.Cycles {
+		t.Errorf("no speedup: base %d, dswp %d", base.Cycles, piped.Cycles)
+	}
+}
+
+func TestFacadeDoacross(t *testing.T) {
+	p := ListTraversal(200)
+	threads, err := Doacross(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunFunctions(threads, p, FullWidth()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeRunThreadsCatchesDivergence(t *testing.T) {
+	p := ListTraversal(100)
+	tr, err := Pipeline(p, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the consumer thread: change the store offset.
+	broken := false
+	tr.Threads[1].Instrs(func(in *Instr) {
+		if in.Op.String() == "store" && !broken {
+			in.Imm = 0 // overwrite next pointers instead of values
+			broken = true
+		}
+	})
+	if !broken {
+		t.Skip("no store found in consumer")
+	}
+	_, err = RunThreads(tr, p, FullWidth())
+	if err == nil || !strings.Contains(err.Error(), "diverges") {
+		t.Fatalf("err = %v, want divergence", err)
+	}
+}
+
+func TestFacadeWorkloadsRegistry(t *testing.T) {
+	reg := Workloads()
+	for _, name := range []string{"29.compress", "181.mcf", "wc", "164.gzip"} {
+		build, ok := reg[name]
+		if !ok {
+			t.Fatalf("missing workload %s", name)
+		}
+		if p := build(); p.Name != name {
+			t.Fatalf("builder for %s returns %s", name, p.Name)
+		}
+	}
+}
+
+func TestFacadeSentinelErrors(t *testing.T) {
+	reg := Workloads()
+	p := reg["164.gzip"]()
+	_, err := Pipeline(p, Config{})
+	if !errors.Is(err, ErrSingleSCC) {
+		t.Fatalf("err = %v, want ErrSingleSCC", err)
+	}
+}
+
+func TestFacadeParseAndBuildRoundTrip(t *testing.T) {
+	f, err := Parse("func t {\n  liveout r2\nentry:\n    r1 = const 21\n    r2 = add r1, r1\n    ret\n}\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name != "t" {
+		t.Fatalf("name = %s", f.Name)
+	}
+	b := NewBuilder("built")
+	b.Block("entry")
+	b.Const(1)
+	b.Ret()
+	if err := b.F.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	mem := NewMemory(f)
+	if mem.Size() < 16 {
+		t.Fatal("memory too small")
+	}
+	if len(Layout(f)) != 0 {
+		t.Fatal("no objects declared, layout should be empty")
+	}
+}
+
+func TestFacadeMachineConfigs(t *testing.T) {
+	if FullWidth().FetchWidth != 2*HalfWidth().FetchWidth {
+		t.Fatal("width configs inconsistent")
+	}
+}

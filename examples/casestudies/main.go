@@ -1,0 +1,44 @@
+// Casestudies runs the paper's §5 analyses end-to-end: memory-analysis
+// precision on epicdec, spurious dependences on adpcmdec, accumulator
+// expansion on 179.art, and the single-SCC bail-out on 164.gzip.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dswp/internal/exp"
+	"dswp/internal/sim"
+)
+
+func main() {
+	m := sim.FullWidth()
+
+	epic, err := exp.CaseEpic(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(exp.RenderCaseEpic(epic))
+
+	adpcm, err := exp.CaseAdpcm(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(exp.RenderCaseAdpcm(adpcm))
+
+	art, err := exp.CaseArt(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(exp.RenderCaseArt(art))
+
+	gzip, err := exp.CaseGzip()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(exp.RenderCaseGzip(gzip))
+
+	fmt.Println("Takeaway: DSWP's applicability tracks the precision of the")
+	fmt.Println("dependence analysis and the shape of the loop's recurrences —")
+	fmt.Println("better analysis or light restructuring turns losses into wins.")
+}

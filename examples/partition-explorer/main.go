@@ -1,0 +1,48 @@
+// Partition-explorer reproduces the paper's Figure 7 exploration on
+// 181.mcf interactively: it walks every left-to-right cut of the DAG_SCC,
+// measures each pipeline, and shows how balance governs speedup and
+// synchronization-array occupancy.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"dswp/internal/exp"
+	"dswp/internal/sim"
+)
+
+func main() {
+	cuts, autoP1, err := exp.Fig7(sim.FullWidth())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("181.mcf: every topological-prefix cut of the DAG_SCC")
+	fmt.Println()
+	fmt.Printf("%8s %10s %9s   %-30s\n", "P1 SCCs", "P1 instrs", "speedup", "occupancy (P=producer-stall, .=active, C=consumer-stall)")
+	for _, c := range cuts {
+		bar := occupancyBar(c)
+		mark := ""
+		if c.P1SCCs == autoP1 {
+			mark = "  <- heuristic's choice"
+		}
+		fmt.Printf("%8d %10d %8.3fx   %-30s%s\n", c.P1SCCs, c.P1Instrs, c.Speedup, bar, mark)
+	}
+	fmt.Println()
+	fmt.Println("Reading the shape (paper §4.2): light first stages leave the queues")
+	fmt.Println("full (producer stalls); heavy first stages starve the consumer (queues")
+	fmt.Println("empty); the balanced middle keeps both cores active and wins.")
+}
+
+// occupancyBar renders the cycle distribution as a 30-char strip.
+func occupancyBar(c exp.Fig7Cut) string {
+	const width = 30
+	p := int(c.OccFull / 100 * width)
+	e := int(c.OccEmpty / 100 * width)
+	a := width - p - e
+	if a < 0 {
+		a = 0
+	}
+	return strings.Repeat("P", p) + strings.Repeat(".", a) + strings.Repeat("C", e)
+}

@@ -1,0 +1,3 @@
+module dswp
+
+go 1.22

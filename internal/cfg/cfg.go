@@ -1,0 +1,149 @@
+// Package cfg provides control-flow analyses over ir.Function: dominators,
+// postdominators, control dependence (Ferrante-Ottenstein-Warren), and
+// natural-loop detection. These are the standard compiler substrates the
+// DSWP algorithm consumes ("build dependence graph", "closest relevant
+// post-dominator", etc.).
+package cfg
+
+import (
+	"fmt"
+
+	"dswp/internal/ir"
+)
+
+// CFG indexes a function's blocks and edges for analysis. Node indices are
+// positions in Blocks; Exit is a virtual node (== len(Blocks)) that all
+// return blocks lead to, so postdominance is well defined with multiple
+// returns.
+type CFG struct {
+	Fn     *ir.Function
+	Blocks []*ir.Block
+	Index  map[*ir.Block]int
+	Succ   [][]int
+	Pred   [][]int
+
+	// Exit is the virtual exit node index.
+	Exit int
+}
+
+// New builds the CFG for f.
+func New(f *ir.Function) *CFG {
+	n := len(f.Blocks)
+	c := &CFG{
+		Fn:     f,
+		Blocks: append([]*ir.Block(nil), f.Blocks...),
+		Index:  make(map[*ir.Block]int, n),
+		Succ:   make([][]int, n+1),
+		Pred:   make([][]int, n+1),
+		Exit:   n,
+	}
+	for i, b := range c.Blocks {
+		c.Index[b] = i
+	}
+	for i, b := range c.Blocks {
+		succs := b.Succs()
+		if len(succs) == 0 {
+			c.addEdge(i, c.Exit)
+			continue
+		}
+		for _, s := range succs {
+			j, ok := c.Index[s]
+			if !ok {
+				panic(fmt.Sprintf("cfg: block %s targets foreign block %s", b.Name, s.Name))
+			}
+			c.addEdge(i, j)
+		}
+	}
+	// Nodes that cannot reach the exit (infinite loops) would leave
+	// postdominance undefined; tie them to the virtual exit.
+	reach := c.reachesExit()
+	for i := 0; i < n; i++ {
+		if !reach[i] {
+			c.addEdge(i, c.Exit)
+		}
+	}
+	return c
+}
+
+func (c *CFG) addEdge(u, v int) {
+	c.Succ[u] = append(c.Succ[u], v)
+	c.Pred[v] = append(c.Pred[v], u)
+}
+
+// N returns the node count including the virtual exit.
+func (c *CFG) N() int { return len(c.Blocks) + 1 }
+
+// Entry returns the entry node index (always 0).
+func (c *CFG) Entry() int { return 0 }
+
+// Reach returns which nodes are reachable from the entry.
+func (c *CFG) Reach() []bool {
+	seen := make([]bool, c.N())
+	seen[c.Entry()] = true
+	work := []int{c.Entry()}
+	for len(work) > 0 {
+		u := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, v := range c.Succ[u] {
+			if !seen[v] {
+				seen[v] = true
+				work = append(work, v)
+			}
+		}
+	}
+	return seen
+}
+
+func (c *CFG) reachesExit() []bool {
+	seen := make([]bool, c.N())
+	stack := []int{c.Exit}
+	seen[c.Exit] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range c.Pred[u] {
+			if !seen[p] {
+				seen[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	return seen
+}
+
+// ReversePostorder returns a reverse postorder of nodes reachable from
+// entry (virtual exit included if reachable).
+func (c *CFG) ReversePostorder() []int {
+	return reversePostorder(c.N(), c.Entry(), func(u int) []int { return c.Succ[u] })
+}
+
+func reversePostorder(n, root int, succs func(int) []int) []int {
+	seen := make([]bool, n)
+	post := make([]int, 0, n)
+	type frame struct {
+		v    int
+		next int
+	}
+	stack := []frame{{v: root}}
+	seen[root] = true
+	for len(stack) > 0 {
+		fr := &stack[len(stack)-1]
+		ss := succs(fr.v)
+		if fr.next < len(ss) {
+			w := ss[fr.next]
+			fr.next++
+			if !seen[w] {
+				seen[w] = true
+				stack = append(stack, frame{v: w})
+			}
+			continue
+		}
+		post = append(post, fr.v)
+		stack = stack[:len(stack)-1]
+	}
+	// Reverse.
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}

@@ -1,0 +1,287 @@
+package cfg
+
+import (
+	"testing"
+
+	"dswp/internal/ir"
+)
+
+// diamond builds:
+//
+//	entry -> (then | else) -> join -> ret
+func diamond(t testing.TB) (*ir.Function, *CFG) {
+	t.Helper()
+	b := ir.NewBuilder("diamond")
+	entry := b.Block("entry")
+	then := b.F.NewBlock("then")
+	els := b.F.NewBlock("else")
+	join := b.F.NewBlock("join")
+
+	b.SetBlock(entry)
+	p := b.Const(1)
+	b.Br(p, then, els)
+	b.SetBlock(then)
+	b.Const(2)
+	b.Jump(join)
+	b.SetBlock(els)
+	b.Const(3)
+	b.Jump(join)
+	b.SetBlock(join)
+	b.Ret()
+	b.F.MustVerify()
+	return b.F, New(b.F)
+}
+
+// loopFn builds:
+//
+//	entry -> header; header -> (body | exit); body -> header; exit: ret
+func loopFn(t testing.TB) (*ir.Function, *CFG) {
+	t.Helper()
+	b := ir.NewBuilder("loop")
+	entry := b.Block("entry")
+	header := b.F.NewBlock("header")
+	body := b.F.NewBlock("body")
+	exit := b.F.NewBlock("exit")
+
+	b.SetBlock(entry)
+	i := b.F.NewReg()
+	b.ConstTo(i, 0)
+	n := b.Const(10)
+	b.Jump(header)
+	b.SetBlock(header)
+	p := b.CmpLT(i, n)
+	b.Br(p, body, exit)
+	b.SetBlock(body)
+	one := b.Const(1)
+	b.AddTo(i, i, one)
+	b.Jump(header)
+	b.SetBlock(exit)
+	b.Ret()
+	b.F.MustVerify()
+	return b.F, New(b.F)
+}
+
+func idx(c *CFG, name string) int {
+	for i, blk := range c.Blocks {
+		if blk.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestCFGEdges(t *testing.T) {
+	_, c := diamond(t)
+	e, th, el, j := idx(c, "entry"), idx(c, "then"), idx(c, "else"), idx(c, "join")
+	if len(c.Succ[e]) != 2 || c.Succ[e][0] != th || c.Succ[e][1] != el {
+		t.Fatalf("entry succ = %v", c.Succ[e])
+	}
+	if len(c.Pred[j]) != 2 {
+		t.Fatalf("join pred = %v", c.Pred[j])
+	}
+	if len(c.Succ[j]) != 1 || c.Succ[j][0] != c.Exit {
+		t.Fatalf("join should lead to virtual exit, got %v", c.Succ[j])
+	}
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	_, c := diamond(t)
+	dom := c.Dominators()
+	e, th, el, j := idx(c, "entry"), idx(c, "then"), idx(c, "else"), idx(c, "join")
+	for _, v := range []int{th, el, j} {
+		if dom.IDom[v] != e {
+			t.Errorf("idom(%d) = %d, want entry %d", v, dom.IDom[v], e)
+		}
+	}
+	if !dom.Dominates(e, j) || dom.Dominates(th, j) {
+		t.Error("dominance relation wrong at join")
+	}
+	if !dom.Dominates(j, j) {
+		t.Error("dominance must be reflexive")
+	}
+	if dom.StrictlyDominates(j, j) {
+		t.Error("strict dominance must be irreflexive")
+	}
+}
+
+func TestPostDominatorsDiamond(t *testing.T) {
+	_, c := diamond(t)
+	pdom := c.PostDominators()
+	e, th, el, j := idx(c, "entry"), idx(c, "then"), idx(c, "else"), idx(c, "join")
+	if pdom.IDom[e] != j {
+		t.Errorf("ipdom(entry) = %d, want join %d", pdom.IDom[e], j)
+	}
+	if pdom.IDom[th] != j || pdom.IDom[el] != j {
+		t.Error("then/else must be ipostdominated by join")
+	}
+	if !pdom.Dominates(j, e) {
+		t.Error("join must postdominate entry")
+	}
+	if pdom.Dominates(th, e) {
+		t.Error("then must not postdominate entry")
+	}
+}
+
+func TestControlDepsDiamond(t *testing.T) {
+	_, c := diamond(t)
+	pdom := c.PostDominators()
+	cd := c.ControlDeps(pdom)
+	e, th, el, j := idx(c, "entry"), idx(c, "then"), idx(c, "else"), idx(c, "join")
+	if len(cd[th]) != 1 || cd[th][0] != e {
+		t.Errorf("cd(then) = %v, want [entry]", cd[th])
+	}
+	if len(cd[el]) != 1 || cd[el][0] != e {
+		t.Errorf("cd(else) = %v, want [entry]", cd[el])
+	}
+	if len(cd[j]) != 0 {
+		t.Errorf("cd(join) = %v, want none", cd[j])
+	}
+}
+
+func TestControlDepsLoop(t *testing.T) {
+	_, c := loopFn(t)
+	pdom := c.PostDominators()
+	cd := c.ControlDeps(pdom)
+	h, body := idx(c, "header"), idx(c, "body")
+	// body is control dependent on the header branch.
+	found := false
+	for _, a := range cd[body] {
+		if a == h {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("cd(body) = %v, want to include header %d", cd[body], h)
+	}
+	// In the standard (non-peeled) relation the header depends on itself
+	// via the back edge path.
+	found = false
+	for _, a := range cd[h] {
+		if a == h {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("cd(header) = %v, want to include header (loop-carried)", cd[h])
+	}
+}
+
+func TestFindLoops(t *testing.T) {
+	_, c := loopFn(t)
+	dom := c.Dominators()
+	loops := c.FindLoops(dom)
+	if len(loops) != 1 {
+		t.Fatalf("found %d loops, want 1", len(loops))
+	}
+	l := loops[0]
+	h, body, entry, exit := idx(c, "header"), idx(c, "body"), idx(c, "entry"), idx(c, "exit")
+	if l.Header != h {
+		t.Fatalf("header = %d, want %d", l.Header, h)
+	}
+	if !l.Contains(h) || !l.Contains(body) || l.Contains(entry) || l.Contains(exit) {
+		t.Fatalf("membership wrong: %v", l.BlockList)
+	}
+	if l.Preheader != entry {
+		t.Fatalf("preheader = %d, want %d", l.Preheader, entry)
+	}
+	if len(l.Latches) != 1 || l.Latches[0] != body {
+		t.Fatalf("latches = %v", l.Latches)
+	}
+	if len(l.Exits) != 1 || l.Exits[0] != [2]int{h, exit} {
+		t.Fatalf("exits = %v", l.Exits)
+	}
+	if l.Depth != 1 {
+		t.Fatalf("depth = %d", l.Depth)
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	b := ir.NewBuilder("nested")
+	entry := b.Block("entry")
+	oh := b.F.NewBlock("outer")
+	ih := b.F.NewBlock("inner")
+	ib := b.F.NewBlock("ibody")
+	ol := b.F.NewBlock("olatch")
+	exit := b.F.NewBlock("exit")
+
+	b.SetBlock(entry)
+	p := b.Const(1)
+	b.Jump(oh)
+	b.SetBlock(oh)
+	b.Br(p, ih, exit)
+	b.SetBlock(ih)
+	b.Br(p, ib, ol)
+	b.SetBlock(ib)
+	b.Jump(ih)
+	b.SetBlock(ol)
+	b.Jump(oh)
+	b.SetBlock(exit)
+	b.Ret()
+	b.F.MustVerify()
+
+	c := New(b.F)
+	loops := c.FindLoops(c.Dominators())
+	if len(loops) != 2 {
+		t.Fatalf("found %d loops, want 2", len(loops))
+	}
+	outer, inner := loops[0], loops[1]
+	if outer.Header != idx(c, "outer") || inner.Header != idx(c, "inner") {
+		t.Fatalf("headers: %d %d", outer.Header, inner.Header)
+	}
+	if inner.Parent != outer || inner.Depth != 2 || outer.Depth != 1 {
+		t.Fatalf("nesting wrong: parent=%v depths=%d,%d", inner.Parent, inner.Depth, outer.Depth)
+	}
+	if !outer.Contains(inner.Header) {
+		t.Fatal("outer must contain inner header")
+	}
+}
+
+func TestLoopForHeader(t *testing.T) {
+	f, _ := loopFn(t)
+	c, l, err := LoopForHeader(f, "header")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Blocks[l.Header].Name != "header" {
+		t.Fatalf("wrong loop header %s", c.Blocks[l.Header].Name)
+	}
+	if _, _, err := LoopForHeader(f, "entry"); err == nil {
+		t.Fatal("expected error for non-loop block")
+	}
+	if _, _, err := LoopForHeader(f, "zzz"); err == nil {
+		t.Fatal("expected error for unknown block")
+	}
+}
+
+func TestInfiniteLoopPostdomTotal(t *testing.T) {
+	// entry -> spin; spin -> spin (no exit). The virtual-exit tie-in must
+	// keep postdominance total.
+	b := ir.NewBuilder("inf")
+	entry := b.Block("entry")
+	spin := b.F.NewBlock("spin")
+	b.SetBlock(entry)
+	b.Jump(spin)
+	b.SetBlock(spin)
+	b.Jump(spin)
+	b.F.MustVerify()
+	_ = entry
+
+	c := New(b.F)
+	pdom := c.PostDominators()
+	for v := 0; v < c.N(); v++ {
+		if pdom.IDom[v] == -1 {
+			t.Fatalf("node %d unreachable in postdom", v)
+		}
+	}
+}
+
+func TestReversePostorderStartsAtEntry(t *testing.T) {
+	_, c := diamond(t)
+	rpo := c.ReversePostorder()
+	if rpo[0] != c.Entry() {
+		t.Fatalf("rpo[0] = %d, want entry", rpo[0])
+	}
+	if len(rpo) != c.N() {
+		t.Fatalf("rpo covers %d nodes, want %d", len(rpo), c.N())
+	}
+}

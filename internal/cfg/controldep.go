@@ -1,0 +1,44 @@
+package cfg
+
+// ControlDeps computes standard control dependences per Ferrante,
+// Ottenstein & Warren: node X is control dependent on CFG edge (A -> B)
+// when X postdominates B but does not strictly postdominate A. The result
+// maps each node to the set of branch nodes it is control dependent on
+// (deduplicated; A appears once even if both of A's out-edges induce the
+// dependence).
+//
+// The paper's DSWP dependence graph uses exactly this relation, extended by
+// loop-iteration control dependences (see package dep).
+func (c *CFG) ControlDeps(pdom *DomTree) [][]int {
+	deps := make([][]int, c.N())
+	seen := make([]map[int]bool, c.N())
+	add := func(x, a int) {
+		if seen[x] == nil {
+			seen[x] = make(map[int]bool)
+		}
+		if !seen[x][a] {
+			seen[x][a] = true
+			deps[x] = append(deps[x], a)
+		}
+	}
+	for a := 0; a < c.N(); a++ {
+		if len(c.Succ[a]) < 2 {
+			continue // only branch nodes generate control dependence
+		}
+		for _, b := range c.Succ[a] {
+			if pdom.Dominates(b, a) {
+				continue // b postdominates a: edge is unconditional in effect
+			}
+			// Walk the postdominator tree from b up to but not including
+			// ipdom(a); every node on the way is control dependent on a.
+			stop := pdom.IDom[a]
+			for x := b; x != stop && x != -1; x = pdom.IDom[x] {
+				add(x, a)
+				if pdom.IDom[x] == x { // reached root defensively
+					break
+				}
+			}
+		}
+	}
+	return deps
+}

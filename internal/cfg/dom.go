@@ -1,0 +1,104 @@
+package cfg
+
+// DomTree holds an immediate-dominator (or postdominator) tree over CFG
+// node indices. IDom[root] == root; unreachable nodes have IDom == -1.
+type DomTree struct {
+	Root string // "dom" or "postdom", for diagnostics
+	IDom []int
+	// rpoNum orders nodes so intersect() can walk up the tree.
+	rpoNum []int
+}
+
+// Dominators computes the dominator tree (entry as root) using the
+// Cooper-Harvey-Kennedy iterative algorithm.
+func (c *CFG) Dominators() *DomTree {
+	return BuildDomTree("dom", c.N(), c.Entry(),
+		func(u int) []int { return c.Succ[u] },
+		func(u int) []int { return c.Pred[u] })
+}
+
+// PostDominators computes the postdominator tree (virtual exit as root).
+func (c *CFG) PostDominators() *DomTree {
+	return BuildDomTree("postdom", c.N(), c.Exit,
+		func(u int) []int { return c.Pred[u] },
+		func(u int) []int { return c.Succ[u] })
+}
+
+// BuildDomTree runs the iterative dominance algorithm on an arbitrary flow
+// graph given by successor/predecessor functions. Package dep uses it to
+// compute postdominance on the *peeled* loop CFG for loop-iteration control
+// dependences (paper §2.3.1).
+func BuildDomTree(kind string, n, root int, succs, preds func(int) []int) *DomTree {
+	rpo := reversePostorder(n, root, succs)
+	rpoNum := make([]int, n)
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	for i, v := range rpo {
+		rpoNum[v] = i
+	}
+	idom := make([]int, n)
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[root] = root
+
+	intersect := func(a, b int) int {
+		for a != b {
+			for rpoNum[a] > rpoNum[b] {
+				a = idom[a]
+			}
+			for rpoNum[b] > rpoNum[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, v := range rpo {
+			if v == root {
+				continue
+			}
+			newIDom := -1
+			for _, p := range preds(v) {
+				if idom[p] == -1 {
+					continue
+				}
+				if newIDom == -1 {
+					newIDom = p
+				} else {
+					newIDom = intersect(newIDom, p)
+				}
+			}
+			if newIDom != -1 && idom[v] != newIDom {
+				idom[v] = newIDom
+				changed = true
+			}
+		}
+	}
+	return &DomTree{Root: kind, IDom: idom, rpoNum: rpoNum}
+}
+
+// Dominates reports whether a dominates b (reflexively) in this tree.
+func (t *DomTree) Dominates(a, b int) bool {
+	if t.IDom[b] == -1 {
+		return false
+	}
+	for {
+		if a == b {
+			return true
+		}
+		next := t.IDom[b]
+		if next == b { // reached root
+			return a == b
+		}
+		b = next
+	}
+}
+
+// StrictlyDominates reports whether a dominates b and a != b.
+func (t *DomTree) StrictlyDominates(a, b int) bool {
+	return a != b && t.Dominates(a, b)
+}

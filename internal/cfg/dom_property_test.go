@@ -1,0 +1,144 @@
+package cfg
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"dswp/internal/ir"
+)
+
+// randomCFG builds a random function whose blocks all end in explicit
+// terminators, with every block reachable-or-not as chance dictates.
+func randomCFG(seed uint64) *ir.Function {
+	s := seed | 1
+	next := func() uint64 {
+		s ^= s >> 12
+		s ^= s << 25
+		s ^= s >> 27
+		return s * 0x2545F4914F6CDD1D
+	}
+	intn := func(n int) int { return int(next() % uint64(n)) }
+
+	b := ir.NewBuilder("rand")
+	n := 3 + intn(8)
+	blocks := make([]*ir.Block, n)
+	for i := 0; i < n; i++ {
+		blocks[i] = b.F.NewBlock(fmt.Sprintf("b%d", i))
+	}
+	p := ir.Reg(1)
+	b.F.NoteReg(p)
+	for i, blk := range blocks {
+		b.SetBlock(blk)
+		if i == 0 {
+			b.ConstTo(p, 1)
+		}
+		switch intn(3) {
+		case 0:
+			b.Ret()
+		case 1:
+			b.Jump(blocks[intn(n)])
+		default:
+			b.Br(p, blocks[intn(n)], blocks[intn(n)])
+		}
+	}
+	b.F.MustVerify()
+	return b.F
+}
+
+// reachAvoiding reports which nodes are reachable from src without passing
+// through 'avoid'.
+func reachAvoiding(c *CFG, src, avoid int) []bool {
+	seen := make([]bool, c.N())
+	if src == avoid {
+		return seen
+	}
+	seen[src] = true
+	work := []int{src}
+	for len(work) > 0 {
+		u := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, v := range c.Succ[u] {
+			if v != avoid && !seen[v] {
+				seen[v] = true
+				work = append(work, v)
+			}
+		}
+	}
+	return seen
+}
+
+// Property: a dominates b iff b is unreachable from entry when a is
+// removed (for reachable b, a != b).
+func TestQuickDominatorsMatchPathDefinition(t *testing.T) {
+	check := func(seed uint64) bool {
+		f := randomCFG(seed)
+		c := New(f)
+		dom := c.Dominators()
+		reach := c.Reach()
+		for a := 0; a < c.N(); a++ {
+			avoid := reachAvoiding(c, c.Entry(), a)
+			for b := 0; b < c.N(); b++ {
+				if a == b || !reach[b] {
+					continue
+				}
+				pathDom := !avoid[b] // no path avoiding a
+				if dom.Dominates(a, b) != pathDom {
+					t.Logf("seed %d: dom(%d,%d)=%v path=%v\n%s", seed, a, b,
+						dom.Dominates(a, b), pathDom, f)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: postdominance is dominance on the reverse graph rooted at the
+// virtual exit.
+func TestQuickPostDominatorsMatchPathDefinition(t *testing.T) {
+	reachTo := func(c *CFG, dst, avoid int) []bool {
+		seen := make([]bool, c.N())
+		if dst == avoid {
+			return seen
+		}
+		seen[dst] = true
+		work := []int{dst}
+		for len(work) > 0 {
+			u := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, v := range c.Pred[u] {
+				if v != avoid && !seen[v] {
+					seen[v] = true
+					work = append(work, v)
+				}
+			}
+		}
+		return seen
+	}
+	check := func(seed uint64) bool {
+		f := randomCFG(seed)
+		c := New(f)
+		pdom := c.PostDominators()
+		reach := c.Reach()
+		for a := 0; a < c.N(); a++ {
+			canReachExitAvoiding := reachTo(c, c.Exit, a)
+			for b := 0; b < c.N(); b++ {
+				if a == b || !reach[b] {
+					continue
+				}
+				pathPDom := !canReachExitAvoiding[b]
+				if pdom.Dominates(a, b) != pathPDom {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,143 @@
+package cfg
+
+import (
+	"fmt"
+	"sort"
+
+	"dswp/internal/ir"
+)
+
+// Loop is a natural loop discovered from back edges. DSWP is applied to a
+// Loop; the transformation needs its header, membership set, exit edges,
+// and a preheader from which loop-invariant (initial) flows are launched.
+type Loop struct {
+	// Header is the loop header node index.
+	Header int
+	// Blocks is the membership set, indexed by CFG node.
+	Blocks []bool
+	// BlockList lists member node indices in ascending order.
+	BlockList []int
+	// Latches are the sources of back edges into the header.
+	Latches []int
+	// Exits are the CFG edges (from, to) leaving the loop.
+	Exits [][2]int
+	// Preheader is the unique out-of-loop predecessor of the header, or
+	// -1 if there is none (DSWP requires one; callers can create it).
+	Preheader int
+	// Depth is the loop-nest depth (1 = outermost).
+	Depth int
+	// Parent is the innermost enclosing loop, if any.
+	Parent *Loop
+}
+
+// Contains reports whether node v belongs to the loop.
+func (l *Loop) Contains(v int) bool { return v >= 0 && v < len(l.Blocks) && l.Blocks[v] }
+
+// NumBlocks returns the member count.
+func (l *Loop) NumBlocks() int { return len(l.BlockList) }
+
+// FindLoops detects natural loops using dominance: a back edge is an edge
+// u -> h with h dominating u; the loop body is everything that reaches u
+// without passing through h. Loops sharing a header are merged. Returned
+// loops are sorted by header index, with nesting (Parent/Depth) resolved.
+func (c *CFG) FindLoops(dom *DomTree) []*Loop {
+	byHeader := make(map[int]*Loop)
+	for u := 0; u < len(c.Blocks); u++ { // virtual exit has no out-edges
+		for _, h := range c.Succ[u] {
+			if h == c.Exit || !dom.Dominates(h, u) {
+				continue
+			}
+			l := byHeader[h]
+			if l == nil {
+				l = &Loop{Header: h, Blocks: make([]bool, c.N()), Preheader: -1}
+				l.Blocks[h] = true
+				byHeader[h] = l
+			}
+			l.Latches = append(l.Latches, u)
+			// Backward walk from the latch, stopping at the header.
+			if !l.Blocks[u] {
+				l.Blocks[u] = true
+				stack := []int{u}
+				for len(stack) > 0 {
+					v := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					for _, p := range c.Pred[v] {
+						if !l.Blocks[p] {
+							l.Blocks[p] = true
+							stack = append(stack, p)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	loops := make([]*Loop, 0, len(byHeader))
+	for _, l := range byHeader {
+		for v, in := range l.Blocks {
+			if in {
+				l.BlockList = append(l.BlockList, v)
+			}
+		}
+		sort.Ints(l.BlockList)
+		// Exit edges.
+		for _, v := range l.BlockList {
+			for _, s := range c.Succ[v] {
+				if !l.Blocks[s] {
+					l.Exits = append(l.Exits, [2]int{v, s})
+				}
+			}
+		}
+		// Preheader: unique out-of-loop predecessor of the header.
+		outPreds := []int{}
+		for _, p := range c.Pred[l.Header] {
+			if !l.Blocks[p] {
+				outPreds = append(outPreds, p)
+			}
+		}
+		if len(outPreds) == 1 {
+			l.Preheader = outPreds[0]
+		}
+		loops = append(loops, l)
+	}
+	sort.Slice(loops, func(i, j int) bool { return loops[i].Header < loops[j].Header })
+
+	// Nesting: loop A is inside loop B if B contains A's header and A != B.
+	for _, a := range loops {
+		for _, b := range loops {
+			if a == b || !b.Contains(a.Header) {
+				continue
+			}
+			// Choose the smallest enclosing loop as parent.
+			if a.Parent == nil || a.Parent.NumBlocks() > b.NumBlocks() {
+				a.Parent = b
+			}
+		}
+	}
+	for _, l := range loops {
+		d := 1
+		for p := l.Parent; p != nil; p = p.Parent {
+			d++
+		}
+		l.Depth = d
+	}
+	return loops
+}
+
+// LoopForHeader returns the loop headed by the named block, or an error.
+// This is how workloads designate "the most important visible loop".
+func LoopForHeader(f *ir.Function, header string) (*CFG, *Loop, error) {
+	c := New(f)
+	dom := c.Dominators()
+	hb := f.BlockByName(header)
+	if hb == nil {
+		return nil, nil, fmt.Errorf("cfg: no block named %q in %s", header, f.Name)
+	}
+	hi := c.Index[hb]
+	for _, l := range c.FindLoops(dom) {
+		if l.Header == hi {
+			return c, l, nil
+		}
+	}
+	return nil, nil, fmt.Errorf("cfg: block %q heads no natural loop in %s", header, f.Name)
+}

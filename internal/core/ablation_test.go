@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+
+	"dswp/internal/profile"
+	"dswp/internal/workloads"
+)
+
+// Ablations of the design choices DESIGN.md calls out.
+
+func TestNoRedundantFlowElimStillCorrect(t *testing.T) {
+	for _, wb := range workloads.Table1Suite() {
+		t.Run(wb.Name, func(t *testing.T) {
+			p := wb.Build()
+			prof, err := profile.Collect(p.F, p.Options())
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := Analyze(p.F, p.LoopHeader, prof, Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			part := a.Heuristic()
+			if part.N < 2 {
+				t.Skip("single stage")
+			}
+			elim, err := SplitOpt(a.G, part, SplitOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			noElim, err := SplitOpt(a.G, part, SplitOptions{NoRedundantFlowElim: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if noElim.NumQueues < elim.NumQueues {
+				t.Errorf("ablation has fewer queues (%d) than optimized (%d)",
+					noElim.NumQueues, elim.NumQueues)
+			}
+			runBoth(t, p, noElim)
+		})
+	}
+}
+
+func TestRedundantFlowElimReducesQueues(t *testing.T) {
+	// list-of-lists has a value (the inner head r2) consumed by several
+	// instructions in the consumer: elimination must collapse them.
+	p := workloads.ListOfLists(10, 3)
+	prof, err := profile.Collect(p.F, p.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(p.F, p.LoopHeader, prof, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut after the inner-list head load: its value (r2) feeds three
+	// consumer instructions, so elimination collapses three arcs into
+	// one queue.
+	if a.NumSCCs() != 5 {
+		t.Fatalf("unexpected SCC count %d", a.NumSCCs())
+	}
+	part := &Partitioning{
+		G: a.G, Cond: a.Cond, N: 2, Weights: a.Weights,
+		Assign: []int{0, 0, 1, 1, 1},
+	}
+	if err := part.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	elim, err := SplitOpt(a.G, part, SplitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noElim, err := SplitOpt(a.G, part, SplitOptions{NoRedundantFlowElim: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noElim.NumQueues <= elim.NumQueues {
+		t.Errorf("expected strictly more queues without elimination: %d vs %d",
+			noElim.NumQueues, elim.NumQueues)
+	}
+}
+
+func TestMasterLoopAddsOnlyProtocolFlows(t *testing.T) {
+	p := workloads.WC()
+	prof, err := profile.Collect(p.F, p.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(p.F, p.LoopHeader, prof, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := a.Heuristic()
+	plain, err := SplitOpt(a.G, part, SplitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	master, err := SplitOpt(a.G, part, SplitOptions{MasterLoop: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if master.NumQueues != plain.NumQueues+(part.N-1) {
+		t.Errorf("master protocol queues: %d vs %d + %d",
+			master.NumQueues, plain.NumQueues, part.N-1)
+	}
+}

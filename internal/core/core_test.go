@@ -1,0 +1,393 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dswp/internal/interp"
+	"dswp/internal/ir"
+	"dswp/internal/profile"
+	"dswp/internal/workloads"
+)
+
+// runBoth executes the original program and the DSWP'ed threads and
+// checks memory + live-out equivalence, the fundamental correctness
+// property of the transformation.
+func runBoth(t *testing.T, p *workloads.Program, tr *Transformed) (*interp.Result, *interp.Result) {
+	t.Helper()
+	base, err := interp.Run(p.F, p.Options())
+	if err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+	multi, err := interp.RunThreads(tr.Threads, p.Options())
+	if err != nil {
+		for i, th := range tr.Threads {
+			t.Logf("thread %d:\n%s", i, th)
+		}
+		t.Fatalf("dswp run: %v", err)
+	}
+	if d := base.Mem.Diff(multi.Mem); d != -1 {
+		t.Fatalf("memory diverges at word %d: base=%d dswp=%d",
+			d, base.Mem.Get(d), multi.Mem.Get(d))
+	}
+	for r, v := range base.LiveOuts {
+		if multi.LiveOuts[r] != v {
+			t.Fatalf("live-out %s: base=%d dswp=%d", r, v, multi.LiveOuts[r])
+		}
+	}
+	return base, multi
+}
+
+func mustProfile(t *testing.T, p *workloads.Program) *profile.Profile {
+	t.Helper()
+	prof, err := profile.Collect(p.F, p.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prof
+}
+
+func applyDSWP(t *testing.T, p *workloads.Program, config Config) *Transformed {
+	t.Helper()
+	prof := mustProfile(t, p)
+	tr, err := Apply(p.F, p.LoopHeader, prof, config)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	return tr
+}
+
+func TestDSWPListOfListsEquivalence(t *testing.T) {
+	p := workloads.ListOfLists(40, 6)
+	tr := applyDSWP(t, p, Config{})
+	if len(tr.Threads) != 2 {
+		t.Fatalf("got %d threads, want 2", len(tr.Threads))
+	}
+	base, _ := runBoth(t, p, tr)
+	if want := workloads.SumOfLists(p); base.LiveOuts[ir.Reg(10)] != want {
+		t.Fatalf("baseline sum = %d, want %d", base.LiveOuts[ir.Reg(10)], want)
+	}
+}
+
+func TestDSWPListOfListsStructure(t *testing.T) {
+	p := workloads.ListOfLists(40, 6)
+	tr := applyDSWP(t, p, Config{})
+
+	// The paper's Figure 2 pipeline: a control flow for the outer exit
+	// branch, a data flow for the inner-list head (r2), and a final flow
+	// for the sum (r10).
+	var ctrl, loopData, finals, inits int
+	for _, fl := range tr.Flows {
+		switch {
+		case fl.Kind == FlowControl:
+			ctrl++
+		case fl.Kind == FlowData && fl.Pos == FlowLoop:
+			loopData++
+		case fl.Pos == FlowFinal:
+			finals++
+		case fl.Pos == FlowInitial:
+			inits++
+		}
+	}
+	if ctrl == 0 {
+		t.Error("expected at least one control flow (duplicated exit branch)")
+	}
+	if loopData == 0 {
+		t.Error("expected at least one loop data flow")
+	}
+	if finals != 1 {
+		t.Errorf("final flows = %d, want 1 (the sum)", finals)
+	}
+	// The consumer thread owns the accumulator: it needs r10's initial
+	// value delivered.
+	if inits == 0 {
+		t.Error("expected initial flows for consumer live-ins")
+	}
+
+	// Both threads verify and the producer (main) thread contains no
+	// consume of loop data (acyclic pipeline): all loop-flow arrows go
+	// main -> aux.
+	for _, fl := range tr.Flows {
+		if fl.Pos == FlowLoop && fl.From != 0 {
+			t.Errorf("loop flow from thread %d: pipeline should be 0 -> 1", fl.From)
+		}
+	}
+}
+
+func TestDSWPPointerChaseEquivalence(t *testing.T) {
+	p := workloads.ListTraversal(200)
+	tr := applyDSWP(t, p, Config{})
+	runBoth(t, p, tr)
+
+	// Stage 0 must hold the pointer chase (the critical path stays on
+	// one core — the paper's key insight); stage 1 the val update.
+	main := tr.Threads[0]
+	var mainLoads, mainStores int
+	main.Instrs(func(in *ir.Instr) {
+		switch in.Op {
+		case ir.OpLoad:
+			mainLoads++
+		case ir.OpStore:
+			mainStores++
+		}
+	})
+	if mainLoads == 0 {
+		t.Error("main thread lost the pointer-chasing load")
+	}
+	if mainStores != 0 {
+		t.Error("store should live in the consumer thread")
+	}
+}
+
+func TestDSWPTinyLists(t *testing.T) {
+	for _, n := range []int64{1, 2, 3} {
+		p := workloads.ListTraversal(n)
+		tr := applyDSWP(t, p, Config{SkipProfitability: true})
+		runBoth(t, p, tr)
+	}
+}
+
+func TestDSWPEmptyListOfLists(t *testing.T) {
+	// Zero outer iterations: the loop exits immediately; aux thread must
+	// still terminate (it consumes the exit-branch flag).
+	p := workloads.ListOfLists(0, 0)
+	tr := applyDSWP(t, p, Config{SkipProfitability: true})
+	runBoth(t, p, tr)
+}
+
+func TestQuickDSWPEquivalenceRandomLists(t *testing.T) {
+	check := func(seed uint16) bool {
+		n := int64(seed%37) + 1
+		inner := int64(seed%5) + 1
+		p := workloads.ListOfLists(n, inner)
+		prof, err := profile.Collect(p.F, p.Options())
+		if err != nil {
+			return false
+		}
+		tr, err := Apply(p.F, p.LoopHeader, prof, Config{SkipProfitability: true})
+		if err != nil {
+			return false
+		}
+		base, err := interp.Run(p.F, p.Options())
+		if err != nil {
+			return false
+		}
+		multi, err := interp.RunThreads(tr.Threads, p.Options())
+		if err != nil {
+			return false
+		}
+		return base.Mem.Diff(multi.Mem) == -1 &&
+			base.LiveOuts[ir.Reg(10)] == multi.LiveOuts[ir.Reg(10)]
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAllEnumeratedPartitionsCorrect runs every valid two-way cut of the
+// list-of-lists DAG_SCC and checks them all for equivalence — the property
+// the "best manually directed" search relies on.
+func TestAllEnumeratedPartitionsCorrect(t *testing.T) {
+	p := workloads.ListOfLists(15, 4)
+	prof := mustProfile(t, p)
+	a, err := Analyze(p.F, p.LoopHeader, prof, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := a.Enumerate(256)
+	if len(parts) < 2 {
+		t.Fatalf("only %d candidate partitionings", len(parts))
+	}
+	for i, part := range parts {
+		tr, err := a.Transform(part)
+		if err != nil {
+			t.Fatalf("partition %d: %v", i, err)
+		}
+		base, err := interp.Run(p.F, p.Options())
+		if err != nil {
+			t.Fatal(err)
+		}
+		multi, err := interp.RunThreads(tr.Threads, p.Options())
+		if err != nil {
+			t.Fatalf("partition %d (assign %v): %v", i, part.Assign, err)
+		}
+		if base.LiveOuts[ir.Reg(10)] != multi.LiveOuts[ir.Reg(10)] {
+			t.Fatalf("partition %d: sums differ", i)
+		}
+	}
+}
+
+func TestSingleSCCBailsOut(t *testing.T) {
+	// A loop that is one big recurrence: r1 = M[r1]; exit test on r1 —
+	// the 164.gzip situation.
+	src := `func chase {
+pre:
+    r1 = const 16
+    r2 = const 0
+    jump h
+h:
+    r1 = load [r1+0] @?
+    r3 = cmpeq r1, r2
+    br r3, out, h
+out:
+    ret
+}
+`
+	f := ir.MustParse(src)
+	f.AddObject("mem", 64)
+	mem := interp.MemoryFor(f)
+	mem.Set(16, 18)
+	mem.Set(18, 0)
+	prof, err := profile.Collect(f, interp.Options{Mem: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Apply(f, "h", prof, Config{})
+	if !errors.Is(err, ErrSingleSCC) {
+		t.Fatalf("err = %v, want ErrSingleSCC", err)
+	}
+}
+
+func TestUnprofitableBailsOut(t *testing.T) {
+	// Two SCCs but grossly imbalanced (one tiny accumulator vs a chain):
+	// heuristic puts nearly everything in one stage; the margin test
+	// should reject at a high threshold.
+	p := workloads.ListTraversal(50)
+	prof := mustProfile(t, p)
+	_, err := Apply(p.F, p.LoopHeader, prof, Config{Margin: 0.99})
+	if !errors.Is(err, ErrUnprofitable) {
+		t.Fatalf("err = %v, want ErrUnprofitable", err)
+	}
+}
+
+func TestHeuristicBalance(t *testing.T) {
+	p := workloads.ListOfLists(60, 8)
+	prof := mustProfile(t, p)
+	a, err := Analyze(p.F, p.LoopHeader, prof, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := a.Heuristic()
+	if part.N != 2 {
+		t.Fatalf("heuristic stages = %d, want 2", part.N)
+	}
+	if err := part.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	w := part.StageWeights()
+	total := w[0] + w[1]
+	// Load balance: the heavier stage should hold less than 85% of the
+	// work for this loop (the inner-loop body dominates and is
+	// separable from the outer chase).
+	heavy := w[0]
+	if w[1] > heavy {
+		heavy = w[1]
+	}
+	if float64(heavy) > 0.85*float64(total) {
+		t.Errorf("stage weights %v poorly balanced", w)
+	}
+}
+
+func TestValidateRejectsBackwardArc(t *testing.T) {
+	p := workloads.ListOfLists(10, 3)
+	prof := mustProfile(t, p)
+	a, err := Analyze(p.F, p.LoopHeader, prof, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := a.Heuristic()
+	// Flip the assignment: puts consumers before producers.
+	bad := &Partitioning{G: part.G, Cond: part.Cond, N: part.N, Weights: part.Weights}
+	bad.Assign = make([]int, len(part.Assign))
+	for i, v := range part.Assign {
+		bad.Assign[i] = part.N - 1 - v
+	}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected backward-arc error")
+	}
+	if _, err := Split(a.G, bad); err == nil {
+		t.Fatal("Split must reject invalid partitionings")
+	}
+}
+
+func TestValidateRejectsEmptyPartition(t *testing.T) {
+	p := workloads.ListOfLists(10, 3)
+	prof := mustProfile(t, p)
+	a, err := Analyze(p.F, p.LoopHeader, prof, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := a.Heuristic()
+	bad := &Partitioning{G: part.G, Cond: part.Cond, N: part.N + 1, Weights: part.Weights, Assign: part.Assign}
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "empty") {
+		t.Fatalf("err = %v, want empty partition error", err)
+	}
+}
+
+func TestFlowCountsClassification(t *testing.T) {
+	p := workloads.ListOfLists(20, 4)
+	tr := applyDSWP(t, p, Config{})
+	initial, loop, final := tr.FlowCounts()
+	if initial+loop+final != len(tr.Flows) {
+		t.Fatalf("FlowCounts %d+%d+%d != %d flows", initial, loop, final, len(tr.Flows))
+	}
+	if tr.NumQueues != len(tr.Flows) {
+		t.Fatalf("NumQueues = %d, want %d (one queue per flow)", tr.NumQueues, len(tr.Flows))
+	}
+}
+
+func TestProfitabilityEstimator(t *testing.T) {
+	p := workloads.ListOfLists(60, 8)
+	prof := mustProfile(t, p)
+	a, err := Analyze(p.F, p.LoopHeader, prof, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := a.Heuristic()
+	if !Profitable(part, prof, 0.02) {
+		t.Error("balanced two-stage pipeline should be estimated profitable")
+	}
+	if Profitable(part, prof, 0.99) {
+		t.Error("no pipeline clears a 99% margin")
+	}
+	single := &Partitioning{G: part.G, Cond: part.Cond, N: 1,
+		Assign: make([]int, len(part.Assign)), Weights: part.Weights}
+	if Profitable(single, prof, 0.0) {
+		t.Error("single partition is never profitable")
+	}
+}
+
+func TestBalanceScore(t *testing.T) {
+	p := workloads.ListOfLists(30, 5)
+	prof := mustProfile(t, p)
+	a, err := Analyze(p.F, p.LoopHeader, prof, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := a.Heuristic()
+	parts := a.Enumerate(512)
+	worst := parts[0]
+	for _, q := range parts {
+		if BalanceScore(q) > BalanceScore(worst) {
+			worst = q
+		}
+	}
+	if BalanceScore(best) > BalanceScore(worst) {
+		t.Errorf("heuristic balance %f worse than worst enumerated %f",
+			BalanceScore(best), BalanceScore(worst))
+	}
+}
+
+func TestFlowKindAndPosStrings(t *testing.T) {
+	if FlowData.String() != "data" || FlowControl.String() != "control" || FlowSync.String() != "sync" {
+		t.Error("FlowKind strings")
+	}
+	if FlowLoop.String() != "loop" || FlowInitial.String() != "initial" || FlowFinal.String() != "final" {
+		t.Error("FlowPos strings")
+	}
+	if FlowKind(9).String() != "?" || FlowPos(9).String() != "?" {
+		t.Error("unknown enums")
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+
+	"dswp/internal/cfg"
+	"dswp/internal/dep"
+	"dswp/internal/graph"
+	"dswp/internal/ir"
+	"dswp/internal/profile"
+)
+
+// Config tunes the DSWP driver.
+type Config struct {
+	// NumThreads is the pipeline depth target t (Definition 1 condition
+	// 1). Default 2, matching the paper's dual-core evaluation.
+	NumThreads int
+	// Margin is the required estimated win for the profitability test;
+	// 0.02 demands the heaviest stage (plus flow overhead) be at least
+	// 2% cheaper than single-threaded execution.
+	Margin float64
+	// IncludeCallLatency feeds annotated callee latencies into SCC
+	// weights. The paper's implementation lacked this ("can lead to poor
+	// partitioning decisions for loops with function calls"); leave
+	// false to reproduce that behaviour.
+	IncludeCallLatency bool
+	// Dep configures dependence-graph construction.
+	Dep dep.Options
+	// SkipProfitability forces the transformation through even when the
+	// heuristic predicts no win (used when measuring forced partitions).
+	SkipProfitability bool
+	// MasterLoop emits the §3 runtime protocol (see SplitOptions).
+	MasterLoop bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumThreads == 0 {
+		c.NumThreads = 2
+	}
+	if c.Margin == 0 {
+		c.Margin = 0.02
+	}
+	return c
+}
+
+// LoopAnalysis bundles the analysis products of one loop — Figure 3 lines
+// 1-4 — shared by the automatic driver, the best-partition search, and the
+// reporting tools.
+type LoopAnalysis struct {
+	F       *ir.Function
+	CFG     *cfg.CFG
+	Loop    *cfg.Loop
+	G       *dep.Graph
+	Cond    *graph.Condensation
+	Weights []int64
+	Prof    *profile.Profile
+	Config  Config
+}
+
+// Analyze builds the dependence graph and DAG_SCC for the loop headed by
+// loopHeader. prof must profile the same function instance.
+func Analyze(f *ir.Function, loopHeader string, prof *profile.Profile, config Config) (*LoopAnalysis, error) {
+	config = config.withDefaults()
+	c, l, err := cfg.LoopForHeader(f, loopHeader)
+	if err != nil {
+		return nil, err
+	}
+	g, err := dep.Build(f, c, l, config.Dep)
+	if err != nil {
+		return nil, err
+	}
+	cond := g.Condense()
+	weights := SCCWeights(g, cond, prof, config.IncludeCallLatency)
+	return &LoopAnalysis{
+		F: f, CFG: c, Loop: l, G: g,
+		Cond: cond, Weights: weights,
+		Prof: prof, Config: config,
+	}, nil
+}
+
+// NumSCCs reports the DAG_SCC size — Table 1's "SCCs" column.
+func (a *LoopAnalysis) NumSCCs() int { return len(a.Cond.Comps) }
+
+// Heuristic runs the TPP heuristic at the configured thread count.
+func (a *LoopAnalysis) Heuristic() *Partitioning {
+	return HeuristicPartition(a.G, a.Cond, a.Weights, a.Config.NumThreads)
+}
+
+// Enumerate lists candidate two-stage partitionings, capped at max.
+func (a *LoopAnalysis) Enumerate(max int) []*Partitioning {
+	return EnumeratePartitionings(a.G, a.Cond, a.Weights, max)
+}
+
+// Transform splits the loop under partitioning p.
+func (a *LoopAnalysis) Transform(p *Partitioning) (*Transformed, error) {
+	return SplitOpt(a.G, p, SplitOptions{MasterLoop: a.Config.MasterLoop})
+}
+
+// Apply is the paper's Figure 3 driver: analyze, bail on a single SCC,
+// partition with the heuristic, bail if unprofitable, then split and
+// insert flows.
+func Apply(f *ir.Function, loopHeader string, prof *profile.Profile, config Config) (*Transformed, error) {
+	config = config.withDefaults()
+	a, err := Analyze(f, loopHeader, prof, config)
+	if err != nil {
+		return nil, err
+	}
+	if a.NumSCCs() == 1 {
+		return nil, fmt.Errorf("%w (loop %s)", ErrSingleSCC, loopHeader)
+	}
+	p := a.Heuristic()
+	if p.N == 1 {
+		return nil, fmt.Errorf("%w (loop %s: heuristic found one stage)", ErrUnprofitable, loopHeader)
+	}
+	if !config.SkipProfitability && !Profitable(p, prof, config.Margin) {
+		return nil, fmt.Errorf("%w (loop %s)", ErrUnprofitable, loopHeader)
+	}
+	return a.Transform(p)
+}

@@ -1,0 +1,500 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"dswp/internal/ir"
+)
+
+// emit builds the thread functions: the main thread (the original function
+// with the loop replaced by partition P_1's stage plus boundary flows) and
+// one auxiliary function per remaining partition.
+func (s *splitter) emit() error {
+	n := s.p.N
+	s.threads = make([]*ir.Function, n)
+	s.copies = make([]map[int]*ir.Block, n)
+
+	if err := s.emitMain(); err != nil {
+		return err
+	}
+	for t := 1; t < n; t++ {
+		if err := s.emitAux(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cloneInstr copies an original instruction into thread function nf;
+// branch targets are fixed up afterwards.
+func cloneInstr(nf *ir.Function, in *ir.Instr) *ir.Instr {
+	ni := nf.NewInstr(in.Op)
+	ni.Dst = in.Dst
+	ni.Src = append([]ir.Reg(nil), in.Src...)
+	ni.Imm = in.Imm
+	ni.Obj = in.Obj
+	ni.Field = in.Field
+	ni.Queue = in.Queue
+	return ni
+}
+
+// emitMain constructs thread 0.
+func (s *splitter) emitMain() error {
+	nf := ir.NewFunction(s.f.Name)
+	nf.Objects = append([]ir.MemObject(nil), s.f.Objects...)
+	nf.LiveOuts = append([]ir.Reg(nil), s.f.LiveOuts...)
+	nf.NoteReg(s.f.MaxReg())
+	s.threads[0] = nf
+	s.copies[0] = map[int]*ir.Block{}
+
+	// Create blocks in original layout order: outside blocks verbatim,
+	// relevant loop blocks as stage copies, irrelevant loop blocks
+	// dropped.
+	for bi, b := range s.c.Blocks {
+		switch {
+		case !s.l.Contains(bi):
+			s.outsideCopy[b] = nf.NewBlock(b.Name)
+		case s.relevant[0][bi]:
+			s.copies[0][bi] = nf.NewBlock(b.Name)
+		}
+	}
+
+	// Final flows require exit-split blocks: loop exits detour through a
+	// block that consumes the live-outs before rejoining original code.
+	// The §3 master-loop protocol also terminates the auxiliary threads
+	// there.
+	finals := s.sortedFinalFlows()
+	if len(finals) > 0 || s.opts.MasterLoop {
+		targets := map[*ir.Block]bool{}
+		for _, e := range s.l.Exits {
+			if e[1] < len(s.c.Blocks) {
+				targets[s.c.Blocks[e[1]]] = true
+			}
+		}
+		names := make([]*ir.Block, 0, len(targets))
+		for b := range targets {
+			names = append(names, b)
+		}
+		sort.Slice(names, func(i, j int) bool { return names[i].ID < names[j].ID })
+		for _, y := range names {
+			sb := nf.NewBlock("dswp.exit." + y.Name)
+			for _, fl := range finals {
+				cons := nf.NewInstr(ir.OpConsume)
+				cons.Dst = fl.Reg
+				cons.Queue = fl.Queue
+				sb.Append(cons)
+			}
+			if s.opts.MasterLoop {
+				// Terminate signal: the paper's NULL function pointer.
+				z := nf.NewReg()
+				cz := nf.NewInstr(ir.OpConst)
+				cz.Dst = z
+				sb.Append(cz)
+				for t := 1; t < s.p.N; t++ {
+					prod := nf.NewInstr(ir.OpProduce)
+					prod.Src = []ir.Reg{z}
+					prod.Queue = s.masterQ[t]
+					sb.Append(prod)
+				}
+			}
+			jmp := nf.NewInstr(ir.OpJump)
+			jmp.Target = s.outsideCopy[y]
+			sb.Append(jmp)
+			s.exitSplit[y] = sb
+		}
+	}
+
+	// Fill outside blocks.
+	preheader := s.c.Blocks[s.l.Preheader]
+	for bi, b := range s.c.Blocks {
+		if s.l.Contains(bi) {
+			continue
+		}
+		nb := s.outsideCopy[b]
+		for _, in := range b.Instrs {
+			ni := cloneInstr(nf, in)
+			if in.Op == ir.OpBranch || in.Op == ir.OpJump {
+				var err error
+				ni.Target, err = s.mapOutsideTarget(in.Target)
+				if err != nil {
+					return err
+				}
+				if in.Op == ir.OpBranch {
+					ni.TargetFalse, err = s.mapOutsideTarget(in.TargetFalse)
+					if err != nil {
+						return err
+					}
+				}
+			}
+			// Initial flows are produced at the end of the preheader,
+			// just before it enters the loop.
+			if b == preheader && in == b.Terminator() {
+				s.emitInitialProduces(nb, nf)
+			}
+			nb.Append(ni)
+		}
+		if b.Terminator() == nil {
+			// Original fallthrough: make the successor explicit, since
+			// layout may have changed.
+			succs := b.Succs()
+			if len(succs) != 1 {
+				return fmt.Errorf("dswp: fallthrough block %s without successor", b.Name)
+			}
+			if b == preheader {
+				s.emitInitialProduces(nb, nf)
+			}
+			target, err := s.mapOutsideTarget(succs[0])
+			if err != nil {
+				return err
+			}
+			jmp := nf.NewInstr(ir.OpJump)
+			jmp.Target = target
+			nb.Append(jmp)
+		}
+	}
+
+	// Fill the loop stage.
+	return s.fillLoopBlocks(0)
+}
+
+func (s *splitter) sortedFinalFlows() []Flow {
+	var out []Flow
+	for _, fl := range s.flows {
+		if fl.Pos == FlowFinal {
+			out = append(out, fl)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Queue < out[j].Queue })
+	return out
+}
+
+func (s *splitter) emitInitialProduces(nb *ir.Block, nf *ir.Function) {
+	if s.opts.MasterLoop {
+		// Wake the auxiliary threads: send the stage's "function
+		// address" (any non-zero id) on each master queue first.
+		one := nf.NewReg()
+		c1 := nf.NewInstr(ir.OpConst)
+		c1.Dst = one
+		c1.Imm = 1
+		nb.Append(c1)
+		for t := 1; t < s.p.N; t++ {
+			prod := nf.NewInstr(ir.OpProduce)
+			prod.Src = []ir.Reg{one}
+			prod.Queue = s.masterQ[t]
+			nb.Append(prod)
+		}
+	}
+	var inits []Flow
+	for _, fl := range s.flows {
+		if fl.Pos == FlowInitial && fl.Reg != ir.NoReg {
+			inits = append(inits, fl)
+		}
+	}
+	sort.Slice(inits, func(i, j int) bool { return inits[i].Queue < inits[j].Queue })
+	for _, fl := range inits {
+		prod := nf.NewInstr(ir.OpProduce)
+		prod.Src = []ir.Reg{fl.Reg}
+		prod.Queue = fl.Queue
+		nb.Append(prod)
+	}
+}
+
+// mapOutsideTarget maps a target of an outside-loop terminator: outside
+// blocks map to their copies; the loop header maps to the main stage's
+// loop entry. Any other loop block as a target would mean an irreducible
+// entry, which natural loops preclude.
+func (s *splitter) mapOutsideTarget(b *ir.Block) (*ir.Block, error) {
+	bi := s.c.Index[b]
+	if !s.l.Contains(bi) {
+		return s.outsideCopy[b], nil
+	}
+	if bi == s.l.Header {
+		return s.copies[0][bi], nil // header is always relevant
+	}
+	return nil, fmt.Errorf("dswp: side entry into loop at %s", b.Name)
+}
+
+// emitAux constructs auxiliary thread t: entry consumes, the loop stage,
+// and an exit block producing finals before returning to the master loop
+// (modeled as ret).
+func (s *splitter) emitAux(t int) error {
+	nf := ir.NewFunction(fmt.Sprintf("%s.dswp%d", s.f.Name, t))
+	nf.Objects = append([]ir.MemObject(nil), s.f.Objects...)
+	nf.NoteReg(s.f.MaxReg())
+	s.threads[t] = nf
+	s.copies[t] = map[int]*ir.Block{}
+
+	var master *ir.Block
+	if s.opts.MasterLoop {
+		master = nf.NewBlock("dswp.master")
+	}
+	entry := nf.NewBlock("dswp.entry")
+	for bi, b := range s.c.Blocks {
+		if s.l.Contains(bi) && s.relevant[t][bi] {
+			s.copies[t][bi] = nf.NewBlock(b.Name)
+		}
+	}
+	exit := nf.NewBlock("dswp.exit")
+	s.copies[t][-1] = exit // sentinel for out-of-loop destinations
+
+	// Entry: consume live-ins, then enter the loop at the header.
+	var inits []Flow
+	for _, fl := range s.flows {
+		if fl.Pos == FlowInitial && fl.To == t && fl.Reg != ir.NoReg {
+			inits = append(inits, fl)
+		}
+	}
+	sort.Slice(inits, func(i, j int) bool { return inits[i].Queue < inits[j].Queue })
+	for _, fl := range inits {
+		cons := nf.NewInstr(ir.OpConsume)
+		cons.Dst = fl.Reg
+		cons.Queue = fl.Queue
+		entry.Append(cons)
+	}
+	jmp := nf.NewInstr(ir.OpJump)
+	jmp.Target = s.copies[t][s.l.Header]
+	entry.Append(jmp)
+
+	if err := s.fillLoopBlocks(t); err != nil {
+		return err
+	}
+
+	// Exit: produce finals, then return — or, under the §3 protocol,
+	// loop back to the master queue and wait for the next invocation.
+	for _, fl := range s.sortedFinalFlows() {
+		if fl.From != t {
+			continue
+		}
+		prod := nf.NewInstr(ir.OpProduce)
+		prod.Src = []ir.Reg{fl.Reg}
+		prod.Queue = fl.Queue
+		exit.Append(prod)
+	}
+	if s.opts.MasterLoop {
+		back := nf.NewInstr(ir.OpJump)
+		back.Target = master
+		exit.Append(back)
+
+		halt := nf.NewBlock("dswp.halt")
+		id := nf.NewReg()
+		cons := nf.NewInstr(ir.OpConsume)
+		cons.Dst = id
+		cons.Queue = s.masterQ[t]
+		master.Append(cons)
+		br := nf.NewInstr(ir.OpBranch)
+		br.Src = []ir.Reg{id}
+		br.Target = entry
+		br.TargetFalse = halt
+		master.Append(br)
+		halt.Append(nf.NewInstr(ir.OpRet))
+	} else {
+		exit.Append(nf.NewInstr(ir.OpRet))
+	}
+	return nil
+}
+
+// fillLoopBlocks places instructions and flows into thread t's copies of
+// its relevant loop blocks (§2.2.3 steps 3-4, §2.2.4).
+func (s *splitter) fillLoopBlocks(t int) error {
+	nf := s.threads[t]
+	// Stable iteration over relevant loop blocks in layout order.
+	for _, bi := range s.l.BlockList {
+		if !s.relevant[t][bi] {
+			continue
+		}
+		b := s.c.Blocks[bi]
+		nb := s.copies[t][bi]
+		term := b.Terminator()
+
+		for _, in := range b.Instrs {
+			if in == term || in.Op == ir.OpJump {
+				continue // terminators regenerated below
+			}
+			if s.p.PartitionOf(in) == t {
+				nb.Append(cloneInstr(nf, in))
+				s.emitProducesAfter(nb, nf, in, t)
+			} else {
+				s.emitConsumesAt(nb, nf, in, t)
+			}
+		}
+
+		if err := s.emitTerminator(nb, nf, b, term, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emitProducesAfter appends the produces for flows sourced at original
+// instruction in (owned by thread t).
+func (s *splitter) emitProducesAfter(nb *ir.Block, nf *ir.Function, in *ir.Instr, t int) {
+	type qk struct {
+		q    int
+		kind FlowKind
+	}
+	var qs []qk
+	for k, queues := range s.dataQ {
+		if k.src == in {
+			for _, q := range queues {
+				qs = append(qs, qk{q, FlowData})
+			}
+		}
+	}
+	for k, q := range s.syncQ {
+		if k.src == in {
+			qs = append(qs, qk{q, FlowSync})
+		}
+	}
+	sort.Slice(qs, func(i, j int) bool { return qs[i].q < qs[j].q })
+	for _, e := range qs {
+		prod := nf.NewInstr(ir.OpProduce)
+		prod.Queue = e.q
+		if e.kind == FlowData {
+			prod.Src = []ir.Reg{in.Dst}
+		}
+		nb.Append(prod)
+	}
+}
+
+// emitConsumesAt appends the consumes thread t needs at the position of
+// foreign source instruction in — data consumes write the source's
+// destination register; sync consumes take a token.
+func (s *splitter) emitConsumesAt(nb *ir.Block, nf *ir.Function, in *ir.Instr, t int) {
+	for _, q := range s.dataQ[flowKey{in, t}] {
+		cons := nf.NewInstr(ir.OpConsume)
+		cons.Dst = in.Dst
+		cons.Queue = q
+		nb.Append(cons)
+	}
+	if q, ok := s.syncQ[flowKey{in, t}]; ok {
+		cons := nf.NewInstr(ir.OpConsume)
+		cons.Queue = q
+		nb.Append(cons)
+	}
+}
+
+// emitTerminator regenerates block b's terminator for thread t, fixing
+// targets to each thread's closest relevant blocks (§2.2.3 step 4).
+func (s *splitter) emitTerminator(nb *ir.Block, nf *ir.Function, b *ir.Block, term *ir.Instr, t int) error {
+	bi := s.c.Index[b]
+	if term != nil && term.Op == ir.OpBranch {
+		br := term
+		switch {
+		case s.p.PartitionOf(br) == t:
+			// Owned branch: produce its flag for duplicating threads
+			// first (Figure 2(d): PRODUCE precedes the branch).
+			var qs []int
+			for k, q := range s.ctrlQ {
+				if k.src == br {
+					qs = append(qs, q)
+				}
+			}
+			sort.Ints(qs)
+			for _, q := range qs {
+				prod := nf.NewInstr(ir.OpProduce)
+				prod.Src = []ir.Reg{br.Src[0]}
+				prod.Queue = q
+				nb.Append(prod)
+			}
+			ni := cloneInstr(nf, br)
+			var err error
+			if ni.Target, err = s.mapLoopTarget(t, br.Target); err != nil {
+				return err
+			}
+			if ni.TargetFalse, err = s.mapLoopTarget(t, br.TargetFalse); err != nil {
+				return err
+			}
+			nb.Append(ni)
+			return nil
+		default:
+			if q, ok := s.needBr[t][br]; ok {
+				// Duplicated branch driven by a consumed flag.
+				flag := nf.NewReg()
+				cons := nf.NewInstr(ir.OpConsume)
+				cons.Dst = flag
+				cons.Queue = q
+				nb.Append(cons)
+				ni := nf.NewInstr(ir.OpBranch)
+				ni.Src = []ir.Reg{flag}
+				var err error
+				if ni.Target, err = s.mapLoopTarget(t, br.Target); err != nil {
+					return err
+				}
+				if ni.TargetFalse, err = s.mapLoopTarget(t, br.TargetFalse); err != nil {
+					return err
+				}
+				nb.Append(ni)
+				return nil
+			}
+			// Unneeded branch: continue at the closest relevant
+			// postdominator of this block.
+			target, err := s.walkRelevant(t, s.pdom.IDom[bi])
+			if err != nil {
+				return err
+			}
+			jmp := nf.NewInstr(ir.OpJump)
+			jmp.Target = target
+			nb.Append(jmp)
+			return nil
+		}
+	}
+
+	// Jump or fallthrough: single successor.
+	succs := b.Succs()
+	if len(succs) != 1 {
+		return fmt.Errorf("dswp: loop block %s has %d successors without a branch", b.Name, len(succs))
+	}
+	target, err := s.mapLoopTarget(t, succs[0])
+	if err != nil {
+		return err
+	}
+	jmp := nf.NewInstr(ir.OpJump)
+	jmp.Target = target
+	nb.Append(jmp)
+	return nil
+}
+
+// mapLoopTarget maps an original branch target (from inside the loop) to
+// thread t's CFG: the target's copy if relevant, else the copy of its
+// closest relevant postdominator; targets outside the loop go to the
+// thread's exit (aux) or through the final-flow split block (main).
+func (s *splitter) mapLoopTarget(t int, target *ir.Block) (*ir.Block, error) {
+	return s.walkRelevant(t, s.c.Index[target])
+}
+
+// walkRelevant walks the postdominator tree from CFG node x until it finds
+// a block relevant to thread t or leaves the loop.
+func (s *splitter) walkRelevant(t, x int) (*ir.Block, error) {
+	for hops := 0; hops <= s.c.N(); hops++ {
+		if x < 0 || x == s.c.Exit {
+			return s.outOfLoopDest(t, nil)
+		}
+		if !s.l.Contains(x) {
+			return s.outOfLoopDest(t, s.c.Blocks[x])
+		}
+		if s.relevant[t][x] {
+			return s.copies[t][x], nil
+		}
+		next := s.pdom.IDom[x]
+		if next == x {
+			return s.outOfLoopDest(t, nil)
+		}
+		x = next
+	}
+	return nil, fmt.Errorf("dswp: postdominator walk did not terminate")
+}
+
+// outOfLoopDest resolves a loop-leaving destination for thread t.
+func (s *splitter) outOfLoopDest(t int, outside *ir.Block) (*ir.Block, error) {
+	if t > 0 {
+		return s.copies[t][-1], nil // aux threads: local exit block
+	}
+	if outside == nil {
+		return nil, fmt.Errorf("dswp: main thread loop exit without destination")
+	}
+	if sb, ok := s.exitSplit[outside]; ok {
+		return sb, nil
+	}
+	return s.outsideCopy[outside], nil
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"testing"
+
+	"dswp/internal/ir"
+	"dswp/internal/profile"
+	"dswp/internal/workloads"
+)
+
+// Structural tests of the emitted code: the placement rules of §2.2.3-4.
+
+func transformList(t *testing.T) (*workloads.Program, *Transformed) {
+	t.Helper()
+	p := workloads.ListOfLists(20, 4)
+	prof, err := profile.Collect(p.F, p.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Apply(p.F, p.LoopHeader, prof, Config{SkipProfitability: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, tr
+}
+
+// indexIn returns the position of the first instruction satisfying pred in
+// block b, or -1.
+func indexIn(b *ir.Block, pred func(*ir.Instr) bool) int {
+	for i, in := range b.Instrs {
+		if pred(in) {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestProduceImmediatelyFollowsDataSource(t *testing.T) {
+	_, tr := transformList(t)
+	main := tr.Threads[0]
+	// Every loop data flow's produce sits right after an instruction
+	// defining the flowed register (Figure 2(d): C then PRODUCE).
+	for _, fl := range tr.Flows {
+		if fl.Kind != FlowData || fl.Pos != FlowLoop {
+			continue
+		}
+		found := false
+		main.Instrs(func(in *ir.Instr) {
+			if in.Op == ir.OpProduce && in.Queue == fl.Queue {
+				b := in.Block
+				i := indexIn(b, func(x *ir.Instr) bool { return x == in })
+				if i > 0 {
+					prev := b.Instrs[i-1]
+					if prev.Dst == fl.Reg || prev.Op == ir.OpProduce {
+						found = true
+					}
+				}
+			}
+		})
+		if !found {
+			t.Errorf("queue %d: produce not adjacent to its defining instruction", fl.Queue)
+		}
+	}
+}
+
+func TestControlProducePrecedesBranch(t *testing.T) {
+	_, tr := transformList(t)
+	main := tr.Threads[0]
+	for _, fl := range tr.Flows {
+		if fl.Kind != FlowControl || fl.Pos != FlowLoop {
+			continue
+		}
+		main.Instrs(func(in *ir.Instr) {
+			if in.Op == ir.OpProduce && in.Queue == fl.Queue {
+				b := in.Block
+				term := b.Terminator()
+				if term == nil || term.Op != ir.OpBranch {
+					t.Errorf("queue %d: flag produce not in a branch block", fl.Queue)
+					return
+				}
+				// Figure 2(d): PRODUCE [q] = p precedes "br p, ...".
+				i := indexIn(b, func(x *ir.Instr) bool { return x == in })
+				j := indexIn(b, func(x *ir.Instr) bool { return x == term })
+				if i > j {
+					t.Errorf("queue %d: flag produced after the branch", fl.Queue)
+				}
+				if in.Src[0] != term.Src[0] {
+					t.Errorf("queue %d: flag register %s != branch predicate %s",
+						fl.Queue, in.Src[0], term.Src[0])
+				}
+			}
+		})
+	}
+}
+
+func TestConsumerDuplicatedBranchConsumesFlag(t *testing.T) {
+	_, tr := transformList(t)
+	aux := tr.Threads[1]
+	// Every control flow into thread 1 ends as consume->branch.
+	for _, fl := range tr.Flows {
+		if fl.Kind != FlowControl || fl.To != 1 || fl.Pos != FlowLoop {
+			continue
+		}
+		ok := false
+		aux.Instrs(func(in *ir.Instr) {
+			if in.Op == ir.OpConsume && in.Queue == fl.Queue {
+				b := in.Block
+				term := b.Terminator()
+				if term != nil && term.Op == ir.OpBranch && term.Src[0] == in.Dst {
+					ok = true
+				}
+			}
+		})
+		if !ok {
+			t.Errorf("queue %d: no duplicated branch consuming the flag\n%s", fl.Queue, aux)
+		}
+	}
+}
+
+func TestConsumeWritesSourceRegister(t *testing.T) {
+	_, tr := transformList(t)
+	aux := tr.Threads[1]
+	for _, fl := range tr.Flows {
+		if fl.Kind != FlowData || fl.Pos != FlowLoop || fl.To != 1 {
+			continue
+		}
+		found := false
+		aux.Instrs(func(in *ir.Instr) {
+			if in.Op == ir.OpConsume && in.Queue == fl.Queue && in.Dst == fl.Reg {
+				found = true
+			}
+		})
+		if !found {
+			t.Errorf("queue %d: consumer does not write source register %s", fl.Queue, fl.Reg)
+		}
+	}
+}
+
+func TestMainThreadKeepsOutsideCode(t *testing.T) {
+	p, tr := transformList(t)
+	main := tr.Threads[0]
+	// The preheader and exit block names survive.
+	if main.BlockByName("BB1") == nil {
+		t.Error("preheader missing from main thread")
+	}
+	if main.BlockByName("BB7") == nil {
+		t.Error("exit block missing from main thread")
+	}
+	if main.Name != p.F.Name {
+		t.Errorf("main thread renamed: %s", main.Name)
+	}
+	// Live-outs preserved.
+	if len(main.LiveOuts) != len(p.F.LiveOuts) {
+		t.Error("live-outs lost")
+	}
+}
+
+func TestAuxThreadHasNoForeignInstructions(t *testing.T) {
+	_, tr := transformList(t)
+	part := tr.Partition
+	// Instructions assigned to thread 0 must not be duplicated in thread
+	// 1 (only consumes/duplicated branches stand in for them).
+	ownOps := map[ir.Op]bool{}
+	for _, in := range part.G.Instrs {
+		if part.PartitionOf(in) == 0 && in.Op == ir.OpLoad {
+			ownOps[in.Op] = true
+		}
+	}
+	aux := tr.Threads[1]
+	aux.Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpLoad {
+			// thread 1's loads must be its own partition's loads.
+			matched := false
+			for _, orig := range part.G.Instrs {
+				if part.PartitionOf(orig) == 1 && orig.Op == ir.OpLoad &&
+					orig.Dst == in.Dst && orig.Imm == in.Imm && orig.Obj == in.Obj {
+					matched = true
+				}
+			}
+			if !matched {
+				t.Errorf("foreign load in aux thread: %s", in)
+			}
+		}
+	})
+}
+
+func TestQueuesWithinSynchronizationArrayLimit(t *testing.T) {
+	for _, wb := range workloads.Table1Suite() {
+		p := wb.Build()
+		prof, err := profile.Collect(p.F, p.Options())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := Apply(p.F, p.LoopHeader, prof, Config{SkipProfitability: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.NumQueues > 256 {
+			t.Errorf("%s: %d queues exceed the 256-queue synchronization array", p.Name, tr.NumQueues)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"dswp/internal/ir"
+	"dswp/internal/profile"
+	"dswp/internal/workloads"
+)
+
+// §3 runtime protocol tests: auxiliary threads wrap their stage in a
+// master loop, woken per invocation and terminated with a zero id.
+
+func masterTransform(t *testing.T, p *workloads.Program) *Transformed {
+	t.Helper()
+	prof, err := profile.Collect(p.F, p.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Apply(p.F, p.LoopHeader, prof, Config{SkipProfitability: true, MasterLoop: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestMasterLoopEquivalence(t *testing.T) {
+	for _, wb := range workloads.Table1Suite() {
+		t.Run(wb.Name, func(t *testing.T) {
+			p := wb.Build()
+			tr := masterTransform(t, p)
+			runBoth(t, p, tr)
+		})
+	}
+}
+
+func TestMasterLoopStructure(t *testing.T) {
+	p := workloads.ListOfLists(20, 4)
+	tr := masterTransform(t, p)
+
+	aux := tr.Threads[1]
+	master := aux.BlockByName("dswp.master")
+	if master == nil {
+		t.Fatalf("no master block:\n%s", aux)
+	}
+	if aux.Entry() != master {
+		t.Error("master block must be the aux entry point")
+	}
+	if master.Instrs[0].Op != ir.OpConsume {
+		t.Error("master must block on the master queue")
+	}
+	br := master.Terminator()
+	if br == nil || br.Op != ir.OpBranch {
+		t.Fatal("master must dispatch on the received id")
+	}
+	if br.TargetFalse.Name != "dswp.halt" {
+		t.Errorf("zero id must halt, got %s", br.TargetFalse.Name)
+	}
+	// The stage exit loops back to the master, not ret.
+	exit := aux.BlockByName("dswp.exit")
+	if term := exit.Terminator(); term == nil || term.Op != ir.OpJump || term.Target != master {
+		t.Errorf("stage exit must rejoin the master loop, got %v", exit.Terminator())
+	}
+
+	// The main thread activates before the loop and terminates after.
+	text := tr.Threads[0].String()
+	if !strings.Contains(text, "dswp.exit.") {
+		t.Error("main thread missing exit-split block")
+	}
+}
+
+func TestMasterLoopThreeStages(t *testing.T) {
+	p := workloads.MCF()
+	prof, err := profile.Collect(p.F, p.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(p.F, p.LoopHeader, prof, Config{NumThreads: 3, MasterLoop: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := a.Heuristic()
+	if part.N < 3 {
+		t.Skip("heuristic delivered fewer stages")
+	}
+	tr, err := a.Transform(part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runBoth(t, p, tr)
+	// Each aux thread got its own master queue.
+	masters := 0
+	for _, fl := range tr.Flows {
+		if fl.Kind == FlowControl && fl.Pos == FlowInitial {
+			masters++
+		}
+	}
+	if masters != part.N-1 {
+		t.Errorf("master queues = %d, want %d", masters, part.N-1)
+	}
+}
+
+func TestMasterLoopWithNoFinalFlows(t *testing.T) {
+	// epicdec has no register live-outs: the exit split must still carry
+	// the terminate signal.
+	p := workloads.Epic()
+	tr := masterTransform(t, p)
+	runBoth(t, p, tr)
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+
+	"dswp/internal/interp"
+	"dswp/internal/profile"
+	"dswp/internal/workloads"
+)
+
+// The paper targets a dual-core CMP, but Definition 1 and the algorithm
+// are defined for any pipeline depth t. These tests exercise deeper
+// pipelines end-to-end.
+
+func TestThreeStagePipelineEquivalence(t *testing.T) {
+	for _, wb := range workloads.Table1Suite() {
+		t.Run(wb.Name, func(t *testing.T) {
+			p := wb.Build()
+			prof, err := profile.Collect(p.F, p.Options())
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := Analyze(p.F, p.LoopHeader, prof, Config{NumThreads: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			part := a.Heuristic()
+			if part.N < 2 {
+				t.Skipf("heuristic found no multi-stage cut (%d SCCs)", a.NumSCCs())
+			}
+			tr, err := a.Transform(part)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tr.Threads) != part.N {
+				t.Fatalf("threads = %d, want %d", len(tr.Threads), part.N)
+			}
+			runBoth(t, p, tr)
+		})
+	}
+}
+
+func TestDeepPipelineOnLinearDAG(t *testing.T) {
+	// mcf's DAG is mostly a chain: it should split into 4 stages.
+	p := workloads.MCF()
+	prof, err := profile.Collect(p.F, p.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(p.F, p.LoopHeader, prof, Config{NumThreads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := a.Heuristic()
+	if part.N < 3 {
+		t.Fatalf("expected at least 3 stages from %d SCCs, got %d", a.NumSCCs(), part.N)
+	}
+	tr, err := a.Transform(part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runBoth(t, p, tr)
+
+	// Every intermediate stage both consumes and produces loop flows —
+	// a real pipeline, not a hub-and-spokes.
+	produces := make([]int, part.N)
+	consumes := make([]int, part.N)
+	for _, fl := range tr.Flows {
+		if fl.Pos == FlowLoop {
+			produces[fl.From]++
+			consumes[fl.To]++
+		}
+	}
+	for s := 1; s < part.N-1; s++ {
+		if consumes[s] == 0 {
+			t.Errorf("stage %d consumes nothing", s)
+		}
+	}
+	if consumes[part.N-1] == 0 {
+		t.Error("last stage consumes nothing")
+	}
+	if produces[0] == 0 {
+		t.Error("first stage produces nothing")
+	}
+}
+
+func TestPipelineDepthRequestedVsDelivered(t *testing.T) {
+	// Requesting more threads than SCCs must cap gracefully.
+	p := workloads.ListTraversal(100)
+	prof, err := profile.Collect(p.F, p.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(p.F, p.LoopHeader, prof, Config{NumThreads: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := a.Heuristic()
+	if part.N > a.NumSCCs() {
+		t.Fatalf("more stages (%d) than SCCs (%d)", part.N, a.NumSCCs())
+	}
+	if err := part.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := a.Transform(part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runBoth(t, p, tr)
+	_ = interp.Options{}
+}

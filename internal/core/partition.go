@@ -1,0 +1,306 @@
+// Package core implements the paper's contribution: the DSWP algorithm of
+// Figure 3. It consumes the loop dependence graph (package dep), finds the
+// DAG_SCC, chooses a valid partitioning with the load-balance heuristic of
+// §2.2.2, splits the code per §2.2.3, and inserts produce/consume flows per
+// §2.2.4.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dswp/internal/dep"
+	"dswp/internal/graph"
+	"dswp/internal/ir"
+	"dswp/internal/profile"
+)
+
+// ErrSingleSCC is returned when the dependence graph is one big recurrence
+// (Figure 3 step 3): no pipeline is extractable without speculation.
+var ErrSingleSCC = errors.New("dswp: dependence graph has a single SCC")
+
+// ErrUnprofitable is returned when the TPP heuristic estimates no
+// partitioning beats the single-threaded loop (Figure 3 step 6).
+var ErrUnprofitable = errors.New("dswp: no profitable partitioning found")
+
+// Partitioning is a valid partitioning of the DAG_SCC (Definition 1): a
+// sequence P_1..P_n of SCC sets with all DAG arcs flowing forward.
+type Partitioning struct {
+	G    *dep.Graph
+	Cond *graph.Condensation
+
+	// Assign maps SCC index -> partition index (0-based; partition 0 is
+	// the main thread's stage).
+	Assign []int
+	// N is the number of partitions (pipeline stages/threads).
+	N int
+	// Weights holds the estimated dynamic cycles of each SCC.
+	Weights []int64
+}
+
+// PartitionOf returns the partition of a loop instruction.
+func (p *Partitioning) PartitionOf(in *ir.Instr) int {
+	idx, ok := p.G.IndexOf[in]
+	if !ok {
+		return -1
+	}
+	return p.Assign[p.Cond.CompOf[idx]]
+}
+
+// StageWeights sums SCC weights per partition.
+func (p *Partitioning) StageWeights() []int64 {
+	w := make([]int64, p.N)
+	for scc, part := range p.Assign {
+		w[part] += p.Weights[scc]
+	}
+	return w
+}
+
+// Validate checks Definition 1: every SCC in exactly one partition in
+// [0,N), no empty partition, and every DAG_SCC arc u->v with
+// Assign[u] <= Assign[v].
+func (p *Partitioning) Validate() error {
+	if p.N < 1 {
+		return fmt.Errorf("dswp: %d partitions", p.N)
+	}
+	if len(p.Assign) != p.Cond.DAG.N() {
+		return fmt.Errorf("dswp: %d assignments for %d SCCs", len(p.Assign), p.Cond.DAG.N())
+	}
+	seen := make([]bool, p.N)
+	for scc, part := range p.Assign {
+		if part < 0 || part >= p.N {
+			return fmt.Errorf("dswp: SCC %d assigned to partition %d of %d", scc, part, p.N)
+		}
+		seen[part] = true
+	}
+	for part, ok := range seen {
+		if !ok {
+			return fmt.Errorf("dswp: partition %d is empty", part)
+		}
+	}
+	for u := 0; u < p.Cond.DAG.N(); u++ {
+		for _, v := range p.Cond.DAG.Succs(u) {
+			if p.Assign[u] > p.Assign[v] {
+				return fmt.Errorf("dswp: backward arc SCC %d (P%d) -> SCC %d (P%d)",
+					u, p.Assign[u], v, p.Assign[v])
+			}
+		}
+	}
+	return nil
+}
+
+// SCCWeights estimates per-SCC dynamic cycles from the profile: the sum
+// over member instructions of count x latency (§2.2.2). Produce/consume
+// costs are added separately during profitability estimation.
+func SCCWeights(g *dep.Graph, cond *graph.Condensation, prof *profile.Profile, includeCallLatency bool) []int64 {
+	w := make([]int64, len(cond.Comps))
+	for ci, comp := range cond.Comps {
+		for _, v := range comp {
+			w[ci] += prof.Weight(g.Instrs[v], includeCallLatency)
+		}
+	}
+	return w
+}
+
+// HeuristicPartition runs the paper's TPP load-balance heuristic for
+// nThreads pipeline stages: walk the DAG_SCC maintaining the candidate set
+// (nodes whose predecessors are all assigned), repeatedly take the
+// heaviest candidate — breaking ties in favour of candidates that reduce
+// the current partition's outgoing dependences — and close the current
+// partition once its share of total estimated cycles is reached.
+func HeuristicPartition(g *dep.Graph, cond *graph.Condensation, weights []int64, nThreads int) *Partitioning {
+	n := cond.DAG.N()
+	if nThreads < 1 {
+		nThreads = 1
+	}
+	total := int64(0)
+	for _, w := range weights {
+		total += w
+	}
+
+	preds := cond.DAG.Preds()
+	unassignedPreds := make([]int, n)
+	for v := 0; v < n; v++ {
+		unassignedPreds[v] = len(preds[v])
+	}
+	assigned := make([]bool, n)
+	assign := make([]int, n)
+
+	candidate := func(v int) bool { return !assigned[v] && unassignedPreds[v] == 0 }
+
+	// outgoingGain(v, cur): number of DAG arcs from the current partition
+	// into v — picking v removes those outgoing dependences.
+	outgoingGain := func(v, cur int) int {
+		gain := 0
+		for _, p := range preds[v] {
+			if assigned[p] && assign[p] == cur {
+				gain++
+			}
+		}
+		return gain
+	}
+
+	perThread := float64(total) / float64(nThreads)
+	cur := 0
+	var curWeight int64
+	for done := 0; done < n; done++ {
+		best := -1
+		for v := 0; v < n; v++ {
+			if !candidate(v) {
+				continue
+			}
+			if best == -1 {
+				best = v
+				continue
+			}
+			switch {
+			case weights[v] > weights[best]:
+				best = v
+			case weights[v] == weights[best] &&
+				outgoingGain(v, cur) > outgoingGain(best, cur):
+				best = v
+			}
+		}
+		if best == -1 {
+			panic("dswp: no candidate in a DAG — cycle in condensation?")
+		}
+		remaining := n - done // nodes left including best
+		// "Gets close to" the per-thread share: close the current
+		// partition *before* assigning when overshooting costs more
+		// balance than undershooting, provided later partitions can
+		// still be populated.
+		if cur+1 < nThreads && curWeight > 0 && remaining > nThreads-cur-1 {
+			over := float64(curWeight+weights[best]) - perThread
+			under := perThread - float64(curWeight)
+			if over > under {
+				cur++
+				curWeight = 0
+			}
+		}
+		assign[best] = cur
+		assigned[best] = true
+		curWeight += weights[best]
+		for _, s := range cond.DAG.Succs(best) {
+			unassignedPreds[s]--
+		}
+		if cur+1 < nThreads && n-done-1 >= nThreads-cur-1 && n-done-1 > 0 &&
+			float64(curWeight) >= perThread {
+			cur++
+			curWeight = 0
+		}
+	}
+
+	p := &Partitioning{G: g, Cond: cond, Assign: assign, N: cur + 1, Weights: weights}
+	if err := p.Validate(); err != nil {
+		panic("dswp: heuristic produced invalid partitioning: " + err.Error())
+	}
+	return p
+}
+
+// DefaultFlowCostFactor is the estimated cycle cost of one dynamic
+// produce or consume occurrence. On a wide in-order core, flow ops mostly
+// fill spare M-unit slots, so the effective cost is a fraction of a cycle
+// (four M ports -> 1/4).
+const DefaultFlowCostFactor = 0.25
+
+// FlowCost estimates the produce/consume overhead each stage pays under p,
+// in dynamic occurrences, charged to both the producing and the consuming
+// stage. Used by the profitability test (§2.2.2: "the algorithm estimates
+// whether or not it will be profitable by considering the cost of the
+// produce and consume instructions").
+func FlowCost(p *Partitioning, prof *profile.Profile) []int64 {
+	cost := make([]int64, p.N)
+	type key struct {
+		src *ir.Instr
+		to  int
+	}
+	counted := map[key]bool{}
+	for _, a := range p.G.Arcs {
+		pf, pt := p.PartitionOf(a.From), p.PartitionOf(a.To)
+		if pf == pt || pf < 0 || pt < 0 {
+			continue
+		}
+		k := key{a.From, pt}
+		if counted[k] {
+			continue
+		}
+		counted[k] = true
+		c := prof.Count(a.From)
+		cost[pf] += c
+		cost[pt] += c
+	}
+	return cost
+}
+
+// Profitable estimates whether partitioning p beats single-threaded
+// execution: the pipeline is limited by its heaviest stage including flow
+// overhead (occurrences scaled by DefaultFlowCostFactor); it must undercut
+// the total single-threaded weight by margin (e.g. 0.05 demands a 5%
+// estimated win).
+func Profitable(p *Partitioning, prof *profile.Profile, margin float64) bool {
+	if p.N < 2 {
+		return false
+	}
+	stage := p.StageWeights()
+	flows := FlowCost(p, prof)
+	var total int64
+	var maxStage float64
+	for i := range stage {
+		total += stage[i]
+		if s := float64(stage[i]) + float64(flows[i])*DefaultFlowCostFactor; s > maxStage {
+			maxStage = s
+		}
+	}
+	return maxStage < float64(total)*(1.0-margin)
+}
+
+// EnumeratePartitionings lists valid two-stage partitionings of the
+// DAG_SCC — each proper, non-empty order ideal as P_1 — capped at max.
+// This reproduces the paper's "best manually directed" search, which
+// iterated over partitionings and measured each.
+func EnumeratePartitionings(g *dep.Graph, cond *graph.Condensation, weights []int64, max int) []*Partitioning {
+	ideals, _ := cond.DAG.Ideals(max)
+	var out []*Partitioning
+	for _, ideal := range ideals {
+		sz := 0
+		for _, in := range ideal {
+			if in {
+				sz++
+			}
+		}
+		if sz == 0 || sz == len(ideal) {
+			continue
+		}
+		assign := make([]int, len(ideal))
+		for v, in := range ideal {
+			if !in {
+				assign[v] = 1
+			}
+		}
+		p := &Partitioning{G: g, Cond: cond, Assign: assign, N: 2, Weights: weights}
+		if err := p.Validate(); err != nil {
+			panic("dswp: enumerated invalid partitioning: " + err.Error())
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// BalanceScore reports the weight imbalance of p in [0,1]: 0 is perfectly
+// balanced. Used to pre-rank enumerated partitionings before simulating.
+func BalanceScore(p *Partitioning) float64 {
+	stage := p.StageWeights()
+	var total, maxStage int64
+	for _, s := range stage {
+		total += s
+		if s > maxStage {
+			maxStage = s
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	ideal := float64(total) / float64(p.N)
+	return math.Abs(float64(maxStage)-ideal) / float64(total)
+}

@@ -1,0 +1,434 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"dswp/internal/cfg"
+	"dswp/internal/dep"
+	"dswp/internal/ir"
+)
+
+// FlowKind classifies flows per §2.2.4: data value, branch-direction flag,
+// or a value-less synchronization token for memory/system ordering.
+type FlowKind uint8
+
+const (
+	FlowData FlowKind = iota
+	FlowControl
+	FlowSync
+)
+
+func (k FlowKind) String() string {
+	switch k {
+	case FlowData:
+		return "data"
+	case FlowControl:
+		return "control"
+	case FlowSync:
+		return "sync"
+	}
+	return "?"
+}
+
+// FlowPos classifies flows by loop position per §2.2.4: inside the loop,
+// live-in delivery before it, or live-out delivery after it.
+type FlowPos uint8
+
+const (
+	FlowLoop FlowPos = iota
+	FlowInitial
+	FlowFinal
+)
+
+func (p FlowPos) String() string {
+	switch p {
+	case FlowLoop:
+		return "loop"
+	case FlowInitial:
+		return "initial"
+	case FlowFinal:
+		return "final"
+	}
+	return "?"
+}
+
+// Flow records one produce/consume pair and its queue.
+type Flow struct {
+	Queue  int
+	Kind   FlowKind
+	Pos    FlowPos
+	Source *ir.Instr // original instruction (nil for initial flows)
+	Reg    ir.Reg    // register carried (NoReg for control/sync)
+	From   int       // producing thread
+	To     int       // consuming thread
+}
+
+// Transformed is the result of applying DSWP to one loop.
+type Transformed struct {
+	Original  *ir.Function
+	Threads   []*ir.Function // Threads[0] is the main thread
+	Partition *Partitioning
+	Flows     []Flow
+	NumQueues int
+}
+
+// SplitOptions tunes code generation.
+type SplitOptions struct {
+	// NoRedundantFlowElim disables redundant flow elimination (§2.2.4:
+	// "Redundant flow elimination can be used to avoid communicating a
+	// value more than once inside the loop"): every cross-thread data
+	// dependence arc gets its own queue, produce, and consume. Used by
+	// the ablation benchmark to quantify the optimization.
+	NoRedundantFlowElim bool
+
+	// MasterLoop emits the paper's §3 runtime protocol: each auxiliary
+	// thread wraps its stage in a master loop that blocks on a master
+	// queue, runs the stage when activated, and returns when it receives
+	// the terminate signal ("composed of a NULL function pointer"; we
+	// send 0). The main thread activates the stages before entering the
+	// loop and terminates them after leaving it. This models creating
+	// the auxiliary thread once, at program start, and reusing it across
+	// loop invocations.
+	MasterLoop bool
+}
+
+// FlowCounts returns the number of queues per position, Table 1's
+// "# Flows Init. / Loop / Final" columns.
+func (t *Transformed) FlowCounts() (initial, loop, final int) {
+	for _, f := range t.Flows {
+		switch f.Pos {
+		case FlowInitial:
+			initial++
+		case FlowLoop:
+			loop++
+		case FlowFinal:
+			final++
+		}
+	}
+	return
+}
+
+// splitter carries the state of one split.
+type splitter struct {
+	g *dep.Graph
+	p *Partitioning
+	f *ir.Function
+	c *cfg.CFG
+	l *cfg.Loop
+
+	pdom *cfg.DomTree
+
+	nextQueue int
+	flows     []Flow
+
+	// Loop flows, deduplicated per (source, consumer thread) — the
+	// paper's redundant flow elimination.
+	dataQ map[flowKey][]int
+	syncQ map[flowKey]int
+	ctrlQ map[flowKey]int
+
+	// Per-thread structures.
+	relevant []map[int]bool      // thread -> cfg block idx -> relevant
+	needBr   []map[*ir.Instr]int // thread -> needed foreign branch -> queue
+	threads  []*ir.Function
+	copies   []map[int]*ir.Block // thread -> cfg block idx -> copy
+
+	// Main-thread extras.
+	outsideCopy map[*ir.Block]*ir.Block
+	exitSplit   map[*ir.Block]*ir.Block
+
+	initialQ map[regThread]int // live-in reg flows
+	finalQ   map[regThread]int // live-out reg flows
+	masterQ  map[int]int       // §3 master queue per aux thread
+
+	opts SplitOptions
+}
+
+type flowKey struct {
+	src *ir.Instr
+	to  int
+}
+
+type regThread struct {
+	reg ir.Reg
+	t   int
+}
+
+// Split performs §2.2.3 (code splitting) and §2.2.4 (flow insertion) for a
+// validated partitioning.
+func Split(g *dep.Graph, p *Partitioning) (*Transformed, error) {
+	return SplitOpt(g, p, SplitOptions{})
+}
+
+// SplitOpt is Split with code-generation options.
+func SplitOpt(g *dep.Graph, p *Partitioning, opts SplitOptions) (*Transformed, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	s := &splitter{
+		g:           g,
+		p:           p,
+		f:           g.Fn,
+		c:           g.CFG,
+		l:           g.Loop,
+		pdom:        g.CFG.PostDominators(),
+		dataQ:       map[flowKey][]int{},
+		syncQ:       map[flowKey]int{},
+		ctrlQ:       map[flowKey]int{},
+		initialQ:    map[regThread]int{},
+		finalQ:      map[regThread]int{},
+		masterQ:     map[int]int{},
+		outsideCopy: map[*ir.Block]*ir.Block{},
+		exitSplit:   map[*ir.Block]*ir.Block{},
+		opts:        opts,
+	}
+	for _, bi := range s.l.BlockList {
+		if t := s.c.Blocks[bi].Terminator(); t != nil && t.Op == ir.OpRet {
+			return nil, fmt.Errorf("dswp: ret inside loop is not supported")
+		}
+	}
+	s.collectLoopFlows()
+	s.computeRelevance()
+	s.collectControlFlows()
+	s.collectBoundaryFlows()
+	if err := s.emit(); err != nil {
+		return nil, err
+	}
+	tr := &Transformed{
+		Original:  s.f,
+		Threads:   s.threads,
+		Partition: p,
+		Flows:     s.flows,
+		NumQueues: s.nextQueue,
+	}
+	for _, th := range tr.Threads {
+		// Post-split cleanup, as §2.2.3 anticipates ("subsequent code
+		// layout optimizations"): thread the jump chains the retargeting
+		// step leaves behind and drop unreachable blocks.
+		ir.SimplifyCFG(th)
+		if err := th.Verify(); err != nil {
+			return nil, fmt.Errorf("dswp: emitted invalid thread: %w", err)
+		}
+	}
+	return tr, nil
+}
+
+func (s *splitter) newQueue() int {
+	q := s.nextQueue
+	s.nextQueue++
+	return q
+}
+
+// collectLoopFlows walks the dependence arcs and allocates queues for
+// cross-thread data and memory-sync dependences. A sync flow is dropped
+// when a data flow with the same (source, consumer) exists: the data value
+// already orders the consumer after the source (redundant flow
+// elimination).
+func (s *splitter) collectLoopFlows() {
+	// Deterministic order: sort arcs by (source ID, target thread).
+	arcs := append([]dep.Arc(nil), s.g.Arcs...)
+	sort.SliceStable(arcs, func(i, j int) bool {
+		if arcs[i].From.ID != arcs[j].From.ID {
+			return arcs[i].From.ID < arcs[j].From.ID
+		}
+		return s.p.PartitionOf(arcs[i].To) < s.p.PartitionOf(arcs[j].To)
+	})
+	for _, a := range arcs {
+		pf, pt := s.p.PartitionOf(a.From), s.p.PartitionOf(a.To)
+		if pf == pt {
+			continue
+		}
+		if pf > pt {
+			// Validate() precludes this for SCC-crossing arcs.
+			panic("dswp: backward dependence between partitions")
+		}
+		key := flowKey{a.From, pt}
+		switch a.Kind {
+		case dep.ArcData:
+			if len(s.dataQ[key]) == 0 || s.opts.NoRedundantFlowElim {
+				q := s.newQueue()
+				s.dataQ[key] = append(s.dataQ[key], q)
+				s.flows = append(s.flows, Flow{
+					Queue: q, Kind: FlowData, Pos: FlowLoop,
+					Source: a.From, Reg: a.From.Dst, From: pf, To: pt,
+				})
+			}
+		case dep.ArcMemory:
+			if _, ok := s.syncQ[key]; !ok {
+				s.syncQ[key] = -1 // queue assigned later unless subsumed
+			}
+		case dep.ArcControl:
+			// Handled via the relevant-block closure, which needs the
+			// full relation (including branch needs that have no direct
+			// arc into the thread).
+		case dep.ArcOutput:
+			panic("dswp: output dependence crossing partitions")
+		}
+	}
+	// Materialize sync queues not subsumed by a data flow.
+	keys := make([]flowKey, 0, len(s.syncQ))
+	for k := range s.syncQ {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].src.ID != keys[j].src.ID {
+			return keys[i].src.ID < keys[j].src.ID
+		}
+		return keys[i].to < keys[j].to
+	})
+	for _, k := range keys {
+		if _, ok := s.dataQ[k]; ok {
+			delete(s.syncQ, k)
+			continue
+		}
+		q := s.newQueue()
+		s.syncQ[k] = q
+		s.flows = append(s.flows, Flow{
+			Queue: q, Kind: FlowSync, Pos: FlowLoop,
+			Source: k.src, Reg: ir.NoReg, From: s.p.PartitionOf(k.src), To: k.to,
+		})
+	}
+}
+
+// computeRelevance computes each thread's relevant basic blocks (§2.2.3
+// step 1): blocks holding its instructions, blocks holding sources of
+// dependences entering it (where consumes are placed), the loop header
+// (each iteration's entry point), closed under the extended control
+// dependence relation so the thread can replicate the branch decisions
+// those blocks depend on.
+func (s *splitter) computeRelevance() {
+	n := s.p.N
+	s.relevant = make([]map[int]bool, n)
+	s.needBr = make([]map[*ir.Instr]int, n)
+	for t := 0; t < n; t++ {
+		rel := map[int]bool{s.l.Header: true}
+		for _, in := range s.g.Instrs {
+			if s.p.PartitionOf(in) == t {
+				rel[s.c.Index[in.Block]] = true
+			}
+		}
+		addSrc := func(key flowKey) {
+			if key.to == t {
+				rel[s.c.Index[key.src.Block]] = true
+			}
+		}
+		for k := range s.dataQ {
+			addSrc(k)
+		}
+		for k := range s.syncQ {
+			addSrc(k)
+		}
+		// Closure over block-level control dependence.
+		work := make([]int, 0, len(rel))
+		for bi := range rel {
+			work = append(work, bi)
+		}
+		for len(work) > 0 {
+			bi := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, ab := range s.g.BlockCD[bi] {
+				if !rel[ab] {
+					rel[ab] = true
+					work = append(work, ab)
+				}
+			}
+		}
+		s.relevant[t] = rel
+		s.needBr[t] = map[*ir.Instr]int{}
+	}
+}
+
+// collectControlFlows allocates branch-flag queues: thread t needs branch
+// X when a relevant block of t is control dependent on X and X is assigned
+// elsewhere.
+func (s *splitter) collectControlFlows() {
+	for t := 0; t < s.p.N; t++ {
+		needed := map[*ir.Instr]bool{}
+		for bi := range s.relevant[t] {
+			for _, ab := range s.g.BlockCD[bi] {
+				if br := s.c.Blocks[ab].Terminator(); br != nil && br.Op == ir.OpBranch {
+					if s.p.PartitionOf(br) != t {
+						needed[br] = true
+					}
+				}
+			}
+		}
+		brs := make([]*ir.Instr, 0, len(needed))
+		for br := range needed {
+			brs = append(brs, br)
+		}
+		sort.Slice(brs, func(i, j int) bool { return brs[i].ID < brs[j].ID })
+		for _, br := range brs {
+			q := s.newQueue()
+			s.needBr[t][br] = q
+			s.ctrlQ[flowKey{br, t}] = q
+			s.flows = append(s.flows, Flow{
+				Queue: q, Kind: FlowControl, Pos: FlowLoop,
+				Source: br, Reg: ir.NoReg, From: s.p.PartitionOf(br), To: t,
+			})
+		}
+	}
+}
+
+// collectBoundaryFlows allocates initial (live-in) and final (live-out)
+// flows (§2.2.4 positions 2 and 3).
+func (s *splitter) collectBoundaryFlows() {
+	for _, r := range s.g.LiveInRegs() {
+		needs := map[int]bool{}
+		for _, u := range s.g.LiveInUses[r] {
+			if t := s.p.PartitionOf(u); t > 0 {
+				needs[t] = true
+			}
+		}
+		for t := 1; t < s.p.N; t++ {
+			if !needs[t] {
+				continue
+			}
+			q := s.newQueue()
+			s.initialQ[regThread{r, t}] = q
+			s.flows = append(s.flows, Flow{
+				Queue: q, Kind: FlowData, Pos: FlowInitial, Reg: r, From: 0, To: t,
+			})
+		}
+	}
+	for _, r := range s.g.LiveOutRegs() {
+		defs := s.g.LiveOutDefs[r]
+		if len(defs) == 0 {
+			continue
+		}
+		t := s.p.PartitionOf(defs[0])
+		for _, d := range defs[1:] {
+			if s.p.PartitionOf(d) != t {
+				panic("dswp: live-out definitions scattered across threads")
+			}
+		}
+		if t <= 0 {
+			continue // defined in the main thread: no flow needed
+		}
+		q := s.newQueue()
+		s.finalQ[regThread{r, t}] = q
+		s.flows = append(s.flows, Flow{
+			Queue: q, Kind: FlowData, Pos: FlowFinal, Reg: r, From: t, To: 0,
+		})
+		// The owning thread may define r only on some paths (or on no
+		// iteration at all); its final produce must then forward the
+		// register's pre-loop value, so deliver it as an initial flow.
+		if _, ok := s.initialQ[regThread{r, t}]; !ok {
+			iq := s.newQueue()
+			s.initialQ[regThread{r, t}] = iq
+			s.flows = append(s.flows, Flow{
+				Queue: iq, Kind: FlowData, Pos: FlowInitial, Reg: r, From: 0, To: t,
+			})
+		}
+	}
+	if s.opts.MasterLoop {
+		for t := 1; t < s.p.N; t++ {
+			q := s.newQueue()
+			s.masterQ[t] = q
+			s.flows = append(s.flows, Flow{
+				Queue: q, Kind: FlowControl, Pos: FlowInitial, Reg: ir.NoReg, From: 0, To: t,
+			})
+		}
+	}
+}

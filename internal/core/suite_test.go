@@ -1,0 +1,119 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"dswp/internal/interp"
+	"dswp/internal/profile"
+	"dswp/internal/workloads"
+)
+
+// TestDSWPSuiteEquivalence applies automatic DSWP to every Table 1
+// workload and validates memory + live-out equivalence of the pipeline —
+// the end-to-end correctness statement of the reproduction.
+func TestDSWPSuiteEquivalence(t *testing.T) {
+	for _, wb := range workloads.Table1Suite() {
+		t.Run(wb.Name, func(t *testing.T) {
+			p := wb.Build()
+			prof, err := profile.Collect(p.F, p.Options())
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr, err := Apply(p.F, p.LoopHeader, prof, Config{SkipProfitability: true})
+			if err != nil {
+				t.Fatalf("Apply: %v", err)
+			}
+			if len(tr.Threads) != 2 {
+				t.Fatalf("%d threads, want 2", len(tr.Threads))
+			}
+			runBoth(t, p, tr)
+		})
+	}
+}
+
+// TestDSWPCaseStudyVariants transforms the §5 variants that are supposed
+// to transform, and checks gzip bails.
+func TestDSWPCaseStudyVariants(t *testing.T) {
+	for _, wb := range workloads.CaseStudies() {
+		t.Run(wb.Name, func(t *testing.T) {
+			p := wb.Build()
+			prof, err := profile.Collect(p.F, p.Options())
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr, err := Apply(p.F, p.LoopHeader, prof, Config{SkipProfitability: true})
+			switch wb.Name {
+			case "164.gzip":
+				if !errors.Is(err, ErrSingleSCC) {
+					t.Fatalf("gzip: err = %v, want ErrSingleSCC", err)
+				}
+				return
+			case "adpcmdec-spurious":
+				// The giant SCC (the §5.2 hyperblock regime) leaves no
+				// balanced cut; the heuristic correctly gives up.
+				if !errors.Is(err, ErrUnprofitable) {
+					t.Fatalf("spurious: err = %v, want ErrUnprofitable", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Apply: %v", err)
+			}
+			runBoth(t, p, tr)
+		})
+	}
+}
+
+// TestHeuristicProfitableOnSuite checks that the automatic pipeline (with
+// the profitability gate active) accepts the bulk of the Table 1 loops, as
+// in the paper ("DSWP is generally applicable").
+func TestHeuristicProfitableOnSuite(t *testing.T) {
+	accepted := 0
+	for _, wb := range workloads.Table1Suite() {
+		p := wb.Build()
+		prof, err := profile.Collect(p.F, p.Options())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Apply(p.F, p.LoopHeader, prof, Config{}); err == nil {
+			accepted++
+		} else {
+			t.Logf("%s: %v", p.Name, err)
+		}
+	}
+	if accepted < 7 {
+		t.Errorf("profitability gate accepted only %d/10 loops", accepted)
+	}
+}
+
+// TestDSWPTracesBalanced sanity-checks that both threads do real work on a
+// few representative loops (the point of the load-balance heuristic).
+func TestDSWPTracesBalanced(t *testing.T) {
+	for _, name := range []string{"181.mcf", "256.bzip2", "wc"} {
+		var wb workloads.Builder
+		for _, w := range workloads.Table1Suite() {
+			if w.Name == name {
+				wb = w
+			}
+		}
+		p := wb.Build()
+		prof, err := profile.Collect(p.F, p.Options())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := Apply(p.F, p.LoopHeader, prof, Config{SkipProfitability: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := p.Options()
+		res, err := interp.RunThreads(tr.Threads, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s0, s1 := res.Threads[0].Steps, res.Threads[1].Steps
+		if s0 == 0 || s1 == 0 {
+			t.Errorf("%s: thread steps %d/%d — a stage is empty", name, s0, s1)
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package dep
+
+import (
+	"dswp/internal/cfg"
+)
+
+// buildControlArcs computes the paper's extended control dependence
+// relation. Standard control dependence misses *loop-iteration* control
+// dependences — a branch deciding whether the next iteration executes
+// controls every instruction of that next iteration (§2.3.1, Figure 4).
+// Following the paper, we conceptually peel one iteration: build a CFG
+// with two copies of the loop body (copy0 = first iteration, copy1 =
+// steady state, with copy1 looping onto itself), compute standard control
+// dependence on it, then coalesce the copies.
+func (g *Graph) buildControlArcs() {
+	l := g.Loop
+	c := g.CFG
+	m := len(l.BlockList)
+	pos := map[int]int{} // CFG block index -> position within loop
+	for i, bi := range l.BlockList {
+		pos[bi] = i
+	}
+
+	// Peeled node numbering.
+	const entry = 0
+	copy0 := func(p int) int { return 1 + p }
+	copy1 := func(p int) int { return 1 + m + p }
+	exitNode := 1 + 2*m
+	n := exitNode + 1
+
+	succ := make([][]int, n)
+	pred := make([][]int, n)
+	addEdge := func(u, v int) {
+		succ[u] = append(succ[u], v)
+		pred[v] = append(pred[v], u)
+	}
+
+	addEdge(entry, copy0(pos[l.Header]))
+	for _, bi := range l.BlockList {
+		p := pos[bi]
+		for _, s := range c.Succ[bi] {
+			switch {
+			case s == l.Header:
+				addEdge(copy0(p), copy1(pos[s]))
+				addEdge(copy1(p), copy1(pos[s]))
+			case s < len(c.Blocks) && l.Contains(s):
+				addEdge(copy0(p), copy0(pos[s]))
+				addEdge(copy1(p), copy1(pos[s]))
+			default:
+				addEdge(copy0(p), exitNode)
+				addEdge(copy1(p), exitNode)
+			}
+		}
+	}
+	// Safety: nodes that cannot reach the exit would leave postdominance
+	// partial (infinite loops); tie them to the exit.
+	reach := make([]bool, n)
+	stack := []int{exitNode}
+	reach[exitNode] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range pred[u] {
+			if !reach[p] {
+				reach[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	for u := 0; u < n; u++ {
+		if !reach[u] {
+			addEdge(u, exitNode)
+		}
+	}
+
+	pdom := cfg.BuildDomTree("peeled-postdom", n, exitNode,
+		func(u int) []int { return pred[u] },
+		func(u int) []int { return succ[u] })
+
+	// Standard FOW control dependence on the peeled graph.
+	type cdPair struct{ x, a int }
+	cd := map[cdPair]bool{}
+	for a := 0; a < n; a++ {
+		if len(succ[a]) < 2 {
+			continue
+		}
+		for _, b := range succ[a] {
+			if pdom.Dominates(b, a) {
+				continue
+			}
+			stop := pdom.IDom[a]
+			for x := b; x != stop && x != -1; x = pdom.IDom[x] {
+				cd[cdPair{x, a}] = true
+				if pdom.IDom[x] == x {
+					break
+				}
+			}
+		}
+	}
+
+	// Coalesce the two copies back onto loop blocks. An arc is carried
+	// only if every witnessing pair crosses copies.
+	orig := func(node int) (int, int, bool) { // -> (cfg block, copy id, ok)
+		switch {
+		case node >= 1 && node < 1+m:
+			return l.BlockList[node-1], 0, true
+		case node >= 1+m && node < 1+2*m:
+			return l.BlockList[node-1-m], 1, true
+		}
+		return -1, -1, false
+	}
+	g.BlockCD = map[int][]int{}
+	g.blockCDCarried = map[int]map[int]bool{}
+	sameCopy := map[[2]int]bool{}
+	crossCopy := map[[2]int]bool{}
+	for pair := range cd {
+		xb, xc, ok1 := orig(pair.x)
+		ab, ac, ok2 := orig(pair.a)
+		if !ok1 || !ok2 {
+			continue
+		}
+		key := [2]int{xb, ab}
+		if xc == ac {
+			sameCopy[key] = true
+		} else {
+			crossCopy[key] = true
+		}
+	}
+	seen := map[[2]int]bool{}
+	record := func(key [2]int) {
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		g.BlockCD[key[0]] = append(g.BlockCD[key[0]], key[1])
+	}
+	for key := range sameCopy {
+		record(key)
+	}
+	for key := range crossCopy {
+		record(key)
+	}
+	g.blockCDCarried = map[int]map[int]bool{}
+	for key := range crossCopy {
+		if g.blockCDCarried[key[0]] == nil {
+			g.blockCDCarried[key[0]] = map[int]bool{}
+		}
+		g.blockCDCarried[key[0]][key[1]] = true
+	}
+	// Deterministic order.
+	for b := range g.BlockCD {
+		insertionSortInts(g.BlockCD[b])
+	}
+
+	// Lower to instruction-level arcs: the branch of A controls every
+	// instruction of B. When both a same-iteration and a cross-iteration
+	// witness exist in the peeled graph, emit both arcs, mirroring how
+	// data arcs distinguish intra from carried.
+	for _, xb := range l.BlockList {
+		for _, ab := range g.BlockCD[xb] {
+			br := g.branchOf(ab)
+			if br == nil {
+				continue
+			}
+			intra := sameCopy[[2]int{xb, ab}]
+			carried := crossCopy[[2]int{xb, ab}]
+			for _, in := range c.Blocks[xb].Instrs {
+				if in == br {
+					continue
+				}
+				if _, ok := g.IndexOf[in]; !ok {
+					continue // jumps are not dependence-graph nodes
+				}
+				if intra {
+					g.addArc(Arc{From: br, To: in, Kind: ArcControl})
+				}
+				if carried {
+					g.addArc(Arc{From: br, To: in, Kind: ArcControl, Carried: true})
+				}
+			}
+		}
+	}
+}
+
+// buildConditionalControlArcs adds the §2.3.2 arcs: for a data dependence
+// D -> U where D is control dependent on branch B, an arc B -> U tells the
+// partitioner that U's thread must also receive B's direction, so the
+// consumer knows *when* to take a new value. (These arcs are implied
+// transitively by B -> D -> U, but we materialize them as the paper does.)
+func (g *Graph) buildConditionalControlArcs() {
+	type pair struct{ from, to int }
+	have := map[pair]bool{}
+	for _, a := range g.Arcs {
+		if a.Kind == ArcControl {
+			have[pair{g.IndexOf[a.From], g.IndexOf[a.To]}] = true
+		}
+	}
+	var add []Arc
+	for _, a := range g.Arcs {
+		if a.Kind != ArcData {
+			continue
+		}
+		db := g.CFG.Index[a.From.Block]
+		for _, ab := range g.BlockCD[db] {
+			br := g.branchOf(ab)
+			if br == nil || br == a.To {
+				continue
+			}
+			key := pair{g.IndexOf[br], g.IndexOf[a.To]}
+			if have[key] {
+				continue
+			}
+			have[key] = true
+			add = append(add, Arc{From: br, To: a.To, Kind: ArcControl, Conditional: true})
+		}
+	}
+	g.Arcs = append(g.Arcs, add...)
+}
+
+func insertionSortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

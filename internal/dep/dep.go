@@ -1,0 +1,234 @@
+// Package dep builds the loop dependence graph DSWP partitions: register
+// data dependences (intra-iteration and loop-carried, true dependences
+// only), control dependences extended with the paper's loop-iteration
+// control dependences (§2.3.1) and conditional control dependences
+// (§2.3.2), memory dependences from an object-granular alias oracle, and
+// the live-in/live-out bookkeeping the flow inserter needs (§2.2.4).
+package dep
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dswp/internal/cfg"
+	"dswp/internal/graph"
+	"dswp/internal/ir"
+)
+
+// ArcKind classifies dependence arcs.
+type ArcKind uint8
+
+const (
+	// ArcData is a register true (flow) dependence.
+	ArcData ArcKind = iota
+	// ArcControl is a control dependence (branch to controlled
+	// instruction), including loop-iteration and conditional ones.
+	ArcControl
+	// ArcMemory is a memory (or call-ordering) dependence.
+	ArcMemory
+	// ArcOutput is a register output dependence, used only to force
+	// multiple definitions of a live-out register into one SCC (§2.3.2).
+	ArcOutput
+)
+
+func (k ArcKind) String() string {
+	switch k {
+	case ArcData:
+		return "data"
+	case ArcControl:
+		return "control"
+	case ArcMemory:
+		return "memory"
+	case ArcOutput:
+		return "output"
+	}
+	return "?"
+}
+
+// Arc is one dependence: From must execute before (or be visible to) To.
+type Arc struct {
+	From, To *ir.Instr
+	Kind     ArcKind
+	// Carried marks inter-iteration (loop-carried) dependences; drawn
+	// dashed in the paper's figures.
+	Carried bool
+	// Reg is the register carrying a data/output dependence.
+	Reg ir.Reg
+	// Conditional marks the extra branch-to-consumer arcs of §2.3.2.
+	Conditional bool
+}
+
+// Graph is the dependence graph of one loop.
+type Graph struct {
+	Fn   *ir.Function
+	CFG  *cfg.CFG
+	Loop *cfg.Loop
+
+	// Instrs lists the loop's instructions in layout order; IndexOf is
+	// the inverse.
+	Instrs  []*ir.Instr
+	IndexOf map[*ir.Instr]int
+
+	Arcs []Arc
+
+	// LiveInUses maps each loop live-in register to the loop
+	// instructions that may read its pre-loop value.
+	LiveInUses map[ir.Reg][]*ir.Instr
+	// LiveOutDefs maps each loop live-out register to its definitions
+	// inside the loop.
+	LiveOutDefs map[ir.Reg][]*ir.Instr
+
+	// BlockCD maps each loop block (CFG index) to the loop blocks whose
+	// terminating branches it is control dependent on, under the peeled
+	// (loop-iteration aware) relation.
+	BlockCD map[int][]int
+	// blockCDCarried[b][a] reports that b's dependence on a arises only
+	// across iterations.
+	blockCDCarried map[int]map[int]bool
+}
+
+// Options tunes graph construction.
+type Options struct {
+	// ConservativeMemory makes every memory access pair alias (the
+	// epicdec case study's "false memory dependences, conservatively
+	// inserted" mode).
+	ConservativeMemory bool
+	// NoConditionalControlArcs drops the §2.3.2 arcs; used by tests to
+	// demonstrate they are subsumed by transitivity, and by ablations.
+	NoConditionalControlArcs bool
+}
+
+// Build constructs the dependence graph for loop l of f.
+func Build(f *ir.Function, c *cfg.CFG, l *cfg.Loop, opts Options) (*Graph, error) {
+	if l.Preheader < 0 {
+		return nil, fmt.Errorf("dep: loop at %s has no preheader", c.Blocks[l.Header].Name)
+	}
+	g := &Graph{
+		Fn:          f,
+		CFG:         c,
+		Loop:        l,
+		IndexOf:     map[*ir.Instr]int{},
+		LiveInUses:  map[ir.Reg][]*ir.Instr{},
+		LiveOutDefs: map[ir.Reg][]*ir.Instr{},
+	}
+	for _, bi := range l.BlockList {
+		for _, in := range c.Blocks[bi].Instrs {
+			// Unconditional jumps carry no dependences and are not
+			// partitioned: the splitter regenerates each thread's
+			// unconditional control flow from block relevance (§2.2.3
+			// step 4). Conditional branches stay — they are the sources
+			// of control dependences and get duplicated across threads.
+			if in.Op == ir.OpJump {
+				continue
+			}
+			g.IndexOf[in] = len(g.Instrs)
+			g.Instrs = append(g.Instrs, in)
+		}
+	}
+	if len(g.Instrs) == 0 {
+		return nil, fmt.Errorf("dep: loop at %s is empty", c.Blocks[l.Header].Name)
+	}
+
+	g.buildDataArcs()
+	g.buildControlArcs()
+	if !opts.NoConditionalControlArcs {
+		g.buildConditionalControlArcs()
+	}
+	g.buildMemoryArcs(opts)
+	g.buildLiveOutForcing()
+	return g, nil
+}
+
+// addArc appends an arc between two loop instructions.
+func (g *Graph) addArc(a Arc) {
+	if _, ok := g.IndexOf[a.From]; !ok {
+		panic("dep: arc source outside loop")
+	}
+	if _, ok := g.IndexOf[a.To]; !ok {
+		panic("dep: arc target outside loop")
+	}
+	g.Arcs = append(g.Arcs, a)
+}
+
+// InstrGraph lowers the dependence graph to a plain digraph over loop
+// instruction indices, for SCC computation.
+func (g *Graph) InstrGraph() *graph.Graph {
+	ig := graph.New(len(g.Instrs))
+	for _, a := range g.Arcs {
+		ig.AddEdge(g.IndexOf[a.From], g.IndexOf[a.To])
+	}
+	ig.Dedup()
+	return ig
+}
+
+// Condense computes the DAG_SCC of the loop (paper Figure 2(c)).
+func (g *Graph) Condense() *graph.Condensation {
+	return g.InstrGraph().Condense()
+}
+
+// LiveInRegs returns the loop's live-in registers, sorted.
+func (g *Graph) LiveInRegs() []ir.Reg {
+	return sortedRegs(g.LiveInUses)
+}
+
+// LiveOutRegs returns the loop's live-out registers, sorted.
+func (g *Graph) LiveOutRegs() []ir.Reg {
+	return sortedRegs(g.LiveOutDefs)
+}
+
+func sortedRegs[V any](m map[ir.Reg]V) []ir.Reg {
+	regs := make([]ir.Reg, 0, len(m))
+	for r := range m {
+		regs = append(regs, r)
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i] < regs[j] })
+	return regs
+}
+
+// ArcsBetween returns the arcs from a to b (tests and debugging).
+func (g *Graph) ArcsBetween(a, b *ir.Instr) []Arc {
+	var out []Arc
+	for _, arc := range g.Arcs {
+		if arc.From == a && arc.To == b {
+			out = append(out, arc)
+		}
+	}
+	return out
+}
+
+// HasArc reports whether an arc a -> b of the given kind exists.
+func (g *Graph) HasArc(a, b *ir.Instr, kind ArcKind) bool {
+	for _, arc := range g.Arcs {
+		if arc.From == a && arc.To == b && arc.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the arcs, one per line, for debugging.
+func (g *Graph) String() string {
+	var b strings.Builder
+	for _, a := range g.Arcs {
+		flags := ""
+		if a.Carried {
+			flags += " carried"
+		}
+		if a.Conditional {
+			flags += " conditional"
+		}
+		fmt.Fprintf(&b, "%-30s -> %-30s [%s%s]\n", a.From, a.To, a.Kind, flags)
+	}
+	return b.String()
+}
+
+// branchOf returns the terminating branch of CFG block bi, or nil when the
+// block ends in a jump/fallthrough (which generate no control dependence).
+func (g *Graph) branchOf(bi int) *ir.Instr {
+	t := g.CFG.Blocks[bi].Terminator()
+	if t != nil && t.Op == ir.OpBranch {
+		return t
+	}
+	return nil
+}

@@ -1,0 +1,481 @@
+package dep
+
+import (
+	"testing"
+
+	"dswp/internal/cfg"
+	"dswp/internal/ir"
+)
+
+// buildFig2 reproduces the paper's Figure 2(a): a loop over a list of
+// lists summing all element values. Node layout: outer node = {0: next,
+// 1: inner head}; inner node = {0: next, 1: value}. Instruction letters
+// match the paper.
+//
+//	BB2: A: p1 = r1 == 0      B: br p1, BB7
+//	BB3: C: r2 = M[r1+1]
+//	BB4: D: p2 = r2 == 0      E: br p2, BB6
+//	BB5: F: r3 = M[r2+1]      G: r10 += r3   H: r2 = M[r2]   I: jump BB4
+//	BB6: J: r1 = M[r1+0]      K: jump BB2
+func buildFig2(t testing.TB) (f *ir.Function, named map[string]*ir.Instr) {
+	t.Helper()
+	b := ir.NewBuilder("fig2")
+	outer := b.F.AddObject("outer", 64)
+	inner := b.F.AddObject("inner", 64)
+
+	bb1 := b.Block("BB1") // preheader
+	bb2 := b.F.NewBlock("BB2")
+	bb3 := b.F.NewBlock("BB3")
+	bb4 := b.F.NewBlock("BB4")
+	bb5 := b.F.NewBlock("BB5")
+	bb6 := b.F.NewBlock("BB6")
+	bb7 := b.F.NewBlock("BB7")
+
+	r1, r2, r3, r10 := ir.Reg(1), ir.Reg(2), ir.Reg(3), ir.Reg(10)
+	for _, r := range []ir.Reg{r1, r2, r3, r10} {
+		b.F.NoteReg(r)
+	}
+
+	b.SetBlock(bb1)
+	b.ConstTo(r1, 16) // head of outer list
+	b.ConstTo(r10, 0)
+	zero := b.Const(0)
+	b.Jump(bb2)
+
+	named = map[string]*ir.Instr{}
+	b.SetBlock(bb2)
+	named["A"] = b.BinTo(ir.OpCmpEQ, b.F.NewReg(), r1, zero)
+	named["B"] = b.Br(named["A"].Dst, bb7, bb3)
+
+	b.SetBlock(bb3)
+	named["C"] = b.LoadTo(r2, r1, 1, outer)
+	named["C"].Field = 1
+	b.Jump(bb4)
+
+	b.SetBlock(bb4)
+	named["D"] = b.BinTo(ir.OpCmpEQ, b.F.NewReg(), r2, zero)
+	named["E"] = b.Br(named["D"].Dst, bb6, bb5)
+
+	b.SetBlock(bb5)
+	named["F"] = b.LoadTo(r3, r2, 1, inner)
+	named["F"].Field = 1
+	named["G"] = b.AddTo(r10, r10, r3)
+	named["H"] = b.LoadTo(r2, r2, 0, inner)
+	named["H"].Field = 0
+	named["I"] = b.Jump(bb4)
+
+	b.SetBlock(bb6)
+	named["J"] = b.LoadTo(r1, r1, 0, outer)
+	named["J"].Field = 0
+	named["K"] = b.Jump(bb2)
+
+	b.SetBlock(bb7)
+	b.Ret()
+
+	b.F.LiveOuts = []ir.Reg{r10}
+	b.F.MustVerify()
+	return b.F, named
+}
+
+func buildFig2Graph(t testing.TB, opts Options) (*Graph, map[string]*ir.Instr) {
+	t.Helper()
+	f, named := buildFig2(t)
+	c, l, err := cfg.LoopForHeader(f, "BB2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Build(f, c, l, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, named
+}
+
+func sccOf(t testing.TB, g *Graph) map[*ir.Instr]int {
+	t.Helper()
+	cond := g.Condense()
+	m := map[*ir.Instr]int{}
+	for in, i := range g.IndexOf {
+		m[in] = cond.CompOf[i]
+	}
+	return m
+}
+
+func TestFig2NodeSet(t *testing.T) {
+	g, named := buildFig2Graph(t, Options{})
+	// 11 lettered instructions minus jumps I and K = 9 dependence nodes.
+	if len(g.Instrs) != 9 {
+		t.Fatalf("got %d nodes, want 9: %v", len(g.Instrs), g.Instrs)
+	}
+	for _, jmp := range []string{"I", "K"} {
+		if _, ok := g.IndexOf[named[jmp]]; ok {
+			t.Errorf("jump %s must not be a dependence node", jmp)
+		}
+	}
+}
+
+// TestFig2SCCs checks the exact recurrence structure the paper reports:
+// five SCCs — {A,B,J} (outer pointer chase), {C}, {D,E,H} (inner pointer
+// chase), {F}, {G} (accumulator).
+func TestFig2SCCs(t *testing.T) {
+	g, n := buildFig2Graph(t, Options{})
+	cond := g.Condense()
+	if got := len(cond.Comps); got != 5 {
+		t.Fatalf("got %d SCCs, want 5\narcs:\n%s", got, g)
+	}
+	scc := sccOf(t, g)
+	same := func(a, b string) bool { return scc[n[a]] == scc[n[b]] }
+	for _, pair := range [][2]string{{"A", "B"}, {"B", "J"}, {"D", "E"}, {"E", "H"}} {
+		if !same(pair[0], pair[1]) {
+			t.Errorf("%s and %s should share an SCC\narcs:\n%s", pair[0], pair[1], g)
+		}
+	}
+	for _, pair := range [][2]string{{"A", "C"}, {"C", "D"}, {"D", "F"}, {"F", "G"}, {"G", "A"}} {
+		if same(pair[0], pair[1]) {
+			t.Errorf("%s and %s must be in different SCCs", pair[0], pair[1])
+		}
+	}
+}
+
+func TestFig2DataArcs(t *testing.T) {
+	g, n := buildFig2Graph(t, Options{})
+	wantData := [][2]string{
+		{"J", "A"},             // r1
+		{"A", "B"},             // p1
+		{"J", "C"},             // r1 into inner-head load
+		{"C", "D"}, {"H", "D"}, // r2
+		{"C", "F"}, {"H", "F"},
+		{"C", "H"}, {"H", "H"},
+		{"F", "G"}, // r3
+		{"G", "G"}, // r10 accumulator (carried)
+		{"J", "J"}, // r1 chase (carried)
+	}
+	for _, w := range wantData {
+		if !g.HasArc(n[w[0]], n[w[1]], ArcData) {
+			t.Errorf("missing data arc %s -> %s\narcs:\n%s", w[0], w[1], g)
+		}
+	}
+	// The G self-arc must be loop-carried.
+	var found bool
+	for _, a := range g.ArcsBetween(n["G"], n["G"]) {
+		if a.Kind == ArcData && a.Carried {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("G -> G must be a carried data arc")
+	}
+}
+
+func TestFig2ControlArcs(t *testing.T) {
+	g, n := buildFig2Graph(t, Options{})
+	// Everything in the loop hangs off exit branch B (standard +
+	// loop-iteration CD); inner-loop blocks also hang off E.
+	wantCtrl := [][2]string{
+		{"B", "C"}, {"B", "D"}, {"B", "J"}, {"B", "A"},
+		{"E", "F"}, {"E", "G"}, {"E", "H"}, {"E", "D"},
+	}
+	for _, w := range wantCtrl {
+		if !g.HasArc(n[w[0]], n[w[1]], ArcControl) {
+			t.Errorf("missing control arc %s -> %s\narcs:\n%s", w[0], w[1], g)
+		}
+	}
+	// B -> A is the loop-iteration control dependence standard CD misses:
+	// A's next-iteration execution depends on this iteration's B.
+	arcs := g.ArcsBetween(n["B"], n["A"])
+	carried := false
+	for _, a := range arcs {
+		if a.Kind == ArcControl && a.Carried {
+			carried = true
+		}
+	}
+	if !carried {
+		t.Errorf("B -> A should be a carried (loop-iteration) control dep, got %v", arcs)
+	}
+}
+
+func TestFig2NoMemoryArcs(t *testing.T) {
+	g, _ := buildFig2Graph(t, Options{})
+	for _, a := range g.Arcs {
+		if a.Kind == ArcMemory {
+			t.Fatalf("unexpected memory arc %v -> %v (loop has only loads)", a.From, a.To)
+		}
+	}
+}
+
+func TestFig2LiveInsAndOuts(t *testing.T) {
+	g, n := buildFig2Graph(t, Options{})
+	liveIns := g.LiveInRegs()
+	// r1 (list head), r10 (sum init) and the zero register are live-in.
+	wantIn := map[ir.Reg]bool{1: true, 10: true}
+	for _, r := range liveIns {
+		delete(wantIn, r)
+	}
+	if len(wantIn) != 0 {
+		t.Errorf("missing live-ins %v (got %v)", wantIn, liveIns)
+	}
+	outs := g.LiveOutRegs()
+	if len(outs) != 1 || outs[0] != ir.Reg(10) {
+		t.Errorf("live-outs = %v, want [r10]", outs)
+	}
+	defs := g.LiveOutDefs[ir.Reg(10)]
+	if len(defs) != 1 || defs[0] != n["G"] {
+		t.Errorf("live-out defs of r10 = %v, want [G]", defs)
+	}
+}
+
+func TestFig2ConservativeMemoryMergesLoads(t *testing.T) {
+	// Under conservative memory analysis there are still no *writes* in
+	// the loop, so even mode=conservative adds no arcs here (load/load
+	// pairs never conflict).
+	g, _ := buildFig2Graph(t, Options{ConservativeMemory: true})
+	for _, a := range g.Arcs {
+		if a.Kind == ArcMemory {
+			t.Fatalf("conservative mode must not add load/load arcs")
+		}
+	}
+}
+
+// buildPtrChase reproduces Figure 1's loop:
+//
+//	while (ptr = ptr->next) { ptr->val += 1 }
+//
+// header: J: r1 = M[r1+0]; A: p = r1==0; B: br p, exit, body
+// body:   F: r2 = M[r1+1]; G: r2 += 1; S: M[r1+1] = r2; jump header
+func buildPtrChase(t testing.TB, fieldSensitive bool) (*ir.Function, map[string]*ir.Instr) {
+	t.Helper()
+	b := ir.NewBuilder("ptrchase")
+	nodes := b.F.AddObject("nodes", 64)
+
+	pre := b.Block("pre")
+	header := b.F.NewBlock("header")
+	body := b.F.NewBlock("body")
+	exit := b.F.NewBlock("exit")
+
+	r1 := ir.Reg(1)
+	b.F.NoteReg(r1)
+	b.SetBlock(pre)
+	b.ConstTo(r1, 16)
+	zero := b.Const(0)
+	one := b.Const(1)
+	b.Jump(header)
+
+	n := map[string]*ir.Instr{}
+	b.SetBlock(header)
+	n["J"] = b.LoadTo(r1, r1, 0, nodes)
+	n["A"] = b.BinTo(ir.OpCmpEQ, b.F.NewReg(), r1, zero)
+	n["B"] = b.Br(n["A"].Dst, exit, body)
+
+	b.SetBlock(body)
+	r2 := b.F.NewReg()
+	n["F"] = b.LoadTo(r2, r1, 1, nodes)
+	n["G"] = b.AddTo(r2, r2, one)
+	n["S"] = b.Store(r2, r1, 1, nodes)
+	if fieldSensitive {
+		n["J"].Field = 0
+		n["F"].Field = 1
+		n["S"].Field = 1
+	}
+	b.Jump(header)
+
+	b.SetBlock(exit)
+	b.Ret()
+	b.F.MustVerify()
+	return b.F, n
+}
+
+// TestPtrChaseFieldSensitivity is the paper's key motivating structure:
+// with field-sensitive memory analysis the loop splits into the pointer
+// chase {J,A,B} and the body {F,G,S}; without it, the store to val may
+// alias the next-pointer load and everything collapses into one SCC,
+// making DSWP inapplicable.
+func TestPtrChaseFieldSensitivity(t *testing.T) {
+	build := func(fs bool) *Graph {
+		f, _ := buildPtrChase(t, fs)
+		c, l, err := cfg.LoopForHeader(f, "header")
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := Build(f, c, l, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	if got := len(build(true).Condense().Comps); got != 2 {
+		t.Errorf("field-sensitive: %d SCCs, want 2", got)
+	}
+	if got := len(build(false).Condense().Comps); got != 1 {
+		t.Errorf("field-insensitive: %d SCCs, want 1", got)
+	}
+}
+
+func TestPtrChaseMemoryArcs(t *testing.T) {
+	f, n := buildPtrChase(t, true)
+	c, l, err := cfg.LoopForHeader(f, "header")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Build(f, c, l, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// F (load val) and S (store val) may alias: symmetric arcs.
+	if !g.HasArc(n["F"], n["S"], ArcMemory) || !g.HasArc(n["S"], n["F"], ArcMemory) {
+		t.Errorf("F<->S memory arcs missing\n%s", g)
+	}
+	// J (load next) and S (store val) are field-disjoint: no arcs.
+	if g.HasArc(n["J"], n["S"], ArcMemory) || g.HasArc(n["S"], n["J"], ArcMemory) {
+		t.Errorf("J<->S memory arcs must not exist under field sensitivity")
+	}
+}
+
+func TestConditionalControlArcs(t *testing.T) {
+	// D defined under a branch, U used unconditionally afterwards:
+	// header: p = ...; br p -> (def | skip); join: U uses D's reg.
+	src := `func cond {
+  liveout r9
+pre:
+    r1 = const 0
+    r2 = const 10
+    r3 = const 1
+    r9 = const 0
+    jump header
+header:
+    r4 = and r1, r3
+    br r4, defblk, join
+defblk:
+    r9 = add r9, r3
+    jump join
+join:
+    r9 = add r9, r9
+    r1 = add r1, r3
+    r5 = cmplt r1, r2
+    br r5, header, out
+out:
+    ret
+}
+`
+	f := ir.MustParse(src)
+	c, l, err := cfg.LoopForHeader(f, "header")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Build(f, c, l, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defblk := f.BlockByName("defblk").Instrs[0] // D: r9 = add r9, r3
+	hdrBr := f.BlockByName("header").Terminator()
+	join := f.BlockByName("join").Instrs[0] // U: r9 = add r9, r9
+	if !g.HasArc(defblk, join, ArcData) {
+		t.Fatalf("missing data arc D -> U\n%s", g)
+	}
+	// The §2.3.2 arc: branch controlling D must also point at U.
+	foundCond := false
+	for _, a := range g.ArcsBetween(hdrBr, join) {
+		if a.Kind == ArcControl {
+			foundCond = true
+		}
+	}
+	if !foundCond {
+		t.Fatalf("missing conditional control arc B -> U\n%s", g)
+	}
+	// And with the option off, the SCC structure must be identical
+	// (the arcs are transitively implied).
+	g2, err := Build(f, c, l, Options{NoConditionalControlArcs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Condense().Comps) != len(g2.Condense().Comps) {
+		t.Errorf("conditional arcs changed SCC count: %d vs %d",
+			len(g.Condense().Comps), len(g2.Condense().Comps))
+	}
+}
+
+func TestLiveOutForcingMergesDefs(t *testing.T) {
+	// Two defs of live-out r9 on the two sides of a diamond: output
+	// arcs must force them into one SCC.
+	src := `func lo {
+  liveout r9
+pre:
+    r1 = const 0
+    r2 = const 10
+    r3 = const 1
+    r9 = const 0
+    jump header
+header:
+    r4 = and r1, r3
+    br r4, a, b
+a:
+    r9 = add r1, r3
+    jump join
+b:
+    r9 = sub r1, r3
+    jump join
+join:
+    r1 = add r1, r3
+    r5 = cmplt r1, r2
+    br r5, header, out
+out:
+    ret
+}
+`
+	f := ir.MustParse(src)
+	c, l, err := cfg.LoopForHeader(f, "header")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Build(f, c, l, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defA := f.BlockByName("a").Instrs[0]
+	defB := f.BlockByName("b").Instrs[0]
+	if len(g.LiveOutDefs[ir.Reg(9)]) != 2 {
+		t.Fatalf("live-out defs = %v, want 2", g.LiveOutDefs[ir.Reg(9)])
+	}
+	scc := sccOf(t, g)
+	if scc[defA] != scc[defB] {
+		t.Errorf("multiple live-out defs must share an SCC\n%s", g)
+	}
+	if !g.HasArc(defA, defB, ArcOutput) || !g.HasArc(defB, defA, ArcOutput) {
+		t.Errorf("symmetric output arcs missing")
+	}
+}
+
+func TestBuildRejectsLoopWithoutPreheader(t *testing.T) {
+	// Header with two outside predecessors -> no preheader.
+	src := `func np {
+e:
+    r1 = const 1
+    br r1, h, x
+x:
+    r2 = const 2
+    jump h
+h:
+    r3 = add r1, r1
+    br r3, h, out
+out:
+    ret
+}
+`
+	f := ir.MustParse(src)
+	c, l, err := cfg.LoopForHeader(f, "h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(f, c, l, Options{}); err == nil {
+		t.Fatal("expected preheader error")
+	}
+}
+
+func TestArcKindStrings(t *testing.T) {
+	if ArcData.String() != "data" || ArcControl.String() != "control" ||
+		ArcMemory.String() != "memory" || ArcOutput.String() != "output" {
+		t.Error("ArcKind strings wrong")
+	}
+	if ArcKind(99).String() != "?" {
+		t.Error("unknown ArcKind should be ?")
+	}
+}

@@ -1,0 +1,76 @@
+package dep
+
+import (
+	"fmt"
+	"strings"
+
+	"dswp/internal/graph"
+)
+
+// DOT renders the dependence graph in Graphviz format, with SCCs boxed as
+// clusters — the same presentation as the paper's Figure 2(b). Data arcs
+// are solid, control arcs bold, memory arcs dotted; loop-carried arcs are
+// dashed, as in the paper.
+func (g *Graph) DOT(cond *graph.Condensation) string {
+	var b strings.Builder
+	b.WriteString("digraph dswp {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n")
+	if cond == nil {
+		cond = g.Condense()
+	}
+	for ci, comp := range cond.Comps {
+		fmt.Fprintf(&b, "  subgraph cluster_scc%d {\n    label=\"SCC %d\";\n", ci, ci)
+		for _, v := range comp {
+			fmt.Fprintf(&b, "    n%d [label=%q];\n", v, g.Instrs[v].String())
+		}
+		b.WriteString("  }\n")
+	}
+	for _, a := range g.Arcs {
+		style := "solid"
+		color := "black"
+		switch a.Kind {
+		case ArcControl:
+			color = "blue"
+		case ArcMemory:
+			style = "dotted"
+			color = "red"
+		case ArcOutput:
+			color = "gray"
+		}
+		if a.Carried {
+			style = "dashed"
+		}
+		label := ""
+		if a.Kind == ArcData && a.Reg != -1 {
+			label = a.Reg.String()
+		}
+		fmt.Fprintf(&b, "  n%d -> n%d [style=%s, color=%s, label=%q];\n",
+			g.IndexOf[a.From], g.IndexOf[a.To], style, color, label)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// DAGDOT renders the DAG_SCC (Figure 2(c)) with per-SCC instruction counts
+// as in the paper's Figure 7.
+func (g *Graph) DAGDOT(cond *graph.Condensation, assign []int) string {
+	var b strings.Builder
+	b.WriteString("digraph dagscc {\n  rankdir=TB;\n  node [shape=circle];\n")
+	for ci, comp := range cond.Comps {
+		attrs := fmt.Sprintf("label=\"%d\"", len(comp))
+		if assign != nil && ci < len(assign) {
+			fill := "lightblue"
+			if assign[ci] > 0 {
+				fill = "lightsalmon"
+			}
+			attrs += fmt.Sprintf(", style=filled, fillcolor=%s", fill)
+		}
+		fmt.Fprintf(&b, "  s%d [%s];\n", ci, attrs)
+	}
+	for u := 0; u < cond.DAG.N(); u++ {
+		for _, v := range cond.DAG.Succs(u) {
+			fmt.Fprintf(&b, "  s%d -> s%d;\n", u, v)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

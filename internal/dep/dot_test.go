@@ -1,0 +1,61 @@
+package dep
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDOTContainsClustersAndArcs(t *testing.T) {
+	g, _ := buildFig2Graph(t, Options{})
+	cond := g.Condense()
+	dot := g.DOT(cond)
+	if !strings.HasPrefix(dot, "digraph dswp {") || !strings.HasSuffix(dot, "}\n") {
+		t.Fatal("malformed DOT envelope")
+	}
+	for i := range cond.Comps {
+		if !strings.Contains(dot, "cluster_scc"+itoa(i)) {
+			t.Errorf("missing cluster for SCC %d", i)
+		}
+	}
+	if !strings.Contains(dot, "style=dashed") {
+		t.Error("no carried (dashed) arcs rendered")
+	}
+	if !strings.Contains(dot, "color=blue") {
+		t.Error("no control arcs rendered")
+	}
+	// nil condensation computes its own.
+	if g.DOT(nil) == "" {
+		t.Error("DOT(nil) empty")
+	}
+}
+
+func TestDAGDOTPartitionColors(t *testing.T) {
+	g, _ := buildFig2Graph(t, Options{})
+	cond := g.Condense()
+	assign := make([]int, len(cond.Comps))
+	for i := range assign {
+		if i >= len(assign)/2 {
+			assign[i] = 1
+		}
+	}
+	dot := g.DAGDOT(cond, assign)
+	if !strings.Contains(dot, "lightblue") || !strings.Contains(dot, "lightsalmon") {
+		t.Error("partition colors missing")
+	}
+	plain := g.DAGDOT(cond, nil)
+	if strings.Contains(plain, "fillcolor") {
+		t.Error("unpartitioned DAG should be uncolored")
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}

@@ -1,0 +1,102 @@
+package dep
+
+import (
+	"dswp/internal/ir"
+)
+
+// liveness computes per-block live-in register sets over the whole
+// function. Function LiveOuts are treated as live at every return.
+func liveness(g *Graph) []bitset {
+	c := g.CFG
+	nb := len(c.Blocks)
+	nr := int(g.Fn.MaxReg()) + 1
+
+	use := make([]bitset, nb)
+	def := make([]bitset, nb)
+	in := make([]bitset, nb)
+	out := make([]bitset, nb)
+	for bi, b := range c.Blocks {
+		use[bi] = newBitset(nr)
+		def[bi] = newBitset(nr)
+		in[bi] = newBitset(nr)
+		out[bi] = newBitset(nr)
+		for _, ins := range b.Instrs {
+			for _, s := range ins.Src {
+				if !def[bi].has(int(s)) {
+					use[bi].set(int(s))
+				}
+			}
+			if ins.Dst != ir.NoReg {
+				def[bi].set(int(ins.Dst))
+			}
+		}
+	}
+	retLive := newBitset(nr)
+	for _, r := range g.Fn.LiveOuts {
+		retLive.set(int(r))
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for bi := nb - 1; bi >= 0; bi-- {
+			for _, s := range c.Succ[bi] {
+				if s < nb {
+					out[bi].orInto(in[s])
+				} else {
+					out[bi].orInto(retLive) // virtual exit
+				}
+			}
+			// in = use ∪ (out - def)
+			for w := range in[bi] {
+				n := in[bi][w] | use[bi][w] | (out[bi][w] &^ def[bi][w])
+				if n != in[bi][w] {
+					in[bi][w] = n
+					changed = true
+				}
+			}
+		}
+	}
+	return in
+}
+
+// buildLiveOutForcing finds loop live-out registers and, when a live-out
+// has multiple definitions inside the loop, links those definitions with
+// symmetric output-dependence arcs so they fall into one SCC — the paper's
+// "simple solution" to the live-out problem (§2.3.2, Figure 5(b)).
+func (g *Graph) buildLiveOutForcing() {
+	liveIn := liveness(g)
+	nr := int(g.Fn.MaxReg()) + 1
+	liveAtExit := newBitset(nr)
+	for _, e := range g.Loop.Exits {
+		target := e[1]
+		if target < len(g.CFG.Blocks) {
+			liveAtExit.orInto(liveIn[target])
+		} else {
+			for _, r := range g.Fn.LiveOuts {
+				liveAtExit.set(int(r))
+			}
+		}
+	}
+
+	for r := 0; r < nr; r++ {
+		if !liveAtExit.has(r) {
+			continue
+		}
+		var defs []*ir.Instr
+		for _, in := range g.Instrs {
+			if in.Dst == ir.Reg(r) {
+				defs = append(defs, in)
+			}
+		}
+		if len(defs) == 0 {
+			continue
+		}
+		g.LiveOutDefs[ir.Reg(r)] = defs
+		// Chain symmetric output arcs: enough to merge all defs into a
+		// single SCC without quadratic arc counts.
+		for i := 0; i+1 < len(defs); i++ {
+			g.addArc(Arc{From: defs[i], To: defs[i+1], Kind: ArcOutput, Reg: ir.Reg(r)})
+			g.addArc(Arc{From: defs[i+1], To: defs[i], Kind: ArcOutput, Reg: ir.Reg(r), Carried: true})
+		}
+	}
+}

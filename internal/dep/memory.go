@@ -1,0 +1,71 @@
+package dep
+
+import (
+	"dswp/internal/ir"
+)
+
+// MayAlias is the object-granular alias oracle standing in for IMPACT's
+// memory analysis: accesses to distinct declared objects never alias;
+// same-object or unattributed accesses may; opaque calls alias everything.
+// With conservative set, every pair aliases — the paper's "false memory
+// dependences, conservatively inserted by earlier optimizations" regime
+// from the epicdec case study.
+func MayAlias(a, b *ir.Instr, conservative bool) bool {
+	if conservative {
+		return true
+	}
+	if a.Op == ir.OpCall || b.Op == ir.OpCall {
+		return true
+	}
+	if a.Obj == ir.UnknownObj || b.Obj == ir.UnknownObj {
+		return true
+	}
+	if a.Obj != b.Obj {
+		return false
+	}
+	// Same object: field annotations (struct-field sensitivity) prove
+	// disjointness when both are attributed and differ.
+	if a.Field >= 0 && b.Field >= 0 && a.Field != b.Field {
+		return false
+	}
+	return true
+}
+
+// buildMemoryArcs inserts memory dependence arcs between loop memory
+// accesses. Per §4.2, a may-aliasing load/store pair gets arcs in both
+// directions (RAW one way, WAR the other; one intra-iteration, one
+// loop-carried), which forces them into one SCC. Store/store pairs get
+// symmetric output arcs for the same reason, and calls order against
+// everything (system-call ordering, §2.2.4 category 3).
+func (g *Graph) buildMemoryArcs(opts Options) {
+	var mem []*ir.Instr
+	for _, in := range g.Instrs {
+		if in.Op.IsMemAccess() {
+			mem = append(mem, in)
+		}
+	}
+	writes := func(in *ir.Instr) bool { return in.Op == ir.OpStore || in.Op == ir.OpCall }
+	iterPrivate := func(a, b *ir.Instr) bool {
+		if opts.ConservativeMemory {
+			return false
+		}
+		return a.Obj == b.Obj && a.Obj != ir.UnknownObj &&
+			a.Op != ir.OpCall && b.Op != ir.OpCall &&
+			g.Fn.Objects[a.Obj].IterPrivate
+	}
+	for i, a := range mem {
+		for _, b := range mem[i+1:] {
+			if !writes(a) && !writes(b) {
+				continue // load/load pairs never conflict
+			}
+			if !MayAlias(a, b, opts.ConservativeMemory) {
+				continue
+			}
+			// a precedes b in layout: a->b intra-iteration, b->a carried.
+			g.addArc(Arc{From: a, To: b, Kind: ArcMemory})
+			if !iterPrivate(a, b) {
+				g.addArc(Arc{From: b, To: a, Kind: ArcMemory, Carried: true})
+			}
+		}
+	}
+}

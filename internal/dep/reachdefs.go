@@ -1,0 +1,254 @@
+package dep
+
+import (
+	"dswp/internal/ir"
+)
+
+// bitset is a small dense bitset used by the dataflow problems.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << (uint(i) % 64) }
+func (b bitset) has(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+
+func (b bitset) orInto(o bitset) bool {
+	changed := false
+	for i := range b {
+		n := b[i] | o[i]
+		if n != b[i] {
+			b[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (b bitset) clone() bitset {
+	c := make(bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+func (b bitset) clear() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// buildDataArcs computes register true dependences among loop instructions
+// and records live-in uses. Output and anti dependences are ignored per
+// §2.2.1 (threads get separate register files), except the live-out forcing
+// handled elsewhere.
+func (g *Graph) buildDataArcs() {
+	// Registers read inside the loop.
+	used := map[ir.Reg]bool{}
+	for _, in := range g.Instrs {
+		for _, r := range in.Src {
+			used[r] = true
+		}
+	}
+	for r := range used {
+		g.dataArcsForReg(r)
+	}
+}
+
+// dataArcsForReg runs three reaching-definition problems for register r:
+//
+//  1. full: over the whole CFG, for the complete dependence relation and
+//     live-in detection;
+//  2. acyclic: within the loop with back edges severed, identifying
+//     intra-iteration reaching;
+//  3. carried: values live at the header via back edges, propagated
+//     acyclically, identifying loop-carried reaching.
+func (g *Graph) dataArcsForReg(r ir.Reg) {
+	c := g.CFG
+	// Def sites across the function; the last index is the virtual
+	// entry definition (live-in to the function).
+	var sites []*ir.Instr
+	siteIdx := map[*ir.Instr]int{}
+	g.Fn.Instrs(func(in *ir.Instr) {
+		if in.Dst == r {
+			siteIdx[in] = len(sites)
+			sites = append(sites, in)
+		}
+	})
+	nd := len(sites) + 1
+	entryBit := len(sites)
+
+	nb := len(c.Blocks)
+	lastDef := make([]*ir.Instr, nb)
+	hasDef := make([]bool, nb)
+	for bi, b := range c.Blocks {
+		for _, in := range b.Instrs {
+			if in.Dst == r {
+				lastDef[bi] = in
+				hasDef[bi] = true
+			}
+		}
+	}
+
+	// --- Problem 1: full reaching definitions. ---
+	fullIn := make([]bitset, nb)
+	fullOut := make([]bitset, nb)
+	for i := 0; i < nb; i++ {
+		fullIn[i] = newBitset(nd)
+		fullOut[i] = newBitset(nd)
+	}
+	fullIn[c.Entry()].set(entryBit)
+	transfer := func(bi int, in bitset) bitset {
+		if hasDef[bi] {
+			out := newBitset(nd)
+			out.set(siteIdx[lastDef[bi]])
+			return out
+		}
+		return in.clone()
+	}
+	for changed := true; changed; {
+		changed = false
+		for bi := 0; bi < nb; bi++ {
+			for _, p := range c.Pred[bi] {
+				if p < nb {
+					fullIn[bi].orInto(fullOut[p])
+				}
+			}
+			out := transfer(bi, fullIn[bi])
+			if fullOut[bi].orInto(out) {
+				changed = true
+			}
+		}
+	}
+
+	// --- Problem 2: acyclic (intra-iteration) reaching. ---
+	l := g.Loop
+	isLatch := map[int]bool{}
+	for _, u := range l.Latches {
+		isLatch[u] = true
+	}
+	acIn := make([]bitset, nb)
+	acOut := make([]bitset, nb)
+	for i := 0; i < nb; i++ {
+		acIn[i] = newBitset(nd)
+		acOut[i] = newBitset(nd)
+	}
+	// Iterate a few times in block order: the severed loop body is acyclic
+	// so this converges; extra rounds cost little.
+	for round := 0; round < nb+2; round++ {
+		changed := false
+		for _, bi := range l.BlockList {
+			if bi != l.Header {
+				for _, p := range c.Pred[bi] {
+					if l.Contains(p) {
+						acIn[bi].orInto(acOut[p])
+					}
+				}
+			}
+			out := transfer(bi, acIn[bi])
+			if acOut[bi].orInto(out) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// --- Problem 3: carried reaching: defs live at the header via back
+	// edges, propagated acyclically and killed by redefinition. ---
+	carIn := make([]bitset, nb)
+	carOut := make([]bitset, nb)
+	for i := 0; i < nb; i++ {
+		carIn[i] = newBitset(nd)
+		carOut[i] = newBitset(nd)
+	}
+	for _, u := range l.Latches {
+		for i := 0; i < len(sites); i++ { // loop defs only
+			if fullOut[u].has(i) && g.inLoop(sites[i]) {
+				carIn[l.Header].set(i)
+			}
+		}
+	}
+	// The carried problem kills without gen: once the register is
+	// rewritten in this iteration, no backedge-carried value survives.
+	transferCar := func(bi int, in bitset) bitset {
+		if hasDef[bi] {
+			return newBitset(nd)
+		}
+		return in.clone()
+	}
+	for round := 0; round < nb+2; round++ {
+		changed := false
+		for _, bi := range l.BlockList {
+			if bi != l.Header {
+				for _, p := range c.Pred[bi] {
+					if l.Contains(p) {
+						carIn[bi].orInto(carOut[p])
+					}
+				}
+			}
+			out := transferCar(bi, carIn[bi])
+			if carOut[bi].orInto(out) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// --- Emit arcs at each use point. ---
+	seen := map[[2]int]bool{} // (defIdx, useInstrIdx) -> intra arc emitted
+	seenCar := map[[2]int]bool{}
+	for _, bi := range l.BlockList {
+		curFull := fullIn[bi].clone()
+		curAc := acIn[bi].clone()
+		curCar := carIn[bi].clone()
+		for _, in := range c.Blocks[bi].Instrs {
+			usesR := false
+			for _, s := range in.Src {
+				if s == r {
+					usesR = true
+					break
+				}
+			}
+			if usesR {
+				ui := g.IndexOf[in]
+				liveIn := false
+				for i := 0; i < nd; i++ {
+					if !curFull.has(i) {
+						continue
+					}
+					if i == entryBit || !g.inLoop(sites[i]) {
+						liveIn = true
+						continue
+					}
+					d := sites[i]
+					key := [2]int{i, ui}
+					if curAc.has(i) && !seen[key] {
+						seen[key] = true
+						g.addArc(Arc{From: d, To: in, Kind: ArcData, Reg: r})
+					}
+					if curCar.has(i) && !seenCar[key] {
+						seenCar[key] = true
+						g.addArc(Arc{From: d, To: in, Kind: ArcData, Reg: r, Carried: true})
+					}
+				}
+				if liveIn {
+					g.LiveInUses[r] = append(g.LiveInUses[r], in)
+				}
+			}
+			if in.Dst == r {
+				curFull.clear()
+				curFull.set(siteIdx[in])
+				curAc.clear()
+				curAc.set(siteIdx[in])
+				curCar.clear() // rewrite kills any backedge-carried value
+			}
+		}
+	}
+}
+
+func (g *Graph) inLoop(in *ir.Instr) bool {
+	_, ok := g.IndexOf[in]
+	return ok
+}

@@ -1,0 +1,381 @@
+// Package doacross implements the DOACROSS baseline of the paper's
+// Figure 1: iterations are distributed round-robin over the cores and the
+// loop-carried values are forwarded core-to-core through the
+// synchronization array. The loop's critical-path recurrence therefore
+// crosses the interconnect once per iteration — exactly the cost DSWP is
+// designed to avoid ("Iters x (Latency + Comm Latency)" vs "Iters x
+// Latency").
+//
+// The transformation targets while-shaped loops (the recursive
+// data-structure traversals the paper motivates with): the loop header
+// computes the carried state and the exit test; the body has no carried
+// register definitions and no cross-iteration memory dependences.
+package doacross
+
+import (
+	"fmt"
+	"sort"
+
+	"dswp/internal/cfg"
+	"dswp/internal/dep"
+	"dswp/internal/ir"
+)
+
+// Transform splits the loop headed by loopHeader across n threads with
+// round-robin iteration scheduling. Thread 0 is the main thread (the rest
+// of the function survives around the loop).
+func Transform(f *ir.Function, loopHeader string, n int) ([]*ir.Function, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("doacross: need at least 2 threads, got %d", n)
+	}
+	c, l, err := cfg.LoopForHeader(f, loopHeader)
+	if err != nil {
+		return nil, err
+	}
+	g, err := dep.Build(f, c, l, dep.Options{})
+	if err != nil {
+		return nil, err
+	}
+	header := c.Blocks[l.Header]
+	term := header.Terminator()
+	if term == nil || term.Op != ir.OpBranch {
+		return nil, fmt.Errorf("doacross: loop header %s must end in a conditional branch", header.Name)
+	}
+	// Identify exit vs body side of the header branch.
+	exitTaken := !l.Contains(c.Index[term.Target])
+	exitFall := !l.Contains(c.Index[term.TargetFalse])
+	if exitTaken == exitFall {
+		return nil, fmt.Errorf("doacross: header branch must have one exit and one body side")
+	}
+	var exitBlock *ir.Block
+	if exitTaken {
+		exitBlock = term.Target
+	} else {
+		exitBlock = term.TargetFalse
+	}
+	// All exits must come from the header (the while-loop shape).
+	for _, e := range l.Exits {
+		if e[0] != l.Header {
+			return nil, fmt.Errorf("doacross: exit from non-header block %s", c.Blocks[e[0]].Name)
+		}
+	}
+	// No cross-iteration memory dependences.
+	for _, a := range g.Arcs {
+		if a.Kind == dep.ArcMemory && a.Carried {
+			return nil, fmt.Errorf("doacross: loop-carried memory dependence %v -> %v", a.From, a.To)
+		}
+	}
+	// Straightline body: no internal control flow (the restriction the
+	// paper notes DOACROSS techniques commonly carry).
+	for _, bi := range l.BlockList {
+		if bi == l.Header {
+			continue
+		}
+		for _, in := range c.Blocks[bi].Instrs {
+			if in.Op == ir.OpBranch {
+				return nil, fmt.Errorf("doacross: control flow inside loop body (%s)", in)
+			}
+		}
+	}
+	// Carried registers must be defined only in the header, so the next
+	// iteration can be launched before the body runs.
+	carriedSet := map[ir.Reg]bool{}
+	for _, a := range g.Arcs {
+		if a.Kind == dep.ArcData && a.Carried {
+			carriedSet[a.Reg] = true
+		}
+	}
+	var carried []ir.Reg
+	for r := range carriedSet {
+		carried = append(carried, r)
+	}
+	sort.Slice(carried, func(i, j int) bool { return carried[i] < carried[j] })
+	for _, r := range carried {
+		for _, in := range g.Instrs {
+			if in.Dst == r && in.Block != header {
+				return nil, fmt.Errorf("doacross: carried register %s defined outside the header (%s)", r, in)
+			}
+		}
+	}
+	// Live-outs to return to the main thread after the last iteration.
+	liveOuts := g.LiveOutRegs()
+
+	// Loop-invariant live-ins every thread needs (carried registers
+	// travel through the state queues instead).
+	var liveIns []ir.Reg
+	for _, r := range g.LiveInRegs() {
+		if !carriedSet[r] {
+			liveIns = append(liveIns, r)
+		}
+	}
+
+	bld := &builder{
+		f: f, c: c, l: l, g: g, n: n,
+		header: header, term: term, exitBlock: exitBlock,
+		exitTaken: exitTaken, carried: carried, liveOuts: liveOuts,
+		liveIns: liveIns,
+	}
+	return bld.emit()
+}
+
+type builder struct {
+	f         *ir.Function
+	c         *cfg.CFG
+	l         *cfg.Loop
+	g         *dep.Graph
+	n         int
+	header    *ir.Block
+	term      *ir.Instr
+	exitBlock *ir.Block
+	exitTaken bool
+	carried   []ir.Reg
+	liveOuts  []ir.Reg
+	liveIns   []ir.Reg
+}
+
+// Queue numbering: flag queues [0,n), then per-thread carried-state
+// queues, then final queues, then per-aux-thread live-in queues.
+func (b *builder) qFlag(t int) int { return t % b.n }
+func (b *builder) qState(t, ri int) int {
+	return b.n + (t%b.n)*len(b.carried) + ri
+}
+func (b *builder) qFinal(ri int) int {
+	return b.n + b.n*len(b.carried) + ri
+}
+func (b *builder) qInit(t, ri int) int {
+	return b.n + b.n*len(b.carried) + len(b.liveOuts) + (t-1)*len(b.liveIns) + ri
+}
+
+func (b *builder) emit() ([]*ir.Function, error) {
+	threads := make([]*ir.Function, b.n)
+	for t := 0; t < b.n; t++ {
+		if t == 0 {
+			threads[t] = b.emitMain()
+		} else {
+			threads[t] = b.emitAux(t)
+		}
+		ir.SimplifyCFG(threads[t])
+		if err := threads[t].Verify(); err != nil {
+			return nil, fmt.Errorf("doacross: thread %d invalid: %w", t, err)
+		}
+	}
+	return threads, nil
+}
+
+// emitLoopMachinery appends the uniform per-thread iteration protocol to
+// nf. Returns the wait block (the thread's loop entry) and the done block
+// (shutdown path), leaving done unterminated for the caller to finish.
+func (b *builder) emitLoopMachinery(nf *ir.Function, t int) (wait, done *ir.Block) {
+	wait = nf.NewBlock("da.wait")
+	iter := nf.NewBlock("da.iter")
+	last := nf.NewBlock("da.last")
+	body := nf.NewBlock("da.body")
+	done = nf.NewBlock("da.done")
+
+	emit := func(blk *ir.Block, op ir.Op, mod func(*ir.Instr)) *ir.Instr {
+		in := nf.NewInstr(op)
+		mod(in)
+		blk.Append(in)
+		return in
+	}
+
+	// wait: fe = consume(flag); br fe -> done | iter
+	fe := nf.NewReg()
+	emit(wait, ir.OpConsume, func(in *ir.Instr) { in.Dst = fe; in.Queue = b.qFlag(t) })
+	emit(wait, ir.OpBranch, func(in *ir.Instr) {
+		in.Src = []ir.Reg{fe}
+		in.Target = done
+		in.TargetFalse = iter
+	})
+
+	// iter: consume carried state; run header computation; forward exit
+	// flag; branch to last or body.
+	for ri, r := range b.carried {
+		emit(iter, ir.OpConsume, func(in *ir.Instr) { in.Dst = r; in.Queue = b.qState(t, ri) })
+	}
+	for _, in := range b.header.Instrs {
+		if in == b.term {
+			break
+		}
+		iter.Append(cloneInstr(nf, in))
+	}
+	pexit := b.term.Src[0]
+	if !b.exitTaken {
+		// Normalize: flag means "exit".
+		inv := nf.NewReg()
+		z := nf.NewReg()
+		emit(iter, ir.OpConst, func(in *ir.Instr) { in.Dst = z; in.Imm = 0 })
+		emit(iter, ir.OpCmpEQ, func(in *ir.Instr) { in.Dst = inv; in.Src = []ir.Reg{pexit, z} })
+		pexit = inv
+	}
+	emit(iter, ir.OpProduce, func(in *ir.Instr) { in.Src = []ir.Reg{pexit}; in.Queue = b.qFlag(t + 1) })
+	emit(iter, ir.OpBranch, func(in *ir.Instr) {
+		in.Src = []ir.Reg{pexit}
+		in.Target = last
+		in.TargetFalse = body
+	})
+
+	// last: this thread computed the exit — publish finals.
+	for ri, r := range b.liveOuts {
+		emit(last, ir.OpProduce, func(in *ir.Instr) { in.Src = []ir.Reg{r}; in.Queue = b.qFinal(ri) })
+	}
+	// Caller terminates 'last' (jump to finals-consumption or ret).
+
+	// body: forward carried state for iteration i+1, run this
+	// iteration's body, then wait for our next turn.
+	for ri, r := range b.carried {
+		emit(body, ir.OpProduce, func(in *ir.Instr) { in.Src = []ir.Reg{r}; in.Queue = b.qState(t+1, ri) })
+	}
+	for _, bi := range b.l.BlockList {
+		if bi == b.l.Header {
+			continue
+		}
+		for _, in := range b.c.Blocks[bi].Instrs {
+			if in.Op == ir.OpJump || in.Op == ir.OpBranch {
+				continue // straightline body restriction
+			}
+			body.Append(cloneInstr(nf, in))
+		}
+	}
+	emit(body, ir.OpJump, func(in *ir.Instr) { in.Target = wait })
+
+	// done: propagate the stop flag around the ring.
+	emit(done, ir.OpProduce, func(in *ir.Instr) { in.Src = []ir.Reg{fe}; in.Queue = b.qFlag(t + 1) })
+	return wait, done
+}
+
+func (b *builder) emitMain() *ir.Function {
+	nf := ir.NewFunction(b.f.Name)
+	nf.Objects = append([]ir.MemObject(nil), b.f.Objects...)
+	nf.LiveOuts = append([]ir.Reg(nil), b.f.LiveOuts...)
+	nf.NoteReg(b.f.MaxReg())
+
+	// Copy non-loop blocks; remember mapping for targets.
+	copyOf := map[*ir.Block]*ir.Block{}
+	for bi, blk := range b.c.Blocks {
+		if !b.l.Contains(bi) {
+			copyOf[blk] = nf.NewBlock(blk.Name)
+		}
+	}
+	wait, done := b.emitLoopMachinery(nf, 0)
+	finals := nf.NewBlock("da.finals")
+
+	// Terminate machinery blocks: last -> finals, done -> finals.
+	lastBlk := nf.BlockByName("da.last")
+	jmp := nf.NewInstr(ir.OpJump)
+	jmp.Target = finals
+	lastBlk.Append(jmp)
+	jmp2 := nf.NewInstr(ir.OpJump)
+	jmp2.Target = finals
+	done.Append(jmp2)
+
+	// finals: consume live-outs, continue at the loop exit target.
+	for ri, r := range b.liveOuts {
+		cons := nf.NewInstr(ir.OpConsume)
+		cons.Dst = r
+		cons.Queue = b.qFinal(ri)
+		finals.Append(cons)
+	}
+	jmp3 := nf.NewInstr(ir.OpJump)
+	jmp3.Target = copyOf[b.exitBlock]
+	finals.Append(jmp3)
+
+	// Fill outside blocks; the preheader seeds the ring and enters wait.
+	preheader := b.c.Blocks[b.l.Preheader]
+	for bi, blk := range b.c.Blocks {
+		if b.l.Contains(bi) {
+			continue
+		}
+		nb := copyOf[blk]
+		seed := func() {
+			z := nf.NewReg()
+			cz := nf.NewInstr(ir.OpConst)
+			cz.Dst = z
+			cz.Imm = 0
+			nb.Append(cz)
+			prod := nf.NewInstr(ir.OpProduce)
+			prod.Src = []ir.Reg{z}
+			prod.Queue = b.qFlag(0)
+			nb.Append(prod)
+			for ri, r := range b.carried {
+				p := nf.NewInstr(ir.OpProduce)
+				p.Src = []ir.Reg{r}
+				p.Queue = b.qState(0, ri)
+				nb.Append(p)
+			}
+			// Loop-invariant live-ins for every auxiliary thread.
+			for t := 1; t < b.n; t++ {
+				for ri, r := range b.liveIns {
+					p := nf.NewInstr(ir.OpProduce)
+					p.Src = []ir.Reg{r}
+					p.Queue = b.qInit(t, ri)
+					nb.Append(p)
+				}
+			}
+		}
+		for _, in := range blk.Instrs {
+			if in == blk.Terminator() && blk == preheader {
+				seed()
+			}
+			ni := cloneInstr(nf, in)
+			switch in.Op {
+			case ir.OpJump, ir.OpBranch:
+				ni.Target = b.mapOutside(copyOf, wait, in.Target)
+				if in.Op == ir.OpBranch {
+					ni.TargetFalse = b.mapOutside(copyOf, wait, in.TargetFalse)
+				}
+			}
+			nb.Append(ni)
+		}
+		if blk.Terminator() == nil {
+			if blk == preheader {
+				seed()
+			}
+			succs := blk.Succs()
+			j := nf.NewInstr(ir.OpJump)
+			j.Target = b.mapOutside(copyOf, wait, succs[0])
+			nb.Append(j)
+		}
+	}
+	return nf
+}
+
+func (b *builder) mapOutside(copyOf map[*ir.Block]*ir.Block, wait *ir.Block, target *ir.Block) *ir.Block {
+	if b.l.Contains(b.c.Index[target]) {
+		return wait // loop entry
+	}
+	return copyOf[target]
+}
+
+func (b *builder) emitAux(t int) *ir.Function {
+	nf := ir.NewFunction(fmt.Sprintf("%s.da%d", b.f.Name, t))
+	nf.Objects = append([]ir.MemObject(nil), b.f.Objects...)
+	nf.NoteReg(b.f.MaxReg())
+	entry := nf.NewBlock("da.entry")
+	wait, done := b.emitLoopMachinery(nf, t)
+	for ri, r := range b.liveIns {
+		cons := nf.NewInstr(ir.OpConsume)
+		cons.Dst = r
+		cons.Queue = b.qInit(t, ri)
+		entry.Append(cons)
+	}
+	j := nf.NewInstr(ir.OpJump)
+	j.Target = wait
+	entry.Append(j)
+
+	lastBlk := nf.BlockByName("da.last")
+	lastBlk.Append(nf.NewInstr(ir.OpRet))
+	done.Append(nf.NewInstr(ir.OpRet))
+	return nf
+}
+
+func cloneInstr(nf *ir.Function, in *ir.Instr) *ir.Instr {
+	ni := nf.NewInstr(in.Op)
+	ni.Dst = in.Dst
+	ni.Src = append([]ir.Reg(nil), in.Src...)
+	ni.Imm = in.Imm
+	ni.Obj = in.Obj
+	ni.Field = in.Field
+	ni.Queue = in.Queue
+	return ni
+}

@@ -1,0 +1,131 @@
+package doacross
+
+import (
+	"strings"
+	"testing"
+
+	"dswp/internal/interp"
+	"dswp/internal/ir"
+	"dswp/internal/workloads"
+)
+
+func TestDoacrossTraversalEquivalence(t *testing.T) {
+	for _, n := range []int{2, 3, 4} {
+		p := workloads.ListTraversal(300)
+		threads, err := Transform(p.F, p.LoopHeader, n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(threads) != n {
+			t.Fatalf("got %d threads, want %d", len(threads), n)
+		}
+		base, err := interp.Run(p.F, p.Options())
+		if err != nil {
+			t.Fatal(err)
+		}
+		multi, err := interp.RunThreads(threads, p.Options())
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if d := base.Mem.Diff(multi.Mem); d != -1 {
+			t.Fatalf("n=%d: memory diverges at %d", n, d)
+		}
+		for r, v := range base.LiveOuts {
+			if multi.LiveOuts[r] != v {
+				t.Fatalf("n=%d: live-out %s = %d, want %d", n, r, multi.LiveOuts[r], v)
+			}
+		}
+	}
+}
+
+func TestDoacrossDistributesIterations(t *testing.T) {
+	p := workloads.ListTraversal(301)
+	threads, err := Transform(p.F, p.LoopHeader, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := interp.RunThreads(threads, p.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both threads should execute a similar number of instructions.
+	s0, s1 := res.Threads[0].Steps, res.Threads[1].Steps
+	if s0 == 0 || s1 == 0 {
+		t.Fatalf("steps %d/%d: a thread did nothing", s0, s1)
+	}
+	ratio := float64(s0) / float64(s1)
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Errorf("iteration split skewed: %d vs %d", s0, s1)
+	}
+}
+
+func TestDoacrossTinyLists(t *testing.T) {
+	for _, sz := range []int64{1, 2, 5} {
+		p := workloads.ListTraversal(sz)
+		threads, err := Transform(p.F, p.LoopHeader, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := interp.Run(p.F, p.Options())
+		if err != nil {
+			t.Fatal(err)
+		}
+		multi, err := interp.RunThreads(threads, p.Options())
+		if err != nil {
+			t.Fatalf("n=%d: %v", sz, err)
+		}
+		if d := base.Mem.Diff(multi.Mem); d != -1 {
+			t.Fatalf("size %d: memory diverges at %d", sz, d)
+		}
+	}
+}
+
+func TestDoacrossRejectsCarriedMemoryDep(t *testing.T) {
+	// art's in-memory accumulator is a loop-carried memory dependence.
+	p := workloads.Art()
+	_, err := Transform(p.F, p.LoopHeader, 2)
+	if err == nil || !strings.Contains(err.Error(), "memory dependence") {
+		t.Fatalf("err = %v, want carried memory dependence rejection", err)
+	}
+}
+
+func TestDoacrossRejectsBodyControlFlow(t *testing.T) {
+	// wc's body is full of branches.
+	p := workloads.WC()
+	_, err := Transform(p.F, p.LoopHeader, 2)
+	if err == nil {
+		t.Fatal("expected rejection for body control flow")
+	}
+}
+
+func TestDoacrossRejectsSingleThread(t *testing.T) {
+	p := workloads.ListTraversal(10)
+	if _, err := Transform(p.F, p.LoopHeader, 1); err == nil {
+		t.Fatal("expected rejection for n=1")
+	}
+}
+
+func TestDoacrossRejectsNonLoopHeader(t *testing.T) {
+	p := workloads.ListTraversal(10)
+	if _, err := Transform(p.F, "pre", 2); err == nil {
+		t.Fatal("expected rejection for non-loop header")
+	}
+}
+
+func TestDoacrossThreadsVerify(t *testing.T) {
+	p := workloads.ListTraversal(50)
+	threads, err := Transform(p.F, p.LoopHeader, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, th := range threads {
+		if err := th.Verify(); err != nil {
+			t.Errorf("thread %d: %v\n%s", i, err, th)
+		}
+	}
+	// The main thread keeps the function's live-outs.
+	if len(threads[0].LiveOuts) != len(p.F.LiveOuts) {
+		t.Error("main thread lost live-outs")
+	}
+	_ = ir.NoReg
+}

@@ -1,0 +1,89 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"dswp/internal/core"
+	"dswp/internal/sim"
+	"dswp/internal/workloads"
+)
+
+// DepthRow reports one benchmark's speedup at increasing pipeline depths —
+// an extension beyond the paper's dual-core evaluation ("only two threads
+// are created by the algorithm. These threads are the main thread and one
+// auxiliary thread" was a target-machine limit, not an algorithmic one).
+type DepthRow struct {
+	Name string
+	// Speedup[d] is the loop speedup with d+2 requested stages, indexed
+	// 0..len-1 for depths 2..; Stages[d] is the depth actually delivered
+	// by the heuristic (capped by the DAG_SCC).
+	Speedup []float64
+	Stages  []int
+}
+
+// Depths is the set of requested pipeline depths.
+var Depths = []int{2, 3, 4}
+
+// PipelineDepth sweeps pipeline depth over the Table 1 suite.
+func PipelineDepth(cfg sim.Config) ([]DepthRow, error) {
+	return PipelineDepthOn(cfg, workloads.Table1Suite())
+}
+
+// PipelineDepthOn is PipelineDepth over an explicit workload suite.
+func PipelineDepthOn(cfg sim.Config, suite []workloads.Builder) ([]DepthRow, error) {
+	var rows []DepthRow
+	for _, wb := range suite {
+		row := DepthRow{Name: wb.Name}
+		for _, d := range Depths {
+			pr, err := Prepare(wb.Build(), core.Config{NumThreads: d})
+			if err != nil {
+				return nil, err
+			}
+			base, err := pr.RunBase(cfg)
+			if err != nil {
+				return nil, err
+			}
+			part := pr.Analysis.Heuristic()
+			if part.N < 2 {
+				row.Speedup = append(row.Speedup, 1.0)
+				row.Stages = append(row.Stages, 1)
+				continue
+			}
+			res, _, err := pr.RunPartition(part, cfg)
+			if err != nil {
+				return nil, err
+			}
+			row.Speedup = append(row.Speedup, Speedup(base.Cycles, res.Cycles))
+			row.Stages = append(row.Stages, part.N)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderDepth formats the sweep.
+func RenderDepth(rows []DepthRow) string {
+	var b strings.Builder
+	b.WriteString("Extension: pipeline depth sweep (requested stages; () = delivered)\n")
+	fmt.Fprintf(&b, "%-14s", "Benchmark")
+	for _, d := range Depths {
+		fmt.Fprintf(&b, " %12s", fmt.Sprintf("t=%d", d))
+	}
+	b.WriteString("\n")
+	geo := make([][]float64, len(Depths))
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s", r.Name)
+		for i := range Depths {
+			fmt.Fprintf(&b, " %8.3fx(%d)", r.Speedup[i], r.Stages[i])
+			geo[i] = append(geo[i], r.Speedup[i])
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "%-14s", "GeoMean")
+	for i := range Depths {
+		fmt.Fprintf(&b, " %9.3fx   ", GeoMean(geo[i]))
+	}
+	b.WriteString("\n")
+	return b.String()
+}

@@ -1,0 +1,434 @@
+package exp
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dswp/internal/core"
+	"dswp/internal/sim"
+	"dswp/internal/workloads"
+)
+
+func TestSpeedupAndAmdahl(t *testing.T) {
+	if got := Speedup(200, 100); got != 2.0 {
+		t.Fatalf("Speedup = %f", got)
+	}
+	if got := Speedup(100, 0); got != 0 {
+		t.Fatalf("Speedup by zero = %f", got)
+	}
+	// Full coverage: program speedup equals loop speedup.
+	if got := ProgramSpeedup(2.0, 1.0); math.Abs(got-2.0) > 1e-12 {
+		t.Fatalf("ProgramSpeedup full coverage = %f", got)
+	}
+	// Zero coverage: no effect.
+	if got := ProgramSpeedup(2.0, 0.0); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("ProgramSpeedup zero coverage = %f", got)
+	}
+	// 50% coverage, 2x loop: 1/(0.5+0.25) = 4/3.
+	if got := ProgramSpeedup(2.0, 0.5); math.Abs(got-4.0/3.0) > 1e-12 {
+		t.Fatalf("ProgramSpeedup = %f", got)
+	}
+	if got := ProgramSpeedup(0, 0.5); got != 0 {
+		t.Fatalf("ProgramSpeedup degenerate = %f", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("GeoMean = %f", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Fatalf("GeoMean(nil) = %f", got)
+	}
+	if got := GeoMean([]float64{3}); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("GeoMean single = %f", got)
+	}
+}
+
+func TestPrepareAndRunMCF(t *testing.T) {
+	pr, err := Prepare(workloads.MCF(), core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Stats.Coverage <= 0.9 {
+		t.Errorf("loop coverage %.2f, expected the loop to dominate its own function", pr.Stats.Coverage)
+	}
+	if pr.Stats.Iterations < 1000 {
+		t.Errorf("iterations = %d", pr.Stats.Iterations)
+	}
+	cfg := sim.FullWidth()
+	base, err := pr.RunBase(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, tr, err := pr.RunAuto(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Threads) != 2 || len(auto.Cores) != 2 {
+		t.Fatal("expected a two-stage pipeline")
+	}
+	if auto.Cycles >= base.Cycles {
+		t.Errorf("mcf DSWP did not speed up: %d vs %d", auto.Cycles, base.Cycles)
+	}
+	// Trace caching: second call must reuse.
+	t1, err := pr.BaseTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, _ := pr.BaseTrace()
+	if &t1[0] != &t2[0] {
+		t.Error("BaseTrace not cached")
+	}
+}
+
+func TestSearchBestOrdersResults(t *testing.T) {
+	pr, err := Prepare(workloads.ListOfLists(40, 5), core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuts, err := pr.SearchBest(sim.FullWidth(), 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cuts) == 0 || len(cuts) > 4 {
+		t.Fatalf("got %d cuts", len(cuts))
+	}
+	for i := 1; i < len(cuts); i++ {
+		if cuts[i].Result.Cycles < cuts[i-1].Result.Cycles {
+			t.Fatal("cuts not sorted fastest-first")
+		}
+	}
+}
+
+func TestPrefixCutsCoverDAG(t *testing.T) {
+	pr, err := Prepare(workloads.MCF(), core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuts, err := pr.PrefixCuts(sim.FullWidth())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := pr.Analysis.NumSCCs() - 1
+	if len(cuts) != want {
+		t.Fatalf("got %d cuts, want %d", len(cuts), want)
+	}
+	for i, c := range cuts {
+		if c.P1SCCs != i+1 {
+			t.Fatalf("cut %d has P1SCCs %d", i, c.P1SCCs)
+		}
+	}
+}
+
+func TestTable1ShapesMatchPaper(t *testing.T) {
+	rows, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("got %d rows, want 10", len(rows))
+	}
+	names := map[string]bool{}
+	for _, r := range rows {
+		names[r.Name] = true
+		if r.SCCs < 2 {
+			t.Errorf("%s: %d SCCs", r.Name, r.SCCs)
+		}
+		if r.FlowsLoop == 0 {
+			t.Errorf("%s: no loop flows", r.Name)
+		}
+		if r.ExecPct <= 0 || r.ExecPct > 100 {
+			t.Errorf("%s: Ex%% = %f", r.Name, r.ExecPct)
+		}
+		if r.Instrs < 10 {
+			t.Errorf("%s: suspiciously small loop (%d instrs)", r.Name, r.Instrs)
+		}
+	}
+	for _, want := range []string{"29.compress", "179.art", "181.mcf", "183.equake",
+		"188.ammp", "256.bzip2", "adpcmdec", "epicdec", "jpegenc", "wc"} {
+		if !names[want] {
+			t.Errorf("missing row %s", want)
+		}
+	}
+	text := RenderTable1(rows)
+	if !strings.Contains(text, "181.mcf") || !strings.Contains(text, "Ex.%") {
+		t.Error("render missing content")
+	}
+}
+
+func TestFig7ShapeMatchesPaper(t *testing.T) {
+	cuts, autoP1, err := Fig7(sim.FullWidth())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cuts) < 5 {
+		t.Fatalf("only %d cuts", len(cuts))
+	}
+	// The balanced middle beats the extreme cuts (the paper's point),
+	// and the last cut is poor ("the threads are not well balanced").
+	best := 0.0
+	for _, c := range cuts {
+		if c.Speedup > best {
+			best = c.Speedup
+		}
+	}
+	last := cuts[len(cuts)-1]
+	if best < 1.2 {
+		t.Errorf("best cut only %.3fx", best)
+	}
+	if last.Speedup > 1.05 {
+		t.Errorf("last (imbalanced) cut %.3fx, expected ~1x", last.Speedup)
+	}
+	// The imbalanced final cuts show an empty-queue-dominated profile.
+	if last.OccEmpty < 50 {
+		t.Errorf("last cut empty%% = %.1f, want consumer starved", last.OccEmpty)
+	}
+	if autoP1 < 1 || autoP1 > len(cuts) {
+		t.Errorf("heuristic cut %d out of range", autoP1)
+	}
+	text := RenderFig7(cuts, autoP1)
+	if !strings.Contains(text, "heuristic") {
+		t.Error("render must mark the heuristic's choice")
+	}
+}
+
+func TestFig1ShapeMatchesPaper(t *testing.T) {
+	rows, err := Fig1(2500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// DSWP is latency-insensitive; DOACROSS degrades monotonically.
+	dswpSpread := rows[0].DSWPSpeedup - rows[2].DSWPSpeedup
+	if dswpSpread > 0.05 || dswpSpread < -0.05 {
+		t.Errorf("DSWP speedup varies %.3f across latencies", dswpSpread)
+	}
+	if !(rows[0].DoacrossSpeedup > rows[1].DoacrossSpeedup &&
+		rows[1].DoacrossSpeedup > rows[2].DoacrossSpeedup) {
+		t.Errorf("DOACROSS must degrade with latency: %v", rows)
+	}
+	// At high latency DSWP wins (the paper's core claim).
+	if rows[2].DSWPSpeedup <= rows[2].DoacrossSpeedup {
+		t.Errorf("at lat 10, DSWP %.3f should beat DOACROSS %.3f",
+			rows[2].DSWPSpeedup, rows[2].DoacrossSpeedup)
+	}
+	if s := RenderFig1(rows); !strings.Contains(s, "DOACROSS") {
+		t.Error("render missing content")
+	}
+}
+
+func TestCaseStudiesShapes(t *testing.T) {
+	cfg := sim.FullWidth()
+
+	epic, err := CaseEpic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epic.AccurateSCCs <= epic.ConservativeSCCs {
+		t.Errorf("accurate %d SCCs <= conservative %d", epic.AccurateSCCs, epic.ConservativeSCCs)
+	}
+	if epic.AccurateSpeedup <= epic.ConservativeSpeedup {
+		t.Errorf("accuracy must help: %.3f vs %.3f", epic.AccurateSpeedup, epic.ConservativeSpeedup)
+	}
+	if s := RenderCaseEpic(epic); !strings.Contains(s, "accurate") {
+		t.Error("render")
+	}
+
+	adpcm, err := CaseAdpcm(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adpcm.SpuriousLargestPct <= adpcm.CleanLargestPct {
+		t.Error("spurious deps must grow the largest SCC")
+	}
+	if adpcm.CleanSpeedup <= 1.0 {
+		t.Errorf("clean adpcm speedup %.3f", adpcm.CleanSpeedup)
+	}
+	if s := RenderCaseAdpcm(adpcm); !strings.Contains(s, "spurious") {
+		t.Error("render")
+	}
+
+	gzip, err := CaseGzip()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gzip.SCCs != 1 || !gzip.Bails {
+		t.Errorf("gzip: SCCs=%d bails=%v", gzip.SCCs, gzip.Bails)
+	}
+	if s := RenderCaseGzip(gzip); !strings.Contains(s, "bails out") {
+		t.Error("render")
+	}
+}
+
+func TestCaseArtShape(t *testing.T) {
+	art, err := CaseArt(sim.FullWidth())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.ExpandedSCCs <= art.OrigSCCs {
+		t.Error("expansion must add SCCs")
+	}
+	// Expansion speeds up the baseline itself (the paper reports 61%).
+	if art.ExpBaseCycles >= art.OrigBaseCycles {
+		t.Error("expanded baseline should be faster")
+	}
+	// The expanded DSWP build must be the fastest absolute variant.
+	origDSWP := float64(art.OrigBaseCycles) / art.OrigSpeedup
+	expDSWP := float64(art.ExpBaseCycles) / art.ExpandedSpeedup
+	if expDSWP >= origDSWP {
+		t.Errorf("expanded DSWP (%.0f cyc) should beat original DSWP (%.0f cyc)", expDSWP, origDSWP)
+	}
+	if s := RenderCaseArt(art); !strings.Contains(s, "expanded") {
+		t.Error("render")
+	}
+}
+
+func TestLoopNestDepthAndCounts(t *testing.T) {
+	pr, err := Prepare(workloads.ListOfLists(10, 3), core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := LoopNestDepth(pr.Analysis); d != 2 {
+		t.Errorf("list-of-lists nest depth = %d, want 2", d)
+	}
+	if c := CountCalls(pr.Analysis); c != 0 {
+		t.Errorf("calls = %d", c)
+	}
+	if b := LoopBlocks(pr.Analysis); b != 5 {
+		t.Errorf("loop blocks = %d, want 5", b)
+	}
+}
+
+func TestFig8FromSyntheticRows(t *testing.T) {
+	rows := []Fig6Row{{
+		Name: "x",
+		Occ: sim.OccupancyStats{
+			FullProducerStalled:  25,
+			BalancedBothActive:   50,
+			EmptyBothActive:      15,
+			EmptyConsumerStalled: 10,
+		},
+	}}
+	out := Fig8(rows)
+	if out[0].FullStall != 25 || out[0].Active != 50 || out[0].Empty != 15 || out[0].EmptyStall != 10 {
+		t.Fatalf("Fig8 percentages wrong: %+v", out[0])
+	}
+	if s := RenderFig8(out); !strings.Contains(s, "Average") {
+		t.Error("render")
+	}
+}
+
+// smallSuite trims the benchmark set so the heavyweight drivers can be
+// exercised quickly in tests (the full suite runs under `go test -bench`).
+func smallSuite() []workloads.Builder {
+	all := workloads.Table1Suite()
+	return []workloads.Builder{all[2], all[9]} // 181.mcf, wc
+}
+
+func TestFig6DriverOnSmallSuite(t *testing.T) {
+	rows, err := Fig6On(sim.FullWidth(), smallSuite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Auto < 1.0 {
+			t.Errorf("%s: auto speedup %.3f < 1", r.Name, r.Auto)
+		}
+		if r.Best < r.Auto-1e-9 {
+			t.Errorf("%s: best (%.3f) worse than auto (%.3f)", r.Name, r.Best, r.Auto)
+		}
+		if r.AutoProg > r.Auto+1e-9 {
+			t.Errorf("%s: program speedup exceeds loop speedup", r.Name)
+		}
+		if r.ProducerIPC <= 0 || r.ConsumerIPC <= 0 || r.BaseIPC <= 0 {
+			t.Errorf("%s: IPC fields unset", r.Name)
+		}
+	}
+	g := Fig6GeoMeans(rows)
+	if g.BestLoop < g.AutoLoop-1e-9 {
+		t.Error("geomean best < auto")
+	}
+	if s := RenderFig6a(rows); !strings.Contains(s, "GeoMean") {
+		t.Error("render 6a")
+	}
+	if s := RenderFig6b(rows); !strings.Contains(s, "Producer") {
+		t.Error("render 6b")
+	}
+}
+
+func TestFig9aDriverOnSmallSuite(t *testing.T) {
+	rows, err := Fig9aOn(smallSuite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.HalfBase > 1.01 {
+			t.Errorf("%s: half-width base faster than full (%.3f)", r.Name, r.HalfBase)
+		}
+		if r.HalfDSWP <= r.HalfBase {
+			t.Errorf("%s: half-width DSWP (%.3f) no better than half-width base (%.3f)",
+				r.Name, r.HalfDSWP, r.HalfBase)
+		}
+	}
+	if s := RenderFig9a(rows); !strings.Contains(s, "HalfDSWP") {
+		t.Error("render 9a")
+	}
+}
+
+func TestFig9bDriverOnSmallSuite(t *testing.T) {
+	rows, err := Fig9bOn(smallSuite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		spread := r.Lat1 - r.Lat10
+		if spread > 0.08 || spread < -0.08 {
+			t.Errorf("%s: DSWP sensitive to comm latency (%.3f vs %.3f)", r.Name, r.Lat1, r.Lat10)
+		}
+	}
+	if s := RenderFig9b(rows); !strings.Contains(s, "10 cycles") {
+		t.Error("render 9b")
+	}
+}
+
+func TestQueueSizeDriverOnSmallSuite(t *testing.T) {
+	rows, err := QueueSizeOn(smallSuite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Q32 < r.Q8-0.10 || r.Q128 < r.Q32-0.10 {
+			t.Errorf("%s: larger queues materially slower: %.3f/%.3f/%.3f", r.Name, r.Q8, r.Q32, r.Q128)
+		}
+	}
+	if s := RenderQueueSize(rows); !strings.Contains(s, "128") {
+		t.Error("render qsize")
+	}
+}
+
+func TestDepthDriverOnSmallSuite(t *testing.T) {
+	rows, err := PipelineDepthOn(sim.FullWidth(), smallSuite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if len(r.Speedup) != len(Depths) || len(r.Stages) != len(Depths) {
+			t.Fatalf("%s: ragged row", r.Name)
+		}
+		for i, st := range r.Stages {
+			if st > Depths[i] {
+				t.Errorf("%s: delivered %d stages for requested %d", r.Name, st, Depths[i])
+			}
+		}
+	}
+	if s := RenderDepth(rows); !strings.Contains(s, "t=4") {
+		t.Error("render depth")
+	}
+}

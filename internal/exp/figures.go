@@ -1,0 +1,497 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"dswp/internal/core"
+	"dswp/internal/doacross"
+	"dswp/internal/interp"
+	"dswp/internal/sim"
+	"dswp/internal/workloads"
+)
+
+// searchCap bounds the best-partition enumeration; searchKeep bounds how
+// many balanced candidates get simulated per benchmark.
+const (
+	searchCap  = 2048
+	searchKeep = 12
+)
+
+// Fig6Row carries one benchmark's Figure 6 measurements.
+type Fig6Row struct {
+	Name string
+	// Cycles on the full-width machine.
+	BaseCycles, AutoCycles, BestCycles int64
+	// Speedups (loop-level).
+	Auto, Best float64
+	// Whole-program translations via coverage.
+	AutoProg, BestProg float64
+	// IPCs for Figure 6(b) (flow ops excluded, as in the paper).
+	BaseIPC, ProducerIPC, ConsumerIPC float64
+	// Occupancy for Figure 8.
+	Occ sim.OccupancyStats
+}
+
+// Fig6 runs the paper's headline experiment on every Table 1 loop:
+// single-threaded baseline vs automatic DSWP vs best searched partition,
+// on the full-width dual-core machine.
+func Fig6(cfg sim.Config) ([]Fig6Row, error) { return Fig6On(cfg, workloads.Table1Suite()) }
+
+// Fig6On is Fig6 over an explicit workload suite.
+func Fig6On(cfg sim.Config, suite []workloads.Builder) ([]Fig6Row, error) {
+	var rows []Fig6Row
+	for _, wb := range suite {
+		pr, err := Prepare(wb.Build(), core.Config{})
+		if err != nil {
+			return nil, err
+		}
+		base, err := pr.RunBase(cfg)
+		if err != nil {
+			return nil, err
+		}
+		auto, _, err := pr.RunAuto(cfg)
+		if err != nil {
+			return nil, err
+		}
+		cuts, err := pr.SearchBest(cfg, searchCap, searchKeep)
+		if err != nil {
+			return nil, err
+		}
+		best := cuts[0].Result
+		if auto.Cycles < best.Cycles {
+			best = auto // the automatic cut participates in the search
+		}
+		row := Fig6Row{
+			Name:       pr.P.Name,
+			BaseCycles: base.Cycles,
+			AutoCycles: auto.Cycles,
+			BestCycles: best.Cycles,
+			Auto:       Speedup(base.Cycles, auto.Cycles),
+			Best:       Speedup(base.Cycles, best.Cycles),
+			BaseIPC:    base.IPC(),
+			Occ:        auto.Occ,
+		}
+		row.AutoProg = ProgramSpeedup(row.Auto, pr.P.Coverage)
+		row.BestProg = ProgramSpeedup(row.Best, pr.P.Coverage)
+		if len(auto.Cores) == 2 {
+			row.ProducerIPC = auto.Cores[0].IPC()
+			row.ConsumerIPC = auto.Cores[1].IPC()
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig6Geo summarizes the Figure 6(a) geometric means.
+type Fig6Geo struct {
+	AutoLoop, BestLoop, AutoProg, BestProg float64
+}
+
+// Geo computes the four geomeans the paper quotes (§4.2: 14.4%/19.4% loop
+// and 6.6%/9.2% whole-program in the original).
+func Fig6GeoMeans(rows []Fig6Row) Fig6Geo {
+	var a, b, ap, bp []float64
+	for _, r := range rows {
+		a = append(a, r.Auto)
+		b = append(b, r.Best)
+		ap = append(ap, r.AutoProg)
+		bp = append(bp, r.BestProg)
+	}
+	return Fig6Geo{GeoMean(a), GeoMean(b), GeoMean(ap), GeoMean(bp)}
+}
+
+// RenderFig6a formats Figure 6(a).
+func RenderFig6a(rows []Fig6Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 6(a): Speedup of DSWP over single-threaded (loop-level)\n")
+	fmt.Fprintf(&b, "%-14s %12s %12s %10s %10s %10s %10s\n",
+		"Benchmark", "Base(cyc)", "DSWP(cyc)", "Auto", "Best", "AutoProg", "BestProg")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %12d %12d %9.3fx %9.3fx %9.3fx %9.3fx\n",
+			r.Name, r.BaseCycles, r.AutoCycles, r.Auto, r.Best, r.AutoProg, r.BestProg)
+	}
+	g := Fig6GeoMeans(rows)
+	fmt.Fprintf(&b, "%-14s %12s %12s %9.3fx %9.3fx %9.3fx %9.3fx\n",
+		"GeoMean", "", "", g.AutoLoop, g.BestLoop, g.AutoProg, g.BestProg)
+	return b.String()
+}
+
+// RenderFig6b formats Figure 6(b).
+func RenderFig6b(rows []Fig6Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 6(b): Baseline and DSWP IPC (produce/consume excluded)\n")
+	fmt.Fprintf(&b, "%-14s %8s %10s %10s\n", "Benchmark", "Base", "Producer", "Consumer")
+	var sb, sp, sc float64
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %8.2f %10.2f %10.2f\n", r.Name, r.BaseIPC, r.ProducerIPC, r.ConsumerIPC)
+		sb += r.BaseIPC
+		sp += r.ProducerIPC
+		sc += r.ConsumerIPC
+	}
+	n := float64(len(rows))
+	fmt.Fprintf(&b, "%-14s %8.2f %10.2f %10.2f\n", "Average", sb/n, sp/n, sc/n)
+	return b.String()
+}
+
+// Fig7 measures every topological-prefix cut of 181.mcf's DAG_SCC with
+// speedup and occupancy distribution — the paper's balancing illustration.
+type Fig7Cut struct {
+	P1SCCs    int
+	P1Instrs  int
+	Speedup   float64
+	OccFull   float64 // % cycles producer-stalled (queues full)
+	OccEmpty  float64 // % cycles consumer-stalled (queues empty)
+	OccActive float64 // % cycles both active
+}
+
+func Fig7(cfg sim.Config) ([]Fig7Cut, int, error) {
+	pr, err := Prepare(workloads.MCF(), core.Config{})
+	if err != nil {
+		return nil, 0, err
+	}
+	base, err := pr.RunBase(cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	cuts, err := pr.PrefixCuts(cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	autoPart := pr.Analysis.Heuristic()
+	autoP1 := 0
+	for _, a := range autoPart.Assign {
+		if a == 0 {
+			autoP1++
+		}
+	}
+	var out []Fig7Cut
+	for _, c := range cuts {
+		occ := c.Result.Occ
+		total := float64(occ.Total())
+		instrs := 0
+		for scc, part := range c.Part.Assign {
+			if part == 0 {
+				instrs += len(pr.Analysis.Cond.Comps[scc])
+			}
+		}
+		out = append(out, Fig7Cut{
+			P1SCCs:    c.P1SCCs,
+			P1Instrs:  instrs,
+			Speedup:   Speedup(base.Cycles, c.Result.Cycles),
+			OccFull:   100 * float64(occ.FullProducerStalled) / total,
+			OccEmpty:  100 * float64(occ.EmptyConsumerStalled) / total,
+			OccActive: 100 * float64(occ.BalancedBothActive+occ.EmptyBothActive) / total,
+		})
+	}
+	return out, autoP1, nil
+}
+
+// RenderFig7 formats the cuts.
+func RenderFig7(cuts []Fig7Cut, autoP1 int) string {
+	var b strings.Builder
+	b.WriteString("Figure 7: 181.mcf DAG_SCC cuts — balance vs speedup and SA occupancy\n")
+	fmt.Fprintf(&b, "%6s %9s %9s %8s %8s %8s %s\n",
+		"P1SCCs", "P1Instrs", "Speedup", "Full%", "Empty%", "Active%", "")
+	for _, c := range cuts {
+		mark := ""
+		if c.P1SCCs == autoP1 {
+			mark = "<- heuristic"
+		}
+		fmt.Fprintf(&b, "%6d %9d %8.3fx %8.1f %8.1f %8.1f %s\n",
+			c.P1SCCs, c.P1Instrs, c.Speedup, c.OccFull, c.OccEmpty, c.OccActive, mark)
+	}
+	return b.String()
+}
+
+// Fig8Row is one benchmark's occupancy distribution (Figure 8).
+type Fig8Row struct {
+	Name                                 string
+	FullStall, Active, Empty, EmptyStall float64
+}
+
+// Fig8 derives the cumulative cycle distribution at occupancy levels from
+// the Figure 6 runs.
+func Fig8(rows []Fig6Row) []Fig8Row {
+	var out []Fig8Row
+	for _, r := range rows {
+		total := float64(r.Occ.Total())
+		if total == 0 {
+			total = 1
+		}
+		out = append(out, Fig8Row{
+			Name:       r.Name,
+			FullStall:  100 * float64(r.Occ.FullProducerStalled) / total,
+			Active:     100 * float64(r.Occ.BalancedBothActive) / total,
+			Empty:      100 * float64(r.Occ.EmptyBothActive) / total,
+			EmptyStall: 100 * float64(r.Occ.EmptyConsumerStalled) / total,
+		})
+	}
+	return out
+}
+
+// RenderFig8 formats the distribution.
+func RenderFig8(rows []Fig8Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 8: Cumulative cycle distribution at SA occupancy levels (%)\n")
+	fmt.Fprintf(&b, "%-14s %12s %12s %12s %12s\n",
+		"Benchmark", "Full/PStall", "Balanced", "Empty/Act", "Empty/CStall")
+	var a, c, d, e float64
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %12.1f %12.1f %12.1f %12.1f\n",
+			r.Name, r.FullStall, r.Active, r.Empty, r.EmptyStall)
+		a += r.FullStall
+		c += r.Active
+		d += r.Empty
+		e += r.EmptyStall
+	}
+	n := float64(len(rows))
+	fmt.Fprintf(&b, "%-14s %12.1f %12.1f %12.1f %12.1f\n", "Average", a/n, c/n, d/n, e/n)
+	return b.String()
+}
+
+// Fig9aRow compares issue widths (Figure 9(a)): everything normalized to
+// the full-width single-threaded baseline.
+type Fig9aRow struct {
+	Name                         string
+	HalfBase, HalfDSWP, FullDSWP float64
+}
+
+func Fig9a() ([]Fig9aRow, error) { return Fig9aOn(workloads.Table1Suite()) }
+
+// Fig9aOn is Fig9a over an explicit workload suite.
+func Fig9aOn(suite []workloads.Builder) ([]Fig9aRow, error) {
+	full := sim.FullWidth()
+	half := sim.HalfWidth()
+	var rows []Fig9aRow
+	for _, wb := range suite {
+		pr, err := Prepare(wb.Build(), core.Config{})
+		if err != nil {
+			return nil, err
+		}
+		fullBase, err := pr.RunBase(full)
+		if err != nil {
+			return nil, err
+		}
+		halfBase, err := pr.RunBase(half)
+		if err != nil {
+			return nil, err
+		}
+		fullDSWP, _, err := pr.RunAuto(full)
+		if err != nil {
+			return nil, err
+		}
+		halfDSWP, _, err := pr.RunAuto(half)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig9aRow{
+			Name:     pr.P.Name,
+			HalfBase: Speedup(fullBase.Cycles, halfBase.Cycles),
+			HalfDSWP: Speedup(fullBase.Cycles, halfDSWP.Cycles),
+			FullDSWP: Speedup(fullBase.Cycles, fullDSWP.Cycles),
+		})
+	}
+	return rows, nil
+}
+
+// RenderFig9a formats the width study.
+func RenderFig9a(rows []Fig9aRow) string {
+	var b strings.Builder
+	b.WriteString("Figure 9(a): Issue-width study (vs full-width single-threaded)\n")
+	fmt.Fprintf(&b, "%-14s %12s %12s %12s\n", "Benchmark", "HalfBase", "HalfDSWP", "FullDSWP")
+	var hb, hd, fd []float64
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %11.3fx %11.3fx %11.3fx\n", r.Name, r.HalfBase, r.HalfDSWP, r.FullDSWP)
+		hb = append(hb, r.HalfBase)
+		hd = append(hd, r.HalfDSWP)
+		fd = append(fd, r.FullDSWP)
+	}
+	fmt.Fprintf(&b, "%-14s %11.3fx %11.3fx %11.3fx\n", "GeoMean", GeoMean(hb), GeoMean(hd), GeoMean(fd))
+	return b.String()
+}
+
+// Fig9bRow is the communication-latency sensitivity (Figure 9(b)).
+type Fig9bRow struct {
+	Name              (string)
+	Lat1, Lat5, Lat10 float64
+}
+
+func Fig9b() ([]Fig9bRow, error) { return Fig9bOn(workloads.Table1Suite()) }
+
+// Fig9bOn is Fig9b over an explicit workload suite.
+func Fig9bOn(suite []workloads.Builder) ([]Fig9bRow, error) {
+	full := sim.FullWidth()
+	var rows []Fig9bRow
+	for _, wb := range suite {
+		pr, err := Prepare(wb.Build(), core.Config{})
+		if err != nil {
+			return nil, err
+		}
+		base, err := pr.RunBase(full)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig9bRow{Name: pr.P.Name}
+		for _, lat := range []int{1, 5, 10} {
+			res, _, err := pr.RunAuto(full.WithCommLatency(lat))
+			if err != nil {
+				return nil, err
+			}
+			s := Speedup(base.Cycles, res.Cycles)
+			switch lat {
+			case 1:
+				row.Lat1 = s
+			case 5:
+				row.Lat5 = s
+			case 10:
+				row.Lat10 = s
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderFig9b formats the latency study.
+func RenderFig9b(rows []Fig9bRow) string {
+	var b strings.Builder
+	b.WriteString("Figure 9(b): Communication-latency sensitivity (DSWP speedup vs base)\n")
+	fmt.Fprintf(&b, "%-14s %10s %10s %10s\n", "Benchmark", "1 cycle", "5 cycles", "10 cycles")
+	var l1, l5, l10 []float64
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %9.3fx %9.3fx %9.3fx\n", r.Name, r.Lat1, r.Lat5, r.Lat10)
+		l1 = append(l1, r.Lat1)
+		l5 = append(l5, r.Lat5)
+		l10 = append(l10, r.Lat10)
+	}
+	fmt.Fprintf(&b, "%-14s %9.3fx %9.3fx %9.3fx\n", "GeoMean", GeoMean(l1), GeoMean(l5), GeoMean(l10))
+	return b.String()
+}
+
+// QueueSizeRow is the §4.4 queue-size study.
+type QueueSizeRow struct {
+	Name          string
+	Q8, Q32, Q128 float64
+}
+
+func QueueSize() ([]QueueSizeRow, error) { return QueueSizeOn(workloads.Table1Suite()) }
+
+// QueueSizeOn is QueueSize over an explicit workload suite.
+func QueueSizeOn(suite []workloads.Builder) ([]QueueSizeRow, error) {
+	full := sim.FullWidth()
+	var rows []QueueSizeRow
+	for _, wb := range suite {
+		pr, err := Prepare(wb.Build(), core.Config{})
+		if err != nil {
+			return nil, err
+		}
+		base, err := pr.RunBase(full)
+		if err != nil {
+			return nil, err
+		}
+		row := QueueSizeRow{Name: pr.P.Name}
+		for _, size := range []int{8, 32, 128} {
+			res, _, err := pr.RunAuto(full.WithQueueSize(size))
+			if err != nil {
+				return nil, err
+			}
+			s := Speedup(base.Cycles, res.Cycles)
+			switch size {
+			case 8:
+				row.Q8 = s
+			case 32:
+				row.Q32 = s
+			case 128:
+				row.Q128 = s
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderQueueSize formats the queue study.
+func RenderQueueSize(rows []QueueSizeRow) string {
+	var b strings.Builder
+	b.WriteString("Queue-size sensitivity (§4.4): DSWP speedup vs base at 8/32/128 entries\n")
+	fmt.Fprintf(&b, "%-14s %10s %10s %10s\n", "Benchmark", "8", "32", "128")
+	var q8, q32, q128 []float64
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %9.3fx %9.3fx %9.3fx\n", r.Name, r.Q8, r.Q32, r.Q128)
+		q8 = append(q8, r.Q8)
+		q32 = append(q32, r.Q32)
+		q128 = append(q128, r.Q128)
+	}
+	fmt.Fprintf(&b, "%-14s %9.3fx %9.3fx %9.3fx\n", "GeoMean", GeoMean(q8), GeoMean(q32), GeoMean(q128))
+	return b.String()
+}
+
+// Fig1Row compares execution models on the motivating list traversal at a
+// given communication latency.
+type Fig1Row struct {
+	CommLatency                  int
+	STCycles, DACycles, DSCycles int64
+	DoacrossSpeedup, DSWPSpeedup float64
+}
+
+// Fig1 reproduces the Figure 1 discussion: DOACROSS routes the critical
+// path through the interconnect each iteration; DSWP does not.
+func Fig1(listLen int64) ([]Fig1Row, error) {
+	var rows []Fig1Row
+	for _, lat := range []int{1, 5, 10} {
+		cfg := sim.FullWidth().WithCommLatency(lat)
+		p := workloads.ListTraversal(listLen)
+		pr, err := Prepare(p, core.Config{})
+		if err != nil {
+			return nil, err
+		}
+		base, err := pr.RunBase(cfg)
+		if err != nil {
+			return nil, err
+		}
+		ds, _, err := pr.RunAuto(cfg)
+		if err != nil {
+			return nil, err
+		}
+		// DOACROSS on a fresh instance (transformation consumes the IR).
+		p2 := workloads.ListTraversal(listLen)
+		daThreads, err := doacross.Transform(p2.F, p2.LoopHeader, 2)
+		if err != nil {
+			return nil, err
+		}
+		opts := p2.Options()
+		opts.RecordTrace = true
+		daRun, err := interp.RunThreads(daThreads, opts)
+		if err != nil {
+			return nil, err
+		}
+		da, err := sim.Run(cfg, daRun.Threads)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig1Row{
+			CommLatency:     lat,
+			STCycles:        base.Cycles,
+			DACycles:        da.Cycles,
+			DSCycles:        ds.Cycles,
+			DoacrossSpeedup: Speedup(base.Cycles, da.Cycles),
+			DSWPSpeedup:     Speedup(base.Cycles, ds.Cycles),
+		})
+	}
+	return rows, nil
+}
+
+// RenderFig1 formats the motivation study.
+func RenderFig1(rows []Fig1Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 1: list traversal — DOACROSS vs DSWP across comm latencies\n")
+	fmt.Fprintf(&b, "%8s %12s %12s %12s %10s %10s\n",
+		"CommLat", "ST(cyc)", "DOACROSS", "DSWP", "DA-spd", "DSWP-spd")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%8d %12d %12d %12d %9.3fx %9.3fx\n",
+			r.CommLatency, r.STCycles, r.DACycles, r.DSCycles,
+			r.DoacrossSpeedup, r.DSWPSpeedup)
+	}
+	return b.String()
+}

@@ -1,0 +1,237 @@
+// Package exp reproduces the paper's evaluation: every table and figure
+// has a driver that builds the workloads, applies DSWP (automatic and
+// searched variants), runs the machine model, and renders the same rows
+// and series the paper reports. See EXPERIMENTS.md for paper-vs-measured.
+package exp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dswp/internal/core"
+	"dswp/internal/interp"
+	"dswp/internal/ir"
+	"dswp/internal/profile"
+	"dswp/internal/sim"
+	"dswp/internal/workloads"
+)
+
+// Prepared bundles the reusable per-workload artifacts: profile, analysis,
+// and the single-threaded trace.
+type Prepared struct {
+	P        *workloads.Program
+	Prof     *profile.Profile
+	Analysis *core.LoopAnalysis
+	Stats    profile.LoopStats
+
+	baseTrace []*interp.ThreadResult
+}
+
+// Prepare profiles the program and builds the loop analysis.
+func Prepare(p *workloads.Program, config core.Config) (*Prepared, error) {
+	prof, err := profile.Collect(p.F, p.Options())
+	if err != nil {
+		return nil, fmt.Errorf("%s: profile: %w", p.Name, err)
+	}
+	a, err := core.Analyze(p.F, p.LoopHeader, prof, config)
+	if err != nil {
+		return nil, fmt.Errorf("%s: analyze: %w", p.Name, err)
+	}
+	return &Prepared{
+		P: p, Prof: prof, Analysis: a,
+		Stats: prof.LoopStats(a.CFG, a.Loop),
+	}, nil
+}
+
+// BaseTrace returns (and caches) the single-threaded trace.
+func (pr *Prepared) BaseTrace() ([]*interp.ThreadResult, error) {
+	if pr.baseTrace != nil {
+		return pr.baseTrace, nil
+	}
+	opts := pr.P.Options()
+	opts.RecordTrace = true
+	res, err := interp.Run(pr.P.F, opts)
+	if err != nil {
+		return nil, err
+	}
+	pr.baseTrace = res.Threads
+	return pr.baseTrace, nil
+}
+
+// RunBase simulates the single-threaded program.
+func (pr *Prepared) RunBase(cfg sim.Config) (*sim.Result, error) {
+	tr, err := pr.BaseTrace()
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(cfg, tr)
+}
+
+// RunPartition transforms under p, validates equivalence, and simulates.
+func (pr *Prepared) RunPartition(part *core.Partitioning, cfg sim.Config) (*sim.Result, *core.Transformed, error) {
+	tr, err := pr.Analysis.Transform(part)
+	if err != nil {
+		return nil, nil, err
+	}
+	opts := pr.P.Options()
+	opts.RecordTrace = true
+	multi, err := interp.RunThreads(tr.Threads, opts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: threaded run: %w", pr.P.Name, err)
+	}
+	// Equivalence is checked on every experiment run, not only in tests:
+	// a wrong pipeline must never produce a performance number.
+	base, err := interp.Run(pr.P.F, pr.P.Options())
+	if err != nil {
+		return nil, nil, err
+	}
+	if d := base.Mem.Diff(multi.Mem); d != -1 {
+		return nil, nil, fmt.Errorf("%s: transformed memory differs at word %d", pr.P.Name, d)
+	}
+	for r, v := range base.LiveOuts {
+		if multi.LiveOuts[r] != v {
+			return nil, nil, fmt.Errorf("%s: live-out %s differs", pr.P.Name, r)
+		}
+	}
+	res, err := sim.Run(cfg, multi.Threads)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, tr, nil
+}
+
+// RunAuto runs the fully automatic heuristic pipeline.
+func (pr *Prepared) RunAuto(cfg sim.Config) (*sim.Result, *core.Transformed, error) {
+	return pr.RunPartition(pr.Analysis.Heuristic(), cfg)
+}
+
+// CutResult is one candidate partitioning's measurement.
+type CutResult struct {
+	Part   *core.Partitioning
+	Result *sim.Result
+	// P1SCCs is the number of DAG_SCC nodes in the first stage.
+	P1SCCs int
+}
+
+// SearchBest reproduces the paper's manually-directed search: enumerate
+// candidate two-stage partitionings (capped), keep the `keep` most
+// balanced, simulate each, and return them sorted fastest-first.
+func (pr *Prepared) SearchBest(cfg sim.Config, enumerateCap, keep int) ([]CutResult, error) {
+	parts := pr.Analysis.Enumerate(enumerateCap)
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("%s: no candidate partitionings", pr.P.Name)
+	}
+	sort.SliceStable(parts, func(i, j int) bool {
+		return core.BalanceScore(parts[i]) < core.BalanceScore(parts[j])
+	})
+	if keep > 0 && len(parts) > keep {
+		parts = parts[:keep]
+	}
+	var out []CutResult
+	for _, part := range parts {
+		res, _, err := pr.RunPartition(part, cfg)
+		if err != nil {
+			return nil, err
+		}
+		p1 := 0
+		for _, a := range part.Assign {
+			if a == 0 {
+				p1++
+			}
+		}
+		out = append(out, CutResult{Part: part, Result: res, P1SCCs: p1})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Result.Cycles < out[j].Result.Cycles })
+	return out, nil
+}
+
+// PrefixCuts measures every topological-prefix cut of the DAG_SCC —
+// Figure 7's left-to-right lines across the mcf DAG.
+func (pr *Prepared) PrefixCuts(cfg sim.Config) ([]CutResult, error) {
+	order, err := pr.Analysis.Cond.DAG.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	n := len(order)
+	var out []CutResult
+	for k := 1; k < n; k++ {
+		assign := make([]int, n)
+		for i := range assign {
+			assign[i] = 1
+		}
+		for _, v := range order[:k] {
+			assign[v] = 0
+		}
+		part := &core.Partitioning{
+			G: pr.Analysis.G, Cond: pr.Analysis.Cond,
+			Assign: assign, N: 2, Weights: pr.Analysis.Weights,
+		}
+		if err := part.Validate(); err != nil {
+			return nil, err
+		}
+		res, _, err := pr.RunPartition(part, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, CutResult{Part: part, Result: res, P1SCCs: k})
+	}
+	return out, nil
+}
+
+// Speedup is a/b as a ratio (>1 means b is faster than a... callers pass
+// (baseCycles, newCycles)).
+func Speedup(baseCycles, newCycles int64) float64 {
+	if newCycles == 0 {
+		return 0
+	}
+	return float64(baseCycles) / float64(newCycles)
+}
+
+// ProgramSpeedup translates a loop speedup into a whole-program speedup
+// through Amdahl's law at the workload's coverage.
+func ProgramSpeedup(loopSpeedup, coverage float64) float64 {
+	if loopSpeedup <= 0 {
+		return 0
+	}
+	return 1.0 / ((1.0 - coverage) + coverage/loopSpeedup)
+}
+
+// GeoMean returns the geometric mean of positive values.
+func GeoMean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vals {
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vals)))
+}
+
+// LoopNestDepth reports the maximum loop depth within the target loop
+// (Table 1's "Loop Nest" column).
+func LoopNestDepth(a *core.LoopAnalysis) int {
+	depth := 1
+	loops := a.CFG.FindLoops(a.CFG.Dominators())
+	for _, l := range loops {
+		if a.Loop.Contains(l.Header) && l.Depth > depth {
+			depth = l.Depth
+		}
+	}
+	return depth
+}
+
+// CountCalls counts call instructions in the loop.
+func CountCalls(a *core.LoopAnalysis) int {
+	n := 0
+	for _, in := range a.G.Instrs {
+		if in.Op == ir.OpCall {
+			n++
+		}
+	}
+	return n
+}
+
+// LoopBlocks returns Table 1's "BBs" column.
+func LoopBlocks(a *core.LoopAnalysis) int { return a.Loop.NumBlocks() }

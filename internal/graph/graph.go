@@ -1,0 +1,207 @@
+// Package graph provides the directed-graph algorithms the DSWP
+// transformation is built on: strongly connected components, condensation
+// into the DAG_SCC, topological ordering, reachability, and enumeration of
+// order ideals (the valid two-way partitionings of a DAG).
+//
+// Vertices are dense integers in [0, N). The package is deliberately small
+// and allocation-conscious: the dependence graphs DSWP builds have one
+// vertex per loop instruction and are traversed many times per compilation.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Graph is a directed graph over vertices 0..N-1 with adjacency lists.
+// Parallel edges are permitted; algorithms treat them as a single edge
+// unless documented otherwise.
+type Graph struct {
+	n   int
+	adj [][]int
+}
+
+// New returns an empty graph with n vertices and no edges.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Graph{n: n, adj: make([][]int, n)}
+}
+
+// N reports the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge inserts the directed edge u -> v.
+func (g *Graph) AddEdge(u, v int) {
+	g.check(u)
+	g.check(v)
+	g.adj[u] = append(g.adj[u], v)
+}
+
+// HasEdge reports whether an edge u -> v exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	g.check(u)
+	g.check(v)
+	for _, w := range g.adj[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Succs returns the successor list of u. The caller must not modify it.
+func (g *Graph) Succs(u int) []int {
+	g.check(u)
+	return g.adj[u]
+}
+
+// Preds computes the predecessor lists of all vertices.
+func (g *Graph) Preds() [][]int {
+	preds := make([][]int, g.n)
+	for u, succs := range g.adj {
+		for _, v := range succs {
+			preds[v] = append(preds[v], u)
+		}
+	}
+	return preds
+}
+
+// EdgeCount returns the number of directed edges, counting parallels.
+func (g *Graph) EdgeCount() int {
+	total := 0
+	for _, s := range g.adj {
+		total += len(s)
+	}
+	return total
+}
+
+// Dedup removes parallel edges, preserving first-occurrence order.
+func (g *Graph) Dedup() {
+	seen := make(map[int]bool)
+	for u := range g.adj {
+		clear(seen)
+		out := g.adj[u][:0]
+		for _, v := range g.adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+		g.adj[u] = out
+	}
+}
+
+// Reverse returns the transpose graph.
+func (g *Graph) Reverse() *Graph {
+	r := New(g.n)
+	for u, succs := range g.adj {
+		for _, v := range succs {
+			r.AddEdge(v, u)
+		}
+	}
+	return r
+}
+
+// Reachable returns the set of vertices reachable from any of the roots,
+// including the roots themselves.
+func (g *Graph) Reachable(roots ...int) []bool {
+	seen := make([]bool, g.n)
+	stack := make([]int, 0, len(roots))
+	for _, r := range roots {
+		g.check(r)
+		if !seen[r] {
+			seen[r] = true
+			stack = append(stack, r)
+		}
+	}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range g.adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return seen
+}
+
+// TopoSort returns a topological order of the vertices, or an error if the
+// graph contains a cycle. Ties are broken by vertex number so the result is
+// deterministic.
+func (g *Graph) TopoSort() ([]int, error) {
+	indeg := make([]int, g.n)
+	seenSucc := make(map[[2]int]bool)
+	for u, succs := range g.adj {
+		for _, v := range succs {
+			key := [2]int{u, v}
+			if !seenSucc[key] {
+				seenSucc[key] = true
+				indeg[v]++
+			}
+		}
+	}
+	// Min-heap behaviour via sorted frontier: the graphs here are small
+	// enough that re-sorting the ready list is cheap and keeps the order
+	// canonical.
+	ready := make([]int, 0, g.n)
+	for v := 0; v < g.n; v++ {
+		if indeg[v] == 0 {
+			ready = append(ready, v)
+		}
+	}
+	sort.Ints(ready)
+	order := make([]int, 0, g.n)
+	emitted := make(map[[2]int]bool)
+	for len(ready) > 0 {
+		u := ready[0]
+		ready = ready[1:]
+		order = append(order, u)
+		newly := []int{}
+		for _, v := range g.adj[u] {
+			key := [2]int{u, v}
+			if emitted[key] {
+				continue
+			}
+			emitted[key] = true
+			indeg[v]--
+			if indeg[v] == 0 {
+				newly = append(newly, v)
+			}
+		}
+		if len(newly) > 0 {
+			ready = append(ready, newly...)
+			sort.Ints(ready)
+		}
+	}
+	if len(order) != g.n {
+		return nil, fmt.Errorf("graph: cycle detected (%d of %d vertices ordered)", len(order), g.n)
+	}
+	return order, nil
+}
+
+// String renders the graph as "u -> v" lines, for debugging and tests.
+func (g *Graph) String() string {
+	var b strings.Builder
+	for u, succs := range g.adj {
+		if len(succs) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%d ->", u)
+		for _, v := range succs {
+			fmt.Fprintf(&b, " %d", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func (g *Graph) check(v int) {
+	if v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", v, g.n))
+	}
+}

@@ -1,0 +1,361 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyGraph(t *testing.T) {
+	g := New(0)
+	if g.N() != 0 {
+		t.Fatalf("N() = %d, want 0", g.N())
+	}
+	if comps := g.SCCs(); len(comps) != 0 {
+		t.Fatalf("SCCs of empty graph = %v, want none", comps)
+	}
+	order, err := g.TopoSort()
+	if err != nil || len(order) != 0 {
+		t.Fatalf("TopoSort = %v, %v", order, err)
+	}
+}
+
+func TestAddAndQueryEdges(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 2) {
+		t.Fatal("missing inserted edges")
+	}
+	if g.HasEdge(1, 0) {
+		t.Fatal("unexpected reverse edge")
+	}
+	if got := g.EdgeCount(); got != 2 {
+		t.Fatalf("EdgeCount = %d, want 2", got)
+	}
+}
+
+func TestDedup(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 1)
+	g.Dedup()
+	if got := g.EdgeCount(); got != 1 {
+		t.Fatalf("EdgeCount after Dedup = %d, want 1", got)
+	}
+}
+
+func TestReverse(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	r := g.Reverse()
+	if !r.HasEdge(1, 0) || !r.HasEdge(2, 1) {
+		t.Fatal("reverse edges missing")
+	}
+	if r.HasEdge(0, 1) {
+		t.Fatal("forward edge present in reverse")
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	seen := g.Reachable(0)
+	want := []bool{true, true, true, false, false}
+	if !reflect.DeepEqual(seen, want) {
+		t.Fatalf("Reachable(0) = %v, want %v", seen, want)
+	}
+	seen = g.Reachable(0, 3)
+	want = []bool{true, true, true, true, true}
+	if !reflect.DeepEqual(seen, want) {
+		t.Fatalf("Reachable(0,3) = %v, want %v", seen, want)
+	}
+}
+
+func TestTopoSortLine(t *testing.T) {
+	g := New(4)
+	g.AddEdge(3, 2)
+	g.AddEdge(2, 1)
+	g.AddEdge(1, 0)
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{3, 2, 1, 0}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+func TestTopoSortDetectsCycle(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	if _, err := g.TopoSort(); err == nil {
+		t.Fatal("expected cycle error")
+	}
+}
+
+func TestTopoSortDeterministicTieBreak(t *testing.T) {
+	g := New(3) // no edges: expect ascending vertex order
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(order, []int{0, 1, 2}) {
+		t.Fatalf("order = %v, want [0 1 2]", order)
+	}
+}
+
+func TestSCCsSimpleCycle(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0) // SCC {0,1}
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	comps := g.SCCs()
+	if len(comps) != 3 {
+		t.Fatalf("got %d comps %v, want 3", len(comps), comps)
+	}
+	// Reverse topological: sinks first.
+	if !reflect.DeepEqual(comps[0], []int{3}) {
+		t.Fatalf("comps[0] = %v, want [3]", comps[0])
+	}
+	if !reflect.DeepEqual(comps[2], []int{0, 1}) {
+		t.Fatalf("comps[2] = %v, want [0 1]", comps[2])
+	}
+}
+
+func TestSCCsSelfLoop(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 0)
+	g.AddEdge(0, 1)
+	comps := g.SCCs()
+	if len(comps) != 2 {
+		t.Fatalf("got %v, want 2 comps", comps)
+	}
+}
+
+func TestCondenseOrdering(t *testing.T) {
+	// 0<->1 -> 2<->3 -> 4
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 2)
+	g.AddEdge(3, 4)
+	c := g.Condense()
+	if len(c.Comps) != 3 {
+		t.Fatalf("comps = %v, want 3", c.Comps)
+	}
+	if !reflect.DeepEqual(c.Comps[0], []int{0, 1}) {
+		t.Fatalf("Comps[0] = %v, want [0 1]", c.Comps[0])
+	}
+	if !reflect.DeepEqual(c.Comps[2], []int{4}) {
+		t.Fatalf("Comps[2] = %v, want [4]", c.Comps[2])
+	}
+	if _, err := c.DAG.TopoSort(); err != nil {
+		t.Fatalf("condensation not a DAG: %v", err)
+	}
+	if !c.DAG.HasEdge(0, 1) || !c.DAG.HasEdge(1, 2) {
+		t.Fatalf("DAG edges missing:\n%s", c.DAG)
+	}
+}
+
+func TestCondenseDeepChainNoStackOverflow(t *testing.T) {
+	const n = 200000
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	c := g.Condense()
+	if len(c.Comps) != n {
+		t.Fatalf("got %d comps, want %d", len(c.Comps), n)
+	}
+}
+
+func TestIdealsDiamond(t *testing.T) {
+	//   0
+	//  / \
+	// 1   2
+	//  \ /
+	//   3
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 3)
+	ideals, exhaustive := g.Ideals(0)
+	if !exhaustive {
+		t.Fatal("expected exhaustive enumeration")
+	}
+	// Ideals: {}, {0}, {0,1}, {0,2}, {0,1,2}, {0,1,2,3} = 6.
+	if len(ideals) != 6 {
+		t.Fatalf("got %d ideals, want 6", len(ideals))
+	}
+	for _, id := range ideals {
+		if id[3] && !(id[0] && id[1] && id[2]) {
+			t.Fatalf("non-downward-closed ideal %v", id)
+		}
+		if (id[1] || id[2]) && !id[0] {
+			t.Fatalf("non-downward-closed ideal %v", id)
+		}
+	}
+}
+
+func TestIdealsCap(t *testing.T) {
+	g := New(10) // antichain: 2^10 ideals
+	ideals, exhaustive := g.Ideals(100)
+	if exhaustive {
+		t.Fatal("expected capped enumeration")
+	}
+	if len(ideals) != 100 {
+		t.Fatalf("got %d ideals, want exactly the cap (100)", len(ideals))
+	}
+}
+
+func TestCountIdealsChain(t *testing.T) {
+	g := New(5)
+	for i := 0; i+1 < 5; i++ {
+		g.AddEdge(i, i+1)
+	}
+	if n := g.CountIdeals(0); n != 6 { // prefixes only
+		t.Fatalf("chain ideals = %d, want 6", n)
+	}
+}
+
+// randomGraph builds a pseudo-random digraph from a seed.
+func randomGraph(seed int64, maxN, maxE int) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 + rng.Intn(maxN)
+	g := New(n)
+	e := rng.Intn(maxE)
+	for i := 0; i < e; i++ {
+		g.AddEdge(rng.Intn(n), rng.Intn(n))
+	}
+	return g
+}
+
+// Property: SCCs partition the vertex set.
+func TestQuickSCCsPartitionVertices(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(seed, 40, 160)
+		seen := make([]bool, g.N())
+		total := 0
+		for _, comp := range g.SCCs() {
+			for _, v := range comp {
+				if seen[v] {
+					return false
+				}
+				seen[v] = true
+				total++
+			}
+		}
+		return total == g.N()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: two vertices share an SCC iff mutually reachable.
+func TestQuickSCCsMatchMutualReachability(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(seed, 14, 40)
+		c := g.Condense()
+		reach := make([][]bool, g.N())
+		for v := 0; v < g.N(); v++ {
+			reach[v] = g.Reachable(v)
+		}
+		for u := 0; u < g.N(); u++ {
+			for v := 0; v < g.N(); v++ {
+				mutual := reach[u][v] && reach[v][u]
+				same := c.CompOf[u] == c.CompOf[v]
+				if mutual != same {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the condensation is acyclic and respects edge direction.
+func TestQuickCondensationAcyclicTopo(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(seed, 40, 200)
+		c := g.Condense()
+		if _, err := c.DAG.TopoSort(); err != nil {
+			return false
+		}
+		// Renumbering must itself be topological: arcs go low -> high.
+		for u := 0; u < c.DAG.N(); u++ {
+			for _, v := range c.DAG.Succs(u) {
+				if u >= v {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every enumerated ideal is downward closed, and all are distinct.
+func TestQuickIdealsDownwardClosed(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(seed, 10, 20)
+		dag := g.Condense().DAG
+		ideals, _ := dag.Ideals(512)
+		preds := dag.Preds()
+		keys := make(map[string]bool)
+		for _, id := range ideals {
+			key := ""
+			for v, in := range id {
+				if in {
+					key += string(rune('0' + v%64))
+					for _, p := range preds[v] {
+						if !id[p] {
+							return false
+						}
+					}
+				} else {
+					key += "."
+				}
+			}
+			if keys[key] {
+				return false // duplicate ideal
+			}
+			keys[key] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGraphStringAndBoundsPanic(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1)
+	if s := g.String(); s != "0 -> 1\n" {
+		t.Fatalf("String = %q", s)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range vertex")
+		}
+	}()
+	g.AddEdge(0, 5)
+}

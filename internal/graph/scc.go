@@ -1,0 +1,135 @@
+package graph
+
+// SCCs computes the strongly connected components of g using Tarjan's
+// algorithm (iterative, so deep dependence chains cannot overflow the
+// stack). Components are returned in reverse topological order of the
+// condensation — i.e. if there is an arc from component A to component B in
+// the DAG_SCC, B appears before A. Vertices inside a component are sorted
+// ascending for determinism.
+func (g *Graph) SCCs() [][]int {
+	const unvisited = -1
+	n := g.n
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		comps   [][]int
+		stack   []int
+		counter int
+	)
+
+	type frame struct {
+		v    int
+		succ int // next successor index to examine
+	}
+	var work []frame
+
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		work = append(work[:0], frame{v: root})
+		index[root] = counter
+		low[root] = counter
+		counter++
+		stack = append(stack, root)
+		onStack[root] = true
+
+		for len(work) > 0 {
+			fr := &work[len(work)-1]
+			v := fr.v
+			if fr.succ < len(g.adj[v]) {
+				w := g.adj[v][fr.succ]
+				fr.succ++
+				if index[w] == unvisited {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					work = append(work, frame{v: w})
+				} else if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+				continue
+			}
+			// v is finished.
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				parent := work[len(work)-1].v
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				insertionSort(comp)
+				comps = append(comps, comp)
+			}
+		}
+	}
+	return comps
+}
+
+// Condensation describes the DAG of strongly connected components of a
+// graph — the paper's DAG_SCC.
+type Condensation struct {
+	// Comps[i] lists the original vertices of component i, ascending.
+	Comps [][]int
+	// CompOf maps each original vertex to its component index.
+	CompOf []int
+	// DAG is the component graph; it is acyclic and deduplicated, and
+	// contains no self-loops.
+	DAG *Graph
+}
+
+// Condense computes the condensation of g. Components are renumbered into
+// topological order (sources first), matching how the paper draws the
+// DAG_SCC top-down.
+func (g *Graph) Condense() *Condensation {
+	comps := g.SCCs() // reverse topological order
+	k := len(comps)
+	// Renumber into forward topological order.
+	renum := make([][]int, k)
+	for i, c := range comps {
+		renum[k-1-i] = c
+	}
+	compOf := make([]int, g.n)
+	for ci, c := range renum {
+		for _, v := range c {
+			compOf[v] = ci
+		}
+	}
+	dag := New(k)
+	for u, succs := range g.adj {
+		cu := compOf[u]
+		for _, v := range succs {
+			cv := compOf[v]
+			if cu != cv {
+				dag.AddEdge(cu, cv)
+			}
+		}
+	}
+	dag.Dedup()
+	return &Condensation{Comps: renum, CompOf: compOf, DAG: dag}
+}
+
+func insertionSort(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

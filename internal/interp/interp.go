@@ -1,0 +1,371 @@
+package interp
+
+import (
+	"fmt"
+
+	"dswp/internal/ir"
+)
+
+// Event is one dynamically executed instruction, as recorded for the
+// timing model: the static instruction plus the dynamic facts timing needs
+// (memory address, branch direction).
+type Event struct {
+	In    *ir.Instr
+	Addr  int64 // word address for load/store
+	Taken bool  // branch direction
+}
+
+// ThreadResult captures one thread's execution.
+type ThreadResult struct {
+	Fn     *ir.Function
+	Trace  []Event
+	Counts []int64 // dynamic executions per instruction ID
+	Steps  int64
+}
+
+// Result captures a whole run.
+type Result struct {
+	Mem      *Memory
+	Threads  []*ThreadResult
+	LiveOuts map[ir.Reg]int64 // thread 0's live-out registers
+}
+
+// Options configures execution.
+type Options struct {
+	// MaxSteps bounds total executed instructions across threads
+	// (0 = default 500M). Runaway loops fail rather than hang.
+	MaxSteps int64
+	// Regs pre-initializes thread 0's registers (live-ins).
+	Regs map[ir.Reg]int64
+	// Mem supplies an initial memory image (cloned; nil = zeroed image
+	// sized for thread 0's objects).
+	Mem *Memory
+	// RecordTrace enables event recording (timing runs need it; pure
+	// correctness checks can skip it to save memory).
+	RecordTrace bool
+}
+
+const defaultMaxSteps = 500_000_000
+
+// queue is an unbounded FIFO for functional execution; capacity limits are
+// a timing concern handled by package sim.
+type queue struct {
+	buf  []int64
+	head int
+}
+
+func (q *queue) push(v int64) { q.buf = append(q.buf, v) }
+
+func (q *queue) empty() bool { return q.head >= len(q.buf) }
+
+func (q *queue) pop() int64 {
+	v := q.buf[q.head]
+	q.head++
+	if q.head > 4096 && q.head*2 > len(q.buf) {
+		q.buf = append(q.buf[:0], q.buf[q.head:]...)
+		q.head = 0
+	}
+	return v
+}
+
+type thread struct {
+	res     *ThreadResult
+	regs    []int64
+	block   *ir.Block
+	pc      int
+	done    bool
+	blocked bool
+}
+
+// Run executes fn single-threaded. It is the baseline path and the
+// profiling path.
+func Run(fn *ir.Function, opts Options) (*Result, error) {
+	return RunThreads([]*ir.Function{fn}, opts)
+}
+
+// RunThreads executes fns concurrently (round-robin, switching on queue
+// blocks) with shared memory and shared queues. Thread 0 is the main
+// thread; its live-outs are collected. Execution ends when every thread
+// has returned. All-blocked is reported as a deadlock, which for DSWP
+// output indicates a transformation bug.
+func RunThreads(fns []*ir.Function, opts Options) (*Result, error) {
+	if len(fns) == 0 {
+		return nil, fmt.Errorf("interp: no threads")
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = defaultMaxSteps
+	}
+	var mem *Memory
+	if opts.Mem != nil {
+		mem = opts.Mem.Clone()
+	} else {
+		mem = MemoryFor(fns[0])
+	}
+
+	queues := map[int]*queue{}
+	getQueue := func(id int) *queue {
+		q := queues[id]
+		if q == nil {
+			q = &queue{}
+			queues[id] = q
+		}
+		return q
+	}
+
+	threads := make([]*thread, len(fns))
+	for i, fn := range fns {
+		if fn.Entry() == nil {
+			return nil, fmt.Errorf("interp: thread %d has no entry block", i)
+		}
+		th := &thread{
+			res: &ThreadResult{
+				Fn:     fn,
+				Counts: make([]int64, fn.NumInstrIDs()),
+			},
+			regs:  make([]int64, fn.MaxReg()+1),
+			block: fn.Entry(),
+		}
+		if i == 0 {
+			for r, v := range opts.Regs {
+				if int(r) >= len(th.regs) {
+					return nil, fmt.Errorf("interp: live-in register %s out of range", r)
+				}
+				th.regs[r] = v
+			}
+		}
+		threads[i] = th
+	}
+
+	var total int64
+	// Round-robin until all threads are done. Each turn a thread runs a
+	// bounded burst, so queue growth stays modest and scheduling is fair.
+	const burst = 4096
+	for {
+		allDone := true
+		anyProgress := false
+		for ti, th := range threads {
+			if th.done {
+				continue
+			}
+			allDone = false
+			progressed, err := runBurst(th, mem, getQueue, burst, &total, maxSteps, opts.RecordTrace)
+			if err != nil {
+				return nil, fmt.Errorf("interp: thread %d: %w", ti, err)
+			}
+			if progressed {
+				anyProgress = true
+			}
+		}
+		if allDone {
+			break
+		}
+		if !anyProgress {
+			return nil, deadlockError(threads)
+		}
+		if total >= maxSteps {
+			return nil, fmt.Errorf("interp: step limit %d exceeded", maxSteps)
+		}
+	}
+
+	res := &Result{Mem: mem, LiveOuts: map[ir.Reg]int64{}}
+	for _, th := range threads {
+		res.Threads = append(res.Threads, th.res)
+	}
+	for _, r := range fns[0].LiveOuts {
+		res.LiveOuts[r] = threads[0].regs[r]
+	}
+	return res, nil
+}
+
+func deadlockError(threads []*thread) error {
+	msg := "interp: deadlock:"
+	for i, th := range threads {
+		state := "done"
+		if !th.done {
+			in := "?"
+			if th.pc < len(th.block.Instrs) {
+				in = th.block.Instrs[th.pc].String()
+			}
+			state = fmt.Sprintf("blocked at %s/%s[%d] %q", th.res.Fn.Name, th.block.Name, th.pc, in)
+		}
+		msg += fmt.Sprintf(" thread%d=%s;", i, state)
+	}
+	return fmt.Errorf("%s", msg)
+}
+
+// runBurst executes up to n instructions of th; returns whether any
+// instruction retired.
+func runBurst(th *thread, mem *Memory, getQueue func(int) *queue, n int, total *int64, maxSteps int64, trace bool) (bool, error) {
+	progressed := false
+	for i := 0; i < n; i++ {
+		if th.done || *total >= maxSteps {
+			return progressed, nil
+		}
+		if th.pc >= len(th.block.Instrs) {
+			// Fall through to the next block in layout order.
+			next := nextBlock(th.res.Fn, th.block)
+			if next == nil {
+				return progressed, fmt.Errorf("fell off the end of block %s", th.block.Name)
+			}
+			th.block, th.pc = next, 0
+			continue
+		}
+		in := th.block.Instrs[th.pc]
+		ev := Event{In: in}
+
+		switch in.Op {
+		case ir.OpConsume:
+			q := getQueue(in.Queue)
+			if q.empty() {
+				th.blocked = true
+				return progressed, nil
+			}
+			th.blocked = false
+			v := q.pop()
+			if in.Dst != ir.NoReg {
+				th.regs[in.Dst] = v
+			}
+			th.pc++
+		case ir.OpProduce:
+			v := int64(0)
+			if len(in.Src) > 0 {
+				v = th.regs[in.Src[0]]
+			}
+			getQueue(in.Queue).push(v)
+			th.pc++
+		case ir.OpBranch:
+			taken := th.regs[in.Src[0]] != 0
+			ev.Taken = taken
+			if taken {
+				th.block, th.pc = in.Target, 0
+			} else {
+				th.block, th.pc = in.TargetFalse, 0
+			}
+		case ir.OpJump:
+			ev.Taken = true
+			th.block, th.pc = in.Target, 0
+		case ir.OpRet:
+			th.done = true
+			th.pc++
+		case ir.OpLoad:
+			addr := th.regs[in.Src[0]] + in.Imm
+			ev.Addr = addr
+			v, err := mem.Load(addr)
+			if err != nil {
+				return progressed, fmt.Errorf("%s: %w", in, err)
+			}
+			th.regs[in.Dst] = v
+			th.pc++
+		case ir.OpStore:
+			addr := th.regs[in.Src[1]] + in.Imm
+			ev.Addr = addr
+			if err := mem.Store(addr, th.regs[in.Src[0]]); err != nil {
+				return progressed, fmt.Errorf("%s: %w", in, err)
+			}
+			th.pc++
+		case ir.OpCall:
+			// Opaque call: functionally a no-op; timing charges Imm.
+			th.pc++
+		default:
+			th.regs[in.Dst] = evalALU(in, th.regs)
+			th.pc++
+		}
+
+		th.res.Counts[in.ID]++
+		th.res.Steps++
+		*total++
+		progressed = true
+		if trace {
+			th.res.Trace = append(th.res.Trace, ev)
+		}
+	}
+	return progressed, nil
+}
+
+func nextBlock(f *ir.Function, b *ir.Block) *ir.Block {
+	for i, bb := range f.Blocks {
+		if bb == b {
+			if i+1 < len(f.Blocks) {
+				return f.Blocks[i+1]
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+func evalALU(in *ir.Instr, regs []int64) int64 {
+	get := func(i int) int64 { return regs[in.Src[i]] }
+	b2i := func(b bool) int64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	switch in.Op {
+	case ir.OpConst:
+		return in.Imm
+	case ir.OpMove:
+		return get(0)
+	case ir.OpAdd:
+		return get(0) + get(1)
+	case ir.OpSub:
+		return get(0) - get(1)
+	case ir.OpMul:
+		return get(0) * get(1)
+	case ir.OpDiv:
+		if get(1) == 0 {
+			return 0
+		}
+		return get(0) / get(1)
+	case ir.OpRem:
+		if get(1) == 0 {
+			return 0
+		}
+		return get(0) % get(1)
+	case ir.OpAnd:
+		return get(0) & get(1)
+	case ir.OpOr:
+		return get(0) | get(1)
+	case ir.OpXor:
+		return get(0) ^ get(1)
+	case ir.OpShl:
+		return get(0) << (uint64(get(1)) & 63)
+	case ir.OpShr:
+		return get(0) >> (uint64(get(1)) & 63)
+	case ir.OpNeg:
+		return -get(0)
+	case ir.OpNot:
+		return ^get(0)
+	case ir.OpCmpEQ:
+		return b2i(get(0) == get(1))
+	case ir.OpCmpNE:
+		return b2i(get(0) != get(1))
+	case ir.OpCmpLT:
+		return b2i(get(0) < get(1))
+	case ir.OpCmpLE:
+		return b2i(get(0) <= get(1))
+	case ir.OpCmpGT:
+		return b2i(get(0) > get(1))
+	case ir.OpCmpGE:
+		return b2i(get(0) >= get(1))
+	case ir.OpFAdd:
+		return ir.F2I(ir.I2F(get(0)) + ir.I2F(get(1)))
+	case ir.OpFSub:
+		return ir.F2I(ir.I2F(get(0)) - ir.I2F(get(1)))
+	case ir.OpFMul:
+		return ir.F2I(ir.I2F(get(0)) * ir.I2F(get(1)))
+	case ir.OpFDiv:
+		return ir.F2I(ir.I2F(get(0)) / ir.I2F(get(1)))
+	case ir.OpFCmpLT:
+		return b2i(ir.I2F(get(0)) < ir.I2F(get(1)))
+	case ir.OpFCmpGT:
+		return b2i(ir.I2F(get(0)) > ir.I2F(get(1)))
+	case ir.OpIToF:
+		return ir.F2I(float64(get(0)))
+	case ir.OpFToI:
+		return int64(ir.I2F(get(0)))
+	}
+	panic(fmt.Sprintf("interp: unhandled op %s", in.Op))
+}

@@ -1,0 +1,206 @@
+package ir
+
+// Builder provides a fluent way to construct IR functions. It tracks a
+// current block; emit methods append to it. The IR is not SSA: loop-carried
+// values are expressed by writing the same register on every iteration, so
+// the builder offers both fresh-register helpers (Add, Load, ...) and
+// explicit-destination variants (AddTo, MoveTo, ...).
+type Builder struct {
+	F   *Function
+	cur *Block
+}
+
+// NewBuilder starts a new function.
+func NewBuilder(name string) *Builder {
+	return &Builder{F: NewFunction(name)}
+}
+
+// Block creates a block and makes it current.
+func (b *Builder) Block(name string) *Block {
+	blk := b.F.NewBlock(name)
+	b.cur = blk
+	return blk
+}
+
+// SetBlock switches emission to blk.
+func (b *Builder) SetBlock(blk *Block) { b.cur = blk }
+
+// Cur returns the current block.
+func (b *Builder) Cur() *Block { return b.cur }
+
+// Reg allocates a fresh virtual register.
+func (b *Builder) Reg() Reg { return b.F.NewReg() }
+
+// Emit appends a raw instruction to the current block.
+func (b *Builder) Emit(in *Instr) *Instr {
+	if b.cur == nil {
+		panic("ir: Builder has no current block")
+	}
+	if in.Dst != NoReg {
+		b.F.NoteReg(in.Dst)
+	}
+	return b.cur.Append(in)
+}
+
+func (b *Builder) op(op Op, dst Reg, srcs ...Reg) *Instr {
+	in := b.F.NewInstr(op)
+	in.Dst = dst
+	in.Src = srcs
+	return b.Emit(in)
+}
+
+// Const materializes an immediate into a fresh register.
+func (b *Builder) Const(v int64) Reg {
+	dst := b.Reg()
+	b.ConstTo(dst, v)
+	return dst
+}
+
+// ConstTo materializes an immediate into dst.
+func (b *Builder) ConstTo(dst Reg, v int64) *Instr {
+	in := b.F.NewInstr(OpConst)
+	in.Dst = dst
+	in.Imm = v
+	return b.Emit(in)
+}
+
+// FConst materializes a float64 immediate (bit pattern) into a fresh reg.
+func (b *Builder) FConst(v float64) Reg {
+	return b.Const(int64(float64bits(v)))
+}
+
+// Move copies src into a fresh register.
+func (b *Builder) Move(src Reg) Reg {
+	dst := b.Reg()
+	b.MoveTo(dst, src)
+	return dst
+}
+
+// MoveTo copies src into dst.
+func (b *Builder) MoveTo(dst, src Reg) *Instr { return b.op(OpMove, dst, src) }
+
+// Bin emits a two-source op into a fresh register.
+func (b *Builder) Bin(op Op, x, y Reg) Reg {
+	dst := b.Reg()
+	b.BinTo(op, dst, x, y)
+	return dst
+}
+
+// BinTo emits a two-source op into dst.
+func (b *Builder) BinTo(op Op, dst, x, y Reg) *Instr { return b.op(op, dst, x, y) }
+
+// Un emits a one-source op into a fresh register.
+func (b *Builder) Un(op Op, x Reg) Reg {
+	dst := b.Reg()
+	b.op(op, dst, x)
+	return dst
+}
+
+// UnTo emits a one-source op into dst.
+func (b *Builder) UnTo(op Op, dst, x Reg) *Instr { return b.op(op, dst, x) }
+
+// Convenience arithmetic wrappers.
+func (b *Builder) Add(x, y Reg) Reg   { return b.Bin(OpAdd, x, y) }
+func (b *Builder) Sub(x, y Reg) Reg   { return b.Bin(OpSub, x, y) }
+func (b *Builder) Mul(x, y Reg) Reg   { return b.Bin(OpMul, x, y) }
+func (b *Builder) And(x, y Reg) Reg   { return b.Bin(OpAnd, x, y) }
+func (b *Builder) Or(x, y Reg) Reg    { return b.Bin(OpOr, x, y) }
+func (b *Builder) Xor(x, y Reg) Reg   { return b.Bin(OpXor, x, y) }
+func (b *Builder) Shl(x, y Reg) Reg   { return b.Bin(OpShl, x, y) }
+func (b *Builder) Shr(x, y Reg) Reg   { return b.Bin(OpShr, x, y) }
+func (b *Builder) CmpEQ(x, y Reg) Reg { return b.Bin(OpCmpEQ, x, y) }
+func (b *Builder) CmpNE(x, y Reg) Reg { return b.Bin(OpCmpNE, x, y) }
+func (b *Builder) CmpLT(x, y Reg) Reg { return b.Bin(OpCmpLT, x, y) }
+func (b *Builder) CmpGE(x, y Reg) Reg { return b.Bin(OpCmpGE, x, y) }
+func (b *Builder) CmpGT(x, y Reg) Reg { return b.Bin(OpCmpGT, x, y) }
+func (b *Builder) CmpLE(x, y Reg) Reg { return b.Bin(OpCmpLE, x, y) }
+func (b *Builder) FAdd(x, y Reg) Reg  { return b.Bin(OpFAdd, x, y) }
+func (b *Builder) FMul(x, y Reg) Reg  { return b.Bin(OpFMul, x, y) }
+func (b *Builder) FDiv(x, y Reg) Reg  { return b.Bin(OpFDiv, x, y) }
+
+// AddTo emits dst = x + y (loop-carried updates).
+func (b *Builder) AddTo(dst, x, y Reg) *Instr { return b.BinTo(OpAdd, dst, x, y) }
+
+// Load emits dst = M[addr+off] with alias class obj, into a fresh reg.
+func (b *Builder) Load(addr Reg, off int64, obj int) Reg {
+	dst := b.Reg()
+	b.LoadTo(dst, addr, off, obj)
+	return dst
+}
+
+// LoadF is Load with a field-sensitive alias annotation.
+func (b *Builder) LoadF(addr Reg, off int64, obj, field int) Reg {
+	dst := b.Reg()
+	b.LoadTo(dst, addr, off, obj).Field = field
+	return dst
+}
+
+// LoadTo emits dst = M[addr+off] with alias class obj.
+func (b *Builder) LoadTo(dst, addr Reg, off int64, obj int) *Instr {
+	in := b.F.NewInstr(OpLoad)
+	in.Dst = dst
+	in.Src = []Reg{addr}
+	in.Imm = off
+	in.Obj = obj
+	return b.Emit(in)
+}
+
+// Store emits M[addr+off] = val with alias class obj.
+func (b *Builder) Store(val, addr Reg, off int64, obj int) *Instr {
+	in := b.F.NewInstr(OpStore)
+	in.Src = []Reg{val, addr}
+	in.Imm = off
+	in.Obj = obj
+	return b.Emit(in)
+}
+
+// StoreF is Store with a field-sensitive alias annotation.
+func (b *Builder) StoreF(val, addr Reg, off int64, obj, field int) *Instr {
+	in := b.Store(val, addr, off, obj)
+	in.Field = field
+	return in
+}
+
+// Br emits a conditional branch: if p != 0 goto taken else fall.
+func (b *Builder) Br(p Reg, taken, fall *Block) *Instr {
+	in := b.F.NewInstr(OpBranch)
+	in.Src = []Reg{p}
+	in.Target = taken
+	in.TargetFalse = fall
+	return b.Emit(in)
+}
+
+// Jump emits an unconditional jump.
+func (b *Builder) Jump(target *Block) *Instr {
+	in := b.F.NewInstr(OpJump)
+	in.Target = target
+	return b.Emit(in)
+}
+
+// Ret emits a return.
+func (b *Builder) Ret() *Instr { return b.Emit(b.F.NewInstr(OpRet)) }
+
+// Call emits an opaque call with the given estimated latency.
+func (b *Builder) Call(latency int64) *Instr {
+	in := b.F.NewInstr(OpCall)
+	in.Imm = latency
+	return b.Emit(in)
+}
+
+// Produce emits a produce of src on queue q (src NoReg = token).
+func (b *Builder) Produce(q int, src Reg) *Instr {
+	in := b.F.NewInstr(OpProduce)
+	if src != NoReg {
+		in.Src = []Reg{src}
+	}
+	in.Queue = q
+	return b.Emit(in)
+}
+
+// Consume emits a consume into dst from queue q (dst NoReg = token).
+func (b *Builder) Consume(q int, dst Reg) *Instr {
+	in := b.F.NewInstr(OpConsume)
+	in.Dst = dst
+	in.Queue = q
+	return b.Emit(in)
+}

@@ -1,0 +1,44 @@
+package ir
+
+// Clone deep-copies the function. Transformation passes clone before
+// rewriting so the original program remains available for equivalence
+// checking and for the single-threaded baseline.
+func (f *Function) Clone() *Function {
+	nf := NewFunction(f.Name)
+	nf.Objects = append([]MemObject(nil), f.Objects...)
+	nf.LiveOuts = append([]Reg(nil), f.LiveOuts...)
+	nf.nextInstrID = f.nextInstrID
+	nf.nextBlockID = f.nextBlockID
+	nf.maxReg = f.maxReg
+
+	blockMap := make(map[*Block]*Block, len(f.Blocks))
+	for _, b := range f.Blocks {
+		nb := &Block{ID: b.ID, Name: b.Name, Fn: nf}
+		nf.Blocks = append(nf.Blocks, nb)
+		blockMap[b] = nb
+	}
+	for _, b := range f.Blocks {
+		nb := blockMap[b]
+		for _, in := range b.Instrs {
+			ni := &Instr{
+				ID:    in.ID,
+				Op:    in.Op,
+				Dst:   in.Dst,
+				Src:   append([]Reg(nil), in.Src...),
+				Imm:   in.Imm,
+				Obj:   in.Obj,
+				Field: in.Field,
+				Queue: in.Queue,
+				Block: nb,
+			}
+			if in.Target != nil {
+				ni.Target = blockMap[in.Target]
+			}
+			if in.TargetFalse != nil {
+				ni.TargetFalse = blockMap[in.TargetFalse]
+			}
+			nb.Instrs = append(nb.Instrs, ni)
+		}
+	}
+	return nf
+}

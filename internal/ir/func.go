@@ -1,0 +1,223 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Block is a basic block: a straight-line instruction sequence ended by at
+// most one terminator (branch/jump/ret); a block without a terminator falls
+// through to the next block in Function.Blocks order.
+type Block struct {
+	ID     int
+	Name   string
+	Instrs []*Instr
+	Fn     *Function
+}
+
+// Append adds an instruction at the end of the block.
+func (b *Block) Append(in *Instr) *Instr {
+	in.Block = b
+	b.Instrs = append(b.Instrs, in)
+	return in
+}
+
+// InsertBefore inserts in ahead of position idx.
+func (b *Block) InsertBefore(idx int, in *Instr) {
+	if idx < 0 || idx > len(b.Instrs) {
+		panic(fmt.Sprintf("ir: insert index %d out of range", idx))
+	}
+	in.Block = b
+	b.Instrs = append(b.Instrs, nil)
+	copy(b.Instrs[idx+1:], b.Instrs[idx:])
+	b.Instrs[idx] = in
+}
+
+// Terminator returns the block's terminator instruction, or nil if the
+// block falls through.
+func (b *Block) Terminator() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	last := b.Instrs[len(b.Instrs)-1]
+	if last.Op.IsTerminator() {
+		return last
+	}
+	return nil
+}
+
+// Succs returns the control-flow successors of the block within fn.
+func (b *Block) Succs() []*Block {
+	t := b.Terminator()
+	if t == nil {
+		if next := b.Fn.blockAfter(b); next != nil {
+			return []*Block{next}
+		}
+		return nil
+	}
+	switch t.Op {
+	case OpJump:
+		return []*Block{t.Target}
+	case OpBranch:
+		return []*Block{t.Target, t.TargetFalse}
+	case OpRet:
+		return nil
+	}
+	return nil
+}
+
+func (b *Block) String() string { return b.Name }
+
+// MemObject is a named allocation used as an alias class: the memory
+// dependence analysis assumes accesses to distinct objects never alias,
+// standing in for IMPACT's points-to analysis.
+type MemObject struct {
+	Name string
+	Size int64 // in 8-byte words
+
+	// IterPrivate declares that distinct loop iterations touch disjoint
+	// parts of the object (e.g. out[i] indexed by the induction
+	// variable), so accesses to it carry no cross-iteration memory
+	// dependences — the guarantee the paper's accurate assembly-level
+	// memory analysis [10] proves for the epicdec loop. Program order
+	// within an iteration is still respected.
+	IterPrivate bool
+}
+
+// Function is a single IR function: the unit DSWP compiles. A program in
+// this reproduction is one function plus its memory objects; the paper's
+// whole-benchmark context is modeled by profiled code around the target
+// loop inside the same function.
+type Function struct {
+	Name    string
+	Blocks  []*Block
+	Objects []MemObject
+
+	// LiveOuts lists registers whose final values constitute the
+	// function's observable result (checked for transformation
+	// equivalence alongside the memory image).
+	LiveOuts []Reg
+
+	nextInstrID int
+	nextBlockID int
+	maxReg      Reg
+}
+
+// NewFunction returns an empty function.
+func NewFunction(name string) *Function {
+	return &Function{Name: name}
+}
+
+// NewBlock appends a new, empty block with the given name.
+func (f *Function) NewBlock(name string) *Block {
+	b := &Block{ID: f.nextBlockID, Name: name, Fn: f}
+	f.nextBlockID++
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// Entry returns the function's entry block.
+func (f *Function) Entry() *Block {
+	if len(f.Blocks) == 0 {
+		return nil
+	}
+	return f.Blocks[0]
+}
+
+// NewInstr allocates an instruction with a fresh ID (not yet placed in a
+// block).
+func (f *Function) NewInstr(op Op) *Instr {
+	in := &Instr{ID: f.nextInstrID, Op: op, Dst: NoReg, Obj: UnknownObj, Field: -1, Queue: -1}
+	f.nextInstrID++
+	return in
+}
+
+// NumInstrIDs returns an upper bound on instruction IDs in the function
+// (IDs are dense but deletions may leave gaps).
+func (f *Function) NumInstrIDs() int { return f.nextInstrID }
+
+// NewReg allocates a fresh virtual register.
+func (f *Function) NewReg() Reg {
+	f.maxReg++
+	return f.maxReg
+}
+
+// NoteReg records that r is in use, so NewReg never collides with it.
+func (f *Function) NoteReg(r Reg) {
+	if r > f.maxReg {
+		f.maxReg = r
+	}
+}
+
+// MaxReg returns the highest register number in use.
+func (f *Function) MaxReg() Reg { return f.maxReg }
+
+// AddObject registers a memory object and returns its alias-class index.
+func (f *Function) AddObject(name string, size int64) int {
+	f.Objects = append(f.Objects, MemObject{Name: name, Size: size})
+	return len(f.Objects) - 1
+}
+
+// BlockByName finds a block by name, or nil.
+func (f *Function) BlockByName(name string) *Block {
+	for _, b := range f.Blocks {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+func (f *Function) blockAfter(b *Block) *Block {
+	for i, bb := range f.Blocks {
+		if bb == b {
+			if i+1 < len(f.Blocks) {
+				return f.Blocks[i+1]
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+// Instrs calls fn for every instruction in layout order.
+func (f *Function) Instrs(fn func(*Instr)) {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			fn(in)
+		}
+	}
+}
+
+// InstrCount returns the number of instructions currently in the function.
+func (f *Function) InstrCount() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}
+
+// String renders the function in the textual IR format accepted by Parse.
+func (f *Function) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s {\n", f.Name)
+	for i, o := range f.Objects {
+		fmt.Fprintf(&sb, "  obj %s %d  ; @%d\n", o.Name, o.Size, i)
+	}
+	if len(f.LiveOuts) > 0 {
+		sb.WriteString("  liveout")
+		for _, r := range f.LiveOuts {
+			fmt.Fprintf(&sb, " %s", r)
+		}
+		sb.WriteString("\n")
+	}
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "%s:\n", b.Name)
+		for _, in := range b.Instrs {
+			fmt.Fprintf(&sb, "    %s\n", in)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

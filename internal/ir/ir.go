@@ -1,0 +1,278 @@
+// Package ir defines the low-level intermediate representation that DSWP
+// operates on: a register machine with explicit basic blocks, two-target
+// conditional branches, typed memory objects for alias analysis, and the
+// produce/consume instructions of the synchronization-array ISA extension.
+//
+// The representation deliberately mirrors the assembly-level IR the paper's
+// IMPACT implementation transforms ("operating on ILP optimized predicated
+// code at the assembly level"): registers are virtual but unlimited, there
+// is no SSA form, and control flow is explicit branches between blocks.
+package ir
+
+import "fmt"
+
+// Reg names a virtual register. Registers hold 64-bit values; floating
+// point operations reinterpret the bits as float64.
+type Reg int32
+
+// NoReg marks an absent register operand.
+const NoReg Reg = -1
+
+func (r Reg) String() string {
+	if r == NoReg {
+		return "r?"
+	}
+	return fmt.Sprintf("r%d", int32(r))
+}
+
+// Op enumerates IR opcodes.
+type Op uint8
+
+const (
+	OpInvalid Op = iota
+
+	// Data movement.
+	OpConst // dst = Imm
+	OpMove  // dst = src0
+
+	// Integer arithmetic and logic.
+	OpAdd // dst = src0 + src1
+	OpSub
+	OpMul
+	OpDiv // signed; divide-by-zero yields 0 (workloads guard anyway)
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr // arithmetic shift right
+	OpNeg
+	OpNot
+
+	// Comparisons write 0/1 predicates.
+	OpCmpEQ
+	OpCmpNE
+	OpCmpLT
+	OpCmpLE
+	OpCmpGT
+	OpCmpGE
+
+	// Floating point (registers reinterpret as float64 bits).
+	OpFAdd
+	OpFSub
+	OpFMul
+	OpFDiv
+	OpFCmpLT
+	OpFCmpGT
+	OpIToF // dst = float64(src0)
+	OpFToI // dst = int64(src0)
+
+	// Memory. Address is src-last + Imm displacement; Obj is the alias
+	// class (an index into Function.Objects, or UnknownObj).
+	OpLoad  // dst = M[src0 + Imm]
+	OpStore // M[src1 + Imm] = src0
+
+	// Control flow (block terminators).
+	OpBranch // if src0 != 0 goto Target else TargetFalse
+	OpJump   // goto Target
+	OpRet    // return from function
+
+	// Opaque call: conservatively reads and writes memory; Imm carries the
+	// estimated callee latency in cycles (the paper notes IMPACT lacked
+	// this estimate; we support it and can zero it to reproduce that).
+	OpCall
+
+	// Synchronization-array ISA extension.
+	OpProduce // queue[Queue] <- src0 (or a token if src0 == NoReg)
+	OpConsume // dst = <-queue[Queue] (or a token if dst == NoReg)
+
+	opMax
+)
+
+// FUClass categorizes ops onto Itanium-2-like issue ports.
+type FUClass uint8
+
+const (
+	FUInt   FUClass = iota // I ports: ALU, compares, moves
+	FUMem                  // M ports: loads, stores, produce, consume
+	FUFloat                // F ports
+	FUBr                   // B ports: branches, jumps, calls, ret
+)
+
+type opInfo struct {
+	name    string
+	class   FUClass
+	latency int // base latency in cycles (loads add cache time)
+	nSrc    int
+	hasDst  bool
+}
+
+var opTable = [opMax]opInfo{
+	OpConst:   {"const", FUInt, 1, 0, true},
+	OpMove:    {"move", FUInt, 1, 1, true},
+	OpAdd:     {"add", FUInt, 1, 2, true},
+	OpSub:     {"sub", FUInt, 1, 2, true},
+	OpMul:     {"mul", FUInt, 3, 2, true},
+	OpDiv:     {"div", FUInt, 12, 2, true},
+	OpRem:     {"rem", FUInt, 12, 2, true},
+	OpAnd:     {"and", FUInt, 1, 2, true},
+	OpOr:      {"or", FUInt, 1, 2, true},
+	OpXor:     {"xor", FUInt, 1, 2, true},
+	OpShl:     {"shl", FUInt, 1, 2, true},
+	OpShr:     {"shr", FUInt, 1, 2, true},
+	OpNeg:     {"neg", FUInt, 1, 1, true},
+	OpNot:     {"not", FUInt, 1, 1, true},
+	OpCmpEQ:   {"cmpeq", FUInt, 1, 2, true},
+	OpCmpNE:   {"cmpne", FUInt, 1, 2, true},
+	OpCmpLT:   {"cmplt", FUInt, 1, 2, true},
+	OpCmpLE:   {"cmple", FUInt, 1, 2, true},
+	OpCmpGT:   {"cmpgt", FUInt, 1, 2, true},
+	OpCmpGE:   {"cmpge", FUInt, 1, 2, true},
+	OpFAdd:    {"fadd", FUFloat, 4, 2, true},
+	OpFSub:    {"fsub", FUFloat, 4, 2, true},
+	OpFMul:    {"fmul", FUFloat, 4, 2, true},
+	OpFDiv:    {"fdiv", FUFloat, 15, 2, true},
+	OpFCmpLT:  {"fcmplt", FUFloat, 4, 2, true},
+	OpFCmpGT:  {"fcmpgt", FUFloat, 4, 2, true},
+	OpIToF:    {"itof", FUFloat, 4, 1, true},
+	OpFToI:    {"ftoi", FUFloat, 4, 1, true},
+	OpLoad:    {"load", FUMem, 1, 1, true},
+	OpStore:   {"store", FUMem, 1, 2, false},
+	OpBranch:  {"br", FUBr, 1, 1, false},
+	OpJump:    {"jump", FUBr, 1, 0, false},
+	OpRet:     {"ret", FUBr, 1, 0, false},
+	OpCall:    {"call", FUBr, 1, 0, false},
+	OpProduce: {"produce", FUMem, 1, 1, false},
+	OpConsume: {"consume", FUMem, 1, 0, true},
+}
+
+// String returns the mnemonic.
+func (o Op) String() string {
+	if o == OpInvalid || o >= opMax {
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+	return opTable[o].name
+}
+
+// Class reports the functional-unit class of the op.
+func (o Op) Class() FUClass { return opTable[o].class }
+
+// Latency reports the base execution latency in cycles.
+func (o Op) Latency() int { return opTable[o].latency }
+
+// IsTerminator reports whether the op must end a basic block.
+func (o Op) IsTerminator() bool {
+	return o == OpBranch || o == OpJump || o == OpRet
+}
+
+// IsMemAccess reports whether the op reads or writes program memory
+// (loads, stores, and opaque calls).
+func (o Op) IsMemAccess() bool {
+	return o == OpLoad || o == OpStore || o == OpCall
+}
+
+// IsFlow reports whether the op is a synchronization-array flow op.
+func (o Op) IsFlow() bool { return o == OpProduce || o == OpConsume }
+
+// UnknownObj is the alias class of accesses the memory analysis cannot
+// attribute to a specific object; it may alias everything.
+const UnknownObj = -1
+
+// Instr is one IR instruction. Instructions are identified within a
+// function by ID (dense, assigned by the builder); transformation passes
+// track instructions by pointer.
+type Instr struct {
+	ID  int
+	Op  Op
+	Dst Reg   // NoReg if the op defines nothing
+	Src []Reg // source registers, in operand order
+	Imm int64 // constant / displacement / call latency
+
+	// Obj is the alias class for load/store (UnknownObj if unattributed).
+	Obj int
+
+	// Field refines the alias class for load/store: accesses to the same
+	// object with different non-negative fields are guaranteed disjoint
+	// (e.g. distinct struct fields of list nodes). -1 means "whole
+	// object". This annotation is the stand-in for IMPACT's
+	// field-sensitive memory analysis.
+	Field int
+
+	// Queue is the synchronization-array queue for produce/consume.
+	Queue int
+
+	// Target/TargetFalse are block destinations for br/jump; TargetFalse
+	// is the fall-through of a conditional branch.
+	Target      *Block
+	TargetFalse *Block
+
+	// Block is the containing block (maintained by Block append/insert).
+	Block *Block
+}
+
+// Uses returns the registers the instruction reads.
+func (in *Instr) Uses() []Reg { return in.Src }
+
+// Def returns the register the instruction writes, or NoReg.
+func (in *Instr) Def() Reg { return in.Dst }
+
+// HasDef reports whether the instruction defines a register.
+func (in *Instr) HasDef() bool { return in.Dst != NoReg }
+
+func (in *Instr) String() string {
+	s := in.Op.String()
+	switch in.Op {
+	case OpConst:
+		return fmt.Sprintf("%s = const %d", in.Dst, in.Imm)
+	case OpLoad:
+		return fmt.Sprintf("%s = load [%s%+d] %s", in.Dst, in.Src[0], in.Imm, objName(in.Obj, in.Field))
+	case OpStore:
+		return fmt.Sprintf("store %s, [%s%+d] %s", in.Src[0], in.Src[1], in.Imm, objName(in.Obj, in.Field))
+	case OpBranch:
+		return fmt.Sprintf("br %s, %s, %s", in.Src[0], blockName(in.Target), blockName(in.TargetFalse))
+	case OpJump:
+		return fmt.Sprintf("jump %s", blockName(in.Target))
+	case OpRet:
+		return "ret"
+	case OpCall:
+		return fmt.Sprintf("call #%d", in.Imm)
+	case OpProduce:
+		if len(in.Src) == 0 {
+			return fmt.Sprintf("produce [%d] = token", in.Queue)
+		}
+		return fmt.Sprintf("produce [%d] = %s", in.Queue, in.Src[0])
+	case OpConsume:
+		if in.Dst == NoReg {
+			return fmt.Sprintf("consume token = [%d]", in.Queue)
+		}
+		return fmt.Sprintf("consume %s = [%d]", in.Dst, in.Queue)
+	}
+	if in.HasDef() {
+		switch len(in.Src) {
+		case 1:
+			return fmt.Sprintf("%s = %s %s", in.Dst, s, in.Src[0])
+		case 2:
+			return fmt.Sprintf("%s = %s %s, %s", in.Dst, s, in.Src[0], in.Src[1])
+		default:
+			return fmt.Sprintf("%s = %s", in.Dst, s)
+		}
+	}
+	return s
+}
+
+func objName(obj, field int) string {
+	if obj == UnknownObj {
+		return "@?"
+	}
+	if field >= 0 {
+		return fmt.Sprintf("@%d.%d", obj, field)
+	}
+	return fmt.Sprintf("@%d", obj)
+}
+
+func blockName(b *Block) string {
+	if b == nil {
+		return "<nil>"
+	}
+	return b.Name
+}

@@ -1,0 +1,337 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildCountdown constructs:
+//
+//	entry:  r1 = const 10; jump loop
+//	loop:   r1 = sub r1, r2; p = cmpgt r1, r0; br p, loop, exit
+//	exit:   ret
+func buildCountdown(t testing.TB) *Function {
+	t.Helper()
+	b := NewBuilder("countdown")
+	entry := b.Block("entry")
+	loop := b.F.NewBlock("loop")
+	exit := b.F.NewBlock("exit")
+
+	b.SetBlock(entry)
+	r1 := b.Const(10)
+	one := b.Const(1)
+	zero := b.Const(0)
+	b.Jump(loop)
+
+	b.SetBlock(loop)
+	b.BinTo(OpSub, r1, r1, one)
+	p := b.CmpGT(r1, zero)
+	b.Br(p, loop, exit)
+
+	b.SetBlock(exit)
+	b.Ret()
+
+	b.F.LiveOuts = []Reg{r1}
+	if err := b.F.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	return b.F
+}
+
+func TestBuilderProducesVerifiableFunction(t *testing.T) {
+	f := buildCountdown(t)
+	if got := f.InstrCount(); got != 8 {
+		t.Fatalf("InstrCount = %d, want 8", got)
+	}
+	if f.Entry().Name != "entry" {
+		t.Fatalf("entry = %s", f.Entry().Name)
+	}
+}
+
+func TestBlockSuccs(t *testing.T) {
+	f := buildCountdown(t)
+	entry := f.BlockByName("entry")
+	loop := f.BlockByName("loop")
+	exit := f.BlockByName("exit")
+
+	if s := entry.Succs(); len(s) != 1 || s[0] != loop {
+		t.Fatalf("entry succs = %v", s)
+	}
+	if s := loop.Succs(); len(s) != 2 || s[0] != loop || s[1] != exit {
+		t.Fatalf("loop succs = %v", s)
+	}
+	if s := exit.Succs(); len(s) != 0 {
+		t.Fatalf("exit succs = %v", s)
+	}
+}
+
+func TestFallthroughSuccs(t *testing.T) {
+	b := NewBuilder("ft")
+	b.Block("a")
+	r := b.Const(1)
+	second := b.F.NewBlock("b")
+	b.SetBlock(second)
+	_ = r
+	b.Ret()
+	f := b.F
+	a := f.BlockByName("a")
+	if s := a.Succs(); len(s) != 1 || s[0].Name != "b" {
+		t.Fatalf("fallthrough succs = %v", s)
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestVerifyCatchesTerminatorInMiddle(t *testing.T) {
+	b := NewBuilder("bad")
+	blk := b.Block("entry")
+	b.Ret()
+	b.ConstTo(b.Reg(), 1) // after the ret: invalid
+	_ = blk
+	if err := b.F.Verify(); err == nil || !strings.Contains(err.Error(), "terminator") {
+		t.Fatalf("Verify = %v, want terminator error", err)
+	}
+}
+
+func TestVerifyCatchesFallthroughOffEnd(t *testing.T) {
+	b := NewBuilder("bad")
+	b.Block("entry")
+	b.Const(1)
+	if err := b.F.Verify(); err == nil || !strings.Contains(err.Error(), "falls through") {
+		t.Fatalf("Verify = %v, want fallthrough error", err)
+	}
+}
+
+func TestVerifyCatchesBadAliasClass(t *testing.T) {
+	b := NewBuilder("bad")
+	b.Block("entry")
+	addr := b.Const(0)
+	b.Load(addr, 0, 3) // no objects registered
+	b.Ret()
+	if err := b.F.Verify(); err == nil || !strings.Contains(err.Error(), "alias class") {
+		t.Fatalf("Verify = %v, want alias class error", err)
+	}
+}
+
+func TestVerifyCatchesMissingQueue(t *testing.T) {
+	b := NewBuilder("bad")
+	b.Block("entry")
+	r := b.Const(1)
+	in := b.F.NewInstr(OpProduce)
+	in.Src = []Reg{r}
+	in.Queue = -1
+	b.Emit(in)
+	b.Ret()
+	if err := b.F.Verify(); err == nil || !strings.Contains(err.Error(), "queue") {
+		t.Fatalf("Verify = %v, want queue error", err)
+	}
+}
+
+func TestInsertBefore(t *testing.T) {
+	f := buildCountdown(t)
+	loop := f.BlockByName("loop")
+	n := len(loop.Instrs)
+	in := f.NewInstr(OpMove)
+	in.Dst = f.NewReg()
+	in.Src = []Reg{Reg(1)}
+	loop.InsertBefore(1, in)
+	if len(loop.Instrs) != n+1 || loop.Instrs[1] != in {
+		t.Fatal("InsertBefore misplaced instruction")
+	}
+	if in.Block != loop {
+		t.Fatal("InsertBefore did not set Block")
+	}
+}
+
+func TestOpMetadata(t *testing.T) {
+	cases := []struct {
+		op    Op
+		class FUClass
+		term  bool
+		mem   bool
+	}{
+		{OpAdd, FUInt, false, false},
+		{OpLoad, FUMem, false, true},
+		{OpStore, FUMem, false, true},
+		{OpFAdd, FUFloat, false, false},
+		{OpBranch, FUBr, true, false},
+		{OpJump, FUBr, true, false},
+		{OpRet, FUBr, true, false},
+		{OpCall, FUBr, false, true},
+		{OpProduce, FUMem, false, false},
+		{OpConsume, FUMem, false, false},
+	}
+	for _, c := range cases {
+		if c.op.Class() != c.class {
+			t.Errorf("%s class = %v, want %v", c.op, c.op.Class(), c.class)
+		}
+		if c.op.IsTerminator() != c.term {
+			t.Errorf("%s IsTerminator = %v", c.op, c.op.IsTerminator())
+		}
+		if c.op.IsMemAccess() != c.mem {
+			t.Errorf("%s IsMemAccess = %v", c.op, c.op.IsMemAccess())
+		}
+		if c.op.Latency() <= 0 {
+			t.Errorf("%s latency = %d", c.op, c.op.Latency())
+		}
+	}
+	if !OpProduce.IsFlow() || !OpConsume.IsFlow() || OpAdd.IsFlow() {
+		t.Error("IsFlow misclassifies")
+	}
+}
+
+func TestCloneIsDeepAndEqualText(t *testing.T) {
+	f := buildCountdown(t)
+	f.AddObject("arr", 64)
+	g := f.Clone()
+	if f.String() != g.String() {
+		t.Fatalf("clone text differs:\n%s\nvs\n%s", f, g)
+	}
+	// Mutating the clone must not affect the original.
+	g.BlockByName("loop").Instrs[0].Dst = g.NewReg()
+	if f.String() == g.String() {
+		t.Fatal("clone shares instruction storage with original")
+	}
+	// Branch targets must point at clone blocks.
+	br := g.BlockByName("loop").Terminator()
+	if br.Target.Fn != g || br.TargetFalse.Fn != g {
+		t.Fatal("clone branch targets original blocks")
+	}
+}
+
+func TestCloneFreshRegistersDoNotCollide(t *testing.T) {
+	f := buildCountdown(t)
+	g := f.Clone()
+	if f.NewReg() != g.NewReg() {
+		t.Fatal("clone lost register counter")
+	}
+}
+
+const roundTripSrc = `func sample {
+  obj list 128
+  liveout r5
+entry:
+    r1 = const 0
+    r2 = const 42
+    jump head
+head:
+    r3 = load [r1+8] @0
+    r4 = cmpeq r3, r1
+    br r4, out, body
+body:
+    r5 = add r5, r3
+    store r5, [r1+0] @?
+    r1 = move r3
+    call #25
+    produce [2] = r5
+    consume r6 = [3]
+    produce [4] = token
+    consume token = [5]
+    jump head
+out:
+    ret
+}
+`
+
+func TestParseRoundTrip(t *testing.T) {
+	f, err := Parse(roundTripSrc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	got := f.String()
+	f2, err := Parse(got)
+	if err != nil {
+		t.Fatalf("reparse: %v\ntext:\n%s", err, got)
+	}
+	if got2 := f2.String(); got2 != got {
+		t.Fatalf("round trip unstable:\n%s\nvs\n%s", got, got2)
+	}
+}
+
+func TestParsePopulatesStructure(t *testing.T) {
+	f := MustParse(roundTripSrc)
+	if f.Name != "sample" {
+		t.Fatalf("name = %s", f.Name)
+	}
+	if len(f.Objects) != 1 || f.Objects[0].Name != "list" || f.Objects[0].Size != 128 {
+		t.Fatalf("objects = %v", f.Objects)
+	}
+	if len(f.LiveOuts) != 1 || f.LiveOuts[0] != Reg(5) {
+		t.Fatalf("liveouts = %v", f.LiveOuts)
+	}
+	head := f.BlockByName("head")
+	if head == nil || len(head.Instrs) != 3 {
+		t.Fatalf("head block wrong: %v", head)
+	}
+	ld := head.Instrs[0]
+	if ld.Op != OpLoad || ld.Imm != 8 || ld.Obj != 0 {
+		t.Fatalf("load parsed wrong: %v", ld)
+	}
+	st := f.BlockByName("body").Instrs[1]
+	if st.Op != OpStore || st.Obj != UnknownObj {
+		t.Fatalf("store parsed wrong: %v", st)
+	}
+	br := head.Terminator()
+	if br.Op != OpBranch || br.Target.Name != "out" || br.TargetFalse.Name != "body" {
+		t.Fatalf("branch parsed wrong: %v", br)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"empty", "", "no func"},
+		{"unclosed", "func f {\nentry:\n    ret\n", "missing closing"},
+		{"unknownLabel", "func f {\nentry:\n    jump nowhere\n}", "unknown label"},
+		{"dupLabel", "func f {\na:\n    ret\na:\n    ret\n}", "duplicate label"},
+		{"badOp", "func f {\na:\n    r1 = frobnicate r2\n    ret\n}", "unknown opcode"},
+		{"instrOutsideBlock", "func f {\n    ret\n}", "outside a block"},
+		{"badReg", "func f {\na:\n    r1 = move x9\n    ret\n}", "expected register"},
+		{"badQueue", "func f {\na:\n    produce [x] = r1\n    ret\n}", "bad queue"},
+		{"badObj", "func f {\na:\n    r1 = load [r0+0] @7\n    ret\n}", "alias class"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil || !strings.Contains(err.Error(), c.wantSub) {
+				t.Fatalf("Parse err = %v, want substring %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestInstrStringForms(t *testing.T) {
+	b := NewBuilder("s")
+	b.Block("e")
+	r1 := b.Const(7)
+	cases := []struct {
+		in   *Instr
+		want string
+	}{
+		{&Instr{Op: OpConst, Dst: 3, Imm: 9}, "r3 = const 9"},
+		{&Instr{Op: OpAdd, Dst: 4, Src: []Reg{1, 2}}, "r4 = add r1, r2"},
+		{&Instr{Op: OpNeg, Dst: 4, Src: []Reg{1}}, "r4 = neg r1"},
+		{&Instr{Op: OpRet, Dst: NoReg}, "ret"},
+		{&Instr{Op: OpCall, Dst: NoReg, Imm: 5}, "call #5"},
+		{&Instr{Op: OpProduce, Dst: NoReg, Queue: 2, Src: []Reg{r1}}, "produce [2] = r1"},
+		{&Instr{Op: OpProduce, Dst: NoReg, Queue: 2}, "produce [2] = token"},
+		{&Instr{Op: OpConsume, Dst: 5, Queue: 1}, "consume r5 = [1]"},
+		{&Instr{Op: OpConsume, Dst: NoReg, Queue: 1}, "consume token = [1]"},
+		{&Instr{Op: OpLoad, Dst: 2, Src: []Reg{1}, Imm: -8, Obj: UnknownObj}, "r2 = load [r1-8] @?"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestF2IAndI2FRoundTrip(t *testing.T) {
+	for _, v := range []float64{0, 1, -1.5, 3.14159, 1e300, -1e-300} {
+		if got := I2F(F2I(v)); got != v {
+			t.Errorf("I2F(F2I(%g)) = %g", v, got)
+		}
+	}
+}

@@ -1,0 +1,416 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a function in the textual format emitted by Function.String.
+// The format exists so workloads and regression cases can be written and
+// inspected as text, as with any compiler IR.
+func Parse(src string) (*Function, error) {
+	p := &parser{}
+	return p.parse(src)
+}
+
+// MustParse parses or panics; for tests and embedded fixtures.
+func MustParse(src string) *Function {
+	f, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+type pendingTarget struct {
+	in     *Instr
+	label  string // Target
+	label2 string // TargetFalse (branches)
+	line   int
+}
+
+type parser struct {
+	f       *Function
+	cur     *Block
+	pending []pendingTarget
+	lineNo  int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("ir: line %d: %s", p.lineNo, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parse(src string) (*Function, error) {
+	lines := strings.Split(src, "\n")
+	sawClose := false
+	for i, raw := range lines {
+		p.lineNo = i + 1
+		line := raw
+		if idx := strings.Index(line, ";"); idx >= 0 {
+			line = line[:idx]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "func "):
+			if p.f != nil {
+				return nil, p.errf("nested func")
+			}
+			name := strings.TrimSpace(strings.TrimSuffix(strings.TrimPrefix(line, "func "), "{"))
+			if name == "" {
+				return nil, p.errf("func without a name")
+			}
+			p.f = NewFunction(name)
+		case line == "}":
+			if p.f == nil {
+				return nil, p.errf("stray }")
+			}
+			sawClose = true
+		case strings.HasPrefix(line, "obj "):
+			if err := p.parseObj(line); err != nil {
+				return nil, err
+			}
+		case strings.HasPrefix(line, "liveout"):
+			if err := p.parseLiveOut(line); err != nil {
+				return nil, err
+			}
+		case strings.HasSuffix(line, ":"):
+			name := strings.TrimSuffix(line, ":")
+			if p.f == nil {
+				return nil, p.errf("label outside func")
+			}
+			if p.f.BlockByName(name) != nil {
+				return nil, p.errf("duplicate label %q", name)
+			}
+			p.cur = p.f.NewBlock(name)
+		default:
+			if p.f == nil || p.cur == nil {
+				return nil, p.errf("instruction outside a block")
+			}
+			if err := p.parseInstr(line); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if p.f == nil {
+		return nil, fmt.Errorf("ir: no func found")
+	}
+	if !sawClose {
+		return nil, fmt.Errorf("ir: missing closing }")
+	}
+	for _, pt := range p.pending {
+		t := p.f.BlockByName(pt.label)
+		if t == nil {
+			return nil, fmt.Errorf("ir: line %d: unknown label %q", pt.line, pt.label)
+		}
+		pt.in.Target = t
+		if pt.label2 != "" {
+			t2 := p.f.BlockByName(pt.label2)
+			if t2 == nil {
+				return nil, fmt.Errorf("ir: line %d: unknown label %q", pt.line, pt.label2)
+			}
+			pt.in.TargetFalse = t2
+		}
+	}
+	if err := p.f.Verify(); err != nil {
+		return nil, err
+	}
+	return p.f, nil
+}
+
+func (p *parser) parseObj(line string) error {
+	fields := strings.Fields(line)
+	if len(fields) != 3 {
+		return p.errf("obj wants: obj NAME SIZE")
+	}
+	size, err := strconv.ParseInt(fields[2], 10, 64)
+	if err != nil || size < 0 {
+		return p.errf("bad obj size %q", fields[2])
+	}
+	p.f.AddObject(fields[1], size)
+	return nil
+}
+
+func (p *parser) parseLiveOut(line string) error {
+	for _, tok := range strings.Fields(line)[1:] {
+		r, err := p.reg(tok)
+		if err != nil {
+			return err
+		}
+		p.f.LiveOuts = append(p.f.LiveOuts, r)
+		p.f.NoteReg(r)
+	}
+	return nil
+}
+
+func (p *parser) reg(tok string) (Reg, error) {
+	tok = strings.TrimSuffix(tok, ",")
+	if !strings.HasPrefix(tok, "r") {
+		return NoReg, p.errf("expected register, got %q", tok)
+	}
+	n, err := strconv.Atoi(tok[1:])
+	if err != nil || n < 0 {
+		return NoReg, p.errf("bad register %q", tok)
+	}
+	return Reg(n), nil
+}
+
+func (p *parser) imm(tok string) (int64, error) {
+	v, err := strconv.ParseInt(strings.TrimSuffix(tok, ","), 10, 64)
+	if err != nil {
+		return 0, p.errf("bad immediate %q", tok)
+	}
+	return v, nil
+}
+
+var opByName = func() map[string]Op {
+	m := make(map[string]Op)
+	for op := OpConst; op < opMax; op++ {
+		m[opTable[op].name] = op
+	}
+	return m
+}()
+
+// parseMemRef parses "[rN+D]" or "[rN-D]".
+func (p *parser) parseMemRef(tok string) (Reg, int64, error) {
+	tok = strings.TrimSuffix(tok, ",")
+	if !strings.HasPrefix(tok, "[") || !strings.HasSuffix(tok, "]") {
+		return NoReg, 0, p.errf("expected [reg+off], got %q", tok)
+	}
+	inner := tok[1 : len(tok)-1]
+	sep := strings.IndexAny(inner[1:], "+-")
+	if sep < 0 {
+		return NoReg, 0, p.errf("expected [reg+off], got %q", tok)
+	}
+	sep++
+	r, err := p.reg(inner[:sep])
+	if err != nil {
+		return NoReg, 0, err
+	}
+	off, err := strconv.ParseInt(inner[sep:], 10, 64)
+	if err != nil {
+		return NoReg, 0, p.errf("bad displacement in %q", tok)
+	}
+	return r, off, nil
+}
+
+// parseObjRef parses "@N", "@N.F", or "@?", returning (obj, field).
+func (p *parser) parseObjRef(tok string) (int, int, error) {
+	if tok == "@?" {
+		return UnknownObj, -1, nil
+	}
+	if !strings.HasPrefix(tok, "@") {
+		return 0, -1, p.errf("expected alias class @N or @?, got %q", tok)
+	}
+	body := tok[1:]
+	field := -1
+	if dot := strings.IndexByte(body, '.'); dot >= 0 {
+		fv, err := strconv.Atoi(body[dot+1:])
+		if err != nil || fv < 0 {
+			return 0, -1, p.errf("bad field in %q", tok)
+		}
+		field = fv
+		body = body[:dot]
+	}
+	n, err := strconv.Atoi(body)
+	if err != nil || n < 0 || n >= len(p.f.Objects) {
+		return 0, -1, p.errf("bad alias class %q", tok)
+	}
+	return n, field, nil
+}
+
+func (p *parser) emit(in *Instr) {
+	if in.Dst != NoReg {
+		p.f.NoteReg(in.Dst)
+	}
+	for _, s := range in.Src {
+		p.f.NoteReg(s)
+	}
+	p.cur.Append(in)
+}
+
+func (p *parser) parseInstr(line string) error {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "store": // store rV, [rA+off] @obj
+		if len(fields) != 4 {
+			return p.errf("store wants: store rV, [rA+off] @obj")
+		}
+		v, err := p.reg(fields[1])
+		if err != nil {
+			return err
+		}
+		addr, off, err := p.parseMemRef(fields[2])
+		if err != nil {
+			return err
+		}
+		obj, field, err := p.parseObjRef(fields[3])
+		if err != nil {
+			return err
+		}
+		in := p.f.NewInstr(OpStore)
+		in.Src = []Reg{v, addr}
+		in.Imm = off
+		in.Obj = obj
+		in.Field = field
+		p.emit(in)
+	case "br": // br rP, L1, L2
+		if len(fields) != 4 {
+			return p.errf("br wants: br rP, taken, fall")
+		}
+		pr, err := p.reg(fields[1])
+		if err != nil {
+			return err
+		}
+		in := p.f.NewInstr(OpBranch)
+		in.Src = []Reg{pr}
+		p.emit(in)
+		p.pending = append(p.pending, pendingTarget{
+			in:     in,
+			label:  strings.TrimSuffix(fields[2], ","),
+			label2: fields[3],
+			line:   p.lineNo,
+		})
+	case "jump":
+		if len(fields) != 2 {
+			return p.errf("jump wants a label")
+		}
+		in := p.f.NewInstr(OpJump)
+		p.emit(in)
+		p.pending = append(p.pending, pendingTarget{in: in, label: fields[1], line: p.lineNo})
+	case "ret":
+		p.emit(p.f.NewInstr(OpRet))
+	case "call": // call #N
+		if len(fields) != 2 || !strings.HasPrefix(fields[1], "#") {
+			return p.errf("call wants: call #latency")
+		}
+		lat, err := strconv.ParseInt(fields[1][1:], 10, 64)
+		if err != nil {
+			return p.errf("bad call latency %q", fields[1])
+		}
+		in := p.f.NewInstr(OpCall)
+		in.Imm = lat
+		p.emit(in)
+	case "produce": // produce [Q] = rS|token
+		if len(fields) != 4 || fields[2] != "=" {
+			return p.errf("produce wants: produce [Q] = rS|token")
+		}
+		q, err := p.parseQueue(fields[1])
+		if err != nil {
+			return err
+		}
+		in := p.f.NewInstr(OpProduce)
+		in.Queue = q
+		if fields[3] != "token" {
+			r, err := p.reg(fields[3])
+			if err != nil {
+				return err
+			}
+			in.Src = []Reg{r}
+		}
+		p.emit(in)
+	case "consume": // consume rD|token = [Q]
+		if len(fields) != 4 || fields[2] != "=" {
+			return p.errf("consume wants: consume rD|token = [Q]")
+		}
+		q, err := p.parseQueue(fields[3])
+		if err != nil {
+			return err
+		}
+		in := p.f.NewInstr(OpConsume)
+		in.Queue = q
+		if fields[1] != "token" {
+			r, err := p.reg(fields[1])
+			if err != nil {
+				return err
+			}
+			in.Dst = r
+		}
+		p.emit(in)
+	default:
+		return p.parseAssign(fields)
+	}
+	return nil
+}
+
+func (p *parser) parseQueue(tok string) (int, error) {
+	tok = strings.TrimSuffix(tok, ",")
+	if !strings.HasPrefix(tok, "[") || !strings.HasSuffix(tok, "]") {
+		return 0, p.errf("expected queue [N], got %q", tok)
+	}
+	n, err := strconv.Atoi(tok[1 : len(tok)-1])
+	if err != nil || n < 0 {
+		return 0, p.errf("bad queue %q", tok)
+	}
+	return n, nil
+}
+
+// parseAssign handles "rD = op ..." forms.
+func (p *parser) parseAssign(fields []string) error {
+	if len(fields) < 3 || fields[1] != "=" {
+		return p.errf("unrecognized instruction %q", strings.Join(fields, " "))
+	}
+	dst, err := p.reg(fields[0])
+	if err != nil {
+		return err
+	}
+	opName := fields[2]
+	args := fields[3:]
+	switch opName {
+	case "const":
+		if len(args) != 1 {
+			return p.errf("const wants one immediate")
+		}
+		v, err := p.imm(args[0])
+		if err != nil {
+			return err
+		}
+		in := p.f.NewInstr(OpConst)
+		in.Dst = dst
+		in.Imm = v
+		p.emit(in)
+		return nil
+	case "load": // rD = load [rA+off] @obj
+		if len(args) != 2 {
+			return p.errf("load wants: rD = load [rA+off] @obj")
+		}
+		addr, off, err := p.parseMemRef(args[0])
+		if err != nil {
+			return err
+		}
+		obj, field, err := p.parseObjRef(args[1])
+		if err != nil {
+			return err
+		}
+		in := p.f.NewInstr(OpLoad)
+		in.Dst = dst
+		in.Src = []Reg{addr}
+		in.Imm = off
+		in.Obj = obj
+		in.Field = field
+		p.emit(in)
+		return nil
+	}
+	op, ok := opByName[opName]
+	if !ok {
+		return p.errf("unknown opcode %q", opName)
+	}
+	info := opTable[op]
+	if !info.hasDst || len(args) != info.nSrc {
+		return p.errf("bad operand count for %s", opName)
+	}
+	in := p.f.NewInstr(op)
+	in.Dst = dst
+	for _, a := range args {
+		r, err := p.reg(a)
+		if err != nil {
+			return err
+		}
+		in.Src = append(in.Src, r)
+	}
+	p.emit(in)
+	return nil
+}

@@ -1,0 +1,97 @@
+package ir
+
+// SimplifyCFG performs the control-flow cleanups a backend would run after
+// code splitting ("Additional jumps may be necessary, however, depending
+// on the layout of the BBs in the new loop and subsequent code layout
+// optimizations" — §2.2.3):
+//
+//  1. branches with identical targets become jumps,
+//  2. jump-only blocks are threaded through (references retarget to their
+//     destination),
+//  3. unreachable blocks are removed.
+//
+// The entry block is never removed. Returns the number of blocks removed.
+func SimplifyCFG(f *Function) int {
+	if len(f.Blocks) == 0 {
+		return 0
+	}
+
+	// Pass 0: make fallthroughs explicit, so removing or reordering
+	// blocks cannot change which block control falls into.
+	for i, b := range f.Blocks {
+		if b.Terminator() == nil && i+1 < len(f.Blocks) {
+			j := f.NewInstr(OpJump)
+			j.Target = f.Blocks[i+1]
+			b.Append(j)
+		}
+	}
+
+	// Pass 1: degenerate branches -> jumps.
+	for _, b := range f.Blocks {
+		t := b.Terminator()
+		if t != nil && t.Op == OpBranch && t.Target == t.TargetFalse {
+			t.Op = OpJump
+			t.Src = nil
+			t.TargetFalse = nil
+		}
+	}
+
+	// Pass 2: thread jump-only blocks. forward[b] is the block all
+	// references to b should use instead.
+	forward := map[*Block]*Block{}
+	resolve := func(b *Block) *Block {
+		seen := map[*Block]bool{}
+		for {
+			next, ok := forward[b]
+			if !ok || seen[b] {
+				return b
+			}
+			seen[b] = true
+			b = next
+		}
+	}
+	for _, b := range f.Blocks {
+		if b == f.Entry() {
+			continue
+		}
+		if len(b.Instrs) == 1 && b.Instrs[0].Op == OpJump && b.Instrs[0].Target != b {
+			forward[b] = b.Instrs[0].Target
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Target != nil {
+				in.Target = resolve(in.Target)
+			}
+			if in.TargetFalse != nil {
+				in.TargetFalse = resolve(in.TargetFalse)
+			}
+		}
+	}
+
+	// Pass 3: drop unreachable blocks. Reachability must follow explicit
+	// targets and layout fallthrough.
+	reachable := map[*Block]bool{f.Entry(): true}
+	work := []*Block{f.Entry()}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range b.Succs() {
+			if !reachable[s] {
+				reachable[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	kept := f.Blocks[:0]
+	removed := 0
+	for _, b := range f.Blocks {
+		if reachable[b] {
+			kept = append(kept, b)
+		} else {
+			removed++
+		}
+	}
+	f.Blocks = kept
+	return removed
+}

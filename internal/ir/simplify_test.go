@@ -1,0 +1,206 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSimplifyThreadsJumpOnlyBlocks(t *testing.T) {
+	f := MustParse(`func s {
+entry:
+    r1 = const 1
+    jump hop
+hop:
+    jump target
+target:
+    ret
+}
+`)
+	removed := SimplifyCFG(f)
+	if removed != 1 {
+		t.Fatalf("removed %d blocks, want 1", removed)
+	}
+	entry := f.BlockByName("entry")
+	if entry.Terminator().Target.Name != "target" {
+		t.Fatalf("jump not threaded: %s", entry.Terminator())
+	}
+	if f.BlockByName("hop") != nil {
+		t.Fatal("hop block survived")
+	}
+	f.MustVerify()
+}
+
+func TestSimplifyChainsOfJumps(t *testing.T) {
+	f := MustParse(`func s {
+entry:
+    jump a
+a:
+    jump b
+b:
+    jump c
+c:
+    ret
+}
+`)
+	if removed := SimplifyCFG(f); removed != 2 {
+		t.Fatalf("removed %d, want 2", removed)
+	}
+	if f.Entry().Terminator().Target.Name != "c" {
+		t.Fatal("chain not fully threaded")
+	}
+	f.MustVerify()
+}
+
+func TestSimplifyDegenerateBranch(t *testing.T) {
+	f := MustParse(`func s {
+entry:
+    r1 = const 1
+    br r1, out, out
+out:
+    ret
+}
+`)
+	SimplifyCFG(f)
+	term := f.Entry().Terminator()
+	if term.Op != OpJump {
+		t.Fatalf("branch with equal targets should become a jump, got %s", term)
+	}
+	f.MustVerify()
+}
+
+func TestSimplifyRemovesUnreachable(t *testing.T) {
+	f := MustParse(`func s {
+entry:
+    jump out
+dead:
+    r1 = const 5
+    jump out
+out:
+    ret
+}
+`)
+	if removed := SimplifyCFG(f); removed != 1 {
+		t.Fatalf("removed %d, want 1", removed)
+	}
+	if f.BlockByName("dead") != nil {
+		t.Fatal("dead block survived")
+	}
+	f.MustVerify()
+}
+
+func TestSimplifyPreservesFallthrough(t *testing.T) {
+	// a falls through to b; an unreachable block sits between them in
+	// layout only after removal — the explicit-jump pass must protect
+	// the fallthrough.
+	b := NewBuilder("ft")
+	a := b.Block("a")
+	b.Const(1)
+	bb := b.F.NewBlock("b")
+	b.SetBlock(bb)
+	b.Ret()
+	_ = a
+	SimplifyCFG(b.F)
+	term := b.F.BlockByName("a").Terminator()
+	if term == nil || term.Op != OpJump || term.Target.Name != "b" {
+		t.Fatalf("fallthrough not made explicit: %v", term)
+	}
+	b.F.MustVerify()
+}
+
+func TestSimplifyKeepsEntryBlock(t *testing.T) {
+	f := MustParse(`func s {
+entry:
+    jump loop
+loop:
+    r1 = const 1
+    br r1, loop, out
+out:
+    ret
+}
+`)
+	SimplifyCFG(f)
+	if f.Entry() == nil || f.Entry().Name != "entry" {
+		t.Fatal("entry block must survive even when jump-only")
+	}
+	f.MustVerify()
+}
+
+func TestSimplifySelfLoopJumpSurvives(t *testing.T) {
+	f := MustParse(`func s {
+entry:
+    r1 = const 1
+    br r1, spin, out
+spin:
+    jump spin
+out:
+    ret
+}
+`)
+	SimplifyCFG(f)
+	spin := f.BlockByName("spin")
+	if spin == nil || spin.Terminator().Target != spin {
+		t.Fatal("self-loop must not be threaded away")
+	}
+	f.MustVerify()
+}
+
+func TestSimplifyIdempotent(t *testing.T) {
+	f := MustParse(`func s {
+entry:
+    jump a
+a:
+    jump b
+b:
+    r1 = const 1
+    br r1, b, c
+c:
+    ret
+}
+`)
+	SimplifyCFG(f)
+	first := f.String()
+	if n := SimplifyCFG(f); n != 0 {
+		t.Fatalf("second pass removed %d blocks", n)
+	}
+	if f.String() != first {
+		t.Fatal("not idempotent")
+	}
+}
+
+func TestSimplifyKeepsSemantics(t *testing.T) {
+	src := `func s {
+  liveout r9
+entry:
+    r9 = const 0
+    r1 = const 0
+    r2 = const 5
+    r3 = const 1
+    jump hop
+hop:
+    jump header
+header:
+    r4 = cmplt r1, r2
+    br r4, body, done
+body:
+    r9 = add r9, r1
+    r1 = add r1, r3
+    jump hop2
+hop2:
+    jump header
+done:
+    ret
+}
+`
+	if !strings.Contains(src, "hop") {
+		t.Fatal("fixture broken")
+	}
+	f := MustParse(src)
+	SimplifyCFG(f)
+	f.MustVerify()
+	// 0+1+2+3+4 = 10 — run through the interpreter in the ir package's
+	// stead: structural check only here; interp-level equivalence of
+	// simplified DSWP output is covered in core's tests.
+	if f.BlockByName("hop") != nil || f.BlockByName("hop2") != nil {
+		t.Fatal("hops survived")
+	}
+}

@@ -1,0 +1,100 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+)
+
+// Verify checks structural invariants of a function and returns the first
+// violation found, or nil. Transformation passes call this after rewriting.
+func (f *Function) Verify() error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("ir: function %s has no blocks", f.Name)
+	}
+	names := make(map[string]bool, len(f.Blocks))
+	inFn := make(map[*Block]bool, len(f.Blocks))
+	for _, b := range f.Blocks {
+		if b.Fn != f {
+			return fmt.Errorf("ir: block %s has wrong owner", b.Name)
+		}
+		if names[b.Name] {
+			return fmt.Errorf("ir: duplicate block name %q", b.Name)
+		}
+		names[b.Name] = true
+		inFn[b] = true
+	}
+	seenID := make(map[int]bool)
+	for bi, b := range f.Blocks {
+		for ii, in := range b.Instrs {
+			where := fmt.Sprintf("%s/%s[%d]", f.Name, b.Name, ii)
+			if in.Block != b {
+				return fmt.Errorf("ir: %s: instruction block link broken", where)
+			}
+			if seenID[in.ID] {
+				return fmt.Errorf("ir: %s: duplicate instruction ID %d", where, in.ID)
+			}
+			seenID[in.ID] = true
+			if in.Op == OpInvalid || in.Op >= opMax {
+				return fmt.Errorf("ir: %s: invalid opcode", where)
+			}
+			info := opTable[in.Op]
+			if info.hasDst && in.Op != OpConsume && in.Dst == NoReg {
+				return fmt.Errorf("ir: %s: %s requires a destination", where, in.Op)
+			}
+			if !info.hasDst && in.Dst != NoReg {
+				return fmt.Errorf("ir: %s: %s must not define a register", where, in.Op)
+			}
+			if in.Op != OpProduce && len(in.Src) != info.nSrc {
+				return fmt.Errorf("ir: %s: %s has %d sources, want %d", where, in.Op, len(in.Src), info.nSrc)
+			}
+			for _, s := range in.Src {
+				if s == NoReg {
+					return fmt.Errorf("ir: %s: missing source register", where)
+				}
+			}
+			if in.Op.IsTerminator() && ii != len(b.Instrs)-1 {
+				return fmt.Errorf("ir: %s: terminator %s not at block end", where, in.Op)
+			}
+			switch in.Op {
+			case OpBranch:
+				if in.Target == nil || in.TargetFalse == nil {
+					return fmt.Errorf("ir: %s: branch with missing target", where)
+				}
+				if !inFn[in.Target] || !inFn[in.TargetFalse] {
+					return fmt.Errorf("ir: %s: branch targets foreign block", where)
+				}
+			case OpJump:
+				if in.Target == nil || !inFn[in.Target] {
+					return fmt.Errorf("ir: %s: jump with bad target", where)
+				}
+			case OpLoad, OpStore:
+				if in.Obj != UnknownObj && (in.Obj < 0 || in.Obj >= len(f.Objects)) {
+					return fmt.Errorf("ir: %s: alias class %d out of range", where, in.Obj)
+				}
+			case OpProduce, OpConsume:
+				if in.Queue < 0 {
+					return fmt.Errorf("ir: %s: %s without a queue", where, in.Op)
+				}
+			}
+		}
+		// A fall-through from the last block would run off the function.
+		if bi == len(f.Blocks)-1 && b.Terminator() == nil {
+			return fmt.Errorf("ir: %s: last block %s falls through off the function", f.Name, b.Name)
+		}
+	}
+	return nil
+}
+
+// MustVerify panics on a verification failure; for use in tests and
+// generators where an invalid function is a programming error.
+func (f *Function) MustVerify() {
+	if err := f.Verify(); err != nil {
+		panic(err)
+	}
+}
+
+func float64bits(v float64) uint64 { return math.Float64bits(v) }
+
+// F2I and I2F convert between the register bit representation and float64.
+func F2I(v float64) int64 { return int64(math.Float64bits(v)) }
+func I2F(v int64) float64 { return math.Float64frombits(uint64(v)) }

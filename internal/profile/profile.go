@@ -1,0 +1,99 @@
+// Package profile collects execution profiles of IR functions — dynamic
+// instruction counts, block weights, loop trip counts and coverage — the
+// same feedback IMPACT's profiling tools feed the paper's partitioning
+// heuristic ("estimated cycles ... considering the instruction latency and
+// its execution profile weight").
+package profile
+
+import (
+	"dswp/internal/cfg"
+	"dswp/internal/interp"
+	"dswp/internal/ir"
+)
+
+// Profile holds the dynamic execution profile of one function.
+type Profile struct {
+	Fn *ir.Function
+	// InstrCount[id] is the number of dynamic executions of the
+	// instruction with that ID.
+	InstrCount []int64
+	// TotalSteps is the total dynamic instruction count of the run.
+	TotalSteps int64
+}
+
+// Collect runs fn once under the interpreter and gathers its profile.
+func Collect(fn *ir.Function, opts interp.Options) (*Profile, error) {
+	opts.RecordTrace = false
+	res, err := interp.Run(fn, opts)
+	if err != nil {
+		return nil, err
+	}
+	tr := res.Threads[0]
+	return &Profile{Fn: fn, InstrCount: tr.Counts, TotalSteps: tr.Steps}, nil
+}
+
+// Count returns the dynamic execution count of in.
+func (p *Profile) Count(in *ir.Instr) int64 {
+	if in.ID < 0 || in.ID >= len(p.InstrCount) {
+		return 0
+	}
+	return p.InstrCount[in.ID]
+}
+
+// BlockCount returns how many times block b executed (the count of its
+// first instruction; empty blocks report 0).
+func (p *Profile) BlockCount(b *ir.Block) int64 {
+	if len(b.Instrs) == 0 {
+		return 0
+	}
+	return p.Count(b.Instrs[0])
+}
+
+// Weight estimates the dynamic cycles attributable to in: execution count
+// times its latency. Calls use their annotated callee latency when
+// includeCallLatency is set; the paper notes IMPACT's heuristic lacked that
+// estimate, so the flag lets experiments reproduce both behaviours.
+func (p *Profile) Weight(in *ir.Instr, includeCallLatency bool) int64 {
+	lat := int64(in.Op.Latency())
+	if in.Op == ir.OpCall {
+		if includeCallLatency {
+			lat += in.Imm
+		}
+	}
+	return p.Count(in) * lat
+}
+
+// LoopStats summarizes a loop's dynamic behaviour.
+type LoopStats struct {
+	// Steps is the dynamic instruction count inside the loop.
+	Steps int64
+	// Coverage is Steps / TotalSteps: the paper's "Ex.%" column.
+	Coverage float64
+	// Invocations counts loop entries (preheader executions).
+	Invocations int64
+	// Iterations counts header executions.
+	Iterations int64
+	// TripCount is average iterations per invocation.
+	TripCount float64
+}
+
+// LoopStats computes dynamic statistics for l within c's function.
+func (p *Profile) LoopStats(c *cfg.CFG, l *cfg.Loop) LoopStats {
+	var s LoopStats
+	for _, bi := range l.BlockList {
+		for _, in := range c.Blocks[bi].Instrs {
+			s.Steps += p.Count(in)
+		}
+	}
+	if p.TotalSteps > 0 {
+		s.Coverage = float64(s.Steps) / float64(p.TotalSteps)
+	}
+	s.Iterations = p.BlockCount(c.Blocks[l.Header])
+	if l.Preheader >= 0 && l.Preheader < len(c.Blocks) {
+		s.Invocations = p.BlockCount(c.Blocks[l.Preheader])
+	}
+	if s.Invocations > 0 {
+		s.TripCount = float64(s.Iterations) / float64(s.Invocations)
+	}
+	return s
+}

@@ -1,0 +1,104 @@
+package sim
+
+// cache is a set-associative LRU cache over word addresses. Only hit/miss
+// classification matters; contents are not stored (the functional
+// interpreter already produced correct values).
+type cache struct {
+	lineWords int64
+	sets      int64
+	ways      int
+	tags      [][]int64 // per set, LRU-ordered (front = MRU)
+}
+
+func newCache(lines, ways, lineWords int) *cache {
+	sets := int64(lines / ways)
+	if sets < 1 {
+		sets = 1
+	}
+	c := &cache{
+		lineWords: int64(lineWords),
+		sets:      sets,
+		ways:      ways,
+		tags:      make([][]int64, sets),
+	}
+	for i := range c.tags {
+		c.tags[i] = make([]int64, 0, ways)
+	}
+	return c
+}
+
+// access touches addr and reports whether it hit; on miss the line is
+// filled (allocate-on-miss for loads and stores alike).
+func (c *cache) access(addr int64) bool {
+	line := addr / c.lineWords
+	set := line % c.sets
+	ways := c.tags[set]
+	for i, tag := range ways {
+		if tag == line {
+			// Move to MRU.
+			copy(ways[1:i+1], ways[:i])
+			ways[0] = line
+			return true
+		}
+	}
+	if len(ways) < c.ways {
+		ways = append(ways, 0)
+	}
+	copy(ways[1:], ways)
+	ways[0] = line
+	c.tags[set] = ways
+	return false
+}
+
+// hierarchy is one core's private L1 backed by a shared L2.
+type hierarchy struct {
+	l1  *cache
+	l2  *cache // shared; aliased across cores
+	cfg *Config
+}
+
+// loadLatency classifies a load and returns its total latency.
+func (h *hierarchy) loadLatency(addr int64) (lat int, l1Hit, l2Hit bool) {
+	if h.l1.access(addr) {
+		return h.cfg.L1Latency, true, false
+	}
+	if h.l2.access(addr) {
+		return h.cfg.L2Latency, false, true
+	}
+	return h.cfg.MemLatency, false, false
+}
+
+// storeTouch updates LRU state for a store; stores are modeled as
+// non-blocking (write-buffered), so they add no issue latency.
+func (h *hierarchy) storeTouch(addr int64) {
+	if !h.l1.access(addr) {
+		h.l2.access(addr)
+	}
+}
+
+// predictor is a table of 2-bit saturating counters indexed by static
+// instruction ID, initialized weakly taken (loop branches warm up fast).
+type predictor struct {
+	counters map[int]uint8
+}
+
+func newPredictor() *predictor { return &predictor{counters: map[int]uint8{}} }
+
+// predict consumes one branch outcome and reports whether the prediction
+// was correct, then trains.
+func (p *predictor) predict(id int, taken bool) bool {
+	c, ok := p.counters[id]
+	if !ok {
+		c = 2 // weakly taken
+	}
+	predictTaken := c >= 2
+	if taken {
+		if c < 3 {
+			c++
+		}
+	} else if c > 0 {
+		c--
+	}
+	p.counters[id] = c
+	return predictTaken == taken
+}

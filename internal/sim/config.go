@@ -1,0 +1,97 @@
+// Package sim is the performance substrate: a trace-driven, cycle-level
+// model of a dual-core CMP built from in-order Itanium-2-like cores joined
+// by a synchronization array, in the spirit of the paper's validated
+// Liberty models. Functional execution (package interp) produces per-thread
+// traces; sim replays them against issue-width, FU-port, register-latency,
+// cache, branch-predictor, and queue constraints.
+//
+// We model what the experiments measure — stage balance, decoupling, queue
+// occupancy, comm-latency tolerance, ILP-vs-TLP at narrow widths — and do
+// not claim absolute Itanium 2 cycle accuracy.
+package sim
+
+// Config describes one machine configuration.
+type Config struct {
+	Name string
+
+	// FetchWidth is the per-cycle issue-group size (Itanium 2 disperses
+	// up to six instructions).
+	FetchWidth int
+	// Port limits per cycle, mirroring Itanium 2's M/I/F/B templates.
+	// Produce/consume use M ports ("these instructions use the M
+	// pipeline... only 4 can be issued per cycle").
+	MPorts, IPorts, FPorts, BPorts int
+
+	// CommLatency is the produce-side pipelined latency in cycles: a
+	// produced value becomes visible to the consumer CommLatency cycles
+	// after the produce issues (§4.4 varies this over 1/5/10).
+	CommLatency int
+	// QueueSize is the per-queue capacity (32 in the paper; §4.4 varies
+	// 8/128).
+	QueueSize int
+	// NumQueues is the synchronization-array size (256 queues).
+	NumQueues int
+
+	// MispredictPenalty is the front-end refill bubble after a
+	// mispredicted branch.
+	MispredictPenalty int
+
+	// Cache hierarchy: private L1 per core, shared L2, then memory.
+	L1Lines, L1Ways, L1LineWords     int
+	L2Lines, L2Ways, L2LineWords     int
+	L1Latency, L2Latency, MemLatency int
+
+	// ColdCaches disables the warm-start pass. By default each core's
+	// caches and branch predictor are pre-trained on its own trace,
+	// modeling the paper's methodology ("we fast-forwarded through the
+	// remaining sections of the program while keeping the caches and
+	// branch predictors warm").
+	ColdCaches bool
+}
+
+// FullWidth returns the paper's baseline machine: a 6-issue core.
+func FullWidth() Config {
+	return Config{
+		Name:              "itanium2-full",
+		FetchWidth:        6,
+		MPorts:            4,
+		IPorts:            2,
+		FPorts:            2,
+		BPorts:            3,
+		CommLatency:       1,
+		QueueSize:         32,
+		NumQueues:         256,
+		MispredictPenalty: 6,
+		// 16KB L1D (512 lines x 32B) and a 256KB unified L2 (4096 lines
+		// x 64B), Itanium 2's actual capacities; L2Latency blends the
+		// real L2/L3 latencies since we model two levels.
+		L1Lines: 512, L1Ways: 4, L1LineWords: 4,
+		L2Lines: 4096, L2Ways: 8, L2LineWords: 8,
+		L1Latency: 1, L2Latency: 10, MemLatency: 150,
+	}
+}
+
+// HalfWidth returns the §4.3 variant with half the fetch and dispersal
+// width of the baseline.
+func HalfWidth() Config {
+	c := FullWidth()
+	c.Name = "itanium2-half"
+	c.FetchWidth = 3
+	c.MPorts = 2
+	c.IPorts = 1
+	c.FPorts = 1
+	c.BPorts = 2
+	return c
+}
+
+// WithCommLatency returns a copy with a different produce latency.
+func (c Config) WithCommLatency(lat int) Config {
+	c.CommLatency = lat
+	return c
+}
+
+// WithQueueSize returns a copy with a different queue capacity.
+func (c Config) WithQueueSize(size int) Config {
+	c.QueueSize = size
+	return c
+}

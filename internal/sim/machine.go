@@ -1,0 +1,341 @@
+package sim
+
+import (
+	"fmt"
+
+	"dswp/internal/interp"
+	"dswp/internal/ir"
+)
+
+// saQueue is one synchronization-array queue: a FIFO of value-ready times.
+type saQueue struct {
+	ready []int64
+	head  int
+}
+
+func (q *saQueue) len() int { return len(q.ready) - q.head }
+
+func (q *saQueue) push(t int64) { q.ready = append(q.ready, t) }
+
+func (q *saQueue) frontReady() int64 { return q.ready[q.head] }
+
+func (q *saQueue) pop() {
+	q.head++
+	if q.head > 1024 && q.head*2 > len(q.ready) {
+		q.ready = append(q.ready[:0], q.ready[q.head:]...)
+		q.head = 0
+	}
+}
+
+// CoreStats aggregates one core's execution.
+type CoreStats struct {
+	// Cycles from cycle 0 until the core's last instruction issued.
+	Cycles int64
+	// Instrs counts retired instructions excluding produce/consume,
+	// matching the paper's IPC accounting ("these IPC numbers do not
+	// include the produce and consume instructions").
+	Instrs int64
+	// FlowOps counts retired produces+consumes.
+	FlowOps int64
+	// StallFull / StallEmpty count cycles the core was blocked at a
+	// produce to a full queue / consume from an empty queue.
+	StallFull, StallEmpty int64
+	// Mispredicts, L1Misses, L2Misses are event counts.
+	Mispredicts, L1Misses, L2Misses int64
+}
+
+// IPC returns instructions (excluding flow ops) per cycle.
+func (s CoreStats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instrs) / float64(s.Cycles)
+}
+
+// OccupancyStats distributes cycles over the Figure 7/8 categories.
+type OccupancyStats struct {
+	// FullProducerStalled: some producer blocked on a full queue.
+	FullProducerStalled int64
+	// BalancedBothActive: queues partly filled, nobody blocked.
+	BalancedBothActive int64
+	// EmptyBothActive: all queues empty but nobody blocked.
+	EmptyBothActive int64
+	// EmptyConsumerStalled: some consumer blocked on an empty queue.
+	EmptyConsumerStalled int64
+	// Samples[i] is the total SA occupancy at cycle i*SampleEvery, a
+	// bounded-length trace for Figure 7's occupancy-over-time plots.
+	Samples     []int32
+	SampleEvery int64
+}
+
+// Total returns the number of categorized cycles.
+func (o OccupancyStats) Total() int64 {
+	return o.FullProducerStalled + o.BalancedBothActive + o.EmptyBothActive + o.EmptyConsumerStalled
+}
+
+// Result is one machine run.
+type Result struct {
+	Config Config
+	// Cycles is the makespan: the cycle the last core finished.
+	Cycles int64
+	Cores  []CoreStats
+	Occ    OccupancyStats
+}
+
+// IPC returns whole-machine IPC (excluding flow ops).
+func (r *Result) IPC() float64 {
+	var instrs int64
+	for _, c := range r.Cores {
+		instrs += c.Instrs
+	}
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(instrs) / float64(r.Cycles)
+}
+
+type coreState struct {
+	trace []interp.Event
+	idx   int
+	// regReady[r] is the cycle register r's value becomes available.
+	regReady []int64
+	// frontStall blocks issue until the given cycle (mispredict refill,
+	// opaque call).
+	frontStall int64
+	hier       *hierarchy
+	pred       *predictor
+	stats      CoreStats
+	// blockedOn describes a queue stall in the current cycle.
+	blockedFull, blockedEmpty bool
+	done                      bool
+	lastIssue                 int64
+}
+
+// Run replays one trace per core on the configured machine and returns
+// timing statistics. Traces come from interp with RecordTrace set.
+func Run(cfg Config, traces []*interp.ThreadResult) (*Result, error) {
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("sim: no traces")
+	}
+	shared := newCache(cfg.L2Lines, cfg.L2Ways, cfg.L2LineWords)
+	cores := make([]*coreState, len(traces))
+	for i, tr := range traces {
+		cores[i] = &coreState{
+			trace:    tr.Trace,
+			regReady: make([]int64, tr.Fn.MaxReg()+1),
+			hier:     &hierarchy{l1: newCache(cfg.L1Lines, cfg.L1Ways, cfg.L1LineWords), l2: shared, cfg: &cfg},
+			pred:     newPredictor(),
+		}
+		if len(tr.Trace) == 0 {
+			cores[i].done = true
+		}
+		if !cfg.ColdCaches {
+			warmUp(cores[i])
+		}
+	}
+	queues := map[int]*saQueue{}
+	getQ := func(id int) *saQueue {
+		if id >= cfg.NumQueues {
+			// Surface the resource limit rather than silently modeling
+			// an impossible machine.
+			panic(fmt.Sprintf("sim: queue %d exceeds synchronization array size %d", id, cfg.NumQueues))
+		}
+		q := queues[id]
+		if q == nil {
+			q = &saQueue{}
+			queues[id] = q
+		}
+		return q
+	}
+
+	res := &Result{Config: cfg}
+	res.Occ.SampleEvery = 64
+
+	var cycle int64
+	idleCycles := 0
+	const watchdog = 1_000_000
+	for {
+		allDone := true
+		anyIssue := false
+		prodStalled, consStalled := false, false
+		for _, c := range cores {
+			if c.done {
+				continue
+			}
+			allDone = false
+			issued := c.stepCycle(cycle, &cfg, getQ)
+			if issued > 0 {
+				anyIssue = true
+			}
+			if c.blockedFull {
+				prodStalled = true
+			}
+			if c.blockedEmpty {
+				consStalled = true
+			}
+		}
+		if allDone {
+			break
+		}
+
+		// Occupancy accounting (only meaningful with >1 core, but cheap
+		// regardless).
+		occ := 0
+		for _, q := range queues {
+			occ += q.len()
+		}
+		switch {
+		case prodStalled:
+			res.Occ.FullProducerStalled++
+		case consStalled:
+			res.Occ.EmptyConsumerStalled++
+		case occ == 0:
+			res.Occ.EmptyBothActive++
+		default:
+			res.Occ.BalancedBothActive++
+		}
+		if cycle%res.Occ.SampleEvery == 0 && len(res.Occ.Samples) < 1<<20 {
+			res.Occ.Samples = append(res.Occ.Samples, int32(occ))
+		}
+
+		if anyIssue {
+			idleCycles = 0
+		} else {
+			idleCycles++
+			if idleCycles > watchdog {
+				return nil, fmt.Errorf("sim: no progress for %d cycles (queue deadlock?)", watchdog)
+			}
+		}
+		cycle++
+	}
+
+	res.Cycles = 0
+	for _, c := range cores {
+		c.stats.Cycles = c.lastIssue + 1
+		res.Cores = append(res.Cores, c.stats)
+		if c.stats.Cycles > res.Cycles {
+			res.Cycles = c.stats.Cycles
+		}
+	}
+	return res, nil
+}
+
+// warmUp pre-trains a core's caches and branch predictor on its own trace,
+// modeling measurement after fast-forward with warm microarchitectural
+// state. Only steady-state (capacity/conflict) misses remain in the timed
+// run.
+func warmUp(c *coreState) {
+	for _, ev := range c.trace {
+		switch ev.In.Op {
+		case ir.OpLoad:
+			c.hier.loadLatency(ev.Addr)
+		case ir.OpStore:
+			c.hier.storeTouch(ev.Addr)
+		case ir.OpBranch:
+			c.pred.predict(ev.In.ID, ev.Taken)
+		}
+	}
+}
+
+// stepCycle forms one in-order issue group for this core at the given
+// cycle; returns the number of instructions issued.
+func (c *coreState) stepCycle(cycle int64, cfg *Config, getQ func(int) *saQueue) int {
+	c.blockedFull, c.blockedEmpty = false, false
+	if cycle < c.frontStall {
+		return 0
+	}
+	issued := 0
+	ports := [4]int{cfg.IPorts, cfg.MPorts, cfg.FPorts, cfg.BPorts}
+
+	for issued < cfg.FetchWidth && c.idx < len(c.trace) {
+		ev := c.trace[c.idx]
+		in := ev.In
+		class := in.Op.Class()
+		if ports[class] == 0 {
+			break
+		}
+		// Register readiness (in-order issue: first unready stops the
+		// group).
+		ready := true
+		for _, s := range in.Src {
+			if c.regReady[s] > cycle {
+				ready = false
+				break
+			}
+		}
+		if !ready {
+			break
+		}
+
+		// Queue interactions.
+		switch in.Op {
+		case ir.OpProduce:
+			q := getQ(in.Queue)
+			if q.len() >= cfg.QueueSize {
+				c.blockedFull = true
+				c.stats.StallFull++
+				return issued
+			}
+			q.push(cycle + int64(cfg.CommLatency))
+		case ir.OpConsume:
+			q := getQ(in.Queue)
+			if q.len() == 0 || q.frontReady() > cycle {
+				c.blockedEmpty = true
+				c.stats.StallEmpty++
+				return issued
+			}
+			q.pop()
+		}
+
+		// Latency and completion.
+		lat := int64(in.Op.Latency())
+		switch in.Op {
+		case ir.OpLoad:
+			l, l1, l2 := c.hier.loadLatency(ev.Addr)
+			lat = int64(l)
+			if !l1 {
+				c.stats.L1Misses++
+				if !l2 {
+					c.stats.L2Misses++
+				}
+			}
+		case ir.OpStore:
+			c.hier.storeTouch(ev.Addr)
+		case ir.OpCall:
+			// Opaque call: serialize the front end for the callee's
+			// estimated duration.
+			c.frontStall = cycle + 1 + in.Imm
+		}
+		if in.Dst != ir.NoReg {
+			c.regReady[in.Dst] = cycle + lat
+		}
+
+		ports[class]--
+		issued++
+		c.idx++
+		c.lastIssue = cycle
+		if in.Op.IsFlow() {
+			c.stats.FlowOps++
+		} else {
+			c.stats.Instrs++
+		}
+
+		// Control flow ends the issue group when taken; mispredicts add
+		// a refill bubble.
+		if in.Op == ir.OpBranch {
+			if !c.pred.predict(in.ID, ev.Taken) {
+				c.stats.Mispredicts++
+				c.frontStall = cycle + 1 + int64(cfg.MispredictPenalty)
+			}
+			if ev.Taken {
+				break
+			}
+		} else if in.Op == ir.OpJump || in.Op == ir.OpCall {
+			break
+		}
+	}
+	if c.idx >= len(c.trace) {
+		c.done = true
+	}
+	return issued
+}

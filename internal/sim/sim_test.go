@@ -1,0 +1,429 @@
+package sim
+
+import (
+	"testing"
+
+	"dswp/internal/core"
+	"dswp/internal/interp"
+	"dswp/internal/ir"
+	"dswp/internal/profile"
+	"dswp/internal/workloads"
+)
+
+func traceOf(t *testing.T, fns []*ir.Function, opts interp.Options) []*interp.ThreadResult {
+	t.Helper()
+	opts.RecordTrace = true
+	res, err := interp.RunThreads(fns, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Threads
+}
+
+func TestCacheBasics(t *testing.T) {
+	c := newCache(8, 2, 4) // 4 sets x 2 ways, 4-word lines
+	if c.access(0) {
+		t.Fatal("cold access must miss")
+	}
+	if !c.access(1) {
+		t.Fatal("same line must hit")
+	}
+	if c.access(16) {
+		t.Fatal("different set line must miss")
+	}
+	// Fill set 0 beyond associativity: lines 0, 64, 128 map to set 0.
+	c.access(64)
+	c.access(128)
+	if c.access(0) {
+		t.Fatal("line 0 should have been evicted (LRU)")
+	}
+}
+
+func TestCacheLRUOrder(t *testing.T) {
+	c := newCache(8, 2, 1) // 4 sets x 2 ways, 1-word lines
+	c.access(0)            // set 0: [0]
+	c.access(4)            // set 0: [4 0]
+	c.access(0)            // set 0: [0 4] - 0 becomes MRU
+	c.access(8)            // evicts 4
+	if !c.access(0) {
+		t.Fatal("MRU line evicted")
+	}
+	if c.access(4) {
+		t.Fatal("LRU line survived")
+	}
+}
+
+func TestPredictorWarmsUp(t *testing.T) {
+	p := newPredictor()
+	correct := 0
+	for i := 0; i < 100; i++ {
+		if p.predict(7, true) {
+			correct++
+		}
+	}
+	if correct < 99 {
+		t.Fatalf("always-taken branch predicted %d/100", correct)
+	}
+	// Alternating branch: 2-bit counters will mispredict often.
+	wrong := 0
+	for i := 0; i < 100; i++ {
+		if !p.predict(8, i%2 == 0) {
+			wrong++
+		}
+	}
+	if wrong < 25 {
+		t.Fatalf("alternating branch only %d/100 mispredicts?", wrong)
+	}
+}
+
+func TestSaQueueFIFO(t *testing.T) {
+	q := &saQueue{}
+	for i := int64(0); i < 5000; i++ {
+		q.push(i)
+	}
+	for i := int64(0); i < 5000; i++ {
+		if q.len() == 0 || q.frontReady() != i {
+			t.Fatalf("front = %d, want %d", q.frontReady(), i)
+		}
+		q.pop()
+	}
+	if q.len() != 0 {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestRunSingleThreadedBaseline(t *testing.T) {
+	p := workloads.ListOfLists(30, 5)
+	traces := traceOf(t, []*ir.Function{p.F}, p.Options())
+	res, err := Run(FullWidth(), traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 {
+		t.Fatal("no cycles simulated")
+	}
+	steps := traces[0].Steps
+	if res.Cores[0].Instrs != steps {
+		t.Fatalf("retired %d, want %d", res.Cores[0].Instrs, steps)
+	}
+	ipc := res.IPC()
+	if ipc <= 0.1 || ipc > float64(FullWidth().FetchWidth) {
+		t.Fatalf("implausible IPC %.2f", ipc)
+	}
+}
+
+func TestRunEmptyTraceListFails(t *testing.T) {
+	if _, err := Run(FullWidth(), nil); err == nil {
+		t.Fatal("expected error for no traces")
+	}
+}
+
+func dswpTraces(t *testing.T, p *workloads.Program) ([]*interp.ThreadResult, []*interp.ThreadResult) {
+	t.Helper()
+	prof, err := profile.Collect(p.F, p.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := core.Apply(p.F, p.LoopHeader, prof, core.Config{SkipProfitability: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := traceOf(t, []*ir.Function{p.F}, p.Options())
+	multi := traceOf(t, tr.Threads, p.Options())
+	return base, multi
+}
+
+func TestDSWPSpeedsUpPointerChase(t *testing.T) {
+	p := workloads.ListTraversal(3000)
+	base, multi := dswpTraces(t, p)
+	cfg := FullWidth()
+	rb, err := Run(cfg, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := Run(cfg, multi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := float64(rb.Cycles) / float64(rd.Cycles)
+	// The pointer chase is cache-miss bound; DSWP overlaps the chase
+	// with the body. Expect a real win.
+	if speedup < 1.02 {
+		t.Errorf("DSWP speedup %.3f (base %d, dswp %d), want > 1.02",
+			speedup, rb.Cycles, rd.Cycles)
+	}
+	if len(rd.Cores) != 2 {
+		t.Fatalf("dswp ran on %d cores", len(rd.Cores))
+	}
+}
+
+func TestCommLatencyInsensitivity(t *testing.T) {
+	p := workloads.ListTraversal(2000)
+	_, multi := dswpTraces(t, p)
+	r1, err := Run(FullWidth().WithCommLatency(1), multi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r10, err := Run(FullWidth().WithCommLatency(10), multi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(r10.Cycles) / float64(r1.Cycles)
+	// §4.4: "DSWP is not very sensitive to the communication latency".
+	if ratio > 1.10 {
+		t.Errorf("comm latency 10 costs %.1f%% — decoupling broken", (ratio-1)*100)
+	}
+}
+
+func TestQueueSizeSensitivityMild(t *testing.T) {
+	p := workloads.ListTraversal(2000)
+	_, multi := dswpTraces(t, p)
+	r8, err := Run(FullWidth().WithQueueSize(8), multi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r128, err := Run(FullWidth().WithQueueSize(128), multi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(r8.Cycles) / float64(r128.Cycles)
+	// §4.4 reports single-digit percent differences across 8..128.
+	if ratio > 1.35 {
+		t.Errorf("queue size 8 vs 128 costs %.1f%%", (ratio-1)*100)
+	}
+	if ratio < 0.95 {
+		t.Errorf("smaller queues should not be faster: ratio %.3f", ratio)
+	}
+}
+
+func TestOccupancyCategoriesSumToCycles(t *testing.T) {
+	p := workloads.ListOfLists(50, 6)
+	_, multi := dswpTraces(t, p)
+	r, err := Run(FullWidth(), multi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := r.Occ.Total()
+	if total <= 0 {
+		t.Fatal("no occupancy samples")
+	}
+	// Categories cover every simulated cycle.
+	if total != r.Cycles && total != r.Cycles+1 && total != r.Cycles-1 {
+		t.Errorf("occupancy cycles %d vs makespan %d", total, r.Cycles)
+	}
+	if len(r.Occ.Samples) == 0 {
+		t.Error("no occupancy trace samples")
+	}
+}
+
+func TestHalfWidthSlowerThanFull(t *testing.T) {
+	p := workloads.ListOfLists(60, 6)
+	base := traceOf(t, []*ir.Function{p.F}, p.Options())
+	rf, err := Run(FullWidth(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh, err := Run(HalfWidth(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rh.Cycles < rf.Cycles {
+		t.Errorf("half-width (%d cycles) beat full-width (%d)", rh.Cycles, rf.Cycles)
+	}
+}
+
+func TestQueueOverflowPanics(t *testing.T) {
+	src := `func q {
+entry:
+    r1 = const 1
+    produce [300] = r1
+    ret
+}
+`
+	f := ir.MustParse(src)
+	res, err := interp.Run(f, interp.Options{RecordTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for queue id beyond SA size")
+		}
+	}()
+	_, _ = Run(FullWidth(), res.Threads)
+}
+
+func TestCallSerializesFrontEnd(t *testing.T) {
+	mk := func(lat int64) []*interp.ThreadResult {
+		b := ir.NewBuilder("callf")
+		b.Block("entry")
+		for i := 0; i < 4; i++ {
+			b.Call(lat)
+		}
+		b.Ret()
+		b.F.MustVerify()
+		res, err := interp.Run(b.F, interp.Options{RecordTrace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Threads
+	}
+	fast, err := Run(FullWidth(), mk(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Run(FullWidth(), mk(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Cycles < fast.Cycles+300 {
+		t.Errorf("call latency not charged: fast %d, slow %d", fast.Cycles, slow.Cycles)
+	}
+}
+
+func TestIssueWidthLimitsIPC(t *testing.T) {
+	// A long chain of independent constants: IPC should approach the
+	// I-port limit (2 for full width), not the fetch width.
+	b := ir.NewBuilder("wide")
+	b.Block("entry")
+	for i := 0; i < 4000; i++ {
+		b.Const(int64(i))
+	}
+	b.Ret()
+	b.F.MustVerify()
+	res, err := interp.Run(b.F, interp.Options{RecordTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(FullWidth(), res.Threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ipc := r.IPC()
+	if ipc < 1.6 || ipc > 2.05 {
+		t.Errorf("independent-const IPC = %.2f, want ~2 (I-port bound)", ipc)
+	}
+}
+
+func TestConfigVariants(t *testing.T) {
+	f := FullWidth()
+	h := HalfWidth()
+	if h.FetchWidth*2 != f.FetchWidth || h.MPorts*2 != f.MPorts {
+		t.Error("half width is not half")
+	}
+	if f.WithCommLatency(5).CommLatency != 5 {
+		t.Error("WithCommLatency")
+	}
+	if f.WithQueueSize(8).QueueSize != 8 {
+		t.Error("WithQueueSize")
+	}
+	if f.CommLatency != 1 {
+		t.Error("mutated original config")
+	}
+}
+
+func TestThreeCorePipelineRuns(t *testing.T) {
+	p := workloads.MCF()
+	prof, err := profile.Collect(p.F, p.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Analyze(p.F, p.LoopHeader, prof, core.Config{NumThreads: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := a.Heuristic()
+	if part.N < 3 {
+		t.Skip("needs 3 stages")
+	}
+	tr, err := a.Transform(part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi := traceOf(t, tr.Threads, p.Options())
+	r3, err := Run(FullWidth(), multi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r3.Cores) != 3 {
+		t.Fatalf("cores = %d", len(r3.Cores))
+	}
+	base := traceOf(t, []*ir.Function{p.F}, p.Options())
+	rb, err := Run(FullWidth(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Cycles >= rb.Cycles {
+		t.Errorf("3-stage pipeline slower than baseline: %d vs %d", r3.Cycles, rb.Cycles)
+	}
+}
+
+func TestWarmCachesFasterThanCold(t *testing.T) {
+	p := workloads.MCF()
+	base := traceOf(t, []*ir.Function{p.F}, p.Options())
+	warm, err := Run(FullWidth(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldCfg := FullWidth()
+	coldCfg.ColdCaches = true
+	cold, err := Run(coldCfg, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Cycles <= warm.Cycles {
+		t.Errorf("cold run (%d) not slower than warm (%d)", cold.Cycles, warm.Cycles)
+	}
+	if cold.Cores[0].L2Misses <= warm.Cores[0].L2Misses {
+		t.Errorf("cold L2 misses %d <= warm %d", cold.Cores[0].L2Misses, warm.Cores[0].L2Misses)
+	}
+}
+
+func TestOccupancySamplesBounded(t *testing.T) {
+	p := workloads.ListTraversal(4000)
+	prof, err := profile.Collect(p.F, p.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := core.Apply(p.F, p.LoopHeader, prof, core.Config{SkipProfitability: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi := traceOf(t, tr.Threads, p.Options())
+	cfg := FullWidth().WithQueueSize(16)
+	r, err := Run(cfg, multi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Occ.Samples) == 0 {
+		t.Fatal("no occupancy samples")
+	}
+	// Total occupancy can never exceed queues x depth; for this pipeline
+	// the handful of active queues bound it much lower.
+	for _, s := range r.Occ.Samples {
+		if s < 0 || int(s) > tr.NumQueues*cfg.QueueSize {
+			t.Fatalf("occupancy sample %d out of bounds", s)
+		}
+	}
+	if r.Occ.SampleEvery <= 0 {
+		t.Fatal("SampleEvery unset")
+	}
+}
+
+func TestStatsArithmetic(t *testing.T) {
+	s := CoreStats{Cycles: 100, Instrs: 250}
+	if s.IPC() != 2.5 {
+		t.Fatalf("IPC = %f", s.IPC())
+	}
+	if (CoreStats{}).IPC() != 0 {
+		t.Fatal("zero-cycle IPC should be 0")
+	}
+	o := OccupancyStats{FullProducerStalled: 1, BalancedBothActive: 2, EmptyBothActive: 3, EmptyConsumerStalled: 4}
+	if o.Total() != 10 {
+		t.Fatalf("Total = %d", o.Total())
+	}
+	r := Result{Cycles: 0}
+	if r.IPC() != 0 {
+		t.Fatal("zero-cycle machine IPC should be 0")
+	}
+}

@@ -1,0 +1,94 @@
+// Package workloads defines the benchmark programs of the evaluation: IR
+// kernels modeled on the ten loops the paper selects from SPEC-CPU2000,
+// Mediabench and wc (Table 1), the 164.gzip single-SCC case study, and the
+// pedagogical list kernels of Figures 1 and 2. Each workload builds its IR,
+// a synthetic memory image (standing in for the benchmark inputs), and
+// metadata the experiment harness needs.
+package workloads
+
+import (
+	"fmt"
+
+	"dswp/internal/interp"
+	"dswp/internal/ir"
+)
+
+// Program is one runnable benchmark instance.
+type Program struct {
+	// Name identifies the workload, e.g. "181.mcf".
+	Name string
+	// F is the function containing the target loop.
+	F *ir.Function
+	// LoopHeader names the block heading the loop DSWP targets — "the
+	// most important visible loop".
+	LoopHeader string
+	// Mem is the initial memory image (synthetic input data).
+	Mem *interp.Memory
+	// Regs pre-initializes live-in registers, when any.
+	Regs map[ir.Reg]int64
+	// Coverage is the fraction of whole-benchmark execution time spent
+	// in the selected loop — Table 1's "Ex.%" column. It is a synthetic
+	// constant (the paper measured it on the real benchmarks; we model
+	// only the loops, as the paper's detailed simulations also did) and
+	// drives the loop-speedup to whole-program-speedup translation via
+	// Amdahl's law.
+	Coverage float64
+	// Description summarizes what the kernel models.
+	Description string
+}
+
+// Options builds interpreter options running this program.
+func (p *Program) Options() interp.Options {
+	return interp.Options{Mem: p.Mem, Regs: p.Regs}
+}
+
+// Builder is a named Program constructor; each call builds a fresh
+// instance (functions are mutated by transformation passes).
+type Builder struct {
+	Name  string
+	Build func() *Program
+}
+
+// rng is a small deterministic PRNG (xorshift64*), so workload inputs are
+// reproducible without seeding from the clock.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &rng{s: seed}
+}
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a value in [0, n).
+func (r *rng) Intn(n int64) int64 {
+	if n <= 0 {
+		panic(fmt.Sprintf("workloads: Intn(%d)", n))
+	}
+	return int64(r.next() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (r *rng) Float64() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *rng) Perm(n int64) []int64 {
+	p := make([]int64, n)
+	for i := range p {
+		p[i] = int64(i)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
