@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: check vet build test race validate bench clean
+
+# The gate for every change: vet, build, and the full test suite under
+# the race detector (channels carry every cross-thread dependence, so
+# -race doubles as a transformation-correctness oracle).
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Differential validation across every workload with a reproducible,
+# logged seed: SEED=N make validate re-runs an exact sweep.
+SEED ?= 1
+validate:
+	$(GO) run ./cmd/dswpsim -workload all -validate -seed $(SEED)
+
+bench:
+	$(GO) test -bench . -benchtime 1x ./internal/exp
+
+clean:
+	$(GO) clean ./...

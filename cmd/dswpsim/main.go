@@ -3,6 +3,23 @@
 // per-core IPC, stall breakdowns, and synchronization-array occupancy.
 //
 //	dswpsim -workload 181.mcf -scheme dswp -width full -comm 1 -qsize 32
+//
+// The functional engine producing the traces is selectable: the
+// deterministic round-robin interpreter (-runtime=interp, optionally with a
+// bounded -queuecap), or the goroutine-backed concurrent runtime
+// (-runtime=goroutine) with bounded channel queues, watchdog deadlock
+// detection, and optional seed-derived fault injection (-faults N). On a
+// concurrent-runtime failure the run falls back to sequential execution of
+// the original loop and reports the event.
+//
+//	dswpsim -workload 181.mcf -runtime=goroutine -queuecap=1 -faults=42
+//
+// -validate runs the differential validation harness instead of a timing
+// run: interpreter + concurrent runtime across capacity sweeps and
+// randomized fault/schedule seeds (reproducible via -seed), diffed against
+// sequential execution.
+//
+//	dswpsim -workload all -validate -seed 7
 package main
 
 import (
@@ -13,19 +30,32 @@ import (
 	"dswp/internal/core"
 	"dswp/internal/doacross"
 	"dswp/internal/interp"
+	"dswp/internal/ir"
 	"dswp/internal/profile"
+	rt "dswp/internal/runtime"
 	"dswp/internal/sim"
+	"dswp/internal/validate"
 	"dswp/internal/workloads"
 )
 
 func main() {
-	workload := flag.String("workload", "181.mcf", "workload name (dswpc -list shows all)")
+	workload := flag.String("workload", "181.mcf", "workload name (dswpc -list shows all; 'all' with -validate)")
 	scheme := flag.String("scheme", "dswp", "execution scheme: base | dswp | best | doacross")
 	width := flag.String("width", "full", "core width: full | half")
 	comm := flag.Int("comm", 1, "inter-core communication latency (cycles)")
-	qsize := flag.Int("qsize", 32, "synchronization-array queue depth")
+	qsize := flag.Int("qsize", 32, "synchronization-array queue depth (timing model)")
 	threads := flag.Int("threads", 2, "thread count (doacross supports >2)")
+	engine := flag.String("runtime", "interp", "functional engine: interp | goroutine")
+	queuecap := flag.Int("queuecap", 0, "functional queue capacity (interp: 0 = unbounded; goroutine: 0 = 32)")
+	faults := flag.Uint64("faults", 0, "fault-injection seed for the goroutine runtime (0 = none)")
+	seed := flag.Uint64("seed", 1, "randomization seed for -validate (logged for reproduction)")
+	doValidate := flag.Bool("validate", false, "run the differential validation harness instead of a timing run")
 	flag.Parse()
+
+	if *doValidate {
+		runValidation(*workload, *seed)
+		return
+	}
 
 	p, err := findWorkload(*workload)
 	if err != nil {
@@ -37,7 +67,8 @@ func main() {
 	}
 	cfg = cfg.WithCommLatency(*comm).WithQueueSize(*qsize)
 
-	traces, err := buildTraces(p, *scheme, *threads)
+	runner := &runner{engine: *engine, queueCap: *queuecap, faultSeed: *faults}
+	traces, err := buildTraces(p, *scheme, *threads, runner)
 	if err != nil {
 		fail(err)
 	}
@@ -67,6 +98,32 @@ func main() {
 	}
 }
 
+func runValidation(workload string, seed uint64) {
+	opts := validate.Options{Seed: seed, Logf: func(f string, a ...any) {
+		fmt.Printf(f+"\n", a...)
+	}}
+	var reps []*validate.Report
+	if workload == "all" {
+		reps = validate.Suite(opts)
+	} else {
+		p, err := findWorkload(workload)
+		if err != nil {
+			fail(err)
+		}
+		reps = []*validate.Report{validate.Program(p, opts)}
+	}
+	failed := 0
+	for _, rep := range reps {
+		fmt.Println(rep)
+		if !rep.OK() {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fail(fmt.Errorf("%d workload(s) failed validation (seed %d)", failed, seed))
+	}
+}
+
 func findWorkload(name string) (*workloads.Program, error) {
 	switch name {
 	case "list-traversal":
@@ -82,9 +139,60 @@ func findWorkload(name string) (*workloads.Program, error) {
 	return nil, fmt.Errorf("unknown workload %q", name)
 }
 
-func buildTraces(p *workloads.Program, scheme string, threads int) ([]*interp.ThreadResult, error) {
+// runner selects the functional engine that executes thread functions and
+// produces the traces the timing model replays.
+type runner struct {
+	engine    string
+	queueCap  int
+	faultSeed uint64
+}
+
+// execute runs fns under the selected engine. p supplies live-ins, the
+// memory image, and (for the goroutine runtime) the original function for
+// the sequential fallback; numQueues feeds fault derivation.
+func (r *runner) execute(fns []*ir.Function, p *workloads.Program, numQueues int, opts interp.Options) ([]*interp.ThreadResult, error) {
+	switch r.engine {
+	case "", "interp":
+		res, err := interp.RunThreads(fns, opts)
+		if err != nil {
+			return nil, err
+		}
+		return res.Threads, nil
+	case "goroutine":
+		ropts := rt.Options{QueueCap: r.queueCap, Regs: p.Regs, Mem: p.Mem, RecordTrace: true}
+		if r.faultSeed != 0 {
+			ropts.Faults = rt.RandomFaults(r.faultSeed, len(fns), numQueues)
+		}
+		res, report, err := rt.RunWithFallback(fns, p.F, ropts)
+		if err != nil {
+			return nil, err
+		}
+		if report.FellBack {
+			fmt.Fprintf(os.Stderr,
+				"dswpsim: concurrent runtime failed, fell back to sequential execution: %v\n", report.Cause)
+		}
+		return res.Threads, nil
+	}
+	return nil, fmt.Errorf("unknown runtime %q (want interp or goroutine)", r.engine)
+}
+
+// countQueues sizes the synchronization array used by a thread set.
+func countQueues(fns []*ir.Function) int {
+	n := 0
+	for _, fn := range fns {
+		fn.Instrs(func(in *ir.Instr) {
+			if in.Op.IsFlow() && in.Queue+1 > n {
+				n = in.Queue + 1
+			}
+		})
+	}
+	return n
+}
+
+func buildTraces(p *workloads.Program, scheme string, threads int, r *runner) ([]*interp.ThreadResult, error) {
 	opts := p.Options()
 	opts.RecordTrace = true
+	opts.QueueCap = r.queueCap
 	switch scheme {
 	case "base":
 		res, err := interp.Run(p.F, opts)
@@ -132,21 +240,13 @@ func buildTraces(p *workloads.Program, scheme string, threads int) ([]*interp.Th
 		if err != nil {
 			return nil, err
 		}
-		res, err := interp.RunThreads(tr.Threads, opts)
-		if err != nil {
-			return nil, err
-		}
-		return res.Threads, nil
+		return r.execute(tr.Threads, p, tr.NumQueues, opts)
 	case "doacross":
 		fns, err := doacross.Transform(p.F, p.LoopHeader, threads)
 		if err != nil {
 			return nil, err
 		}
-		res, err := interp.RunThreads(fns, opts)
-		if err != nil {
-			return nil, err
-		}
-		return res.Threads, nil
+		return r.execute(fns, p, countQueues(fns), opts)
 	}
 	return nil, fmt.Errorf("unknown scheme %q", scheme)
 }

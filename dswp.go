@@ -35,7 +35,9 @@ import (
 	"dswp/internal/interp"
 	"dswp/internal/ir"
 	"dswp/internal/profile"
+	rt "dswp/internal/runtime"
 	"dswp/internal/sim"
+	"dswp/internal/validate"
 	"dswp/internal/workloads"
 )
 
@@ -71,6 +73,23 @@ type (
 	// timing run.
 	MachineConfig = sim.Config
 	MachineResult = sim.Result
+
+	// RuntimeOptions configures the goroutine-backed concurrent runtime
+	// (queue capacity, watchdog bounds, fault injection).
+	RuntimeOptions = rt.Options
+	// FaultPlan describes deterministic fault injection for a concurrent
+	// run; FallbackReport says whether a run degraded to sequential.
+	FaultPlan      = rt.FaultPlan
+	FallbackReport = rt.FallbackReport
+	// DeadlockError and TimeoutError are the watchdog's structured
+	// failures (match with errors.As).
+	DeadlockError = rt.DeadlockError
+	TimeoutError  = rt.TimeoutError
+
+	// ValidateOptions and ValidateReport configure and report the
+	// differential validation harness.
+	ValidateOptions = validate.Options
+	ValidateReport  = validate.Report
 )
 
 // Sentinel errors from the transformation (Figure 3 steps 3 and 6).
@@ -152,6 +171,63 @@ func RunFunctions(threads []*Function, p *Program, m MachineConfig) (*MachineRes
 		}
 	}
 	return sim.Run(m, multi.Threads)
+}
+
+// RunConcurrent executes the pipelined threads under the goroutine-backed
+// concurrent runtime — real threads, bounded channel queues, watchdog
+// deadlock detection — validates the result against sequential execution
+// of the original program, and returns the timing. On runtime failure it
+// degrades gracefully: the sequential execution of the original loop is
+// timed instead and the returned FallbackReport carries the cause
+// (typically a *DeadlockError or *TimeoutError).
+//
+// A zero opts.QueueCap inherits the machine configuration's QueueSize, so
+// the functional queues match the simulated synchronization array.
+func RunConcurrent(tr *Transformed, p *Program, m MachineConfig, opts RuntimeOptions) (*MachineResult, FallbackReport, error) {
+	opts.Regs = p.Regs
+	opts.Mem = p.Mem
+	opts.RecordTrace = true
+	if opts.QueueCap == 0 {
+		opts.QueueCap = m.QueueSize
+	}
+	res, report, err := rt.RunWithFallback(tr.Threads, p.F, opts)
+	if err != nil {
+		return nil, report, err
+	}
+	base, err := interp.Run(p.F, p.Options())
+	if err != nil {
+		return nil, report, err
+	}
+	if d := base.Mem.Diff(res.Mem); d != -1 {
+		return nil, report, fmt.Errorf("dswp: concurrent execution diverges from original at memory word %d", d)
+	}
+	for r, v := range base.LiveOuts {
+		if res.LiveOuts[r] != v {
+			return nil, report, fmt.Errorf("dswp: live-out %s differs (%d vs %d)", r, v, res.LiveOuts[r])
+		}
+	}
+	t, err := sim.Run(m, res.Threads)
+	return t, report, err
+}
+
+// RandomFaults derives a reproducible fault-injection plan for tr from a
+// seed: per-queue delays, forced thread stalls, and artificially tiny
+// queue capacities.
+func RandomFaults(seed uint64, tr *Transformed) *FaultPlan {
+	return rt.RandomFaults(seed, len(tr.Threads), tr.NumQueues)
+}
+
+// Validate runs the differential validation harness on one program:
+// interpreter and concurrent-runtime execution across queue-capacity
+// sweeps plus randomized fault/schedule runs, all diffed against
+// sequential execution.
+func Validate(p *Program, opts ValidateOptions) *ValidateReport {
+	return validate.Program(p, opts)
+}
+
+// ValidateAll validates every built-in workload.
+func ValidateAll(opts ValidateOptions) []*ValidateReport {
+	return validate.Suite(opts)
 }
 
 // Built-in workloads: the paper's pedagogy kernels and Table 1 suite.

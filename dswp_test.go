@@ -29,6 +29,59 @@ func TestFacadePipelineListTraversal(t *testing.T) {
 	}
 }
 
+// TestFacadeRunConcurrent: the goroutine runtime times a real pipeline,
+// with no fallback on the healthy path and a reported fallback cause when
+// the run is sabotaged into failure.
+func TestFacadeRunConcurrent(t *testing.T) {
+	p := ListTraversal(500)
+	tr, err := Pipeline(p, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := FullWidth()
+	res, report, err := RunConcurrent(tr, p, m, RuntimeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.FellBack {
+		t.Fatalf("unexpected fallback: %v", report.Cause)
+	}
+	if res.Cycles == 0 {
+		t.Fatal("no cycles reported")
+	}
+	// Queue capacity 1 must still produce a valid timed run.
+	if _, _, err := RunConcurrent(tr, p, m, RuntimeOptions{QueueCap: 1}); err != nil {
+		t.Fatalf("cap 1: %v", err)
+	}
+}
+
+func TestFacadeRunConcurrentWithFaults(t *testing.T) {
+	p := ListTraversal(300)
+	tr, err := Pipeline(p, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := RuntimeOptions{Faults: RandomFaults(7, tr)}
+	if _, report, err := RunConcurrent(tr, p, FullWidth(), opts); err != nil {
+		t.Fatal(err)
+	} else if report.FellBack {
+		t.Fatalf("fault injection should perturb timing, not correctness: %v", report.Cause)
+	}
+}
+
+func TestFacadeValidate(t *testing.T) {
+	rep := Validate(ListTraversal(300), ValidateOptions{Seed: 3, FaultRuns: 3, Caps: []int{1, 8}})
+	if rep.Skipped != "" {
+		t.Fatalf("list traversal should be transformable: %s", rep)
+	}
+	if !rep.OK() {
+		t.Fatalf("validation failed: %s", rep)
+	}
+	if rep.Runs < 5 {
+		t.Fatalf("runs = %d, want >= 5 (interp sweep + runtime sweep + faults)", rep.Runs)
+	}
+}
+
 func TestFacadeDoacross(t *testing.T) {
 	p := ListTraversal(200)
 	threads, err := Doacross(p, 2)

@@ -8,6 +8,7 @@ import (
 	"dswp/internal/interp"
 	"dswp/internal/ir"
 	"dswp/internal/profile"
+	rt "dswp/internal/runtime"
 )
 
 // Random-loop fuzzing: generate structured random loops (counted, with
@@ -208,6 +209,45 @@ func checkSeed(t *testing.T, seed uint64) {
 				if multi.LiveOuts[r] != v {
 					t.Fatalf("seed %d t%d part %d: live-out %s %d != %d (assign %v)",
 						seed, threads, pi, r, multi.LiveOuts[r], v, part.Assign)
+				}
+			}
+		}
+		if threads != 2 {
+			continue
+		}
+		// True-concurrency differential check: the heuristic partition
+		// must also compute the sequential result under the goroutine
+		// runtime — real interleavings, bounded queues (down to one
+		// slot), and seed-derived fault injection — not just under the
+		// interpreter's friendly round-robin schedule.
+		hp := a.Heuristic()
+		if hp.N < 2 {
+			continue
+		}
+		tr, err := a.Transform(hp)
+		if err != nil {
+			t.Fatalf("seed %d: runtime transform: %v", seed, err)
+		}
+		for _, qcap := range []int{1, 8} {
+			ropts := rt.Options{QueueCap: qcap, Mem: mem, MaxSteps: 50_000_000}
+			if qcap == 1 {
+				ropts.Faults = rt.RandomFaults(seed, len(tr.Threads), tr.NumQueues)
+			}
+			run, err := rt.Run(tr.Threads, ropts)
+			if err != nil {
+				for ti, th := range tr.Threads {
+					t.Logf("thread %d:\n%s", ti, th)
+				}
+				t.Fatalf("seed %d: goroutine runtime cap %d: %v", seed, qcap, err)
+			}
+			if d := base.Mem.Diff(run.Mem); d != -1 {
+				t.Fatalf("seed %d: goroutine runtime cap %d: memory diverges at %d (assign %v)\noriginal:\n%s",
+					seed, qcap, d, hp.Assign, f)
+			}
+			for r, v := range base.LiveOuts {
+				if run.LiveOuts[r] != v {
+					t.Fatalf("seed %d: goroutine runtime cap %d: live-out %s %d != %d",
+						seed, qcap, r, run.LiveOuts[r], v)
 				}
 			}
 		}

@@ -2,6 +2,8 @@ package interp
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"dswp/internal/ir"
 )
@@ -43,20 +45,33 @@ type Options struct {
 	// RecordTrace enables event recording (timing runs need it; pure
 	// correctness checks can skip it to save memory).
 	RecordTrace bool
+	// QueueCap bounds each synchronization-array queue (0 = unbounded).
+	// With a bound, produce blocks on a full queue exactly as the
+	// hardware synchronization array would, so full-queue back-pressure
+	// (and deadlocks caused by it) become observable functionally, not
+	// just in the timing model.
+	QueueCap int
 }
 
 const defaultMaxSteps = 500_000_000
 
-// queue is an unbounded FIFO for functional execution; capacity limits are
-// a timing concern handled by package sim.
+// queue is a FIFO for functional execution: unbounded by default (capacity
+// limits are a timing concern handled by package sim), or bounded when
+// Options.QueueCap asks the interpreter to reproduce full-queue blocking.
 type queue struct {
 	buf  []int64
 	head int
+	cap  int // 0 = unbounded
 }
 
 func (q *queue) push(v int64) { q.buf = append(q.buf, v) }
 
 func (q *queue) empty() bool { return q.head >= len(q.buf) }
+
+// occupancy returns the number of buffered values.
+func (q *queue) occupancy() int { return len(q.buf) - q.head }
+
+func (q *queue) full() bool { return q.cap > 0 && q.occupancy() >= q.cap }
 
 func (q *queue) pop() int64 {
 	v := q.buf[q.head]
@@ -68,13 +83,24 @@ func (q *queue) pop() int64 {
 	return v
 }
 
+// stallReason says why a thread cannot retire its next instruction, using
+// the sim package's StallEmpty/StallFull vocabulary.
+type stallReason uint8
+
+const (
+	stallNone  stallReason = iota
+	stallEmpty             // consume on an empty queue
+	stallFull              // produce on a full queue (bounded mode only)
+)
+
 type thread struct {
-	res     *ThreadResult
-	regs    []int64
-	block   *ir.Block
-	pc      int
-	done    bool
-	blocked bool
+	res        *ThreadResult
+	regs       []int64
+	block      *ir.Block
+	pc         int
+	done       bool
+	stall      stallReason
+	stallQueue int
 }
 
 // Run executes fn single-threaded. It is the baseline path and the
@@ -107,7 +133,7 @@ func RunThreads(fns []*ir.Function, opts Options) (*Result, error) {
 	getQueue := func(id int) *queue {
 		q := queues[id]
 		if q == nil {
-			q = &queue{}
+			q = &queue{cap: opts.QueueCap}
 			queues[id] = q
 		}
 		return q
@@ -161,7 +187,7 @@ func RunThreads(fns []*ir.Function, opts Options) (*Result, error) {
 			break
 		}
 		if !anyProgress {
-			return nil, deadlockError(threads)
+			return nil, deadlockError(threads, queues)
 		}
 		if total >= maxSteps {
 			return nil, fmt.Errorf("interp: step limit %d exceeded", maxSteps)
@@ -178,8 +204,9 @@ func RunThreads(fns []*ir.Function, opts Options) (*Result, error) {
 	return res, nil
 }
 
-func deadlockError(threads []*thread) error {
-	msg := "interp: deadlock:"
+func deadlockError(threads []*thread, queues map[int]*queue) error {
+	var sb strings.Builder
+	sb.WriteString("interp: deadlock:")
 	for i, th := range threads {
 		state := "done"
 		if !th.done {
@@ -187,11 +214,68 @@ func deadlockError(threads []*thread) error {
 			if th.pc < len(th.block.Instrs) {
 				in = th.block.Instrs[th.pc].String()
 			}
-			state = fmt.Sprintf("blocked at %s/%s[%d] %q", th.res.Fn.Name, th.block.Name, th.pc, in)
+			why := ""
+			switch th.stall {
+			case stallEmpty:
+				why = fmt.Sprintf(" (StallEmpty q%d)", th.stallQueue)
+			case stallFull:
+				why = fmt.Sprintf(" (StallFull q%d)", th.stallQueue)
+			}
+			state = fmt.Sprintf("blocked%s at %s/%s[%d] %q", why, th.res.Fn.Name, th.block.Name, th.pc, in)
 		}
-		msg += fmt.Sprintf(" thread%d=%s;", i, state)
+		fmt.Fprintf(&sb, " thread%d=%s;", i, state)
 	}
-	return fmt.Errorf("%s", msg)
+	// Queue occupancy, with the static producer/consumer threads of each
+	// queue, so a cyclic partition's wait-for cycle is readable directly
+	// from the message.
+	ids := make([]int, 0, len(queues))
+	for id := range queues {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	sb.WriteString(" queues:")
+	for _, id := range ids {
+		q := queues[id]
+		occ := q.occupancy()
+		state := fmt.Sprintf("%d buffered", occ)
+		switch {
+		case occ == 0:
+			state = "empty"
+		case q.full():
+			state = fmt.Sprintf("full %d/%d", occ, q.cap)
+		case q.cap > 0:
+			state = fmt.Sprintf("%d/%d", occ, q.cap)
+		}
+		prods, cons := queueEndpoints(threads, id)
+		fmt.Fprintf(&sb, " q%d=%s (prod %v, cons %v);", id, state, prods, cons)
+	}
+	return fmt.Errorf("%s", sb.String())
+}
+
+// queueEndpoints returns the thread indices that statically produce to and
+// consume from queue id.
+func queueEndpoints(threads []*thread, id int) (prods, cons []int) {
+	for ti, th := range threads {
+		var p, c bool
+		th.res.Fn.Instrs(func(in *ir.Instr) {
+			if in.Queue != id {
+				return
+			}
+			switch in.Op {
+			case ir.OpProduce:
+				p = true
+			case ir.OpConsume:
+				c = true
+			}
+		})
+		if p {
+			prods = append(prods, ti)
+		}
+		if c {
+			cons = append(cons, ti)
+		}
+	}
+	return prods, cons
 }
 
 // runBurst executes up to n instructions of th; returns whether any
@@ -204,7 +288,7 @@ func runBurst(th *thread, mem *Memory, getQueue func(int) *queue, n int, total *
 		}
 		if th.pc >= len(th.block.Instrs) {
 			// Fall through to the next block in layout order.
-			next := nextBlock(th.res.Fn, th.block)
+			next := NextBlock(th.res.Fn, th.block)
 			if next == nil {
 				return progressed, fmt.Errorf("fell off the end of block %s", th.block.Name)
 			}
@@ -218,21 +302,27 @@ func runBurst(th *thread, mem *Memory, getQueue func(int) *queue, n int, total *
 		case ir.OpConsume:
 			q := getQueue(in.Queue)
 			if q.empty() {
-				th.blocked = true
+				th.stall, th.stallQueue = stallEmpty, in.Queue
 				return progressed, nil
 			}
-			th.blocked = false
+			th.stall = stallNone
 			v := q.pop()
 			if in.Dst != ir.NoReg {
 				th.regs[in.Dst] = v
 			}
 			th.pc++
 		case ir.OpProduce:
+			q := getQueue(in.Queue)
+			if q.full() {
+				th.stall, th.stallQueue = stallFull, in.Queue
+				return progressed, nil
+			}
+			th.stall = stallNone
 			v := int64(0)
 			if len(in.Src) > 0 {
 				v = th.regs[in.Src[0]]
 			}
-			getQueue(in.Queue).push(v)
+			q.push(v)
 			th.pc++
 		case ir.OpBranch:
 			taken := th.regs[in.Src[0]] != 0
@@ -268,7 +358,7 @@ func runBurst(th *thread, mem *Memory, getQueue func(int) *queue, n int, total *
 			// Opaque call: functionally a no-op; timing charges Imm.
 			th.pc++
 		default:
-			th.regs[in.Dst] = evalALU(in, th.regs)
+			th.regs[in.Dst] = EvalALU(in, th.regs)
 			th.pc++
 		}
 
@@ -283,7 +373,10 @@ func runBurst(th *thread, mem *Memory, getQueue func(int) *queue, n int, total *
 	return progressed, nil
 }
 
-func nextBlock(f *ir.Function, b *ir.Block) *ir.Block {
+// NextBlock returns the fall-through successor of b in layout order, or
+// nil at the end of the function. Exported so the concurrent runtime
+// (internal/runtime) shares the interpreter's fall-through semantics.
+func NextBlock(f *ir.Function, b *ir.Block) *ir.Block {
 	for i, bb := range f.Blocks {
 		if bb == b {
 			if i+1 < len(f.Blocks) {
@@ -295,7 +388,10 @@ func nextBlock(f *ir.Function, b *ir.Block) *ir.Block {
 	return nil
 }
 
-func evalALU(in *ir.Instr, regs []int64) int64 {
+// EvalALU evaluates a non-memory, non-flow, non-control instruction over
+// regs. It is the single source of truth for ALU semantics, shared by this
+// interpreter and the concurrent runtime in internal/runtime.
+func EvalALU(in *ir.Instr, regs []int64) int64 {
 	get := func(i int) int64 { return regs[in.Src[i]] }
 	b2i := func(b bool) int64 {
 		if b {

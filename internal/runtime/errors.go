@@ -1,0 +1,105 @@
+package runtime
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// BlockInfo is one thread's state at the moment a failure was detected:
+// where the thread is parked and on which queue, mirroring the
+// interpreter's deadlock diagnostics but captured from live goroutines.
+type BlockInfo struct {
+	Thread int
+	Fn     string
+	Block  string
+	PC     int
+	Instr  string
+	// State is "running", "done", "blocked-empty" (consume on an empty
+	// queue) or "blocked-full" (produce on a full queue).
+	State string
+	// Queue is the queue the thread is blocked on, or -1.
+	Queue int
+}
+
+func (b BlockInfo) String() string {
+	switch b.State {
+	case "done":
+		return fmt.Sprintf("thread%d=done", b.Thread)
+	case "running":
+		return fmt.Sprintf("thread%d=running (%s)", b.Thread, b.Fn)
+	}
+	return fmt.Sprintf("thread%d=%s q%d at %s/%s[%d] %q",
+		b.Thread, b.State, b.Queue, b.Fn, b.Block, b.PC, b.Instr)
+}
+
+// QueueInfo is one synchronization-array queue's occupancy at failure time,
+// with its static producer/consumer threads so wait-for cycles are readable
+// directly from the error.
+type QueueInfo struct {
+	Queue     int
+	Len, Cap  int
+	Producers []int
+	Consumers []int
+}
+
+func (q QueueInfo) String() string {
+	state := fmt.Sprintf("%d/%d", q.Len, q.Cap)
+	switch {
+	case q.Len == 0:
+		state = "empty"
+	case q.Len >= q.Cap:
+		state = fmt.Sprintf("full %d/%d", q.Len, q.Cap)
+	}
+	return fmt.Sprintf("q%d=%s (prod %v, cons %v)", q.Queue, state, q.Producers, q.Consumers)
+}
+
+// DeadlockError reports an all-blocked state: every live thread is parked
+// on a queue operation that can never complete. For DSWP output this means
+// the partition was not acyclic (or flows were mis-inserted) — exactly the
+// transformation bug class the synchronization array's blocking semantics
+// are supposed to surface.
+type DeadlockError struct {
+	Threads []BlockInfo
+	Queues  []QueueInfo
+}
+
+func (e *DeadlockError) Error() string {
+	var sb strings.Builder
+	sb.WriteString("runtime: deadlock:")
+	for _, th := range e.Threads {
+		sb.WriteString(" " + th.String() + ";")
+	}
+	sb.WriteString(" queues:")
+	for _, q := range e.Queues {
+		sb.WriteString(" " + q.String() + ";")
+	}
+	return sb.String()
+}
+
+// TimeoutError reports a wall-clock stall that never became a provable
+// all-blocked state (e.g. livelock, or a fault-injected stall that exceeded
+// the budget).
+type TimeoutError struct {
+	Elapsed time.Duration
+	Steps   int64
+	Threads []BlockInfo
+}
+
+func (e *TimeoutError) Error() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "runtime: timeout after %v (%d instructions retired):", e.Elapsed, e.Steps)
+	for _, th := range e.Threads {
+		sb.WriteString(" " + th.String() + ";")
+	}
+	return sb.String()
+}
+
+// StepLimitError reports that the run exceeded Options.MaxSteps.
+type StepLimitError struct {
+	Limit int64
+}
+
+func (e *StepLimitError) Error() string {
+	return fmt.Sprintf("runtime: step limit %d exceeded", e.Limit)
+}

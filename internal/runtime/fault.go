@@ -1,0 +1,84 @@
+package runtime
+
+import "time"
+
+// ThreadStall forces a thread to sleep for Delay every Every retired
+// instructions, perturbing the schedule the way an OS preemption or cache
+// miss storm would.
+type ThreadStall struct {
+	Every int64
+	Delay time.Duration
+}
+
+// FaultPlan describes deterministic (seed-derived) faults to inject into a
+// concurrent run. A correct DSWP transformation must produce identical
+// results under any plan: faults change timing, never values.
+type FaultPlan struct {
+	// Seed identifies the plan for reproduction in logs.
+	Seed uint64
+	// QueueDelay injects latency before operations on specific queues,
+	// applied on every DelayEvery-th flow op of each thread (so runs stay
+	// fast while schedules still shear).
+	QueueDelay map[int]time.Duration
+	// DelayEvery is the sampling period for QueueDelay (0 = default 64).
+	DelayEvery int64
+	// ThreadStall forces per-thread periodic stalls.
+	ThreadStall map[int]ThreadStall
+	// QueueCap overrides individual queue capacities (e.g. forcing a
+	// single queue down to one slot while the rest keep the default).
+	QueueCap map[int]int
+}
+
+func (p *FaultPlan) delayEvery() int64 {
+	if p == nil || p.DelayEvery <= 0 {
+		return 64
+	}
+	return p.DelayEvery
+}
+
+// faultRNG is the same xorshift64* generator the workload builders use, so
+// fault plans are reproducible without touching math/rand global state.
+type faultRNG struct{ s uint64 }
+
+func (r *faultRNG) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545F4914F6CDD1D
+}
+
+func (r *faultRNG) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// RandomFaults derives a reproducible fault plan from seed for a pipeline
+// with the given thread and queue counts: a couple of delayed queues, an
+// occasional forced thread stall, and sometimes an artificially tiny queue.
+func RandomFaults(seed uint64, numThreads, numQueues int) *FaultPlan {
+	// Periods and delays are sized so that even million-step workloads
+	// absorb only tens of milliseconds of injected latency per run while
+	// schedules still shear by thousands of instructions relative to the
+	// unfaulted interleaving.
+	rng := &faultRNG{s: seed | 1}
+	plan := &FaultPlan{
+		Seed:        seed,
+		QueueDelay:  map[int]time.Duration{},
+		ThreadStall: map[int]ThreadStall{},
+		QueueCap:    map[int]int{},
+		DelayEvery:  int64(256 + rng.intn(768)),
+	}
+	if numQueues > 0 {
+		for i, n := 0, 1+rng.intn(2); i < n; i++ {
+			q := rng.intn(numQueues)
+			plan.QueueDelay[q] = time.Duration(10+rng.intn(90)) * time.Microsecond
+		}
+		if rng.intn(2) == 0 {
+			plan.QueueCap[rng.intn(numQueues)] = 1
+		}
+	}
+	if numThreads > 0 && rng.intn(2) == 0 {
+		plan.ThreadStall[rng.intn(numThreads)] = ThreadStall{
+			Every: int64(2048 + rng.intn(6144)),
+			Delay: time.Duration(20+rng.intn(80)) * time.Microsecond,
+		}
+	}
+	return plan
+}

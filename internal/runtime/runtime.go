@@ -1,0 +1,585 @@
+// Package runtime executes DSWP-transformed thread functions under true
+// concurrency: each partition thread is a real goroutine and every
+// synchronization-array queue is a bounded Go channel. Where the
+// deterministic round-robin interpreter (internal/interp) is the friendly
+// reference schedule, this runtime is the adversarial one — full-queue
+// back-pressure, arbitrary OS-level interleavings, cross-thread memory
+// visibility, and injected faults are all exercised for real, and every
+// cross-thread memory dependence is observable by the Go race detector
+// (flow channels are the only happens-before edges between threads, exactly
+// as the paper's synchronization array is the only inter-core ordering).
+//
+// A watchdog converts all-blocked states into structured DeadlockError
+// values carrying per-thread block sites and queue occupancy, and a
+// wall-clock bound converts stalls into TimeoutError. RunWithFallback
+// implements the graceful-degradation contract: on any runtime failure the
+// caller gets the sequential execution of the original loop plus a report
+// of the event.
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dswp/internal/interp"
+	"dswp/internal/ir"
+)
+
+// DefaultQueueCap matches the paper's 32-entry synchronization-array
+// queues (and sim.Config's default QueueSize).
+const DefaultQueueCap = 32
+
+const (
+	defaultMaxSteps = 500_000_000
+	defaultTimeout  = 30 * time.Second
+	defaultPoll     = 2 * time.Millisecond
+	// stalePolls is how many consecutive no-progress watchdog polls with
+	// every live thread parked on a queue are required before declaring
+	// deadlock (>= 30ms of zero retirement at the default poll). The
+	// occupancy consistency check plus this window make false verdicts
+	// require a runnable goroutine starved for the whole window while the
+	// watchdog schedules freely — and even then the failure is a
+	// structured error feeding the sequential fallback, never a wrong
+	// result.
+	stalePolls = 15
+	// flushEvery batches the shared retired-step counter to keep atomic
+	// traffic off the hot path.
+	flushEvery = 256
+	// ctxCheckEvery bounds how many instructions a thread retires between
+	// cancellation checks.
+	ctxCheckEvery = 1024
+)
+
+// Options configures a concurrent run.
+type Options struct {
+	// QueueCap is the per-queue channel capacity (<=0 = DefaultQueueCap).
+	// Sweepable down to 1; any capacity >= 1 must produce identical
+	// results for correct DSWP output.
+	QueueCap int
+	// MaxSteps bounds total retired instructions (0 = default 500M).
+	MaxSteps int64
+	// Timeout bounds wall-clock time (0 = default 30s).
+	Timeout time.Duration
+	// Poll is the watchdog sampling interval (0 = default 2ms).
+	Poll time.Duration
+	// Regs pre-initializes thread 0's registers (live-ins).
+	Regs map[ir.Reg]int64
+	// Mem supplies an initial memory image (cloned; nil = zeroed image
+	// sized for thread 0's objects).
+	Mem *interp.Memory
+	// RecordTrace enables per-thread event recording for the timing model.
+	RecordTrace bool
+	// Faults injects deterministic delays/stalls/capacity overrides.
+	Faults *FaultPlan
+}
+
+type blockState uint8
+
+const (
+	stateRunning blockState = iota
+	stateBlockedEmpty
+	stateBlockedFull
+	stateDone
+)
+
+// threadState is one goroutine's shared-visibility record. The goroutine
+// owns regs/res exclusively; the block-site fields are written by the
+// goroutine and read by the watchdog under engine.mu.
+type threadState struct {
+	res  *interp.ThreadResult
+	regs []int64
+
+	// Guarded by engine.mu:
+	state blockState
+	queue int
+	block string
+	pc    int
+	instr string
+}
+
+type engine struct {
+	fns     []*ir.Function
+	opts    Options
+	mem     *interp.Memory
+	queues  []chan int64
+	prods   [][]int // queue -> producing thread indices (static)
+	cons    [][]int // queue -> consuming thread indices (static)
+	threads []*threadState
+
+	ctx      context.Context
+	cancel   context.CancelFunc
+	maxSteps int64
+	steps    atomic.Int64
+
+	mu      sync.Mutex
+	failErr error
+	wg      sync.WaitGroup
+}
+
+// Run executes fns concurrently with shared memory and bounded channel
+// queues. Thread 0 is the main thread; its live-outs are collected.
+// Deadlocks, stalls, and step-limit overruns come back as *DeadlockError,
+// *TimeoutError, and *StepLimitError respectively.
+func Run(fns []*ir.Function, opts Options) (*interp.Result, error) {
+	if len(fns) == 0 {
+		return nil, fmt.Errorf("runtime: no threads")
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = defaultMaxSteps
+	}
+	if opts.Timeout == 0 {
+		opts.Timeout = defaultTimeout
+	}
+	if opts.Poll == 0 {
+		opts.Poll = defaultPoll
+	}
+	var mem *interp.Memory
+	if opts.Mem != nil {
+		mem = opts.Mem.Clone()
+	} else {
+		mem = interp.MemoryFor(fns[0])
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	e := &engine{
+		fns: fns, opts: opts, mem: mem,
+		ctx: ctx, cancel: cancel, maxSteps: maxSteps,
+	}
+	if err := e.build(); err != nil {
+		return nil, err
+	}
+
+	e.wg.Add(len(fns))
+	for i := range fns {
+		go e.runThread(i)
+	}
+	watchdogDone := make(chan struct{})
+	var watchdogExit sync.WaitGroup
+	watchdogExit.Add(1)
+	go func() {
+		defer watchdogExit.Done()
+		e.watchdog(watchdogDone)
+	}()
+	e.wg.Wait()
+	close(watchdogDone)
+	watchdogExit.Wait()
+
+	e.mu.Lock()
+	err := e.failErr
+	e.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+
+	res := &interp.Result{Mem: mem, LiveOuts: map[ir.Reg]int64{}}
+	for _, th := range e.threads {
+		res.Threads = append(res.Threads, th.res)
+	}
+	for _, r := range fns[0].LiveOuts {
+		res.LiveOuts[r] = e.threads[0].regs[r]
+	}
+	return res, nil
+}
+
+// build sizes the queue array from the static produce/consume sites,
+// applies capacity overrides, and initializes thread state.
+func (e *engine) build() error {
+	numQueues := 0
+	for _, fn := range e.fns {
+		fn.Instrs(func(in *ir.Instr) {
+			if in.Op.IsFlow() && in.Queue+1 > numQueues {
+				numQueues = in.Queue + 1
+			}
+		})
+	}
+	capFor := func(q int) int {
+		if e.opts.Faults != nil {
+			if c, ok := e.opts.Faults.QueueCap[q]; ok && c > 0 {
+				return c
+			}
+		}
+		if e.opts.QueueCap > 0 {
+			return e.opts.QueueCap
+		}
+		return DefaultQueueCap
+	}
+	e.queues = make([]chan int64, numQueues)
+	e.prods = make([][]int, numQueues)
+	e.cons = make([][]int, numQueues)
+	for q := range e.queues {
+		e.queues[q] = make(chan int64, capFor(q))
+	}
+	for ti, fn := range e.fns {
+		prod := map[int]bool{}
+		cons := map[int]bool{}
+		fn.Instrs(func(in *ir.Instr) {
+			switch in.Op {
+			case ir.OpProduce:
+				prod[in.Queue] = true
+			case ir.OpConsume:
+				cons[in.Queue] = true
+			}
+		})
+		for q := range prod {
+			e.prods[q] = append(e.prods[q], ti)
+		}
+		for q := range cons {
+			e.cons[q] = append(e.cons[q], ti)
+		}
+	}
+
+	e.threads = make([]*threadState, len(e.fns))
+	for i, fn := range e.fns {
+		if fn.Entry() == nil {
+			return fmt.Errorf("runtime: thread %d has no entry block", i)
+		}
+		th := &threadState{
+			res: &interp.ThreadResult{
+				Fn:     fn,
+				Counts: make([]int64, fn.NumInstrIDs()),
+			},
+			regs:  make([]int64, fn.MaxReg()+1),
+			queue: -1,
+		}
+		if i == 0 {
+			for r, v := range e.opts.Regs {
+				if int(r) >= len(th.regs) {
+					return fmt.Errorf("runtime: live-in register %s out of range", r)
+				}
+				th.regs[r] = v
+			}
+		}
+		e.threads[i] = th
+	}
+	return nil
+}
+
+// fail records the first structured failure and cancels every thread.
+func (e *engine) fail(err error) {
+	e.mu.Lock()
+	if e.failErr == nil {
+		e.failErr = err
+		e.cancel()
+	}
+	e.mu.Unlock()
+}
+
+func (e *engine) setBlocked(ti int, st blockState, block *ir.Block, pc int, in *ir.Instr) {
+	th := e.threads[ti]
+	e.mu.Lock()
+	th.state = st
+	th.queue = in.Queue
+	th.block = block.Name
+	th.pc = pc
+	th.instr = in.String()
+	e.mu.Unlock()
+}
+
+func (e *engine) setState(ti int, st blockState) {
+	e.mu.Lock()
+	e.threads[ti].state = st
+	e.mu.Unlock()
+}
+
+// runThread is one pipeline stage: a straight interpreter loop over the
+// thread's function, blocking for real on channel queues.
+func (e *engine) runThread(ti int) {
+	defer e.wg.Done()
+	th := e.threads[ti]
+	fn := e.fns[ti]
+	regs := th.regs
+	block := fn.Entry()
+	pc := 0
+	trace := e.opts.RecordTrace
+	faults := e.opts.Faults
+	delayEvery := faults.delayEvery()
+	var stall ThreadStall
+	if faults != nil {
+		stall = faults.ThreadStall[ti]
+	}
+
+	var local int64
+	var flowOps int64
+	ctxCheck := 0
+	flush := func() {
+		if local == 0 {
+			return
+		}
+		if total := e.steps.Add(local); total >= e.maxSteps {
+			e.fail(&StepLimitError{Limit: e.maxSteps})
+		}
+		local = 0
+	}
+	defer flush()
+
+	for {
+		ctxCheck++
+		if ctxCheck >= ctxCheckEvery {
+			ctxCheck = 0
+			if e.ctx.Err() != nil {
+				return
+			}
+		}
+		if pc >= len(block.Instrs) {
+			next := interp.NextBlock(fn, block)
+			if next == nil {
+				e.fail(fmt.Errorf("runtime: thread %d fell off the end of block %s", ti, block.Name))
+				return
+			}
+			block, pc = next, 0
+			continue
+		}
+		in := block.Instrs[pc]
+		ev := interp.Event{In: in}
+
+		switch in.Op {
+		case ir.OpConsume:
+			q := e.queues[in.Queue]
+			if faults != nil {
+				flowOps++
+				if d := faults.QueueDelay[in.Queue]; d > 0 && flowOps%delayEvery == 0 {
+					time.Sleep(d)
+				}
+			}
+			var v int64
+			select {
+			case v = <-q:
+			default:
+				flush()
+				e.setBlocked(ti, stateBlockedEmpty, block, pc, in)
+				select {
+				case v = <-q:
+					e.setState(ti, stateRunning)
+				case <-e.ctx.Done():
+					return
+				}
+			}
+			if in.Dst != ir.NoReg {
+				regs[in.Dst] = v
+			}
+			pc++
+		case ir.OpProduce:
+			q := e.queues[in.Queue]
+			if faults != nil {
+				flowOps++
+				if d := faults.QueueDelay[in.Queue]; d > 0 && flowOps%delayEvery == 0 {
+					time.Sleep(d)
+				}
+			}
+			v := int64(0)
+			if len(in.Src) > 0 {
+				v = regs[in.Src[0]]
+			}
+			select {
+			case q <- v:
+			default:
+				flush()
+				e.setBlocked(ti, stateBlockedFull, block, pc, in)
+				select {
+				case q <- v:
+					e.setState(ti, stateRunning)
+				case <-e.ctx.Done():
+					return
+				}
+			}
+			pc++
+		case ir.OpBranch:
+			taken := regs[in.Src[0]] != 0
+			ev.Taken = taken
+			if taken {
+				block, pc = in.Target, 0
+			} else {
+				block, pc = in.TargetFalse, 0
+			}
+		case ir.OpJump:
+			ev.Taken = true
+			block, pc = in.Target, 0
+		case ir.OpRet:
+			pc++
+		case ir.OpLoad:
+			addr := regs[in.Src[0]] + in.Imm
+			ev.Addr = addr
+			v, err := e.mem.Load(addr)
+			if err != nil {
+				e.fail(fmt.Errorf("runtime: thread %d: %s: %w", ti, in, err))
+				return
+			}
+			regs[in.Dst] = v
+			pc++
+		case ir.OpStore:
+			addr := regs[in.Src[1]] + in.Imm
+			ev.Addr = addr
+			if err := e.mem.Store(addr, regs[in.Src[0]]); err != nil {
+				e.fail(fmt.Errorf("runtime: thread %d: %s: %w", ti, in, err))
+				return
+			}
+			pc++
+		case ir.OpCall:
+			// Opaque call: functionally a no-op; timing charges Imm.
+			pc++
+		default:
+			regs[in.Dst] = interp.EvalALU(in, regs)
+			pc++
+		}
+
+		th.res.Counts[in.ID]++
+		th.res.Steps++
+		local++
+		if local >= flushEvery {
+			flush()
+		}
+		if trace {
+			th.res.Trace = append(th.res.Trace, ev)
+		}
+		if stall.Every > 0 && th.res.Steps%stall.Every == 0 {
+			flush()
+			time.Sleep(stall.Delay)
+		}
+		if in.Op == ir.OpRet {
+			flush()
+			e.setState(ti, stateDone)
+			return
+		}
+	}
+}
+
+// watchdog converts all-blocked states into DeadlockError and wall-clock
+// overruns into TimeoutError. The deadlock verdict requires (a) no retired
+// instruction across stalePolls+1 consecutive polls, (b) every live thread
+// parked on a queue op, and (c) occupancy consistency — each claimed
+// empty-wait queue is empty and each full-wait queue is full — which makes
+// the verdict sound, not heuristic: such a state can never make progress.
+func (e *engine) watchdog(done <-chan struct{}) {
+	ticker := time.NewTicker(e.opts.Poll)
+	defer ticker.Stop()
+	start := time.Now()
+	last := int64(-1)
+	stale := 0
+	for {
+		select {
+		case <-done:
+			return
+		case <-ticker.C:
+		}
+		s := e.steps.Load()
+		if s != last {
+			last, stale = s, 0
+		} else {
+			stale++
+		}
+
+		e.mu.Lock()
+		if e.failErr != nil {
+			e.mu.Unlock()
+			return
+		}
+		live, blocked := 0, 0
+		consistent := true
+		for _, th := range e.threads {
+			switch th.state {
+			case stateDone:
+				continue
+			case stateBlockedEmpty:
+				blocked++
+				if len(e.queues[th.queue]) != 0 {
+					consistent = false
+				}
+			case stateBlockedFull:
+				blocked++
+				if len(e.queues[th.queue]) < cap(e.queues[th.queue]) {
+					consistent = false
+				}
+			}
+			live++
+		}
+		if live == 0 {
+			e.mu.Unlock()
+			return
+		}
+		if blocked == live && consistent && stale >= stalePolls {
+			e.failErr = e.deadlockLocked()
+			e.cancel()
+			e.mu.Unlock()
+			return
+		}
+		if elapsed := time.Since(start); elapsed > e.opts.Timeout {
+			e.failErr = &TimeoutError{Elapsed: elapsed, Steps: s, Threads: e.blockInfoLocked()}
+			e.cancel()
+			e.mu.Unlock()
+			return
+		}
+		e.mu.Unlock()
+	}
+}
+
+// blockInfoLocked snapshots every thread's state; callers hold e.mu.
+func (e *engine) blockInfoLocked() []BlockInfo {
+	infos := make([]BlockInfo, len(e.threads))
+	for i, th := range e.threads {
+		info := BlockInfo{Thread: i, Fn: e.fns[i].Name, Queue: -1}
+		switch th.state {
+		case stateRunning:
+			info.State = "running"
+		case stateDone:
+			info.State = "done"
+		case stateBlockedEmpty, stateBlockedFull:
+			info.State = "blocked-empty"
+			if th.state == stateBlockedFull {
+				info.State = "blocked-full"
+			}
+			info.Queue = th.queue
+			info.Block = th.block
+			info.PC = th.pc
+			info.Instr = th.instr
+		}
+		infos[i] = info
+	}
+	return infos
+}
+
+func (e *engine) deadlockLocked() *DeadlockError {
+	derr := &DeadlockError{Threads: e.blockInfoLocked()}
+	for q, ch := range e.queues {
+		derr.Queues = append(derr.Queues, QueueInfo{
+			Queue: q, Len: len(ch), Cap: cap(ch),
+			Producers: e.prods[q], Consumers: e.cons[q],
+		})
+	}
+	return derr
+}
+
+// FallbackReport says whether a concurrent run degraded to sequential
+// execution and why.
+type FallbackReport struct {
+	FellBack bool
+	// Cause is the concurrent runtime's failure (nil when FellBack is
+	// false); typically a *DeadlockError or *TimeoutError.
+	Cause error
+}
+
+// RunWithFallback is the graceful-degradation entry point: it runs fns
+// under the concurrent runtime and, on any runtime failure, falls back to
+// sequential execution of the original untransformed function, reporting
+// the event. An error is returned only when the fallback itself fails.
+func RunWithFallback(fns []*ir.Function, orig *ir.Function, opts Options) (*interp.Result, FallbackReport, error) {
+	res, err := Run(fns, opts)
+	if err == nil {
+		return res, FallbackReport{}, nil
+	}
+	seq, serr := interp.Run(orig, interp.Options{
+		MaxSteps:    opts.MaxSteps,
+		Regs:        opts.Regs,
+		Mem:         opts.Mem,
+		RecordTrace: opts.RecordTrace,
+	})
+	if serr != nil {
+		return nil, FallbackReport{FellBack: true, Cause: err},
+			fmt.Errorf("runtime: concurrent run failed (%v) and sequential fallback failed: %w", err, serr)
+	}
+	return seq, FallbackReport{FellBack: true, Cause: err}, nil
+}

@@ -1,0 +1,292 @@
+package runtime
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dswp/internal/core"
+	"dswp/internal/interp"
+	"dswp/internal/ir"
+	"dswp/internal/profile"
+	"dswp/internal/workloads"
+)
+
+// pipelineFns builds the reference two-stage pipeline: a producer streaming
+// 1..10 and a consumer summing them and sending the total back.
+func pipelineFns(t *testing.T) []*ir.Function {
+	t.Helper()
+	prod := ir.MustParse(`func producer {
+  liveout r9
+entry:
+    r1 = const 0
+    r5 = const 10
+    r6 = const 1
+    jump loop
+loop:
+    r1 = add r1, r6
+    produce [0] = r1
+    r2 = cmplt r1, r5
+    br r2, loop, done
+done:
+    consume r9 = [1]
+    ret
+}
+`)
+	cons := ir.MustParse(`func consumer {
+entry:
+    r1 = const 0
+    r5 = const 10
+    r6 = const 1
+    r7 = const 0
+    jump loop
+loop:
+    consume r2 = [0]
+    r7 = add r7, r2
+    r1 = add r1, r6
+    r3 = cmplt r1, r5
+    br r3, loop, done
+done:
+    produce [1] = r7
+    ret
+}
+`)
+	return []*ir.Function{prod, cons}
+}
+
+func TestRunPipelineAcrossCapacities(t *testing.T) {
+	for _, cap := range []int{1, 2, 32} {
+		res, err := Run(pipelineFns(t), Options{QueueCap: cap})
+		if err != nil {
+			t.Fatalf("cap %d: %v", cap, err)
+		}
+		if got := res.LiveOuts[ir.Reg(9)]; got != 55 {
+			t.Fatalf("cap %d: pipeline sum = %d, want 55", cap, got)
+		}
+	}
+}
+
+// TestRunMatchesInterpOnTransformedLoop pushes real DSWP output through
+// both engines and diffs memory images and live-outs.
+func TestRunMatchesInterpOnTransformedLoop(t *testing.T) {
+	p := workloads.ListOfLists(40, 5)
+	prof, err := profile.Collect(p.F, p.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := core.Apply(p.F, p.LoopHeader, prof, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := interp.Run(p.F, p.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cap := range []int{1, 2, 32} {
+		res, err := Run(tr.Threads, Options{QueueCap: cap, Mem: p.Mem, Regs: p.Regs})
+		if err != nil {
+			t.Fatalf("cap %d: %v", cap, err)
+		}
+		if d := base.Mem.Diff(res.Mem); d != -1 {
+			t.Fatalf("cap %d: memory diverges at word %d", cap, d)
+		}
+		for r, v := range base.LiveOuts {
+			if res.LiveOuts[r] != v {
+				t.Fatalf("cap %d: live-out %s = %d, want %d", cap, r, res.LiveOuts[r], v)
+			}
+		}
+	}
+}
+
+// TestDeadlockCyclicPartition is the acceptance case: an intentionally
+// cyclic (invalid) partition must trip the watchdog with a structured
+// DeadlockError instead of hanging.
+func TestDeadlockCyclicPartition(t *testing.T) {
+	a := ir.MustParse("func a {\nentry:\n    consume r1 = [0]\n    produce [1] = r1\n    ret\n}\n")
+	b := ir.MustParse("func b {\nentry:\n    consume r1 = [1]\n    produce [0] = r1\n    ret\n}\n")
+	_, err := Run([]*ir.Function{a, b}, Options{Timeout: 10 * time.Second})
+	var derr *DeadlockError
+	if !errors.As(err, &derr) {
+		t.Fatalf("err = %v, want *DeadlockError", err)
+	}
+	if len(derr.Threads) != 2 {
+		t.Fatalf("threads in report = %d, want 2", len(derr.Threads))
+	}
+	for _, th := range derr.Threads {
+		if th.State != "blocked-empty" {
+			t.Errorf("thread %d state = %q, want blocked-empty", th.Thread, th.State)
+		}
+	}
+	if len(derr.Queues) != 2 {
+		t.Fatalf("queues in report = %d, want 2", len(derr.Queues))
+	}
+	for _, q := range derr.Queues {
+		if q.Len != 0 {
+			t.Errorf("q%d len = %d, want 0", q.Queue, q.Len)
+		}
+		if len(q.Producers) != 1 || len(q.Consumers) != 1 {
+			t.Errorf("q%d endpoints = prod %v cons %v, want one of each", q.Queue, q.Producers, q.Consumers)
+		}
+	}
+}
+
+// TestDeadlockFullQueue: a producer with no consumer wedges on a full
+// bounded queue and is reported as blocked-full with occupancy.
+func TestDeadlockFullQueue(t *testing.T) {
+	a := ir.MustParse(`func a {
+entry:
+    r1 = const 7
+    produce [0] = r1
+    produce [0] = r1
+    ret
+}
+`)
+	_, err := Run([]*ir.Function{a}, Options{QueueCap: 1})
+	var derr *DeadlockError
+	if !errors.As(err, &derr) {
+		t.Fatalf("err = %v, want *DeadlockError", err)
+	}
+	if got := derr.Threads[0].State; got != "blocked-full" {
+		t.Fatalf("state = %q, want blocked-full", got)
+	}
+	if q := derr.Queues[0]; q.Len != 1 || q.Cap != 1 {
+		t.Fatalf("queue occupancy = %d/%d, want 1/1", q.Len, q.Cap)
+	}
+}
+
+func spinLoop() *ir.Function {
+	return ir.MustParse(`func spin {
+entry:
+    r1 = const 0
+    r2 = const 1
+    jump loop
+loop:
+    r1 = add r1, r2
+    jump loop
+}
+`)
+}
+
+// TestTimeoutWallClockStall: a thread that spins forever (never blocked on
+// a queue) is converted into a TimeoutError by the wall-clock bound.
+func TestTimeoutWallClockStall(t *testing.T) {
+	_, err := Run([]*ir.Function{spinLoop()}, Options{Timeout: 100 * time.Millisecond})
+	var terr *TimeoutError
+	if !errors.As(err, &terr) {
+		t.Fatalf("err = %v, want *TimeoutError", err)
+	}
+	if terr.Steps == 0 {
+		t.Error("timeout report shows zero retired instructions for a spinning thread")
+	}
+	if len(terr.Threads) != 1 || terr.Threads[0].State != "running" {
+		t.Errorf("threads = %+v, want one running thread", terr.Threads)
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	_, err := Run([]*ir.Function{spinLoop()}, Options{MaxSteps: 10_000})
+	var serr *StepLimitError
+	if !errors.As(err, &serr) {
+		t.Fatalf("err = %v, want *StepLimitError", err)
+	}
+}
+
+// TestRunWithFallback: a failing concurrent run degrades to sequential
+// execution of the original function and reports the cause.
+func TestRunWithFallback(t *testing.T) {
+	orig := ir.MustParse(`func orig {
+  liveout r7
+entry:
+    r1 = const 0
+    r5 = const 10
+    r6 = const 1
+    r7 = const 0
+    jump loop
+loop:
+    r1 = add r1, r6
+    r7 = add r7, r1
+    r2 = cmplt r1, r5
+    br r2, loop, done
+done:
+    ret
+}
+`)
+	cyclicA := ir.MustParse("func a {\nentry:\n    consume r1 = [0]\n    produce [1] = r1\n    ret\n}\n")
+	cyclicB := ir.MustParse("func b {\nentry:\n    consume r1 = [1]\n    produce [0] = r1\n    ret\n}\n")
+	res, report, err := RunWithFallback([]*ir.Function{cyclicA, cyclicB}, orig, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.FellBack {
+		t.Fatal("expected fallback to sequential execution")
+	}
+	var derr *DeadlockError
+	if !errors.As(report.Cause, &derr) {
+		t.Fatalf("fallback cause = %v, want *DeadlockError", report.Cause)
+	}
+	if got := res.LiveOuts[ir.Reg(7)]; got != 55 {
+		t.Fatalf("fallback live-out = %d, want 55", got)
+	}
+	// And the healthy path reports no fallback.
+	res, report, err = RunWithFallback(pipelineFns(t), orig, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.FellBack {
+		t.Fatalf("unexpected fallback: %v", report.Cause)
+	}
+	if got := res.LiveOuts[ir.Reg(9)]; got != 55 {
+		t.Fatalf("pipeline live-out = %d, want 55", got)
+	}
+}
+
+func TestRandomFaultsDeterministic(t *testing.T) {
+	a := RandomFaults(42, 3, 8)
+	b := RandomFaults(42, 3, 8)
+	if len(a.QueueDelay) != len(b.QueueDelay) || a.DelayEvery != b.DelayEvery {
+		t.Fatal("fault plans differ for the same seed")
+	}
+	for q, d := range a.QueueDelay {
+		if b.QueueDelay[q] != d {
+			t.Fatalf("queue %d delay %v vs %v", q, d, b.QueueDelay[q])
+		}
+	}
+	for ti, s := range a.ThreadStall {
+		if b.ThreadStall[ti] != s {
+			t.Fatalf("thread %d stall differs", ti)
+		}
+	}
+	for q, c := range a.QueueCap {
+		if b.QueueCap[q] != c {
+			t.Fatalf("queue %d cap override differs", q)
+		}
+	}
+}
+
+// TestFaultInjectionPreservesResults: faults change timing, never values.
+func TestFaultInjectionPreservesResults(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		plan := RandomFaults(seed, 2, 2)
+		res, err := Run(pipelineFns(t), Options{QueueCap: 2, Faults: plan})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got := res.LiveOuts[ir.Reg(9)]; got != 55 {
+			t.Fatalf("seed %d: pipeline sum = %d, want 55", seed, got)
+		}
+	}
+}
+
+// TestTraceRecording: the concurrent runtime produces per-thread traces the
+// timing model can replay, with Steps consistent with the trace length.
+func TestTraceRecording(t *testing.T) {
+	res, err := Run(pipelineFns(t), Options{RecordTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, th := range res.Threads {
+		if th.Steps == 0 || int64(len(th.Trace)) != th.Steps {
+			t.Fatalf("thread %d: Steps %d, len(Trace) %d", i, th.Steps, len(th.Trace))
+		}
+	}
+}

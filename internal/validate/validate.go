@@ -1,0 +1,245 @@
+// Package validate is the differential robustness harness: it runs every
+// DSWP-transformed program under (a) the deterministic round-robin
+// interpreter with bounded and unbounded queues, (b) the goroutine-backed
+// concurrent runtime across queue-capacity sweeps and randomized
+// GOMAXPROCS settings, and (c) seed-derived fault injection (per-queue
+// delays, forced thread stalls, artificially tiny capacities), asserting
+// identical memory images and live-outs versus sequential execution of the
+// untransformed loop every time. The paper's correctness argument — the
+// synchronization array plus an acyclic partition guarantees the original
+// semantics under any schedule — is checked here as an executable claim
+// rather than assumed.
+//
+// All randomness derives from Options.Seed, which is logged, so any
+// failure reproduces from its report line alone.
+package validate
+
+import (
+	"errors"
+	"fmt"
+	stdruntime "runtime"
+	"time"
+
+	"dswp/internal/core"
+	"dswp/internal/interp"
+	"dswp/internal/profile"
+	rt "dswp/internal/runtime"
+	"dswp/internal/workloads"
+)
+
+// Options configures a validation sweep.
+type Options struct {
+	// Seed drives every randomized choice (fault plans, capacities,
+	// GOMAXPROCS); 0 = 1. Reports echo it for reproduction.
+	Seed uint64
+	// Caps are the queue capacities to sweep (nil = {1, 2, 32}).
+	Caps []int
+	// FaultRuns is the number of randomized fault/schedule runs per
+	// program (0 = 20; negative = none).
+	FaultRuns int
+	// Threads is the partition width handed to the transformation (0 = 2).
+	Threads int
+	// MaxSteps bounds each run (0 = 200M).
+	MaxSteps int64
+	// Timeout bounds each concurrent run's wall clock (0 = 30s).
+	Timeout time.Duration
+	// PinProcs disables the per-run GOMAXPROCS randomization (it is on by
+	// default because schedule diversity is the point of the harness).
+	PinProcs bool
+	// Logf, when set, receives progress lines including the seed.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Caps == nil {
+		o.Caps = []int{1, 2, 32}
+	}
+	if o.FaultRuns == 0 {
+		o.FaultRuns = 20
+	}
+	if o.Threads == 0 {
+		o.Threads = 2
+	}
+	if o.MaxSteps == 0 {
+		o.MaxSteps = 200_000_000
+	}
+	if o.Timeout == 0 {
+		o.Timeout = 30 * time.Second
+	}
+	return o
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// Report is the validation outcome for one program.
+type Report struct {
+	Name string
+	// Seed echoes the sweep seed so failures reproduce.
+	Seed uint64
+	// Skipped is non-empty when DSWP does not apply (single SCC or a
+	// one-stage heuristic partition).
+	Skipped string
+	// Runs counts executed differential comparisons.
+	Runs int
+	// Failures lists each diverging or failing run with enough context
+	// (engine, capacity, fault seed, GOMAXPROCS) to replay it.
+	Failures []string
+}
+
+// OK reports whether the program validated cleanly (skipped counts as OK).
+func (r *Report) OK() bool { return len(r.Failures) == 0 }
+
+func (r *Report) String() string {
+	switch {
+	case r.Skipped != "":
+		return fmt.Sprintf("%s: skipped (%s)", r.Name, r.Skipped)
+	case r.OK():
+		return fmt.Sprintf("%s: ok (%d runs, seed %d)", r.Name, r.Runs, r.Seed)
+	}
+	return fmt.Sprintf("%s: %d/%d runs FAILED (seed %d): %v", r.Name, len(r.Failures), r.Runs, r.Seed, r.Failures)
+}
+
+// sweepRNG is the xorshift64* generator shared with the workload builders.
+type sweepRNG struct{ s uint64 }
+
+func (r *sweepRNG) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545F4914F6CDD1D
+}
+
+func (r *sweepRNG) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// Program validates one workload differentially. It never returns an
+// error for divergence — that is recorded in the report — only the report.
+func Program(p *workloads.Program, opts Options) *Report {
+	opts = opts.withDefaults()
+	rep := &Report{Name: p.Name, Seed: opts.Seed}
+	opts.logf("validate %s: seed=%d caps=%v faultRuns=%d threads=%d",
+		p.Name, opts.Seed, opts.Caps, opts.FaultRuns, opts.Threads)
+
+	iopts := p.Options()
+	iopts.MaxSteps = opts.MaxSteps
+	base, err := interp.Run(p.F, iopts)
+	if err != nil {
+		rep.Failures = append(rep.Failures, fmt.Sprintf("sequential baseline: %v", err))
+		return rep
+	}
+	prof, err := profile.Collect(p.F, p.Options())
+	if err != nil {
+		rep.Failures = append(rep.Failures, fmt.Sprintf("profile: %v", err))
+		return rep
+	}
+	// SkipProfitability: the harness validates correctness of the
+	// transformation wherever it is *possible*, not just where the
+	// heuristic predicts a win.
+	tr, err := core.Apply(p.F, p.LoopHeader, prof, core.Config{
+		NumThreads: opts.Threads, SkipProfitability: true,
+	})
+	if err != nil {
+		if errors.Is(err, core.ErrSingleSCC) || errors.Is(err, core.ErrUnprofitable) {
+			rep.Skipped = err.Error()
+			opts.logf("validate %s: %s", p.Name, rep.Skipped)
+			return rep
+		}
+		rep.Failures = append(rep.Failures, fmt.Sprintf("transform: %v", err))
+		return rep
+	}
+
+	check := func(tag string, res *interp.Result, err error) {
+		rep.Runs++
+		if err != nil {
+			rep.Failures = append(rep.Failures, fmt.Sprintf("%s: %v", tag, err))
+			return
+		}
+		if d := base.Mem.Diff(res.Mem); d != -1 {
+			rep.Failures = append(rep.Failures, fmt.Sprintf("%s: memory diverges at word %d", tag, d))
+			return
+		}
+		for r, v := range base.LiveOuts {
+			if res.LiveOuts[r] != v {
+				rep.Failures = append(rep.Failures,
+					fmt.Sprintf("%s: live-out %s = %d, want %d", tag, r, res.LiveOuts[r], v))
+				return
+			}
+		}
+	}
+
+	// (a) Deterministic interpreter: unbounded, then each bounded
+	// capacity — full-queue blocking under the friendly schedule.
+	for _, cap := range append([]int{0}, opts.Caps...) {
+		io := iopts
+		io.QueueCap = cap
+		res, err := interp.RunThreads(tr.Threads, io)
+		check(fmt.Sprintf("interp cap=%d", cap), res, err)
+	}
+
+	// (b) Concurrent goroutine runtime across the capacity sweep.
+	for _, cap := range opts.Caps {
+		res, err := rt.Run(tr.Threads, rt.Options{
+			QueueCap: cap, Mem: p.Mem, Regs: p.Regs,
+			MaxSteps: opts.MaxSteps, Timeout: opts.Timeout,
+		})
+		check(fmt.Sprintf("runtime cap=%d", cap), res, err)
+	}
+
+	// (c) Randomized fault/schedule runs: seed-derived fault plans,
+	// random capacities, random GOMAXPROCS.
+	rng := &sweepRNG{s: opts.Seed | 1}
+	for i := 0; i < opts.FaultRuns; i++ {
+		fseed := rng.next()
+		cap := opts.Caps[rng.intn(len(opts.Caps))]
+		plan := rt.RandomFaults(fseed, len(tr.Threads), tr.NumQueues)
+		procs := 0
+		if !opts.PinProcs {
+			procs = 1 + rng.intn(stdruntime.NumCPU())
+		}
+		tag := fmt.Sprintf("runtime cap=%d faultseed=%d procs=%d", cap, fseed, procs)
+		var old int
+		if procs > 0 {
+			old = stdruntime.GOMAXPROCS(procs)
+		}
+		res, err := rt.Run(tr.Threads, rt.Options{
+			QueueCap: cap, Mem: p.Mem, Regs: p.Regs,
+			MaxSteps: opts.MaxSteps, Timeout: opts.Timeout,
+			Faults: plan,
+		})
+		if procs > 0 {
+			stdruntime.GOMAXPROCS(old)
+		}
+		check(tag, res, err)
+	}
+
+	opts.logf("validate %s: %s", p.Name, rep)
+	return rep
+}
+
+// AllPrograms returns every built-in workload the harness validates: the
+// Table 1 suite, the §5 case studies, and the pedagogy kernels.
+func AllPrograms() []*workloads.Program {
+	progs := []*workloads.Program{
+		workloads.ListTraversal(500),
+		workloads.ListOfLists(40, 5),
+	}
+	for _, wb := range append(workloads.Table1Suite(), workloads.CaseStudies()...) {
+		progs = append(progs, wb.Build())
+	}
+	return progs
+}
+
+// Suite validates every built-in workload and returns one report each.
+func Suite(opts Options) []*Report {
+	var reps []*Report
+	for _, p := range AllPrograms() {
+		reps = append(reps, Program(p, opts))
+	}
+	return reps
+}
