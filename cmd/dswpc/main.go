@@ -16,6 +16,7 @@ import (
 	"dswp/internal/core"
 	"dswp/internal/interp"
 	"dswp/internal/ir"
+	"dswp/internal/obs"
 	"dswp/internal/profile"
 	"dswp/internal/workloads"
 )
@@ -29,7 +30,13 @@ func main() {
 	force := flag.Bool("force", false, "skip the profitability test")
 	showIR := flag.Bool("ir", true, "print the transformed thread functions")
 	dot := flag.String("dot", "", "emit Graphviz instead of a report: dep | dag")
+	stats := flag.Bool("stats", false, "print compile-time pass statistics instead of the full report (-workload all covers every workload)")
 	flag.Parse()
+
+	if *stats {
+		runStats(*workload, *file, *loop, *threads)
+		return
+	}
 
 	if *list {
 		for _, wb := range append(workloads.Table1Suite(), workloads.CaseStudies()...) {
@@ -140,13 +147,72 @@ func main() {
 	fmt.Println("\nequivalence check: transformed threads match the original run")
 }
 
+// runStats prints the transformation's compile-time self-report for one
+// workload or, with "all", every built-in workload. Loops DSWP bails out
+// on (single SCC, one-stage partition) get an analysis-only report rather
+// than an error — the statistics are precisely how those bailouts are
+// understood.
+func runStats(workload, file, loop string, threads int) {
+	var progs []*workloads.Program
+	if workload == "all" {
+		progs = append(progs, workloads.ListTraversal(2000), workloads.ListOfLists(100, 6))
+		for _, wb := range append(workloads.Table1Suite(), workloads.CaseStudies()...) {
+			progs = append(progs, wb.Build())
+		}
+	} else {
+		p, err := selectProgram(workload, file, loop)
+		if err != nil {
+			fail(err)
+		}
+		progs = []*workloads.Program{p}
+	}
+	for i, p := range progs {
+		if i > 0 {
+			fmt.Println()
+		}
+		st, err := statsFor(p, threads)
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", p.Name, err))
+		}
+		fmt.Printf("workload %s\n", p.Name)
+		fmt.Print(st)
+	}
+}
+
+// statsFor runs analysis (and, where a pipeline exists, the transformation)
+// to produce the pass statistics for one program.
+func statsFor(p *workloads.Program, threads int) (*obs.PassStats, error) {
+	prof, err := profile.Collect(p.F, p.Options())
+	if err != nil {
+		return nil, err
+	}
+	a, err := core.Analyze(p.F, p.LoopHeader, prof, core.Config{
+		NumThreads: threads, SkipProfitability: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if a.NumSCCs() == 1 {
+		return a.Stats(), nil
+	}
+	part := a.Heuristic()
+	if part.N == 1 {
+		return a.Stats(), nil
+	}
+	tr, err := a.Transform(part)
+	if err != nil {
+		return nil, err
+	}
+	return tr.Stats, nil
+}
+
 func selectProgram(workload, file, loop string) (*workloads.Program, error) {
 	switch {
 	case workload != "":
 		switch workload {
 		case "list-traversal":
 			return workloads.ListTraversal(2000), nil
-		case "list-of-lists":
+		case "list-of-lists", "listsum":
 			return workloads.ListOfLists(100, 6), nil
 		}
 		for _, wb := range append(workloads.Table1Suite(), workloads.CaseStudies()...) {

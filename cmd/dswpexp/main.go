@@ -1,7 +1,7 @@
 // Command dswpexp regenerates the paper's evaluation artifacts: every
 // table and figure has an experiment id. With no flags it runs everything.
 //
-//	dswpexp -exp table1,fig6a,fig6b,fig7,fig8,fig9a,fig9b,qsize,fig1,depth,cases
+//	dswpexp -exp table1,stats,fig6a,fig6b,fig7,fig8,fig9a,fig9b,qsize,fig1,depth,cases
 package main
 
 import (
@@ -16,7 +16,7 @@ import (
 
 func main() {
 	expFlag := flag.String("exp", "all",
-		"comma-separated experiments: table1,fig6a,fig6b,fig7,fig8,fig9a,fig9b,qsize,fig1,depth,cases")
+		"comma-separated experiments: table1,stats,fig6a,fig6b,fig7,fig8,fig9a,fig9b,qsize,fig1,depth,cases")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -38,6 +38,13 @@ func main() {
 			fail(err)
 		}
 		fmt.Println(exp.RenderTable1(rows))
+	}
+	if sel("stats") {
+		rows, err := exp.PassStatsAll()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(exp.RenderPassStats(rows))
 	}
 
 	var fig6 []exp.Fig6Row

@@ -20,6 +20,15 @@
 // sequential execution.
 //
 //	dswpsim -workload all -validate -seed 7
+//
+// Observability: -metrics prints the pipeline report (stage utilization,
+// queue pressure, fill/drain breakdown) collected from the functional
+// engine, -trace FILE exports the produce/consume/stall event trace as
+// Chrome trace-event JSON (load it in Perfetto or chrome://tracing), and
+// -stats prints the transformation's compile-time pass statistics. The
+// workload may also be given as a positional argument:
+//
+//	dswpsim -runtime=goroutine -trace out.json -metrics listsum
 package main
 
 import (
@@ -31,6 +40,7 @@ import (
 	"dswp/internal/doacross"
 	"dswp/internal/interp"
 	"dswp/internal/ir"
+	"dswp/internal/obs"
 	"dswp/internal/profile"
 	rt "dswp/internal/runtime"
 	"dswp/internal/sim"
@@ -50,7 +60,13 @@ func main() {
 	faults := flag.Uint64("faults", 0, "fault-injection seed for the goroutine runtime (0 = none)")
 	seed := flag.Uint64("seed", 1, "randomization seed for -validate (logged for reproduction)")
 	doValidate := flag.Bool("validate", false, "run the differential validation harness instead of a timing run")
+	traceOut := flag.String("trace", "", "write the functional run's event trace as Chrome trace-event JSON to FILE")
+	metrics := flag.Bool("metrics", false, "print the pipeline metrics report for the functional run")
+	stats := flag.Bool("stats", false, "print the transformation's compile-time pass statistics")
 	flag.Parse()
+	if flag.NArg() > 0 {
+		*workload = flag.Arg(0)
+	}
 
 	if *doValidate {
 		runValidation(*workload, *seed)
@@ -67,14 +83,26 @@ func main() {
 	}
 	cfg = cfg.WithCommLatency(*comm).WithQueueSize(*qsize)
 
-	runner := &runner{engine: *engine, queueCap: *queuecap, faultSeed: *faults}
-	traces, err := buildTraces(p, *scheme, *threads, runner)
+	runner := &runner{
+		engine: *engine, queueCap: *queuecap, faultSeed: *faults,
+		instrument: *metrics || *traceOut != "",
+	}
+	traces, passStats, err := buildTraces(p, *scheme, *threads, runner)
 	if err != nil {
 		fail(err)
 	}
 	res, err := sim.Run(cfg, traces)
 	if err != nil {
 		fail(err)
+	}
+
+	if *stats {
+		if passStats == nil {
+			fmt.Printf("pass stats: not available for scheme %q\n\n", *scheme)
+		} else {
+			fmt.Print(passStats)
+			fmt.Println()
+		}
 	}
 
 	fmt.Printf("workload %s, scheme %s, machine %s (comm %d, queues %dx%d)\n",
@@ -96,9 +124,38 @@ func main() {
 			100*float64(occ.EmptyBothActive)/total,
 			100*float64(occ.EmptyConsumerStalled)/total)
 	}
+
+	names := make([]string, len(traces))
+	for i, tr := range traces {
+		names[i] = tr.Fn.Name
+	}
+	if *metrics {
+		fmt.Println()
+		fmt.Print(obs.FormatReport(runner.metrics, names))
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := runner.trace.WriteChrome(f, names); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote Chrome trace (%d events) to %s\n", len(runner.trace.Events()), *traceOut)
+		if lost := runner.trace.Lost(); lost > 0 {
+			fmt.Printf("note: ring buffers wrapped, oldest %d events lost\n", lost)
+		}
+	}
 }
 
 func runValidation(workload string, seed uint64) {
+	// Always log the seed up front — a reproduction must not depend on a
+	// failure (or any particular report line) being printed.
+	fmt.Printf("validation seed %d (reproduce with -validate -seed %d)\n", seed, seed)
 	opts := validate.Options{Seed: seed, Logf: func(f string, a ...any) {
 		fmt.Printf(f+"\n", a...)
 	}}
@@ -128,7 +185,7 @@ func findWorkload(name string) (*workloads.Program, error) {
 	switch name {
 	case "list-traversal":
 		return workloads.ListTraversal(2000), nil
-	case "list-of-lists":
+	case "list-of-lists", "listsum":
 		return workloads.ListOfLists(100, 6), nil
 	}
 	for _, wb := range append(workloads.Table1Suite(), workloads.CaseStudies()...) {
@@ -145,21 +202,50 @@ type runner struct {
 	engine    string
 	queueCap  int
 	faultSeed uint64
+
+	// instrument attaches metrics + trace recorders to the functional run;
+	// after execute they hold the collected data.
+	instrument bool
+	metrics    *obs.Metrics
+	trace      *obs.Trace
+}
+
+// recorder builds the instrumentation sink for a run of nThreads threads
+// over nQueues queues, with tick units matching the engine (retired steps
+// for the interpreter, nanoseconds for the goroutine runtime).
+func (r *runner) recorder(nThreads, nQueues int) obs.Recorder {
+	if !r.instrument {
+		return nil
+	}
+	r.metrics = obs.NewMetrics(nThreads, nQueues)
+	r.trace = obs.NewTrace(nThreads, 0)
+	if r.engine == "" || r.engine == "interp" {
+		r.metrics.Unit = "steps"
+		r.trace.MicrosPerTick = 1.0
+	} else {
+		r.metrics.Unit = "ns"
+	}
+	return obs.Multi(r.metrics, r.trace)
 }
 
 // execute runs fns under the selected engine. p supplies live-ins, the
 // memory image, and (for the goroutine runtime) the original function for
-// the sequential fallback; numQueues feeds fault derivation.
+// the sequential fallback; numQueues feeds fault derivation and recorder
+// sizing.
 func (r *runner) execute(fns []*ir.Function, p *workloads.Program, numQueues int, opts interp.Options) ([]*interp.ThreadResult, error) {
 	switch r.engine {
 	case "", "interp":
+		opts.Recorder = r.recorder(len(fns), numQueues)
 		res, err := interp.RunThreads(fns, opts)
 		if err != nil {
 			return nil, err
 		}
 		return res.Threads, nil
 	case "goroutine":
-		ropts := rt.Options{QueueCap: r.queueCap, Regs: p.Regs, Mem: p.Mem, RecordTrace: true}
+		ropts := rt.Options{
+			QueueCap: r.queueCap, Regs: p.Regs, Mem: p.Mem, RecordTrace: true,
+			Recorder: r.recorder(len(fns), numQueues),
+		}
 		if r.faultSeed != 0 {
 			ropts.Faults = rt.RandomFaults(r.faultSeed, len(fns), numQueues)
 		}
@@ -189,28 +275,29 @@ func countQueues(fns []*ir.Function) int {
 	return n
 }
 
-func buildTraces(p *workloads.Program, scheme string, threads int, r *runner) ([]*interp.ThreadResult, error) {
+func buildTraces(p *workloads.Program, scheme string, threads int, r *runner) ([]*interp.ThreadResult, *obs.PassStats, error) {
 	opts := p.Options()
 	opts.RecordTrace = true
 	opts.QueueCap = r.queueCap
 	switch scheme {
 	case "base":
+		opts.Recorder = r.recorder(1, 0)
 		res, err := interp.Run(p.F, opts)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return res.Threads, nil
+		return res.Threads, nil, nil
 	case "dswp", "best":
 		prof, err := profile.Collect(p.F, p.Options())
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		a, err := core.Analyze(p.F, p.LoopHeader, prof, core.Config{NumThreads: threads})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if a.NumSCCs() == 1 {
-			return nil, fmt.Errorf("%s: single SCC, DSWP not applicable", p.Name)
+			return nil, nil, fmt.Errorf("%s: single SCC, DSWP not applicable", p.Name)
 		}
 		part := a.Heuristic()
 		if scheme == "best" {
@@ -238,17 +325,19 @@ func buildTraces(p *workloads.Program, scheme string, threads int, r *runner) ([
 		}
 		tr, err := a.Transform(part)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return r.execute(tr.Threads, p, tr.NumQueues, opts)
+		traces, err := r.execute(tr.Threads, p, tr.NumQueues, opts)
+		return traces, tr.Stats, err
 	case "doacross":
 		fns, err := doacross.Transform(p.F, p.LoopHeader, threads)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return r.execute(fns, p, countQueues(fns), opts)
+		traces, err := r.execute(fns, p, countQueues(fns), opts)
+		return traces, nil, err
 	}
-	return nil, fmt.Errorf("unknown scheme %q", scheme)
+	return nil, nil, fmt.Errorf("unknown scheme %q", scheme)
 }
 
 func fail(err error) {

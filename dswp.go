@@ -34,6 +34,7 @@ import (
 	"dswp/internal/doacross"
 	"dswp/internal/interp"
 	"dswp/internal/ir"
+	"dswp/internal/obs"
 	"dswp/internal/profile"
 	rt "dswp/internal/runtime"
 	"dswp/internal/sim"
@@ -90,6 +91,16 @@ type (
 	// differential validation harness.
 	ValidateOptions = validate.Options
 	ValidateReport  = validate.Report
+
+	// Observability: Recorder receives instrumentation events from either
+	// engine; Metrics aggregates them into per-stage/per-queue counters;
+	// Trace ring-buffers them for Chrome-trace export; PassStats is the
+	// transformation's compile-time self-report (also on
+	// Transformed.Stats).
+	Recorder  = obs.Recorder
+	Metrics   = obs.Metrics
+	Trace     = obs.Trace
+	PassStats = obs.PassStats
 )
 
 // Sentinel errors from the transformation (Figure 3 steps 3 and 6).
@@ -106,6 +117,33 @@ func Parse(src string) (*Function, error) { return ir.Parse(src) }
 
 // NewMemory allocates the memory image a function's objects require.
 func NewMemory(f *Function) *Memory { return interp.MemoryFor(f) }
+
+// NewMetrics sizes a Metrics recorder for threads stages and queues queues
+// (use len(tr.Threads) and tr.NumQueues).
+func NewMetrics(threads, queues int) *Metrics { return obs.NewMetrics(threads, queues) }
+
+// NewTrace sizes an event-trace recorder (capPerThread 0 = default ring
+// size); export with Trace.WriteChrome.
+func NewTrace(threads, capPerThread int) *Trace { return obs.NewTrace(threads, capPerThread) }
+
+// MultiRecorder fans events out to several recorders (e.g. Metrics plus
+// Trace).
+func MultiRecorder(rs ...Recorder) Recorder { return obs.Multi(rs...) }
+
+// AnalyzeStats reports the compile-time analysis statistics for the
+// program's target loop (dependence graph, DAG_SCC) without transforming
+// it — available even where DSWP bails out (e.g. a single-SCC loop).
+func AnalyzeStats(p *Program, config Config) (*PassStats, error) {
+	prof, err := profile.Collect(p.F, p.Options())
+	if err != nil {
+		return nil, fmt.Errorf("dswp: profiling: %w", err)
+	}
+	a, err := core.Analyze(p.F, p.LoopHeader, prof, config)
+	if err != nil {
+		return nil, err
+	}
+	return a.Stats(), nil
+}
 
 // Layout returns the base word-address of each declared memory object.
 func Layout(f *Function) []int64 { return interp.Layout(f) }

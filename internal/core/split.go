@@ -7,6 +7,7 @@ import (
 	"dswp/internal/cfg"
 	"dswp/internal/dep"
 	"dswp/internal/ir"
+	"dswp/internal/obs"
 )
 
 // FlowKind classifies flows per §2.2.4: data value, branch-direction flag,
@@ -71,6 +72,9 @@ type Transformed struct {
 	Partition *Partitioning
 	Flows     []Flow
 	NumQueues int
+	// Stats is the pass's compile-time self-report (dependence graph,
+	// DAG_SCC, partition balance, flow breakdown), for -stats output.
+	Stats *obs.PassStats
 }
 
 // SplitOptions tunes code generation.
@@ -142,6 +146,10 @@ type splitter struct {
 	finalQ   map[regThread]int // live-out reg flows
 	masterQ  map[int]int       // §3 master queue per aux thread
 
+	// redundantElim counts cross-thread dependences satisfied by an
+	// already-allocated flow (§2.2.4 redundant flow elimination).
+	redundantElim int
+
 	opts SplitOptions
 }
 
@@ -201,6 +209,7 @@ func SplitOpt(g *dep.Graph, p *Partitioning, opts SplitOptions) (*Transformed, e
 		Partition: p,
 		Flows:     s.flows,
 		NumQueues: s.nextQueue,
+		Stats:     transformStats(s),
 	}
 	for _, th := range tr.Threads {
 		// Post-split cleanup, as §2.2.3 anticipates ("subsequent code
@@ -253,6 +262,8 @@ func (s *splitter) collectLoopFlows() {
 					Queue: q, Kind: FlowData, Pos: FlowLoop,
 					Source: a.From, Reg: a.From.Dst, From: pf, To: pt,
 				})
+			} else {
+				s.redundantElim++ // value already flows to this thread
 			}
 		case dep.ArcMemory:
 			if _, ok := s.syncQ[key]; !ok {
@@ -279,7 +290,10 @@ func (s *splitter) collectLoopFlows() {
 	})
 	for _, k := range keys {
 		if _, ok := s.dataQ[k]; ok {
+			// The data flow already orders the consumer after the source;
+			// the sync token would be redundant.
 			delete(s.syncQ, k)
+			s.redundantElim++
 			continue
 		}
 		q := s.newQueue()

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"dswp/internal/dep"
+	"dswp/internal/graph"
+	"dswp/internal/obs"
+)
+
+// depStats fills the analysis half of a PassStats report: dependence-graph
+// and DAG_SCC shape, before any partitioning decision.
+func depStats(g *dep.Graph, cond *graph.Condensation) *obs.PassStats {
+	st := &obs.PassStats{
+		Fn:         g.Fn.Name,
+		Loop:       g.CFG.Blocks[g.Loop.Header].Name,
+		LoopInstrs: len(g.Instrs),
+		Arcs:       len(g.Arcs),
+		ArcsByKind: map[string]int{},
+		SCCs:       len(cond.Comps),
+	}
+	for _, a := range g.Arcs {
+		st.ArcsByKind[a.Kind.String()]++
+		if a.Carried {
+			st.CarriedArcs++
+		}
+	}
+	// Comps are in topological order (sources first), so SCCSizes reads
+	// top-down like the paper's DAG_SCC figures.
+	st.SCCSizes = make([]int, len(cond.Comps))
+	for i, c := range cond.Comps {
+		st.SCCSizes[i] = len(c)
+	}
+	return st
+}
+
+// Stats reports the analysis-only statistics: what Table 1 calls the loop
+// size and SCC structure, available even when DSWP bails out (single SCC,
+// unprofitable). Partition and flow fields stay zero; PassStats renders
+// that as "analysis only".
+func (a *LoopAnalysis) Stats() *obs.PassStats {
+	return depStats(a.G, a.Cond)
+}
+
+// transformStats completes a PassStats with the partitioning and flow
+// outcome of one split.
+func transformStats(s *splitter) *obs.PassStats {
+	st := depStats(s.g, s.p.Cond)
+	st.Threads = s.p.N
+	st.StageWeights = s.p.StageWeights()
+	total := int64(0)
+	max := int64(0)
+	for _, w := range st.StageWeights {
+		total += w
+		if w > max {
+			max = w
+		}
+	}
+	if total > 0 {
+		st.BalanceRatio = float64(max) * float64(s.p.N) / float64(total)
+	}
+	st.Flows = len(s.flows)
+	st.FlowsByKind = map[string]int{}
+	st.FlowsByPos = map[string]int{}
+	for _, f := range s.flows {
+		st.FlowsByKind[f.Kind.String()]++
+		st.FlowsByPos[f.Pos.String()]++
+	}
+	st.Queues = s.nextQueue
+	st.RedundantFlowsEliminated = s.redundantElim
+	return st
+}

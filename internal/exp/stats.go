@@ -1,0 +1,59 @@
+package exp
+
+import (
+	"strings"
+
+	"dswp/internal/core"
+	"dswp/internal/obs"
+	"dswp/internal/workloads"
+)
+
+// StatsRow pairs a workload with its compile-time pass statistics.
+type StatsRow struct {
+	Name  string
+	Stats *obs.PassStats
+}
+
+// PassStatsAll collects the transformation's self-report for every
+// workload in the evaluation: the Table 1 suite, the case studies, and the
+// pedagogy kernels. Loops DSWP bails out on (single SCC, one-stage
+// partition) contribute an analysis-only report.
+func PassStatsAll() ([]StatsRow, error) {
+	progs := []*workloads.Program{
+		workloads.ListTraversal(2000),
+		workloads.ListOfLists(100, 6),
+	}
+	for _, wb := range append(workloads.Table1Suite(), workloads.CaseStudies()...) {
+		progs = append(progs, wb.Build())
+	}
+	var rows []StatsRow
+	for _, p := range progs {
+		pr, err := Prepare(p, core.Config{SkipProfitability: true})
+		if err != nil {
+			return nil, err
+		}
+		st := pr.Analysis.Stats()
+		if pr.Analysis.NumSCCs() > 1 {
+			if part := pr.Analysis.Heuristic(); part.N >= 2 {
+				tr, err := pr.Analysis.Transform(part)
+				if err != nil {
+					return nil, err
+				}
+				st = tr.Stats
+			}
+		}
+		rows = append(rows, StatsRow{Name: p.Name, Stats: st})
+	}
+	return rows, nil
+}
+
+// RenderPassStats formats the per-workload pass statistics reports.
+func RenderPassStats(rows []StatsRow) string {
+	var b strings.Builder
+	b.WriteString("Compile-time pass statistics (dependence graph, DAG_SCC, partition, flows)\n")
+	for _, r := range rows {
+		b.WriteString("\n")
+		b.WriteString(r.Stats.String())
+	}
+	return b.String()
+}

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"dswp/internal/ir"
+	"dswp/internal/obs"
 )
 
 // Event is one dynamically executed instruction, as recorded for the
@@ -51,6 +52,12 @@ type Options struct {
 	// (and deadlocks caused by it) become observable functionally, not
 	// just in the timing model.
 	QueueCap int
+	// Recorder receives instrumentation events (flow ops, stalls,
+	// branches, iterations, stage boundaries). Timestamps are retired
+	// instruction counts — the deterministic scheduler's only clock — so
+	// stall durations are in steps, not wall time. nil disables
+	// instrumentation at the cost of one nil check per site.
+	Recorder obs.Recorder
 }
 
 const defaultMaxSteps = 500_000_000
@@ -101,6 +108,13 @@ type thread struct {
 	done       bool
 	stall      stallReason
 	stallQueue int
+
+	// Instrumentation state (used only with Options.Recorder set):
+	// inStall marks an open stall interval begun at step stallStart;
+	// blockIdx maps blocks to layout positions for back-edge detection.
+	inStall    bool
+	stallStart int64
+	blockIdx   map[*ir.Block]int
 }
 
 // Run executes fn single-threaded. It is the baseline path and the
@@ -160,7 +174,32 @@ func RunThreads(fns []*ir.Function, opts Options) (*Result, error) {
 				th.regs[r] = v
 			}
 		}
+		if opts.Recorder != nil {
+			th.blockIdx = make(map[*ir.Block]int, len(fn.Blocks))
+			for bi, b := range fn.Blocks {
+				th.blockIdx[b] = bi
+			}
+		}
 		threads[i] = th
+	}
+	rec := opts.Recorder
+	if rec != nil {
+		// Declare every statically referenced queue's capacity and open
+		// each stage before execution starts.
+		numQueues := 0
+		for _, fn := range fns {
+			fn.Instrs(func(in *ir.Instr) {
+				if in.Op.IsFlow() && in.Queue+1 > numQueues {
+					numQueues = in.Queue + 1
+				}
+			})
+		}
+		for q := 0; q < numQueues; q++ {
+			rec.Record(obs.Event{Kind: obs.KQueueCap, Thread: 0, Queue: int32(q), Arg: int64(opts.QueueCap)})
+		}
+		for ti := range threads {
+			rec.Record(obs.Event{Kind: obs.KStageStart, Thread: int32(ti), Queue: -1})
+		}
 	}
 
 	var total int64
@@ -175,7 +214,7 @@ func RunThreads(fns []*ir.Function, opts Options) (*Result, error) {
 				continue
 			}
 			allDone = false
-			progressed, err := runBurst(th, mem, getQueue, burst, &total, maxSteps, opts.RecordTrace)
+			progressed, err := runBurst(th, ti, mem, getQueue, burst, &total, maxSteps, opts.RecordTrace, rec)
 			if err != nil {
 				return nil, fmt.Errorf("interp: thread %d: %w", ti, err)
 			}
@@ -227,28 +266,24 @@ func deadlockError(threads []*thread, queues map[int]*queue) error {
 	}
 	// Queue occupancy, with the static producer/consumer threads of each
 	// queue, so a cyclic partition's wait-for cycle is readable directly
-	// from the message.
+	// from the message. The table format is shared with the concurrent
+	// runtime's DeadlockError (obs.FormatQueueTable) so both error paths
+	// print identical diagnostics.
 	ids := make([]int, 0, len(queues))
 	for id := range queues {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
-	sb.WriteString(" queues:")
+	qs := make([]obs.QueueState, 0, len(ids))
 	for _, id := range ids {
 		q := queues[id]
-		occ := q.occupancy()
-		state := fmt.Sprintf("%d buffered", occ)
-		switch {
-		case occ == 0:
-			state = "empty"
-		case q.full():
-			state = fmt.Sprintf("full %d/%d", occ, q.cap)
-		case q.cap > 0:
-			state = fmt.Sprintf("%d/%d", occ, q.cap)
-		}
 		prods, cons := queueEndpoints(threads, id)
-		fmt.Fprintf(&sb, " q%d=%s (prod %v, cons %v);", id, state, prods, cons)
+		qs = append(qs, obs.QueueState{
+			Queue: id, Len: q.occupancy(), Cap: q.cap,
+			Producers: prods, Consumers: cons,
+		})
 	}
+	sb.WriteString(" " + obs.FormatQueueTable(qs))
 	return fmt.Errorf("%s", sb.String())
 }
 
@@ -278,10 +313,25 @@ func queueEndpoints(threads []*thread, id int) (prods, cons []int) {
 	return prods, cons
 }
 
-// runBurst executes up to n instructions of th; returns whether any
-// instruction retired.
-func runBurst(th *thread, mem *Memory, getQueue func(int) *queue, n int, total *int64, maxSteps int64, trace bool) (bool, error) {
+// runBurst executes up to n instructions of thread ti; returns whether
+// any instruction retired. rec, when non-nil, receives flow/stall/branch/
+// iteration/stage events timestamped with the shared retired-step counter.
+func runBurst(th *thread, ti int, mem *Memory, getQueue func(int) *queue, n int, total *int64, maxSteps int64, trace bool, rec obs.Recorder) (bool, error) {
 	progressed := false
+	// stallEnds closes the open stall interval, if any, charging its
+	// duration in steps.
+	stallEnds := func(q int) {
+		if !th.inStall {
+			return
+		}
+		th.inStall = false
+		kind := obs.KStallEmptyEnd
+		if th.stall == stallFull {
+			kind = obs.KStallFullEnd
+		}
+		rec.Record(obs.Event{Kind: kind, Thread: int32(ti), Queue: int32(q),
+			When: *total, Arg: *total - th.stallStart})
+	}
 	for i := 0; i < n; i++ {
 		if th.done || *total >= maxSteps {
 			return progressed, nil
@@ -302,11 +352,21 @@ func runBurst(th *thread, mem *Memory, getQueue func(int) *queue, n int, total *
 		case ir.OpConsume:
 			q := getQueue(in.Queue)
 			if q.empty() {
+				if rec != nil && !th.inStall {
+					th.inStall, th.stallStart = true, *total
+					rec.Record(obs.Event{Kind: obs.KStallEmptyBegin,
+						Thread: int32(ti), Queue: int32(in.Queue), When: *total})
+				}
 				th.stall, th.stallQueue = stallEmpty, in.Queue
 				return progressed, nil
 			}
 			th.stall = stallNone
 			v := q.pop()
+			if rec != nil {
+				stallEnds(in.Queue)
+				rec.Record(obs.Event{Kind: obs.KConsume, Thread: int32(ti),
+					Queue: int32(in.Queue), When: *total, Arg: int64(q.occupancy())})
+			}
 			if in.Dst != ir.NoReg {
 				th.regs[in.Dst] = v
 			}
@@ -314,6 +374,11 @@ func runBurst(th *thread, mem *Memory, getQueue func(int) *queue, n int, total *
 		case ir.OpProduce:
 			q := getQueue(in.Queue)
 			if q.full() {
+				if rec != nil && !th.inStall {
+					th.inStall, th.stallStart = true, *total
+					rec.Record(obs.Event{Kind: obs.KStallFullBegin,
+						Thread: int32(ti), Queue: int32(in.Queue), When: *total})
+				}
 				th.stall, th.stallQueue = stallFull, in.Queue
 				return progressed, nil
 			}
@@ -323,18 +388,39 @@ func runBurst(th *thread, mem *Memory, getQueue func(int) *queue, n int, total *
 				v = th.regs[in.Src[0]]
 			}
 			q.push(v)
+			if rec != nil {
+				stallEnds(in.Queue)
+				rec.Record(obs.Event{Kind: obs.KProduce, Thread: int32(ti),
+					Queue: int32(in.Queue), When: *total, Arg: int64(q.occupancy())})
+			}
 			th.pc++
 		case ir.OpBranch:
 			taken := th.regs[in.Src[0]] != 0
 			ev.Taken = taken
+			from := th.block
 			if taken {
 				th.block, th.pc = in.Target, 0
 			} else {
 				th.block, th.pc = in.TargetFalse, 0
 			}
+			if rec != nil {
+				arg := int64(0)
+				if taken {
+					arg = 1
+				}
+				rec.Record(obs.Event{Kind: obs.KBranch, Thread: int32(ti), Queue: -1,
+					When: *total, Arg: arg})
+				if th.blockIdx[th.block] <= th.blockIdx[from] {
+					rec.Record(obs.Event{Kind: obs.KIteration, Thread: int32(ti), Queue: -1, When: *total})
+				}
+			}
 		case ir.OpJump:
 			ev.Taken = true
+			from := th.block
 			th.block, th.pc = in.Target, 0
+			if rec != nil && th.blockIdx[th.block] <= th.blockIdx[from] {
+				rec.Record(obs.Event{Kind: obs.KIteration, Thread: int32(ti), Queue: -1, When: *total})
+			}
 		case ir.OpRet:
 			th.done = true
 			th.pc++
@@ -368,6 +454,10 @@ func runBurst(th *thread, mem *Memory, getQueue func(int) *queue, n int, total *
 		progressed = true
 		if trace {
 			th.res.Trace = append(th.res.Trace, ev)
+		}
+		if th.done && rec != nil {
+			rec.Record(obs.Event{Kind: obs.KStageDone, Thread: int32(ti), Queue: -1,
+				When: *total, Arg: th.res.Steps})
 		}
 	}
 	return progressed, nil

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// QueueState is a point-in-time snapshot of one synchronization-array
+// queue, used by both engines' failure reports so deadlock diagnostics
+// print identical queue tables regardless of which engine detected them.
+type QueueState struct {
+	Queue int
+	// Len is the buffered value count; Cap is the capacity (0 =
+	// unbounded).
+	Len, Cap int
+	// Producers and Consumers are the thread indices that statically
+	// produce to / consume from the queue, so wait-for cycles are
+	// readable directly from the table.
+	Producers, Consumers []int
+}
+
+// String renders one queue as "qN=<state> (prod [..], cons [..])" where
+// state is "empty", "full n/n", "n/cap", or "n buffered" (unbounded).
+func (q QueueState) String() string {
+	var state string
+	switch {
+	case q.Len == 0:
+		state = "empty"
+	case q.Cap > 0 && q.Len >= q.Cap:
+		state = fmt.Sprintf("full %d/%d", q.Len, q.Cap)
+	case q.Cap > 0:
+		state = fmt.Sprintf("%d/%d", q.Len, q.Cap)
+	default:
+		state = fmt.Sprintf("%d buffered", q.Len)
+	}
+	return fmt.Sprintf("q%d=%s (prod %v, cons %v)", q.Queue, state, q.Producers, q.Consumers)
+}
+
+// FormatQueueTable renders queue snapshots as the shared one-line table
+// both engines append to their deadlock reports:
+//
+//	queues: q0=full 1/1 (prod [0], cons [1]); q1=empty (prod [1], cons [0]);
+func FormatQueueTable(qs []QueueState) string {
+	var sb strings.Builder
+	sb.WriteString("queues:")
+	for _, q := range qs {
+		sb.WriteString(" " + q.String() + ";")
+	}
+	return sb.String()
+}
+
+func queueMismatch(q int, produces, consumes int64) string {
+	return fmt.Sprintf("q%d: %d produces vs %d consumes", q, produces, consumes)
+}
+
+func droppedMsg(n int64) string {
+	return fmt.Sprintf("%d events dropped (out-of-range stage or queue)", n)
+}

@@ -1,0 +1,261 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// HistBuckets is the number of logarithmic histogram buckets: bucket i
+// counts values v with bit-length i (bucket 0 holds v == 0, bucket 1 holds
+// v == 1, bucket 2 holds 2-3, bucket 3 holds 4-7, ..., the last bucket
+// holds everything larger).
+const HistBuckets = 24
+
+// Hist is a power-of-two histogram over non-negative int64 samples.
+type Hist [HistBuckets]int64
+
+func histBucket(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	b := bits.Len64(uint64(v))
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	return b
+}
+
+func (h *Hist) add(v int64) { atomic.AddInt64(&h[histBucket(v)], 1) }
+
+// Total returns the number of recorded samples.
+func (h *Hist) Total() int64 {
+	var n int64
+	for i := range h {
+		n += h[i]
+	}
+	return n
+}
+
+// BucketLow returns the smallest value belonging to bucket i.
+func BucketLow(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	return 1 << (i - 1)
+}
+
+// QueueMetrics aggregates one synchronization-array queue's activity.
+// All fields are updated atomically during the run; read them only after
+// the run completes (or accept torn-but-monotonic snapshots).
+type QueueMetrics struct {
+	// Produces and Consumes count completed queue operations. On a clean
+	// run of correct DSWP output they are equal: every produced value is
+	// consumed and the queue drains.
+	Produces, Consumes int64
+	// Cap is the queue capacity (0 = unbounded), from KQueueCap.
+	Cap int64
+	// HighWater is the maximum occupancy observed immediately after any
+	// produce.
+	HighWater int64
+	// StallFull/StallEmpty count blocking occurrences;
+	// StallFullTicks/StallEmptyTicks accumulate the blocked durations.
+	StallFull, StallEmpty           int64
+	StallFullTicks, StallEmptyTicks int64
+	// OccHist is a histogram of occupancy-after-produce samples; BlockHist
+	// is a histogram of blocked durations (ticks), full and empty merged.
+	OccHist   Hist
+	BlockHist Hist
+}
+
+// StageMetrics aggregates one pipeline stage (thread).
+type StageMetrics struct {
+	// Instrs is the stage's retired instruction count, delivered with
+	// KStageDone (engines do not emit per-instruction events).
+	Instrs int64
+	// Produces/Consumes/Branches/Iterations count those events.
+	Produces, Consumes int64
+	Branches, TakenBr  int64
+	Iterations         int64
+	// StallFull/StallEmpty count blocking occurrences charged to this
+	// stage; the Ticks fields accumulate the blocked durations.
+	StallFull, StallEmpty           int64
+	StallFullTicks, StallEmptyTicks int64
+	// StartTick/EndTick bracket the stage's execution; FirstFlowTick is
+	// the first completed produce or consume (used by the fill-time
+	// estimate). Stored as tick+1 so zero means "never observed".
+	StartTick, EndTick, FirstFlowTick int64
+}
+
+// BlockedTicks is the stage's total queue-blocked time.
+func (s *StageMetrics) BlockedTicks() int64 { return s.StallFullTicks + s.StallEmptyTicks }
+
+// BusyTicks is lifetime minus blocked time (clamped at zero).
+func (s *StageMetrics) BusyTicks() int64 {
+	life := s.EndTick - s.StartTick
+	if b := life - s.BlockedTicks(); b > 0 {
+		return b
+	}
+	return 0
+}
+
+// Utilization is busy time over lifetime, in [0,1].
+func (s *StageMetrics) Utilization() float64 {
+	life := s.EndTick - s.StartTick
+	if life <= 0 {
+		return 0
+	}
+	return float64(s.BusyTicks()) / float64(life)
+}
+
+// Metrics is a Recorder that aggregates counters and histograms with
+// fixed-size atomic storage: no allocation and no locking on the record
+// path, safe under the goroutine runtime's true concurrency.
+type Metrics struct {
+	// Unit names the engine's tick unit for presentation ("ns" for the
+	// goroutine runtime, "steps" for the interpreter).
+	Unit string
+
+	stages  []StageMetrics
+	queues  []QueueMetrics
+	dropped int64
+}
+
+// NewMetrics sizes a Metrics for a run of threads stages and queues
+// queues. Events referencing out-of-range indices are counted in Dropped
+// rather than recorded.
+func NewMetrics(threads, queues int) *Metrics {
+	if threads < 0 {
+		threads = 0
+	}
+	if queues < 0 {
+		queues = 0
+	}
+	return &Metrics{
+		Unit:   "ticks",
+		stages: make([]StageMetrics, threads),
+		queues: make([]QueueMetrics, queues),
+	}
+}
+
+// NumStages and NumQueues report the sized dimensions.
+func (m *Metrics) NumStages() int { return len(m.stages) }
+func (m *Metrics) NumQueues() int { return len(m.queues) }
+
+// Stage returns stage i's metrics (valid after the run completes).
+func (m *Metrics) Stage(i int) *StageMetrics { return &m.stages[i] }
+
+// Queue returns queue q's metrics (valid after the run completes).
+func (m *Metrics) Queue(q int) *QueueMetrics { return &m.queues[q] }
+
+// Dropped counts events that referenced out-of-range stages or queues.
+func (m *Metrics) Dropped() int64 { return atomic.LoadInt64(&m.dropped) }
+
+func atomicMax(p *int64, v int64) {
+	for {
+		old := atomic.LoadInt64(p)
+		if v <= old || atomic.CompareAndSwapInt64(p, old, v) {
+			return
+		}
+	}
+}
+
+// storeOnce sets *p to v+1 if it is still zero (tick fields use the +1
+// encoding so tick 0 is representable).
+func storeOnce(p *int64, v int64) {
+	atomic.CompareAndSwapInt64(p, 0, v+1)
+}
+
+// Tick decodes a +1-encoded tick field: the stored value minus one, or -1
+// when never observed.
+func Tick(stored int64) int64 { return stored - 1 }
+
+// Record implements Recorder.
+func (m *Metrics) Record(e Event) {
+	var st *StageMetrics
+	if int(e.Thread) >= 0 && int(e.Thread) < len(m.stages) {
+		st = &m.stages[e.Thread]
+	}
+	var qm *QueueMetrics
+	if e.Queue >= 0 {
+		if int(e.Queue) < len(m.queues) {
+			qm = &m.queues[e.Queue]
+		} else {
+			atomic.AddInt64(&m.dropped, 1)
+			return
+		}
+	}
+	if st == nil {
+		atomic.AddInt64(&m.dropped, 1)
+		return
+	}
+
+	switch e.Kind {
+	case KProduce:
+		atomic.AddInt64(&st.Produces, 1)
+		storeOnce(&st.FirstFlowTick, e.When)
+		if qm != nil {
+			atomic.AddInt64(&qm.Produces, 1)
+			atomicMax(&qm.HighWater, e.Arg)
+			qm.OccHist.add(e.Arg)
+		}
+	case KConsume:
+		atomic.AddInt64(&st.Consumes, 1)
+		storeOnce(&st.FirstFlowTick, e.When)
+		if qm != nil {
+			atomic.AddInt64(&qm.Consumes, 1)
+		}
+	case KStallFullBegin, KStallEmptyBegin:
+		// Durations are charged at the matching End; Begin events exist
+		// for tracing.
+	case KStallFullEnd:
+		atomic.AddInt64(&st.StallFull, 1)
+		atomic.AddInt64(&st.StallFullTicks, e.Arg)
+		if qm != nil {
+			atomic.AddInt64(&qm.StallFull, 1)
+			atomic.AddInt64(&qm.StallFullTicks, e.Arg)
+			qm.BlockHist.add(e.Arg)
+		}
+	case KStallEmptyEnd:
+		atomic.AddInt64(&st.StallEmpty, 1)
+		atomic.AddInt64(&st.StallEmptyTicks, e.Arg)
+		if qm != nil {
+			atomic.AddInt64(&qm.StallEmpty, 1)
+			atomic.AddInt64(&qm.StallEmptyTicks, e.Arg)
+			qm.BlockHist.add(e.Arg)
+		}
+	case KBranch:
+		atomic.AddInt64(&st.Branches, 1)
+		if e.Arg != 0 {
+			atomic.AddInt64(&st.TakenBr, 1)
+		}
+	case KIteration:
+		atomic.AddInt64(&st.Iterations, 1)
+	case KStageStart:
+		storeOnce(&st.StartTick, e.When)
+	case KStageDone:
+		atomic.StoreInt64(&st.EndTick, e.When+1)
+		atomic.StoreInt64(&st.Instrs, e.Arg)
+	case KQueueCap:
+		if qm != nil {
+			atomic.StoreInt64(&qm.Cap, e.Arg)
+		}
+	}
+}
+
+// CheckConsistency verifies the invariants a clean run must satisfy:
+// every queue's produce count equals its consume count (all queues
+// drained), and no events were dropped. It returns a list of violations,
+// empty when consistent.
+func (m *Metrics) CheckConsistency() []string {
+	var bad []string
+	for q := range m.queues {
+		qm := &m.queues[q]
+		if qm.Produces != qm.Consumes {
+			bad = append(bad, queueMismatch(q, qm.Produces, qm.Consumes))
+		}
+	}
+	if d := m.Dropped(); d > 0 {
+		bad = append(bad, droppedMsg(d))
+	}
+	return bad
+}

@@ -1,0 +1,135 @@
+// Package obs is the pipeline observability layer: a low-overhead
+// instrumentation protocol (Recorder) shared by the deterministic
+// interpreter (internal/interp) and the goroutine runtime
+// (internal/runtime), concrete recorders that aggregate metrics (Metrics)
+// or retain raw events in ring buffers (Trace), a Chrome trace-event JSON
+// exporter viewable in Perfetto, a plain-text pipeline report, and the
+// compile-time PassStats the DSWP transformation emits.
+//
+// The paper's argument rests on quantities this package makes visible: how
+// well the load-balance heuristic splits the DAG_SCC (PassStats), how
+// often synchronization-array queues run full or empty (QueueMetrics), and
+// where pipeline fill/drain time goes (the report's fill/steady/drain
+// breakdown).
+//
+// Overhead contract: execution engines hold a Recorder and guard every
+// emission with a single nil check, so a disabled recorder costs one
+// predictable branch per instrumented site and zero allocations. Engines
+// emit only flow ops, stalls, branches, iterations, and stage boundaries —
+// never per-ALU-instruction events.
+package obs
+
+// Kind discriminates instrumentation events.
+type Kind uint8
+
+const (
+	// KProduce: a value entered a queue. Queue is set; Arg is the queue
+	// occupancy immediately after the push.
+	KProduce Kind = iota
+	// KConsume: a value left a queue. Queue is set; Arg is the occupancy
+	// immediately after the pop.
+	KConsume
+	// KStallFullBegin/KStallFullEnd bracket a produce blocked on a full
+	// queue. The End event's Arg is the blocked duration in ticks.
+	KStallFullBegin
+	KStallFullEnd
+	// KStallEmptyBegin/KStallEmptyEnd bracket a consume blocked on an
+	// empty queue. The End event's Arg is the blocked duration in ticks.
+	KStallEmptyBegin
+	KStallEmptyEnd
+	// KBranch: a conditional branch retired. Arg is 1 when taken.
+	KBranch
+	// KIteration: the thread followed a loop back-edge (a transfer to a
+	// block at or before the current one in layout order).
+	KIteration
+	// KStageStart/KStageDone bracket one pipeline stage's execution. The
+	// Done event's Arg is the stage's retired instruction count.
+	KStageStart
+	KStageDone
+	// KQueueCap declares a queue's capacity (Arg; 0 = unbounded). Engines
+	// emit it once per queue before execution starts.
+	KQueueCap
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KProduce:
+		return "produce"
+	case KConsume:
+		return "consume"
+	case KStallFullBegin:
+		return "stall-full-begin"
+	case KStallFullEnd:
+		return "stall-full-end"
+	case KStallEmptyBegin:
+		return "stall-empty-begin"
+	case KStallEmptyEnd:
+		return "stall-empty-end"
+	case KBranch:
+		return "branch"
+	case KIteration:
+		return "iteration"
+	case KStageStart:
+		return "stage-start"
+	case KStageDone:
+		return "stage-done"
+	case KQueueCap:
+		return "queue-cap"
+	}
+	return "?"
+}
+
+// Event is one instrumentation record. When is in engine ticks: the
+// goroutine runtime stamps nanoseconds since run start, the deterministic
+// interpreter stamps retired-instruction counts (its only meaningful
+// clock). Recorders treat ticks as opaque; presentation layers scale them
+// (see Trace.MicrosPerTick and Metrics.Unit).
+type Event struct {
+	Kind   Kind
+	Thread int32
+	Queue  int32 // queue id, or -1 when not queue-related
+	When   int64 // engine ticks since run start
+	Arg    int64 // kind-specific payload (see Kind docs)
+}
+
+// Recorder receives instrumentation events. Implementations must tolerate
+// concurrent Record calls from multiple goroutines, with one exception
+// engines guarantee: all events carrying the same Thread are emitted
+// sequentially by that thread.
+type Recorder interface {
+	Record(Event)
+}
+
+// Noop is a Recorder that discards everything. It exists to measure the
+// cost of the interface dispatch itself; passing a nil Recorder to an
+// engine is cheaper still (one nil check, no call).
+type Noop struct{}
+
+// Record implements Recorder.
+func (Noop) Record(Event) {}
+
+type multi []Recorder
+
+func (m multi) Record(e Event) {
+	for _, r := range m {
+		r.Record(e)
+	}
+}
+
+// Multi fans events out to several recorders (nil entries are dropped).
+// Typical use: metrics and a trace from the same run.
+func Multi(rs ...Recorder) Recorder {
+	var out multi
+	for _, r := range rs {
+		if r != nil {
+			out = append(out, r)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	if len(out) == 1 {
+		return out[0]
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// PassStats is the DSWP transformation's compile-time self-report: the
+// dependence-graph, DAG_SCC, partition, and flow statistics Table 1 and
+// §2.2 reason about, emitted by internal/core and printed by dswpc/dswpsim
+// -stats. Partition and flow fields are zero until a partitioning exists
+// (Threads == 0 marks an analysis-only report, e.g. a single-SCC bailout).
+type PassStats struct {
+	// Fn and Loop identify the transformed loop.
+	Fn, Loop string
+
+	// LoopInstrs counts partitioned loop instructions (jumps excluded, as
+	// in the dependence graph); Arcs counts dependence arcs.
+	LoopInstrs int
+	Arcs       int
+	// ArcsByKind breaks arcs down by dependence kind ("data", "control",
+	// "memory", "output"); CarriedArcs counts loop-carried ones.
+	ArcsByKind  map[string]int
+	CarriedArcs int
+
+	// SCCs is the DAG_SCC size; SCCSizes lists each component's
+	// instruction count in topological order.
+	SCCs     int
+	SCCSizes []int
+
+	// Threads is the partition width (0 = no partitioning);
+	// StageWeights are the estimated dynamic cycles per stage;
+	// BalanceRatio is max stage weight over the ideal (total/Threads) —
+	// 1.0 is a perfect split, higher is worse.
+	Threads      int
+	StageWeights []int64
+	BalanceRatio float64
+
+	// Flows counts inserted produce/consume pairs; the maps break them
+	// down by kind ("data", "control", "sync") and loop position
+	// ("initial", "loop", "final"). Queues is the synchronization-array
+	// footprint. RedundantFlowsEliminated counts cross-thread dependences
+	// that needed no new queue because an equivalent flow already carried
+	// the value (§2.2.4 redundant flow elimination).
+	Flows                    int
+	FlowsByKind              map[string]int
+	FlowsByPos               map[string]int
+	Queues                   int
+	RedundantFlowsEliminated int
+}
+
+// LargestSCC returns the biggest component's instruction count.
+func (s *PassStats) LargestSCC() int {
+	max := 0
+	for _, sz := range s.SCCSizes {
+		if sz > max {
+			max = sz
+		}
+	}
+	return max
+}
+
+// TotalWeight sums the stage weights.
+func (s *PassStats) TotalWeight() int64 {
+	var t int64
+	for _, w := range s.StageWeights {
+		t += w
+	}
+	return t
+}
+
+func formatKindMap(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s %d", k, m[k]))
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ", ")
+}
+
+// String renders the multi-line -stats report.
+func (s *PassStats) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "pass stats: loop %s in %s\n", s.Loop, s.Fn)
+	fmt.Fprintf(&sb, "  dep graph:  %d instrs, %d arcs (%s; %d carried)\n",
+		s.LoopInstrs, s.Arcs, formatKindMap(s.ArcsByKind), s.CarriedArcs)
+	fmt.Fprintf(&sb, "  DAG_SCC:    %d SCCs, sizes %v (largest %d)\n",
+		s.SCCs, s.SCCSizes, s.LargestSCC())
+	if s.Threads == 0 {
+		sb.WriteString("  partition:  none (analysis only)\n")
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "  partition:  %d stages, weights %v, balance ratio %.3f (1.0 = perfect)\n",
+		s.Threads, s.StageWeights, s.BalanceRatio)
+	fmt.Fprintf(&sb, "  flows:      %d over %d queues (kind: %s) (pos: %s)\n",
+		s.Flows, s.Queues, formatKindMap(s.FlowsByKind), formatKindMap(s.FlowsByPos))
+	fmt.Fprintf(&sb, "  redundant:  %d flows eliminated\n", s.RedundantFlowsEliminated)
+	return sb.String()
+}

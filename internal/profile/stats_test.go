@@ -1,0 +1,90 @@
+package profile_test
+
+import (
+	"math"
+	"testing"
+
+	"dswp/internal/core"
+	"dswp/internal/profile"
+	"dswp/internal/workloads"
+)
+
+// TestPassStatsRoundTripTable1 round-trips each Table 1 workload's profile
+// through the transformation's PassStats report and checks the partition
+// weights and balance ratio against values recomputed by hand: per-stage
+// weight is the sum over the stage's loop instructions of the profiled
+// weight, and the balance ratio is the heaviest stage over the ideal
+// (total / stages).
+func TestPassStatsRoundTripTable1(t *testing.T) {
+	for _, wb := range workloads.Table1Suite() {
+		wb := wb
+		t.Run(wb.Name, func(t *testing.T) {
+			p := wb.Build()
+			prof, err := profile.Collect(p.F, p.Options())
+			if err != nil {
+				t.Fatalf("profile: %v", err)
+			}
+			a, err := core.Analyze(p.F, p.LoopHeader, prof, core.Config{SkipProfitability: true})
+			if err != nil {
+				t.Fatalf("analyze: %v", err)
+			}
+			if a.NumSCCs() == 1 {
+				st := a.Stats()
+				if st.Threads != 0 {
+					t.Fatalf("single-SCC loop reported %d threads, want 0 (analysis only)", st.Threads)
+				}
+				return
+			}
+			part := a.Heuristic()
+			if part.N < 2 {
+				t.Skipf("heuristic produced a single stage")
+			}
+			tr, err := a.Transform(part)
+			if err != nil {
+				t.Fatalf("transform: %v", err)
+			}
+			st := tr.Stats
+			if st == nil {
+				t.Fatalf("Transformed.Stats is nil")
+			}
+
+			if st.LoopInstrs != len(a.G.Instrs) {
+				t.Errorf("LoopInstrs = %d, want %d", st.LoopInstrs, len(a.G.Instrs))
+			}
+			if st.Threads != part.N {
+				t.Errorf("Threads = %d, want %d", st.Threads, part.N)
+			}
+
+			// Hand-compute stage weights instruction by instruction from
+			// the profile, independent of the SCC-weight aggregation the
+			// heuristic uses.
+			want := make([]int64, part.N)
+			for _, in := range a.G.Instrs {
+				want[part.PartitionOf(in)] += prof.Weight(in, false)
+			}
+			if len(st.StageWeights) != len(want) {
+				t.Fatalf("StageWeights = %v, want %v", st.StageWeights, want)
+			}
+			var total, max int64
+			for i, w := range want {
+				if st.StageWeights[i] != w {
+					t.Errorf("StageWeights[%d] = %d, want %d", i, st.StageWeights[i], w)
+				}
+				total += w
+				if w > max {
+					max = w
+				}
+			}
+			if total == 0 {
+				t.Fatalf("hand-computed total weight is zero")
+			}
+			wantRatio := float64(max) * float64(part.N) / float64(total)
+			if math.Abs(st.BalanceRatio-wantRatio) > 1e-9 {
+				t.Errorf("BalanceRatio = %g, want %g", st.BalanceRatio, wantRatio)
+			}
+			if wantRatio < 1 {
+				t.Errorf("hand-computed balance ratio %g < 1, impossible", wantRatio)
+			}
+		})
+	}
+}

@@ -1,0 +1,65 @@
+package runtime
+
+import (
+	"testing"
+
+	"dswp/internal/core"
+	"dswp/internal/ir"
+	"dswp/internal/obs"
+	"dswp/internal/profile"
+	"dswp/internal/workloads"
+)
+
+// benchProgram builds the listsum workload (Figure 2's list-of-lists sum)
+// transformed into a 2-thread pipeline, the same program the observability
+// acceptance run exercises.
+func benchProgram(b *testing.B) ([]*ir.Function, *workloads.Program, int) {
+	b.Helper()
+	p := workloads.ListOfLists(100, 6)
+	prof, err := profile.Collect(p.F, p.Options())
+	if err != nil {
+		b.Fatalf("profile: %v", err)
+	}
+	tr, err := core.Apply(p.F, p.LoopHeader, prof, core.Config{
+		NumThreads: 2, SkipProfitability: true,
+	})
+	if err != nil {
+		b.Fatalf("transform: %v", err)
+	}
+	return tr.Threads, p, tr.NumQueues
+}
+
+func benchRun(b *testing.B, mk func(threads, queues int) obs.Recorder) {
+	fns, p, queues := benchProgram(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var rec obs.Recorder
+		if mk != nil {
+			rec = mk(len(fns), queues)
+		}
+		res, err := Run(fns, Options{Mem: p.Mem, Regs: p.Regs, Recorder: rec})
+		if err != nil {
+			b.Fatalf("run: %v", err)
+		}
+		_ = res
+	}
+}
+
+// BenchmarkRuntimeNoop is the disabled-instrumentation baseline: a nil
+// Recorder, so every emission site pays exactly one nil check. The
+// observability contract is that this stays within 5% of the
+// pre-instrumentation runtime.
+func BenchmarkRuntimeNoop(b *testing.B) {
+	benchRun(b, nil)
+}
+
+// BenchmarkRuntimeInstrumented runs with full metrics aggregation plus
+// event tracing attached, bounding the cost of -metrics -trace.
+func BenchmarkRuntimeInstrumented(b *testing.B) {
+	benchRun(b, func(threads, queues int) obs.Recorder {
+		m := obs.NewMetrics(threads, queues)
+		tr := obs.NewTrace(threads, 0)
+		return obs.Multi(m, tr)
+	})
+}

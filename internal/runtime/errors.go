@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"dswp/internal/obs"
 )
 
 // BlockInfo is one thread's state at the moment a failure was detected:
@@ -43,15 +45,13 @@ type QueueInfo struct {
 	Consumers []int
 }
 
+// String delegates to the shared internal/obs formatter so the runtime's
+// deadlock reports and the interpreter's print identical queue tables.
 func (q QueueInfo) String() string {
-	state := fmt.Sprintf("%d/%d", q.Len, q.Cap)
-	switch {
-	case q.Len == 0:
-		state = "empty"
-	case q.Len >= q.Cap:
-		state = fmt.Sprintf("full %d/%d", q.Len, q.Cap)
-	}
-	return fmt.Sprintf("q%d=%s (prod %v, cons %v)", q.Queue, state, q.Producers, q.Consumers)
+	return obs.QueueState{
+		Queue: q.Queue, Len: q.Len, Cap: q.Cap,
+		Producers: q.Producers, Consumers: q.Consumers,
+	}.String()
 }
 
 // DeadlockError reports an all-blocked state: every live thread is parked

@@ -26,6 +26,7 @@ import (
 
 	"dswp/internal/interp"
 	"dswp/internal/ir"
+	"dswp/internal/obs"
 )
 
 // DefaultQueueCap matches the paper's 32-entry synchronization-array
@@ -74,6 +75,11 @@ type Options struct {
 	RecordTrace bool
 	// Faults injects deterministic delays/stalls/capacity overrides.
 	Faults *FaultPlan
+	// Recorder receives instrumentation events (flow ops, stalls,
+	// branches, iterations, stage boundaries) timestamped in nanoseconds
+	// since run start. nil disables instrumentation; the hot path then
+	// pays one nil check per site and nothing else.
+	Recorder obs.Recorder
 }
 
 type blockState uint8
@@ -108,6 +114,11 @@ type engine struct {
 	prods   [][]int // queue -> producing thread indices (static)
 	cons    [][]int // queue -> consuming thread indices (static)
 	threads []*threadState
+
+	// Instrumentation (rec == nil disables it; blockIdx is then nil too).
+	rec      obs.Recorder
+	start    time.Time
+	blockIdx []map[*ir.Block]int // thread -> block -> layout index
 
 	ctx      context.Context
 	cancel   context.CancelFunc
@@ -149,9 +160,15 @@ func Run(fns []*ir.Function, opts Options) (*interp.Result, error) {
 	e := &engine{
 		fns: fns, opts: opts, mem: mem,
 		ctx: ctx, cancel: cancel, maxSteps: maxSteps,
+		rec: opts.Recorder, start: time.Now(),
 	}
 	if err := e.build(); err != nil {
 		return nil, err
+	}
+	if e.rec != nil {
+		for q, ch := range e.queues {
+			e.rec.Record(obs.Event{Kind: obs.KQueueCap, Thread: 0, Queue: int32(q), Arg: int64(cap(ch))})
+		}
 	}
 
 	e.wg.Add(len(fns))
@@ -256,8 +273,21 @@ func (e *engine) build() error {
 		}
 		e.threads[i] = th
 	}
+	if e.rec != nil {
+		e.blockIdx = make([]map[*ir.Block]int, len(e.fns))
+		for i, fn := range e.fns {
+			idx := make(map[*ir.Block]int, len(fn.Blocks))
+			for bi, b := range fn.Blocks {
+				idx[b] = bi
+			}
+			e.blockIdx[i] = idx
+		}
+	}
 	return nil
 }
+
+// now is the instrumentation clock: nanoseconds since the run started.
+func (e *engine) now() int64 { return int64(time.Since(e.start)) }
 
 // fail records the first structured failure and cancels every thread.
 func (e *engine) fail(err error) {
@@ -301,6 +331,16 @@ func (e *engine) runThread(ti int) {
 	var stall ThreadStall
 	if faults != nil {
 		stall = faults.ThreadStall[ti]
+	}
+	rec := e.rec
+	var blockIdx map[*ir.Block]int
+	if rec != nil {
+		blockIdx = e.blockIdx[ti]
+		rec.Record(obs.Event{Kind: obs.KStageStart, Thread: int32(ti), Queue: -1, When: e.now()})
+		defer func() {
+			rec.Record(obs.Event{Kind: obs.KStageDone, Thread: int32(ti), Queue: -1,
+				When: e.now(), Arg: th.res.Steps})
+		}()
 	}
 
 	var local int64
@@ -352,12 +392,31 @@ func (e *engine) runThread(ti int) {
 			default:
 				flush()
 				e.setBlocked(ti, stateBlockedEmpty, block, pc, in)
-				select {
-				case v = <-q:
-					e.setState(ti, stateRunning)
-				case <-e.ctx.Done():
-					return
+				if rec != nil {
+					t0 := e.now()
+					rec.Record(obs.Event{Kind: obs.KStallEmptyBegin, Thread: int32(ti),
+						Queue: int32(in.Queue), When: t0})
+					select {
+					case v = <-q:
+						e.setState(ti, stateRunning)
+						t1 := e.now()
+						rec.Record(obs.Event{Kind: obs.KStallEmptyEnd, Thread: int32(ti),
+							Queue: int32(in.Queue), When: t1, Arg: t1 - t0})
+					case <-e.ctx.Done():
+						return
+					}
+				} else {
+					select {
+					case v = <-q:
+						e.setState(ti, stateRunning)
+					case <-e.ctx.Done():
+						return
+					}
 				}
+			}
+			if rec != nil {
+				rec.Record(obs.Event{Kind: obs.KConsume, Thread: int32(ti),
+					Queue: int32(in.Queue), When: e.now(), Arg: int64(len(q))})
 			}
 			if in.Dst != ir.NoReg {
 				regs[in.Dst] = v
@@ -380,25 +439,60 @@ func (e *engine) runThread(ti int) {
 			default:
 				flush()
 				e.setBlocked(ti, stateBlockedFull, block, pc, in)
-				select {
-				case q <- v:
-					e.setState(ti, stateRunning)
-				case <-e.ctx.Done():
-					return
+				if rec != nil {
+					t0 := e.now()
+					rec.Record(obs.Event{Kind: obs.KStallFullBegin, Thread: int32(ti),
+						Queue: int32(in.Queue), When: t0})
+					select {
+					case q <- v:
+						e.setState(ti, stateRunning)
+						t1 := e.now()
+						rec.Record(obs.Event{Kind: obs.KStallFullEnd, Thread: int32(ti),
+							Queue: int32(in.Queue), When: t1, Arg: t1 - t0})
+					case <-e.ctx.Done():
+						return
+					}
+				} else {
+					select {
+					case q <- v:
+						e.setState(ti, stateRunning)
+					case <-e.ctx.Done():
+						return
+					}
 				}
+			}
+			if rec != nil {
+				rec.Record(obs.Event{Kind: obs.KProduce, Thread: int32(ti),
+					Queue: int32(in.Queue), When: e.now(), Arg: int64(len(q))})
 			}
 			pc++
 		case ir.OpBranch:
 			taken := regs[in.Src[0]] != 0
 			ev.Taken = taken
+			prev := block
 			if taken {
 				block, pc = in.Target, 0
 			} else {
 				block, pc = in.TargetFalse, 0
 			}
+			if rec != nil {
+				arg := int64(0)
+				if taken {
+					arg = 1
+				}
+				now := e.now()
+				rec.Record(obs.Event{Kind: obs.KBranch, Thread: int32(ti), Queue: -1, When: now, Arg: arg})
+				if blockIdx[block] <= blockIdx[prev] {
+					rec.Record(obs.Event{Kind: obs.KIteration, Thread: int32(ti), Queue: -1, When: now})
+				}
+			}
 		case ir.OpJump:
 			ev.Taken = true
+			prev := block
 			block, pc = in.Target, 0
+			if rec != nil && blockIdx[block] <= blockIdx[prev] {
+				rec.Record(obs.Event{Kind: obs.KIteration, Thread: int32(ti), Queue: -1, When: e.now()})
+			}
 		case ir.OpRet:
 			pc++
 		case ir.OpLoad:

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 
 	"dswp/internal/interp"
 	"dswp/internal/ir"
@@ -11,15 +12,26 @@ import (
 type saQueue struct {
 	ready []int64
 	head  int
+
+	// Lifetime accounting for QueueStats.
+	pushes, pops int64
+	highWater    int
 }
 
 func (q *saQueue) len() int { return len(q.ready) - q.head }
 
-func (q *saQueue) push(t int64) { q.ready = append(q.ready, t) }
+func (q *saQueue) push(t int64) {
+	q.ready = append(q.ready, t)
+	q.pushes++
+	if n := q.len(); n > q.highWater {
+		q.highWater = n
+	}
+}
 
 func (q *saQueue) frontReady() int64 { return q.ready[q.head] }
 
 func (q *saQueue) pop() {
+	q.pops++
 	q.head++
 	if q.head > 1024 && q.head*2 > len(q.ready) {
 		q.ready = append(q.ready[:0], q.ready[q.head:]...)
@@ -73,6 +85,16 @@ func (o OccupancyStats) Total() int64 {
 	return o.FullProducerStalled + o.BalancedBothActive + o.EmptyBothActive + o.EmptyConsumerStalled
 }
 
+// QueueStats is one synchronization-array queue's lifetime activity.
+type QueueStats struct {
+	Queue int
+	// Pushes and Pops count completed produce/consume operations; they
+	// are equal when the run drained every queue.
+	Pushes, Pops int64
+	// HighWater is the maximum occupancy ever reached.
+	HighWater int
+}
+
 // Result is one machine run.
 type Result struct {
 	Config Config
@@ -80,6 +102,9 @@ type Result struct {
 	Cycles int64
 	Cores  []CoreStats
 	Occ    OccupancyStats
+	// Queues holds per-queue push/pop/high-water statistics, ordered by
+	// queue index (queues never touched are absent).
+	Queues []QueueStats
 }
 
 // IPC returns whole-machine IPC (excluding flow ops).
@@ -216,6 +241,17 @@ func Run(cfg Config, traces []*interp.ThreadResult) (*Result, error) {
 		if c.stats.Cycles > res.Cycles {
 			res.Cycles = c.stats.Cycles
 		}
+	}
+	ids := make([]int, 0, len(queues))
+	for id := range queues {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		q := queues[id]
+		res.Queues = append(res.Queues, QueueStats{
+			Queue: id, Pushes: q.pushes, Pops: q.pops, HighWater: q.highWater,
+		})
 	}
 	return res, nil
 }

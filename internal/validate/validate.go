@@ -10,6 +10,10 @@
 // semantics under any schedule — is checked here as an executable claim
 // rather than assumed.
 //
+// Capacity-sweep runs additionally carry an obs.Metrics recorder and assert
+// flow conservation: on a clean run every queue's produce count equals its
+// consume count.
+//
 // All randomness derives from Options.Seed, which is logged, so any
 // failure reproduces from its report line alone.
 package validate
@@ -22,6 +26,7 @@ import (
 
 	"dswp/internal/core"
 	"dswp/internal/interp"
+	"dswp/internal/obs"
 	"dswp/internal/profile"
 	rt "dswp/internal/runtime"
 	"dswp/internal/workloads"
@@ -173,22 +178,42 @@ func Program(p *workloads.Program, opts Options) *Report {
 		}
 	}
 
+	// checkMetrics asserts the flow-conservation invariant on a clean run:
+	// every queue's produce count equals its consume count (and no
+	// instrumentation events were dropped).
+	checkMetrics := func(tag string, m *obs.Metrics, err error) {
+		if err != nil {
+			return // the failed run is already reported by check
+		}
+		for _, v := range m.CheckConsistency() {
+			rep.Failures = append(rep.Failures, fmt.Sprintf("%s: metrics: %s", tag, v))
+		}
+	}
+
 	// (a) Deterministic interpreter: unbounded, then each bounded
 	// capacity — full-queue blocking under the friendly schedule.
 	for _, cap := range append([]int{0}, opts.Caps...) {
 		io := iopts
 		io.QueueCap = cap
+		m := obs.NewMetrics(len(tr.Threads), tr.NumQueues)
+		io.Recorder = m
+		tag := fmt.Sprintf("interp cap=%d", cap)
 		res, err := interp.RunThreads(tr.Threads, io)
-		check(fmt.Sprintf("interp cap=%d", cap), res, err)
+		check(tag, res, err)
+		checkMetrics(tag, m, err)
 	}
 
 	// (b) Concurrent goroutine runtime across the capacity sweep.
 	for _, cap := range opts.Caps {
+		m := obs.NewMetrics(len(tr.Threads), tr.NumQueues)
+		tag := fmt.Sprintf("runtime cap=%d", cap)
 		res, err := rt.Run(tr.Threads, rt.Options{
 			QueueCap: cap, Mem: p.Mem, Regs: p.Regs,
 			MaxSteps: opts.MaxSteps, Timeout: opts.Timeout,
+			Recorder: m,
 		})
-		check(fmt.Sprintf("runtime cap=%d", cap), res, err)
+		check(tag, res, err)
+		checkMetrics(tag, m, err)
 	}
 
 	// (c) Randomized fault/schedule runs: seed-derived fault plans,
