@@ -29,13 +29,29 @@
 // workload may also be given as a positional argument:
 //
 //	dswpsim -runtime=goroutine -trace out.json -metrics listsum
+//
+// -runtime=supervised runs the fault-tolerant supervisor: cooperative
+// cancellation (-deadline), in-place retry of transient injected faults
+// (-retries), iteration checkpointing, and sequential resume from the last
+// checkpoint on any unrecoverable failure (disable with -resume=false).
+// -chaos runs the seed-reproducible chaos soak instead of a timing run.
+//
+//	dswpsim -runtime=supervised -faults=42 -deadline=10s 181.mcf
+//	dswpsim -chaos -seed 7 -runs 200
+//
+// Exit codes are distinct per failure class (see -h): 2 deadlock,
+// 3 timeout, 4 validation mismatch, 5 stage panic, 1 anything else.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"dswp/internal/chaos"
 	"dswp/internal/core"
 	"dswp/internal/doacross"
 	"dswp/internal/interp"
@@ -44,6 +60,7 @@ import (
 	"dswp/internal/profile"
 	rt "dswp/internal/runtime"
 	"dswp/internal/sim"
+	"dswp/internal/supervisor"
 	"dswp/internal/validate"
 	"dswp/internal/workloads"
 )
@@ -63,11 +80,23 @@ func main() {
 	traceOut := flag.String("trace", "", "write the functional run's event trace as Chrome trace-event JSON to FILE")
 	metrics := flag.Bool("metrics", false, "print the pipeline metrics report for the functional run")
 	stats := flag.Bool("stats", false, "print the transformation's compile-time pass statistics")
+	deadline := flag.Duration("deadline", 0, "overall wall-clock budget for the supervised runtime (0 = none)")
+	retries := flag.Int("retries", 4, "retry budget for transient injected queue faults (supervised runtime)")
+	resume := flag.Bool("resume", true, "sequentially resume from the last checkpoint on unrecoverable failure (supervised runtime)")
+	ckptEvery := flag.Int64("ckpt", 0, "checkpoint period in outer-loop iterations (supervised runtime; 0 = default)")
+	doChaos := flag.Bool("chaos", false, "run the chaos soak harness instead of a timing run")
+	runs := flag.Int("runs", 0, "chaos scenario count (0 = 200)")
+	budget := flag.Duration("budget", 0, "chaos soak wall-clock budget (0 = none)")
+	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() > 0 {
 		*workload = flag.Arg(0)
 	}
 
+	if *doChaos {
+		runChaos(*seed, *runs, *budget, *threads)
+		return
+	}
 	if *doValidate {
 		runValidation(*workload, *seed)
 		return
@@ -86,6 +115,7 @@ func main() {
 	runner := &runner{
 		engine: *engine, queueCap: *queuecap, faultSeed: *faults,
 		instrument: *metrics || *traceOut != "",
+		deadline:   *deadline, retries: *retries, resume: *resume, ckptEvery: *ckptEvery,
 	}
 	traces, passStats, err := buildTraces(p, *scheme, *threads, runner)
 	if err != nil {
@@ -152,6 +182,34 @@ func main() {
 	}
 }
 
+// usage extends the default flag help with the exit-code contract, so
+// scripts and CI can branch on failure class without parsing stderr.
+func usage() {
+	out := flag.CommandLine.Output()
+	fmt.Fprintf(out, "usage: dswpsim [flags] [workload]\n\nFlags:\n")
+	flag.PrintDefaults()
+	fmt.Fprint(out, `
+Exit codes:
+  0  success
+  1  generic failure (bad flags, unknown workload, I/O error)
+  2  pipeline deadlock (runtime.DeadlockError)
+  3  watchdog timeout (runtime.TimeoutError)
+  4  differential validation mismatch (validate.MismatchError)
+  5  stage panic (runtime.StageFailure)
+`)
+}
+
+func runChaos(seed uint64, runs int, budget time.Duration, threads int) {
+	fmt.Printf("chaos seed %d (reproduce with -chaos -seed %d)\n", seed, seed)
+	rep := chaos.Soak(chaos.Options{
+		Seed: seed, Runs: runs, Budget: budget, Threads: threads,
+		Logf: func(f string, a ...any) { fmt.Printf(f+"\n", a...) },
+	})
+	if !rep.OK() {
+		fail(fmt.Errorf("chaos contract violated (seed %d): %s", seed, rep))
+	}
+}
+
 func runValidation(workload string, seed uint64) {
 	// Always log the seed up front — a reproduction must not depend on a
 	// failure (or any particular report line) being printed.
@@ -177,7 +235,10 @@ func runValidation(workload string, seed uint64) {
 		}
 	}
 	if failed > 0 {
-		fail(fmt.Errorf("%d workload(s) failed validation (seed %d)", failed, seed))
+		// Divergence is the harness's headline failure; exit with the
+		// mismatch code so CI can tell "wrong answer" from plumbing errors.
+		fail(&validate.MismatchError{Tag: "validate", Word: -1,
+			Detail: fmt.Sprintf("%d workload(s) failed validation (seed %d)", failed, seed)})
 	}
 }
 
@@ -202,6 +263,15 @@ type runner struct {
 	engine    string
 	queueCap  int
 	faultSeed uint64
+
+	// Supervised-runtime policy knobs (-deadline, -retries, -resume,
+	// -ckpt); regOwner is filled by buildTraces from the transformation so
+	// the supervisor can checkpoint.
+	deadline  time.Duration
+	retries   int
+	resume    bool
+	ckptEvery int64
+	regOwner  []int
 
 	// instrument attaches metrics + trace recorders to the functional run;
 	// after execute they hold the collected data.
@@ -258,8 +328,37 @@ func (r *runner) execute(fns []*ir.Function, p *workloads.Program, numQueues int
 				"dswpsim: concurrent runtime failed, fell back to sequential execution: %v\n", report.Cause)
 		}
 		return res.Threads, nil
+	case "supervised":
+		pol := supervisor.Policy{
+			QueueCap:        r.queueCap,
+			Deadline:        r.deadline,
+			Retry:           rt.RetryPolicy{MaxAttempts: r.retries},
+			CheckpointEvery: r.ckptEvery,
+			DisableResume:   !r.resume,
+			RecordTrace:     true,
+			Recorder:        r.recorder(len(fns), numQueues),
+		}
+		if r.faultSeed != 0 {
+			pol.Faults = rt.RandomFaults(r.faultSeed, len(fns), numQueues)
+		}
+		res, srep, err := supervisor.Run(context.Background(), supervisor.Pipeline{
+			Threads: fns, Original: p.F, LoopHeader: p.LoopHeader,
+			RegOwner: r.regOwner, Mem: p.Mem, Regs: p.Regs,
+		}, pol)
+		if err != nil {
+			return nil, err
+		}
+		if srep.Failure != nil {
+			from := "scratch"
+			if srep.ResumeIter >= 0 {
+				from = fmt.Sprintf("iteration %d (%d checkpoints committed)", srep.ResumeIter, srep.Checkpoints)
+			}
+			fmt.Fprintf(os.Stderr,
+				"dswpsim: supervised attempt failed (%v), resumed sequentially from %s\n", srep.Failure, from)
+		}
+		return res.Threads, nil
 	}
-	return nil, fmt.Errorf("unknown runtime %q (want interp or goroutine)", r.engine)
+	return nil, fmt.Errorf("unknown runtime %q (want interp, goroutine, or supervised)", r.engine)
 }
 
 // countQueues sizes the synchronization array used by a thread set.
@@ -327,6 +426,7 @@ func buildTraces(p *workloads.Program, scheme string, threads int, r *runner) ([
 		if err != nil {
 			return nil, nil, err
 		}
+		r.regOwner = tr.RegOwner
 		traces, err := r.execute(tr.Threads, p, tr.NumQueues, opts)
 		return traces, tr.Stats, err
 	case "doacross":
@@ -340,7 +440,30 @@ func buildTraces(p *workloads.Program, scheme string, threads int, r *runner) ([
 	return nil, nil, fmt.Errorf("unknown scheme %q", scheme)
 }
 
+// exitCode maps a failure to the CLI's exit-code contract (see usage):
+// distinct nonzero codes per error class so scripts and CI can branch on
+// what went wrong without parsing stderr.
+func exitCode(err error) int {
+	var (
+		de *rt.DeadlockError
+		te *rt.TimeoutError
+		me *validate.MismatchError
+		sf *rt.StageFailure
+	)
+	switch {
+	case errors.As(err, &de):
+		return 2
+	case errors.As(err, &te):
+		return 3
+	case errors.As(err, &me):
+		return 4
+	case errors.As(err, &sf):
+		return 5
+	}
+	return 1
+}
+
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "dswpsim:", err)
-	os.Exit(1)
+	os.Exit(exitCode(err))
 }

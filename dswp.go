@@ -28,8 +28,10 @@
 package dswp
 
 import (
+	"context"
 	"fmt"
 
+	"dswp/internal/chaos"
 	"dswp/internal/core"
 	"dswp/internal/doacross"
 	"dswp/internal/interp"
@@ -38,6 +40,7 @@ import (
 	"dswp/internal/profile"
 	rt "dswp/internal/runtime"
 	"dswp/internal/sim"
+	"dswp/internal/supervisor"
 	"dswp/internal/validate"
 	"dswp/internal/workloads"
 )
@@ -79,13 +82,37 @@ type (
 	// (queue capacity, watchdog bounds, fault injection).
 	RuntimeOptions = rt.Options
 	// FaultPlan describes deterministic fault injection for a concurrent
-	// run; FallbackReport says whether a run degraded to sequential.
+	// run; ThreadStall, QueueFaultSpec, and FaultClass are its building
+	// blocks; FallbackReport says whether a run degraded to sequential.
 	FaultPlan      = rt.FaultPlan
+	ThreadStall    = rt.ThreadStall
+	QueueFaultSpec = rt.QueueFaultSpec
+	FaultClass     = rt.FaultClass
 	FallbackReport = rt.FallbackReport
 	// DeadlockError and TimeoutError are the watchdog's structured
-	// failures (match with errors.As).
-	DeadlockError = rt.DeadlockError
-	TimeoutError  = rt.TimeoutError
+	// failures; StageFailure is a captured stage panic; QueueFaultError is
+	// an unrecovered injected queue fault; CanceledError reports a
+	// cooperatively canceled run (match all with errors.As).
+	DeadlockError   = rt.DeadlockError
+	TimeoutError    = rt.TimeoutError
+	StageFailure    = rt.StageFailure
+	QueueFaultError = rt.QueueFaultError
+	CanceledError   = rt.CanceledError
+	// RetryPolicy bounds in-place retry of transient queue faults;
+	// Checkpoint is a committed consistent cut of a concurrent run.
+	RetryPolicy = rt.RetryPolicy
+	Checkpoint  = rt.Checkpoint
+
+	// Policy bounds a supervised execution (deadline, retries, checkpoint
+	// period); SupervisorReport says how the run went (what failed,
+	// whether and from which iteration it resumed).
+	Policy           = supervisor.Policy
+	SupervisorReport = supervisor.Report
+
+	// ChaosOptions and ChaosReport configure and report the chaos soak
+	// harness.
+	ChaosOptions = chaos.Options
+	ChaosReport  = chaos.Report
 
 	// ValidateOptions and ValidateReport configure and report the
 	// differential validation harness.
@@ -107,6 +134,13 @@ type (
 var (
 	ErrSingleSCC    = core.ErrSingleSCC
 	ErrUnprofitable = core.ErrUnprofitable
+)
+
+// Fault classes for FaultPlan.QueueFault: transient faults recover under
+// retry, permanent faults force a checkpoint resume.
+const (
+	FaultTransient = rt.FaultTransient
+	FaultPermanent = rt.FaultPermanent
 )
 
 // NewBuilder starts a new IR function.
@@ -254,6 +288,35 @@ func RunConcurrent(tr *Transformed, p *Program, m MachineConfig, opts RuntimeOpt
 func RandomFaults(seed uint64, tr *Transformed) *FaultPlan {
 	return rt.RandomFaults(seed, len(tr.Threads), tr.NumQueues)
 }
+
+// ExecResult is the functional outcome of a supervised execution: the
+// final memory image, per-thread traces, and thread 0's live-outs.
+type ExecResult = interp.Result
+
+// RunSupervised executes the pipelined threads under the fault-tolerant
+// supervisor: the caller's context cancels cooperatively, stage panics are
+// captured as *StageFailure, transient injected queue faults retry in
+// place under pol.Retry, and on any unrecoverable failure the original
+// loop is resumed sequentially from the last committed checkpoint. The
+// returned result is bit-identical to sequential execution of p.F, or the
+// error is typed — never a hang, never a wrong answer.
+func RunSupervised(ctx context.Context, tr *Transformed, p *Program, pol Policy) (*ExecResult, *SupervisorReport, error) {
+	return supervisor.Run(ctx, supervisor.Pipeline{
+		Threads:    tr.Threads,
+		Original:   p.F,
+		LoopHeader: p.LoopHeader,
+		RegOwner:   tr.RegOwner,
+		Mem:        p.Mem,
+		Regs:       p.Regs,
+	}, pol)
+}
+
+// RunChaos executes the seed-reproducible chaos soak: randomized fault,
+// panic, starvation, and cancellation scenarios across all built-in
+// workloads under the supervisor, asserting bit-identical state or a
+// typed error on every run. The report's OK method says whether the
+// contract held.
+func RunChaos(opts ChaosOptions) *ChaosReport { return chaos.Soak(opts) }
 
 // Validate runs the differential validation harness on one program:
 // interpreter and concurrent-runtime execution across queue-capacity

@@ -1,0 +1,358 @@
+// Package chaos is the seed-reproducible soak harness for the supervised
+// pipeline: it composes every disruption the fault injector knows —
+// transient and permanent queue faults, stage panics, forced stalls under
+// starvation timeouts, artificially tiny queue capacities, mid-run
+// cancellation — across all built-in workloads, and asserts the
+// supervisor's contract on every single run: the caller gets either the
+// bit-identical sequential state or a typed error; never a hang, never a
+// wrong answer.
+//
+// Every scenario derives from Options.Seed through per-run sub-seeds, so a
+// soak truncated by budget still replays run-for-run from its report line,
+// and any individual failure reproduces from (seed, run index) alone.
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"dswp/internal/core"
+	"dswp/internal/interp"
+	"dswp/internal/profile"
+	rt "dswp/internal/runtime"
+	"dswp/internal/supervisor"
+	"dswp/internal/validate"
+	"dswp/internal/workloads"
+)
+
+// Options configures a soak.
+type Options struct {
+	// Seed drives every randomized choice; 0 = 1.
+	Seed uint64
+	// Runs is the number of chaos scenarios to execute (0 = 200).
+	Runs int
+	// Budget bounds total soak wall-clock time; when it expires the soak
+	// stops early and reports how many runs completed (0 = no budget).
+	Budget time.Duration
+	// Threads is the partition width (0 = 2).
+	Threads int
+	// Logf, when set, receives progress and failure lines.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Runs == 0 {
+		o.Runs = 200
+	}
+	if o.Threads == 0 {
+		o.Threads = 2
+	}
+	return o
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// Report is the soak outcome. The contract holds iff OK().
+type Report struct {
+	// Seed echoes the soak seed for reproduction.
+	Seed uint64
+	// Runs counts executed scenarios (may be below Options.Runs when the
+	// budget truncated the soak).
+	Runs int
+	// Clean counts runs where the concurrent attempt needed no recovery.
+	Clean int
+	// Recovered counts runs that hit an injected failure and still
+	// produced the correct state (in-place retry or sequential resume).
+	Recovered int
+	// Canceled counts mid-run-cancellation scenarios that ended with a
+	// context error — the one legitimate way to not produce a result.
+	Canceled int
+	// ByClass histograms the attempt failures the supervisor survived,
+	// keyed by error class name.
+	ByClass map[string]int
+	// WrongState counts runs whose final state diverged from the
+	// sequential baseline. Must be zero.
+	WrongState int
+	// Untyped counts runs that failed with an error outside the typed
+	// taxonomy. Must be zero.
+	Untyped int
+	// Hangs counts runs that blew the per-run hang deadline. Must be zero.
+	Hangs int
+	// NotRecovered lists non-cancellation scenarios that ended in error
+	// (the supervisor should have recovered), with repro info.
+	NotRecovered []string
+}
+
+// OK reports whether the soak upheld the supervisor's contract.
+func (r *Report) OK() bool {
+	return r.WrongState == 0 && r.Untyped == 0 && r.Hangs == 0 && len(r.NotRecovered) == 0
+}
+
+func (r *Report) String() string {
+	s := fmt.Sprintf("chaos: %d runs (seed %d): %d clean, %d recovered, %d canceled",
+		r.Runs, r.Seed, r.Clean, r.Recovered, r.Canceled)
+	if !r.OK() {
+		s += fmt.Sprintf(" — CONTRACT VIOLATED: %d wrong-state, %d untyped, %d hangs, %d not-recovered",
+			r.WrongState, r.Untyped, r.Hangs, len(r.NotRecovered))
+	}
+	return s
+}
+
+// chaosRNG is the repo-wide xorshift64* generator.
+type chaosRNG struct{ s uint64 }
+
+func (r *chaosRNG) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545F4914F6CDD1D
+}
+
+func (r *chaosRNG) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// target is a workload prepared for soaking: transformed threads plus the
+// sequential baseline to diff against.
+type target struct {
+	prog *workloads.Program
+	tr   *core.Transformed
+	base *interp.Result
+}
+
+// scenario modes. Cancellation composes orthogonally on top of any mode.
+const (
+	modeCleanFaults = iota // RandomFaults timing perturbation only
+	modeTransient          // transient queue fault within the retry budget
+	modePermanent          // permanent queue fault -> sequential resume
+	modePanic              // injected stage panic -> sequential resume
+	modeStarve             // forced stalls under a tiny attempt timeout
+	numModes
+)
+
+var modeNames = [numModes]string{"clean", "transient", "permanent", "panic", "starve"}
+
+// hangDeadline is the per-run ceiling the harness enforces from outside
+// the supervisor; crossing it is recorded as a hang — the one failure the
+// typed-error contract can never report about itself.
+const hangDeadline = 20 * time.Second
+
+// Soak executes opts.Runs chaos scenarios and reports. It returns (never
+// panics) even when the contract is violated; callers gate on Report.OK().
+func Soak(opts Options) *Report {
+	opts = opts.withDefaults()
+	rep := &Report{Seed: opts.Seed, ByClass: map[string]int{}}
+	start := time.Now()
+
+	var targets []*target
+	for _, p := range validate.AllPrograms() {
+		base, err := interp.Run(p.F, interp.Options{Mem: p.Mem, Regs: p.Regs})
+		if err != nil {
+			continue
+		}
+		prof, err := profile.Collect(p.F, p.Options())
+		if err != nil {
+			continue
+		}
+		tr, err := core.Apply(p.F, p.LoopHeader, prof, core.Config{
+			NumThreads: opts.Threads, SkipProfitability: true,
+		})
+		if err != nil {
+			continue // single-SCC workloads have nothing to pipeline
+		}
+		targets = append(targets, &target{prog: p, tr: tr, base: base})
+	}
+	if len(targets) == 0 {
+		rep.NotRecovered = append(rep.NotRecovered, "no transformable workloads")
+		return rep
+	}
+	opts.logf("chaos: %d targets, %d runs, seed %d", len(targets), opts.Runs, opts.Seed)
+
+	seeder := &chaosRNG{s: opts.Seed | 1}
+	for i := 0; i < opts.Runs; i++ {
+		if opts.Budget > 0 && time.Since(start) > opts.Budget {
+			opts.logf("chaos: budget exhausted after %d/%d runs", i, opts.Runs)
+			break
+		}
+		// Each run gets its own sub-seed so a budget-truncated soak still
+		// replays the runs it did execute, run-for-run.
+		soakOne(rep, targets, i, seeder.next(), opts)
+		rep.Runs++
+	}
+	opts.logf("%s", rep)
+	return rep
+}
+
+// soakOne executes chaos scenario (seed, run index i) and scores it.
+func soakOne(rep *Report, targets []*target, i int, subSeed uint64, opts Options) {
+	rng := &chaosRNG{s: subSeed | 1}
+	tg := targets[rng.intn(len(targets))]
+	mode := rng.intn(numModes)
+	midCancel := rng.intn(4) == 0 // 25% of runs get a mid-flight cancel
+	caps := []int{1, 2, 8, 32}
+	cap := caps[rng.intn(len(caps))]
+	every := []int64{4, 16, 64}[rng.intn(3)]
+
+	plan := rt.RandomFaults(rng.next(), len(tg.tr.Threads), tg.tr.NumQueues)
+	pol := supervisor.Policy{
+		QueueCap:        cap,
+		CheckpointEvery: every,
+		AttemptTimeout:  10 * time.Second,
+		Retry: rt.RetryPolicy{MaxAttempts: 4,
+			Backoff: 5 * time.Microsecond, MaxBackoff: 100 * time.Microsecond},
+		Faults: plan,
+	}
+	nq, nt := tg.tr.NumQueues, len(tg.tr.Threads)
+	switch mode {
+	case modeTransient:
+		plan.QueueFault = map[int]rt.QueueFaultSpec{rng.intn(nq): {
+			Class: rt.FaultTransient, Every: int64(16 + rng.intn(256)), Fails: 1 + rng.intn(3)}}
+	case modePermanent:
+		plan.QueueFault = map[int]rt.QueueFaultSpec{rng.intn(nq): {
+			Class: rt.FaultPermanent, Every: int64(32 + rng.intn(512))}}
+	case modeStarve:
+		// Stall one thread hard enough that the watchdog's wall-clock
+		// bound fires, forcing the timeout -> resume path.
+		plan.ThreadStall = map[int]rt.ThreadStall{rng.intn(nt): {
+			Every: int64(64 + rng.intn(192)), Delay: 2 * time.Millisecond}}
+		pol.AttemptTimeout = 50 * time.Millisecond
+		pol.Poll = time.Millisecond
+	case modePanic:
+		plan.ThreadPanic = map[int]int64{rng.intn(nt): int64(50 + rng.intn(2000))}
+	}
+
+	tag := fmt.Sprintf("run=%d seed=%d %s/%s cap=%d every=%d cancel=%v",
+		i, opts.Seed, tg.prog.Name, modeNames[mode], cap, every, midCancel)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if midCancel {
+		delay := time.Duration(rng.intn(2000)) * time.Microsecond
+		timer := time.AfterFunc(delay, cancel)
+		defer timer.Stop()
+	}
+
+	pipe := supervisor.Pipeline{
+		Threads: tg.tr.Threads, Original: tg.prog.F, LoopHeader: tg.prog.LoopHeader,
+		RegOwner: tg.tr.RegOwner, Mem: tg.prog.Mem, Regs: tg.prog.Regs,
+	}
+
+	// The hang watchdog runs the supervisor on a goroutine and gives up
+	// after hangDeadline: a run that neither returns nor cancels is the
+	// contract violation the typed-error taxonomy cannot self-report.
+	type outcome struct {
+		res  *interp.Result
+		srep *supervisor.Report
+		err  error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		res, srep, err := supervisor.Run(ctx, pipe, pol)
+		ch <- outcome{res, srep, err}
+	}()
+	var out outcome
+	select {
+	case out = <-ch:
+	case <-time.After(hangDeadline):
+		rep.Hangs++
+		opts.logf("chaos FAIL (hang): %s", tag)
+		cancel() // unblock the stuck goroutine if it is still listening
+		return
+	}
+
+	if out.srep != nil && out.srep.Failure != nil {
+		rep.ByClass[classOf(out.srep.Failure)]++
+	}
+	if out.err != nil {
+		if isCancel(out.err) {
+			if midCancel {
+				rep.Canceled++
+				return
+			}
+			// A cancellation error without an injected cancel means the
+			// supervisor gave up on something it should have survived.
+		}
+		if !typed(out.err) {
+			rep.Untyped++
+			opts.logf("chaos FAIL (untyped error): %s: %v", tag, out.err)
+			return
+		}
+		if midCancel {
+			// Raced the cancel but died on the injected failure first;
+			// either terminal state is acceptable under cancellation.
+			rep.Canceled++
+			return
+		}
+		rep.NotRecovered = append(rep.NotRecovered, fmt.Sprintf("%s: %v", tag, out.err))
+		opts.logf("chaos FAIL (not recovered): %s: %v", tag, out.err)
+		return
+	}
+
+	if cerr := validate.Compare(tag, tg.base, out.res); cerr != nil {
+		rep.WrongState++
+		opts.logf("chaos FAIL (wrong state): %v", cerr)
+		return
+	}
+	if out.srep.Failure != nil {
+		rep.Recovered++
+	} else {
+		rep.Clean++
+	}
+}
+
+// isCancel reports whether err is (or wraps) a context cancellation or
+// deadline error.
+func isCancel(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// typed reports whether err belongs to the supervised taxonomy — the
+// chaos contract requires every failure to be classifiable.
+func typed(err error) bool {
+	var (
+		de *rt.DeadlockError
+		te *rt.TimeoutError
+		se *rt.StepLimitError
+		sf *rt.StageFailure
+		qf *rt.QueueFaultError
+		ce *rt.CanceledError
+		me *validate.MismatchError
+	)
+	return errors.As(err, &de) || errors.As(err, &te) || errors.As(err, &se) ||
+		errors.As(err, &sf) || errors.As(err, &qf) || errors.As(err, &ce) ||
+		errors.As(err, &me) || isCancel(err)
+}
+
+// classOf names an error's class for the ByClass histogram.
+func classOf(err error) string {
+	var (
+		de *rt.DeadlockError
+		te *rt.TimeoutError
+		se *rt.StepLimitError
+		sf *rt.StageFailure
+		qf *rt.QueueFaultError
+		ce *rt.CanceledError
+	)
+	switch {
+	case errors.As(err, &sf):
+		return "stage-panic"
+	case errors.As(err, &qf):
+		return "queue-fault-" + qf.Class.String()
+	case errors.As(err, &de):
+		return "deadlock"
+	case errors.As(err, &te):
+		return "timeout"
+	case errors.As(err, &se):
+		return "step-limit"
+	case errors.As(err, &ce), isCancel(err):
+		return "canceled"
+	}
+	return "untyped"
+}

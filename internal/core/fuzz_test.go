@@ -1,6 +1,10 @@
 package core
 
 import (
+	"context"
+	"time"
+
+	"dswp/internal/supervisor"
 	"fmt"
 	"testing"
 	"testing/quick"
@@ -278,5 +282,105 @@ func TestFuzzGeneratorIsDeterministic(t *testing.T) {
 	f2, _ := genLoop(12345)
 	if f1.String() != f2.String() {
 		t.Fatal("generator not deterministic")
+	}
+}
+
+// --- Supervised-execution fuzzing -----------------------------------------
+//
+// FuzzSupervised drives the fault-tolerant supervisor over the same random
+// loop generator the equivalence fuzz uses, with the failure mode and its
+// trigger point fuzzed alongside the program shape: clean runs, transient
+// faults inside the retry budget, permanent faults, and stage panics. The
+// invariant is the supervisor's whole contract: a nil error and the
+// bit-identical sequential state, whatever was injected.
+
+// fuzzSupervisedOne runs one supervised fuzz case.
+func fuzzSupervisedOne(t *testing.T, seed uint64, mode uint8, knob uint16) {
+	t.Helper()
+	f, mem := genLoop(seed)
+	opts := interp.Options{Mem: mem, MaxSteps: 50_000_000}
+	base, err := interp.Run(f, opts)
+	if err != nil {
+		t.Fatalf("seed %d: baseline: %v", seed, err)
+	}
+	prof, err := profile.Collect(f, opts)
+	if err != nil {
+		t.Fatalf("seed %d: profile: %v", seed, err)
+	}
+	a, err := Analyze(f, "header", prof, Config{NumThreads: 2})
+	if err != nil {
+		t.Fatalf("seed %d: analyze: %v", seed, err)
+	}
+	if a.NumSCCs() < 2 {
+		return
+	}
+	hp := a.Heuristic()
+	if hp.N < 2 {
+		return
+	}
+	tr, err := a.Transform(hp)
+	if err != nil {
+		t.Fatalf("seed %d: transform: %v", seed, err)
+	}
+
+	plan := &rt.FaultPlan{Seed: seed}
+	switch mode % 4 {
+	case 1:
+		plan.QueueFault = map[int]rt.QueueFaultSpec{int(knob) % tr.NumQueues: {
+			Class: rt.FaultTransient, Every: int64(1 + knob%128), Fails: 1 + int(knob%3)}}
+	case 2:
+		plan.QueueFault = map[int]rt.QueueFaultSpec{int(knob) % tr.NumQueues: {
+			Class: rt.FaultPermanent, Every: int64(1 + knob%256)}}
+	case 3:
+		plan.ThreadPanic = map[int]int64{int(knob) % len(tr.Threads): int64(1 + knob%2048)}
+	}
+
+	res, rep, err := supervisor.Run(context.Background(), supervisor.Pipeline{
+		Threads: tr.Threads, Original: f, LoopHeader: "header",
+		RegOwner: tr.RegOwner, Mem: mem,
+	}, supervisor.Policy{
+		QueueCap:        1 + int(knob%8),
+		CheckpointEvery: int64(1 + knob%16),
+		MaxSteps:        50_000_000,
+		Retry: rt.RetryPolicy{MaxAttempts: 4,
+			Backoff: time.Microsecond, MaxBackoff: 20 * time.Microsecond},
+		Faults: plan,
+	})
+	if err != nil {
+		t.Fatalf("seed %d mode %d knob %d: supervised run failed: %v (attempt failure: %v)",
+			seed, mode%4, knob, err, rep.Failure)
+	}
+	if d := base.Mem.Diff(res.Mem); d != -1 {
+		t.Fatalf("seed %d mode %d knob %d: memory diverges at %d (resumed=%v from iter %d)\noriginal:\n%s",
+			seed, mode%4, knob, d, rep.Resumed, rep.ResumeIter, f)
+	}
+	for r, v := range base.LiveOuts {
+		if res.LiveOuts[r] != v {
+			t.Fatalf("seed %d mode %d knob %d: live-out %s = %d, want %d (resumed=%v)",
+				seed, mode%4, knob, r, res.LiveOuts[r], v, rep.Resumed)
+		}
+	}
+}
+
+// FuzzSupervised is the native fuzz entry; `go test -fuzz=FuzzSupervised`
+// mutates from a corpus seeded with the fixed-seed sweep below.
+func FuzzSupervised(f *testing.F) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		for mode := uint8(0); mode < 4; mode++ {
+			f.Add(seed, mode, uint16(64+7*uint16(mode)))
+		}
+	}
+	f.Fuzz(func(t *testing.T, seed uint64, mode uint8, knob uint16) {
+		fuzzSupervisedOne(t, seed, mode, knob)
+	})
+}
+
+// TestFuzzSupervisedFixedSeeds pins the corpus so every failure mode runs
+// deterministically in plain `go test`.
+func TestFuzzSupervisedFixedSeeds(t *testing.T) {
+	for seed := uint64(1); seed <= 25; seed++ {
+		for mode := uint8(0); mode < 4; mode++ {
+			fuzzSupervisedOne(t, seed, mode, uint16(seed*31+uint64(mode)*7))
+		}
 	}
 }

@@ -75,6 +75,15 @@ type Transformed struct {
 	// Stats is the pass's compile-time self-report (dependence graph,
 	// DAG_SCC, partition balance, flow breakdown), for -stats output.
 	Stats *obs.PassStats
+	// RegOwner maps each original-function register to the thread holding
+	// its authoritative value at iteration boundaries: the partition of
+	// the register's in-loop definition (output dependences never cross
+	// partitions, so there is exactly one such thread), or thread 0 for
+	// registers only defined outside the loop. Thread functions preserve
+	// the original register numbering, so RegOwner lets the runtime merge
+	// per-thread register files back into the original's architectural
+	// file for checkpointing (runtime.CheckpointSpec).
+	RegOwner []int
 }
 
 // SplitOptions tunes code generation.
@@ -210,6 +219,7 @@ func SplitOpt(g *dep.Graph, p *Partitioning, opts SplitOptions) (*Transformed, e
 		Flows:     s.flows,
 		NumQueues: s.nextQueue,
 		Stats:     transformStats(s),
+		RegOwner:  s.regOwners(),
 	}
 	for _, th := range tr.Threads {
 		// Post-split cleanup, as §2.2.3 anticipates ("subsequent code
@@ -221,6 +231,21 @@ func SplitOpt(g *dep.Graph, p *Partitioning, opts SplitOptions) (*Transformed, e
 		}
 	}
 	return tr, nil
+}
+
+// regOwners computes Transformed.RegOwner: the partition of each
+// register's in-loop definition, defaulting to thread 0 (which executes
+// the preheader and thus owns every live-in).
+func (s *splitter) regOwners() []int {
+	owner := make([]int, s.f.MaxReg()+1)
+	for _, bi := range s.l.BlockList {
+		for _, in := range s.c.Blocks[bi].Instrs {
+			if in.Dst != ir.NoReg {
+				owner[in.Dst] = s.p.PartitionOf(in)
+			}
+		}
+	}
+	return owner
 }
 
 func (s *splitter) newQueue() int {

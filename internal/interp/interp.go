@@ -1,6 +1,7 @@
 package interp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -58,6 +59,18 @@ type Options struct {
 	// stall durations are in steps, not wall time. nil disables
 	// instrumentation at the cost of one nil check per site.
 	Recorder obs.Recorder
+	// Ctx, when set, cancels execution cooperatively: the run returns an
+	// error wrapping ctx.Err() at the next scheduling boundary (at most
+	// one burst of instructions later). nil means no cancellation.
+	Ctx context.Context
+	// StartBlock, when non-empty, starts thread 0 at the named block
+	// instead of the entry — the checkpoint-resume entry point. RegFile
+	// and Mem must carry the matching live state (a runtime.Checkpoint).
+	StartBlock string
+	// RegFile, when non-nil, initializes thread 0's full register file by
+	// register number (a checkpoint's merged file); it takes precedence
+	// over Regs.
+	RegFile []int64
 }
 
 const defaultMaxSteps = 500_000_000
@@ -109,12 +122,21 @@ type thread struct {
 	stall      stallReason
 	stallQueue int
 
+	// iters counts completed outer-loop iterations (backward transfers to
+	// outerHdr, the function's outermost back-edge target), reported in
+	// deadlock diagnostics.
+	iters    int64
+	outerHdr *ir.Block
+	blockIdx map[*ir.Block]int
+
 	// Instrumentation state (used only with Options.Recorder set):
 	// inStall marks an open stall interval begun at step stallStart;
-	// blockIdx maps blocks to layout positions for back-edge detection.
-	inStall    bool
-	stallStart int64
-	blockIdx   map[*ir.Block]int
+	// stallWasFull records which kind of stall opened the interval, so
+	// the End event's kind matches its Begin even though th.stall is
+	// cleared before the blocked op completes.
+	inStall      bool
+	stallWasFull bool
+	stallStart   int64
 }
 
 // Run executes fn single-threaded. It is the baseline path and the
@@ -173,13 +195,31 @@ func RunThreads(fns []*ir.Function, opts Options) (*Result, error) {
 				}
 				th.regs[r] = v
 			}
-		}
-		if opts.Recorder != nil {
-			th.blockIdx = make(map[*ir.Block]int, len(fn.Blocks))
-			for bi, b := range fn.Blocks {
-				th.blockIdx[b] = bi
+			if opts.RegFile != nil {
+				n := copy(th.regs, opts.RegFile)
+				if n < len(opts.RegFile) {
+					return nil, fmt.Errorf("interp: register file has %d entries, function holds %d", len(opts.RegFile), n)
+				}
+			}
+			if opts.StartBlock != "" {
+				var start *ir.Block
+				for _, b := range fn.Blocks {
+					if b.Name == opts.StartBlock {
+						start = b
+						break
+					}
+				}
+				if start == nil {
+					return nil, fmt.Errorf("interp: start block %q not found in %s", opts.StartBlock, fn.Name)
+				}
+				th.block = start
 			}
 		}
+		th.blockIdx = make(map[*ir.Block]int, len(fn.Blocks))
+		for bi, b := range fn.Blocks {
+			th.blockIdx[b] = bi
+		}
+		th.outerHdr = outerBackEdgeTarget(fn, th.blockIdx)
 		threads[i] = th
 	}
 	rec := opts.Recorder
@@ -207,6 +247,11 @@ func RunThreads(fns []*ir.Function, opts Options) (*Result, error) {
 	// bounded burst, so queue growth stays modest and scheduling is fair.
 	const burst = 4096
 	for {
+		if opts.Ctx != nil {
+			if err := opts.Ctx.Err(); err != nil {
+				return nil, fmt.Errorf("interp: canceled after %d steps: %w", total, err)
+			}
+		}
 		allDone := true
 		anyProgress := false
 		for ti, th := range threads {
@@ -243,6 +288,34 @@ func RunThreads(fns []*ir.Function, opts Options) (*Result, error) {
 	return res, nil
 }
 
+// outerBackEdgeTarget returns fn's outermost loop header: the earliest
+// block (in layout order) targeted by any backward transfer. Inner-loop
+// headers appear later in layout, so transfers to this block count exactly
+// the outer-loop iterations. Returns nil for loop-free functions.
+func outerBackEdgeTarget(fn *ir.Function, idx map[*ir.Block]int) *ir.Block {
+	var best *ir.Block
+	consider := func(from int, tg *ir.Block) {
+		if tg == nil {
+			return
+		}
+		if ti, ok := idx[tg]; ok && ti <= from && (best == nil || ti < idx[best]) {
+			best = tg
+		}
+	}
+	for bi, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpJump:
+				consider(bi, in.Target)
+			case ir.OpBranch:
+				consider(bi, in.Target)
+				consider(bi, in.TargetFalse)
+			}
+		}
+	}
+	return best
+}
+
 func deadlockError(threads []*thread, queues map[int]*queue) error {
 	var sb strings.Builder
 	sb.WriteString("interp: deadlock:")
@@ -260,7 +333,8 @@ func deadlockError(threads []*thread, queues map[int]*queue) error {
 			case stallFull:
 				why = fmt.Sprintf(" (StallFull q%d)", th.stallQueue)
 			}
-			state = fmt.Sprintf("blocked%s at %s/%s[%d] %q", why, th.res.Fn.Name, th.block.Name, th.pc, in)
+			state = fmt.Sprintf("blocked%s at %s/%s[%d] %q iter=%d",
+				why, th.res.Fn.Name, th.block.Name, th.pc, in, th.iters)
 		}
 		fmt.Fprintf(&sb, " thread%d=%s;", i, state)
 	}
@@ -319,14 +393,18 @@ func queueEndpoints(threads []*thread, id int) (prods, cons []int) {
 func runBurst(th *thread, ti int, mem *Memory, getQueue func(int) *queue, n int, total *int64, maxSteps int64, trace bool, rec obs.Recorder) (bool, error) {
 	progressed := false
 	// stallEnds closes the open stall interval, if any, charging its
-	// duration in steps.
+	// duration in steps. The End kind mirrors the Begin kind recorded
+	// when the interval opened (th.stall is already cleared by the time
+	// the blocked op finally completes, so it cannot be consulted here) —
+	// this keeps full/empty stall accounting symmetric with the
+	// concurrent runtime on bounded-queue runs.
 	stallEnds := func(q int) {
 		if !th.inStall {
 			return
 		}
 		th.inStall = false
 		kind := obs.KStallEmptyEnd
-		if th.stall == stallFull {
+		if th.stallWasFull {
 			kind = obs.KStallFullEnd
 		}
 		rec.Record(obs.Event{Kind: kind, Thread: int32(ti), Queue: int32(q),
@@ -353,7 +431,7 @@ func runBurst(th *thread, ti int, mem *Memory, getQueue func(int) *queue, n int,
 			q := getQueue(in.Queue)
 			if q.empty() {
 				if rec != nil && !th.inStall {
-					th.inStall, th.stallStart = true, *total
+					th.inStall, th.stallWasFull, th.stallStart = true, false, *total
 					rec.Record(obs.Event{Kind: obs.KStallEmptyBegin,
 						Thread: int32(ti), Queue: int32(in.Queue), When: *total})
 				}
@@ -375,7 +453,7 @@ func runBurst(th *thread, ti int, mem *Memory, getQueue func(int) *queue, n int,
 			q := getQueue(in.Queue)
 			if q.full() {
 				if rec != nil && !th.inStall {
-					th.inStall, th.stallStart = true, *total
+					th.inStall, th.stallWasFull, th.stallStart = true, true, *total
 					rec.Record(obs.Event{Kind: obs.KStallFullBegin,
 						Thread: int32(ti), Queue: int32(in.Queue), When: *total})
 				}
@@ -403,6 +481,10 @@ func runBurst(th *thread, ti int, mem *Memory, getQueue func(int) *queue, n int,
 			} else {
 				th.block, th.pc = in.TargetFalse, 0
 			}
+			backEdge := th.blockIdx[th.block] <= th.blockIdx[from]
+			if backEdge && th.block == th.outerHdr {
+				th.iters++
+			}
 			if rec != nil {
 				arg := int64(0)
 				if taken {
@@ -410,7 +492,7 @@ func runBurst(th *thread, ti int, mem *Memory, getQueue func(int) *queue, n int,
 				}
 				rec.Record(obs.Event{Kind: obs.KBranch, Thread: int32(ti), Queue: -1,
 					When: *total, Arg: arg})
-				if th.blockIdx[th.block] <= th.blockIdx[from] {
+				if backEdge {
 					rec.Record(obs.Event{Kind: obs.KIteration, Thread: int32(ti), Queue: -1, When: *total})
 				}
 			}
@@ -418,7 +500,11 @@ func runBurst(th *thread, ti int, mem *Memory, getQueue func(int) *queue, n int,
 			ev.Taken = true
 			from := th.block
 			th.block, th.pc = in.Target, 0
-			if rec != nil && th.blockIdx[th.block] <= th.blockIdx[from] {
+			backEdge := th.blockIdx[th.block] <= th.blockIdx[from]
+			if backEdge && th.block == th.outerHdr {
+				th.iters++
+			}
+			if rec != nil && backEdge {
 				rec.Record(obs.Event{Kind: obs.KIteration, Thread: int32(ti), Queue: -1, When: *total})
 			}
 		case ir.OpRet:

@@ -1,0 +1,198 @@
+package interp
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"dswp/internal/ir"
+	"dswp/internal/obs"
+)
+
+// eventLog is a minimal recorder collecting raw events for assertions.
+type eventLog struct{ evs []obs.Event }
+
+func (l *eventLog) Record(e obs.Event) { l.evs = append(l.evs, e) }
+
+func (l *eventLog) count(k obs.Kind) int {
+	n := 0
+	for _, e := range l.evs {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// sumLoop is a counted loop summing 1..10 into r7 (r1 = induction, r5 =
+// limit, r6 = step); resumable at "loop" with a hand-built register file.
+const sumLoopSrc = `func sum {
+  liveout r7
+entry:
+    r1 = const 0
+    r5 = const 10
+    r6 = const 1
+    r7 = const 0
+    jump loop
+loop:
+    r1 = add r1, r6
+    r7 = add r7, r1
+    r2 = cmplt r1, r5
+    br r2, loop, done
+done:
+    ret
+}
+`
+
+// TestStallEventSymmetry: with a one-slot queue the producer's full stalls
+// must close as KStallFullEnd and the consumer's empty stalls as
+// KStallEmptyEnd — Begin/End kinds pairing exactly as the concurrent
+// runtime reports them. (The interpreter used to close every stall as
+// KStallEmptyEnd because th.stall was cleared before the End site read it.)
+func TestStallEventSymmetry(t *testing.T) {
+	prod := ir.MustParse(`func producer {
+entry:
+    r1 = const 0
+    r5 = const 10
+    r6 = const 1
+    jump loop
+loop:
+    r1 = add r1, r6
+    produce [0] = r1
+    r2 = cmplt r1, r5
+    br r2, loop, done
+done:
+    ret
+}
+`)
+	cons := ir.MustParse(`func consumer {
+entry:
+    r1 = const 0
+    r5 = const 10
+    r6 = const 1
+    jump loop
+loop:
+    consume r2 = [0]
+    r1 = add r1, r6
+    r3 = cmplt r1, r5
+    br r3, loop, done
+done:
+    ret
+}
+`)
+	log := &eventLog{}
+	if _, err := RunThreads([]*ir.Function{prod, cons}, Options{QueueCap: 1, Recorder: log}); err != nil {
+		t.Fatal(err)
+	}
+	fb, fe := log.count(obs.KStallFullBegin), log.count(obs.KStallFullEnd)
+	eb, ee := log.count(obs.KStallEmptyBegin), log.count(obs.KStallEmptyEnd)
+	if fb == 0 {
+		t.Fatal("cap-1 pipeline recorded no full stalls")
+	}
+	if fb != fe {
+		t.Fatalf("full stall Begin/End mismatch: %d begins, %d ends", fb, fe)
+	}
+	if eb != ee {
+		t.Fatalf("empty stall Begin/End mismatch: %d begins, %d ends", eb, ee)
+	}
+}
+
+// TestStartBlockRegFileResume: starting at the loop header with the
+// architectural state of four completed iterations must finish with the
+// full run's answer — the interpreter half of checkpoint resume.
+func TestStartBlockRegFileResume(t *testing.T) {
+	f := ir.MustParse(sumLoopSrc)
+	full, err := Run(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := full.LiveOuts[ir.Reg(7)]; got != 55 {
+		t.Fatalf("full run sum = %d, want 55", got)
+	}
+	// After 4 iterations at the header: r1=4, r7=1+2+3+4=10.
+	regs := make([]int64, f.MaxReg()+1)
+	regs[1], regs[5], regs[6], regs[7] = 4, 10, 1, 10
+	res, err := Run(f, Options{StartBlock: "loop", RegFile: regs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.LiveOuts[ir.Reg(7)]; got != 55 {
+		t.Fatalf("resumed sum = %d, want 55", got)
+	}
+}
+
+func TestStartBlockUnknownErrors(t *testing.T) {
+	f := ir.MustParse(sumLoopSrc)
+	_, err := Run(f, Options{StartBlock: "nope"})
+	if err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("err = %v, want unknown-start-block error", err)
+	}
+}
+
+func TestRegFileOversizedErrors(t *testing.T) {
+	f := ir.MustParse(sumLoopSrc)
+	_, err := Run(f, Options{RegFile: make([]int64, f.MaxReg()+100)})
+	if err == nil || !strings.Contains(err.Error(), "register file") {
+		t.Fatalf("err = %v, want register-file size error", err)
+	}
+}
+
+func TestCtxCancellation(t *testing.T) {
+	f := ir.MustParse(sumLoopSrc)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(f, Options{Ctx: ctx})
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestDeadlockReportsIteration: the deadlock report names how many outer
+// iterations each blocked thread completed.
+func TestDeadlockReportsIteration(t *testing.T) {
+	// The producer sends 3 values per iteration for 5 iterations; the
+	// consumer asks for 4 per iteration, so it starves partway through.
+	prod := ir.MustParse(`func producer {
+entry:
+    r1 = const 0
+    r5 = const 5
+    r6 = const 1
+    jump loop
+loop:
+    produce [0] = r1
+    produce [0] = r1
+    produce [0] = r1
+    r1 = add r1, r6
+    r2 = cmplt r1, r5
+    br r2, loop, done
+done:
+    ret
+}
+`)
+	cons := ir.MustParse(`func consumer {
+entry:
+    r1 = const 0
+    r5 = const 5
+    r6 = const 1
+    jump loop
+loop:
+    consume r2 = [0]
+    consume r2 = [0]
+    consume r2 = [0]
+    consume r2 = [0]
+    r1 = add r1, r6
+    r3 = cmplt r1, r5
+    br r3, loop, done
+done:
+    ret
+}
+`)
+	_, err := RunThreads([]*ir.Function{prod, cons}, Options{})
+	if err == nil {
+		t.Fatal("expected starvation deadlock")
+	}
+	if !strings.Contains(err.Error(), "iter=") {
+		t.Fatalf("deadlock report %q lacks blocked-iteration index", err)
+	}
+}

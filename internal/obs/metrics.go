@@ -118,6 +118,12 @@ type Metrics struct {
 	stages  []StageMetrics
 	queues  []QueueMetrics
 	dropped int64
+
+	// Recovery counters (KCheckpoint/KRetry/KResume from the supervisor
+	// and the fault-tolerant runtime).
+	checkpoints int64
+	retries     int64
+	resumes     int64
 }
 
 // NewMetrics sizes a Metrics for a run of threads stages and queues
@@ -149,6 +155,15 @@ func (m *Metrics) Queue(q int) *QueueMetrics { return &m.queues[q] }
 
 // Dropped counts events that referenced out-of-range stages or queues.
 func (m *Metrics) Dropped() int64 { return atomic.LoadInt64(&m.dropped) }
+
+// Checkpoints counts committed iteration-aligned checkpoints (KCheckpoint).
+func (m *Metrics) Checkpoints() int64 { return atomic.LoadInt64(&m.checkpoints) }
+
+// Retries counts in-place retried queue operations (KRetry).
+func (m *Metrics) Retries() int64 { return atomic.LoadInt64(&m.retries) }
+
+// Resumes counts sequential resumes after pipeline failures (KResume).
+func (m *Metrics) Resumes() int64 { return atomic.LoadInt64(&m.resumes) }
 
 func atomicMax(p *int64, v int64) {
 	for {
@@ -239,6 +254,12 @@ func (m *Metrics) Record(e Event) {
 		if qm != nil {
 			atomic.StoreInt64(&qm.Cap, e.Arg)
 		}
+	case KCheckpoint:
+		atomic.AddInt64(&m.checkpoints, 1)
+	case KRetry:
+		atomic.AddInt64(&m.retries, 1)
+	case KResume:
+		atomic.AddInt64(&m.resumes, 1)
 	}
 }
 

@@ -49,6 +49,17 @@ const (
 	// KQueueCap declares a queue's capacity (Arg; 0 = unbounded). Engines
 	// emit it once per queue before execution starts.
 	KQueueCap
+	// KCheckpoint: the pipeline committed an iteration-aligned checkpoint
+	// while paused at an epoch barrier. Arg is the committed outer-loop
+	// iteration index; Thread is the committing (last-arriving) stage.
+	KCheckpoint
+	// KRetry: a stage retried a faulted queue operation in place. Queue is
+	// the faulted queue; Arg is the attempt number that failed.
+	KRetry
+	// KResume: the supervisor resumed sequentially after a pipeline
+	// failure. Arg is the checkpoint iteration resumed from (-1 = from
+	// scratch).
+	KResume
 )
 
 func (k Kind) String() string {
@@ -75,6 +86,12 @@ func (k Kind) String() string {
 		return "stage-done"
 	case KQueueCap:
 		return "queue-cap"
+	case KCheckpoint:
+		return "checkpoint"
+	case KRetry:
+		return "retry"
+	case KResume:
+		return "resume"
 	}
 	return "?"
 }

@@ -235,6 +235,18 @@ func (t *Trace) WriteChrome(w io.Writer, threadNames []string) error {
 			ce = chromeEvent{Name: fmt.Sprintf("q%d capacity", e.Queue), Phase: "C",
 				Ts: ts, Pid: chromePidQueues, Tid: int(e.Queue),
 				Args: map[string]any{"cap": e.Arg}}
+		case KCheckpoint:
+			ce = chromeEvent{Name: "checkpoint", Phase: "i", Ts: ts,
+				Pid: chromePidThreads, Tid: ti, Scope: "g",
+				Args: map[string]any{"iteration": e.Arg}}
+		case KRetry:
+			ce = chromeEvent{Name: fmt.Sprintf("retry q%d", e.Queue), Phase: "i", Ts: ts,
+				Pid: chromePidThreads, Tid: ti, Scope: "t",
+				Args: map[string]any{"attempt": e.Arg}}
+		case KResume:
+			ce = chromeEvent{Name: "sequential-resume", Phase: "i", Ts: ts,
+				Pid: chromePidThreads, Tid: ti, Scope: "g",
+				Args: map[string]any{"from_iteration": e.Arg}}
 		default:
 			continue
 		}

@@ -1,0 +1,198 @@
+package runtime
+
+import (
+	"sync"
+
+	"dswp/internal/interp"
+	"dswp/internal/ir"
+	"dswp/internal/obs"
+)
+
+// DefaultCheckpointEvery is the default checkpoint period in outer-loop
+// iterations.
+const DefaultCheckpointEvery = 64
+
+// Checkpoint is the architectural live state of the pipeline at an
+// aligned outer-loop iteration boundary: it is exactly the state a
+// sequential execution of the original loop would have on entering
+// iteration Iter+1 at the loop header, so `interp.Run(original,
+// {StartBlock: header, RegFile: Regs, Mem: Mem})` finishes the loop with
+// the correct final state.
+//
+// The boundary is a sound commit point because DSWP's in-loop flows are
+// forward and same-iteration (backward or output dependences crossing
+// partitions are rejected at split time) and initial/final flows are only
+// active outside the loop — so when every stage has retired exactly the
+// first Iter iterations, all queues are provably empty and shared memory
+// equals the sequential image. Registers are merged per the ownership
+// rule: each register's in-loop definition lives in exactly one thread.
+type Checkpoint struct {
+	// Iter is the number of completed outer-loop iterations.
+	Iter int64
+	// Mem is a snapshot (clone) of shared memory at the boundary.
+	Mem *interp.Memory
+	// Regs is the merged architectural register file of the original
+	// function, indexed by register number.
+	Regs []int64
+}
+
+// CheckpointSpec enables iteration-aligned checkpointing of a concurrent
+// run. All stage threads park on an epoch barrier every Every outer-loop
+// iterations; the last arriver commits the checkpoint (memory clone plus
+// merged register file) and releases the pipeline.
+type CheckpointSpec struct {
+	// Every is the checkpoint period in outer-loop iterations
+	// (<=0 = DefaultCheckpointEvery).
+	Every int64
+	// Header names the target loop's header block. Every thread function
+	// keeps its copy of the header under the original name, so the name
+	// anchors iteration counting to the same loop in every thread — the
+	// main thread may contain other loops (setup code, inner loops) whose
+	// back-edges must not advance the epoch. If any thread has no block
+	// with this name (or Header is empty and some thread is loop-free),
+	// checkpointing is disabled for the run rather than risking a
+	// misaligned barrier.
+	Header string
+	// RegOwner maps each original-function register to the thread that
+	// holds its authoritative value at iteration boundaries — the thread
+	// containing the register's in-loop definition, or thread 0 for
+	// registers only defined outside the loop (core.Transformed.RegOwner
+	// computes this). Its length sizes Checkpoint.Regs.
+	RegOwner []int
+	// OnCommit receives each committed checkpoint while the pipeline is
+	// paused at the boundary. It runs on a stage goroutine and must not
+	// block for long.
+	OnCommit func(Checkpoint)
+}
+
+func (s *CheckpointSpec) every() int64 {
+	if s == nil || s.Every <= 0 {
+		return DefaultCheckpointEvery
+	}
+	return s.Every
+}
+
+// ckptState is the engine's barrier: threads arrive at aligned iteration
+// boundaries and park until the last arrival commits and releases them.
+type ckptState struct {
+	spec  *CheckpointSpec
+	every int64
+
+	mu      sync.Mutex
+	arrived int
+	done    int // threads that exited (any reason) and left the barrier
+	release chan struct{}
+	commits int64
+}
+
+// outerBackEdgeTarget returns fn's outermost loop header: the earliest
+// block (in layout order) that is the target of any backward transfer.
+// Inner-loop headers appear later in layout, so counting transfers to this
+// block counts exactly the outer-loop iterations — robust against threads
+// replicating inner loops asymmetrically. Returns nil for loop-free
+// functions.
+func outerBackEdgeTarget(fn *ir.Function) *ir.Block {
+	idx := make(map[*ir.Block]int, len(fn.Blocks))
+	for bi, b := range fn.Blocks {
+		idx[b] = bi
+	}
+	var best *ir.Block
+	consider := func(from int, tg *ir.Block) {
+		if tg == nil {
+			return
+		}
+		if ti, ok := idx[tg]; ok && ti <= from && (best == nil || ti < idx[best]) {
+			best = tg
+		}
+	}
+	for bi, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpJump:
+				consider(bi, in.Target)
+			case ir.OpBranch:
+				consider(bi, in.Target)
+				consider(bi, in.TargetFalse)
+			}
+		}
+	}
+	return best
+}
+
+// ckptArrive parks thread ti at the boundary after its iter-th completed
+// outer iteration. The last live arriver commits (unless a stage already
+// exited, in which case the boundary is no longer aligned across the
+// pipeline) and releases everyone. Returns when released or canceled.
+func (e *engine) ckptArrive(ti int, iter int64) {
+	c := e.ckpt
+	c.mu.Lock()
+	c.arrived++
+	if c.arrived >= len(e.threads)-c.done {
+		if c.done == 0 {
+			e.commitLocked(ti, iter)
+		}
+		c.arrived = 0
+		ch := c.release
+		c.release = make(chan struct{})
+		c.mu.Unlock()
+		close(ch)
+		return
+	}
+	ch := c.release
+	c.mu.Unlock()
+
+	e.setState(ti, stateBarrier)
+	select {
+	case <-ch:
+		e.setState(ti, stateRunning)
+	case <-e.ctx.Done():
+	}
+}
+
+// ckptLeave removes an exiting thread from the barrier population. If the
+// remaining arrivers were only waiting on this thread, they are released
+// without a commit (a finished stage means the loop is draining and the
+// boundary is no longer pipeline-wide).
+func (e *engine) ckptLeave(ti int) {
+	c := e.ckpt
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.done++
+	if c.arrived > 0 && c.arrived >= len(e.threads)-c.done {
+		c.arrived = 0
+		ch := c.release
+		c.release = make(chan struct{})
+		c.mu.Unlock()
+		close(ch)
+		return
+	}
+	c.mu.Unlock()
+}
+
+// commitLocked builds and publishes the checkpoint; the caller holds
+// ckptState.mu, and every other live thread is parked at the barrier, so
+// reading their register files and cloning shared memory is safe (each
+// waiter's last writes happen-before its barrier lock acquisition).
+func (e *engine) commitLocked(ti int, iter int64) {
+	c := e.ckpt
+	cp := Checkpoint{Iter: iter, Mem: e.mem.Clone(), Regs: make([]int64, len(c.spec.RegOwner))}
+	for r := range cp.Regs {
+		t := c.spec.RegOwner[r]
+		if t < 0 || t >= len(e.threads) {
+			t = 0
+		}
+		if regs := e.threads[t].regs; r < len(regs) {
+			cp.Regs[r] = regs[r]
+		}
+	}
+	c.commits++
+	if e.rec != nil {
+		e.rec.Record(obs.Event{Kind: obs.KCheckpoint, Thread: int32(ti), Queue: -1,
+			When: e.now(), Arg: iter})
+	}
+	if c.spec.OnCommit != nil {
+		c.spec.OnCommit(cp)
+	}
+}

@@ -18,10 +18,14 @@ type BlockInfo struct {
 	PC     int
 	Instr  string
 	// State is "running", "done", "blocked-empty" (consume on an empty
-	// queue) or "blocked-full" (produce on a full queue).
+	// queue), "blocked-full" (produce on a full queue), or
+	// "checkpoint-barrier" (parked at an iteration-boundary barrier).
 	State string
 	// Queue is the queue the thread is blocked on, or -1.
 	Queue int
+	// Iter is the thread's completed outer-loop iteration count at the
+	// moment of the snapshot (-1 when the thread has no loop).
+	Iter int64
 }
 
 func (b BlockInfo) String() string {
@@ -29,10 +33,12 @@ func (b BlockInfo) String() string {
 	case "done":
 		return fmt.Sprintf("thread%d=done", b.Thread)
 	case "running":
-		return fmt.Sprintf("thread%d=running (%s)", b.Thread, b.Fn)
+		return fmt.Sprintf("thread%d=running (%s) iter=%d", b.Thread, b.Fn, b.Iter)
+	case "checkpoint-barrier":
+		return fmt.Sprintf("thread%d=checkpoint-barrier (%s) iter=%d", b.Thread, b.Fn, b.Iter)
 	}
-	return fmt.Sprintf("thread%d=%s q%d at %s/%s[%d] %q",
-		b.Thread, b.State, b.Queue, b.Fn, b.Block, b.PC, b.Instr)
+	return fmt.Sprintf("thread%d=%s q%d at %s/%s[%d] %q iter=%d",
+		b.Thread, b.State, b.Queue, b.Fn, b.Block, b.PC, b.Instr, b.Iter)
 }
 
 // QueueInfo is one synchronization-array queue's occupancy at failure time,
@@ -102,4 +108,69 @@ type StepLimitError struct {
 
 func (e *StepLimitError) Error() string {
 	return fmt.Sprintf("runtime: step limit %d exceeded", e.Limit)
+}
+
+// CanceledError reports that the run was stopped by the caller's context
+// (explicit cancellation or deadline expiry) before completing. It wraps
+// the context error, so errors.Is(err, context.Canceled) and
+// errors.Is(err, context.DeadlineExceeded) both work through it.
+type CanceledError struct {
+	// Err is the context's error: context.Canceled or
+	// context.DeadlineExceeded.
+	Err error
+	// Steps is the total retired instruction count at cancellation.
+	Steps int64
+}
+
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("runtime: run canceled after %d instructions: %v", e.Steps, e.Err)
+}
+
+func (e *CanceledError) Unwrap() error { return e.Err }
+
+// StageFailure reports a panic inside one pipeline stage, converted into a
+// structured error instead of crashing the process: the panic value, the
+// failing goroutine's stack, and a full pipeline snapshot (every thread's
+// block site plus queue occupancy, formatted with the same obs queue table
+// the deadlock report uses).
+type StageFailure struct {
+	// Thread and Fn identify the panicking stage.
+	Thread int
+	Fn     string
+	// Value is the recovered panic value, stringified.
+	Value string
+	// Stack is the panicking goroutine's stack trace.
+	Stack string
+	// Threads and Queues snapshot the whole pipeline at capture time.
+	Threads []BlockInfo
+	Queues  []QueueInfo
+}
+
+func (e *StageFailure) Error() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "runtime: stage panic: thread %d (%s): %s;", e.Thread, e.Fn, e.Value)
+	for _, th := range e.Threads {
+		sb.WriteString(" " + th.String() + ";")
+	}
+	sb.WriteString(" queues:")
+	for _, q := range e.Queues {
+		sb.WriteString(" " + q.String() + ";")
+	}
+	return sb.String()
+}
+
+// QueueFaultError reports an injected queue fault that exhausted the
+// retry budget (transient faults outlasting RetryPolicy.MaxAttempts) or
+// was permanent. It is the fault-budget-exhaustion signal the supervisor
+// turns into a checkpoint resume.
+type QueueFaultError struct {
+	Thread   int
+	Queue    int
+	Class    FaultClass
+	Attempts int
+}
+
+func (e *QueueFaultError) Error() string {
+	return fmt.Sprintf("runtime: thread %d: %v fault on queue %d persists after %d attempt(s)",
+		e.Thread, e.Class, e.Queue, e.Attempts)
 }

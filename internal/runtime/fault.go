@@ -10,9 +10,46 @@ type ThreadStall struct {
 	Delay time.Duration
 }
 
+// FaultClass is the fault taxonomy: transient faults go away after a
+// bounded number of retries (a dropped synchronization-array message, a
+// momentary link error), permanent faults never succeed (a dead queue).
+// The distinction decides the recovery path — retry in place versus
+// abandoning the pipeline for a checkpoint resume.
+type FaultClass uint8
+
+const (
+	// FaultTransient faults succeed once retried enough times.
+	FaultTransient FaultClass = iota
+	// FaultPermanent faults fail every attempt.
+	FaultPermanent
+)
+
+func (c FaultClass) String() string {
+	if c == FaultPermanent {
+		return "permanent"
+	}
+	return "transient"
+}
+
+// QueueFaultSpec injects operation failures on one queue: every Every-th
+// flow op on the queue (per thread) fails, and for transient faults the
+// next Fails attempts of the faulted op fail before it succeeds.
+type QueueFaultSpec struct {
+	Class FaultClass
+	// Every is the firing period in per-thread ops on this queue (<=0
+	// disables the fault).
+	Every int64
+	// Fails is how many consecutive attempts a transient fault rejects
+	// before the operation succeeds (<=0 = 1). Ignored for permanent
+	// faults, which reject every attempt.
+	Fails int
+}
+
 // FaultPlan describes deterministic (seed-derived) faults to inject into a
 // concurrent run. A correct DSWP transformation must produce identical
-// results under any plan: faults change timing, never values.
+// results under any plan: faults change timing, never values — and when a
+// fault is unrecoverable (permanent, or a panic), the failure is a typed
+// error the supervisor recovers from, never a wrong result.
 type FaultPlan struct {
 	// Seed identifies the plan for reproduction in logs.
 	Seed uint64
@@ -27,6 +64,13 @@ type FaultPlan struct {
 	// QueueCap overrides individual queue capacities (e.g. forcing a
 	// single queue down to one slot while the rest keep the default).
 	QueueCap map[int]int
+	// QueueFault injects operation failures on specific queues, retried
+	// under Options.Retry. Transient faults that fit the retry budget
+	// recover in place; everything else surfaces as *QueueFaultError.
+	QueueFault map[int]QueueFaultSpec
+	// ThreadPanic makes a thread panic at its N-th retired instruction
+	// (value N > 0), exercising panic capture (*StageFailure).
+	ThreadPanic map[int]int64
 }
 
 func (p *FaultPlan) delayEvery() int64 {
@@ -81,4 +125,32 @@ func RandomFaults(seed uint64, numThreads, numQueues int) *FaultPlan {
 		}
 	}
 	return plan
+}
+
+// RetryPolicy bounds in-place retry of injected transient queue faults:
+// each failed attempt backs off exponentially (Backoff, doubling up to
+// MaxBackoff) before retrying, up to MaxAttempts retries. The zero value
+// disables retry — any injected queue fault is immediately fatal.
+type RetryPolicy struct {
+	// MaxAttempts is the retry budget per faulted operation (0 = no
+	// retries).
+	MaxAttempts int
+	// Backoff is the first retry's delay (0 = 50µs).
+	Backoff time.Duration
+	// MaxBackoff caps the exponential growth (0 = 2ms).
+	MaxBackoff time.Duration
+}
+
+func (p RetryPolicy) backoff() time.Duration {
+	if p.Backoff > 0 {
+		return p.Backoff
+	}
+	return 50 * time.Microsecond
+}
+
+func (p RetryPolicy) maxBackoff() time.Duration {
+	if p.MaxBackoff > 0 {
+		return p.MaxBackoff
+	}
+	return 2 * time.Millisecond
 }

@@ -20,6 +20,7 @@ package runtime
 import (
 	"context"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -80,6 +81,12 @@ type Options struct {
 	// since run start. nil disables instrumentation; the hot path then
 	// pays one nil check per site and nothing else.
 	Recorder obs.Recorder
+	// Retry bounds in-place retry of injected transient queue faults
+	// (zero value = no retries: any injected queue fault is fatal).
+	Retry RetryPolicy
+	// Checkpoint enables iteration-aligned checkpointing with an epoch
+	// barrier (see CheckpointSpec). nil disables it.
+	Checkpoint *CheckpointSpec
 }
 
 type blockState uint8
@@ -88,6 +95,7 @@ const (
 	stateRunning blockState = iota
 	stateBlockedEmpty
 	stateBlockedFull
+	stateBarrier
 	stateDone
 )
 
@@ -97,6 +105,11 @@ const (
 type threadState struct {
 	res  *interp.ThreadResult
 	regs []int64
+
+	// iters is the thread's completed outer-loop iteration count,
+	// published for failure diagnostics (-1 until the first back-edge of
+	// a loop-free thread never fires).
+	iters atomic.Int64
 
 	// Guarded by engine.mu:
 	state blockState
@@ -115,12 +128,14 @@ type engine struct {
 	cons    [][]int // queue -> consuming thread indices (static)
 	threads []*threadState
 
-	// Instrumentation (rec == nil disables it; blockIdx is then nil too).
 	rec      obs.Recorder
 	start    time.Time
 	blockIdx []map[*ir.Block]int // thread -> block -> layout index
+	outerHdr []*ir.Block         // thread -> outer-loop back-edge target (nil = loop-free)
+	ckpt     *ckptState          // nil when checkpointing is disabled
 
-	ctx      context.Context
+	parent   context.Context // the caller's context (cancellation source)
+	ctx      context.Context // derived: canceled on failure or parent cancel
 	cancel   context.CancelFunc
 	maxSteps int64
 	steps    atomic.Int64
@@ -135,8 +150,20 @@ type engine struct {
 // Deadlocks, stalls, and step-limit overruns come back as *DeadlockError,
 // *TimeoutError, and *StepLimitError respectively.
 func Run(fns []*ir.Function, opts Options) (*interp.Result, error) {
+	return RunCtx(context.Background(), fns, opts)
+}
+
+// RunCtx is Run under a caller-supplied context: cancellation or deadline
+// expiry propagates to every stage goroutine (including blocking queue
+// operations and retry backoffs), and an interrupted run returns a
+// *CanceledError wrapping the context's error — never a partial result
+// passed off as success.
+func RunCtx(parent context.Context, fns []*ir.Function, opts Options) (*interp.Result, error) {
 	if len(fns) == 0 {
 		return nil, fmt.Errorf("runtime: no threads")
+	}
+	if parent == nil {
+		parent = context.Background()
 	}
 	maxSteps := opts.MaxSteps
 	if maxSteps == 0 {
@@ -155,11 +182,11 @@ func Run(fns []*ir.Function, opts Options) (*interp.Result, error) {
 		mem = interp.MemoryFor(fns[0])
 	}
 
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(parent)
 	defer cancel()
 	e := &engine{
 		fns: fns, opts: opts, mem: mem,
-		ctx: ctx, cancel: cancel, maxSteps: maxSteps,
+		parent: parent, ctx: ctx, cancel: cancel, maxSteps: maxSteps,
 		rec: opts.Recorder, start: time.Now(),
 	}
 	if err := e.build(); err != nil {
@@ -188,9 +215,21 @@ func Run(fns []*ir.Function, opts Options) (*interp.Result, error) {
 
 	e.mu.Lock()
 	err := e.failErr
+	allDone := true
+	for _, th := range e.threads {
+		if th.state != stateDone {
+			allDone = false
+		}
+	}
 	e.mu.Unlock()
 	if err != nil {
 		return nil, err
+	}
+	// A canceled parent context makes threads exit silently; without this
+	// guard a partial memory image would be returned as success. A run
+	// whose every stage already finished is complete and stands.
+	if cerr := parent.Err(); cerr != nil && !allDone {
+		return nil, &CanceledError{Err: cerr, Steps: e.steps.Load()}
 	}
 
 	res := &interp.Result{Mem: mem, LiveOuts: map[ir.Reg]int64{}}
@@ -273,14 +312,46 @@ func (e *engine) build() error {
 		}
 		e.threads[i] = th
 	}
-	if e.rec != nil {
-		e.blockIdx = make([]map[*ir.Block]int, len(e.fns))
-		for i, fn := range e.fns {
-			idx := make(map[*ir.Block]int, len(fn.Blocks))
-			for bi, b := range fn.Blocks {
-				idx[b] = bi
+	// blockIdx and the outer-loop header feed back-edge detection for
+	// iteration counting, checkpoint barriers, and instrumentation.
+	e.blockIdx = make([]map[*ir.Block]int, len(e.fns))
+	e.outerHdr = make([]*ir.Block, len(e.fns))
+	for i, fn := range e.fns {
+		idx := make(map[*ir.Block]int, len(fn.Blocks))
+		for bi, b := range fn.Blocks {
+			idx[b] = bi
+		}
+		e.blockIdx[i] = idx
+		e.outerHdr[i] = outerBackEdgeTarget(fn)
+	}
+	if spec := e.opts.Checkpoint; spec != nil && len(spec.RegOwner) > 0 {
+		aligned := true
+		if spec.Header != "" {
+			// Anchor every thread's epoch on its copy of the named loop
+			// header, so threads count iterations of the same loop.
+			for i, fn := range e.fns {
+				var named *ir.Block
+				for _, b := range fn.Blocks {
+					if b.Name == spec.Header {
+						named = b
+						break
+					}
+				}
+				if named == nil {
+					aligned = false
+					break
+				}
+				e.outerHdr[i] = named
 			}
-			e.blockIdx[i] = idx
+		} else {
+			for _, h := range e.outerHdr {
+				if h == nil {
+					aligned = false // a loop-free thread has no boundary to align on
+				}
+			}
+		}
+		if aligned {
+			e.ckpt = &ckptState{spec: spec, every: spec.every(), release: make(chan struct{})}
 		}
 	}
 	return nil
@@ -297,6 +368,56 @@ func (e *engine) fail(err error) {
 		e.cancel()
 	}
 	e.mu.Unlock()
+}
+
+// failPanic converts a recovered stage panic into a *StageFailure with a
+// full pipeline snapshot.
+func (e *engine) failPanic(ti int, v any, stack []byte) {
+	e.mu.Lock()
+	sf := &StageFailure{
+		Thread: ti, Fn: e.fns[ti].Name,
+		Value: fmt.Sprint(v), Stack: string(stack),
+		Threads: e.blockInfoLocked(), Queues: e.queueInfoLocked(),
+	}
+	if e.failErr == nil {
+		e.failErr = sf
+		e.cancel()
+	}
+	e.mu.Unlock()
+}
+
+// retryFault handles one fired queue fault under the retry policy:
+// transient faults within the budget back off exponentially and succeed;
+// budget exhaustion and permanent faults fail the run with a typed
+// *QueueFaultError. Returns whether the operation may proceed.
+func (e *engine) retryFault(ti, q int, fs QueueFaultSpec) bool {
+	fails := fs.Fails
+	if fails <= 0 {
+		fails = 1
+	}
+	backoff := e.opts.Retry.backoff()
+	maxBackoff := e.opts.Retry.maxBackoff()
+	for tries := 1; ; tries++ {
+		if fs.Class == FaultTransient && tries > fails {
+			return true // the retried operation went through
+		}
+		if tries > e.opts.Retry.MaxAttempts {
+			e.fail(&QueueFaultError{Thread: ti, Queue: q, Class: fs.Class, Attempts: tries})
+			return false
+		}
+		if e.rec != nil {
+			e.rec.Record(obs.Event{Kind: obs.KRetry, Thread: int32(ti), Queue: int32(q),
+				When: e.now(), Arg: int64(tries)})
+		}
+		select {
+		case <-time.After(backoff):
+		case <-e.ctx.Done():
+			return false
+		}
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
 }
 
 func (e *engine) setBlocked(ti int, st blockState, block *ir.Block, pc int, in *ir.Instr) {
@@ -317,10 +438,18 @@ func (e *engine) setState(ti int, st blockState) {
 }
 
 // runThread is one pipeline stage: a straight interpreter loop over the
-// thread's function, blocking for real on channel queues.
+// thread's function, blocking for real on channel queues. Panics inside
+// the stage (including injected ones) are captured into a *StageFailure
+// carrying a full pipeline snapshot instead of crashing the process.
 func (e *engine) runThread(ti int) {
-	defer e.wg.Done()
 	th := e.threads[ti]
+	defer func() {
+		if r := recover(); r != nil {
+			e.failPanic(ti, r, debug.Stack())
+		}
+		e.ckptLeave(ti)
+		e.wg.Done()
+	}()
 	fn := e.fns[ti]
 	regs := th.regs
 	block := fn.Entry()
@@ -329,13 +458,26 @@ func (e *engine) runThread(ti int) {
 	faults := e.opts.Faults
 	delayEvery := faults.delayEvery()
 	var stall ThreadStall
+	var panicAt int64
+	var qFault map[int]QueueFaultSpec
+	var qOps map[int]int64
 	if faults != nil {
 		stall = faults.ThreadStall[ti]
+		panicAt = faults.ThreadPanic[ti]
+		if len(faults.QueueFault) > 0 {
+			qFault = faults.QueueFault
+			qOps = make(map[int]int64, len(qFault))
+		}
 	}
 	rec := e.rec
-	var blockIdx map[*ir.Block]int
+	blockIdx := e.blockIdx[ti]
+	outerHdr := e.outerHdr[ti]
+	var iters int64
+	var ckptEvery int64
+	if e.ckpt != nil {
+		ckptEvery = e.ckpt.every
+	}
 	if rec != nil {
-		blockIdx = e.blockIdx[ti]
 		rec.Record(obs.Event{Kind: obs.KStageStart, Thread: int32(ti), Queue: -1, When: e.now()})
 		defer func() {
 			rec.Record(obs.Event{Kind: obs.KStageDone, Thread: int32(ti), Queue: -1,
@@ -385,6 +527,12 @@ func (e *engine) runThread(ti int) {
 				if d := faults.QueueDelay[in.Queue]; d > 0 && flowOps%delayEvery == 0 {
 					time.Sleep(d)
 				}
+				if fs, ok := qFault[in.Queue]; ok && fs.Every > 0 {
+					qOps[in.Queue]++
+					if qOps[in.Queue]%fs.Every == 0 && !e.retryFault(ti, in.Queue, fs) {
+						return
+					}
+				}
 			}
 			var v int64
 			select {
@@ -428,6 +576,12 @@ func (e *engine) runThread(ti int) {
 				flowOps++
 				if d := faults.QueueDelay[in.Queue]; d > 0 && flowOps%delayEvery == 0 {
 					time.Sleep(d)
+				}
+				if fs, ok := qFault[in.Queue]; ok && fs.Every > 0 {
+					qOps[in.Queue]++
+					if qOps[in.Queue]%fs.Every == 0 && !e.retryFault(ti, in.Queue, fs) {
+						return
+					}
 				}
 			}
 			v := int64(0)
@@ -475,6 +629,7 @@ func (e *engine) runThread(ti int) {
 			} else {
 				block, pc = in.TargetFalse, 0
 			}
+			backEdge := blockIdx[block] <= blockIdx[prev]
 			if rec != nil {
 				arg := int64(0)
 				if taken {
@@ -482,16 +637,39 @@ func (e *engine) runThread(ti int) {
 				}
 				now := e.now()
 				rec.Record(obs.Event{Kind: obs.KBranch, Thread: int32(ti), Queue: -1, When: now, Arg: arg})
-				if blockIdx[block] <= blockIdx[prev] {
+				if backEdge {
 					rec.Record(obs.Event{Kind: obs.KIteration, Thread: int32(ti), Queue: -1, When: now})
+				}
+			}
+			if backEdge && block == outerHdr {
+				iters++
+				th.iters.Store(iters)
+				if ckptEvery > 0 && iters%ckptEvery == 0 {
+					flush()
+					e.ckptArrive(ti, iters)
+					if e.ctx.Err() != nil {
+						return
+					}
 				}
 			}
 		case ir.OpJump:
 			ev.Taken = true
 			prev := block
 			block, pc = in.Target, 0
-			if rec != nil && blockIdx[block] <= blockIdx[prev] {
+			backEdge := blockIdx[block] <= blockIdx[prev]
+			if rec != nil && backEdge {
 				rec.Record(obs.Event{Kind: obs.KIteration, Thread: int32(ti), Queue: -1, When: e.now()})
+			}
+			if backEdge && block == outerHdr {
+				iters++
+				th.iters.Store(iters)
+				if ckptEvery > 0 && iters%ckptEvery == 0 {
+					flush()
+					e.ckptArrive(ti, iters)
+					if e.ctx.Err() != nil {
+						return
+					}
+				}
 			}
 		case ir.OpRet:
 			pc++
@@ -529,6 +707,11 @@ func (e *engine) runThread(ti int) {
 		}
 		if trace {
 			th.res.Trace = append(th.res.Trace, ev)
+		}
+		if panicAt > 0 && th.res.Steps == panicAt {
+			flush()
+			panic(fmt.Sprintf("injected fault: thread %d panics at step %d (plan seed %d)",
+				ti, panicAt, faults.Seed))
 		}
 		if stall.Every > 0 && th.res.Steps%stall.Every == 0 {
 			flush()
@@ -572,7 +755,7 @@ func (e *engine) watchdog(done <-chan struct{}) {
 			e.mu.Unlock()
 			return
 		}
-		live, blocked := 0, 0
+		live, blocked, queueBlocked := 0, 0, 0
 		consistent := true
 		for _, th := range e.threads {
 			switch th.state {
@@ -580,14 +763,24 @@ func (e *engine) watchdog(done <-chan struct{}) {
 				continue
 			case stateBlockedEmpty:
 				blocked++
+				queueBlocked++
 				if len(e.queues[th.queue]) != 0 {
 					consistent = false
 				}
 			case stateBlockedFull:
 				blocked++
+				queueBlocked++
 				if len(e.queues[th.queue]) < cap(e.queues[th.queue]) {
 					consistent = false
 				}
+			case stateBarrier:
+				// Parked at the checkpoint barrier. A mix of
+				// barrier-parked and queue-blocked threads is a real
+				// deadlock (the barrier cannot release without the
+				// blocked thread arriving); all-at-barrier is transient
+				// (the last arriver releases synchronously) and never
+				// trips the verdict.
+				blocked++
 			}
 			live++
 		}
@@ -595,7 +788,7 @@ func (e *engine) watchdog(done <-chan struct{}) {
 			e.mu.Unlock()
 			return
 		}
-		if blocked == live && consistent && stale >= stalePolls {
+		if blocked == live && queueBlocked > 0 && consistent && stale >= stalePolls {
 			e.failErr = e.deadlockLocked()
 			e.cancel()
 			e.mu.Unlock()
@@ -615,12 +808,17 @@ func (e *engine) watchdog(done <-chan struct{}) {
 func (e *engine) blockInfoLocked() []BlockInfo {
 	infos := make([]BlockInfo, len(e.threads))
 	for i, th := range e.threads {
-		info := BlockInfo{Thread: i, Fn: e.fns[i].Name, Queue: -1}
+		info := BlockInfo{Thread: i, Fn: e.fns[i].Name, Queue: -1, Iter: th.iters.Load()}
+		if e.outerHdr[i] == nil {
+			info.Iter = -1
+		}
 		switch th.state {
 		case stateRunning:
 			info.State = "running"
 		case stateDone:
 			info.State = "done"
+		case stateBarrier:
+			info.State = "checkpoint-barrier"
 		case stateBlockedEmpty, stateBlockedFull:
 			info.State = "blocked-empty"
 			if th.state == stateBlockedFull {
@@ -636,15 +834,20 @@ func (e *engine) blockInfoLocked() []BlockInfo {
 	return infos
 }
 
-func (e *engine) deadlockLocked() *DeadlockError {
-	derr := &DeadlockError{Threads: e.blockInfoLocked()}
+// queueInfoLocked snapshots every queue's occupancy; callers hold e.mu.
+func (e *engine) queueInfoLocked() []QueueInfo {
+	infos := make([]QueueInfo, 0, len(e.queues))
 	for q, ch := range e.queues {
-		derr.Queues = append(derr.Queues, QueueInfo{
+		infos = append(infos, QueueInfo{
 			Queue: q, Len: len(ch), Cap: cap(ch),
 			Producers: e.prods[q], Consumers: e.cons[q],
 		})
 	}
-	return derr
+	return infos
+}
+
+func (e *engine) deadlockLocked() *DeadlockError {
+	return &DeadlockError{Threads: e.blockInfoLocked(), Queues: e.queueInfoLocked()}
 }
 
 // FallbackReport says whether a concurrent run degraded to sequential

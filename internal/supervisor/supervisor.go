@@ -1,0 +1,213 @@
+// Package supervisor is the fault-tolerant execution layer over the
+// concurrent DSWP pipeline runtime: it runs a transformed loop under a
+// policy (deadline, per-attempt timeout, retry budget, checkpoint period)
+// and guarantees that the caller sees either the bit-identical sequential
+// result or a typed error — never a hang, never a wrong answer.
+//
+// The recovery strategy follows the paper's correctness argument in
+// reverse: because DSWP's in-loop flows are forward and same-iteration,
+// every aligned outer-iteration boundary is a consistent cut (all queues
+// empty, shared memory equal to the sequential image, registers merged per
+// ownership). The runtime commits checkpoints at those cuts; when the
+// concurrent attempt fails — a stage panic, an unrecoverable injected
+// fault, a watchdog deadlock or timeout — the supervisor abandons the
+// pipeline and resumes the *original* untransformed loop sequentially from
+// the last committed checkpoint. Sequential resume trades the pipeline
+// speedup for certainty: it cannot deadlock on queues, cannot lose
+// synchronization, and needs no inter-thread state beyond the checkpoint.
+//
+// Cancellation is cooperative and total: the caller's context threads
+// through every stage goroutine, every blocking queue operation, retry
+// backoff sleeps, checkpoint barriers, and the sequential resume itself.
+package supervisor
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"dswp/internal/interp"
+	"dswp/internal/ir"
+	"dswp/internal/obs"
+	rt "dswp/internal/runtime"
+)
+
+// Pipeline is what the supervisor executes: the DSWP-transformed stage
+// functions plus everything needed to fall back to sequential execution.
+// core.Transformed carries all of it (Threads, Original, RegOwner); the
+// loop header name and initial state come from the workload.
+type Pipeline struct {
+	// Threads are the stage functions (Threads[0] is the main thread).
+	Threads []*ir.Function
+	// Original is the untransformed function, used for sequential resume.
+	Original *ir.Function
+	// LoopHeader names the DSWP'd loop's header block — the checkpoint
+	// barrier anchor and the sequential-resume entry point.
+	LoopHeader string
+	// RegOwner is core.Transformed.RegOwner: which thread owns each
+	// original register at iteration boundaries. nil disables
+	// checkpointing (resume restarts from scratch).
+	RegOwner []int
+	// Mem is the initial memory image (nil = zeroed, sized for Original).
+	Mem *interp.Memory
+	// Regs are thread 0's live-in registers.
+	Regs map[ir.Reg]int64
+}
+
+// Policy bounds a supervised execution.
+type Policy struct {
+	// Deadline bounds the whole supervised execution, concurrent attempt
+	// plus any sequential resume (0 = none). Exceeding it surfaces as an
+	// error satisfying errors.Is(err, context.DeadlineExceeded).
+	Deadline time.Duration
+	// AttemptTimeout bounds the concurrent attempt's wall clock
+	// (0 = runtime default 30s); the watchdog converts overruns into
+	// *runtime.TimeoutError, which the supervisor recovers from.
+	AttemptTimeout time.Duration
+	// Retry bounds in-place retry of transient injected queue faults.
+	Retry rt.RetryPolicy
+	// CheckpointEvery is the checkpoint period in outer-loop iterations
+	// (0 = runtime.DefaultCheckpointEvery).
+	CheckpointEvery int64
+	// DisableResume turns off sequential resume: the concurrent attempt's
+	// failure is returned as-is. Checkpoints are still committed.
+	DisableResume bool
+	// MaxSteps bounds each attempt's retired instructions (0 = default).
+	MaxSteps int64
+	// QueueCap is the synchronization-array queue capacity (0 = default).
+	QueueCap int
+	// Poll is the watchdog sampling interval (0 = default).
+	Poll time.Duration
+	// Faults is the injected fault plan for the concurrent attempt.
+	Faults *rt.FaultPlan
+	// Recorder receives instrumentation events from the concurrent
+	// attempt and the supervisor's own checkpoint/resume markers.
+	Recorder obs.Recorder
+	// RecordTrace enables per-thread event recording on the attempt.
+	RecordTrace bool
+}
+
+// Report describes how a supervised execution went.
+type Report struct {
+	// Failure is the concurrent attempt's typed error (nil = the attempt
+	// completed cleanly and no recovery was needed). It is retained even
+	// when recovery succeeds, so callers can see what they survived.
+	Failure error
+	// Resumed is true when the result came from sequential resume.
+	Resumed bool
+	// ResumeIter is the iteration count of the checkpoint the resume
+	// started from; -1 means no checkpoint was available and the resume
+	// restarted from scratch. Meaningless unless Resumed.
+	ResumeIter int64
+	// Checkpoints counts committed checkpoints.
+	Checkpoints int64
+	// Canceled is true when the run ended because the caller's context
+	// was canceled or the policy deadline expired.
+	Canceled bool
+	// Elapsed is total supervised wall-clock time.
+	Elapsed time.Duration
+}
+
+// Run executes p under policy pol. On success the returned result is
+// bit-identical to sequential execution of p.Original (the chaos harness
+// and FuzzSupervised assert exactly that). On failure the error is typed:
+// *runtime.StageFailure, *runtime.DeadlockError, *runtime.TimeoutError,
+// *runtime.QueueFaultError, *runtime.StepLimitError, *runtime.CanceledError,
+// or a context error from the resume path. The report is never nil.
+func Run(ctx context.Context, p Pipeline, pol Policy) (*interp.Result, *Report, error) {
+	start := time.Now()
+	rep := &Report{ResumeIter: -1}
+	defer func() { rep.Elapsed = time.Since(start) }()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if pol.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, pol.Deadline)
+		defer cancel()
+	}
+
+	// Latch the most recent committed checkpoint. OnCommit runs on a stage
+	// goroutine while every other thread is parked at the barrier; the
+	// mutex orders the latch against the resume path's read below (which
+	// happens after RunCtx returns, so no commit is in flight by then).
+	var (
+		mu   sync.Mutex
+		last *rt.Checkpoint
+	)
+	var spec *rt.CheckpointSpec
+	if len(p.RegOwner) > 0 && p.LoopHeader != "" {
+		spec = &rt.CheckpointSpec{
+			Every:    pol.CheckpointEvery,
+			Header:   p.LoopHeader,
+			RegOwner: p.RegOwner,
+			OnCommit: func(cp rt.Checkpoint) {
+				mu.Lock()
+				last = &cp
+				rep.Checkpoints++
+				mu.Unlock()
+			},
+		}
+	}
+
+	res, err := rt.RunCtx(ctx, p.Threads, rt.Options{
+		QueueCap:    pol.QueueCap,
+		Mem:         p.Mem,
+		Regs:        p.Regs,
+		MaxSteps:    pol.MaxSteps,
+		Timeout:     pol.AttemptTimeout,
+		Poll:        pol.Poll,
+		Faults:      pol.Faults,
+		Retry:       pol.Retry,
+		Checkpoint:  spec,
+		Recorder:    pol.Recorder,
+		RecordTrace: pol.RecordTrace,
+	})
+	if err == nil {
+		return res, rep, nil
+	}
+	rep.Failure = err
+
+	// Cancellation and deadline expiry are not failures to recover from —
+	// the caller asked the work to stop, and a resume would keep running.
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		rep.Canceled = true
+		return nil, rep, err
+	}
+	if pol.DisableResume {
+		return nil, rep, err
+	}
+
+	mu.Lock()
+	cp := last
+	mu.Unlock()
+
+	// Sequential resume: re-execute the original loop from the last
+	// consistent cut (or from scratch when no checkpoint committed). The
+	// resume gets a fresh step budget — the concurrent attempt's spend is
+	// sunk — but stays under the caller's context and policy deadline.
+	rep.Resumed = true
+	iopts := interp.Options{Ctx: ctx, MaxSteps: pol.MaxSteps, Recorder: pol.Recorder}
+	if cp != nil {
+		rep.ResumeIter = cp.Iter
+		iopts.StartBlock = p.LoopHeader
+		iopts.RegFile = cp.Regs
+		iopts.Mem = cp.Mem
+	} else {
+		iopts.Mem = p.Mem
+		iopts.Regs = p.Regs
+	}
+	if pol.Recorder != nil {
+		pol.Recorder.Record(obs.Event{Kind: obs.KResume, Thread: 0, Queue: -1,
+			When: int64(time.Since(start)), Arg: rep.ResumeIter})
+	}
+	rres, rerr := interp.Run(p.Original, iopts)
+	if rerr != nil {
+		if errors.Is(rerr, context.Canceled) || errors.Is(rerr, context.DeadlineExceeded) {
+			rep.Canceled = true
+		}
+		return nil, rep, rerr
+	}
+	return rres, rep, nil
+}

@@ -1,0 +1,232 @@
+// External test package: validate imports supervisor, so the supervisor's
+// own tests must live outside the package to use the validation helpers.
+package supervisor_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"dswp/internal/core"
+	"dswp/internal/interp"
+	"dswp/internal/profile"
+	rt "dswp/internal/runtime"
+	"dswp/internal/supervisor"
+	"dswp/internal/validate"
+	"dswp/internal/workloads"
+)
+
+// prepare transforms a workload and returns the pipeline plus baseline, or
+// (zero, nil) when DSWP does not apply (single-SCC workloads).
+func prepare(t *testing.T, p *workloads.Program, threads int) (supervisor.Pipeline, *interp.Result) {
+	t.Helper()
+	prof, err := profile.Collect(p.F, p.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := core.Apply(p.F, p.LoopHeader, prof, core.Config{
+		NumThreads: threads, SkipProfitability: true,
+	})
+	if err != nil {
+		if errors.Is(err, core.ErrSingleSCC) || errors.Is(err, core.ErrUnprofitable) {
+			return supervisor.Pipeline{}, nil
+		}
+		t.Fatal(err)
+	}
+	base, err := interp.Run(p.F, p.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return supervisor.Pipeline{
+		Threads: tr.Threads, Original: p.F, LoopHeader: p.LoopHeader,
+		RegOwner: tr.RegOwner, Mem: p.Mem, Regs: p.Regs,
+	}, base
+}
+
+// TestCheckpointResumeEquivalenceAllWorkloads is the tentpole acceptance
+// table: for every built-in workload and every induced failure mode, the
+// supervised run must land on the bit-identical sequential state.
+func TestCheckpointResumeEquivalenceAllWorkloads(t *testing.T) {
+	retry := rt.RetryPolicy{MaxAttempts: 4,
+		Backoff: 5 * time.Microsecond, MaxBackoff: 50 * time.Microsecond}
+	modes := []struct {
+		name      string
+		wantRsm   bool // failure mode forces a sequential resume
+		makePlan  func(threads, queues int) *rt.FaultPlan
+		makeRetry rt.RetryPolicy
+	}{
+		{"clean", false, func(_, _ int) *rt.FaultPlan { return nil }, rt.RetryPolicy{}},
+		{"transient-retry", false, func(_, q int) *rt.FaultPlan {
+			return &rt.FaultPlan{Seed: 9, QueueFault: map[int]rt.QueueFaultSpec{
+				0: {Class: rt.FaultTransient, Every: 48, Fails: 2}}}
+		}, retry},
+		{"permanent-resume", true, func(_, q int) *rt.FaultPlan {
+			return &rt.FaultPlan{Seed: 9, QueueFault: map[int]rt.QueueFaultSpec{
+				0: {Class: rt.FaultPermanent, Every: 96}}}
+		}, retry},
+		{"panic-resume", true, func(th, _ int) *rt.FaultPlan {
+			return &rt.FaultPlan{Seed: 9, ThreadPanic: map[int]int64{th - 1: 200}}
+		}, rt.RetryPolicy{}},
+	}
+	for _, p := range validate.AllPrograms() {
+		pipe, base := prepare(t, p, 2)
+		if base == nil {
+			continue
+		}
+		for _, mode := range modes {
+			for _, every := range []int64{4, 32} {
+				t.Run(p.Name+"/"+mode.name, func(t *testing.T) {
+					pol := supervisor.Policy{
+						QueueCap:        2,
+						CheckpointEvery: every,
+						Retry:           mode.makeRetry,
+						Faults:          mode.makePlan(len(pipe.Threads), 1),
+					}
+					res, rep, err := supervisor.Run(context.Background(), pipe, pol)
+					if err != nil {
+						t.Fatalf("every=%d: supervised run failed: %v (attempt failure: %v)",
+							every, err, rep.Failure)
+					}
+					if cerr := validate.Compare("supervised", base, res); cerr != nil {
+						t.Fatalf("every=%d: %v (resumed=%v from iter %d)",
+							every, cerr, rep.Resumed, rep.ResumeIter)
+					}
+					// The fault may simply not fire on short workloads;
+					// when it did, the report must reflect the recovery.
+					if rep.Failure != nil && mode.wantRsm && !rep.Resumed {
+						t.Fatalf("every=%d: failure %v but no resume", every, rep.Failure)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestResumeUsesCheckpoint asserts the resume actually starts from a
+// committed checkpoint (not from scratch) when one is available.
+func TestResumeUsesCheckpoint(t *testing.T) {
+	p := workloads.ListTraversal(500)
+	pipe, base := prepare(t, p, 2)
+	if base == nil {
+		t.Fatal("list traversal must be transformable")
+	}
+	pol := supervisor.Policy{
+		QueueCap:        2,
+		CheckpointEvery: 8,
+		Faults: &rt.FaultPlan{Seed: 5, ThreadPanic: map[int]int64{
+			len(pipe.Threads) - 1: 2000}},
+	}
+	res, rep, err := supervisor.Run(context.Background(), pipe, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failure == nil {
+		t.Fatal("injected panic did not fire; raise the step threshold")
+	}
+	if !rep.Resumed || rep.ResumeIter <= 0 {
+		t.Fatalf("resume did not use a checkpoint: resumed=%v iter=%d checkpoints=%d",
+			rep.Resumed, rep.ResumeIter, rep.Checkpoints)
+	}
+	if rep.ResumeIter%8 != 0 {
+		t.Fatalf("resume iteration %d is not a checkpoint boundary", rep.ResumeIter)
+	}
+	if cerr := validate.Compare("resume", base, res); cerr != nil {
+		t.Fatal(cerr)
+	}
+}
+
+// TestResumeFromScratchWithoutCheckpoints: a failure before the first
+// checkpoint (or with checkpointing disabled) resumes from the start.
+func TestResumeFromScratchWithoutCheckpoints(t *testing.T) {
+	p := workloads.ListTraversal(200)
+	pipe, base := prepare(t, p, 2)
+	if base == nil {
+		t.Fatal("list traversal must be transformable")
+	}
+	pipe.RegOwner = nil // disable checkpointing entirely
+	pol := supervisor.Policy{
+		QueueCap: 2,
+		Faults:   &rt.FaultPlan{Seed: 5, ThreadPanic: map[int]int64{0: 100}},
+	}
+	res, rep, err := supervisor.Run(context.Background(), pipe, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Resumed || rep.ResumeIter != -1 || rep.Checkpoints != 0 {
+		t.Fatalf("want from-scratch resume, got resumed=%v iter=%d checkpoints=%d",
+			rep.Resumed, rep.ResumeIter, rep.Checkpoints)
+	}
+	if cerr := validate.Compare("scratch-resume", base, res); cerr != nil {
+		t.Fatal(cerr)
+	}
+}
+
+func TestDisableResumeSurfacesFailure(t *testing.T) {
+	p := workloads.ListTraversal(200)
+	pipe, base := prepare(t, p, 2)
+	if base == nil {
+		t.Fatal("list traversal must be transformable")
+	}
+	pol := supervisor.Policy{
+		QueueCap:      2,
+		DisableResume: true,
+		Faults:        &rt.FaultPlan{Seed: 5, ThreadPanic: map[int]int64{0: 100}},
+	}
+	_, rep, err := supervisor.Run(context.Background(), pipe, pol)
+	var sf *rt.StageFailure
+	if !errors.As(err, &sf) {
+		t.Fatalf("want *StageFailure surfaced, got %v", err)
+	}
+	if rep.Resumed {
+		t.Fatal("resumed despite DisableResume")
+	}
+}
+
+func TestDeadlinePropagates(t *testing.T) {
+	p := workloads.ListTraversal(2000)
+	pipe, base := prepare(t, p, 2)
+	if base == nil {
+		t.Fatal("list traversal must be transformable")
+	}
+	pol := supervisor.Policy{
+		QueueCap: 1,
+		Deadline: 10 * time.Millisecond,
+		Faults: &rt.FaultPlan{ThreadStall: map[int]rt.ThreadStall{
+			0: {Every: 16, Delay: 2 * time.Millisecond}}},
+	}
+	start := time.Now()
+	_, rep, err := supervisor.Run(context.Background(), pipe, pol)
+	if err == nil {
+		t.Fatal("deadlined run returned nil error")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if !rep.Canceled {
+		t.Fatal("report does not mark the run canceled")
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("deadline took %v to propagate", el)
+	}
+}
+
+func TestCancellationNoResume(t *testing.T) {
+	p := workloads.ListTraversal(2000)
+	pipe, base := prepare(t, p, 2)
+	if base == nil {
+		t.Fatal("list traversal must be transformable")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, rep, err := supervisor.Run(ctx, pipe, supervisor.Policy{QueueCap: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if rep.Resumed {
+		t.Fatal("a canceled run must not resume")
+	}
+	if !rep.Canceled {
+		t.Fatal("report does not mark the run canceled")
+	}
+}

@@ -19,6 +19,7 @@
 package validate
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	stdruntime "runtime"
@@ -29,6 +30,7 @@ import (
 	"dswp/internal/obs"
 	"dswp/internal/profile"
 	rt "dswp/internal/runtime"
+	"dswp/internal/supervisor"
 	"dswp/internal/workloads"
 )
 
@@ -111,6 +113,39 @@ func (r *Report) String() string {
 	return fmt.Sprintf("%s: %d/%d runs FAILED (seed %d): %v", r.Name, len(r.Failures), r.Runs, r.Seed, r.Failures)
 }
 
+// MismatchError reports a differential-validation divergence: a run's
+// final architectural state differs from the sequential baseline. It is a
+// distinct type so callers (dswpsim's exit-code mapping, the chaos
+// harness) can tell "wrong answer" apart from "typed execution failure".
+type MismatchError struct {
+	// Tag identifies the diverging run (engine, capacity, fault seed).
+	Tag string
+	// Word is the first diverging memory word, or -1 for a live-out
+	// divergence.
+	Word int64
+	// Detail is the human-readable divergence description.
+	Detail string
+}
+
+func (e *MismatchError) Error() string { return fmt.Sprintf("%s: %s", e.Tag, e.Detail) }
+
+// Compare asserts got matches the sequential baseline bit-for-bit:
+// identical memory image and identical live-out registers. It returns nil
+// on a match and a *MismatchError otherwise.
+func Compare(tag string, base, got *interp.Result) error {
+	if d := base.Mem.Diff(got.Mem); d != -1 {
+		return &MismatchError{Tag: tag, Word: d,
+			Detail: fmt.Sprintf("memory diverges at word %d (base=%d got=%d)", d, base.Mem.Get(d), got.Mem.Get(d))}
+	}
+	for r, v := range base.LiveOuts {
+		if got.LiveOuts[r] != v {
+			return &MismatchError{Tag: tag, Word: -1,
+				Detail: fmt.Sprintf("live-out %s = %d, want %d", r, got.LiveOuts[r], v)}
+		}
+	}
+	return nil
+}
+
 // sweepRNG is the xorshift64* generator shared with the workload builders.
 type sweepRNG struct{ s uint64 }
 
@@ -165,16 +200,8 @@ func Program(p *workloads.Program, opts Options) *Report {
 			rep.Failures = append(rep.Failures, fmt.Sprintf("%s: %v", tag, err))
 			return
 		}
-		if d := base.Mem.Diff(res.Mem); d != -1 {
-			rep.Failures = append(rep.Failures, fmt.Sprintf("%s: memory diverges at word %d", tag, d))
-			return
-		}
-		for r, v := range base.LiveOuts {
-			if res.LiveOuts[r] != v {
-				rep.Failures = append(rep.Failures,
-					fmt.Sprintf("%s: live-out %s = %d, want %d", tag, r, res.LiveOuts[r], v))
-				return
-			}
+		if cerr := Compare(tag, base, res); cerr != nil {
+			rep.Failures = append(rep.Failures, cerr.Error())
 		}
 	}
 
@@ -241,6 +268,48 @@ func Program(p *workloads.Program, opts Options) *Report {
 			stdruntime.GOMAXPROCS(old)
 		}
 		check(tag, res, err)
+	}
+
+	// (d) Supervised execution with induced failures: transient faults
+	// must recover in place under retry, permanent faults and stage
+	// panics must recover via sequential resume from the last committed
+	// checkpoint — and every path must land on the bit-identical
+	// sequential state. The supervisor's contract (typed error or correct
+	// result, never a hang, never a wrong answer) is asserted here with
+	// the same check as every other engine.
+	pipe := supervisor.Pipeline{
+		Threads: tr.Threads, Original: p.F, LoopHeader: p.LoopHeader,
+		RegOwner: tr.RegOwner, Mem: p.Mem, Regs: p.Regs,
+	}
+	tinyRetry := rt.RetryPolicy{MaxAttempts: 4, Backoff: 5 * time.Microsecond, MaxBackoff: 50 * time.Microsecond}
+	supRuns := []struct {
+		tag string
+		pol supervisor.Policy
+	}{
+		{"supervised clean", supervisor.Policy{
+			CheckpointEvery: 16, MaxSteps: opts.MaxSteps, AttemptTimeout: opts.Timeout}},
+		{"supervised transient-fault", supervisor.Policy{
+			CheckpointEvery: 16, MaxSteps: opts.MaxSteps, AttemptTimeout: opts.Timeout,
+			Retry: tinyRetry,
+			Faults: &rt.FaultPlan{Seed: opts.Seed, QueueFault: map[int]rt.QueueFaultSpec{
+				0: {Class: rt.FaultTransient, Every: 64, Fails: 2}}}}},
+		{"supervised permanent-fault", supervisor.Policy{
+			CheckpointEvery: 16, MaxSteps: opts.MaxSteps, AttemptTimeout: opts.Timeout,
+			Retry: tinyRetry,
+			Faults: &rt.FaultPlan{Seed: opts.Seed, QueueFault: map[int]rt.QueueFaultSpec{
+				0: {Class: rt.FaultPermanent, Every: 128}}}}},
+		{"supervised stage-panic", supervisor.Policy{
+			CheckpointEvery: 16, MaxSteps: opts.MaxSteps, AttemptTimeout: opts.Timeout,
+			Faults: &rt.FaultPlan{Seed: opts.Seed, ThreadPanic: map[int]int64{
+				len(tr.Threads) - 1: 300}}}},
+	}
+	for _, sr := range supRuns {
+		res, srep, err := supervisor.Run(context.Background(), pipe, sr.pol)
+		check(sr.tag, res, err)
+		if err == nil && srep.Resumed {
+			opts.logf("validate %s: %s recovered via resume from iter %d (%d checkpoints)",
+				p.Name, sr.tag, srep.ResumeIter, srep.Checkpoints)
+		}
 	}
 
 	opts.logf("validate %s: %s", p.Name, rep)

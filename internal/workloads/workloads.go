@@ -42,6 +42,47 @@ func (p *Program) Options() interp.Options {
 	return interp.Options{Mem: p.Mem, Regs: p.Regs}
 }
 
+// StateDigest hashes an execution result's architectural state — the full
+// memory image plus thread 0's live-out registers — into one word (FNV-1a
+// over the little-endian word stream). Two results with equal digests are,
+// for fuzzing and chaos-log purposes, the same state; the differential
+// harness still does the exact word-by-word comparison where it matters.
+func StateDigest(res *interp.Result) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	word := func(v int64) {
+		u := uint64(v)
+		for i := 0; i < 8; i++ {
+			h ^= u & 0xff
+			h *= prime
+			u >>= 8
+		}
+	}
+	if res.Mem != nil {
+		for a := int64(0); a < res.Mem.Size(); a++ {
+			word(res.Mem.Get(a))
+		}
+	}
+	// Live-outs in ascending register order, so the digest is stable
+	// across map iteration orders.
+	maxReg := ir.Reg(-1)
+	for r := range res.LiveOuts {
+		if r > maxReg {
+			maxReg = r
+		}
+	}
+	for r := ir.Reg(0); r <= maxReg; r++ {
+		if v, ok := res.LiveOuts[r]; ok {
+			word(int64(r))
+			word(v)
+		}
+	}
+	return h
+}
+
 // Builder is a named Program constructor; each call builds a fresh
 // instance (functions are mutated by transformation passes).
 type Builder struct {
