@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race validate bench clean
+.PHONY: check vet build test race validate bench bench-json clean
 
 # The gate for every change: vet, build, and the full test suite under
 # the race detector (channels carry every cross-thread dependence, so
@@ -26,7 +26,13 @@ validate:
 	$(GO) run ./cmd/dswpsim -workload all -validate -seed $(SEED)
 
 bench:
-	$(GO) test -bench . -benchtime 1x ./internal/exp
+	$(GO) test -bench . -benchtime 1x ./...
+
+# Full measurement run: queue microbenchmarks, end-to-end pipeline
+# timings, and the false-sharing probe, pinned to BENCH_PR4.json (format
+# documented in EXPERIMENTS.md).
+bench-json:
+	$(GO) run ./cmd/dswpbench -benchjson -out BENCH_PR4.json
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,353 @@
+// Command dswpbench measures the PR 4 performance surface — the queue
+// substrate microbenchmarks, the end-to-end pipeline reruns under each
+// substrate, and the metrics-padding contention probe — and reports the
+// headline numbers the repo's EXPERIMENTS.md pins.
+//
+//	dswpbench            # human-readable summary
+//	dswpbench -benchjson # also write BENCH_PR4.json (see -out)
+//	dswpbench -quick     # shorter measurement windows (CI smoke)
+//
+// The JSON schema is documented in EXPERIMENTS.md ("BENCH_PR4.json
+// format"). All timing is wall-clock on whatever machine runs this; the
+// file records GOMAXPROCS and CPU count so readers can judge the numbers
+// (in particular: false-sharing and true-concurrency effects need >1 CPU).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dswp/internal/core"
+	"dswp/internal/obs"
+	"dswp/internal/profile"
+	"dswp/internal/queue"
+	rt "dswp/internal/runtime"
+	"dswp/internal/workloads"
+)
+
+// benchFile is the BENCH_PR4.json shape. Field meanings:
+//
+//   - queue_micro: one entry per (kind, cap, batch); ns_per_value is the
+//     produce+consume cost of moving one int64 through the queue with a
+//     concurrent producer goroutine; values_per_sec = 1e9/ns_per_value.
+//   - ring_speedup_cap32: channel ns / ring ns at cap 32, batch 1 — the
+//     acceptance headline (>= 2.0).
+//   - e2e: one entry per (workload, kind, pack); ns_per_run is one full
+//     pipeline execution under the goroutine runtime.
+//   - ring_speedup_geomean: geomean over workloads of channel/ring
+//     (pack off) end-to-end speedup.
+//   - pack_speedup_geomean: geomean over workloads of ring-unpacked /
+//     ring-packed end-to-end speedup (compiler flow packing's win).
+//   - metrics_padding: ns per atomic increment when a producer/consumer
+//     goroutine pair hammers one QueueMetrics, padded vs the pre-padding
+//     layout. Deltas only appear with >1 CPU.
+type benchFile struct {
+	Schema           string        `json:"schema"`
+	Quick            bool          `json:"quick"`
+	GOMAXPROCS       int           `json:"gomaxprocs"`
+	NumCPU           int           `json:"num_cpu"`
+	QueueMicro       []queueMicro  `json:"queue_micro"`
+	RingSpeedupCap32 float64       `json:"ring_speedup_cap32"`
+	E2E              []e2eRun      `json:"e2e"`
+	RingSpeedupGeo   float64       `json:"ring_speedup_geomean"`
+	PackSpeedupGeo   float64       `json:"pack_speedup_geomean"`
+	MetricsPadding   paddingResult `json:"metrics_padding"`
+}
+
+type queueMicro struct {
+	Kind         string  `json:"kind"`
+	Cap          int     `json:"cap"`
+	Batch        int     `json:"batch"`
+	NsPerValue   float64 `json:"ns_per_value"`
+	ValuesPerSec float64 `json:"values_per_sec"`
+}
+
+type e2eRun struct {
+	Workload string  `json:"workload"`
+	Kind     string  `json:"kind"`
+	Pack     bool    `json:"pack"`
+	NsPerRun float64 `json:"ns_per_run"`
+}
+
+type paddingResult struct {
+	PaddedNsPerOp   float64 `json:"padded_ns_per_op"`
+	UnpaddedNsPerOp float64 `json:"unpadded_ns_per_op"`
+}
+
+func main() {
+	benchjson := flag.Bool("benchjson", false, "write machine-readable results (see -out)")
+	out := flag.String("out", "BENCH_PR4.json", "output path for -benchjson")
+	quick := flag.Bool("quick", false, "shorter measurement windows (CI smoke; numbers are noisier)")
+	flag.Parse()
+
+	micro := 150 * time.Millisecond
+	e2e := 400 * time.Millisecond
+	if *quick {
+		micro = 30 * time.Millisecond
+		e2e = 80 * time.Millisecond
+	}
+
+	res := &benchFile{
+		Schema:     "dswp-bench-pr4/1",
+		Quick:      *quick,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+
+	fmt.Printf("dswpbench: GOMAXPROCS=%d NumCPU=%d quick=%v\n\n", res.GOMAXPROCS, res.NumCPU, *quick)
+
+	runQueueMicro(res, micro)
+	runE2E(res, e2e)
+	runPadding(res, micro)
+
+	fmt.Printf("\nheadlines:\n")
+	fmt.Printf("  ring_speedup_cap32:   %.2fx (acceptance: >= 2.0)\n", res.RingSpeedupCap32)
+	fmt.Printf("  ring_speedup_geomean: %.2fx end-to-end (pack off)\n", res.RingSpeedupGeo)
+	fmt.Printf("  pack_speedup_geomean: %.2fx end-to-end (ring, packed vs unpacked)\n", res.PackSpeedupGeo)
+
+	if *benchjson {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("\nwrote %s\n", *out)
+	}
+}
+
+// measure calls run(n) with growing n until one call's wall time reaches
+// minDur, then returns ns per unit of that final call.
+func measure(minDur time.Duration, run func(n int)) float64 {
+	n := 1 << 10
+	for {
+		start := time.Now()
+		run(n)
+		el := time.Since(start)
+		if el >= minDur {
+			return float64(el.Nanoseconds()) / float64(n)
+		}
+		scale := 16.0
+		if el > 0 {
+			scale = 1.5 * float64(minDur) / float64(el)
+			if scale > 16 {
+				scale = 16
+			}
+			if scale < 1.2 {
+				scale = 1.2
+			}
+		}
+		n = int(float64(n)*scale) + 1
+	}
+}
+
+// moveValues streams n int64s through a fresh queue of the given kind:
+// a producer goroutine feeds, the caller consumes, both preferring batched
+// operations of size batch with the blocking single-value op as fallback.
+func moveValues(kind queue.Kind, capacity, batch, n int) {
+	q := queue.New(kind, capacity)
+	done := make(chan struct{})
+	go func() {
+		if batch == 1 {
+			for i := 0; i < n; i++ {
+				q.Produce(int64(i), done)
+			}
+			return
+		}
+		buf := make([]int64, batch)
+		for i := 0; i < n; {
+			m := batch
+			if n-i < m {
+				m = n - i
+			}
+			vs := buf[:m]
+			for j := range vs {
+				vs[j] = int64(i + j)
+			}
+			sent := 0
+			for sent < m {
+				if k := q.TryProduceN(vs[sent:]); k > 0 {
+					sent += k
+				} else {
+					q.Produce(vs[sent], done)
+					sent++
+				}
+			}
+			i += m
+		}
+	}()
+	if batch == 1 {
+		for i := 0; i < n; i++ {
+			q.Consume(done)
+		}
+		return
+	}
+	buf := make([]int64, batch)
+	for got := 0; got < n; {
+		m := batch
+		if n-got < m {
+			m = n - got
+		}
+		if k := q.TryConsumeN(buf[:m]); k > 0 {
+			got += k
+		} else if _, ok := q.Consume(done); ok {
+			got++
+		}
+	}
+}
+
+func runQueueMicro(res *benchFile, minDur time.Duration) {
+	fmt.Println("queue microbenchmarks (ns per value, producer goroutine -> consumer):")
+	var chanCap32, ringCap32 float64
+	for _, kind := range []queue.Kind{queue.KindChannel, queue.KindRing} {
+		for _, capacity := range []int{1, 8, 32, 256} {
+			for _, batch := range []int{1, 8, 64} {
+				if batch > capacity {
+					continue // batches beyond capacity degenerate to the fallback path
+				}
+				ns := measure(minDur, func(n int) { moveValues(kind, capacity, batch, n) })
+				res.QueueMicro = append(res.QueueMicro, queueMicro{
+					Kind: kind.String(), Cap: capacity, Batch: batch,
+					NsPerValue: ns, ValuesPerSec: 1e9 / ns,
+				})
+				fmt.Printf("  %-7s cap=%-3d batch=%-2d  %8.1f ns/value  %12.0f values/s\n",
+					kind, capacity, batch, ns, 1e9/ns)
+				if capacity == 32 && batch == 1 {
+					if kind == queue.KindChannel {
+						chanCap32 = ns
+					} else {
+						ringCap32 = ns
+					}
+				}
+			}
+		}
+	}
+	if ringCap32 > 0 {
+		res.RingSpeedupCap32 = chanCap32 / ringCap32
+	}
+}
+
+// e2eWorkloads are pipelines where flow packing actually fires (list-of-
+// lists, notably, packs nothing and is deliberately absent).
+var e2eWorkloads = []string{"181.mcf", "256.bzip2", "wc", "list-traversal"}
+
+func buildWorkload(name string) *workloads.Program {
+	if name == "list-traversal" {
+		return workloads.ListTraversal(2000)
+	}
+	for _, wb := range workloads.Table1Suite() {
+		if wb.Name == name {
+			return wb.Build()
+		}
+	}
+	fail(fmt.Errorf("unknown benchmark workload %q", name))
+	return nil
+}
+
+func runE2E(res *benchFile, minDur time.Duration) {
+	fmt.Println("\nend-to-end pipeline runs (goroutine runtime, ns per run):")
+	perRun := map[string]float64{} // "workload/kind/pack"
+	for _, name := range e2eWorkloads {
+		p := buildWorkload(name)
+		prof, err := profile.Collect(p.F, p.Options())
+		if err != nil {
+			fail(err)
+		}
+		for _, pack := range []bool{false, true} {
+			tr, err := core.Apply(p.F, p.LoopHeader, prof, core.Config{
+				NumThreads: 2, SkipProfitability: true, PackFlows: pack,
+			})
+			if err != nil {
+				fail(fmt.Errorf("%s: %w", name, err))
+			}
+			for _, kind := range []queue.Kind{queue.KindChannel, queue.KindRing} {
+				ns := measure(minDur, func(n int) {
+					for i := 0; i < n; i++ {
+						if _, err := rt.Run(tr.Threads, rt.Options{
+							Mem: p.Mem, Regs: p.Regs, Queue: kind,
+						}); err != nil {
+							fail(fmt.Errorf("%s %s pack=%v: %w", name, kind, pack, err))
+						}
+					}
+				})
+				res.E2E = append(res.E2E, e2eRun{Workload: name, Kind: kind.String(), Pack: pack, NsPerRun: ns})
+				perRun[fmt.Sprintf("%s/%s/%v", name, kind, pack)] = ns
+				fmt.Printf("  %-14s %-7s pack=%-5v  %12.0f ns/run\n", name, kind, pack, ns)
+			}
+		}
+	}
+	var ringSp, packSp []float64
+	for _, name := range e2eWorkloads {
+		ringSp = append(ringSp, perRun[name+"/channel/false"]/perRun[name+"/ring/false"])
+		packSp = append(packSp, perRun[name+"/ring/false"]/perRun[name+"/ring/true"])
+	}
+	res.RingSpeedupGeo = geomean(ringSp)
+	res.PackSpeedupGeo = geomean(packSp)
+}
+
+// unpaddedQueueMetrics mirrors obs.QueueMetrics before cache-line padding:
+// the producer- and consumer-written counters adjacent on one line.
+type unpaddedQueueMetrics struct {
+	Produces, Consumes int64
+	rest               [10]int64
+}
+
+func runPadding(res *benchFile, minDur time.Duration) {
+	hammer := func(produces, consumes *int64) func(n int) {
+		return func(n int) {
+			var wg sync.WaitGroup
+			wg.Add(2)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < n/2; i++ {
+					atomic.AddInt64(produces, 1)
+				}
+			}()
+			go func() {
+				defer wg.Done()
+				for i := 0; i < n/2; i++ {
+					atomic.AddInt64(consumes, 1)
+				}
+			}()
+			wg.Wait()
+		}
+	}
+	var padded obs.QueueMetrics
+	var unpadded unpaddedQueueMetrics
+	res.MetricsPadding.PaddedNsPerOp = measure(minDur, hammer(&padded.Produces, &padded.Consumes))
+	res.MetricsPadding.UnpaddedNsPerOp = measure(minDur, hammer(&unpadded.Produces, &unpadded.Consumes))
+	_ = unpadded.rest
+	fmt.Printf("\nmetrics false-sharing probe (ns per atomic increment, producer+consumer pair):\n")
+	fmt.Printf("  padded QueueMetrics:    %6.2f ns/op\n", res.MetricsPadding.PaddedNsPerOp)
+	fmt.Printf("  unpadded (old layout):  %6.2f ns/op\n", res.MetricsPadding.UnpaddedNsPerOp)
+}
+
+func geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dswpbench:", err)
+	os.Exit(1)
+}

@@ -14,6 +14,14 @@
 //
 //	dswpsim -workload 181.mcf -runtime=goroutine -queuecap=1 -faults=42
 //
+// -queue selects the communication substrate for the concurrent engines:
+// buffered Go channels (default) or the lock-free SPSC ring buffer
+// (-queue=ring). -pack enables compiler-side flow packing, coalescing
+// same-point flows between a thread pair into multi-word packets that the
+// runtime retires with one batched queue operation.
+//
+//	dswpsim -workload 181.mcf -runtime=goroutine -queue=ring -pack
+//
 // -validate runs the differential validation harness instead of a timing
 // run: interpreter + concurrent runtime across capacity sweeps and
 // randomized fault/schedule seeds (reproducible via -seed), diffed against
@@ -58,6 +66,7 @@ import (
 	"dswp/internal/ir"
 	"dswp/internal/obs"
 	"dswp/internal/profile"
+	"dswp/internal/queue"
 	rt "dswp/internal/runtime"
 	"dswp/internal/sim"
 	"dswp/internal/supervisor"
@@ -74,6 +83,8 @@ func main() {
 	threads := flag.Int("threads", 2, "thread count (doacross supports >2)")
 	engine := flag.String("runtime", "interp", "functional engine: interp | goroutine")
 	queuecap := flag.Int("queuecap", 0, "functional queue capacity (interp: 0 = unbounded; goroutine: 0 = 32)")
+	queueKind := flag.String("queue", "", "communication substrate: channel | ring (default channel; -chaos default mixes both)")
+	pack := flag.Bool("pack", false, "coalesce same-point flows into multi-word queue packets (compiler-side flow packing)")
 	faults := flag.Uint64("faults", 0, "fault-injection seed for the goroutine runtime (0 = none)")
 	seed := flag.Uint64("seed", 1, "randomization seed for -validate (logged for reproduction)")
 	doValidate := flag.Bool("validate", false, "run the differential validation harness instead of a timing run")
@@ -94,7 +105,7 @@ func main() {
 	}
 
 	if *doChaos {
-		runChaos(*seed, *runs, *budget, *threads)
+		runChaos(*seed, *runs, *budget, *threads, *queueKind)
 		return
 	}
 	if *doValidate {
@@ -112,8 +123,12 @@ func main() {
 	}
 	cfg = cfg.WithCommLatency(*comm).WithQueueSize(*qsize)
 
+	kind, err := queue.ParseKind(*queueKind)
+	if err != nil {
+		fail(err)
+	}
 	runner := &runner{
-		engine: *engine, queueCap: *queuecap, faultSeed: *faults,
+		engine: *engine, queueCap: *queuecap, queueKind: kind, pack: *pack, faultSeed: *faults,
 		instrument: *metrics || *traceOut != "",
 		deadline:   *deadline, retries: *retries, resume: *resume, ckptEvery: *ckptEvery,
 	}
@@ -199,12 +214,24 @@ Exit codes:
 `)
 }
 
-func runChaos(seed uint64, runs int, budget time.Duration, threads int) {
+func runChaos(seed uint64, runs int, budget time.Duration, threads int, kindFlag string) {
 	fmt.Printf("chaos seed %d (reproduce with -chaos -seed %d)\n", seed, seed)
-	rep := chaos.Soak(chaos.Options{
+	opts := chaos.Options{
 		Seed: seed, Runs: runs, Budget: budget, Threads: threads,
 		Logf: func(f string, a ...any) { fmt.Printf(f+"\n", a...) },
-	})
+	}
+	// An unset -queue mixes both substrates across the soak; an explicit
+	// one forces every run onto it (e.g. -queue=ring for the ring soak).
+	if kindFlag == "" || kindFlag == "mix" {
+		opts.Mix = true
+	} else {
+		kind, err := queue.ParseKind(kindFlag)
+		if err != nil {
+			fail(err)
+		}
+		opts.Queue = kind
+	}
+	rep := chaos.Soak(opts)
 	if !rep.OK() {
 		fail(fmt.Errorf("chaos contract violated (seed %d): %s", seed, rep))
 	}
@@ -262,6 +289,8 @@ func findWorkload(name string) (*workloads.Program, error) {
 type runner struct {
 	engine    string
 	queueCap  int
+	queueKind queue.Kind
+	pack      bool
 	faultSeed uint64
 
 	// Supervised-runtime policy knobs (-deadline, -retries, -resume,
@@ -313,7 +342,7 @@ func (r *runner) execute(fns []*ir.Function, p *workloads.Program, numQueues int
 		return res.Threads, nil
 	case "goroutine":
 		ropts := rt.Options{
-			QueueCap: r.queueCap, Regs: p.Regs, Mem: p.Mem, RecordTrace: true,
+			QueueCap: r.queueCap, Queue: r.queueKind, Regs: p.Regs, Mem: p.Mem, RecordTrace: true,
 			Recorder: r.recorder(len(fns), numQueues),
 		}
 		if r.faultSeed != 0 {
@@ -331,6 +360,7 @@ func (r *runner) execute(fns []*ir.Function, p *workloads.Program, numQueues int
 	case "supervised":
 		pol := supervisor.Policy{
 			QueueCap:        r.queueCap,
+			Queue:           r.queueKind,
 			Deadline:        r.deadline,
 			Retry:           rt.RetryPolicy{MaxAttempts: r.retries},
 			CheckpointEvery: r.ckptEvery,
@@ -391,7 +421,7 @@ func buildTraces(p *workloads.Program, scheme string, threads int, r *runner) ([
 		if err != nil {
 			return nil, nil, err
 		}
-		a, err := core.Analyze(p.F, p.LoopHeader, prof, core.Config{NumThreads: threads})
+		a, err := core.Analyze(p.F, p.LoopHeader, prof, core.Config{NumThreads: threads, PackFlows: r.pack})
 		if err != nil {
 			return nil, nil, err
 		}

@@ -38,6 +38,7 @@ import (
 	"dswp/internal/ir"
 	"dswp/internal/obs"
 	"dswp/internal/profile"
+	"dswp/internal/queue"
 	rt "dswp/internal/runtime"
 	"dswp/internal/sim"
 	"dswp/internal/supervisor"
@@ -79,8 +80,13 @@ type (
 	MachineResult = sim.Result
 
 	// RuntimeOptions configures the goroutine-backed concurrent runtime
-	// (queue capacity, watchdog bounds, fault injection).
+	// (queue capacity, watchdog bounds, fault injection, communication
+	// substrate).
 	RuntimeOptions = rt.Options
+	// QueueKind selects the communication substrate backing the
+	// synchronization-array queues (RuntimeOptions.Queue, Policy.Queue):
+	// Go channels or the lock-free SPSC ring buffer.
+	QueueKind = queue.Kind
 	// FaultPlan describes deterministic fault injection for a concurrent
 	// run; ThreadStall, QueueFaultSpec, and FaultClass are its building
 	// blocks; FallbackReport says whether a run degraded to sequential.
@@ -142,6 +148,20 @@ const (
 	FaultTransient = rt.FaultTransient
 	FaultPermanent = rt.FaultPermanent
 )
+
+// Communication substrates for RuntimeOptions.Queue and Policy.Queue.
+const (
+	// QueueChannel backs each queue with a buffered Go channel (default).
+	QueueChannel = queue.KindChannel
+	// QueueRing backs each single-producer/single-consumer queue with the
+	// cache-line-padded lock-free ring buffer; queues with multiple static
+	// endpoints silently keep the channel implementation.
+	QueueRing = queue.KindRing
+)
+
+// ParseQueueKind parses a substrate name ("channel" or "ring"; "" means
+// channel), for CLI flags.
+func ParseQueueKind(s string) (QueueKind, error) { return queue.ParseKind(s) }
 
 // NewBuilder starts a new IR function.
 func NewBuilder(name string) *Builder { return ir.NewBuilder(name) }

@@ -21,6 +21,7 @@ import (
 	"dswp/internal/core"
 	"dswp/internal/interp"
 	"dswp/internal/profile"
+	"dswp/internal/queue"
 	rt "dswp/internal/runtime"
 	"dswp/internal/supervisor"
 	"dswp/internal/validate"
@@ -38,6 +39,12 @@ type Options struct {
 	Budget time.Duration
 	// Threads is the partition width (0 = 2).
 	Threads int
+	// Queue forces one communication substrate for every run
+	// (queue.KindChannel or queue.KindRing). Ignored when Mix is set.
+	Queue queue.Kind
+	// Mix randomizes the substrate per run instead, covering both kinds
+	// in one soak (the harness default from the CLI).
+	Mix bool
 	// Logf, when set, receives progress and failure lines.
 	Logf func(format string, args ...any)
 }
@@ -120,11 +127,14 @@ func (r *chaosRNG) next() uint64 {
 func (r *chaosRNG) intn(n int) int { return int(r.next() % uint64(n)) }
 
 // target is a workload prepared for soaking: transformed threads plus the
-// sequential baseline to diff against.
+// sequential baseline to diff against. Each transformable workload yields
+// two targets, with and without compiler-side flow packing, so the soak
+// exercises packed multi-word queues under every failure mode.
 type target struct {
-	prog *workloads.Program
-	tr   *core.Transformed
-	base *interp.Result
+	prog   *workloads.Program
+	tr     *core.Transformed
+	base   *interp.Result
+	packed bool
 }
 
 // scenario modes. Cancellation composes orthogonally on top of any mode.
@@ -168,6 +178,11 @@ func Soak(opts Options) *Report {
 			continue // single-SCC workloads have nothing to pipeline
 		}
 		targets = append(targets, &target{prog: p, tr: tr, base: base})
+		if trP, err := core.Apply(p.F, p.LoopHeader, prof, core.Config{
+			NumThreads: opts.Threads, SkipProfitability: true, PackFlows: true,
+		}); err == nil {
+			targets = append(targets, &target{prog: p, tr: trP, base: base, packed: true})
+		}
 	}
 	if len(targets) == 0 {
 		rep.NotRecovered = append(rep.NotRecovered, "no transformable workloads")
@@ -200,9 +215,15 @@ func soakOne(rep *Report, targets []*target, i int, subSeed uint64, opts Options
 	cap := caps[rng.intn(len(caps))]
 	every := []int64{4, 16, 64}[rng.intn(3)]
 
+	kind := opts.Queue
+	if opts.Mix {
+		kind = queue.Kind(rng.intn(2))
+	}
+
 	plan := rt.RandomFaults(rng.next(), len(tg.tr.Threads), tg.tr.NumQueues)
 	pol := supervisor.Policy{
 		QueueCap:        cap,
+		Queue:           kind,
 		CheckpointEvery: every,
 		AttemptTimeout:  10 * time.Second,
 		Retry: rt.RetryPolicy{MaxAttempts: 4,
@@ -228,8 +249,12 @@ func soakOne(rep *Report, targets []*target, i int, subSeed uint64, opts Options
 		plan.ThreadPanic = map[int]int64{rng.intn(nt): int64(50 + rng.intn(2000))}
 	}
 
-	tag := fmt.Sprintf("run=%d seed=%d %s/%s cap=%d every=%d cancel=%v",
-		i, opts.Seed, tg.prog.Name, modeNames[mode], cap, every, midCancel)
+	pack := ""
+	if tg.packed {
+		pack = " packed"
+	}
+	tag := fmt.Sprintf("run=%d seed=%d %s%s/%s queue=%s cap=%d every=%d cancel=%v",
+		i, opts.Seed, tg.prog.Name, pack, modeNames[mode], kind, cap, every, midCancel)
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()

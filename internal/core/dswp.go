@@ -31,6 +31,9 @@ type Config struct {
 	SkipProfitability bool
 	// MasterLoop emits the §3 runtime protocol (see SplitOptions).
 	MasterLoop bool
+	// PackFlows coalesces same-point flows between a thread pair into
+	// multi-word packets on shared queues (see SplitOptions.PackFlows).
+	PackFlows bool
 }
 
 func (c Config) withDefaults() Config {
@@ -93,7 +96,7 @@ func (a *LoopAnalysis) Enumerate(max int) []*Partitioning {
 
 // Transform splits the loop under partitioning p.
 func (a *LoopAnalysis) Transform(p *Partitioning) (*Transformed, error) {
-	return SplitOpt(a.G, p, SplitOptions{MasterLoop: a.Config.MasterLoop})
+	return SplitOpt(a.G, p, SplitOptions{MasterLoop: a.Config.MasterLoop, PackFlows: a.Config.PackFlows})
 }
 
 // Apply is the paper's Figure 3 driver: analyze, bail on a single SCC,

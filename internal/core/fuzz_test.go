@@ -12,6 +12,7 @@ import (
 	"dswp/internal/interp"
 	"dswp/internal/ir"
 	"dswp/internal/profile"
+	"dswp/internal/queue"
 	rt "dswp/internal/runtime"
 )
 
@@ -222,7 +223,8 @@ func checkSeed(t *testing.T, seed uint64) {
 		// True-concurrency differential check: the heuristic partition
 		// must also compute the sequential result under the goroutine
 		// runtime — real interleavings, bounded queues (down to one
-		// slot), and seed-derived fault injection — not just under the
+		// slot), both communication substrates, compiler-side flow
+		// packing, and seed-derived fault injection — not just under the
 		// interpreter's friendly round-robin schedule.
 		hp := a.Heuristic()
 		if hp.N < 2 {
@@ -232,26 +234,37 @@ func checkSeed(t *testing.T, seed uint64) {
 		if err != nil {
 			t.Fatalf("seed %d: runtime transform: %v", seed, err)
 		}
-		for _, qcap := range []int{1, 8} {
-			ropts := rt.Options{QueueCap: qcap, Mem: mem, MaxSteps: 50_000_000}
-			if qcap == 1 {
-				ropts.Faults = rt.RandomFaults(seed, len(tr.Threads), tr.NumQueues)
-			}
-			run, err := rt.Run(tr.Threads, ropts)
-			if err != nil {
-				for ti, th := range tr.Threads {
-					t.Logf("thread %d:\n%s", ti, th)
-				}
-				t.Fatalf("seed %d: goroutine runtime cap %d: %v", seed, qcap, err)
-			}
-			if d := base.Mem.Diff(run.Mem); d != -1 {
-				t.Fatalf("seed %d: goroutine runtime cap %d: memory diverges at %d (assign %v)\noriginal:\n%s",
-					seed, qcap, d, hp.Assign, f)
-			}
-			for r, v := range base.LiveOuts {
-				if run.LiveOuts[r] != v {
-					t.Fatalf("seed %d: goroutine runtime cap %d: live-out %s %d != %d",
-						seed, qcap, r, run.LiveOuts[r], v)
+		trPacked, err := SplitOpt(a.G, hp, SplitOptions{PackFlows: true})
+		if err != nil {
+			t.Fatalf("seed %d: packed transform: %v", seed, err)
+		}
+		for _, v := range []struct {
+			tag string
+			tr  *Transformed
+		}{{"", tr}, {"packed ", trPacked}} {
+			for _, qcap := range []int{1, 8} {
+				for _, kind := range []queue.Kind{queue.KindChannel, queue.KindRing} {
+					ropts := rt.Options{QueueCap: qcap, Queue: kind, Mem: mem, MaxSteps: 50_000_000}
+					if qcap == 1 {
+						ropts.Faults = rt.RandomFaults(seed, len(v.tr.Threads), v.tr.NumQueues)
+					}
+					run, err := rt.Run(v.tr.Threads, ropts)
+					if err != nil {
+						for ti, th := range v.tr.Threads {
+							t.Logf("thread %d:\n%s", ti, th)
+						}
+						t.Fatalf("seed %d: %sruntime %s cap %d: %v", seed, v.tag, kind, qcap, err)
+					}
+					if d := base.Mem.Diff(run.Mem); d != -1 {
+						t.Fatalf("seed %d: %sruntime %s cap %d: memory diverges at %d (assign %v)\noriginal:\n%s",
+							seed, v.tag, kind, qcap, d, hp.Assign, f)
+					}
+					for r, v2 := range base.LiveOuts {
+						if run.LiveOuts[r] != v2 {
+							t.Fatalf("seed %d: %sruntime %s cap %d: live-out %s %d != %d",
+								seed, v.tag, kind, qcap, r, run.LiveOuts[r], v2)
+						}
+					}
 				}
 			}
 		}
@@ -318,7 +331,15 @@ func fuzzSupervisedOne(t *testing.T, seed uint64, mode uint8, knob uint16) {
 	if hp.N < 2 {
 		return
 	}
-	tr, err := a.Transform(hp)
+	// Two knob bits pick the interop corner: communication substrate and
+	// compiler-side flow packing, crossed with every fault mode below —
+	// ring queues must survive fault plans, retry, checkpoint barriers,
+	// stage panics, and sequential resume exactly like channels do.
+	kind := queue.KindChannel
+	if knob&1 != 0 {
+		kind = queue.KindRing
+	}
+	tr, err := SplitOpt(a.G, hp, SplitOptions{PackFlows: knob&2 != 0})
 	if err != nil {
 		t.Fatalf("seed %d: transform: %v", seed, err)
 	}
@@ -340,6 +361,7 @@ func fuzzSupervisedOne(t *testing.T, seed uint64, mode uint8, knob uint16) {
 		RegOwner: tr.RegOwner, Mem: mem,
 	}, supervisor.Policy{
 		QueueCap:        1 + int(knob%8),
+		Queue:           kind,
 		CheckpointEvery: int64(1 + knob%16),
 		MaxSteps:        50_000_000,
 		Retry: rt.RetryPolicy{MaxAttempts: 4,

@@ -104,6 +104,13 @@ type SplitOptions struct {
 	// the auxiliary thread once, at program start, and reusing it across
 	// loop invocations.
 	MasterLoop bool
+
+	// PackFlows coalesces flows between the same thread pair at the same
+	// program point into multi-word packets on a shared queue (see
+	// pack.go), letting the runtime amortize one synchronization over
+	// each packet. Packing never changes results — only the queue layout
+	// and communication cost.
+	PackFlows bool
 }
 
 // FlowCounts returns the number of queues per position, Table 1's
@@ -228,6 +235,16 @@ func SplitOpt(g *dep.Graph, p *Partitioning, opts SplitOptions) (*Transformed, e
 		ir.SimplifyCFG(th)
 		if err := th.Verify(); err != nil {
 			return nil, fmt.Errorf("dswp: emitted invalid thread: %w", err)
+		}
+	}
+	if opts.PackFlows {
+		// Packing runs after CFG simplification so runs are measured on
+		// the final block layout, and re-verifies every thread.
+		packFlows(tr)
+		for _, th := range tr.Threads {
+			if err := th.Verify(); err != nil {
+				return nil, fmt.Errorf("dswp: flow packing produced invalid thread: %w", err)
+			}
 		}
 	}
 	return tr, nil

@@ -47,27 +47,53 @@ func BucketLow(i int) int64 {
 // QueueMetrics aggregates one synchronization-array queue's activity.
 // All fields are updated atomically during the run; read them only after
 // the run completes (or accept torn-but-monotonic snapshots).
+//
+// Field order is deliberate: a queue's hot counters are written from two
+// different threads — the producer stage retires Produces/HighWater/
+// StallFull*, the consumer stage retires Consumes/StallEmpty* — so each
+// group gets its own cache line (64 bytes) to keep the two stages from
+// ping-ponging one line between cores on every queue operation
+// (BenchmarkMetricsFalseSharing measures the cost of not doing this).
+// BlockHist is the one intentionally shared field: both sides record
+// blocked durations into it, but only while stalled, when extra coherence
+// traffic is free.
 type QueueMetrics struct {
-	// Produces and Consumes count completed queue operations. On a clean
-	// run of correct DSWP output they are equal: every produced value is
+	// --- producer-stage line ---
+	// Produces counts completed produce operations. On a clean run of
+	// correct DSWP output Produces == Consumes: every produced value is
 	// consumed and the queue drains.
-	Produces, Consumes int64
-	// Cap is the queue capacity (0 = unbounded), from KQueueCap.
-	Cap int64
+	Produces int64
 	// HighWater is the maximum occupancy observed immediately after any
 	// produce.
 	HighWater int64
-	// StallFull/StallEmpty count blocking occurrences;
-	// StallFullTicks/StallEmptyTicks accumulate the blocked durations.
-	StallFull, StallEmpty           int64
-	StallFullTicks, StallEmptyTicks int64
-	// OccHist is a histogram of occupancy-after-produce samples; BlockHist
-	// is a histogram of blocked durations (ticks), full and empty merged.
+	// StallFull counts producer blocking occurrences; StallFullTicks
+	// accumulates the blocked durations.
+	StallFull, StallFullTicks int64
+	// Cap is the queue capacity (0 = unbounded), from KQueueCap. Written
+	// once at startup, so it can ride in the producer line.
+	Cap int64
+	_   [3]int64 // pad producer group to 64 bytes
+
+	// --- consumer-stage line ---
+	// Consumes counts completed consume operations.
+	Consumes int64
+	// StallEmpty counts consumer blocking occurrences; StallEmptyTicks
+	// accumulates the blocked durations.
+	StallEmpty, StallEmptyTicks int64
+	_                           [5]int64 // pad consumer group to 64 bytes
+
+	// OccHist is a histogram of occupancy-after-produce samples
+	// (producer-written); BlockHist is a histogram of blocked durations
+	// (ticks), full and empty merged (written by whichever side stalled).
 	OccHist   Hist
 	BlockHist Hist
 }
 
-// StageMetrics aggregates one pipeline stage (thread).
+// StageMetrics aggregates one pipeline stage (thread). Each stage's
+// metrics are written by exactly one goroutine, but stages sit in one
+// contiguous slice, so the struct is padded to a cache-line multiple
+// (128 bytes) to keep neighbouring stages' hot counters off each other's
+// lines.
 type StageMetrics struct {
 	// Instrs is the stage's retired instruction count, delivered with
 	// KStageDone (engines do not emit per-instruction events).
@@ -84,6 +110,7 @@ type StageMetrics struct {
 	// the first completed produce or consume (used by the fill-time
 	// estimate). Stored as tick+1 so zero means "never observed".
 	StartTick, EndTick, FirstFlowTick int64
+	_                                 [3]int64 // pad to 128 bytes (two cache lines)
 }
 
 // BlockedTicks is the stage's total queue-blocked time.

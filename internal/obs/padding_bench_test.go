@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// unpaddedQueue replicates QueueMetrics' layout before cache-line padding:
+// the producer-written Produces and the consumer-written Consumes are
+// adjacent int64s on one line.
+type unpaddedQueue struct {
+	Produces, Consumes              int64
+	Cap                             int64
+	HighWater                       int64
+	StallFull, StallEmpty           int64
+	StallFullTicks, StallEmptyTicks int64
+	OccHist                         Hist
+	BlockHist                       Hist
+}
+
+// unpaddedStage replicates StageMetrics before padding (13 contiguous
+// int64s, so neighbouring stages in a slice share cache lines).
+type unpaddedStage struct {
+	Instrs                            int64
+	Produces, Consumes                int64
+	Branches, TakenBr                 int64
+	Iterations                        int64
+	StallFull, StallEmpty             int64
+	StallFullTicks, StallEmptyTicks   int64
+	StartTick, EndTick, FirstFlowTick int64
+}
+
+// hammer runs GOMAXPROCS workers, each atomically incrementing the counter
+// the layout under test assigns it — the Metrics.Record hot path reduced
+// to its memory traffic.
+func hammer(b *testing.B, counter func(worker int) *int64) {
+	b.Helper()
+	var next int64
+	b.RunParallel(func(pb *testing.PB) {
+		w := int(atomic.AddInt64(&next, 1) - 1)
+		c := counter(w)
+		for pb.Next() {
+			atomic.AddInt64(c, 1)
+		}
+	})
+}
+
+// BenchmarkMetricsFalseSharing measures the padding's effect on the two
+// contention patterns the runtime produces: a queue's producer and
+// consumer stage hammering the same QueueMetrics from different cores
+// (queue=*), and per-stage counters of adjacent StageMetrics slice
+// elements (stage=*). The unpadded variants are the pre-padding layouts;
+// the delta is pure false sharing.
+func BenchmarkMetricsFalseSharing(b *testing.B) {
+	n := runtime.GOMAXPROCS(0)
+	pairs := (n + 1) / 2
+	b.Run("queue=padded", func(b *testing.B) {
+		qs := make([]QueueMetrics, pairs)
+		hammer(b, func(w int) *int64 {
+			q := &qs[(w/2)%pairs]
+			if w%2 == 0 {
+				return &q.Produces
+			}
+			return &q.Consumes
+		})
+	})
+	b.Run("queue=unpadded", func(b *testing.B) {
+		qs := make([]unpaddedQueue, pairs)
+		hammer(b, func(w int) *int64 {
+			q := &qs[(w/2)%pairs]
+			if w%2 == 0 {
+				return &q.Produces
+			}
+			return &q.Consumes
+		})
+	})
+	b.Run("stage=padded", func(b *testing.B) {
+		ss := make([]StageMetrics, n)
+		hammer(b, func(w int) *int64 { return &ss[w%n].Instrs })
+	})
+	b.Run("stage=unpadded", func(b *testing.B) {
+		ss := make([]unpaddedStage, n)
+		hammer(b, func(w int) *int64 { return &ss[w%n].Instrs })
+	})
+}

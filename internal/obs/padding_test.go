@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestMetricsCacheLinePadding pins the layout contract the comments on
+// QueueMetrics/StageMetrics promise: struct sizes are cache-line (64 byte)
+// multiples, and the consumer-written counter group starts on its own
+// line, disjoint from the producer group.
+func TestMetricsCacheLinePadding(t *testing.T) {
+	const line = 64
+	if s := unsafe.Sizeof(StageMetrics{}); s%line != 0 {
+		t.Errorf("StageMetrics size %d is not a multiple of %d", s, line)
+	}
+	if s := unsafe.Sizeof(QueueMetrics{}); s%line != 0 {
+		t.Errorf("QueueMetrics size %d is not a multiple of %d", s, line)
+	}
+	var q QueueMetrics
+	if off := unsafe.Offsetof(q.Consumes); off%line != 0 {
+		t.Errorf("QueueMetrics.Consumes at offset %d, want a cache-line boundary", off)
+	}
+	if off := unsafe.Offsetof(q.OccHist); off%line != 0 {
+		t.Errorf("QueueMetrics.OccHist at offset %d, want a cache-line boundary", off)
+	}
+	// The producer group must fit entirely before the consumer line.
+	for name, off := range map[string]uintptr{
+		"Produces":       unsafe.Offsetof(q.Produces),
+		"HighWater":      unsafe.Offsetof(q.HighWater),
+		"StallFull":      unsafe.Offsetof(q.StallFull),
+		"StallFullTicks": unsafe.Offsetof(q.StallFullTicks),
+		"Cap":            unsafe.Offsetof(q.Cap),
+	} {
+		if off >= unsafe.Offsetof(q.Consumes) {
+			t.Errorf("producer-group field %s at offset %d overlaps the consumer line", name, off)
+		}
+	}
+}

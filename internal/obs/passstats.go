@@ -48,6 +48,17 @@ type PassStats struct {
 	FlowsByPos               map[string]int
 	Queues                   int
 	RedundantFlowsEliminated int
+
+	// Flow-packing self-report (zero when the pass is disabled).
+	// PackedFlows counts flows coalesced into multi-word packets,
+	// UnpackedFlows the flows left on their own queue, FlowPackets the
+	// packets formed (each packet is one shared queue carrying >= 2
+	// former flows per iteration), and QueuesMerged how many queues the
+	// packing removed.
+	PackedFlows   int
+	UnpackedFlows int
+	FlowPackets   int
+	QueuesMerged  int
 }
 
 // LargestSCC returns the biggest component's instruction count.
@@ -103,5 +114,9 @@ func (s *PassStats) String() string {
 	fmt.Fprintf(&sb, "  flows:      %d over %d queues (kind: %s) (pos: %s)\n",
 		s.Flows, s.Queues, formatKindMap(s.FlowsByKind), formatKindMap(s.FlowsByPos))
 	fmt.Fprintf(&sb, "  redundant:  %d flows eliminated\n", s.RedundantFlowsEliminated)
+	if s.PackedFlows > 0 || s.FlowPackets > 0 {
+		fmt.Fprintf(&sb, "  packing:    %d flows packed into %d packets (%d unpacked, %d queues merged)\n",
+			s.PackedFlows, s.FlowPackets, s.UnpackedFlows, s.QueuesMerged)
+	}
 	return sb.String()
 }

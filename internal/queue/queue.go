@@ -1,0 +1,101 @@
+// Package queue provides the inter-thread communication substrate for the
+// pipeline runtime: the software stand-in for the paper's synchronization
+// array. Two interchangeable implementations exist behind the Queue
+// interface — a Go-channel reference implementation (KindChannel) and a
+// cache-line-padded lock-free single-producer/single-consumer ring buffer
+// (KindRing) with batched produce/consume that amortizes one atomic publish
+// over many values.
+//
+// The contract mirrors what the runtime's hot loop needs:
+//
+//   - Try* operations never block; they are the fast path and report
+//     full/empty so the caller can publish a blocked state to the watchdog
+//     before committing to a blocking wait.
+//   - Produce/Consume block until space/data is available or the done
+//     channel fires (cancellation), parking the goroutine so a stalled
+//     pipeline costs no CPU and the scheduler sees the thread as blocked.
+//   - Len/Cap are safe to call from any goroutine (the watchdog reads
+//     occupancy concurrently with both endpoints); Len is a racy snapshot
+//     but always within [0, Cap].
+//
+// Ring queues are strictly SPSC: exactly one goroutine may produce and one
+// may consume. The runtime enforces this statically (DSWP queues have one
+// producer and one consumer thread by construction) and falls back to the
+// channel implementation for any queue that violates it.
+package queue
+
+import "fmt"
+
+// Kind selects the queue implementation backing a pipeline.
+type Kind int
+
+const (
+	// KindChannel backs each queue with a buffered Go channel. It is the
+	// zero value so existing callers keep the original behavior.
+	KindChannel Kind = iota
+	// KindRing backs each SPSC queue with the lock-free ring buffer.
+	KindRing
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindChannel:
+		return "channel"
+	case KindRing:
+		return "ring"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind converts a -queue flag value to a Kind.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "channel", "chan", "":
+		return KindChannel, nil
+	case "ring":
+		return KindRing, nil
+	default:
+		return 0, fmt.Errorf("unknown queue kind %q (want channel or ring)", s)
+	}
+}
+
+// Queue is the synchronization-array cell abstraction: a bounded FIFO of
+// int64 flow values between one producer thread and one consumer thread.
+type Queue interface {
+	// TryProduce appends v without blocking; false means the queue is full.
+	TryProduce(v int64) bool
+	// TryConsume removes the oldest value without blocking; false means empty.
+	TryConsume() (int64, bool)
+
+	// TryProduceN appends a prefix of vs without blocking and returns how
+	// many values were accepted (0 when full).
+	TryProduceN(vs []int64) int
+	// TryConsumeN fills a prefix of dst without blocking and returns how
+	// many values were read (0 when empty).
+	TryConsumeN(dst []int64) int
+
+	// Produce blocks until v is enqueued or done fires; false means canceled.
+	Produce(v int64, done <-chan struct{}) bool
+	// Consume blocks until a value is dequeued or done fires; ok=false means
+	// canceled.
+	Consume(done <-chan struct{}) (v int64, ok bool)
+
+	// Len is a concurrent-safe snapshot of occupancy, always in [0, Cap].
+	Len() int
+	// Cap is the bounded logical capacity the queue was created with.
+	Cap() int
+}
+
+// New builds a queue of the given kind. Capacity must be >= 1.
+func New(kind Kind, capacity int) Queue {
+	if capacity < 1 {
+		panic(fmt.Sprintf("queue: capacity %d < 1", capacity))
+	}
+	switch kind {
+	case KindRing:
+		return newRing(capacity)
+	default:
+		return newChan(capacity)
+	}
+}

@@ -1,0 +1,281 @@
+package queue
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+var kinds = []Kind{KindChannel, KindRing}
+
+func TestKindString(t *testing.T) {
+	if KindChannel.String() != "channel" || KindRing.String() != "ring" {
+		t.Fatalf("bad Kind strings: %v %v", KindChannel, KindRing)
+	}
+	for _, s := range []string{"channel", "chan", "", "ring"} {
+		if _, err := ParseKind(s); err != nil {
+			t.Fatalf("ParseKind(%q): %v", s, err)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Fatalf("ParseKind(bogus) should fail")
+	}
+}
+
+// TestExactCapacity checks the logical capacity is enforced exactly, even
+// when the ring rounds its buffer up to a power of two.
+func TestExactCapacity(t *testing.T) {
+	for _, kind := range kinds {
+		for _, capacity := range []int{1, 2, 3, 5, 8, 13, 32} {
+			q := New(kind, capacity)
+			if q.Cap() != capacity {
+				t.Fatalf("%v cap %d: Cap()=%d", kind, capacity, q.Cap())
+			}
+			for i := 0; i < capacity; i++ {
+				if !q.TryProduce(int64(i)) {
+					t.Fatalf("%v cap %d: TryProduce %d failed below capacity", kind, capacity, i)
+				}
+			}
+			if q.TryProduce(99) {
+				t.Fatalf("%v cap %d: TryProduce succeeded at capacity", kind, capacity)
+			}
+			if q.Len() != capacity {
+				t.Fatalf("%v cap %d: Len()=%d at full", kind, capacity, q.Len())
+			}
+			for i := 0; i < capacity; i++ {
+				v, ok := q.TryConsume()
+				if !ok || v != int64(i) {
+					t.Fatalf("%v cap %d: TryConsume got (%d,%v), want (%d,true)", kind, capacity, v, ok, i)
+				}
+			}
+			if _, ok := q.TryConsume(); ok {
+				t.Fatalf("%v cap %d: TryConsume succeeded on empty queue", kind, capacity)
+			}
+			if q.Len() != 0 {
+				t.Fatalf("%v cap %d: Len()=%d when empty", kind, capacity, q.Len())
+			}
+		}
+	}
+}
+
+// TestFIFOConcurrent is the core SPSC property test: one producer, one
+// consumer, every value arrives exactly once and in order (no loss, no
+// duplication, no reordering). Run with -race.
+func TestFIFOConcurrent(t *testing.T) {
+	const total = 200000
+	for _, kind := range kinds {
+		for _, capacity := range []int{1, 3, 32, 256} {
+			q := New(kind, capacity)
+			done := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < total; i++ {
+					if !q.Produce(int64(i), done) {
+						t.Errorf("%v cap %d: Produce canceled unexpectedly", kind, capacity)
+						return
+					}
+				}
+			}()
+			for i := 0; i < total; i++ {
+				v, ok := q.Consume(done)
+				if !ok {
+					t.Fatalf("%v cap %d: Consume canceled unexpectedly", kind, capacity)
+				}
+				if v != int64(i) {
+					t.Fatalf("%v cap %d: value %d out of order (want %d)", kind, capacity, v, i)
+				}
+			}
+			wg.Wait()
+			if q.Len() != 0 {
+				t.Fatalf("%v cap %d: %d values left over", kind, capacity, q.Len())
+			}
+		}
+	}
+}
+
+// TestBatchedConcurrent drives the queue with randomized batch sizes on both
+// endpoints (mixing Try single ops, TryN batches, and blocking ops) and
+// checks the consumed sequence is exactly 0..total-1.
+func TestBatchedConcurrent(t *testing.T) {
+	const total = 100000
+	for _, kind := range kinds {
+		for _, capacity := range []int{1, 8, 32} {
+			q := New(kind, capacity)
+			done := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(capacity) + 1))
+				next := int64(0)
+				buf := make([]int64, 64)
+				for next < total {
+					n := rng.Intn(len(buf)) + 1
+					if int64(n) > total-next {
+						n = int(total - next)
+					}
+					for i := 0; i < n; i++ {
+						buf[i] = next + int64(i)
+					}
+					sent := q.TryProduceN(buf[:n])
+					for _, v := range buf[sent:n] { // blocking remainder
+						if !q.Produce(v, done) {
+							t.Errorf("Produce canceled")
+							return
+						}
+					}
+					next += int64(n)
+				}
+			}()
+			rng := rand.New(rand.NewSource(int64(capacity) + 2))
+			buf := make([]int64, 64)
+			next := int64(0)
+			for next < total {
+				n := rng.Intn(len(buf)) + 1
+				got := q.TryConsumeN(buf[:n])
+				if got == 0 {
+					v, ok := q.Consume(done)
+					if !ok {
+						t.Fatalf("Consume canceled")
+					}
+					buf[0], got = v, 1
+				}
+				for i := 0; i < got; i++ {
+					if buf[i] != next {
+						t.Fatalf("%v cap %d: got %d, want %d", kind, capacity, buf[i], next)
+					}
+					next++
+				}
+			}
+			wg.Wait()
+		}
+	}
+}
+
+// TestBlockingCancel checks both blocking ops honor the done channel: a
+// producer stuck on a full queue and a consumer stuck on an empty one must
+// return promptly once done fires, past the spin budget and into the park.
+func TestBlockingCancel(t *testing.T) {
+	for _, kind := range kinds {
+		q := New(kind, 1)
+		if !q.TryProduce(7) {
+			t.Fatal("seed produce failed")
+		}
+		done := make(chan struct{})
+		res := make(chan bool, 2)
+		go func() { res <- q.Produce(8, done) }()
+
+		empty := New(kind, 1)
+		go func() { _, ok := empty.Consume(done); res <- ok }()
+
+		time.Sleep(20 * time.Millisecond) // let both pass the spin phase and park
+		close(done)
+		for i := 0; i < 2; i++ {
+			select {
+			case ok := <-res:
+				if ok {
+					t.Fatalf("%v: blocking op succeeded after cancel", kind)
+				}
+			case <-time.After(2 * time.Second):
+				t.Fatalf("%v: blocking op did not observe cancellation", kind)
+			}
+		}
+	}
+}
+
+// TestParkWake forces the park path on both endpoints with a slow peer: the
+// waiter must be woken by the opposite endpoint's publish, not by polling.
+func TestParkWake(t *testing.T) {
+	for _, kind := range kinds {
+		q := New(kind, 1)
+		done := make(chan struct{})
+		defer close(done)
+
+		// Consumer parks on empty queue; producer publishes after a delay.
+		got := make(chan int64, 1)
+		go func() {
+			v, ok := q.Consume(done)
+			if ok {
+				got <- v
+			}
+		}()
+		time.Sleep(10 * time.Millisecond)
+		if !q.Produce(42, done) {
+			t.Fatalf("%v: produce failed", kind)
+		}
+		select {
+		case v := <-got:
+			if v != 42 {
+				t.Fatalf("%v: woke with %d, want 42", kind, v)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("%v: parked consumer never woke", kind)
+		}
+
+		// Producer parks on full queue; consumer drains after a delay.
+		if !q.TryProduce(1) {
+			t.Fatalf("%v: fill failed", kind)
+		}
+		sent := make(chan struct{})
+		go func() {
+			if q.Produce(2, done) {
+				close(sent)
+			}
+		}()
+		time.Sleep(10 * time.Millisecond)
+		if v, ok := q.Consume(done); !ok || v != 1 {
+			t.Fatalf("%v: drain got (%d,%v)", kind, v, ok)
+		}
+		select {
+		case <-sent:
+		case <-time.After(2 * time.Second):
+			t.Fatalf("%v: parked producer never woke", kind)
+		}
+		if v, ok := q.Consume(done); !ok || v != 2 {
+			t.Fatalf("%v: got (%d,%v), want (2,true)", kind, v, ok)
+		}
+	}
+}
+
+// TestLenBounded samples Len from a third goroutine while the endpoints run
+// flat out: every snapshot must stay within [0, Cap].
+func TestLenBounded(t *testing.T) {
+	const total = 50000
+	for _, kind := range kinds {
+		q := New(kind, 5)
+		done := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < total; i++ {
+				q.Produce(int64(i), done)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < total; i++ {
+				q.Consume(done)
+			}
+		}()
+		for i := 0; i < 10000; i++ {
+			if n := q.Len(); n < 0 || n > q.Cap() {
+				t.Fatalf("%v: Len()=%d outside [0,%d]", kind, n, q.Cap())
+			}
+		}
+		wg.Wait()
+	}
+}
+
+// TestNewPanicsOnBadCap pins the capacity precondition.
+func TestNewPanicsOnBadCap(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(KindRing, 0) did not panic")
+		}
+	}()
+	New(KindRing, 0)
+}

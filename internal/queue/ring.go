@@ -1,0 +1,243 @@
+package queue
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// ring is a lock-free single-producer/single-consumer bounded FIFO, the
+// software analogue of one synchronization-array cell. Indices are
+// monotonically increasing uint64s over a power-of-two buffer; the logical
+// capacity is the exact value requested (which may be smaller than the
+// buffer), so watchdog full/empty occupancy checks and fault-plan capacity
+// overrides see the same bound as the channel implementation.
+//
+// Memory layout groups fields by writer so the producer's hot line (tail +
+// its cached head snapshot) and the consumer's hot line (head + cached tail)
+// never false-share. All cross-thread accesses to head/tail go through
+// sync/atomic, which both the memory model and the race detector treat as
+// synchronization; slot reads/writes are plain, ordered by the index
+// publish.
+//
+// Blocking ops use a bounded spin → runtime.Gosched → park ladder. Parking
+// is a Dekker-style handshake: the waiter drains any stale wake token, arms
+// its waiting flag, re-checks the queue, and only then blocks on a cap-1
+// token channel; the opposite endpoint publishes its index first and then
+// checks the flag. Go atomics are sequentially consistent, so one side
+// always observes the other and wakeups cannot be lost. Spurious tokens
+// merely cause one extra loop iteration.
+type ring struct {
+	buf      []int64
+	mask     uint64
+	capacity uint64
+	_        [64]byte
+
+	// Producer-owned line.
+	tail       atomic.Uint64 // next slot to write; published after the slot store
+	cachedHead uint64        // producer's last-seen head, refreshed only when apparently full
+	_          [48]byte
+
+	// Consumer-owned line.
+	head       atomic.Uint64 // next slot to read; published after the slot load
+	cachedTail uint64        // consumer's last-seen tail, refreshed only when apparently empty
+	_          [48]byte
+
+	// Park/wake state; written only on the slow path, read-mostly otherwise.
+	prodWait atomic.Uint32 // producer is parked (or about to park) waiting for space
+	consWait atomic.Uint32 // consumer is parked (or about to park) waiting for data
+	prodWake chan struct{}
+	consWake chan struct{}
+}
+
+// spinTries bounds the busy-wait phase of a blocking op before parking.
+// Gosched is interleaved so a same-P peer can run; past the budget the
+// goroutine parks on the wake channel and costs nothing until notified.
+// On a uniprocessor spinning is pure waste — the opposite endpoint cannot
+// make progress while we burn the CPU — so the spin phase collapses to a
+// single yielding try, same as the Go runtime's own uniprocessor mutexes.
+var spinTries = func() int {
+	if runtime.NumCPU() == 1 {
+		return 8
+	}
+	return 64
+}()
+
+func newRing(capacity int) *ring {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &ring{
+		buf:      make([]int64, n),
+		mask:     uint64(n - 1),
+		capacity: uint64(capacity),
+		prodWake: make(chan struct{}, 1),
+		consWake: make(chan struct{}, 1),
+	}
+}
+
+func (q *ring) TryProduce(v int64) bool {
+	t := q.tail.Load()
+	if t-q.cachedHead >= q.capacity {
+		q.cachedHead = q.head.Load()
+		if t-q.cachedHead >= q.capacity {
+			return false
+		}
+	}
+	q.buf[t&q.mask] = v
+	q.tail.Store(t + 1)
+	q.wakeConsumer()
+	return true
+}
+
+func (q *ring) TryConsume() (int64, bool) {
+	h := q.head.Load()
+	if h == q.cachedTail {
+		q.cachedTail = q.tail.Load()
+		if h == q.cachedTail {
+			return 0, false
+		}
+	}
+	v := q.buf[h&q.mask]
+	q.head.Store(h + 1)
+	q.wakeProducer()
+	return v, true
+}
+
+// TryProduceN copies as many values as fit and publishes them with a single
+// tail store — the batched fast path that amortizes the atomic and the
+// consumer-side cache miss over the whole packet.
+func (q *ring) TryProduceN(vs []int64) int {
+	t := q.tail.Load()
+	free := q.capacity - (t - q.cachedHead)
+	if free < uint64(len(vs)) {
+		q.cachedHead = q.head.Load()
+		free = q.capacity - (t - q.cachedHead)
+	}
+	n := uint64(len(vs))
+	if n > free {
+		n = free
+	}
+	if n == 0 {
+		return 0
+	}
+	for i := uint64(0); i < n; i++ {
+		q.buf[(t+i)&q.mask] = vs[i]
+	}
+	q.tail.Store(t + n)
+	q.wakeConsumer()
+	return int(n)
+}
+
+func (q *ring) TryConsumeN(dst []int64) int {
+	h := q.head.Load()
+	avail := q.cachedTail - h
+	if avail < uint64(len(dst)) {
+		q.cachedTail = q.tail.Load()
+		avail = q.cachedTail - h
+	}
+	n := uint64(len(dst))
+	if n > avail {
+		n = avail
+	}
+	if n == 0 {
+		return 0
+	}
+	for i := uint64(0); i < n; i++ {
+		dst[i] = q.buf[(h+i)&q.mask]
+	}
+	q.head.Store(h + n)
+	q.wakeProducer()
+	return int(n)
+}
+
+func (q *ring) Produce(v int64, done <-chan struct{}) bool {
+	for i := 0; i < spinTries; i++ {
+		if q.TryProduce(v) {
+			return true
+		}
+		if i&7 == 7 {
+			runtime.Gosched()
+		}
+	}
+	for {
+		select { // drain a stale token so the park below cannot fire early
+		case <-q.prodWake:
+		default:
+		}
+		q.prodWait.Store(1)
+		if q.TryProduce(v) { // re-check after arming: closes the sleep/wake race
+			q.prodWait.Store(0)
+			return true
+		}
+		select {
+		case <-q.prodWake:
+		case <-done:
+			q.prodWait.Store(0)
+			return false
+		}
+	}
+}
+
+func (q *ring) Consume(done <-chan struct{}) (int64, bool) {
+	for i := 0; i < spinTries; i++ {
+		if v, ok := q.TryConsume(); ok {
+			return v, true
+		}
+		if i&7 == 7 {
+			runtime.Gosched()
+		}
+	}
+	for {
+		select {
+		case <-q.consWake:
+		default:
+		}
+		q.consWait.Store(1)
+		if v, ok := q.TryConsume(); ok {
+			q.consWait.Store(0)
+			return v, true
+		}
+		select {
+		case <-q.consWake:
+		case <-done:
+			q.consWait.Store(0)
+			return 0, false
+		}
+	}
+}
+
+func (q *ring) wakeConsumer() {
+	if q.consWait.Load() != 0 {
+		q.consWait.Store(0)
+		select {
+		case q.consWake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+func (q *ring) wakeProducer() {
+	if q.prodWait.Load() != 0 {
+		q.prodWait.Store(0)
+		select {
+		case q.prodWake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Len is a racy but bounded snapshot: head is loaded before tail, so the
+// difference can only overshoot (never go negative), and it is clamped to
+// the logical capacity so watchdog occupancy-consistency checks stay sound.
+func (q *ring) Len() int {
+	h := q.head.Load()
+	t := q.tail.Load()
+	n := t - h
+	if n > q.capacity {
+		n = q.capacity
+	}
+	return int(n)
+}
+
+func (q *ring) Cap() int { return int(q.capacity) }

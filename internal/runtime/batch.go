@@ -1,0 +1,146 @@
+package runtime
+
+import (
+	"dswp/internal/interp"
+	"dswp/internal/ir"
+	"dswp/internal/obs"
+)
+
+// buildSpans precomputes, per thread and block, the runs of consecutive
+// same-op same-queue flow instructions — the packets the flow-packing pass
+// emits. At runtime a run of length n retires through one batched
+// TryProduceN/TryConsumeN instead of n independent queue operations, which
+// is where the ring substrate's single-atomic-publish batching pays off.
+// Blocks with no run of length >= 2 get a nil table so unpacked programs
+// pay nothing.
+func (e *engine) buildSpans() {
+	e.spans = make([][][]int16, len(e.fns))
+	for ti, fn := range e.fns {
+		perBlock := make([][]int16, len(fn.Blocks))
+		for bi, b := range fn.Blocks {
+			var tab []int16
+			for i := 0; i < len(b.Instrs); {
+				in := b.Instrs[i]
+				if in.Op != ir.OpProduce && in.Op != ir.OpConsume {
+					i++
+					continue
+				}
+				j := i + 1
+				for j < len(b.Instrs) && b.Instrs[j].Op == in.Op && b.Instrs[j].Queue == in.Queue {
+					j++
+				}
+				if n := j - i; n >= 2 {
+					if tab == nil {
+						tab = make([]int16, len(b.Instrs))
+					}
+					tab[i] = int16(n)
+					if n > e.maxSpan {
+						e.maxSpan = n
+					}
+				}
+				i = j
+			}
+			perBlock[bi] = tab
+		}
+		e.spans[ti] = perBlock
+	}
+}
+
+// runSpan retires the packed run of n same-queue flow instructions starting
+// at block.Instrs[pc]: one batched queue op for whatever fits, then a
+// per-value blocking tail (with watchdog-visible blocked state and stall
+// events) for the remainder. Per-instruction bookkeeping — counts, steps,
+// trace events, per-value flow events — is identical to the scalar path, so
+// observability invariants (produces == consumes per queue) hold; only the
+// occupancy argument of batched flow events is a post-batch snapshot.
+// Returns false when the run was canceled mid-span.
+func (e *engine) runSpan(ti int, block *ir.Block, pc, n int, scratch []int64, flush func()) bool {
+	th := e.threads[ti]
+	regs := th.regs
+	rec := e.rec
+	in0 := block.Instrs[pc]
+	q := e.queues[in0.Queue]
+	qid := int32(in0.Queue)
+
+	if in0.Op == ir.OpProduce {
+		for i := 0; i < n; i++ {
+			in := block.Instrs[pc+i]
+			v := int64(0)
+			if len(in.Src) > 0 {
+				v = regs[in.Src[0]]
+			}
+			scratch[i] = v
+		}
+		k := q.TryProduceN(scratch[:n])
+		if rec != nil && k > 0 {
+			now, occ := e.now(), int64(q.Len())
+			for i := 0; i < k; i++ {
+				rec.Record(obs.Event{Kind: obs.KProduce, Thread: int32(ti), Queue: qid, When: now, Arg: occ})
+			}
+		}
+		for i := k; i < n; i++ {
+			flush()
+			e.setBlocked(ti, stateBlockedFull, block, pc+i, block.Instrs[pc+i])
+			var t0 int64
+			if rec != nil {
+				t0 = e.now()
+				rec.Record(obs.Event{Kind: obs.KStallFullBegin, Thread: int32(ti), Queue: qid, When: t0})
+			}
+			if !q.Produce(scratch[i], e.ctx.Done()) {
+				return false
+			}
+			e.setState(ti, stateRunning)
+			if rec != nil {
+				t1 := e.now()
+				rec.Record(obs.Event{Kind: obs.KStallFullEnd, Thread: int32(ti), Queue: qid, When: t1, Arg: t1 - t0})
+				rec.Record(obs.Event{Kind: obs.KProduce, Thread: int32(ti), Queue: qid, When: t1, Arg: int64(q.Len())})
+			}
+		}
+	} else {
+		k := q.TryConsumeN(scratch[:n])
+		if rec != nil && k > 0 {
+			now, occ := e.now(), int64(q.Len())
+			for i := 0; i < k; i++ {
+				rec.Record(obs.Event{Kind: obs.KConsume, Thread: int32(ti), Queue: qid, When: now, Arg: occ})
+			}
+		}
+		for i := 0; i < k; i++ {
+			if d := block.Instrs[pc+i].Dst; d != ir.NoReg {
+				regs[d] = scratch[i]
+			}
+		}
+		for i := k; i < n; i++ {
+			flush()
+			e.setBlocked(ti, stateBlockedEmpty, block, pc+i, block.Instrs[pc+i])
+			var t0 int64
+			if rec != nil {
+				t0 = e.now()
+				rec.Record(obs.Event{Kind: obs.KStallEmptyBegin, Thread: int32(ti), Queue: qid, When: t0})
+			}
+			v, ok := q.Consume(e.ctx.Done())
+			if !ok {
+				return false
+			}
+			e.setState(ti, stateRunning)
+			if rec != nil {
+				t1 := e.now()
+				rec.Record(obs.Event{Kind: obs.KStallEmptyEnd, Thread: int32(ti), Queue: qid, When: t1, Arg: t1 - t0})
+				rec.Record(obs.Event{Kind: obs.KConsume, Thread: int32(ti), Queue: qid, When: t1, Arg: int64(q.Len())})
+			}
+			if d := block.Instrs[pc+i].Dst; d != ir.NoReg {
+				regs[d] = v
+			}
+		}
+	}
+
+	trace := e.opts.RecordTrace
+	for i := 0; i < n; i++ {
+		in := block.Instrs[pc+i]
+		th.res.Counts[in.ID]++
+		th.res.Steps++
+		if trace {
+			th.res.Trace = append(th.res.Trace, interp.Event{In: in})
+		}
+	}
+	return true
+}

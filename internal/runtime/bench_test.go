@@ -7,6 +7,7 @@ import (
 	"dswp/internal/ir"
 	"dswp/internal/obs"
 	"dswp/internal/profile"
+	"dswp/internal/queue"
 	"dswp/internal/workloads"
 )
 
@@ -62,4 +63,39 @@ func BenchmarkRuntimeInstrumented(b *testing.B) {
 		tr := obs.NewTrace(threads, 0)
 		return obs.Multi(m, tr)
 	})
+}
+
+// BenchmarkRuntimeQueueKind is the end-to-end Fig. 6a-style rerun on the
+// real goroutine runtime: the same transformed pipeline executed under each
+// communication substrate, with and without compiler-side flow packing.
+// ns/op is whole-pipeline wall time, so the channel/ring delta here is the
+// communication cost the paper's synchronization array is meant to remove.
+func BenchmarkRuntimeQueueKind(b *testing.B) {
+	for _, packed := range []bool{false, true} {
+		p := workloads.MCF()
+		prof, err := profile.Collect(p.F, p.Options())
+		if err != nil {
+			b.Fatalf("profile: %v", err)
+		}
+		tr, err := core.Apply(p.F, p.LoopHeader, prof, core.Config{
+			NumThreads: 2, SkipProfitability: true, PackFlows: packed,
+		})
+		if err != nil {
+			b.Fatalf("transform: %v", err)
+		}
+		for _, kind := range []queue.Kind{queue.KindChannel, queue.KindRing} {
+			name := "kind=" + kind.String() + "/pack=off"
+			if packed {
+				name = "kind=" + kind.String() + "/pack=on"
+			}
+			b.Run(name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := Run(tr.Threads, Options{Mem: p.Mem, Regs: p.Regs, Queue: kind}); err != nil {
+						b.Fatalf("run: %v", err)
+					}
+				}
+			})
+		}
+	}
 }

@@ -1,13 +1,17 @@
 // Package runtime executes DSWP-transformed thread functions under true
 // concurrency: each partition thread is a real goroutine and every
-// synchronization-array queue is a bounded Go channel. Where the
-// deterministic round-robin interpreter (internal/interp) is the friendly
-// reference schedule, this runtime is the adversarial one — full-queue
-// back-pressure, arbitrary OS-level interleavings, cross-thread memory
-// visibility, and injected faults are all exercised for real, and every
-// cross-thread memory dependence is observable by the Go race detector
-// (flow channels are the only happens-before edges between threads, exactly
-// as the paper's synchronization array is the only inter-core ordering).
+// synchronization-array queue is a bounded queue from internal/queue —
+// either a buffered Go channel (the default) or, under Options.Queue =
+// queue.KindRing, a lock-free SPSC ring buffer with batched produce/consume
+// (the low-latency substrate the paper's performance argument depends on).
+// Where the deterministic round-robin interpreter (internal/interp) is the
+// friendly reference schedule, this runtime is the adversarial one —
+// full-queue back-pressure, arbitrary OS-level interleavings, cross-thread
+// memory visibility, and injected faults are all exercised for real, and
+// every cross-thread memory dependence is observable by the Go race
+// detector (flow queues are the only happens-before edges between threads,
+// exactly as the paper's synchronization array is the only inter-core
+// ordering).
 //
 // A watchdog converts all-blocked states into structured DeadlockError
 // values carrying per-thread block sites and queue occupancy, and a
@@ -28,6 +32,7 @@ import (
 	"dswp/internal/interp"
 	"dswp/internal/ir"
 	"dswp/internal/obs"
+	"dswp/internal/queue"
 )
 
 // DefaultQueueCap matches the paper's 32-entry synchronization-array
@@ -57,10 +62,17 @@ const (
 
 // Options configures a concurrent run.
 type Options struct {
-	// QueueCap is the per-queue channel capacity (<=0 = DefaultQueueCap).
+	// QueueCap is the per-queue capacity (<=0 = DefaultQueueCap).
 	// Sweepable down to 1; any capacity >= 1 must produce identical
 	// results for correct DSWP output.
 	QueueCap int
+	// Queue selects the communication substrate: queue.KindChannel (zero
+	// value, buffered Go channels) or queue.KindRing (lock-free SPSC ring
+	// buffers with batched produce/consume). Queue kind must never change
+	// results — only throughput. Ring queues are SPSC, so any queue whose
+	// static produce or consume sites span more than one thread silently
+	// falls back to a channel.
+	Queue queue.Kind
 	// MaxSteps bounds total retired instructions (0 = default 500M).
 	MaxSteps int64
 	// Timeout bounds wall-clock time (0 = default 30s).
@@ -123,10 +135,19 @@ type engine struct {
 	fns     []*ir.Function
 	opts    Options
 	mem     *interp.Memory
-	queues  []chan int64
+	queues  []queue.Queue
 	prods   [][]int // queue -> producing thread indices (static)
 	cons    [][]int // queue -> consuming thread indices (static)
 	threads []*threadState
+
+	// spans[thread][blockIdx][pc] is the length (>= 2) of the run of
+	// same-op same-queue flow instructions starting at pc, or 0. Runs are
+	// the packets emitted by the flow-packing pass; the hot loop retires
+	// them with one batched TryProduceN/TryConsumeN (one atomic publish
+	// per packet) when no fault plan is active. maxSpan sizes the
+	// per-thread scratch buffer.
+	spans   [][][]int16
+	maxSpan int
 
 	rec      obs.Recorder
 	start    time.Time
@@ -193,8 +214,8 @@ func RunCtx(parent context.Context, fns []*ir.Function, opts Options) (*interp.R
 		return nil, err
 	}
 	if e.rec != nil {
-		for q, ch := range e.queues {
-			e.rec.Record(obs.Event{Kind: obs.KQueueCap, Thread: 0, Queue: int32(q), Arg: int64(cap(ch))})
+		for q, qu := range e.queues {
+			e.rec.Record(obs.Event{Kind: obs.KQueueCap, Thread: 0, Queue: int32(q), Arg: int64(qu.Cap())})
 		}
 	}
 
@@ -253,23 +274,45 @@ func (e *engine) build() error {
 			}
 		})
 	}
-	capFor := func(q int) int {
-		if e.opts.Faults != nil {
-			if c, ok := e.opts.Faults.QueueCap[q]; ok && c > 0 {
-				return c
+	// packWidth is the largest number of produce ops a single block issues
+	// on each queue — 1 normally, the packet size on queues the compiler's
+	// flow packing merged. A packed queue carries width values per
+	// iteration, so its capacity scales by width to keep the decoupling
+	// slack (iterations of run-ahead) identical to the unpacked pipeline;
+	// without this, packing would silently shrink the window the paper's
+	// synchronization array provides and stall the producer more, not less.
+	packWidth := make([]int, numQueues)
+	for _, fn := range e.fns {
+		for _, b := range fn.Blocks {
+			per := map[int]int{}
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpProduce {
+					per[in.Queue]++
+				}
+			}
+			for q, n := range per {
+				if n > packWidth[q] {
+					packWidth[q] = n
+				}
 			}
 		}
-		if e.opts.QueueCap > 0 {
-			return e.opts.QueueCap
-		}
-		return DefaultQueueCap
 	}
-	e.queues = make([]chan int64, numQueues)
+	capFor := func(q int) int {
+		c := DefaultQueueCap
+		switch {
+		case e.opts.Faults != nil && e.opts.Faults.QueueCap[q] > 0:
+			c = e.opts.Faults.QueueCap[q]
+		case e.opts.QueueCap > 0:
+			c = e.opts.QueueCap
+		}
+		if w := packWidth[q]; w > 1 {
+			c *= w
+		}
+		return c
+	}
+	e.queues = make([]queue.Queue, numQueues)
 	e.prods = make([][]int, numQueues)
 	e.cons = make([][]int, numQueues)
-	for q := range e.queues {
-		e.queues[q] = make(chan int64, capFor(q))
-	}
 	for ti, fn := range e.fns {
 		prod := map[int]bool{}
 		cons := map[int]bool{}
@@ -288,6 +331,14 @@ func (e *engine) build() error {
 			e.cons[q] = append(e.cons[q], ti)
 		}
 	}
+	for q := range e.queues {
+		kind := e.opts.Queue
+		if kind == queue.KindRing && (len(e.prods[q]) > 1 || len(e.cons[q]) > 1) {
+			kind = queue.KindChannel // ring is strictly SPSC; multi-endpoint queues fall back
+		}
+		e.queues[q] = queue.New(kind, capFor(q))
+	}
+	e.buildSpans()
 
 	e.threads = make([]*threadState, len(e.fns))
 	for i, fn := range e.fns {
@@ -472,6 +523,16 @@ func (e *engine) runThread(ti int) {
 	rec := e.rec
 	blockIdx := e.blockIdx[ti]
 	outerHdr := e.outerHdr[ti]
+	spans := e.spans[ti]
+	var scratch []int64
+	// Span lookups are cached per block: the map lookup in blockIdx runs
+	// once per block entry, not once per retired instruction, so threads
+	// with packed flows pay no per-instruction dispatch tax.
+	var spanBlock *ir.Block
+	var spanTab []int16
+	if e.maxSpan > 0 {
+		scratch = make([]int64, e.maxSpan)
+	}
 	var iters int64
 	var ckptEvery int64
 	if e.ckpt != nil {
@@ -516,6 +577,30 @@ func (e *engine) runThread(ti int) {
 			block, pc = next, 0
 			continue
 		}
+		// Packed-flow fast path: a run of same-queue produces/consumes
+		// (one packet from the flow-packing pass) retires with a single
+		// batched queue operation. Fault plans need per-op accounting
+		// (delays, fault counters, panic/stall step positions), so any
+		// active plan disables batching rather than approximating it.
+		if scratch != nil && faults == nil {
+			if block != spanBlock {
+				spanBlock, spanTab = block, spans[blockIdx[block]]
+			}
+			if spanTab != nil {
+				if n := int(spanTab[pc]); n >= 2 {
+					if !e.runSpan(ti, block, pc, n, scratch, flush) {
+						return
+					}
+					pc += n
+					local += int64(n)
+					if local >= flushEvery {
+						flush()
+					}
+					continue
+				}
+			}
+		}
+
 		in := block.Instrs[pc]
 		ev := interp.Event{In: in}
 
@@ -534,37 +619,29 @@ func (e *engine) runThread(ti int) {
 					}
 				}
 			}
-			var v int64
-			select {
-			case v = <-q:
-			default:
+			v, ok := q.TryConsume()
+			if !ok {
 				flush()
 				e.setBlocked(ti, stateBlockedEmpty, block, pc, in)
+				var t0 int64
 				if rec != nil {
-					t0 := e.now()
+					t0 = e.now()
 					rec.Record(obs.Event{Kind: obs.KStallEmptyBegin, Thread: int32(ti),
 						Queue: int32(in.Queue), When: t0})
-					select {
-					case v = <-q:
-						e.setState(ti, stateRunning)
-						t1 := e.now()
-						rec.Record(obs.Event{Kind: obs.KStallEmptyEnd, Thread: int32(ti),
-							Queue: int32(in.Queue), When: t1, Arg: t1 - t0})
-					case <-e.ctx.Done():
-						return
-					}
-				} else {
-					select {
-					case v = <-q:
-						e.setState(ti, stateRunning)
-					case <-e.ctx.Done():
-						return
-					}
+				}
+				if v, ok = q.Consume(e.ctx.Done()); !ok {
+					return
+				}
+				e.setState(ti, stateRunning)
+				if rec != nil {
+					t1 := e.now()
+					rec.Record(obs.Event{Kind: obs.KStallEmptyEnd, Thread: int32(ti),
+						Queue: int32(in.Queue), When: t1, Arg: t1 - t0})
 				}
 			}
 			if rec != nil {
 				rec.Record(obs.Event{Kind: obs.KConsume, Thread: int32(ti),
-					Queue: int32(in.Queue), When: e.now(), Arg: int64(len(q))})
+					Queue: int32(in.Queue), When: e.now(), Arg: int64(q.Len())})
 			}
 			if in.Dst != ir.NoReg {
 				regs[in.Dst] = v
@@ -588,36 +665,28 @@ func (e *engine) runThread(ti int) {
 			if len(in.Src) > 0 {
 				v = regs[in.Src[0]]
 			}
-			select {
-			case q <- v:
-			default:
+			if !q.TryProduce(v) {
 				flush()
 				e.setBlocked(ti, stateBlockedFull, block, pc, in)
+				var t0 int64
 				if rec != nil {
-					t0 := e.now()
+					t0 = e.now()
 					rec.Record(obs.Event{Kind: obs.KStallFullBegin, Thread: int32(ti),
 						Queue: int32(in.Queue), When: t0})
-					select {
-					case q <- v:
-						e.setState(ti, stateRunning)
-						t1 := e.now()
-						rec.Record(obs.Event{Kind: obs.KStallFullEnd, Thread: int32(ti),
-							Queue: int32(in.Queue), When: t1, Arg: t1 - t0})
-					case <-e.ctx.Done():
-						return
-					}
-				} else {
-					select {
-					case q <- v:
-						e.setState(ti, stateRunning)
-					case <-e.ctx.Done():
-						return
-					}
+				}
+				if !q.Produce(v, e.ctx.Done()) {
+					return
+				}
+				e.setState(ti, stateRunning)
+				if rec != nil {
+					t1 := e.now()
+					rec.Record(obs.Event{Kind: obs.KStallFullEnd, Thread: int32(ti),
+						Queue: int32(in.Queue), When: t1, Arg: t1 - t0})
 				}
 			}
 			if rec != nil {
 				rec.Record(obs.Event{Kind: obs.KProduce, Thread: int32(ti),
-					Queue: int32(in.Queue), When: e.now(), Arg: int64(len(q))})
+					Queue: int32(in.Queue), When: e.now(), Arg: int64(q.Len())})
 			}
 			pc++
 		case ir.OpBranch:
@@ -764,13 +833,13 @@ func (e *engine) watchdog(done <-chan struct{}) {
 			case stateBlockedEmpty:
 				blocked++
 				queueBlocked++
-				if len(e.queues[th.queue]) != 0 {
+				if e.queues[th.queue].Len() != 0 {
 					consistent = false
 				}
 			case stateBlockedFull:
 				blocked++
 				queueBlocked++
-				if len(e.queues[th.queue]) < cap(e.queues[th.queue]) {
+				if q := e.queues[th.queue]; q.Len() < q.Cap() {
 					consistent = false
 				}
 			case stateBarrier:
@@ -837,9 +906,9 @@ func (e *engine) blockInfoLocked() []BlockInfo {
 // queueInfoLocked snapshots every queue's occupancy; callers hold e.mu.
 func (e *engine) queueInfoLocked() []QueueInfo {
 	infos := make([]QueueInfo, 0, len(e.queues))
-	for q, ch := range e.queues {
+	for q, qu := range e.queues {
 		infos = append(infos, QueueInfo{
-			Queue: q, Len: len(ch), Cap: cap(ch),
+			Queue: q, Len: qu.Len(), Cap: qu.Cap(),
 			Producers: e.prods[q], Consumers: e.cons[q],
 		})
 	}

@@ -131,14 +131,17 @@ func TestDeadlockCyclicPartition(t *testing.T) {
 }
 
 // TestDeadlockFullQueue: a producer with no consumer wedges on a full
-// bounded queue and is reported as blocked-full with occupancy.
+// bounded queue and is reported as blocked-full with occupancy. The
+// producer loops (one produce per block visit) so the queue's configured
+// capacity applies unscaled — see the packed-queue width scaling in build.
 func TestDeadlockFullQueue(t *testing.T) {
 	a := ir.MustParse(`func a {
 entry:
     r1 = const 7
+    jump loop
+loop:
     produce [0] = r1
-    produce [0] = r1
-    ret
+    jump loop
 }
 `)
 	_, err := Run([]*ir.Function{a}, Options{QueueCap: 1})

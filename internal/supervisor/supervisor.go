@@ -30,6 +30,7 @@ import (
 	"dswp/internal/interp"
 	"dswp/internal/ir"
 	"dswp/internal/obs"
+	"dswp/internal/queue"
 	rt "dswp/internal/runtime"
 )
 
@@ -77,6 +78,9 @@ type Policy struct {
 	MaxSteps int64
 	// QueueCap is the synchronization-array queue capacity (0 = default).
 	QueueCap int
+	// Queue selects the communication substrate for the concurrent
+	// attempt (queue.KindChannel or queue.KindRing); see runtime.Options.
+	Queue queue.Kind
 	// Poll is the watchdog sampling interval (0 = default).
 	Poll time.Duration
 	// Faults is the injected fault plan for the concurrent attempt.
@@ -153,6 +157,7 @@ func Run(ctx context.Context, p Pipeline, pol Policy) (*interp.Result, *Report, 
 
 	res, err := rt.RunCtx(ctx, p.Threads, rt.Options{
 		QueueCap:    pol.QueueCap,
+		Queue:       pol.Queue,
 		Mem:         p.Mem,
 		Regs:        p.Regs,
 		MaxSteps:    pol.MaxSteps,

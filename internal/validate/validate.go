@@ -1,11 +1,14 @@
 // Package validate is the differential robustness harness: it runs every
 // DSWP-transformed program under (a) the deterministic round-robin
 // interpreter with bounded and unbounded queues, (b) the goroutine-backed
-// concurrent runtime across queue-capacity sweeps and randomized
-// GOMAXPROCS settings, and (c) seed-derived fault injection (per-queue
-// delays, forced thread stalls, artificially tiny capacities), asserting
-// identical memory images and live-outs versus sequential execution of the
-// untransformed loop every time. The paper's correctness argument — the
+// concurrent runtime across queue-capacity sweeps, both communication
+// substrates (channel and lock-free SPSC ring), and randomized GOMAXPROCS
+// settings, and (c) seed-derived fault injection (per-queue delays, forced
+// thread stalls, artificially tiny capacities), asserting identical memory
+// images and live-outs versus sequential execution of the untransformed
+// loop every time. Every leg also runs against the flow-packed transform
+// (core.Config.PackFlows), so queue kind and packing are both proven to
+// never change results. The paper's correctness argument — the
 // synchronization array plus an acyclic partition guarantees the original
 // semantics under any schedule — is checked here as an executable claim
 // rather than assumed.
@@ -29,6 +32,7 @@ import (
 	"dswp/internal/interp"
 	"dswp/internal/obs"
 	"dswp/internal/profile"
+	"dswp/internal/queue"
 	rt "dswp/internal/runtime"
 	"dswp/internal/supervisor"
 	"dswp/internal/workloads"
@@ -193,6 +197,17 @@ func Program(p *workloads.Program, opts Options) *Report {
 		rep.Failures = append(rep.Failures, fmt.Sprintf("transform: %v", err))
 		return rep
 	}
+	trPacked, err := core.Apply(p.F, p.LoopHeader, prof, core.Config{
+		NumThreads: opts.Threads, SkipProfitability: true, PackFlows: true,
+	})
+	if err != nil {
+		rep.Failures = append(rep.Failures, fmt.Sprintf("packed transform: %v", err))
+		return rep
+	}
+	variants := []struct {
+		tag string
+		tr  *core.Transformed
+	}{{"", tr}, {"packed ", trPacked}}
 
 	check := func(tag string, res *interp.Result, err error) {
 		rep.Runs++
@@ -218,49 +233,60 @@ func Program(p *workloads.Program, opts Options) *Report {
 	}
 
 	// (a) Deterministic interpreter: unbounded, then each bounded
-	// capacity — full-queue blocking under the friendly schedule.
-	for _, cap := range append([]int{0}, opts.Caps...) {
-		io := iopts
-		io.QueueCap = cap
-		m := obs.NewMetrics(len(tr.Threads), tr.NumQueues)
-		io.Recorder = m
-		tag := fmt.Sprintf("interp cap=%d", cap)
-		res, err := interp.RunThreads(tr.Threads, io)
-		check(tag, res, err)
-		checkMetrics(tag, m, err)
+	// capacity — full-queue blocking under the friendly schedule — for
+	// the plain and the flow-packed transform.
+	for _, v := range variants {
+		for _, cap := range append([]int{0}, opts.Caps...) {
+			io := iopts
+			io.QueueCap = cap
+			m := obs.NewMetrics(len(v.tr.Threads), v.tr.NumQueues)
+			io.Recorder = m
+			tag := fmt.Sprintf("interp %scap=%d", v.tag, cap)
+			res, err := interp.RunThreads(v.tr.Threads, io)
+			check(tag, res, err)
+			checkMetrics(tag, m, err)
+		}
 	}
 
-	// (b) Concurrent goroutine runtime across the capacity sweep.
-	for _, cap := range opts.Caps {
-		m := obs.NewMetrics(len(tr.Threads), tr.NumQueues)
-		tag := fmt.Sprintf("runtime cap=%d", cap)
-		res, err := rt.Run(tr.Threads, rt.Options{
-			QueueCap: cap, Mem: p.Mem, Regs: p.Regs,
-			MaxSteps: opts.MaxSteps, Timeout: opts.Timeout,
-			Recorder: m,
-		})
-		check(tag, res, err)
-		checkMetrics(tag, m, err)
+	// (b) Concurrent goroutine runtime across the capacity sweep, on both
+	// communication substrates: the queue kind (and packing) must never
+	// change the final state, bit for bit.
+	for _, v := range variants {
+		for _, kind := range []queue.Kind{queue.KindChannel, queue.KindRing} {
+			for _, cap := range opts.Caps {
+				m := obs.NewMetrics(len(v.tr.Threads), v.tr.NumQueues)
+				tag := fmt.Sprintf("runtime %s%s cap=%d", v.tag, kind, cap)
+				res, err := rt.Run(v.tr.Threads, rt.Options{
+					QueueCap: cap, Queue: kind, Mem: p.Mem, Regs: p.Regs,
+					MaxSteps: opts.MaxSteps, Timeout: opts.Timeout,
+					Recorder: m,
+				})
+				check(tag, res, err)
+				checkMetrics(tag, m, err)
+			}
+		}
 	}
 
 	// (c) Randomized fault/schedule runs: seed-derived fault plans,
-	// random capacities, random GOMAXPROCS.
+	// random capacities, random queue kind and packing, random GOMAXPROCS.
 	rng := &sweepRNG{s: opts.Seed | 1}
 	for i := 0; i < opts.FaultRuns; i++ {
 		fseed := rng.next()
 		cap := opts.Caps[rng.intn(len(opts.Caps))]
-		plan := rt.RandomFaults(fseed, len(tr.Threads), tr.NumQueues)
+		kind := queue.Kind(rng.intn(2))
+		v := variants[rng.intn(len(variants))]
+		plan := rt.RandomFaults(fseed, len(v.tr.Threads), v.tr.NumQueues)
 		procs := 0
 		if !opts.PinProcs {
 			procs = 1 + rng.intn(stdruntime.NumCPU())
 		}
-		tag := fmt.Sprintf("runtime cap=%d faultseed=%d procs=%d", cap, fseed, procs)
+		tag := fmt.Sprintf("runtime %s%s cap=%d faultseed=%d procs=%d", v.tag, kind, cap, fseed, procs)
 		var old int
 		if procs > 0 {
 			old = stdruntime.GOMAXPROCS(procs)
 		}
-		res, err := rt.Run(tr.Threads, rt.Options{
-			QueueCap: cap, Mem: p.Mem, Regs: p.Regs,
+		res, err := rt.Run(v.tr.Threads, rt.Options{
+			QueueCap: cap, Queue: kind, Mem: p.Mem, Regs: p.Regs,
 			MaxSteps: opts.MaxSteps, Timeout: opts.Timeout,
 			Faults: plan,
 		})
@@ -299,6 +325,14 @@ func Program(p *workloads.Program, opts Options) *Report {
 			Faults: &rt.FaultPlan{Seed: opts.Seed, QueueFault: map[int]rt.QueueFaultSpec{
 				0: {Class: rt.FaultPermanent, Every: 128}}}}},
 		{"supervised stage-panic", supervisor.Policy{
+			CheckpointEvery: 16, MaxSteps: opts.MaxSteps, AttemptTimeout: opts.Timeout,
+			Faults: &rt.FaultPlan{Seed: opts.Seed, ThreadPanic: map[int]int64{
+				len(tr.Threads) - 1: 300}}}},
+		{"supervised ring clean", supervisor.Policy{
+			Queue:           queue.KindRing,
+			CheckpointEvery: 16, MaxSteps: opts.MaxSteps, AttemptTimeout: opts.Timeout}},
+		{"supervised ring stage-panic", supervisor.Policy{
+			Queue:           queue.KindRing,
 			CheckpointEvery: 16, MaxSteps: opts.MaxSteps, AttemptTimeout: opts.Timeout,
 			Faults: &rt.FaultPlan{Seed: opts.Seed, ThreadPanic: map[int]int64{
 				len(tr.Threads) - 1: 300}}}},
