@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race validate bench bench-json clean
+.PHONY: check vet build test race validate bench bench-json bench-json-pr5 serve load-smoke server-smoke clean
 
 # The gate for every change: vet, build, and the full test suite under
 # the race detector (channels carry every cross-thread dependence, so
@@ -33,6 +33,27 @@ bench:
 # documented in EXPERIMENTS.md).
 bench-json:
 	$(GO) run ./cmd/dswpbench -benchjson -out BENCH_PR4.json
+
+# Serving-path measurement: cold-compile vs cached vs warm-pooled
+# closed-loop throughput and latency, pinned to BENCH_PR5.json (format
+# documented in EXPERIMENTS.md).
+bench-json-pr5:
+	$(GO) run ./cmd/dswpload -benchjson -out BENCH_PR5.json
+
+# Run the pipeline-as-a-service daemon locally (ADDR=:8080 make serve).
+ADDR ?= :7537
+serve:
+	$(GO) run ./cmd/dswpd -addr $(ADDR)
+
+# Quick in-process load-generator pass under the race detector: all four
+# serving paths, short windows, bit-identical digests enforced.
+load-smoke:
+	$(GO) run -race ./cmd/dswpload -quick
+
+# Full HTTP smoke: build dswpd, serve every workload over POST /run,
+# scrape /metrics and /healthz, short closed-loop load, graceful drain.
+server-smoke:
+	RACE=1 scripts/server_smoke.sh
 
 clean:
 	$(GO) clean ./...

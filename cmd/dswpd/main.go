@@ -1,0 +1,96 @@
+// Command dswpd is the pipeline-as-a-service daemon: it serves DSWP
+// compilation and execution over HTTP, backed by the internal/engine
+// subsystem — compiled-pipeline cache, warm instance pools, and bounded
+// admission control.
+//
+//	dswpd                      # listen on :7537
+//	dswpd -addr :8080 -workers 4 -queue ring
+//
+// Endpoints (all JSON, stdlib net/http):
+//
+//	POST /run       {"workload":"181.mcf", ...}   execute a pipeline
+//	GET  /metrics                                  serving counters + latency histograms
+//	GET  /healthz                                  liveness (503 while draining)
+//	GET  /workloads                                servable workload names
+//
+// SIGINT/SIGTERM trigger a graceful drain: the listener stops accepting,
+// queued requests fail with 503, and in-flight runs get -drain-timeout
+// to finish before being hard-canceled through their contexts.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dswp/internal/engine"
+	"dswp/internal/queue"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":7537", "listen address")
+		workers    = flag.Int("workers", 0, "concurrent pipeline runs (0 = GOMAXPROCS)")
+		queueDepth = flag.Int("queue-depth", 0, "pending-request bound (0 = 4*workers)")
+		cacheCap   = flag.Int("cache-cap", 32, "max cached compiled pipelines")
+		poolSize   = flag.Int("pool", 0, "warm instances per pipeline (0 = workers)")
+		queueKind  = flag.String("queue", "channel", "default substrate: channel or ring")
+		queueCap   = flag.Int("queue-cap", 0, "default synchronization-array capacity (0 = 32)")
+		deadline   = flag.Duration("deadline", 30*time.Second, "default per-request deadline")
+		noCache    = flag.Bool("no-cache", false, "disable the compiled-pipeline cache")
+		noPool     = flag.Bool("no-pool", false, "disable warm instance pools")
+		drain      = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown grace for in-flight runs")
+	)
+	flag.Parse()
+
+	kind, err := queue.ParseKind(*queueKind)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dswpd: %v\n", err)
+		os.Exit(2)
+	}
+	eng := engine.New(engine.Options{
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		CacheCap:        *cacheCap,
+		PoolSize:        *poolSize,
+		QueueCap:        *queueCap,
+		Queue:           kind,
+		DefaultDeadline: *deadline,
+		DisableCache:    *noCache,
+		DisablePool:     *noPool,
+	})
+
+	srv := &http.Server{Addr: *addr, Handler: engine.NewMux(eng)}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Printf("dswpd: serving on %s (%d workloads)\n", *addr, len(engine.Workloads()))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("dswpd: %v, draining (grace %s)\n", s, *drain)
+	case err := <-errCh:
+		fmt.Fprintf(os.Stderr, "dswpd: listener failed: %v\n", err)
+		os.Exit(1)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Stop the listener first so no new requests arrive mid-drain, then
+	// drain the engine under the same grace period.
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "dswpd: http shutdown: %v\n", err)
+	}
+	if err := eng.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "dswpd: engine drain exceeded grace, in-flight runs canceled: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("dswpd: drained cleanly")
+}

@@ -1,0 +1,531 @@
+// Command dswpload is the closed-loop load generator for the serving
+// engine (internal/engine, cmd/dswpd). It answers the question the
+// engine exists to answer: how much does the compile-once/serve-many
+// split buy under concurrent load?
+//
+// Two modes:
+//
+//	dswpload                      # in-process: benchmark cold vs cached
+//	                              # vs warm-pooled serving paths
+//	dswpload -benchjson           # ... and pin BENCH_PR5.json
+//	dswpload -addr localhost:7537 # drive a running dswpd over HTTP
+//
+// In-process mode measures four serving paths, each comparison holding
+// everything but one engine mechanism constant:
+//
+//	cold             — cache and pools disabled, sequential execution:
+//	                   every request pays profile + core.Apply;
+//	cached           — pipeline cache on, same sequential execution:
+//	                   the delta vs cold is exactly the compile the
+//	                   cache amortizes (headline: >= 10x throughput);
+//	cached-pipelined — cache on, pools off, supervised pipeline
+//	                   execution (the serving default);
+//	warm-pipelined   — cache and warm instance pools on: the delta vs
+//	                   cached-pipelined is exactly the per-run queue /
+//	                   register-file state the pools reuse.
+//
+// An explicit -mode collapses the table to cold/cached/warm in that one
+// execution mode. Each path runs the same closed loop: -clients
+// goroutines issue requests from the -mix continuously for -duration,
+// every response is checked bit-identical against the engine's own
+// sequential reference, and per-request latencies are recorded exactly.
+// The summary reports throughput and p50/p99/mean latency per path.
+//
+// HTTP mode drives POST /run on a live daemon with the same closed
+// loop and consistency check (identical requests must return identical
+// digests), tallying status codes; 429s count as shed load, not
+// errors. The CI server-smoke job runs this briefly against a freshly
+// built dswpd.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"dswp/internal/engine"
+	"dswp/internal/queue"
+)
+
+// benchFile is the BENCH_PR5.json shape. Latency quantiles are exact
+// (computed from the full per-request sample, not histogram buckets);
+// throughput_rps counts only completed requests.
+type benchFile struct {
+	Schema     string   `json:"schema"`
+	Quick      bool     `json:"quick"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	NumCPU     int      `json:"num_cpu"`
+	Workers    int      `json:"workers"`
+	Clients    int      `json:"clients"`
+	DurationMS int64    `json:"duration_ms"`
+	Mix        []string `json:"workload_mix"`
+
+	Paths []pathResult `json:"paths"`
+
+	// CachedVsCold is the headline: cached-path throughput over
+	// cold-compile throughput (acceptance: >= 10).
+	CachedVsCold float64 `json:"cached_vs_cold_throughput"`
+	// WarmVsCached isolates the instance pools' win on top of the cache.
+	WarmVsCached float64 `json:"warm_vs_cached_throughput"`
+}
+
+// pathResult is one serving path's closed-loop measurement.
+type pathResult struct {
+	Path          string  `json:"path"` // cold | cached | cached-pipelined | warm-pipelined | http
+	Mode          string  `json:"mode,omitempty"`
+	Requests      int     `json:"requests"`
+	Errors        int     `json:"errors"`
+	Shed          int     `json:"shed"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50US         int64   `json:"p50_us"`
+	P99US         int64   `json:"p99_us"`
+	MeanUS        int64   `json:"mean_us"`
+	// Engine-side counters for the in-process paths (zero in HTTP mode).
+	Compiles  int64 `json:"compiles,omitempty"`
+	CacheHits int64 `json:"cache_hits,omitempty"`
+	PoolHits  int64 `json:"pool_hits,omitempty"`
+}
+
+func main() {
+	var (
+		addr      = flag.String("addr", "", "drive a running dswpd at this host:port instead of in-process engines")
+		clients   = flag.Int("clients", 0, "closed-loop client goroutines (0 = GOMAXPROCS)")
+		workers   = flag.Int("workers", 0, "in-process engine workers (0 = GOMAXPROCS)")
+		duration  = flag.Duration("duration", 3*time.Second, "measurement window per serving path")
+		mixFlag   = flag.String("mix", "list-traversal,list-of-lists", "comma-separated workload mix")
+		n         = flag.Int64("n", 32, "list-traversal length in the mix")
+		outer     = flag.Int64("outer", 4, "list-of-lists outer length in the mix")
+		inner     = flag.Int64("inner", 2, "list-of-lists inner length in the mix")
+		mode      = flag.String("mode", "", "execution mode for requests: supervised (default), concurrent, sequential")
+		kind      = flag.String("queue", "channel", "substrate for in-process engines: channel or ring")
+		smoke     = flag.Bool("smoke", false, "with -addr: first exercise /healthz, /workloads, one /run per workload, and /metrics")
+		quick     = flag.Bool("quick", false, "shorter window (-duration 500ms) for CI smoke")
+		benchjson = flag.Bool("benchjson", false, "write machine-readable results (see -out)")
+		out       = flag.String("out", "BENCH_PR5.json", "output path for -benchjson")
+	)
+	flag.Parse()
+
+	if *quick && *duration == 3*time.Second {
+		*duration = 500 * time.Millisecond
+	}
+	if *clients <= 0 {
+		*clients = runtime.GOMAXPROCS(0)
+	}
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+
+	mix := buildMix(strings.Split(*mixFlag, ","), *n, *outer, *inner)
+	if *addr != "" {
+		runHTTP(*addr, mix, *clients, *duration, *smoke)
+		return
+	}
+	if *smoke {
+		fail(fmt.Errorf("-smoke requires -addr"))
+	}
+
+	qk, err := queue.ParseKind(*kind)
+	if err != nil {
+		fail(err)
+	}
+	res := &benchFile{
+		Schema:     "dswp-bench-pr5/1",
+		Quick:      *quick,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Workers:    *workers,
+		Clients:    *clients,
+		DurationMS: duration.Milliseconds(),
+	}
+	for _, r := range mix {
+		name := r.Workload
+		switch name {
+		case "list-traversal":
+			name = fmt.Sprintf("list-traversal[n=%d]", r.N)
+		case "list-of-lists":
+			name = fmt.Sprintf("list-of-lists[outer=%d,inner=%d]", r.Outer, r.Inner)
+		}
+		res.Mix = append(res.Mix, name)
+	}
+	fmt.Printf("dswpload: GOMAXPROCS=%d workers=%d clients=%d duration=%s\ndswpload: mix %s\n\n",
+		res.GOMAXPROCS, res.Workers, res.Clients, *duration, strings.Join(res.Mix, " "))
+
+	// Each comparison holds everything but one mechanism constant:
+	// cold vs cached run the mix with sequential execution, so the
+	// measured delta is exactly the compile the cache amortizes; the
+	// *-pipelined pair runs the default supervised pipeline, so the
+	// delta is exactly the per-run state the warm pools reuse. An
+	// explicit -mode collapses the table to cold/cached/warm in that
+	// one mode.
+	type pathSpec struct {
+		name, mode string
+		opts       engine.Options
+	}
+	paths := []pathSpec{
+		{"cold", "sequential", engine.Options{DisableCache: true, DisablePool: true}},
+		{"cached", "sequential", engine.Options{DisablePool: true}},
+		{"cached-pipelined", "supervised", engine.Options{DisablePool: true}},
+		{"warm-pipelined", "supervised", engine.Options{}},
+	}
+	coldName, cachedName, warmBase, warmName := "cold", "cached", "cached-pipelined", "warm-pipelined"
+	if *mode != "" {
+		paths = []pathSpec{
+			{"cold", *mode, engine.Options{DisableCache: true, DisablePool: true}},
+			{"cached", *mode, engine.Options{DisablePool: true}},
+			{"warm", *mode, engine.Options{}},
+		}
+		warmBase, warmName = "cached", "warm"
+	}
+	byName := map[string]pathResult{}
+	for _, p := range paths {
+		p.opts.Workers = *workers
+		p.opts.QueueDepth = 2 * *clients // closed loop: never shed
+		p.opts.Queue = qk
+		pr := runPath(p.name, p.mode, p.opts, mix, *clients, *duration)
+		res.Paths = append(res.Paths, pr)
+		byName[p.name] = pr
+	}
+	if cold := byName[coldName].ThroughputRPS; cold > 0 {
+		res.CachedVsCold = byName[cachedName].ThroughputRPS / cold
+	}
+	if cached := byName[warmBase].ThroughputRPS; cached > 0 {
+		res.WarmVsCached = byName[warmName].ThroughputRPS / cached
+	}
+
+	fmt.Printf("\nheadlines:\n")
+	fmt.Printf("  cached_vs_cold_throughput: %.1fx (compile amortization; acceptance: >= 10)\n", res.CachedVsCold)
+	fmt.Printf("  warm_vs_cached_throughput: %.2fx (instance reuse on the pipelined path)\n", res.WarmVsCached)
+
+	if *benchjson {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("\nwrote %s\n", *out)
+	}
+}
+
+// buildMix expands workload names into concrete requests.
+func buildMix(names []string, n, outer, inner int64) []engine.Request {
+	var mix []engine.Request
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		req := engine.Request{Workload: name}
+		switch name {
+		case "list-traversal":
+			req.N = n
+		case "list-of-lists":
+			req.Outer, req.Inner = outer, inner
+		}
+		mix = append(mix, req)
+	}
+	if len(mix) == 0 {
+		fail(fmt.Errorf("empty workload mix"))
+	}
+	return mix
+}
+
+// runPath measures one serving path: a dedicated engine, a priming pass
+// that records the per-workload reference digests (and, for cached/warm,
+// warms the reuse machinery the path is meant to measure), then the
+// timed closed loop.
+func runPath(name, mode string, opts engine.Options, mix []engine.Request, clients int, dur time.Duration) pathResult {
+	e := engine.New(opts)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := e.Shutdown(ctx); err != nil {
+			fail(fmt.Errorf("%s: shutdown: %w", name, err))
+		}
+	}()
+
+	// Reference digests: the engine's sequential mode runs the original
+	// loop on the interpreter — the acceptance oracle.
+	want := make([]string, len(mix))
+	for i, req := range mix {
+		req.Mode = "sequential"
+		resp, err := e.Run(context.Background(), req)
+		if err != nil {
+			fail(fmt.Errorf("%s: reference %s: %w", name, req.Workload, err))
+		}
+		want[i] = resp.Digest
+	}
+	// Prime: one pass per mix entry so cached/warm measure steady state,
+	// not their own fill. (The cold engine has nothing to prime.)
+	timed := make([]engine.Request, len(mix))
+	for i, req := range mix {
+		req.Mode = mode
+		timed[i] = req
+		if _, err := e.Run(context.Background(), req); err != nil {
+			fail(fmt.Errorf("%s: prime %s: %w", name, req.Workload, err))
+		}
+	}
+
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		lats []time.Duration
+		nerr int
+		stop = make(chan struct{})
+	)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			var mine []time.Duration
+			errs := 0
+			for i := c; ; i++ {
+				select {
+				case <-stop:
+					mu.Lock()
+					lats = append(lats, mine...)
+					nerr += errs
+					mu.Unlock()
+					return
+				default:
+				}
+				j := i % len(timed)
+				t0 := time.Now()
+				resp, err := e.Run(context.Background(), timed[j])
+				el := time.Since(t0)
+				if err != nil || resp.Digest != want[j] {
+					errs++
+					if err == nil {
+						fmt.Fprintf(os.Stderr, "dswpload: %s: %s digest %s, want %s\n",
+							name, timed[j].Workload, resp.Digest, want[j])
+					} else {
+						fmt.Fprintf(os.Stderr, "dswpload: %s: %s: %v\n", name, timed[j].Workload, err)
+					}
+					continue
+				}
+				mine = append(mine, el)
+			}
+		}(c)
+	}
+	time.Sleep(dur)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	s := e.Metrics().Snapshot()
+	pr := summarize(name, lats, nerr, 0, elapsed)
+	pr.Mode = mode
+	pr.Compiles = s.Compiles
+	pr.CacheHits = s.CacheHits
+	pr.PoolHits = s.PoolHits
+	print1(pr)
+	return pr
+}
+
+// runHTTP drives POST /run on a live dswpd: same closed loop, with
+// cross-request digest consistency as the correctness check (the
+// generator has no in-process reference to compare against).
+func runHTTP(addr string, mix []engine.Request, clients int, dur time.Duration, smoke bool) {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	base := strings.TrimRight(addr, "/")
+	client := &http.Client{Timeout: 60 * time.Second}
+	if smoke {
+		smokeCheck(client, base)
+	}
+
+	// One canary request per mix entry pins the expected digest.
+	want := make([]string, len(mix))
+	for i, req := range mix {
+		resp, status, err := post(client, base, req)
+		if err != nil || status != http.StatusOK {
+			fail(fmt.Errorf("canary %s: status=%d err=%v", req.Workload, status, err))
+		}
+		want[i] = resp.Digest
+	}
+
+	var (
+		wg          sync.WaitGroup
+		mu          sync.Mutex
+		lats        []time.Duration
+		nerr, nshed int
+		stop        = make(chan struct{})
+	)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			var mine []time.Duration
+			errs, shed := 0, 0
+			for i := c; ; i++ {
+				select {
+				case <-stop:
+					mu.Lock()
+					lats = append(lats, mine...)
+					nerr += errs
+					nshed += shed
+					mu.Unlock()
+					return
+				default:
+				}
+				j := i % len(mix)
+				t0 := time.Now()
+				resp, status, err := post(client, base, mix[j])
+				el := time.Since(t0)
+				switch {
+				case err != nil:
+					errs++
+					fmt.Fprintf(os.Stderr, "dswpload: http: %s: %v\n", mix[j].Workload, err)
+				case status == http.StatusTooManyRequests:
+					shed++ // load shedding is the server working as designed
+				case status != http.StatusOK:
+					errs++
+					fmt.Fprintf(os.Stderr, "dswpload: http: %s: status %d\n", mix[j].Workload, status)
+				case resp.Digest != want[j]:
+					errs++
+					fmt.Fprintf(os.Stderr, "dswpload: http: %s digest %s, want %s\n",
+						mix[j].Workload, resp.Digest, want[j])
+				default:
+					mine = append(mine, el)
+				}
+			}
+		}(c)
+	}
+	time.Sleep(dur)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	pr := summarize("http", lats, nerr, nshed, elapsed)
+	print1(pr)
+	if nerr > 0 {
+		fail(fmt.Errorf("%d requests failed", nerr))
+	}
+	if len(lats) == 0 {
+		fail(fmt.Errorf("no request completed"))
+	}
+}
+
+// smokeCheck exercises every endpoint once: liveness, the workload
+// catalog, one POST /run per servable workload (each response must
+// carry a digest), and a /metrics scrape that must account for those
+// runs. Any failure exits nonzero — this is the CI server-smoke gate.
+func smokeCheck(client *http.Client, base string) {
+	hr, err := client.Get(base + "/healthz")
+	if err != nil || hr.StatusCode != http.StatusOK {
+		fail(fmt.Errorf("smoke /healthz: status=%v err=%v", status(hr), err))
+	}
+	hr.Body.Close()
+
+	hr, err = client.Get(base + "/workloads")
+	if err != nil || hr.StatusCode != http.StatusOK {
+		fail(fmt.Errorf("smoke /workloads: status=%v err=%v", status(hr), err))
+	}
+	var cat struct {
+		Workloads []string `json:"workloads"`
+	}
+	err = json.NewDecoder(hr.Body).Decode(&cat)
+	hr.Body.Close()
+	if err != nil || len(cat.Workloads) == 0 {
+		fail(fmt.Errorf("smoke /workloads: %d names, err=%v", len(cat.Workloads), err))
+	}
+	for _, name := range cat.Workloads {
+		resp, st, err := post(client, base, engine.Request{Workload: name})
+		if err != nil || st != http.StatusOK || resp.Digest == "" {
+			fail(fmt.Errorf("smoke /run %s: status=%d err=%v", name, st, err))
+		}
+		fmt.Printf("  smoke /run %-24s %s cache=%s pipelined=%v\n",
+			name, resp.Digest, resp.Cache, resp.Pipelined)
+	}
+
+	hr, err = client.Get(base + "/metrics")
+	if err != nil || hr.StatusCode != http.StatusOK {
+		fail(fmt.Errorf("smoke /metrics: status=%v err=%v", status(hr), err))
+	}
+	var snap engine.EngineSnapshot
+	err = json.NewDecoder(hr.Body).Decode(&snap)
+	hr.Body.Close()
+	if err != nil || snap.Completed < int64(len(cat.Workloads)) {
+		fail(fmt.Errorf("smoke /metrics: completed=%d want >= %d, err=%v",
+			snap.Completed, len(cat.Workloads), err))
+	}
+	fmt.Printf("  smoke /metrics: %d completed, %d compiles, p50 total %dus\n",
+		snap.Completed, snap.Compiles, snap.LatencyTotalUS.P50)
+}
+
+func status(hr *http.Response) int {
+	if hr == nil {
+		return 0
+	}
+	return hr.StatusCode
+}
+
+func post(client *http.Client, base string, req engine.Request) (*engine.Response, int, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	hr, err := client.Post(base+"/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, err
+	}
+	defer hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		return nil, hr.StatusCode, nil
+	}
+	var resp engine.Response
+	if err := json.NewDecoder(hr.Body).Decode(&resp); err != nil {
+		return nil, hr.StatusCode, err
+	}
+	return &resp, hr.StatusCode, nil
+}
+
+func summarize(name string, lats []time.Duration, nerr, nshed int, elapsed time.Duration) pathResult {
+	pr := pathResult{Path: name, Requests: len(lats), Errors: nerr, Shed: nshed}
+	if len(lats) == 0 {
+		return pr
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	var sum time.Duration
+	for _, l := range lats {
+		sum += l
+	}
+	pr.ThroughputRPS = float64(len(lats)) / elapsed.Seconds()
+	pr.P50US = lats[len(lats)/2].Microseconds()
+	pr.P99US = lats[len(lats)*99/100].Microseconds()
+	pr.MeanUS = (sum / time.Duration(len(lats))).Microseconds()
+	return pr
+}
+
+func print1(pr pathResult) {
+	fmt.Printf("  %-7s %7d reqs  %9.0f req/s  p50 %6dus  p99 %7dus  mean %6dus  errs %d shed %d",
+		pr.Path, pr.Requests, pr.ThroughputRPS, pr.P50US, pr.P99US, pr.MeanUS, pr.Errors, pr.Shed)
+	if pr.Compiles > 0 || pr.CacheHits > 0 {
+		fmt.Printf("  [compiles %d, cache hits %d, pool hits %d]", pr.Compiles, pr.CacheHits, pr.PoolHits)
+	}
+	fmt.Println()
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dswpload:", err)
+	os.Exit(1)
+}

@@ -30,10 +30,12 @@ package dswp
 import (
 	"context"
 	"fmt"
+	"net/http"
 
 	"dswp/internal/chaos"
 	"dswp/internal/core"
 	"dswp/internal/doacross"
+	"dswp/internal/engine"
 	"dswp/internal/interp"
 	"dswp/internal/ir"
 	"dswp/internal/obs"
@@ -134,12 +136,34 @@ type (
 	Metrics   = obs.Metrics
 	Trace     = obs.Trace
 	PassStats = obs.PassStats
+
+	// Serving engine (internal/engine, cmd/dswpd): Engine amortizes
+	// compilation across requests (compiled-pipeline cache, warm
+	// instance pools, bounded admission); EngineRequest/EngineResponse
+	// are the POST /run wire shapes; EngineMetrics counts the serving
+	// path and EngineSnapshot is its race-safe JSON export;
+	// UnknownWorkloadError is the typed bad-request failure.
+	Engine               = engine.Engine
+	EngineOptions        = engine.Options
+	EngineRequest        = engine.Request
+	EngineResponse       = engine.Response
+	EngineMetrics        = engine.Metrics
+	EngineSnapshot       = engine.EngineSnapshot
+	UnknownWorkloadError = engine.UnknownWorkloadError
 )
 
 // Sentinel errors from the transformation (Figure 3 steps 3 and 6).
 var (
 	ErrSingleSCC    = core.ErrSingleSCC
 	ErrUnprofitable = core.ErrUnprofitable
+)
+
+// Typed admission errors from the serving engine: a full pending queue
+// sheds with ErrOverloaded (HTTP 429), a draining engine rejects with
+// ErrDraining (HTTP 503).
+var (
+	ErrOverloaded = engine.ErrOverloaded
+	ErrDraining   = engine.ErrDraining
 )
 
 // Fault classes for FaultPlan.QueueFault: transient faults recover under
@@ -350,6 +374,22 @@ func Validate(p *Program, opts ValidateOptions) *ValidateReport {
 func ValidateAll(opts ValidateOptions) []*ValidateReport {
 	return validate.Suite(opts)
 }
+
+// NewEngine starts a pipeline-as-a-service engine: a compiled-pipeline
+// cache with single-flight deduplication, warm instance pools, and a
+// bounded worker pool over a bounded pending queue. Serve requests with
+// Engine.Run, export counters with Engine.Metrics().Snapshot(), and
+// stop with Engine.Shutdown (graceful drain under the context's
+// deadline).
+func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }
+
+// NewServerMux builds the dswpd HTTP surface (POST /run, GET /metrics,
+// /healthz, /workloads) over an engine, stdlib net/http only.
+func NewServerMux(e *Engine) *http.ServeMux { return engine.NewMux(e) }
+
+// ServableWorkloads lists every workload name the engine accepts: the
+// parametric list kernels plus the Table 1 suite and §5 case studies.
+func ServableWorkloads() []string { return engine.Workloads() }
 
 // Built-in workloads: the paper's pedagogy kernels and Table 1 suite.
 

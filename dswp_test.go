@@ -1,9 +1,13 @@
 package dswp
 
 import (
+	"context"
 	"errors"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestFacadePipelineListTraversal(t *testing.T) {
@@ -165,5 +169,63 @@ func TestFacadeParseAndBuildRoundTrip(t *testing.T) {
 func TestFacadeMachineConfigs(t *testing.T) {
 	if FullWidth().FetchWidth != 2*HalfWidth().FetchWidth {
 		t.Fatal("width configs inconsistent")
+	}
+}
+
+func TestFacadeEngine(t *testing.T) {
+	e := NewEngine(EngineOptions{Workers: 2, QueueDepth: 8})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := e.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+
+	resp, err := e.Run(context.Background(), EngineRequest{Workload: "list-traversal", N: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Pipelined || resp.Digest == "" {
+		t.Fatalf("unexpected response: %+v", resp)
+	}
+	// Same request again: must be a cache hit with the same digest.
+	again, err := e.Run(context.Background(), EngineRequest{Workload: "list-traversal", N: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Cache != "hit" || again.Digest != resp.Digest {
+		t.Fatalf("second run: cache=%q digest match=%v", again.Cache, again.Digest == resp.Digest)
+	}
+
+	var snap *EngineSnapshot = e.Metrics().Snapshot()
+	if snap.Compiles != 1 || snap.Completed != 2 {
+		t.Fatalf("snapshot compiles=%d completed=%d, want 1/2", snap.Compiles, snap.Completed)
+	}
+
+	if _, err := e.Run(context.Background(), EngineRequest{Workload: "nope"}); err != nil {
+		var uw *UnknownWorkloadError
+		if !errors.As(err, &uw) {
+			t.Fatalf("err = %v, want *UnknownWorkloadError", err)
+		}
+	} else {
+		t.Fatal("unknown workload accepted")
+	}
+
+	mux := NewServerMux(e)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	hr, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz status %d", hr.StatusCode)
+	}
+
+	names := ServableWorkloads()
+	if len(names) < 10 {
+		t.Fatalf("only %d servable workloads", len(names))
 	}
 }

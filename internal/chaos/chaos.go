@@ -30,6 +30,11 @@ import (
 
 // Options configures a soak.
 type Options struct {
+	// Ctx, when set, bounds the whole soak externally: each scenario's
+	// context derives from it, and when it expires the soak stops early
+	// with Report.Aborted set. The serving engine uses this to keep
+	// background soaks inside server deadlines. nil = context.Background().
+	Ctx context.Context
 	// Seed drives every randomized choice; 0 = 1.
 	Seed uint64
 	// Runs is the number of chaos scenarios to execute (0 = 200).
@@ -97,6 +102,9 @@ type Report struct {
 	// NotRecovered lists non-cancellation scenarios that ended in error
 	// (the supervisor should have recovered), with repro info.
 	NotRecovered []string
+	// Aborted is true when Options.Ctx expired before the soak finished;
+	// Runs counts only the scenarios that completed before the cut.
+	Aborted bool
 }
 
 // OK reports whether the soak upheld the supervisor's contract.
@@ -107,6 +115,9 @@ func (r *Report) OK() bool {
 func (r *Report) String() string {
 	s := fmt.Sprintf("chaos: %d runs (seed %d): %d clean, %d recovered, %d canceled",
 		r.Runs, r.Seed, r.Clean, r.Recovered, r.Canceled)
+	if r.Aborted {
+		s += ", aborted by deadline"
+	}
 	if !r.OK() {
 		s += fmt.Sprintf(" — CONTRACT VIOLATED: %d wrong-state, %d untyped, %d hangs, %d not-recovered",
 			r.WrongState, r.Untyped, r.Hangs, len(r.NotRecovered))
@@ -160,6 +171,9 @@ func Soak(opts Options) *Report {
 	opts = opts.withDefaults()
 	rep := &Report{Seed: opts.Seed, ByClass: map[string]int{}}
 	start := time.Now()
+	if opts.Ctx == nil {
+		opts.Ctx = context.Background()
+	}
 
 	var targets []*target
 	for _, p := range validate.AllPrograms() {
@@ -192,6 +206,11 @@ func Soak(opts Options) *Report {
 
 	seeder := &chaosRNG{s: opts.Seed | 1}
 	for i := 0; i < opts.Runs; i++ {
+		if opts.Ctx.Err() != nil {
+			rep.Aborted = true
+			opts.logf("chaos: context expired after %d/%d runs", i, opts.Runs)
+			break
+		}
 		if opts.Budget > 0 && time.Since(start) > opts.Budget {
 			opts.logf("chaos: budget exhausted after %d/%d runs", i, opts.Runs)
 			break
@@ -256,7 +275,10 @@ func soakOne(rep *Report, targets []*target, i int, subSeed uint64, opts Options
 	tag := fmt.Sprintf("run=%d seed=%d %s%s/%s queue=%s cap=%d every=%d cancel=%v",
 		i, opts.Seed, tg.prog.Name, pack, modeNames[mode], kind, cap, every, midCancel)
 
-	ctx, cancel := context.WithCancel(context.Background())
+	// The scenario context derives from the soak's external one, so an
+	// engine-imposed deadline cuts running scenarios short too; the scoring
+	// below treats that like an injected cancel, not a contract violation.
+	ctx, cancel := context.WithCancel(opts.Ctx)
 	defer cancel()
 	if midCancel {
 		delay := time.Duration(rng.intn(2000)) * time.Microsecond
@@ -297,7 +319,7 @@ func soakOne(rep *Report, targets []*target, i int, subSeed uint64, opts Options
 	}
 	if out.err != nil {
 		if isCancel(out.err) {
-			if midCancel {
+			if midCancel || opts.Ctx.Err() != nil {
 				rep.Canceled++
 				return
 			}
@@ -309,7 +331,7 @@ func soakOne(rep *Report, targets []*target, i int, subSeed uint64, opts Options
 			opts.logf("chaos FAIL (untyped error): %s: %v", tag, out.err)
 			return
 		}
-		if midCancel {
+		if midCancel || opts.Ctx.Err() != nil {
 			// Raced the cancel but died on the injected failure first;
 			// either terminal state is acceptable under cancellation.
 			rep.Canceled++

@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"context"
 	"testing"
 	"time"
 )
@@ -57,5 +58,33 @@ func TestSoakBudgetTruncates(t *testing.T) {
 	}
 	if !rep.OK() {
 		t.Fatalf("truncated soak violated the contract: %s", rep)
+	}
+}
+
+// TestSoakExternalContext pins the engine-facing contract: a soak under an
+// expiring external context stops early, marks the report aborted, and
+// still upholds the chaos contract for the runs it did execute (externally
+// cut scenarios score as canceled, never as not-recovered).
+func TestSoakExternalContext(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	rep := Soak(Options{Ctx: ctx, Seed: 20260806, Runs: 10000, Logf: t.Logf})
+	if !rep.Aborted {
+		t.Fatal("soak under a 300ms deadline was not marked aborted")
+	}
+	if rep.Runs >= 10000 {
+		t.Fatalf("soak ran all %d scenarios despite the deadline", rep.Runs)
+	}
+	if !rep.OK() {
+		t.Fatalf("aborted soak violated the contract: %s\nnot recovered: %v",
+			rep, rep.NotRecovered)
+	}
+
+	// An already-expired context yields zero runs and an aborted report.
+	done, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	rep = Soak(Options{Ctx: done, Seed: 1, Runs: 5})
+	if !rep.Aborted || rep.Runs != 0 {
+		t.Fatalf("pre-expired context: aborted=%v runs=%d, want true/0", rep.Aborted, rep.Runs)
 	}
 }

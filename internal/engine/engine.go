@@ -1,0 +1,546 @@
+// Package engine turns the DSWP toolchain into a pipeline-as-a-service:
+// it compiles workloads once (dependence graph, DAG_SCC partitioning,
+// flow insertion) and serves many executions of the compiled pipeline,
+// the same compile-once/run-many split the paper's synchronization array
+// assumes in hardware.
+//
+// The engine owns three resources the per-request path composes:
+//
+//   - a compiled-pipeline cache (cache.go): ref-counted, LRU-evicted
+//     artifacts keyed by (workload, parameters, transform config), with
+//     single-flight deduplication so N concurrent requests for the same
+//     key trigger exactly one core.Apply;
+//   - warm instance pools (pool.go): per-pipeline free lists of
+//     runtime.Instance state (queues, register files, iteration counters)
+//     that are reset-and-verified between runs instead of reallocated;
+//   - admission control (this file): a bounded worker pool over a bounded
+//     pending queue, with typed ErrOverloaded shedding when the queue is
+//     full and per-request deadlines threaded into the supervisor's
+//     context machinery.
+//
+// Executions run under the fault-tolerant supervisor by default, so every
+// response is either bit-identical to sequential execution of the
+// original loop or a typed error — the serving layer inherits the
+// correctness contract the chaos harness soaks.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dswp/internal/core"
+	"dswp/internal/interp"
+	"dswp/internal/profile"
+	"dswp/internal/queue"
+	rt "dswp/internal/runtime"
+	"dswp/internal/supervisor"
+	"dswp/internal/workloads"
+)
+
+// Typed admission errors. The HTTP layer maps these onto status codes
+// (429 and 503); programmatic callers match with errors.Is.
+var (
+	// ErrOverloaded is returned when the pending queue is full: the
+	// request was shed without being admitted.
+	ErrOverloaded = errors.New("engine: overloaded, request shed")
+	// ErrDraining is returned once Shutdown has begun: new requests are
+	// rejected and already-queued ones fail with this error while
+	// in-flight runs complete.
+	ErrDraining = errors.New("engine: draining, not accepting requests")
+)
+
+// UnknownWorkloadError identifies a request naming no registered workload.
+type UnknownWorkloadError struct{ Name string }
+
+func (e *UnknownWorkloadError) Error() string {
+	return fmt.Sprintf("engine: unknown workload %q", e.Name)
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Workers bounds concurrent pipeline executions (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the pending-request queue; a full queue sheds
+	// with ErrOverloaded (default 4*Workers).
+	QueueDepth int
+	// CacheCap bounds the number of cached compiled pipelines; colder
+	// unreferenced entries are LRU-evicted past it (default 32).
+	CacheCap int
+	// PoolSize bounds warm instances kept per compiled pipeline
+	// (default Workers — at most Workers runs touch one pipeline at once).
+	PoolSize int
+	// QueueCap is the default synchronization-array capacity for served
+	// runs (default runtime.DefaultQueueCap). Requests overriding it
+	// bypass the warm pool, whose instances are built for this capacity.
+	QueueCap int
+	// Queue is the default communication substrate for served runs.
+	Queue queue.Kind
+	// DefaultDeadline bounds requests that carry no deadline of their
+	// own (default 30s; <0 disables).
+	DefaultDeadline time.Duration
+	// DisableCache forces every request through a cold compile — the
+	// benchmark harness uses it to measure the cache's win.
+	DisableCache bool
+	// DisablePool forces fresh per-run state even on cache hits.
+	DisablePool bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 4 * o.Workers
+	}
+	if o.CacheCap <= 0 {
+		o.CacheCap = 32
+	}
+	if o.PoolSize <= 0 {
+		o.PoolSize = o.Workers
+	}
+	if o.QueueCap <= 0 {
+		o.QueueCap = rt.DefaultQueueCap
+	}
+	if o.DefaultDeadline == 0 {
+		o.DefaultDeadline = 30 * time.Second
+	}
+	return o
+}
+
+// Request describes one pipeline execution.
+type Request struct {
+	// Workload names a registered workload ("181.mcf", "list-traversal",
+	// ...; see Workloads).
+	Workload string `json:"workload"`
+	// N parameterizes list-traversal length (default 1024).
+	N int64 `json:"n,omitempty"`
+	// Outer/Inner parameterize list-of-lists (defaults 64 and 8).
+	Outer int64 `json:"outer,omitempty"`
+	Inner int64 `json:"inner,omitempty"`
+	// Threads is the pipeline depth target (default 2, the paper's
+	// dual-core evaluation).
+	Threads int `json:"threads,omitempty"`
+	// PackFlows enables compiler-side flow packing.
+	PackFlows bool `json:"pack_flows,omitempty"`
+	// MasterLoop emits the §3 master-loop runtime protocol.
+	MasterLoop bool `json:"master_loop,omitempty"`
+	// ConservativeMemory builds the dependence graph with every memory
+	// pair aliasing (the epicdec case-study mode).
+	ConservativeMemory bool `json:"conservative_memory,omitempty"`
+	// Mode selects execution: "supervised" (default; checkpointing and
+	// sequential resume), "concurrent" (raw pipeline runtime), or
+	// "sequential" (the untransformed loop on the interpreter).
+	Mode string `json:"mode,omitempty"`
+	// QueueCap overrides the engine's synchronization-array capacity for
+	// this run (0 = engine default). Non-default values bypass the pool.
+	QueueCap int `json:"queue_cap,omitempty"`
+	// QueueKind overrides the substrate: "channel" or "ring" ("" = engine
+	// default). Non-default values bypass the pool.
+	QueueKind string `json:"queue_kind,omitempty"`
+	// DeadlineMillis bounds this request end to end, queue wait included
+	// (0 = engine default).
+	DeadlineMillis int64 `json:"deadline_ms,omitempty"`
+}
+
+// Response reports one served execution.
+type Response struct {
+	Workload string `json:"workload"`
+	// Key is the cache key the request compiled under.
+	Key string `json:"key"`
+	// Digest is the FNV-1a state digest of the final architectural state
+	// (hex) — identical requests must produce identical digests.
+	Digest string `json:"digest"`
+	// LiveOuts are thread 0's live-out registers.
+	LiveOuts map[string]int64 `json:"live_outs,omitempty"`
+	// Pipelined is false when the workload has a single SCC (or the
+	// transform was otherwise not applicable) and the engine served the
+	// run sequentially instead.
+	Pipelined bool `json:"pipelined"`
+	// Threads and NumQueues describe the compiled pipeline.
+	Threads   int `json:"threads,omitempty"`
+	NumQueues int `json:"num_queues,omitempty"`
+	// Cache is "hit", "miss", or "bypass" (cache disabled).
+	Cache string `json:"cache"`
+	// Warm is true when the run reused a pooled instance.
+	Warm bool `json:"warm"`
+	// Resumed and Checkpoints surface the supervisor's report.
+	Resumed     bool  `json:"resumed,omitempty"`
+	Checkpoints int64 `json:"checkpoints,omitempty"`
+	// Timing breakdown, microseconds.
+	QueueMicros   int64 `json:"queue_us"`
+	CompileMicros int64 `json:"compile_us"`
+	RunMicros     int64 `json:"run_us"`
+	TotalMicros   int64 `json:"total_us"`
+}
+
+// Engine is the serving runtime. Create with New, serve with Run (or the
+// HTTP layer in http.go), stop with Shutdown.
+type Engine struct {
+	opts    Options
+	met     *Metrics
+	cache   *cache
+	pending chan *job
+	stop    chan struct{}
+	wg      sync.WaitGroup
+
+	draining atomic.Bool
+	// base is canceled only by a hard shutdown (drain deadline expired);
+	// every in-flight run's context derives from both it and the request.
+	base       context.Context
+	cancelBase context.CancelFunc
+
+	shutdownOnce sync.Once
+	shutdownErr  error
+}
+
+type job struct {
+	ctx       context.Context
+	req       Request
+	build     func() *workloads.Program
+	key       string
+	submitted time.Time
+	res       *Response
+	err       error
+	done      chan struct{}
+}
+
+// New starts an engine: opts.Workers goroutines consuming a bounded
+// pending queue.
+func New(opts Options) *Engine {
+	opts = opts.withDefaults()
+	e := &Engine{
+		opts:    opts,
+		met:     newMetrics(),
+		pending: make(chan *job, opts.QueueDepth),
+		stop:    make(chan struct{}),
+	}
+	e.cache = newCache(opts.CacheCap, e.met)
+	e.base, e.cancelBase = context.WithCancel(context.Background())
+	for i := 0; i < opts.Workers; i++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e
+}
+
+// Metrics exposes the engine's counters; see Metrics.Snapshot.
+func (e *Engine) Metrics() *Metrics { return e.met }
+
+// Draining reports whether Shutdown has begun.
+func (e *Engine) Draining() bool { return e.draining.Load() }
+
+// Run executes one request: admission, compile-or-hit, execution, all
+// under the request deadline. It blocks until the response is ready, the
+// context expires, or the request is shed.
+func (e *Engine) Run(ctx context.Context, req Request) (*Response, error) {
+	atomic.AddInt64(&e.met.requests, 1)
+	if e.draining.Load() {
+		atomic.AddInt64(&e.met.drained, 1)
+		return nil, ErrDraining
+	}
+	build, key, err := resolve(req)
+	if err != nil {
+		atomic.AddInt64(&e.met.failed, 1)
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	deadline := e.opts.DefaultDeadline
+	if req.DeadlineMillis > 0 {
+		deadline = time.Duration(req.DeadlineMillis) * time.Millisecond
+	}
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+
+	j := &job{ctx: ctx, req: req, build: build, key: key,
+		submitted: time.Now(), done: make(chan struct{})}
+	select {
+	case e.pending <- j:
+		atomic.AddInt64(&e.met.queued, 1)
+	default:
+		atomic.AddInt64(&e.met.shed, 1)
+		return nil, ErrOverloaded
+	}
+	select {
+	case <-j.done:
+		return j.res, j.err
+	case <-ctx.Done():
+		// The worker that eventually dequeues the job sees the expired
+		// context and fails it fast; the caller need not wait for that.
+		atomic.AddInt64(&e.met.failed, 1)
+		return nil, ctx.Err()
+	}
+}
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for {
+		select {
+		case j := <-e.pending:
+			e.serve(j)
+		case <-e.stop:
+			return
+		}
+	}
+}
+
+func (e *Engine) serve(j *job) {
+	atomic.AddInt64(&e.met.queued, -1)
+	atomic.AddInt64(&e.met.inflight, 1)
+	defer atomic.AddInt64(&e.met.inflight, -1)
+	defer close(j.done)
+
+	queueWait := time.Since(j.submitted)
+	e.met.latQueue.Add(queueWait.Microseconds())
+	if err := j.ctx.Err(); err != nil {
+		j.err = err
+		atomic.AddInt64(&e.met.expired, 1)
+		return
+	}
+
+	// The run context dies with either the request or a hard shutdown.
+	ctx, cancel := context.WithCancel(j.ctx)
+	defer cancel()
+	defer context.AfterFunc(e.base, cancel)()
+
+	j.res, j.err = e.execute(ctx, j)
+	total := time.Since(j.submitted)
+	if j.err != nil {
+		atomic.AddInt64(&e.met.failed, 1)
+		return
+	}
+	j.res.QueueMicros = queueWait.Microseconds()
+	j.res.TotalMicros = total.Microseconds()
+	e.met.latTotal.Add(j.res.TotalMicros)
+	e.met.latRun.Add(j.res.RunMicros)
+	atomic.AddInt64(&e.met.completed, 1)
+}
+
+// execute compiles (or fetches) the pipeline and runs it in the
+// requested mode.
+func (e *Engine) execute(ctx context.Context, j *job) (*Response, error) {
+	req := j.req
+	resp := &Response{Workload: req.Workload, Key: j.key}
+
+	var (
+		p   *pipeline
+		err error
+	)
+	if e.opts.DisableCache {
+		resp.Cache = "bypass"
+		atomic.AddInt64(&e.met.cacheBypass, 1)
+		p, err = e.compile(req, j.build, j.key)
+	} else {
+		var hit bool
+		p, hit, err = e.cache.acquire(ctx, j.key, func() (*pipeline, error) {
+			return e.compile(req, j.build, j.key)
+		})
+		if hit {
+			resp.Cache = "hit"
+		} else {
+			resp.Cache = "miss"
+			resp.CompileMicros = p.compileMicros
+		}
+		if err == nil {
+			defer e.cache.release(p)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	if e.opts.DisableCache {
+		resp.CompileMicros = p.compileMicros
+	}
+
+	resp.Pipelined = p.tr != nil
+	if p.tr != nil {
+		resp.Threads = len(p.tr.Threads)
+		resp.NumQueues = p.tr.NumQueues
+	}
+
+	kind, qcap := e.runGeometry(req)
+	start := time.Now()
+	var res *interp.Result
+	switch {
+	case req.Mode == "sequential" || p.tr == nil:
+		// Single-SCC workloads (164.gzip) compile to a nil transform and
+		// are served on the interpreter, so every workload is runnable.
+		res, err = interp.Run(p.prog.F, interp.Options{
+			Ctx: ctx, Mem: p.prog.Mem, Regs: p.prog.Regs,
+		})
+	case req.Mode == "concurrent":
+		inst, warm := e.instanceFor(p, kind, qcap)
+		resp.Warm = warm
+		res, err = rt.RunCtx(ctx, p.tr.Threads, rt.Options{
+			Plan: p.plan, Instance: inst, Queue: kind, QueueCap: qcap,
+			Mem: p.prog.Mem, Regs: p.prog.Regs,
+		})
+		e.returnInstance(p, inst)
+	case req.Mode == "" || req.Mode == "supervised":
+		inst, warm := e.instanceFor(p, kind, qcap)
+		resp.Warm = warm
+		var srep *supervisor.Report
+		res, srep, err = supervisor.Run(ctx, supervisor.Pipeline{
+			Threads: p.tr.Threads, Original: p.prog.F,
+			LoopHeader: p.prog.LoopHeader, RegOwner: p.tr.RegOwner,
+			Mem: p.prog.Mem, Regs: p.prog.Regs,
+		}, supervisor.Policy{
+			Queue: kind, QueueCap: qcap, Plan: p.plan, Instance: inst,
+		})
+		e.returnInstance(p, inst)
+		if srep != nil {
+			resp.Resumed = srep.Resumed
+			resp.Checkpoints = srep.Checkpoints
+			if srep.Resumed {
+				atomic.AddInt64(&e.met.resumes, 1)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("engine: unknown mode %q", req.Mode)
+	}
+	if err != nil {
+		return nil, err
+	}
+	resp.RunMicros = time.Since(start).Microseconds()
+
+	resp.Digest = fmt.Sprintf("%016x", workloads.StateDigest(res))
+	resp.LiveOuts = make(map[string]int64, len(res.LiveOuts))
+	for r, v := range res.LiveOuts {
+		resp.LiveOuts[r.String()] = v
+	}
+	return resp, nil
+}
+
+// runGeometry resolves the queue substrate and capacity for a request.
+func (e *Engine) runGeometry(req Request) (queue.Kind, int) {
+	kind := e.opts.Queue
+	if req.QueueKind != "" {
+		if k, err := queue.ParseKind(req.QueueKind); err == nil {
+			kind = k
+		}
+	}
+	qcap := e.opts.QueueCap
+	if req.QueueCap > 0 {
+		qcap = req.QueueCap
+	}
+	return kind, qcap
+}
+
+// instanceFor fetches a warm instance when the request's geometry matches
+// the pool's; otherwise the run allocates fresh state.
+func (e *Engine) instanceFor(p *pipeline, kind queue.Kind, qcap int) (*rt.Instance, bool) {
+	if e.opts.DisablePool || p.pool == nil || kind != e.opts.Queue || qcap != e.opts.QueueCap {
+		atomic.AddInt64(&e.met.poolMisses, 1)
+		return nil, false
+	}
+	if inst := p.pool.get(); inst != nil {
+		atomic.AddInt64(&e.met.poolHits, 1)
+		return inst, true
+	}
+	atomic.AddInt64(&e.met.poolMisses, 1)
+	return p.pool.make(), false
+}
+
+func (e *Engine) returnInstance(p *pipeline, inst *rt.Instance) {
+	if inst == nil || p.pool == nil {
+		return
+	}
+	if !p.pool.put(inst) {
+		atomic.AddInt64(&e.met.poolDrops, 1)
+	}
+}
+
+// compile builds the workload and applies the DSWP transformation; a
+// single-SCC or unprofitable loop yields a sequential-only pipeline
+// (tr == nil) rather than an error, so the cache remembers the outcome.
+func (e *Engine) compile(req Request, build func() *workloads.Program, key string) (*pipeline, error) {
+	start := time.Now()
+	atomic.AddInt64(&e.met.compiles, 1)
+	prog := build()
+	prof, err := profile.Collect(prog.F, prog.Options())
+	if err != nil {
+		return nil, fmt.Errorf("engine: profile %s: %w", req.Workload, err)
+	}
+	tr, err := core.Apply(prog.F, prog.LoopHeader, prof, configOf(req))
+	if err != nil {
+		if errors.Is(err, core.ErrSingleSCC) || errors.Is(err, core.ErrUnprofitable) {
+			return &pipeline{key: key, prog: prog,
+				compileMicros: time.Since(start).Microseconds()}, nil
+		}
+		return nil, fmt.Errorf("engine: transform %s: %w", req.Workload, err)
+	}
+	plan, err := rt.NewPlan(tr.Threads)
+	if err != nil {
+		return nil, fmt.Errorf("engine: plan %s: %w", req.Workload, err)
+	}
+	p := &pipeline{key: key, prog: prog, tr: tr, plan: plan,
+		compileMicros: time.Since(start).Microseconds()}
+	e.met.RecordCompile(p.compileMicros)
+	if !e.opts.DisablePool {
+		p.pool = newPool(plan, e.opts.Queue, e.opts.QueueCap, e.opts.PoolSize, e.met)
+	}
+	return p, nil
+}
+
+// configOf maps a request onto the transform configuration. Profitability
+// gating is always skipped: a serving request is an explicit ask for the
+// pipelined form, not a compiler evaluating whether to bother.
+func configOf(req Request) core.Config {
+	cfg := core.Config{
+		NumThreads:        req.Threads,
+		SkipProfitability: true,
+		PackFlows:         req.PackFlows,
+		MasterLoop:        req.MasterLoop,
+	}
+	cfg.Dep.ConservativeMemory = req.ConservativeMemory
+	return cfg
+}
+
+// Shutdown drains the engine: new requests are rejected with ErrDraining,
+// queued-but-unstarted ones fail the same way, and in-flight runs are
+// given until ctx expires to finish — after which they are hard-canceled
+// through the context threaded into every stage goroutine. Idempotent;
+// returns ctx's error when the deadline forced a hard cancel.
+func (e *Engine) Shutdown(ctx context.Context) error {
+	e.shutdownOnce.Do(func() {
+		e.draining.Store(true)
+		e.failQueued()
+		close(e.stop)
+		done := make(chan struct{})
+		go func() { e.wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			e.cancelBase()
+			<-done
+			e.shutdownErr = ctx.Err()
+		}
+		e.failQueued() // races between the draining flag and the queue
+		e.cancelBase()
+	})
+	return e.shutdownErr
+}
+
+// failQueued fails every pending-but-unstarted job with ErrDraining.
+func (e *Engine) failQueued() {
+	for {
+		select {
+		case j := <-e.pending:
+			atomic.AddInt64(&e.met.queued, -1)
+			atomic.AddInt64(&e.met.drained, 1)
+			j.err = ErrDraining
+			close(j.done)
+		default:
+			return
+		}
+	}
+}

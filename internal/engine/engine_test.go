@@ -1,0 +1,447 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"dswp/internal/interp"
+	"dswp/internal/workloads"
+)
+
+// seqDigest computes the sequential reference digest for a request the
+// way the acceptance criterion demands: the untransformed loop on the
+// interpreter, fresh state.
+func seqDigest(t *testing.T, req Request) string {
+	t.Helper()
+	build, _, err := resolve(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := build()
+	res, err := interp.Run(p.F, p.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fmt.Sprintf("%016x", workloads.StateDigest(res))
+}
+
+// settleGoroutines polls until the goroutine count returns to within
+// slack of base, failing after a deadline — the leak detector every
+// shutdown test ends with.
+func settleGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base+2 { // the test runner itself jitters by a couple
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines did not settle: %d > base %d\n%s",
+				n, base, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestConcurrentIdenticalSingleCompile is the single-flight acceptance
+// test: 64 concurrent identical requests must trigger exactly one
+// core.Apply and every response must be bit-identical to the sequential
+// reference.
+func TestConcurrentIdenticalSingleCompile(t *testing.T) {
+	e := New(Options{Workers: 8, QueueDepth: 128})
+	defer shutdown(t, e)
+	req := Request{Workload: "list-traversal", N: 256}
+	want := seqDigest(t, req)
+
+	const n = 64
+	var wg sync.WaitGroup
+	resps := make([]*Response, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resps[i], errs[i] = e.Run(context.Background(), req)
+		}(i)
+	}
+	wg.Wait()
+
+	hits := 0
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if resps[i].Digest != want {
+			t.Fatalf("request %d digest %s, want %s", i, resps[i].Digest, want)
+		}
+		if resps[i].Cache == "hit" {
+			hits++
+		}
+	}
+	s := e.Metrics().Snapshot()
+	if s.Compiles != 1 {
+		t.Fatalf("%d compiles for %d identical requests, want exactly 1", s.Compiles, n)
+	}
+	if s.CacheMisses != 1 || s.CacheHits != n-1 {
+		t.Fatalf("cache hits/misses = %d/%d, want %d/1", s.CacheHits, s.CacheMisses, n-1)
+	}
+	if hits != n-1 {
+		t.Fatalf("%d responses marked hit, want %d", hits, n-1)
+	}
+	if s.Completed != n {
+		t.Fatalf("completed = %d, want %d", s.Completed, n)
+	}
+}
+
+// TestConcurrentMixedWorkloads serves 64 concurrent requests across a
+// workload mix (pipelined, packed, parametric, and a single-SCC case)
+// and checks every response against its sequential reference, with
+// exactly one compile per distinct cache key.
+func TestConcurrentMixedWorkloads(t *testing.T) {
+	mix := []Request{
+		{Workload: "list-traversal", N: 200},
+		{Workload: "list-traversal", N: 200, PackFlows: true},
+		{Workload: "list-of-lists", Outer: 30, Inner: 4},
+		{Workload: "wc"},
+		{Workload: "adpcmdec"},
+		{Workload: "164.gzip"}, // single SCC: served sequentially
+		{Workload: "list-traversal", N: 200, Mode: "concurrent"},
+		{Workload: "list-of-lists", Outer: 30, Inner: 4, Mode: "sequential"},
+	}
+	want := make([]string, len(mix))
+	keys := map[string]bool{}
+	for i, req := range mix {
+		want[i] = seqDigest(t, req)
+		_, key, err := resolve(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys[key] = true
+	}
+
+	e := New(Options{Workers: 8, QueueDepth: 128})
+	defer shutdown(t, e)
+
+	const n = 64
+	var wg sync.WaitGroup
+	fail := make(chan string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := mix[i%len(mix)]
+			resp, err := e.Run(context.Background(), req)
+			if err != nil {
+				fail <- fmt.Sprintf("request %d (%s): %v", i, req.Workload, err)
+				return
+			}
+			if resp.Digest != want[i%len(mix)] {
+				fail <- fmt.Sprintf("request %d (%s): digest %s, want %s",
+					i, req.Workload, resp.Digest, want[i%len(mix)])
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(fail)
+	for msg := range fail {
+		t.Error(msg)
+	}
+
+	s := e.Metrics().Snapshot()
+	if s.Compiles != int64(len(keys)) {
+		t.Errorf("%d compiles, want exactly %d (one per distinct key)", s.Compiles, len(keys))
+	}
+	if s.Shed != 0 {
+		t.Errorf("%d requests shed with queue depth 128", s.Shed)
+	}
+}
+
+// TestOverloadShedding saturates a deliberately tiny engine and checks
+// shedding is typed, counted, and non-destructive: every request either
+// completes correctly or fails with ErrOverloaded.
+func TestOverloadShedding(t *testing.T) {
+	e := New(Options{Workers: 1, QueueDepth: 1})
+	defer shutdown(t, e)
+	req := Request{Workload: "list-traversal", N: 400}
+	want := seqDigest(t, req)
+
+	const n = 32
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var served, shed int
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := e.Run(context.Background(), req)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				if resp.Digest != want {
+					t.Errorf("served response has digest %s, want %s", resp.Digest, want)
+				}
+				served++
+			case errors.Is(err, ErrOverloaded):
+				shed++
+			default:
+				t.Errorf("unexpected error class: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if served == 0 {
+		t.Fatal("nothing was served")
+	}
+	if shed == 0 {
+		t.Fatal("nothing was shed despite worker=1 queue=1 and 32 concurrent requests")
+	}
+	s := e.Metrics().Snapshot()
+	if s.Shed != int64(shed) {
+		t.Errorf("metrics shed = %d, callers saw %d", s.Shed, shed)
+	}
+	// The engine must still serve correctly after the storm.
+	resp, err := e.Run(context.Background(), req)
+	if err != nil || resp.Digest != want {
+		t.Fatalf("post-storm request: resp=%v err=%v", resp, err)
+	}
+}
+
+// TestGracefulShutdown pins the drain contract: in-flight runs complete
+// with correct results, queued-but-unstarted requests fail with
+// ErrDraining, later submissions are rejected, and every engine goroutine
+// exits.
+func TestGracefulShutdown(t *testing.T) {
+	base := runtime.NumGoroutine()
+	e := New(Options{Workers: 1, QueueDepth: 8})
+	req := Request{Workload: "list-of-lists", Outer: 50, Inner: 6}
+	want := seqDigest(t, req)
+
+	// Fill the single worker plus the queue behind it.
+	const n = 6
+	type outcome struct {
+		resp *Response
+		err  error
+	}
+	results := make(chan outcome, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			resp, err := e.Run(context.Background(), req)
+			results <- outcome{resp, err}
+		}()
+	}
+	// Wait until the worker is actually executing and the queue holds the
+	// rest, then drain.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s := e.Metrics().Snapshot()
+		if s.InFlight > 0 && s.Queued > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("engine never reached in-flight+queued state: %+v", s)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := e.Shutdown(ctx); err != nil {
+		t.Fatalf("graceful shutdown failed: %v", err)
+	}
+
+	var completed, drained int
+	for i := 0; i < n; i++ {
+		out := <-results
+		switch {
+		case out.err == nil:
+			if out.resp.Digest != want {
+				t.Errorf("in-flight run digest %s, want %s", out.resp.Digest, want)
+			}
+			completed++
+		case errors.Is(out.err, ErrDraining):
+			drained++
+		default:
+			t.Errorf("unexpected shutdown-era error: %v", out.err)
+		}
+	}
+	if completed == 0 {
+		t.Error("no in-flight run completed across shutdown")
+	}
+	if drained == 0 {
+		t.Error("no queued request got the typed drain error")
+	}
+	if _, err := e.Run(context.Background(), req); !errors.Is(err, ErrDraining) {
+		t.Errorf("post-shutdown Run: err = %v, want ErrDraining", err)
+	}
+	settleGoroutines(t, base)
+}
+
+// TestShutdownDeadlineHardCancels starts a long run, then shuts down with
+// an immediate deadline: the in-flight run must be canceled through its
+// context rather than outliving the engine.
+func TestShutdownDeadlineHardCancels(t *testing.T) {
+	base := runtime.NumGoroutine()
+	e := New(Options{Workers: 1, QueueDepth: 2})
+	done := make(chan error, 1)
+	go func() {
+		_, err := e.Run(context.Background(), Request{Workload: "29.compress"})
+		done <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for e.Metrics().Snapshot().InFlight == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("run never became in-flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already expired: drain grace is zero
+	if err := e.Shutdown(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("hard shutdown: err = %v, want context.Canceled", err)
+	}
+	select {
+	case err := <-done:
+		// The run may have squeaked in before the cancel landed; both a
+		// completion and a cancellation error are acceptable terminal
+		// states. What is not acceptable is hanging.
+		_ = err
+	case <-time.After(10 * time.Second):
+		t.Fatal("in-flight run outlived a hard shutdown")
+	}
+	settleGoroutines(t, base)
+}
+
+// TestWarmPoolReuse runs one key repeatedly and checks the pool turns
+// over: after the first round instances come back warm, and warm results
+// stay bit-identical.
+func TestWarmPoolReuse(t *testing.T) {
+	e := New(Options{Workers: 1, QueueDepth: 8})
+	defer shutdown(t, e)
+	req := Request{Workload: "list-traversal", N: 300}
+	want := seqDigest(t, req)
+
+	warm := 0
+	for i := 0; i < 6; i++ {
+		resp, err := e.Run(context.Background(), req)
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if resp.Digest != want {
+			t.Fatalf("run %d digest %s, want %s", i, resp.Digest, want)
+		}
+		if resp.Warm {
+			warm++
+		}
+	}
+	if warm == 0 {
+		t.Fatal("no run reused a pooled instance")
+	}
+	s := e.Metrics().Snapshot()
+	if s.PoolHits == 0 || s.PoolMakes == 0 {
+		t.Fatalf("pool hits/makes = %d/%d, want both > 0", s.PoolHits, s.PoolMakes)
+	}
+}
+
+// TestCacheLRUEviction fills a 2-entry cache with 4 distinct keys and
+// checks residency stays bounded, evictions are counted, and an evicted
+// key recompiles on return.
+func TestCacheLRUEviction(t *testing.T) {
+	e := New(Options{Workers: 1, QueueDepth: 8, CacheCap: 2})
+	defer shutdown(t, e)
+	for round := 0; round < 2; round++ {
+		for n := int64(101); n <= 104; n++ {
+			if _, err := e.Run(context.Background(), Request{Workload: "list-traversal", N: n}); err != nil {
+				t.Fatal(err)
+			}
+			if got := e.cache.len(); got > 2 {
+				t.Fatalf("cache holds %d entries, cap 2", got)
+			}
+		}
+	}
+	s := e.Metrics().Snapshot()
+	if s.CacheEvicts == 0 {
+		t.Error("no evictions with 4 keys in a 2-entry cache")
+	}
+	// Every request in round 2 re-missed (its entry was evicted in the
+	// interim), so compiles exceed the 4 distinct keys.
+	if s.Compiles <= 4 {
+		t.Errorf("compiles = %d, want > 4 after eviction churn", s.Compiles)
+	}
+}
+
+// TestSingleSCCServedSequentially checks the engine serves workloads DSWP
+// cannot split (164.gzip) by falling back to the interpreter.
+func TestSingleSCCServedSequentially(t *testing.T) {
+	e := New(Options{Workers: 1, QueueDepth: 4})
+	defer shutdown(t, e)
+	req := Request{Workload: "164.gzip"}
+	want := seqDigest(t, req)
+	resp, err := e.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Pipelined {
+		t.Error("164.gzip reported as pipelined; it is a single SCC")
+	}
+	if resp.Digest != want {
+		t.Fatalf("digest %s, want %s", resp.Digest, want)
+	}
+	// Second request hits the cached (sequential) pipeline.
+	resp, err = e.Run(context.Background(), req)
+	if err != nil || resp.Cache != "hit" {
+		t.Fatalf("second request: cache=%q err=%v, want hit/nil", resp.Cache, err)
+	}
+}
+
+// TestUnknownWorkloadTyped pins the typed bad-request error.
+func TestUnknownWorkloadTyped(t *testing.T) {
+	e := New(Options{Workers: 1, QueueDepth: 4})
+	defer shutdown(t, e)
+	_, err := e.Run(context.Background(), Request{Workload: "no-such-loop"})
+	var uw *UnknownWorkloadError
+	if !errors.As(err, &uw) || uw.Name != "no-such-loop" {
+		t.Fatalf("err = %v, want *UnknownWorkloadError{no-such-loop}", err)
+	}
+}
+
+// TestRequestDeadline pins per-request deadline plumbing: a microscopic
+// deadline must surface context.DeadlineExceeded, not hang or succeed.
+func TestRequestDeadline(t *testing.T) {
+	e := New(Options{Workers: 1, QueueDepth: 4})
+	defer shutdown(t, e)
+	// Occupy the worker so the deadlined request expires in the queue.
+	blocker := make(chan struct{})
+	go func() {
+		_, _ = e.Run(context.Background(), Request{Workload: "29.compress"})
+		close(blocker)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for e.Metrics().Snapshot().InFlight == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("blocker never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_, err := e.Run(context.Background(), Request{Workload: "list-traversal", N: 100, DeadlineMillis: 1})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	<-blocker
+}
+
+func shutdown(t *testing.T, e *Engine) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := e.Shutdown(ctx); err != nil {
+		t.Errorf("shutdown: %v", err)
+	}
+}

@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// NewMux builds the dswpd HTTP surface over an engine:
+//
+//	POST /run       — execute a pipeline (Request in, Response out)
+//	GET  /metrics   — EngineSnapshot JSON, safe to scrape mid-run
+//	GET  /healthz   — liveness; 503 once draining
+//	GET  /workloads — servable workload names
+//
+// Everything speaks JSON; stdlib net/http only.
+func NewMux(e *Engine) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/run", e.handleRun)
+	mux.HandleFunc("/metrics", e.handleMetrics)
+	mux.HandleFunc("/healthz", e.handleHealthz)
+	mux.HandleFunc("/workloads", e.handleWorkloads)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// statusFor maps the engine's typed errors onto HTTP statuses: shedding
+// is 429 (retryable once load drops), draining is 503, a blown deadline
+// is 504, a bad workload or mode is 400, anything else is a 500.
+func statusFor(err error) int {
+	var uw *UnknownWorkloadError
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	case errors.As(err, &uw):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (e *Engine) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{"POST only"})
+		return
+	}
+	var req Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{"bad request: " + err.Error()})
+		return
+	}
+	resp, err := e.Run(r.Context(), req)
+	if err != nil {
+		status := statusFor(err)
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeJSON(w, status, errorBody{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (e *Engine) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, e.met.Snapshot())
+}
+
+type health struct {
+	Status   string `json:"status"`
+	InFlight int64  `json:"in_flight"`
+	Queued   int64  `json:"queued"`
+}
+
+func (e *Engine) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s := e.met.Snapshot()
+	h := health{Status: "ok", InFlight: s.InFlight, Queued: s.Queued}
+	code := http.StatusOK
+	if e.Draining() {
+		h.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}
+
+func (e *Engine) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"workloads": Workloads()})
+}

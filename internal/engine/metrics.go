@@ -1,0 +1,137 @@
+package engine
+
+import (
+	"sync/atomic"
+
+	"dswp/internal/obs"
+)
+
+// Metrics holds the engine's serving counters. All fields are updated
+// atomically on the request path and read with atomic loads by
+// Snapshot, so /metrics can export mid-run without pausing anything —
+// the same contract obs.Metrics.Snapshot gives pipeline counters.
+type Metrics struct {
+	// Request lifecycle.
+	requests  int64 // admitted or attempted
+	completed int64 // finished with a response
+	failed    int64 // finished with an error (run error, deadline, bad request)
+	shed      int64 // rejected with ErrOverloaded (full pending queue)
+	drained   int64 // rejected or failed with ErrDraining during shutdown
+	expired   int64 // deadline passed while still queued
+
+	// Gauges.
+	inflight int64 // requests a worker is executing right now
+	queued   int64 // requests admitted but not yet picked up
+
+	// Compiled-pipeline cache.
+	cacheHits   int64
+	cacheMisses int64
+	cacheBypass int64 // DisableCache cold compiles
+	cacheEvicts int64
+	compiles    int64 // core.Apply compilations actually executed
+
+	// Warm instance pools.
+	poolHits   int64 // runs served on a pooled instance
+	poolMisses int64 // runs that allocated (pool empty, geometry mismatch, disabled)
+	poolMakes  int64 // fresh instances allocated by pools
+	poolDrops  int64 // instances dropped at put (verify failed or pool full)
+
+	// Supervisor outcomes.
+	resumes int64 // runs that fell back to sequential resume
+
+	// Latency histograms, log2 buckets over MICROSECONDS — 24 buckets
+	// put the ceiling at 2^23us ~ 8.4s, comfortably above any served run.
+	latTotal   obs.Hist // end to end: queue wait + compile + run
+	latQueue   obs.Hist // admission queue wait
+	latRun     obs.Hist // pipeline execution only
+	latCompile obs.Hist // cold compiles only
+}
+
+func newMetrics() *Metrics { return &Metrics{} }
+
+// RecordCompile adds one cold-compile latency sample (microseconds).
+func (m *Metrics) RecordCompile(us int64) { m.latCompile.Add(us) }
+
+// EngineSnapshot is the JSON shape /metrics serves. Quantiles are bucket
+// lower bounds (exact to within 2x, the log2 histogram's resolution).
+type EngineSnapshot struct {
+	Requests  int64 `json:"requests"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Shed      int64 `json:"shed"`
+	Drained   int64 `json:"drained"`
+	Expired   int64 `json:"expired"`
+
+	InFlight int64 `json:"in_flight"`
+	Queued   int64 `json:"queued"`
+
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	CacheBypass int64 `json:"cache_bypass"`
+	CacheEvicts int64 `json:"cache_evicts"`
+	Compiles    int64 `json:"compiles"`
+
+	PoolHits   int64 `json:"pool_hits"`
+	PoolMisses int64 `json:"pool_misses"`
+	PoolMakes  int64 `json:"pool_makes"`
+	PoolDrops  int64 `json:"pool_drops"`
+
+	Resumes int64 `json:"resumes"`
+
+	LatencyTotalUS   HistSnapshot `json:"latency_total_us"`
+	LatencyQueueUS   HistSnapshot `json:"latency_queue_us"`
+	LatencyRunUS     HistSnapshot `json:"latency_run_us"`
+	LatencyCompileUS HistSnapshot `json:"latency_compile_us"`
+}
+
+// HistSnapshot is one latency histogram with its headline quantiles.
+type HistSnapshot struct {
+	Count   int64    `json:"count"`
+	P50     int64    `json:"p50"`
+	P99     int64    `json:"p99"`
+	Buckets obs.Hist `json:"buckets"`
+}
+
+func snapHist(h *obs.Hist) HistSnapshot {
+	var s HistSnapshot
+	for i := range h {
+		s.Buckets[i] = atomic.LoadInt64(&h[i])
+		s.Count += s.Buckets[i]
+	}
+	s.P50 = h.Quantile(0.50)
+	s.P99 = h.Quantile(0.99)
+	return s
+}
+
+// Snapshot copies every counter with atomic loads; safe mid-run.
+func (m *Metrics) Snapshot() *EngineSnapshot {
+	return &EngineSnapshot{
+		Requests:  atomic.LoadInt64(&m.requests),
+		Completed: atomic.LoadInt64(&m.completed),
+		Failed:    atomic.LoadInt64(&m.failed),
+		Shed:      atomic.LoadInt64(&m.shed),
+		Drained:   atomic.LoadInt64(&m.drained),
+		Expired:   atomic.LoadInt64(&m.expired),
+
+		InFlight: atomic.LoadInt64(&m.inflight),
+		Queued:   atomic.LoadInt64(&m.queued),
+
+		CacheHits:   atomic.LoadInt64(&m.cacheHits),
+		CacheMisses: atomic.LoadInt64(&m.cacheMisses),
+		CacheBypass: atomic.LoadInt64(&m.cacheBypass),
+		CacheEvicts: atomic.LoadInt64(&m.cacheEvicts),
+		Compiles:    atomic.LoadInt64(&m.compiles),
+
+		PoolHits:   atomic.LoadInt64(&m.poolHits),
+		PoolMisses: atomic.LoadInt64(&m.poolMisses),
+		PoolMakes:  atomic.LoadInt64(&m.poolMakes),
+		PoolDrops:  atomic.LoadInt64(&m.poolDrops),
+
+		Resumes: atomic.LoadInt64(&m.resumes),
+
+		LatencyTotalUS:   snapHist(&m.latTotal),
+		LatencyQueueUS:   snapHist(&m.latQueue),
+		LatencyRunUS:     snapHist(&m.latRun),
+		LatencyCompileUS: snapHist(&m.latCompile),
+	}
+}

@@ -1,0 +1,69 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"dswp/internal/queue"
+	rt "dswp/internal/runtime"
+)
+
+// pool is a per-pipeline free list of warm runtime.Instance state —
+// queues, register files, iteration counters — so steady-state serving
+// reuses allocations instead of rebuilding them every run. Instances are
+// exclusive while checked out; put() resets and *verifies* the returned
+// state, dropping anything that fails verification rather than poisoning
+// a future run (the reset-and-verify contract TestInstanceReuseMatchesFresh
+// pins at the runtime layer).
+type pool struct {
+	plan *rt.Plan
+	kind queue.Kind
+	qcap int
+	met  *Metrics
+
+	mu   sync.Mutex
+	free []*rt.Instance
+}
+
+func newPool(plan *rt.Plan, kind queue.Kind, qcap, size int, met *Metrics) *pool {
+	return &pool{plan: plan, kind: kind, qcap: qcap, met: met,
+		free: make([]*rt.Instance, 0, size)}
+}
+
+// get pops a warm instance, or returns nil when the pool is empty.
+func (p *pool) get() *rt.Instance {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.free); n > 0 {
+		inst := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return inst
+	}
+	return nil
+}
+
+// make allocates a fresh instance with the pool's geometry; it will join
+// the free list when its run returns it.
+func (p *pool) make() *rt.Instance {
+	atomic.AddInt64(&p.met.poolMakes, 1)
+	return p.plan.NewInstance(p.kind, p.qcap)
+}
+
+// put returns an instance after a run: reset to pristine state, verified,
+// and kept for the next run. Returns false when the instance was dropped —
+// verification failed (a canceled run can leave state only reallocation
+// clears) or the pool is full.
+func (p *pool) put(inst *rt.Instance) bool {
+	inst.Reset()
+	if err := inst.Verify(); err != nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.free) >= cap(p.free) {
+		return false
+	}
+	p.free = append(p.free, inst)
+	return true
+}

@@ -27,6 +27,39 @@ func histBucket(v int64) int {
 
 func (h *Hist) add(v int64) { atomic.AddInt64(&h[histBucket(v)], 1) }
 
+// Add records one sample atomically — the exported entry point for
+// subsystems (like the serving engine's latency histograms) that keep
+// their own Hist instances outside a Metrics recorder.
+func (h *Hist) Add(v int64) { h.add(v) }
+
+// Quantile returns the lower bound of the bucket containing the q-th
+// quantile (0 < q <= 1) of the recorded samples, reading buckets
+// atomically. With log2 buckets this is exact to within a factor of two —
+// the resolution /metrics dashboards need. Returns 0 when empty.
+func (h *Hist) Quantile(q float64) int64 {
+	var counts [HistBuckets]int64
+	var total int64
+	for i := range h {
+		counts[i] = atomic.LoadInt64(&h[i])
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen int64
+	for i := range counts {
+		seen += counts[i]
+		if seen > rank {
+			return BucketLow(i)
+		}
+	}
+	return BucketLow(HistBuckets - 1)
+}
+
 // Total returns the number of recorded samples.
 func (h *Hist) Total() int64 {
 	var n int64

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSnapshotMidRunConsistency hammers a Metrics from a producer and a
+// consumer goroutine wired exactly like a pipeline stage pair (value
+// becomes visible in the queue before the producer's counter bumps) while
+// the main goroutine takes snapshots mid-run. Every snapshot must satisfy
+// the documented invariants: monotonic counters across snapshots, the
+// SPSC lead bound (Consumes <= Produces + 1 per queue), histogram totals
+// bounded by their driving counters, and the final snapshot equal to the
+// quiesced direct reads.
+func TestSnapshotMidRunConsistency(t *testing.T) {
+	const n = 20000
+	m := NewMetrics(2, 1)
+	ch := make(chan int64, 8)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // producer stage
+		defer wg.Done()
+		for i := int64(0); i < n; i++ {
+			ch <- i
+			m.Record(Event{Kind: KProduce, Thread: 0, Queue: 0, When: i, Arg: int64(len(ch))})
+		}
+	}()
+	go func() { // consumer stage
+		defer wg.Done()
+		for i := int64(0); i < n; i++ {
+			<-ch
+			m.Record(Event{Kind: KConsume, Thread: 1, Queue: 0, When: i, Arg: int64(len(ch))})
+		}
+	}()
+
+	var prev *MetricsSnapshot
+	check := func(s *MetricsSnapshot) {
+		q := &s.Queues[0]
+		if q.Consumes > q.Produces+1 {
+			t.Fatalf("snapshot: Consumes %d > Produces %d + 1", q.Consumes, q.Produces)
+		}
+		if tot := q.OccHist.Total(); tot > q.Produces {
+			t.Fatalf("snapshot: OccHist total %d > Produces %d", tot, q.Produces)
+		}
+		if q.Produces < 0 || q.Consumes < 0 {
+			t.Fatalf("snapshot: negative counters %d/%d", q.Produces, q.Consumes)
+		}
+		if prev != nil {
+			p := &prev.Queues[0]
+			if q.Produces < p.Produces || q.Consumes < p.Consumes {
+				t.Fatalf("snapshot went backwards: %d/%d after %d/%d",
+					q.Produces, q.Consumes, p.Produces, p.Consumes)
+			}
+			for i := range s.Stages {
+				if s.Stages[i].Produces < prev.Stages[i].Produces ||
+					s.Stages[i].Consumes < prev.Stages[i].Consumes {
+					t.Fatalf("stage %d counters went backwards", i)
+				}
+			}
+		}
+		prev = s
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		select {
+		case <-done:
+			goto drained
+		default:
+			check(m.Snapshot())
+		}
+	}
+drained:
+	final := m.Snapshot()
+	check(final)
+	if got := final.Queues[0].Produces; got != n {
+		t.Fatalf("final Produces = %d, want %d", got, n)
+	}
+	if got := final.Queues[0].Consumes; got != n {
+		t.Fatalf("final Consumes = %d, want %d", got, n)
+	}
+	if final.Stages[0].Produces != n || final.Stages[1].Consumes != n {
+		t.Fatalf("final stage counters %d/%d, want %d",
+			final.Stages[0].Produces, final.Stages[1].Consumes, n)
+	}
+	// The quiesced snapshot must agree with the direct accessors.
+	if final.Queues[0].Produces != m.Queue(0).Produces ||
+		final.Queues[0].Consumes != m.Queue(0).Consumes ||
+		final.Dropped != m.Dropped() {
+		t.Fatal("final snapshot disagrees with direct reads")
+	}
+	if final.TotalProduces() != n || final.TotalConsumes() != n {
+		t.Fatalf("aggregate totals %d/%d, want %d", final.TotalProduces(), final.TotalConsumes(), n)
+	}
+}

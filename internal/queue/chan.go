@@ -73,3 +73,15 @@ func (q *chanQueue) Consume(done <-chan struct{}) (int64, bool) {
 
 func (q *chanQueue) Len() int { return len(q.ch) }
 func (q *chanQueue) Cap() int { return cap(q.ch) }
+
+// Reset drains any values a failed or canceled run left behind. Quiescent
+// callers only (see Queue.Reset).
+func (q *chanQueue) Reset() {
+	for {
+		select {
+		case <-q.ch:
+		default:
+			return
+		}
+	}
+}

@@ -85,6 +85,14 @@ type Queue interface {
 	Len() int
 	// Cap is the bounded logical capacity the queue was created with.
 	Cap() int
+
+	// Reset restores the queue to its freshly-constructed state: empty,
+	// with no parked endpoints and no pending wake tokens. It is NOT
+	// concurrent-safe — the caller must guarantee the queue is quiescent
+	// (no goroutine is inside any other method), which holds whenever the
+	// pipeline run that used the queue has fully returned. Warm instance
+	// pools call it between runs instead of reallocating.
+	Reset()
 }
 
 // New builds a queue of the given kind. Capacity must be >= 1.

@@ -241,3 +241,25 @@ func (q *ring) Len() int {
 }
 
 func (q *ring) Cap() int { return int(q.capacity) }
+
+// Reset empties the ring and clears park/wake state. Indices stay
+// monotonic (head jumps to tail) so a reused ring is indistinguishable
+// from a fresh one to both endpoints. Quiescent callers only (see
+// Queue.Reset): the cached index fields are endpoint-owned and may only
+// be touched when no endpoint is live.
+func (q *ring) Reset() {
+	t := q.tail.Load()
+	q.head.Store(t)
+	q.cachedHead = t
+	q.cachedTail = t
+	q.prodWait.Store(0)
+	q.consWait.Store(0)
+	select {
+	case <-q.prodWake:
+	default:
+	}
+	select {
+	case <-q.consWake:
+	default:
+	}
+}

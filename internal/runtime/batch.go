@@ -12,10 +12,10 @@ import (
 // TryProduceN/TryConsumeN instead of n independent queue operations, which
 // is where the ring substrate's single-atomic-publish batching pays off.
 // Blocks with no run of length >= 2 get a nil table so unpacked programs
-// pay nothing.
-func (e *engine) buildSpans() {
-	e.spans = make([][][]int16, len(e.fns))
-	for ti, fn := range e.fns {
+// pay nothing. Spans are static per pipeline, so they live on the Plan.
+func (p *Plan) buildSpans() {
+	p.spans = make([][][]int16, len(p.fns))
+	for ti, fn := range p.fns {
 		perBlock := make([][]int16, len(fn.Blocks))
 		for bi, b := range fn.Blocks {
 			var tab []int16
@@ -34,15 +34,15 @@ func (e *engine) buildSpans() {
 						tab = make([]int16, len(b.Instrs))
 					}
 					tab[i] = int16(n)
-					if n > e.maxSpan {
-						e.maxSpan = n
+					if n > p.maxSpan {
+						p.maxSpan = n
 					}
 				}
 				i = j
 			}
 			perBlock[bi] = tab
 		}
-		e.spans[ti] = perBlock
+		p.spans[ti] = perBlock
 	}
 }
 

@@ -1,0 +1,235 @@
+package runtime
+
+import (
+	"fmt"
+
+	"dswp/internal/ir"
+	"dswp/internal/queue"
+)
+
+// Plan is the static execution plan for one transformed pipeline: every
+// per-run-invariant analysis the engine's build step used to redo on each
+// Run — queue topology (static produce/consume sites), packed-flow span
+// tables, block layout indices, and outer-loop back-edge targets. A Plan
+// is immutable after construction and safe to share across any number of
+// concurrent runs of the same thread functions, which is what makes the
+// serving engine's compiled-pipeline cache pay: N requests for the same
+// loop do this work exactly once.
+type Plan struct {
+	fns       []*ir.Function
+	numQueues int
+	// packWidth[q] is the largest number of produce ops a single block
+	// issues on queue q (the flow-packing packet size; 1 when unpacked).
+	packWidth []int
+	prods     [][]int // queue -> producing thread indices
+	cons      [][]int // queue -> consuming thread indices
+	spans     [][][]int16
+	maxSpan   int
+	blockIdx  []map[*ir.Block]int
+	outerHdr  []*ir.Block
+}
+
+// NewPlan analyzes fns into a reusable static plan. It performs the same
+// validation Run does (every thread needs an entry block).
+func NewPlan(fns []*ir.Function) (*Plan, error) {
+	if len(fns) == 0 {
+		return nil, fmt.Errorf("runtime: no threads")
+	}
+	p := &Plan{fns: fns}
+	for i, fn := range fns {
+		if fn.Entry() == nil {
+			return nil, fmt.Errorf("runtime: thread %d has no entry block", i)
+		}
+	}
+	for _, fn := range fns {
+		fn.Instrs(func(in *ir.Instr) {
+			if in.Op.IsFlow() && in.Queue+1 > p.numQueues {
+				p.numQueues = in.Queue + 1
+			}
+		})
+	}
+	p.packWidth = make([]int, p.numQueues)
+	for _, fn := range fns {
+		for _, b := range fn.Blocks {
+			per := map[int]int{}
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpProduce {
+					per[in.Queue]++
+				}
+			}
+			for q, n := range per {
+				if n > p.packWidth[q] {
+					p.packWidth[q] = n
+				}
+			}
+		}
+	}
+	p.prods = make([][]int, p.numQueues)
+	p.cons = make([][]int, p.numQueues)
+	for ti, fn := range fns {
+		prod := map[int]bool{}
+		cons := map[int]bool{}
+		fn.Instrs(func(in *ir.Instr) {
+			switch in.Op {
+			case ir.OpProduce:
+				prod[in.Queue] = true
+			case ir.OpConsume:
+				cons[in.Queue] = true
+			}
+		})
+		for q := range prod {
+			p.prods[q] = append(p.prods[q], ti)
+		}
+		for q := range cons {
+			p.cons[q] = append(p.cons[q], ti)
+		}
+	}
+	p.buildSpans()
+	p.blockIdx = make([]map[*ir.Block]int, len(fns))
+	p.outerHdr = make([]*ir.Block, len(fns))
+	for i, fn := range fns {
+		idx := make(map[*ir.Block]int, len(fn.Blocks))
+		for bi, b := range fn.Blocks {
+			idx[b] = bi
+		}
+		p.blockIdx[i] = idx
+		p.outerHdr[i] = outerBackEdgeTarget(fn)
+	}
+	return p, nil
+}
+
+// NumQueues is the pipeline's synchronization-array footprint.
+func (p *Plan) NumQueues() int { return p.numQueues }
+
+// NumThreads is the pipeline depth.
+func (p *Plan) NumThreads() int { return len(p.fns) }
+
+// capFor is the effective capacity of queue q: the requested per-queue
+// capacity (0 = DefaultQueueCap), scaled by the flow-packing packet width
+// so packed queues keep the same iterations of decoupling slack.
+func (p *Plan) capFor(q, queueCap int) int {
+	c := queueCap
+	if c <= 0 {
+		c = DefaultQueueCap
+	}
+	if w := p.packWidth[q]; w > 1 {
+		c *= w
+	}
+	return c
+}
+
+// newQueue builds queue q's substrate, falling back to a channel where the
+// SPSC ring would be unsound (multiple static endpoints on either side).
+func (p *Plan) newQueue(q int, kind queue.Kind, capacity int) queue.Queue {
+	if kind == queue.KindRing && (len(p.prods[q]) > 1 || len(p.cons[q]) > 1) {
+		kind = queue.KindChannel
+	}
+	return queue.New(kind, capacity)
+}
+
+// matches reports whether fns is the thread list this plan was built for.
+// Identity comparison is deliberate: a plan holds pointers into the
+// functions' blocks, so structurally-equal clones are not interchangeable.
+func (p *Plan) matches(fns []*ir.Function) bool {
+	if len(fns) != len(p.fns) {
+		return false
+	}
+	for i := range fns {
+		if fns[i] != p.fns[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Instance is the warm, reusable per-run state of one pipeline: the
+// synchronization-array queues plus every per-thread allocation a run
+// mutates (register files and per-instruction retirement counts). The
+// serving engine pools instances so steady-state requests execute without
+// rebuilding any of it; Reset restores the freshly-built state between
+// runs, and Verify checks that claim against what a fresh build would be.
+//
+// An Instance is single-run at a time: it must not be shared by two
+// concurrent runs, and Reset/Verify require the instance to be quiescent
+// (the run using it has fully returned).
+type Instance struct {
+	plan     *Plan
+	kind     queue.Kind
+	queueCap int // normalized (never 0)
+	queues   []queue.Queue
+	regs     [][]int64
+	counts   [][]int64
+}
+
+// NewInstance allocates run state for this plan: one queue per
+// synchronization-array cell (queueCap 0 = DefaultQueueCap, scaled for
+// packed queues) and per-thread register files and retirement-count
+// arrays.
+func (p *Plan) NewInstance(kind queue.Kind, queueCap int) *Instance {
+	if queueCap <= 0 {
+		queueCap = DefaultQueueCap
+	}
+	in := &Instance{plan: p, kind: kind, queueCap: queueCap}
+	in.queues = make([]queue.Queue, p.numQueues)
+	for q := range in.queues {
+		in.queues[q] = p.newQueue(q, kind, p.capFor(q, queueCap))
+	}
+	in.regs = make([][]int64, len(p.fns))
+	in.counts = make([][]int64, len(p.fns))
+	for i, fn := range p.fns {
+		in.regs[i] = make([]int64, fn.MaxReg()+1)
+		in.counts[i] = make([]int64, fn.NumInstrIDs())
+	}
+	return in
+}
+
+// Plan returns the plan this instance was allocated for.
+func (in *Instance) Plan() *Plan { return in.plan }
+
+// Reset restores the instance to its freshly-allocated state: queues
+// emptied (a failed or canceled run may have left values and parked-wake
+// tokens behind), register files and retirement counts zeroed. Quiescent
+// callers only.
+func (in *Instance) Reset() {
+	for _, q := range in.queues {
+		q.Reset()
+	}
+	for _, regs := range in.regs {
+		clear(regs)
+	}
+	for _, counts := range in.counts {
+		clear(counts)
+	}
+}
+
+// Verify checks that the instance is indistinguishable from a fresh
+// NewInstance: every queue empty with the right capacity, every register
+// and count zero. The warm-pool reset-safety argument rests on this being
+// the complete mutable state a run touches through the instance; the
+// engine's pool tests call it after Reset and diff pooled-instance runs
+// against fresh-instance runs bit for bit.
+func (in *Instance) Verify() error {
+	for q, qu := range in.queues {
+		if n := qu.Len(); n != 0 {
+			return fmt.Errorf("runtime: instance queue %d not empty (%d values)", q, n)
+		}
+		if want := in.plan.capFor(q, in.queueCap); qu.Cap() != want {
+			return fmt.Errorf("runtime: instance queue %d capacity %d, want %d", q, qu.Cap(), want)
+		}
+	}
+	for ti, regs := range in.regs {
+		for r, v := range regs {
+			if v != 0 {
+				return fmt.Errorf("runtime: instance thread %d register r%d = %d, want 0", ti, r, v)
+			}
+		}
+	}
+	for ti, counts := range in.counts {
+		for id, v := range counts {
+			if v != 0 {
+				return fmt.Errorf("runtime: instance thread %d count[%d] = %d, want 0", ti, id, v)
+			}
+		}
+	}
+	return nil
+}

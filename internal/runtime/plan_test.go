@@ -1,0 +1,167 @@
+package runtime
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"dswp/internal/core"
+	"dswp/internal/interp"
+	"dswp/internal/profile"
+	"dswp/internal/queue"
+	"dswp/internal/workloads"
+)
+
+// transformedWorkload applies DSWP to a workload and returns the threads
+// plus the sequential baseline result.
+func transformedWorkload(t *testing.T) (*workloads.Program, *core.Transformed, *interp.Result) {
+	t.Helper()
+	p := workloads.ListOfLists(40, 5)
+	prof, err := profile.Collect(p.F, p.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := core.Apply(p.F, p.LoopHeader, prof, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := interp.Run(p.F, p.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, tr, base
+}
+
+func diffResults(t *testing.T, tag string, base, got *interp.Result) {
+	t.Helper()
+	if d := base.Mem.Diff(got.Mem); d != -1 {
+		t.Fatalf("%s: memory diverges at word %d", tag, d)
+	}
+	for r, v := range base.LiveOuts {
+		if got.LiveOuts[r] != v {
+			t.Fatalf("%s: live-out %s = %d, want %d", tag, r, got.LiveOuts[r], v)
+		}
+	}
+}
+
+// TestPlanReuseAcrossRuns shares one Plan across many runs and checks the
+// results stay bit-identical to the sequential baseline.
+func TestPlanReuseAcrossRuns(t *testing.T) {
+	p, tr, base := transformedWorkload(t)
+	plan, err := NewPlan(tr.Threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumQueues() != tr.NumQueues || plan.NumThreads() != len(tr.Threads) {
+		t.Fatalf("plan dims %d/%d, want %d/%d",
+			plan.NumThreads(), plan.NumQueues(), len(tr.Threads), tr.NumQueues)
+	}
+	for i := 0; i < 3; i++ {
+		res, err := Run(tr.Threads, Options{Plan: plan, Mem: p.Mem, Regs: p.Regs})
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		diffResults(t, "plan reuse", base, res)
+	}
+}
+
+// TestInstanceReuseMatchesFresh runs the same pipeline on one pooled
+// Instance repeatedly and on fresh state, for both substrates: the warm
+// path must be indistinguishable, bit for bit.
+func TestInstanceReuseMatchesFresh(t *testing.T) {
+	p, tr, base := transformedWorkload(t)
+	plan, err := NewPlan(tr.Threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []queue.Kind{queue.KindChannel, queue.KindRing} {
+		inst := plan.NewInstance(kind, 4)
+		for i := 0; i < 3; i++ {
+			res, err := Run(tr.Threads, Options{
+				Instance: inst, Queue: kind, QueueCap: 4, Mem: p.Mem, Regs: p.Regs,
+			})
+			if err != nil {
+				t.Fatalf("%s warm run %d: %v", kind, i, err)
+			}
+			diffResults(t, "warm "+kind.String(), base, res)
+		}
+		fresh, err := Run(tr.Threads, Options{Queue: kind, QueueCap: 4, Mem: p.Mem, Regs: p.Regs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		diffResults(t, "fresh "+kind.String(), base, fresh)
+	}
+}
+
+// TestInstanceResetAfterCancel cancels a run mid-flight — leaving values
+// in queues and partial register state behind — then reuses the instance.
+// Reset must restore a verifiably fresh state and the next run must still
+// be correct.
+func TestInstanceResetAfterCancel(t *testing.T) {
+	p, tr, base := transformedWorkload(t)
+	plan, err := NewPlan(tr.Threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := plan.NewInstance(queue.KindChannel, 2)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Microsecond)
+	defer cancel()
+	if _, err := RunCtx(ctx, tr.Threads, Options{
+		Instance: inst, QueueCap: 2, Mem: p.Mem, Regs: p.Regs,
+	}); err == nil {
+		t.Log("canceled run finished before the deadline; instance still exercised")
+	}
+
+	inst.Reset()
+	if err := inst.Verify(); err != nil {
+		t.Fatalf("Verify after Reset: %v", err)
+	}
+	res, err := Run(tr.Threads, Options{Instance: inst, QueueCap: 2, Mem: p.Mem, Regs: p.Regs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffResults(t, "post-cancel reuse", base, res)
+}
+
+// TestInstanceOptionValidation pins the typed misuse errors: mismatched
+// plan, mismatched queue geometry, and fault plans on a warm instance.
+func TestInstanceOptionValidation(t *testing.T) {
+	p, tr, _ := transformedWorkload(t)
+	plan, err := NewPlan(tr.Threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := plan.NewInstance(queue.KindChannel, 0)
+
+	cases := []struct {
+		name string
+		opts Options
+		want string
+	}{
+		{"fault plan", Options{Instance: inst, Faults: &FaultPlan{Seed: 1}}, "fault injection"},
+		{"cap mismatch", Options{Instance: inst, QueueCap: 7}, "cap"},
+		{"kind mismatch", Options{Instance: inst, Queue: queue.KindRing}, "cap"},
+		{"foreign plan", Options{Instance: inst, Plan: &Plan{}}, "different Plan"},
+	}
+	for _, tc := range cases {
+		tc.opts.Mem = p.Mem
+		tc.opts.Regs = p.Regs
+		_, err := Run(tr.Threads, tc.opts)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+
+	// A plan built for different functions must be rejected too.
+	other := pipelineFns(t)
+	otherPlan, err := NewPlan(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(tr.Threads, Options{Plan: otherPlan, Mem: p.Mem, Regs: p.Regs}); err == nil ||
+		!strings.Contains(err.Error(), "different thread functions") {
+		t.Errorf("foreign fns plan: err = %v", err)
+	}
+}

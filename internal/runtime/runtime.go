@@ -99,6 +99,19 @@ type Options struct {
 	// Checkpoint enables iteration-aligned checkpointing with an epoch
 	// barrier (see CheckpointSpec). nil disables it.
 	Checkpoint *CheckpointSpec
+	// Plan supplies the precomputed static execution plan for exactly
+	// these thread functions (NewPlan), skipping the per-run analysis.
+	// nil builds a throwaway plan, preserving the original behavior. The
+	// serving engine caches one plan per compiled pipeline.
+	Plan *Plan
+	// Instance supplies warm per-run state (queues, register files,
+	// retirement counts) allocated by Plan.NewInstance with a matching
+	// queue kind and capacity; the run resets it before use. It implies
+	// Plan (the instance carries its own) and is incompatible with fault
+	// injection, whose per-queue capacity overrides need freshly-sized
+	// queues. nil allocates fresh state, preserving the original
+	// behavior.
+	Instance *Instance
 }
 
 type blockState uint8
@@ -136,24 +149,17 @@ type engine struct {
 	opts    Options
 	mem     *interp.Memory
 	queues  []queue.Queue
-	prods   [][]int // queue -> producing thread indices (static)
-	cons    [][]int // queue -> consuming thread indices (static)
 	threads []*threadState
 
-	// spans[thread][blockIdx][pc] is the length (>= 2) of the run of
-	// same-op same-queue flow instructions starting at pc, or 0. Runs are
-	// the packets emitted by the flow-packing pass; the hot loop retires
-	// them with one batched TryProduceN/TryConsumeN (one atomic publish
-	// per packet) when no fault plan is active. maxSpan sizes the
-	// per-thread scratch buffer.
-	spans   [][][]int16
-	maxSpan int
+	// plan holds the static analyses (queue topology, packed-flow span
+	// tables, block layout indices): caller-supplied and shared across
+	// runs, or built fresh for this run. Read-only here.
+	plan *Plan
 
 	rec      obs.Recorder
 	start    time.Time
-	blockIdx []map[*ir.Block]int // thread -> block -> layout index
-	outerHdr []*ir.Block         // thread -> outer-loop back-edge target (nil = loop-free)
-	ckpt     *ckptState          // nil when checkpointing is disabled
+	outerHdr []*ir.Block // thread -> outer-loop back-edge target (nil = loop-free); engine-owned copy when a checkpoint spec overrides it
+	ckpt     *ckptState  // nil when checkpointing is disabled
 
 	parent   context.Context // the caller's context (cancellation source)
 	ctx      context.Context // derived: canceled on failure or parent cancel
@@ -263,95 +269,78 @@ func RunCtx(parent context.Context, fns []*ir.Function, opts Options) (*interp.R
 	return res, nil
 }
 
-// build sizes the queue array from the static produce/consume sites,
-// applies capacity overrides, and initializes thread state.
+// build resolves the static plan (caller-supplied or built fresh), sizes
+// or adopts the queue array, and initializes thread state — from the warm
+// instance when one is supplied, from fresh allocations otherwise.
 func (e *engine) build() error {
-	numQueues := 0
-	for _, fn := range e.fns {
-		fn.Instrs(func(in *ir.Instr) {
-			if in.Op.IsFlow() && in.Queue+1 > numQueues {
-				numQueues = in.Queue + 1
-			}
-		})
+	inst := e.opts.Instance
+	plan := e.opts.Plan
+	if inst != nil {
+		if e.opts.Faults != nil {
+			return fmt.Errorf("runtime: Instance is incompatible with fault injection (per-queue capacity overrides need freshly-sized queues)")
+		}
+		if plan == nil {
+			plan = inst.plan
+		} else if plan != inst.plan {
+			return fmt.Errorf("runtime: Instance was allocated for a different Plan")
+		}
+		wantCap := e.opts.QueueCap
+		if wantCap <= 0 {
+			wantCap = DefaultQueueCap
+		}
+		if inst.queueCap != wantCap || inst.kind != e.opts.Queue {
+			return fmt.Errorf("runtime: Instance built for queue %s cap %d, run wants %s cap %d",
+				inst.kind, inst.queueCap, e.opts.Queue, wantCap)
+		}
 	}
-	// packWidth is the largest number of produce ops a single block issues
-	// on each queue — 1 normally, the packet size on queues the compiler's
-	// flow packing merged. A packed queue carries width values per
-	// iteration, so its capacity scales by width to keep the decoupling
-	// slack (iterations of run-ahead) identical to the unpacked pipeline;
-	// without this, packing would silently shrink the window the paper's
-	// synchronization array provides and stall the producer more, not less.
-	packWidth := make([]int, numQueues)
-	for _, fn := range e.fns {
-		for _, b := range fn.Blocks {
-			per := map[int]int{}
-			for _, in := range b.Instrs {
-				if in.Op == ir.OpProduce {
-					per[in.Queue]++
+	if plan == nil {
+		p, err := NewPlan(e.fns)
+		if err != nil {
+			return err
+		}
+		plan = p
+	} else if !plan.matches(e.fns) {
+		return fmt.Errorf("runtime: Plan was built for different thread functions")
+	}
+	e.plan = plan
+
+	if inst != nil {
+		// Reset here, not at pool-put time, so reuse is correct even if a
+		// caller hands the same instance back without pooling it.
+		inst.Reset()
+		e.queues = inst.queues
+	} else {
+		// A packed queue carries packWidth values per iteration, so its
+		// capacity scales by the packet width to keep the decoupling slack
+		// (iterations of run-ahead) identical to the unpacked pipeline;
+		// without this, packing would silently shrink the window the
+		// paper's synchronization array provides and stall the producer
+		// more, not less. Fault-plan capacity overrides take precedence.
+		e.queues = make([]queue.Queue, plan.numQueues)
+		for q := range e.queues {
+			c := plan.capFor(q, e.opts.QueueCap)
+			if e.opts.Faults != nil && e.opts.Faults.QueueCap[q] > 0 {
+				c = e.opts.Faults.QueueCap[q]
+				if w := plan.packWidth[q]; w > 1 {
+					c *= w
 				}
 			}
-			for q, n := range per {
-				if n > packWidth[q] {
-					packWidth[q] = n
-				}
-			}
+			e.queues[q] = plan.newQueue(q, e.opts.Queue, c)
 		}
 	}
-	capFor := func(q int) int {
-		c := DefaultQueueCap
-		switch {
-		case e.opts.Faults != nil && e.opts.Faults.QueueCap[q] > 0:
-			c = e.opts.Faults.QueueCap[q]
-		case e.opts.QueueCap > 0:
-			c = e.opts.QueueCap
-		}
-		if w := packWidth[q]; w > 1 {
-			c *= w
-		}
-		return c
-	}
-	e.queues = make([]queue.Queue, numQueues)
-	e.prods = make([][]int, numQueues)
-	e.cons = make([][]int, numQueues)
-	for ti, fn := range e.fns {
-		prod := map[int]bool{}
-		cons := map[int]bool{}
-		fn.Instrs(func(in *ir.Instr) {
-			switch in.Op {
-			case ir.OpProduce:
-				prod[in.Queue] = true
-			case ir.OpConsume:
-				cons[in.Queue] = true
-			}
-		})
-		for q := range prod {
-			e.prods[q] = append(e.prods[q], ti)
-		}
-		for q := range cons {
-			e.cons[q] = append(e.cons[q], ti)
-		}
-	}
-	for q := range e.queues {
-		kind := e.opts.Queue
-		if kind == queue.KindRing && (len(e.prods[q]) > 1 || len(e.cons[q]) > 1) {
-			kind = queue.KindChannel // ring is strictly SPSC; multi-endpoint queues fall back
-		}
-		e.queues[q] = queue.New(kind, capFor(q))
-	}
-	e.buildSpans()
 
 	e.threads = make([]*threadState, len(e.fns))
 	for i, fn := range e.fns {
-		if fn.Entry() == nil {
-			return fmt.Errorf("runtime: thread %d has no entry block", i)
-		}
 		th := &threadState{
-			res: &interp.ThreadResult{
-				Fn:     fn,
-				Counts: make([]int64, fn.NumInstrIDs()),
-			},
-			regs:  make([]int64, fn.MaxReg()+1),
+			res:   &interp.ThreadResult{Fn: fn},
 			queue: -1,
+		}
+		if inst != nil {
+			th.res.Counts = inst.counts[i]
+			th.regs = inst.regs[i]
+		} else {
+			th.res.Counts = make([]int64, fn.NumInstrIDs())
+			th.regs = make([]int64, fn.MaxReg()+1)
 		}
 		if i == 0 {
 			for r, v := range e.opts.Regs {
@@ -363,19 +352,13 @@ func (e *engine) build() error {
 		}
 		e.threads[i] = th
 	}
-	// blockIdx and the outer-loop header feed back-edge detection for
-	// iteration counting, checkpoint barriers, and instrumentation.
-	e.blockIdx = make([]map[*ir.Block]int, len(e.fns))
-	e.outerHdr = make([]*ir.Block, len(e.fns))
-	for i, fn := range e.fns {
-		idx := make(map[*ir.Block]int, len(fn.Blocks))
-		for bi, b := range fn.Blocks {
-			idx[b] = bi
-		}
-		e.blockIdx[i] = idx
-		e.outerHdr[i] = outerBackEdgeTarget(fn)
-	}
+	// The outer-loop header feeds back-edge detection for iteration
+	// counting, checkpoint barriers, and instrumentation. The plan's
+	// slice is shared across runs, so a checkpoint-spec override below
+	// works on an engine-owned copy.
+	e.outerHdr = plan.outerHdr
 	if spec := e.opts.Checkpoint; spec != nil && len(spec.RegOwner) > 0 {
+		e.outerHdr = append([]*ir.Block(nil), plan.outerHdr...)
 		aligned := true
 		if spec.Header != "" {
 			// Anchor every thread's epoch on its copy of the named loop
@@ -521,17 +504,17 @@ func (e *engine) runThread(ti int) {
 		}
 	}
 	rec := e.rec
-	blockIdx := e.blockIdx[ti]
+	blockIdx := e.plan.blockIdx[ti]
 	outerHdr := e.outerHdr[ti]
-	spans := e.spans[ti]
+	spans := e.plan.spans[ti]
 	var scratch []int64
 	// Span lookups are cached per block: the map lookup in blockIdx runs
 	// once per block entry, not once per retired instruction, so threads
 	// with packed flows pay no per-instruction dispatch tax.
 	var spanBlock *ir.Block
 	var spanTab []int16
-	if e.maxSpan > 0 {
-		scratch = make([]int64, e.maxSpan)
+	if e.plan.maxSpan > 0 {
+		scratch = make([]int64, e.plan.maxSpan)
 	}
 	var iters int64
 	var ckptEvery int64
@@ -909,7 +892,7 @@ func (e *engine) queueInfoLocked() []QueueInfo {
 	for q, qu := range e.queues {
 		infos = append(infos, QueueInfo{
 			Queue: q, Len: qu.Len(), Cap: qu.Cap(),
-			Producers: e.prods[q], Consumers: e.cons[q],
+			Producers: e.plan.prods[q], Consumers: e.plan.cons[q],
 		})
 	}
 	return infos

@@ -90,6 +90,14 @@ type Policy struct {
 	Recorder obs.Recorder
 	// RecordTrace enables per-thread event recording on the attempt.
 	RecordTrace bool
+	// Plan supplies the pipeline's precomputed static execution plan
+	// (runtime.NewPlan over Pipeline.Threads), skipping per-attempt
+	// analysis. The serving engine caches one per compiled pipeline.
+	Plan *rt.Plan
+	// Instance supplies warm per-attempt state from a pool
+	// (runtime.Plan.NewInstance with matching queue kind and capacity).
+	// Incompatible with Faults; see runtime.Options.Instance.
+	Instance *rt.Instance
 }
 
 // Report describes how a supervised execution went.
@@ -168,6 +176,8 @@ func Run(ctx context.Context, p Pipeline, pol Policy) (*interp.Result, *Report, 
 		Checkpoint:  spec,
 		Recorder:    pol.Recorder,
 		RecordTrace: pol.RecordTrace,
+		Plan:        pol.Plan,
+		Instance:    pol.Instance,
 	})
 	if err == nil {
 		return res, rep, nil

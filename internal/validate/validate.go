@@ -40,6 +40,13 @@ import (
 
 // Options configures a validation sweep.
 type Options struct {
+	// Ctx, when set, bounds the whole sweep: it threads into every
+	// execution leg (interpreter, concurrent runtime, supervisor) so an
+	// engine-driven validation honors the server's deadline instead of
+	// only its own per-run budgets. On expiry the sweep stops early with
+	// Report.Aborted set; runs cut off by the external deadline are not
+	// counted as failures. nil = context.Background().
+	Ctx context.Context
 	// Seed drives every randomized choice (fault plans, capacities,
 	// GOMAXPROCS); 0 = 1. Reports echo it for reproduction.
 	Seed uint64
@@ -97,6 +104,9 @@ type Report struct {
 	// Skipped is non-empty when DSWP does not apply (single SCC or a
 	// one-stage heuristic partition).
 	Skipped string
+	// Aborted is true when Options.Ctx expired before the sweep finished;
+	// the report covers only the runs that completed.
+	Aborted bool
 	// Runs counts executed differential comparisons.
 	Runs int
 	// Failures lists each diverging or failing run with enough context
@@ -108,13 +118,17 @@ type Report struct {
 func (r *Report) OK() bool { return len(r.Failures) == 0 }
 
 func (r *Report) String() string {
+	aborted := ""
+	if r.Aborted {
+		aborted = ", aborted by deadline"
+	}
 	switch {
 	case r.Skipped != "":
 		return fmt.Sprintf("%s: skipped (%s)", r.Name, r.Skipped)
 	case r.OK():
-		return fmt.Sprintf("%s: ok (%d runs, seed %d)", r.Name, r.Runs, r.Seed)
+		return fmt.Sprintf("%s: ok (%d runs, seed %d%s)", r.Name, r.Runs, r.Seed, aborted)
 	}
-	return fmt.Sprintf("%s: %d/%d runs FAILED (seed %d): %v", r.Name, len(r.Failures), r.Runs, r.Seed, r.Failures)
+	return fmt.Sprintf("%s: %d/%d runs FAILED (seed %d%s): %v", r.Name, len(r.Failures), r.Runs, r.Seed, aborted, r.Failures)
 }
 
 // MismatchError reports a differential-validation divergence: a run's
@@ -132,6 +146,12 @@ type MismatchError struct {
 }
 
 func (e *MismatchError) Error() string { return fmt.Sprintf("%s: %s", e.Tag, e.Detail) }
+
+// isCancel reports whether err stems from context cancellation or deadline
+// expiry (*runtime.CanceledError unwraps to the context sentinels).
+func isCancel(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
 
 // Compare asserts got matches the sequential baseline bit-for-bit:
 // identical memory image and identical live-out registers. It returns nil
@@ -170,10 +190,29 @@ func Program(p *workloads.Program, opts Options) *Report {
 	opts.logf("validate %s: seed=%d caps=%v faultRuns=%d threads=%d",
 		p.Name, opts.Seed, opts.Caps, opts.FaultRuns, opts.Threads)
 
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// expired marks the report aborted once the external deadline fires;
+	// callers use it to stop starting new legs without treating the runs
+	// it cut short as divergences.
+	expired := func() bool {
+		if ctx.Err() != nil {
+			rep.Aborted = true
+			return true
+		}
+		return false
+	}
+
 	iopts := p.Options()
+	iopts.Ctx = ctx
 	iopts.MaxSteps = opts.MaxSteps
 	base, err := interp.Run(p.F, iopts)
 	if err != nil {
+		if expired() && isCancel(err) {
+			return rep
+		}
 		rep.Failures = append(rep.Failures, fmt.Sprintf("sequential baseline: %v", err))
 		return rep
 	}
@@ -210,6 +249,10 @@ func Program(p *workloads.Program, opts Options) *Report {
 	}{{"", tr}, {"packed ", trPacked}}
 
 	check := func(tag string, res *interp.Result, err error) {
+		if err != nil && ctx.Err() != nil && isCancel(err) {
+			rep.Aborted = true // cut short by the external deadline, not a failure
+			return
+		}
 		rep.Runs++
 		if err != nil {
 			rep.Failures = append(rep.Failures, fmt.Sprintf("%s: %v", tag, err))
@@ -237,6 +280,9 @@ func Program(p *workloads.Program, opts Options) *Report {
 	// the plain and the flow-packed transform.
 	for _, v := range variants {
 		for _, cap := range append([]int{0}, opts.Caps...) {
+			if expired() {
+				return rep
+			}
 			io := iopts
 			io.QueueCap = cap
 			m := obs.NewMetrics(len(v.tr.Threads), v.tr.NumQueues)
@@ -254,9 +300,12 @@ func Program(p *workloads.Program, opts Options) *Report {
 	for _, v := range variants {
 		for _, kind := range []queue.Kind{queue.KindChannel, queue.KindRing} {
 			for _, cap := range opts.Caps {
+				if expired() {
+					return rep
+				}
 				m := obs.NewMetrics(len(v.tr.Threads), v.tr.NumQueues)
 				tag := fmt.Sprintf("runtime %s%s cap=%d", v.tag, kind, cap)
-				res, err := rt.Run(v.tr.Threads, rt.Options{
+				res, err := rt.RunCtx(ctx, v.tr.Threads, rt.Options{
 					QueueCap: cap, Queue: kind, Mem: p.Mem, Regs: p.Regs,
 					MaxSteps: opts.MaxSteps, Timeout: opts.Timeout,
 					Recorder: m,
@@ -271,6 +320,9 @@ func Program(p *workloads.Program, opts Options) *Report {
 	// random capacities, random queue kind and packing, random GOMAXPROCS.
 	rng := &sweepRNG{s: opts.Seed | 1}
 	for i := 0; i < opts.FaultRuns; i++ {
+		if expired() {
+			return rep
+		}
 		fseed := rng.next()
 		cap := opts.Caps[rng.intn(len(opts.Caps))]
 		kind := queue.Kind(rng.intn(2))
@@ -285,7 +337,7 @@ func Program(p *workloads.Program, opts Options) *Report {
 		if procs > 0 {
 			old = stdruntime.GOMAXPROCS(procs)
 		}
-		res, err := rt.Run(v.tr.Threads, rt.Options{
+		res, err := rt.RunCtx(ctx, v.tr.Threads, rt.Options{
 			QueueCap: cap, Queue: kind, Mem: p.Mem, Regs: p.Regs,
 			MaxSteps: opts.MaxSteps, Timeout: opts.Timeout,
 			Faults: plan,
@@ -338,7 +390,10 @@ func Program(p *workloads.Program, opts Options) *Report {
 				len(tr.Threads) - 1: 300}}}},
 	}
 	for _, sr := range supRuns {
-		res, srep, err := supervisor.Run(context.Background(), pipe, sr.pol)
+		if expired() {
+			return rep
+		}
+		res, srep, err := supervisor.Run(ctx, pipe, sr.pol)
 		check(sr.tag, res, err)
 		if err == nil && srep.Resumed {
 			opts.logf("validate %s: %s recovered via resume from iter %d (%d checkpoints)",

@@ -1,8 +1,10 @@
 package validate
 
 import (
+	"context"
 	"strings"
 	"testing"
+	"time"
 
 	"dswp/internal/core"
 	"dswp/internal/interp"
@@ -146,5 +148,32 @@ func TestReportEchoesSeed(t *testing.T) {
 	}
 	if len(logged) == 0 || !strings.Contains(logged[0], "seed=%d") {
 		t.Fatalf("expected seed in log preamble, got %v", logged)
+	}
+}
+
+// TestProgramExternalContext pins the engine-facing contract: a sweep
+// under an already-expired external context aborts immediately instead of
+// running the legs, and records no spurious failures.
+func TestProgramExternalContext(t *testing.T) {
+	done, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := workloads.ListTraversal(64)
+	rep := Program(p, Options{Ctx: done, Seed: 7, FaultRuns: 3, Caps: []int{1, 2}})
+	if !rep.Aborted {
+		t.Fatalf("sweep under an expired context was not marked aborted: %s", rep)
+	}
+	if !rep.OK() {
+		t.Fatalf("aborted sweep recorded failures: %s", rep)
+	}
+	if !strings.Contains(rep.String(), "aborted") {
+		t.Fatalf("report string does not mention the abort: %s", rep)
+	}
+
+	// A generous deadline must not perturb the sweep at all.
+	ctx, cancel2 := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel2()
+	rep = Program(p, Options{Ctx: ctx, Seed: 7, FaultRuns: 3, Caps: []int{1, 2}})
+	if rep.Aborted || !rep.OK() {
+		t.Fatalf("sweep under a 1m deadline misbehaved: %s", rep)
 	}
 }

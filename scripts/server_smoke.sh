@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# server_smoke.sh — build dswpd, start it, exercise every endpoint with
+# the load generator, then verify a graceful SIGTERM drain.
+#
+#   scripts/server_smoke.sh            # plain build
+#   RACE=1 scripts/server_smoke.sh     # under the race detector (CI)
+#   PORT=9000 DUR=5s scripts/server_smoke.sh
+#
+# The smoke is three gates in one: every servable workload returns a
+# digest over POST /run (plus /healthz, /workloads, /metrics), a short
+# closed-loop load run completes with zero errors, and the daemon
+# drains cleanly on SIGTERM.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT="${PORT:-17537}"
+DUR="${DUR:-2s}"
+RACE="${RACE:-}"
+BUILDFLAGS=()
+if [ -n "$RACE" ]; then
+  BUILDFLAGS+=(-race)
+fi
+
+BIN="$(mktemp -d)"
+trap 'rm -rf "$BIN"' EXIT
+go build "${BUILDFLAGS[@]}" -o "$BIN/dswpd" ./cmd/dswpd
+go build "${BUILDFLAGS[@]}" -o "$BIN/dswpload" ./cmd/dswpload
+
+"$BIN/dswpd" -addr "localhost:$PORT" &
+DPID=$!
+trap 'kill "$DPID" 2>/dev/null || true; rm -rf "$BIN"' EXIT
+
+# Wait for liveness (the daemon binds before serving, but give slow CI
+# machines a grace window).
+for i in $(seq 1 50); do
+  if curl -sf "http://localhost:$PORT/healthz" >/dev/null 2>&1; then
+    break
+  fi
+  if ! kill -0 "$DPID" 2>/dev/null; then
+    echo "server_smoke: dswpd exited before becoming healthy" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+
+# Endpoint smoke (every workload) + short closed-loop load.
+"$BIN/dswpload" -addr "localhost:$PORT" -smoke -duration "$DUR" -clients 4
+
+# Graceful drain: SIGTERM must yield a clean exit.
+kill -TERM "$DPID"
+if ! wait "$DPID"; then
+  echo "server_smoke: dswpd did not drain cleanly" >&2
+  exit 1
+fi
+echo "server_smoke: ok"
