@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race validate bench bench-json bench-json-pr5 serve load-smoke server-smoke clean
+.PHONY: check vet build test race validate bench bench-json bench-json-pr5 serve load-smoke server-smoke crash-smoke clean
 
 # The gate for every change: vet, build, and the full test suite under
 # the race detector (channels carry every cross-thread dependence, so
@@ -29,10 +29,12 @@ bench:
 	$(GO) test -bench . -benchtime 1x ./...
 
 # Full measurement run: queue microbenchmarks, end-to-end pipeline
-# timings, and the false-sharing probe, pinned to BENCH_PR4.json (format
-# documented in EXPERIMENTS.md).
+# timings, the false-sharing probe (BENCH_PR4.json), and the
+# checkpoint-commit overhead sweep (BENCH_PR6.json); formats documented
+# in EXPERIMENTS.md.
 bench-json:
 	$(GO) run ./cmd/dswpbench -benchjson -out BENCH_PR4.json
+	$(GO) run ./cmd/dswpbench -ckptjson -ckptout BENCH_PR6.json
 
 # Serving-path measurement: cold-compile vs cached vs warm-pooled
 # closed-loop throughput and latency, pinned to BENCH_PR5.json (format
@@ -54,6 +56,12 @@ load-smoke:
 # scrape /metrics and /healthz, short closed-loop load, graceful drain.
 server-smoke:
 	RACE=1 scripts/server_smoke.sh
+
+# Durability smoke: SIGKILL dswpd mid-request, plant torn checkpoint
+# artifacts, restart against the same -ckpt-dir, and require bit-identical
+# recovery with the corruption skipped.
+crash-smoke:
+	RACE=1 scripts/crash_smoke.sh
 
 clean:
 	$(GO) clean ./...

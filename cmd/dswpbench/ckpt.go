@@ -1,0 +1,185 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"dswp/internal/ckptstore"
+	"dswp/internal/core"
+	"dswp/internal/profile"
+	"dswp/internal/supervisor"
+	"dswp/internal/workloads"
+)
+
+// ckptFile is the BENCH_PR6.json shape: the cost of checkpoint commits on
+// a supervised pipelined run, swept over commit period and durability
+// tier. The baseline disables checkpointing entirely (RegOwner withheld,
+// so the runtime never arms the iteration barrier); "none" pays the
+// in-memory latch only; "mem" adds the binary codec round-trip; "file"
+// adds temp-file + fsync + atomic rename per commit.
+type ckptFile struct {
+	Schema     string `json:"schema"`
+	Quick      bool   `json:"quick"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	// Workload and Iters describe the measured loop (one supervised run =
+	// Iters outer iterations).
+	Workload string `json:"workload"`
+	Iters    int64  `json:"iters"`
+	// BaselineNsPerRun is a supervised run with checkpointing disabled.
+	BaselineNsPerRun float64   `json:"baseline_ns_per_run"`
+	Runs             []ckptRun `json:"runs"`
+}
+
+type ckptRun struct {
+	// Store is the durability tier: "none" (in-memory latch only), "mem"
+	// (latch + codec into a MemStore), "file" (latch + codec + fsync +
+	// atomic rename into a FileStore).
+	Store string `json:"store"`
+	// Every is the commit period in outer-loop iterations.
+	Every int64 `json:"every"`
+	// CommitsPerRun is the observed checkpoint count of one run.
+	CommitsPerRun int64 `json:"commits_per_run"`
+	// NsPerRun is one full supervised run; OverheadPct is its cost over
+	// the no-checkpoint baseline.
+	NsPerRun    float64 `json:"ns_per_run"`
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+// measureRuns is measure() for coarse units: it grows the repeat count
+// from 1 (not 1024 — a single file-store run can cost milliseconds) until
+// wall time reaches minDur, then reports ns per run.
+func measureRuns(minDur time.Duration, run func()) float64 {
+	n := 1
+	for {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			run()
+		}
+		el := time.Since(start)
+		if el >= minDur {
+			return float64(el.Nanoseconds()) / float64(n)
+		}
+		scale := 16.0
+		if el > 0 {
+			scale = 1.5 * float64(minDur) / float64(el)
+			if scale > 16 {
+				scale = 16
+			}
+			if scale < 1.2 {
+				scale = 1.2
+			}
+		}
+		n = int(float64(n)*scale) + 1
+	}
+}
+
+// runCkptBench measures checkpoint-commit overhead and writes out (the
+// satellite benchmark behind EXPERIMENTS.md's CheckpointEvery guidance).
+func runCkptBench(quick bool, out string) {
+	minDur := 300 * time.Millisecond
+	const iters = 512
+	if quick {
+		minDur = 60 * time.Millisecond
+	}
+
+	p := workloads.ListTraversal(iters)
+	prof, err := profile.Collect(p.F, p.Options())
+	if err != nil {
+		fail(err)
+	}
+	tr, err := core.Apply(p.F, p.LoopHeader, prof, core.Config{
+		NumThreads: 2, SkipProfitability: true,
+	})
+	if err != nil {
+		fail(err)
+	}
+	pipe := supervisor.Pipeline{
+		Threads: tr.Threads, Original: p.F, LoopHeader: p.LoopHeader,
+		RegOwner: tr.RegOwner, Mem: p.Mem, Regs: p.Regs,
+	}
+	// Withholding RegOwner disables aligned checkpointing entirely: the
+	// runtime never arms the iteration barrier, so this run prices the
+	// bare supervised pipeline.
+	pipeOff := pipe
+	pipeOff.RegOwner = nil
+
+	res := &ckptFile{
+		Schema:     "dswp-bench-pr6/1",
+		Quick:      quick,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Workload:   p.Name,
+		Iters:      iters,
+	}
+
+	supRun := func(pipe supervisor.Pipeline, pol supervisor.Policy) *supervisor.Report {
+		_, rep, err := supervisor.Run(context.Background(), pipe, pol)
+		if err != nil {
+			fail(err)
+		}
+		return rep
+	}
+
+	fmt.Printf("checkpoint-commit overhead (%s, %d iterations per run):\n", p.Name, iters)
+	res.BaselineNsPerRun = measureRuns(minDur, func() { supRun(pipeOff, supervisor.Policy{}) })
+	fmt.Printf("  baseline (checkpointing off)      %12.0f ns/run\n", res.BaselineNsPerRun)
+
+	for _, store := range []string{"none", "mem", "file"} {
+		for _, every := range []int64{1, 8, 64} {
+			pol := supervisor.Policy{CheckpointEvery: every}
+			var dir string
+			switch store {
+			case "mem":
+				pol.Store = ckptstore.NewMem()
+			case "file":
+				dir, err = os.MkdirTemp("", "dswpbench-ckpt-*")
+				if err != nil {
+					fail(err)
+				}
+				fs, err := ckptstore.OpenFile(dir)
+				if err != nil {
+					fail(err)
+				}
+				pol.Store = fs
+			}
+			if pol.Store != nil {
+				pol.StoreKey = "bench"
+			}
+			probe := supRun(pipe, pol)
+			ns := measureRuns(minDur, func() { supRun(pipe, pol) })
+			if pol.Store != nil {
+				pol.Store.Close()
+			}
+			if dir != "" {
+				os.RemoveAll(dir)
+			}
+			overhead := (ns/res.BaselineNsPerRun - 1) * 100
+			res.Runs = append(res.Runs, ckptRun{
+				Store: store, Every: every, CommitsPerRun: probe.Checkpoints,
+				NsPerRun: ns, OverheadPct: overhead,
+			})
+			fmt.Printf("  store=%-4s every=%-3d (%3d commits) %12.0f ns/run  %+7.1f%%\n",
+				store, every, probe.Checkpoints, ns, overhead)
+		}
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		fail(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		f.Close()
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+	fmt.Printf("\nwrote %s\n", out)
+}

@@ -85,7 +85,14 @@ func main() {
 	benchjson := flag.Bool("benchjson", false, "write machine-readable results (see -out)")
 	out := flag.String("out", "BENCH_PR4.json", "output path for -benchjson")
 	quick := flag.Bool("quick", false, "shorter measurement windows (CI smoke; numbers are noisier)")
+	ckptjson := flag.Bool("ckptjson", false, "measure checkpoint-commit overhead instead and write -ckptout")
+	ckptout := flag.String("ckptout", "BENCH_PR6.json", "output path for -ckptjson")
 	flag.Parse()
+
+	if *ckptjson {
+		runCkptBench(*quick, *ckptout)
+		return
+	}
 
 	micro := 150 * time.Millisecond
 	e2e := 400 * time.Millisecond

@@ -11,7 +11,7 @@
 //	POST /run       {"workload":"181.mcf", ...}   execute a pipeline
 //	GET  /metrics                                  serving counters + latency histograms
 //	GET  /healthz                                  liveness (503 while draining)
-//	GET  /workloads                                servable workload names
+//	GET  /workloads                                workloads with compile/breaker status
 //
 // SIGINT/SIGTERM trigger a graceful drain: the listener stops accepting,
 // queued requests fail with 503, and in-flight runs get -drain-timeout
@@ -29,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"dswp/internal/ckptstore"
 	"dswp/internal/engine"
 	"dswp/internal/queue"
 )
@@ -46,6 +47,11 @@ func main() {
 		noCache    = flag.Bool("no-cache", false, "disable the compiled-pipeline cache")
 		noPool     = flag.Bool("no-pool", false, "disable warm instance pools")
 		drain      = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown grace for in-flight runs")
+		ckptDir    = flag.String("ckpt-dir", "", "directory for the durable checkpoint store (empty = in-memory)")
+		ckptEvery  = flag.Int64("ckpt-every", 0, "checkpoint commit period in iterations (0 = 64)")
+		retries    = flag.Int("retries", 0, "sequential retries per failed pipelined run (0 = 2, negative disables)")
+		breakerK   = flag.Int("breaker-k", 0, "consecutive failures tripping a workload to sequential (0 = 3, negative disables)")
+		breakerCD  = flag.Duration("breaker-cooldown", 0, "open-breaker cooldown before a half-open probe (0 = 5s)")
 	)
 	flag.Parse()
 
@@ -54,17 +60,43 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dswpd: %v\n", err)
 		os.Exit(2)
 	}
+	var store ckptstore.Store
+	if *ckptDir != "" {
+		fs, err := ckptstore.OpenFile(*ckptDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dswpd: %v\n", err)
+			os.Exit(2)
+		}
+		store = fs
+	}
 	eng := engine.New(engine.Options{
-		Workers:         *workers,
-		QueueDepth:      *queueDepth,
-		CacheCap:        *cacheCap,
-		PoolSize:        *poolSize,
-		QueueCap:        *queueCap,
-		Queue:           kind,
-		DefaultDeadline: *deadline,
-		DisableCache:    *noCache,
-		DisablePool:     *noPool,
+		Workers:          *workers,
+		QueueDepth:       *queueDepth,
+		CacheCap:         *cacheCap,
+		PoolSize:         *poolSize,
+		QueueCap:         *queueCap,
+		Queue:            kind,
+		DefaultDeadline:  *deadline,
+		DisableCache:     *noCache,
+		DisablePool:      *noPool,
+		Store:            store,
+		CheckpointEvery:  *ckptEvery,
+		Retries:          *retries,
+		BreakerThreshold: *breakerK,
+		BreakerCooldown:  *breakerCD,
 	})
+
+	// Crash recovery runs before the listener opens: any checkpoint
+	// entries present were in flight when a previous process died — finish
+	// them from their last durable commit, GC what cannot be trusted, and
+	// surface the stats in /healthz.
+	if rec, err := eng.Recover(context.Background()); err != nil {
+		fmt.Fprintf(os.Stderr, "dswpd: recovery: %v\n", err)
+		os.Exit(1)
+	} else if rec.Scanned > 0 {
+		fmt.Printf("dswpd: recovered %d orphaned run(s) (%d scanned, %d gced, %d corrupt)\n",
+			rec.Resumed, rec.Scanned, rec.GCed, rec.Corrupt)
+	}
 
 	srv := &http.Server{Addr: *addr, Handler: engine.NewMux(eng)}
 	errCh := make(chan error, 1)

@@ -93,6 +93,10 @@ type pathResult struct {
 	Compiles  int64 `json:"compiles,omitempty"`
 	CacheHits int64 `json:"cache_hits,omitempty"`
 	PoolHits  int64 `json:"pool_hits,omitempty"`
+	// ErrorsByClass tallies failed HTTP requests by the server's typed
+	// error class ("deadlock", "timeout", "stage-panic", "shed", ...),
+	// mirroring the engine's error taxonomy in the load report.
+	ErrorsByClass map[string]int `json:"errors_by_class,omitempty"`
 }
 
 func main() {
@@ -355,9 +359,9 @@ func runHTTP(addr string, mix []engine.Request, clients int, dur time.Duration, 
 	// One canary request per mix entry pins the expected digest.
 	want := make([]string, len(mix))
 	for i, req := range mix {
-		resp, status, err := post(client, base, req)
+		resp, status, class, err := post(client, base, req)
 		if err != nil || status != http.StatusOK {
-			fail(fmt.Errorf("canary %s: status=%d err=%v", req.Workload, status, err))
+			fail(fmt.Errorf("canary %s: status=%d class=%s err=%v", req.Workload, status, class, err))
 		}
 		want[i] = resp.Digest
 	}
@@ -367,6 +371,7 @@ func runHTTP(addr string, mix []engine.Request, clients int, dur time.Duration, 
 		mu          sync.Mutex
 		lats        []time.Duration
 		nerr, nshed int
+		byClass     = map[string]int{}
 		stop        = make(chan struct{})
 	)
 	start := time.Now()
@@ -376,6 +381,7 @@ func runHTTP(addr string, mix []engine.Request, clients int, dur time.Duration, 
 			defer wg.Done()
 			var mine []time.Duration
 			errs, shed := 0, 0
+			classes := map[string]int{}
 			for i := c; ; i++ {
 				select {
 				case <-stop:
@@ -383,25 +389,33 @@ func runHTTP(addr string, mix []engine.Request, clients int, dur time.Duration, 
 					lats = append(lats, mine...)
 					nerr += errs
 					nshed += shed
+					for k, v := range classes {
+						byClass[k] += v
+					}
 					mu.Unlock()
 					return
 				default:
 				}
 				j := i % len(mix)
 				t0 := time.Now()
-				resp, status, err := post(client, base, mix[j])
+				resp, status, class, err := post(client, base, mix[j])
 				el := time.Since(t0)
 				switch {
 				case err != nil:
 					errs++
+					classes["transport"]++
 					fmt.Fprintf(os.Stderr, "dswpload: http: %s: %v\n", mix[j].Workload, err)
 				case status == http.StatusTooManyRequests:
 					shed++ // load shedding is the server working as designed
+					classes[class]++
 				case status != http.StatusOK:
 					errs++
-					fmt.Fprintf(os.Stderr, "dswpload: http: %s: status %d\n", mix[j].Workload, status)
+					classes[class]++
+					fmt.Fprintf(os.Stderr, "dswpload: http: %s: status %d class %s\n",
+						mix[j].Workload, status, class)
 				case resp.Digest != want[j]:
 					errs++
+					classes["digest-mismatch"]++
 					fmt.Fprintf(os.Stderr, "dswpload: http: %s digest %s, want %s\n",
 						mix[j].Workload, resp.Digest, want[j])
 				default:
@@ -416,6 +430,9 @@ func runHTTP(addr string, mix []engine.Request, clients int, dur time.Duration, 
 	elapsed := time.Since(start)
 
 	pr := summarize("http", lats, nerr, nshed, elapsed)
+	if len(byClass) > 0 {
+		pr.ErrorsByClass = byClass
+	}
 	print1(pr)
 	if nerr > 0 {
 		fail(fmt.Errorf("%d requests failed", nerr))
@@ -441,20 +458,39 @@ func smokeCheck(client *http.Client, base string) {
 		fail(fmt.Errorf("smoke /workloads: status=%v err=%v", status(hr), err))
 	}
 	var cat struct {
-		Workloads []string `json:"workloads"`
+		Workloads []engine.WorkloadInfo `json:"workloads"`
 	}
 	err = json.NewDecoder(hr.Body).Decode(&cat)
 	hr.Body.Close()
 	if err != nil || len(cat.Workloads) == 0 {
-		fail(fmt.Errorf("smoke /workloads: %d names, err=%v", len(cat.Workloads), err))
+		fail(fmt.Errorf("smoke /workloads: %d entries, err=%v", len(cat.Workloads), err))
 	}
-	for _, name := range cat.Workloads {
-		resp, st, err := post(client, base, engine.Request{Workload: name})
+	for _, wi := range cat.Workloads {
+		resp, st, class, err := post(client, base, engine.Request{Workload: wi.Name})
 		if err != nil || st != http.StatusOK || resp.Digest == "" {
-			fail(fmt.Errorf("smoke /run %s: status=%d err=%v", name, st, err))
+			fail(fmt.Errorf("smoke /run %s: status=%d class=%s err=%v", wi.Name, st, class, err))
 		}
 		fmt.Printf("  smoke /run %-24s %s cache=%s pipelined=%v\n",
-			name, resp.Digest, resp.Cache, resp.Pipelined)
+			wi.Name, resp.Digest, resp.Cache, resp.Pipelined)
+	}
+	// After the per-workload runs, /workloads must carry compile info
+	// (checkpointable or not) for everything just served.
+	hr, err = client.Get(base + "/workloads")
+	if err != nil || hr.StatusCode != http.StatusOK {
+		fail(fmt.Errorf("smoke /workloads (2): status=%v err=%v", status(hr), err))
+	}
+	err = json.NewDecoder(hr.Body).Decode(&cat)
+	hr.Body.Close()
+	if err != nil {
+		fail(fmt.Errorf("smoke /workloads (2): %v", err))
+	}
+	for _, wi := range cat.Workloads {
+		if !wi.Compiled || wi.Pipelined == nil || wi.Checkpointable == nil {
+			fail(fmt.Errorf("smoke /workloads: %s served but compile info missing: %+v", wi.Name, wi))
+		}
+		if *wi.Pipelined && !*wi.Checkpointable {
+			fmt.Printf("  smoke note: %s pipelined but NOT checkpointable\n", wi.Name)
+		}
 	}
 
 	hr, err = client.Get(base + "/metrics")
@@ -468,6 +504,9 @@ func smokeCheck(client *http.Client, base string) {
 		fail(fmt.Errorf("smoke /metrics: completed=%d want >= %d, err=%v",
 			snap.Completed, len(cat.Workloads), err))
 	}
+	if snap.PoolQuarantined > 0 {
+		fmt.Printf("  smoke note: %d instance(s) quarantined\n", snap.PoolQuarantined)
+	}
 	fmt.Printf("  smoke /metrics: %d completed, %d compiles, p50 total %dus\n",
 		snap.Completed, snap.Compiles, snap.LatencyTotalUS.P50)
 }
@@ -479,24 +518,34 @@ func status(hr *http.Response) int {
 	return hr.StatusCode
 }
 
-func post(client *http.Client, base string, req engine.Request) (*engine.Response, int, error) {
+// post issues one /run. On non-200 it decodes the server's typed error
+// body and returns its class ("deadlock", "stage-panic", "shed", ...).
+func post(client *http.Client, base string, req engine.Request) (*engine.Response, int, string, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, "", err
 	}
 	hr, err := client.Post(base+"/run", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, "", err
 	}
 	defer hr.Body.Close()
 	if hr.StatusCode != http.StatusOK {
-		return nil, hr.StatusCode, nil
+		var eb struct {
+			Error string `json:"error"`
+			Class string `json:"class"`
+		}
+		class := "unknown"
+		if json.NewDecoder(hr.Body).Decode(&eb) == nil && eb.Class != "" {
+			class = eb.Class
+		}
+		return nil, hr.StatusCode, class, nil
 	}
 	var resp engine.Response
 	if err := json.NewDecoder(hr.Body).Decode(&resp); err != nil {
-		return nil, hr.StatusCode, err
+		return nil, hr.StatusCode, "", err
 	}
-	return &resp, hr.StatusCode, nil
+	return &resp, hr.StatusCode, "", nil
 }
 
 func summarize(name string, lats []time.Duration, nerr, nshed int, elapsed time.Duration) pathResult {
@@ -521,6 +570,18 @@ func print1(pr pathResult) {
 		pr.Path, pr.Requests, pr.ThroughputRPS, pr.P50US, pr.P99US, pr.MeanUS, pr.Errors, pr.Shed)
 	if pr.Compiles > 0 || pr.CacheHits > 0 {
 		fmt.Printf("  [compiles %d, cache hits %d, pool hits %d]", pr.Compiles, pr.CacheHits, pr.PoolHits)
+	}
+	if len(pr.ErrorsByClass) > 0 {
+		classes := make([]string, 0, len(pr.ErrorsByClass))
+		for k := range pr.ErrorsByClass {
+			classes = append(classes, k)
+		}
+		sort.Strings(classes)
+		fmt.Printf("  [errors:")
+		for _, k := range classes {
+			fmt.Printf(" %s=%d", k, pr.ErrorsByClass[k])
+		}
+		fmt.Printf("]")
 	}
 	fmt.Println()
 }

@@ -33,6 +33,7 @@ import (
 	"net/http"
 
 	"dswp/internal/chaos"
+	"dswp/internal/ckptstore"
 	"dswp/internal/core"
 	"dswp/internal/doacross"
 	"dswp/internal/engine"
@@ -150,6 +151,25 @@ type (
 	EngineMetrics        = engine.Metrics
 	EngineSnapshot       = engine.EngineSnapshot
 	UnknownWorkloadError = engine.UnknownWorkloadError
+
+	// Durable serving (internal/ckptstore, engine recovery): a
+	// CheckpointStore persists committed checkpoints (Policy.Store,
+	// EngineOptions.Store) — MemCheckpointStore survives retries within a
+	// process, FileCheckpointStore survives the process itself;
+	// CheckpointEntry is one crash-safe encoded checkpoint.
+	// FailedRequestError is the engine's exhausted-retry-budget failure
+	// (errors.As sees through its chain); RecoveryStats and RecoveredRun
+	// report the engine's startup crash-recovery pass; WorkloadInfo and
+	// EngineBreakerInfo are the /workloads serving-status shapes.
+	CheckpointStore     = ckptstore.Store
+	CheckpointEntry     = ckptstore.Entry
+	MemCheckpointStore  = ckptstore.MemStore
+	FileCheckpointStore = ckptstore.FileStore
+	FailedRequestError  = engine.FailedRequestError
+	RecoveryStats       = engine.RecoveryStats
+	RecoveredRun        = engine.RecoveredRun
+	WorkloadInfo        = engine.WorkloadInfo
+	EngineBreakerInfo   = engine.BreakerInfo
 )
 
 // Sentinel errors from the transformation (Figure 3 steps 3 and 6).
@@ -386,6 +406,22 @@ func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }
 // NewServerMux builds the dswpd HTTP surface (POST /run, GET /metrics,
 // /healthz, /workloads) over an engine, stdlib net/http only.
 func NewServerMux(e *Engine) *http.ServeMux { return engine.NewMux(e) }
+
+// NewMemCheckpointStore builds an in-memory checkpoint store: durable
+// across engine retries within a process, gone with the process. Entries
+// round-trip the binary codec on every Put/Get, so corruption detection
+// behaves exactly like the file-backed store.
+func NewMemCheckpointStore() *MemCheckpointStore { return ckptstore.NewMem() }
+
+// OpenFileCheckpointStore opens (creating if needed) a file-backed
+// checkpoint store in dir: one CRC-guarded binary file per key, written
+// via temp file + fsync + atomic rename so a crash can tear at most the
+// in-progress commit — never a previously durable one. Corrupt or torn
+// entries found at open are counted and garbage-collected. dswpd's
+// -ckpt-dir flag is this store; Engine.Recover finishes what it left.
+func OpenFileCheckpointStore(dir string) (*FileCheckpointStore, error) {
+	return ckptstore.OpenFile(dir)
+}
 
 // ServableWorkloads lists every workload name the engine accepts: the
 // parametric list kernels plus the Table 1 suite and §5 case studies.

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"time"
 
+	"dswp/internal/ckptstore"
 	"dswp/internal/core"
 	"dswp/internal/interp"
 	"dswp/internal/profile"
@@ -91,6 +92,10 @@ type Report struct {
 	// ByClass histograms the attempt failures the supervisor survived,
 	// keyed by error class name.
 	ByClass map[string]int
+	// ByMode histograms executed scenarios by mode name, so a soak can
+	// prove every mode (including the durable crash-recovery rehearsal)
+	// was actually reached.
+	ByMode map[string]int
 	// WrongState counts runs whose final state diverged from the
 	// sequential baseline. Must be zero.
 	WrongState int
@@ -155,10 +160,11 @@ const (
 	modePermanent          // permanent queue fault -> sequential resume
 	modePanic              // injected stage panic -> sequential resume
 	modeStarve             // forced stalls under a tiny attempt timeout
+	modeDurable            // crash: durable store is all that survives
 	numModes
 )
 
-var modeNames = [numModes]string{"clean", "transient", "permanent", "panic", "starve"}
+var modeNames = [numModes]string{"clean", "transient", "permanent", "panic", "starve", "durable"}
 
 // hangDeadline is the per-run ceiling the harness enforces from outside
 // the supervisor; crossing it is recorded as a hang — the one failure the
@@ -169,7 +175,7 @@ const hangDeadline = 20 * time.Second
 // panics) even when the contract is violated; callers gate on Report.OK().
 func Soak(opts Options) *Report {
 	opts = opts.withDefaults()
-	rep := &Report{Seed: opts.Seed, ByClass: map[string]int{}}
+	rep := &Report{Seed: opts.Seed, ByClass: map[string]int{}, ByMode: map[string]int{}}
 	start := time.Now()
 	if opts.Ctx == nil {
 		opts.Ctx = context.Background()
@@ -229,6 +235,7 @@ func soakOne(rep *Report, targets []*target, i int, subSeed uint64, opts Options
 	rng := &chaosRNG{s: subSeed | 1}
 	tg := targets[rng.intn(len(targets))]
 	mode := rng.intn(numModes)
+	rep.ByMode[modeNames[mode]]++
 	midCancel := rng.intn(4) == 0 // 25% of runs get a mid-flight cancel
 	caps := []int{1, 2, 8, 32}
 	cap := caps[rng.intn(len(caps))]
@@ -250,6 +257,7 @@ func soakOne(rep *Report, targets []*target, i int, subSeed uint64, opts Options
 		Faults: plan,
 	}
 	nq, nt := tg.tr.NumQueues, len(tg.tr.Threads)
+	var store *ckptstore.MemStore
 	switch mode {
 	case modeTransient:
 		plan.QueueFault = map[int]rt.QueueFaultSpec{rng.intn(nq): {
@@ -266,6 +274,22 @@ func soakOne(rep *Report, targets []*target, i int, subSeed uint64, opts Options
 		pol.Poll = time.Millisecond
 	case modePanic:
 		plan.ThreadPanic = map[int]int64{rng.intn(nt): int64(50 + rng.intn(2000))}
+	case modeDurable:
+		// Process-crash rehearsal: a permanent failure kills the attempt
+		// with sequential resume disabled, so the durable store is the
+		// only survivor. Recovery then re-executes the original loop from
+		// the last committed entry — exactly what dswpd does on restart.
+		if rng.intn(2) == 0 {
+			plan.ThreadPanic = map[int]int64{rng.intn(nt): int64(50 + rng.intn(2000))}
+		} else {
+			plan.QueueFault = map[int]rt.QueueFaultSpec{rng.intn(nq): {
+				Class: rt.FaultPermanent, Every: int64(32 + rng.intn(512))}}
+		}
+		store = ckptstore.NewMem()
+		pol.DisableResume = true
+		pol.Store = store
+		pol.StoreKey = fmt.Sprintf("durable.%d", i)
+		pol.StoreMeta = []byte(tg.prog.Name)
 	}
 
 	pack := ""
@@ -317,6 +341,11 @@ func soakOne(rep *Report, targets []*target, i int, subSeed uint64, opts Options
 	if out.srep != nil && out.srep.Failure != nil {
 		rep.ByClass[classOf(out.srep.Failure)]++
 	}
+	if mode == modeDurable {
+		scoreDurable(rep, tg, store, pol.StoreKey, out.err,
+			midCancel || opts.Ctx.Err() != nil, rng, tag, opts)
+		return
+	}
 	if out.err != nil {
 		if isCancel(out.err) {
 			if midCancel || opts.Ctx.Err() != nil {
@@ -352,6 +381,86 @@ func soakOne(rep *Report, targets []*target, i int, subSeed uint64, opts Options
 	} else {
 		rep.Clean++
 	}
+}
+
+// scoreDurable scores a modeDurable run: the supervised attempt ran with
+// sequential resume disabled and a MemStore standing in for the on-disk
+// checkpoint directory. This helper then plays the restarted process —
+// read the durable entry back, rebuild the checkpoint against the pristine
+// memory image, re-execute the original loop sequentially from that cut
+// (or from scratch when nothing committed / the entry is corrupt), and
+// demand the bit-identical final state.
+func scoreDurable(rep *Report, tg *target, store *ckptstore.MemStore, key string,
+	runErr error, canceled bool, rng *chaosRNG, tag string, opts Options) {
+	if runErr == nil {
+		// The injected failure never fired (the loop retired too few
+		// instructions); the pipelined run finished normally and deleted
+		// nothing — there is no crash to recover from.
+		rep.Clean++
+		return
+	}
+	if isCancel(runErr) && canceled {
+		rep.Canceled++
+		return
+	}
+	if !typed(runErr) {
+		rep.Untyped++
+		opts.logf("chaos FAIL (untyped error): %s: %v", tag, runErr)
+		return
+	}
+
+	// A quarter of recoveries face a torn entry: the store must surface
+	// ErrCorrupt (never a wrong checkpoint) and recovery must fall back
+	// to a from-scratch re-execution.
+	torn := rng.intn(4) == 0
+	if torn {
+		store.Corrupt(key)
+	}
+
+	iopts := interp.Options{Ctx: opts.Ctx}
+	e, gerr := store.Get(key)
+	switch {
+	case gerr == nil:
+		cp, cerr := e.Checkpoint(tg.prog.Mem)
+		if cerr != nil {
+			rep.NotRecovered = append(rep.NotRecovered,
+				fmt.Sprintf("%s: rebuilding durable checkpoint: %v", tag, cerr))
+			opts.logf("chaos FAIL (not recovered): %s: %v", tag, cerr)
+			return
+		}
+		iopts.StartBlock = tg.prog.LoopHeader
+		iopts.RegFile = cp.Regs
+		iopts.Mem = cp.Mem
+	case errors.Is(gerr, ckptstore.ErrNotFound),
+		errors.Is(gerr, ckptstore.ErrCorrupt) && torn:
+		// Died before the first commit, or the entry we tore was
+		// detected: recover from scratch.
+		iopts.Mem = tg.prog.Mem
+		iopts.Regs = tg.prog.Regs
+	default:
+		rep.NotRecovered = append(rep.NotRecovered,
+			fmt.Sprintf("%s: durable store get (torn=%v): %v", tag, torn, gerr))
+		opts.logf("chaos FAIL (not recovered): %s: %v", tag, gerr)
+		return
+	}
+
+	res, rerr := interp.Run(tg.prog.F, iopts)
+	if rerr != nil {
+		if isCancel(rerr) && canceled {
+			rep.Canceled++
+			return
+		}
+		rep.NotRecovered = append(rep.NotRecovered,
+			fmt.Sprintf("%s: durable recovery run: %v", tag, rerr))
+		opts.logf("chaos FAIL (not recovered): %s: %v", tag, rerr)
+		return
+	}
+	if cerr := validate.Compare(tag, tg.base, res); cerr != nil {
+		rep.WrongState++
+		opts.logf("chaos FAIL (wrong state after durable recovery): %v", cerr)
+		return
+	}
+	rep.Recovered++
 }
 
 // isCancel reports whether err is (or wraps) a context cancellation or

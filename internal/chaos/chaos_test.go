@@ -29,7 +29,10 @@ func TestSoakPinnedSeed(t *testing.T) {
 	if rep.Recovered == 0 {
 		t.Fatal("no run exercised recovery; scenario mix is broken")
 	}
-	t.Logf("%s byClass=%v", rep, rep.ByClass)
+	if !testing.Short() && rep.ByMode["durable"] == 0 {
+		t.Fatalf("no run exercised the durable crash-recovery mode: %v", rep.ByMode)
+	}
+	t.Logf("%s byClass=%v byMode=%v", rep, rep.ByClass, rep.ByMode)
 }
 
 // TestSoakDeterministicOutcomes: the same seed must reproduce the same

@@ -1,0 +1,308 @@
+// Package ckptstore is the durable half of the fault-tolerance story: a
+// pluggable store for runtime.Checkpoint commits, so recovery survives not
+// just a failed pipeline attempt (the supervisor's in-memory latch) but the
+// loss of the attempt's whole process — an engine retry after a poisoned
+// run, or a dswpd restart after SIGKILL.
+//
+// Entries use a compact binary encoding built for the crash case:
+//
+//   - memory is stored as deltas against the workload's initial image
+//     rather than a full clone — DSWP checkpoints are taken mid-loop, so
+//     most of the (synthetic-input) image is untouched and the delta list
+//     stays small even for multi-thousand-word workloads;
+//   - the register file and iteration epoch are varint-packed;
+//   - a trailing CRC32 (IEEE) guards the whole record, so torn or
+//     bit-rotted entries are detected and skipped, never resumed from;
+//   - each entry carries its key and an opaque caller metadata blob (the
+//     serving engine stores the request JSON there), which is what makes
+//     post-crash recovery self-describing: scanning the store is enough to
+//     know what work was in flight and how to rebuild its initial state.
+//
+// Two implementations share the codec: MemStore (a mutex-guarded map of
+// encoded records — the default for in-process engines, and it keeps the
+// codec honest on every commit) and FileStore (one file per key, written
+// via temp file + fsync + atomic rename, corrupt files skipped and
+// garbage-collected on open).
+package ckptstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"dswp/internal/interp"
+	rt "dswp/internal/runtime"
+)
+
+// Typed store errors. FileStore and MemStore wrap these so callers can
+// errors.Is without caring which implementation they hold.
+var (
+	// ErrNotFound reports that no entry exists under the requested key.
+	ErrNotFound = errors.New("ckptstore: entry not found")
+	// ErrCorrupt reports that an entry exists but failed validation
+	// (bad magic, truncation, CRC mismatch, or impossible geometry) —
+	// the caller must treat it as absent and garbage-collect it rather
+	// than resume from it.
+	ErrCorrupt = errors.New("ckptstore: entry corrupt")
+)
+
+// Store is the durable checkpoint interface the supervisor commits through
+// and the engine recovers from. Implementations must be safe for
+// concurrent use; Put must be atomic with respect to crashes (a reader
+// after a mid-Put crash sees either the previous entry or a detectably
+// corrupt one, never a silent hybrid).
+type Store interface {
+	// Put durably commits e under e.Key, replacing any previous entry.
+	Put(e *Entry) error
+	// Get returns the entry under key. Errors: ErrNotFound when absent,
+	// ErrCorrupt when present but unusable.
+	Get(key string) (*Entry, error)
+	// Delete removes the entry under key (no error when absent).
+	Delete(key string) error
+	// Keys lists every readable entry's key.
+	Keys() ([]string, error)
+	// Close releases resources. The store is unusable afterwards.
+	Close() error
+}
+
+// CorruptCounter is implemented by stores that can report how many
+// corrupt or torn entries they detected and skipped (FileStore counts
+// them during its open scan and on Get); recovery surfaces the count.
+type CorruptCounter interface {
+	CorruptSkipped() int
+}
+
+// Delta is one word the checkpoint changed relative to the initial image.
+type Delta struct {
+	Addr int64
+	Val  int64
+}
+
+// Entry is one durable checkpoint: the architectural cut a
+// runtime.Checkpoint captures, delta-encoded against the workload's
+// initial memory image, plus the identity and metadata recovery needs.
+type Entry struct {
+	// Key is the store key the entry lives under.
+	Key string
+	// Meta is an opaque caller blob carried with the entry — the serving
+	// engine stores the originating request's JSON so a post-crash scan
+	// can rebuild the workload without any out-of-band state.
+	Meta []byte
+	// Iter is the checkpoint's completed outer-loop iteration count.
+	Iter int64
+	// Regs is the merged architectural register file.
+	Regs []int64
+	// BaseLen is the word count of the initial memory image the deltas
+	// were computed against; reconstruction validates it.
+	BaseLen int64
+	// Deltas are the words that differ from the initial image.
+	Deltas []Delta
+}
+
+// NewEntry delta-encodes checkpoint cp against the initial image base.
+// base must be the same image the run started from (sizes must match);
+// meta travels with the entry verbatim.
+func NewEntry(key string, meta []byte, cp rt.Checkpoint, base *interp.Memory) (*Entry, error) {
+	if cp.Mem == nil {
+		return nil, fmt.Errorf("ckptstore: checkpoint has no memory image")
+	}
+	var baseLen int64
+	if base != nil {
+		baseLen = base.Size()
+	}
+	if baseLen != cp.Mem.Size() {
+		return nil, fmt.Errorf("ckptstore: base image %d words, checkpoint %d",
+			baseLen, cp.Mem.Size())
+	}
+	e := &Entry{Key: key, Meta: meta, Iter: cp.Iter,
+		Regs: append([]int64(nil), cp.Regs...), BaseLen: baseLen}
+	for a := int64(0); a < baseLen; a++ {
+		if v := cp.Mem.Get(a); v != base.Get(a) {
+			e.Deltas = append(e.Deltas, Delta{Addr: a, Val: v})
+		}
+	}
+	return e, nil
+}
+
+// Checkpoint reconstructs the runtime.Checkpoint against base, which must
+// be the same initial image the entry was encoded against (same size; the
+// caller rebuilds it deterministically from the workload named in Meta).
+func (e *Entry) Checkpoint(base *interp.Memory) (rt.Checkpoint, error) {
+	if base == nil || base.Size() != e.BaseLen {
+		got := int64(-1)
+		if base != nil {
+			got = base.Size()
+		}
+		return rt.Checkpoint{}, fmt.Errorf("%w: base image %d words, entry encoded against %d",
+			ErrCorrupt, got, e.BaseLen)
+	}
+	mem := base.Clone()
+	for _, d := range e.Deltas {
+		if d.Addr < 0 || d.Addr >= e.BaseLen {
+			return rt.Checkpoint{}, fmt.Errorf("%w: delta address %d outside image of %d words",
+				ErrCorrupt, d.Addr, e.BaseLen)
+		}
+		mem.Set(d.Addr, d.Val)
+	}
+	return rt.Checkpoint{Iter: e.Iter, Mem: mem,
+		Regs: append([]int64(nil), e.Regs...)}, nil
+}
+
+// Binary record layout (all varints are binary.PutUvarint /
+// binary.PutVarint little-endian base-128):
+//
+//	magic   [8]byte "DSWPCKP1"
+//	keyLen  uvarint, key bytes
+//	metaLen uvarint, meta bytes
+//	iter    uvarint
+//	baseLen uvarint
+//	nregs   uvarint, regs as zigzag varints
+//	ndeltas uvarint, per delta: addr-gap uvarint (delta from the previous
+//	        address, so sorted sparse writes stay 1-byte), val zigzag varint
+//	crc     uint32 little-endian, IEEE CRC32 over everything above
+var magic = [8]byte{'D', 'S', 'W', 'P', 'C', 'K', 'P', '1'}
+
+// Encode serializes the entry into the CRC-guarded binary record.
+func Encode(e *Entry) []byte {
+	var buf []byte
+	buf = append(buf, magic[:]...)
+	var tmp [binary.MaxVarintLen64]byte
+	u := func(v uint64) { buf = append(buf, tmp[:binary.PutUvarint(tmp[:], v)]...) }
+	s := func(v int64) { buf = append(buf, tmp[:binary.PutVarint(tmp[:], v)]...) }
+	u(uint64(len(e.Key)))
+	buf = append(buf, e.Key...)
+	u(uint64(len(e.Meta)))
+	buf = append(buf, e.Meta...)
+	u(uint64(e.Iter))
+	u(uint64(e.BaseLen))
+	u(uint64(len(e.Regs)))
+	for _, r := range e.Regs {
+		s(r)
+	}
+	u(uint64(len(e.Deltas)))
+	prev := int64(0)
+	for _, d := range e.Deltas {
+		u(uint64(d.Addr - prev))
+		s(d.Val)
+		prev = d.Addr
+	}
+	sum := crc32.ChecksumIEEE(buf)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], sum)
+	return append(buf, crc[:]...)
+}
+
+// Decode parses a binary record, validating magic, framing, and CRC.
+// Every validation failure wraps ErrCorrupt — a decode error always means
+// "do not resume from this", never "retry differently".
+func Decode(b []byte) (*Entry, error) {
+	if len(b) < len(magic)+4 {
+		return nil, fmt.Errorf("%w: record truncated to %d bytes", ErrCorrupt, len(b))
+	}
+	body, crc := b[:len(b)-4], b[len(b)-4:]
+	if sum := crc32.ChecksumIEEE(body); sum != binary.LittleEndian.Uint32(crc) {
+		return nil, fmt.Errorf("%w: CRC mismatch", ErrCorrupt)
+	}
+	if string(body[:len(magic)]) != string(magic[:]) {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	p := body[len(magic):]
+	u := func() (uint64, error) {
+		v, n := binary.Uvarint(p)
+		if n <= 0 {
+			return 0, fmt.Errorf("%w: truncated varint", ErrCorrupt)
+		}
+		p = p[n:]
+		return v, nil
+	}
+	s := func() (int64, error) {
+		v, n := binary.Varint(p)
+		if n <= 0 {
+			return 0, fmt.Errorf("%w: truncated varint", ErrCorrupt)
+		}
+		p = p[n:]
+		return v, nil
+	}
+	take := func(n uint64) ([]byte, error) {
+		if n > uint64(len(p)) {
+			return nil, fmt.Errorf("%w: field of %d bytes exceeds record", ErrCorrupt, n)
+		}
+		out := p[:n]
+		p = p[n:]
+		return out, nil
+	}
+
+	e := &Entry{}
+	n, err := u()
+	if err != nil {
+		return nil, err
+	}
+	kb, err := take(n)
+	if err != nil {
+		return nil, err
+	}
+	e.Key = string(kb)
+	if n, err = u(); err != nil {
+		return nil, err
+	}
+	mb, err := take(n)
+	if err != nil {
+		return nil, err
+	}
+	if len(mb) > 0 {
+		e.Meta = append([]byte(nil), mb...)
+	}
+	iter, err := u()
+	if err != nil {
+		return nil, err
+	}
+	e.Iter = int64(iter)
+	bl, err := u()
+	if err != nil {
+		return nil, err
+	}
+	e.BaseLen = int64(bl)
+	nregs, err := u()
+	if err != nil {
+		return nil, err
+	}
+	if nregs > uint64(len(p)) { // each reg is >= 1 byte
+		return nil, fmt.Errorf("%w: %d registers exceed record", ErrCorrupt, nregs)
+	}
+	e.Regs = make([]int64, nregs)
+	for i := range e.Regs {
+		if e.Regs[i], err = s(); err != nil {
+			return nil, err
+		}
+	}
+	nd, err := u()
+	if err != nil {
+		return nil, err
+	}
+	if nd > uint64(len(p)) { // each delta is >= 2 bytes
+		return nil, fmt.Errorf("%w: %d deltas exceed record", ErrCorrupt, nd)
+	}
+	e.Deltas = make([]Delta, nd)
+	prev := int64(0)
+	for i := range e.Deltas {
+		gap, err := u()
+		if err != nil {
+			return nil, err
+		}
+		val, err := s()
+		if err != nil {
+			return nil, err
+		}
+		prev += int64(gap)
+		e.Deltas[i] = Delta{Addr: prev, Val: val}
+		if prev < 0 || prev >= e.BaseLen {
+			return nil, fmt.Errorf("%w: delta address %d outside image of %d words",
+				ErrCorrupt, prev, e.BaseLen)
+		}
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(p))
+	}
+	return e, nil
+}

@@ -1,0 +1,293 @@
+package ckptstore
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// MemStore keeps encoded records in a mutex-guarded map. It is the
+// default store for in-process engines: commits survive a failed attempt
+// (engine retry reads them back) but not the process. Records round-trip
+// through the codec on every Put/Get, so the binary encoding is exercised
+// even when no FileStore is configured.
+type MemStore struct {
+	mu      sync.Mutex
+	records map[string][]byte
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *MemStore {
+	return &MemStore{records: make(map[string][]byte)}
+}
+
+// Put implements Store.
+func (m *MemStore) Put(e *Entry) error {
+	if e.Key == "" {
+		return fmt.Errorf("ckptstore: empty key")
+	}
+	rec := Encode(e)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.records == nil {
+		return fmt.Errorf("ckptstore: store closed")
+	}
+	m.records[e.Key] = rec
+	return nil
+}
+
+// Get implements Store.
+func (m *MemStore) Get(key string) (*Entry, error) {
+	m.mu.Lock()
+	rec, ok := m.records[key]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	return Decode(rec)
+}
+
+// Delete implements Store.
+func (m *MemStore) Delete(key string) error {
+	m.mu.Lock()
+	delete(m.records, key)
+	m.mu.Unlock()
+	return nil
+}
+
+// Keys implements Store.
+func (m *MemStore) Keys() ([]string, error) {
+	m.mu.Lock()
+	keys := make([]string, 0, len(m.records))
+	for k := range m.records {
+		keys = append(keys, k)
+	}
+	m.mu.Unlock()
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Close implements Store.
+func (m *MemStore) Close() error {
+	m.mu.Lock()
+	m.records = nil
+	m.mu.Unlock()
+	return nil
+}
+
+// Corrupt overwrites the record under key with garbage bytes that fail
+// CRC validation. Test and chaos hook: it simulates the torn write a real
+// crash could leave behind, without needing a filesystem.
+func (m *MemStore) Corrupt(key string) {
+	m.mu.Lock()
+	if rec, ok := m.records[key]; ok {
+		bad := append([]byte(nil), rec...)
+		bad[len(bad)/2] ^= 0xFF
+		m.records[key] = bad
+	}
+	m.mu.Unlock()
+}
+
+const fileExt = ".ckpt"
+
+// FileStore persists one encoded record per key in a directory, so
+// checkpoints survive process death. Writes go through a temp file in the
+// same directory, fsync, then an atomic rename over the final name — a
+// crash mid-Put leaves either the previous record or a temp file the next
+// open garbage-collects, never a half-written record under the real name.
+// File names are the fnv64a hash of the key (keys are request-derived and
+// not filesystem-safe); the key inside the record is authoritative and
+// verified on every read.
+type FileStore struct {
+	dir string
+
+	mu      sync.Mutex
+	names   map[string]string // key -> filename
+	corrupt int
+	closed  bool
+}
+
+// OpenFile opens (creating if needed) a file-backed store rooted at dir.
+// The opening scan indexes readable records, deletes temp files from
+// interrupted Puts, and deletes corrupt or torn records — counting them in
+// CorruptSkipped — so a store that crashed mid-write always opens clean.
+func OpenFile(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ckptstore: open %s: %w", dir, err)
+	}
+	s := &FileStore{dir: dir, names: make(map[string]string)}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("ckptstore: scan %s: %w", dir, err)
+	}
+	for _, de := range entries {
+		if de.IsDir() {
+			continue
+		}
+		name := de.Name()
+		if strings.HasPrefix(name, "tmp-") {
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if !strings.HasSuffix(name, fileExt) {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		rec, err := os.ReadFile(path)
+		if err != nil {
+			s.corrupt++
+			os.Remove(path)
+			continue
+		}
+		e, err := Decode(rec)
+		if err != nil || fileName(e.Key) != name {
+			s.corrupt++
+			os.Remove(path)
+			continue
+		}
+		s.names[e.Key] = name
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *FileStore) Dir() string { return s.dir }
+
+// CorruptSkipped implements CorruptCounter.
+func (s *FileStore) CorruptSkipped() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.corrupt
+}
+
+func fileName(key string) string {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return fmt.Sprintf("%016x%s", h.Sum64(), fileExt)
+}
+
+// Put implements Store: temp file in the same directory, write, fsync,
+// close, atomic rename, best-effort directory fsync.
+func (s *FileStore) Put(e *Entry) error {
+	if e.Key == "" {
+		return fmt.Errorf("ckptstore: empty key")
+	}
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return fmt.Errorf("ckptstore: store closed")
+	}
+	rec := Encode(e)
+	tmp, err := os.CreateTemp(s.dir, "tmp-*")
+	if err != nil {
+		return fmt.Errorf("ckptstore: put %q: %w", e.Key, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(rec); err != nil {
+		tmp.Close()
+		return fmt.Errorf("ckptstore: put %q: %w", e.Key, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("ckptstore: put %q: %w", e.Key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("ckptstore: put %q: %w", e.Key, err)
+	}
+	name := fileName(e.Key)
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, name)); err != nil {
+		return fmt.Errorf("ckptstore: put %q: %w", e.Key, err)
+	}
+	// Persist the rename itself; rename atomicity holds regardless, so a
+	// failure here only risks losing the newest commit, not corruption.
+	if d, err := os.Open(s.dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	s.mu.Lock()
+	s.names[e.Key] = name
+	s.mu.Unlock()
+	return nil
+}
+
+// Get implements Store. A record that fails decode or whose embedded key
+// does not match (hash collision, hand-planted file) counts as corrupt,
+// is deleted, and surfaces ErrCorrupt.
+func (s *FileStore) Get(key string) (*Entry, error) {
+	s.mu.Lock()
+	name, ok := s.names[key]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	path := filepath.Join(s.dir, name)
+	rec, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			s.forget(key, false)
+			return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+		}
+		return nil, fmt.Errorf("ckptstore: get %q: %w", key, err)
+	}
+	e, err := Decode(rec)
+	if err != nil || e.Key != key {
+		s.forget(key, true)
+		os.Remove(path)
+		if err == nil {
+			err = fmt.Errorf("%w: record holds key %q", ErrCorrupt, e.Key)
+		}
+		return nil, err
+	}
+	return e, nil
+}
+
+func (s *FileStore) forget(key string, corrupt bool) {
+	s.mu.Lock()
+	delete(s.names, key)
+	if corrupt {
+		s.corrupt++
+	}
+	s.mu.Unlock()
+}
+
+// Delete implements Store.
+func (s *FileStore) Delete(key string) error {
+	s.mu.Lock()
+	name, ok := s.names[key]
+	delete(s.names, key)
+	s.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	if err := os.Remove(filepath.Join(s.dir, name)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("ckptstore: delete %q: %w", key, err)
+	}
+	return nil
+}
+
+// Keys implements Store.
+func (s *FileStore) Keys() ([]string, error) {
+	s.mu.Lock()
+	keys := make([]string, 0, len(s.names))
+	for k := range s.names {
+		keys = append(keys, k)
+	}
+	s.mu.Unlock()
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Close implements Store.
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	return nil
+}

@@ -247,6 +247,27 @@ func SplitOpt(g *dep.Graph, p *Partitioning, opts SplitOptions) (*Transformed, e
 			}
 		}
 	}
+	// Checkpointability is decided on the *final* thread bodies — after
+	// CFG simplification and flow packing, which can remove or rename
+	// blocks — using the same test the runtime applies: every thread must
+	// retain its copy of the loop header (the epoch barrier anchor) and a
+	// register-ownership map must exist. When it fails, supervised runs
+	// execute unprotected (resume restarts from scratch); the stat makes
+	// that blind spot visible instead of silent.
+	tr.Stats.Checkpointable = len(tr.RegOwner) > 0
+	for _, th := range tr.Threads {
+		found := false
+		for _, b := range th.Blocks {
+			if b.Name == tr.Stats.Loop {
+				found = true
+				break
+			}
+		}
+		if !found {
+			tr.Stats.Checkpointable = false
+			break
+		}
+	}
 	return tr, nil
 }
 

@@ -26,6 +26,7 @@ package engine
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
@@ -33,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dswp/internal/ckptstore"
 	"dswp/internal/core"
 	"dswp/internal/interp"
 	"dswp/internal/profile"
@@ -61,6 +63,28 @@ func (e *UnknownWorkloadError) Error() string {
 	return fmt.Sprintf("engine: unknown workload %q", e.Name)
 }
 
+// FailedRequestError reports a request that exhausted its retry budget:
+// the pipelined attempt and every checkpoint-seeded sequential retry
+// failed. Chain holds each attempt's error in order; Unwrap exposes them
+// so errors.Is/As see through to the typed runtime failures (the HTTP
+// layer classifies by the first error in the chain, the root cause).
+type FailedRequestError struct {
+	Workload string
+	Attempts int
+	Chain    []error
+}
+
+func (e *FailedRequestError) Error() string {
+	msg := fmt.Sprintf("engine: %s failed after %d attempts", e.Workload, e.Attempts)
+	if len(e.Chain) > 0 {
+		msg += ": " + e.Chain[0].Error()
+	}
+	return msg
+}
+
+// Unwrap returns the full failure chain (Go 1.20+ multi-error unwrap).
+func (e *FailedRequestError) Unwrap() []error { return e.Chain }
+
 // Options configures an Engine.
 type Options struct {
 	// Workers bounds concurrent pipeline executions (default GOMAXPROCS).
@@ -88,6 +112,24 @@ type Options struct {
 	DisableCache bool
 	// DisablePool forces fresh per-run state even on cache hits.
 	DisablePool bool
+	// Store receives durable checkpoint commits from supervised runs and
+	// feeds engine-level resume-on-retry and post-crash recovery
+	// (default: a fresh in-memory store, which survives retries but not
+	// the process; dswpd passes a file-backed store).
+	Store ckptstore.Store
+	// CheckpointEvery is the commit period in outer-loop iterations for
+	// supervised runs (0 = runtime.DefaultCheckpointEvery).
+	CheckpointEvery int64
+	// Retries bounds checkpoint-seeded sequential retries after a
+	// transient pipelined failure (default 2; <0 disables retries).
+	Retries int
+	// BreakerThreshold is the consecutive-pipelined-failure count that
+	// trips a workload's circuit breaker to sequential-only serving
+	// (default 3; <0 disables the breaker).
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker stays open before a
+	// half-open probe re-tests pipelining (default 5s).
+	BreakerCooldown time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -108,6 +150,17 @@ func (o Options) withDefaults() Options {
 	}
 	if o.DefaultDeadline == 0 {
 		o.DefaultDeadline = 30 * time.Second
+	}
+	if o.Retries == 0 {
+		o.Retries = 2
+	} else if o.Retries < 0 {
+		o.Retries = 0
+	}
+	if o.BreakerThreshold == 0 {
+		o.BreakerThreshold = 3
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 5 * time.Second
 	}
 	return o
 }
@@ -145,6 +198,14 @@ type Request struct {
 	// DeadlineMillis bounds this request end to end, queue wait included
 	// (0 = engine default).
 	DeadlineMillis int64 `json:"deadline_ms,omitempty"`
+	// InjectPanic > 0 makes the last pipeline stage panic after that many
+	// retired instructions — a fault-injection knob for chaos tests and
+	// the crash-smoke harness. Injection bypasses the warm pool.
+	InjectPanic int64 `json:"inject_panic,omitempty"`
+	// InjectStallUS > 0 stalls thread 0 that many microseconds every 64
+	// retired instructions, stretching runs so a crash (or a shutdown)
+	// can land mid-request.
+	InjectStallUS int64 `json:"inject_stall_us,omitempty"`
 }
 
 // Response reports one served execution.
@@ -168,9 +229,22 @@ type Response struct {
 	Cache string `json:"cache"`
 	// Warm is true when the run reused a pooled instance.
 	Warm bool `json:"warm"`
-	// Resumed and Checkpoints surface the supervisor's report.
+	// Degraded is true when the workload's circuit breaker was open and
+	// the engine served the original sequential loop instead of the
+	// pipeline (still bit-identical results, no speedup).
+	Degraded bool `json:"degraded,omitempty"`
+	// Attempts counts executions this response consumed: 1 for a clean
+	// run, 1 + sequential retries when the pipelined attempt failed.
+	Attempts int `json:"attempts,omitempty"`
+	// Resumed and Checkpoints surface the supervisor's report; Resumed is
+	// also true when an engine-level retry resumed from the durable store.
 	Resumed     bool  `json:"resumed,omitempty"`
 	Checkpoints int64 `json:"checkpoints,omitempty"`
+	// ResumeIter is the iteration the (engine-level) resume started from;
+	// -1 means from scratch. Only meaningful when Resumed.
+	ResumeIter int64 `json:"resume_iter,omitempty"`
+	// DurableCheckpoints counts commits written to the checkpoint store.
+	DurableCheckpoints int64 `json:"durable_checkpoints,omitempty"`
 	// Timing breakdown, microseconds.
 	QueueMicros   int64 `json:"queue_us"`
 	CompileMicros int64 `json:"compile_us"`
@@ -187,6 +261,22 @@ type Engine struct {
 	pending chan *job
 	stop    chan struct{}
 	wg      sync.WaitGroup
+
+	// Durable checkpoint plumbing: every supervised run commits under a
+	// unique key; terminal outcomes delete it, so only a crash leaves
+	// entries behind for Recover to find.
+	store    ckptstore.Store
+	ownStore bool  // Close the store on Shutdown only when we created it
+	reqSeq   int64 // per-process request sequence for checkpoint keys
+
+	// breaker degrades repeatedly-failing workloads to sequential.
+	breaker *breaker
+
+	// wlMu guards per-workload compile info (Checkpointable, Pipelined)
+	// surfaced by /workloads, and the latest recovery stats for /healthz.
+	wlMu     sync.Mutex
+	wlInfo   map[string]wlCompileInfo
+	recovery *RecoveryStats
 
 	draining atomic.Bool
 	// base is canceled only by a hard shutdown (drain deadline expired);
@@ -218,7 +308,14 @@ func New(opts Options) *Engine {
 		met:     newMetrics(),
 		pending: make(chan *job, opts.QueueDepth),
 		stop:    make(chan struct{}),
+		wlInfo:  make(map[string]wlCompileInfo),
 	}
+	e.store = opts.Store
+	if e.store == nil {
+		e.store = ckptstore.NewMem()
+		e.ownStore = true
+	}
+	e.breaker = newBreaker(opts.BreakerThreshold, opts.BreakerCooldown, e.met)
 	e.cache = newCache(opts.CacheCap, e.met)
 	e.base, e.cancelBase = context.WithCancel(context.Background())
 	for i := 0; i < opts.Workers; i++ {
@@ -368,6 +465,7 @@ func (e *Engine) execute(ctx context.Context, j *job) (*Response, error) {
 	}
 
 	kind, qcap := e.runGeometry(req)
+	faults := faultsOf(req, p)
 	start := time.Now()
 	var res *interp.Result
 	switch {
@@ -378,32 +476,15 @@ func (e *Engine) execute(ctx context.Context, j *job) (*Response, error) {
 			Ctx: ctx, Mem: p.prog.Mem, Regs: p.prog.Regs,
 		})
 	case req.Mode == "concurrent":
-		inst, warm := e.instanceFor(p, kind, qcap)
+		inst, warm := e.instanceFor(p, kind, qcap, faults)
 		resp.Warm = warm
 		res, err = rt.RunCtx(ctx, p.tr.Threads, rt.Options{
 			Plan: p.plan, Instance: inst, Queue: kind, QueueCap: qcap,
-			Mem: p.prog.Mem, Regs: p.prog.Regs,
+			Mem: p.prog.Mem, Regs: p.prog.Regs, Faults: faults,
 		})
-		e.returnInstance(p, inst)
+		e.releaseInstance(p, inst, poisons(err))
 	case req.Mode == "" || req.Mode == "supervised":
-		inst, warm := e.instanceFor(p, kind, qcap)
-		resp.Warm = warm
-		var srep *supervisor.Report
-		res, srep, err = supervisor.Run(ctx, supervisor.Pipeline{
-			Threads: p.tr.Threads, Original: p.prog.F,
-			LoopHeader: p.prog.LoopHeader, RegOwner: p.tr.RegOwner,
-			Mem: p.prog.Mem, Regs: p.prog.Regs,
-		}, supervisor.Policy{
-			Queue: kind, QueueCap: qcap, Plan: p.plan, Instance: inst,
-		})
-		e.returnInstance(p, inst)
-		if srep != nil {
-			resp.Resumed = srep.Resumed
-			resp.Checkpoints = srep.Checkpoints
-			if srep.Resumed {
-				atomic.AddInt64(&e.met.resumes, 1)
-			}
-		}
+		res, err = e.runSupervised(ctx, req, p, resp, kind, qcap, faults)
 	default:
 		return nil, fmt.Errorf("engine: unknown mode %q", req.Mode)
 	}
@@ -412,13 +493,16 @@ func (e *Engine) execute(ctx context.Context, j *job) (*Response, error) {
 	}
 	resp.RunMicros = time.Since(start).Microseconds()
 
-	resp.Digest = fmt.Sprintf("%016x", workloads.StateDigest(res))
+	resp.Digest = hex16(workloads.StateDigest(res))
 	resp.LiveOuts = make(map[string]int64, len(res.LiveOuts))
 	for r, v := range res.LiveOuts {
 		resp.LiveOuts[r.String()] = v
 	}
 	return resp, nil
 }
+
+// hex16 renders a state digest as fixed-width hex.
+func hex16(d uint64) string { return fmt.Sprintf("%016x", d) }
 
 // runGeometry resolves the queue substrate and capacity for a request.
 func (e *Engine) runGeometry(req Request) (queue.Kind, int) {
@@ -435,10 +519,167 @@ func (e *Engine) runGeometry(req Request) (queue.Kind, int) {
 	return kind, qcap
 }
 
+// runSupervised is the default serving path, and where the engine's own
+// fault-tolerance machinery composes:
+//
+//   - the workload's circuit breaker may degrade the run to the original
+//     sequential loop (correct results, no speedup) while open;
+//   - the pipelined attempt runs under the supervisor with durable
+//     checkpoint commits keyed uniquely per request, but with the
+//     supervisor's in-run resume disabled — recovery is owned here;
+//   - a transient failure (stage panic, queue fault, deadlock, watchdog
+//     timeout) burns the retry budget on checkpoint-seeded sequential
+//     resumes, so the retry pays only for iterations after the last
+//     durable commit instead of recomputing from iteration 0;
+//   - an exhausted budget surfaces as *FailedRequestError carrying the
+//     whole failure chain.
+//
+// Terminal outcomes — success, cancellation, exhausted budget — delete
+// the request's store entry; a crash is the only path that leaves one
+// behind, which is exactly what Recover scans for.
+func (e *Engine) runSupervised(ctx context.Context, req Request, p *pipeline,
+	resp *Response, kind queue.Kind, qcap int, faults *rt.FaultPlan) (*interp.Result, error) {
+
+	pipelined, probe := e.breaker.allow(req.Workload)
+	if !pipelined {
+		resp.Degraded = true
+		resp.Pipelined = false
+		resp.Attempts = 1
+		atomic.AddInt64(&e.met.degraded, 1)
+		return interp.Run(p.prog.F, interp.Options{
+			Ctx: ctx, Mem: p.prog.Mem, Regs: p.prog.Regs,
+		})
+	}
+
+	ckey := fmt.Sprintf("%s.r%06d", req.Workload, atomic.AddInt64(&e.reqSeq, 1))
+	meta, _ := json.Marshal(req)
+	defer e.store.Delete(ckey)
+
+	inst, warm := e.instanceFor(p, kind, qcap, faults)
+	resp.Warm = warm
+	res, srep, err := supervisor.Run(ctx, supervisor.Pipeline{
+		Threads: p.tr.Threads, Original: p.prog.F,
+		LoopHeader: p.prog.LoopHeader, RegOwner: p.tr.RegOwner,
+		Mem: p.prog.Mem, Regs: p.prog.Regs,
+	}, supervisor.Policy{
+		Queue: kind, QueueCap: qcap, Plan: p.plan, Instance: inst,
+		Faults: faults, CheckpointEvery: e.opts.CheckpointEvery,
+		DisableResume: true,
+		Store:         e.store, StoreKey: ckey, StoreMeta: meta,
+	})
+	e.releaseInstance(p, inst, poisons(err))
+	resp.Attempts = 1
+	if srep != nil {
+		resp.Checkpoints = srep.Checkpoints
+		resp.DurableCheckpoints = srep.DurableCommits
+		atomic.AddInt64(&e.met.durableCommits, srep.DurableCommits)
+		atomic.AddInt64(&e.met.storeErrors, srep.StoreErrors)
+	}
+	if err == nil {
+		e.breaker.record(req.Workload, true, probe)
+		return res, nil
+	}
+	// The caller asked the work to stop; that is not a pipeline failure
+	// and feeds neither the breaker nor the retry budget.
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return nil, err
+	}
+	e.breaker.record(req.Workload, false, probe)
+	if !retryable(err) {
+		return nil, err
+	}
+
+	chain := []error{err}
+	for attempt := 1; attempt <= e.opts.Retries; attempt++ {
+		resp.Attempts++
+		atomic.AddInt64(&e.met.retries, 1)
+		rres, iter, rerr := e.resumeFromStore(ctx, p, ckey)
+		if rerr == nil {
+			resp.Resumed = true
+			resp.ResumeIter = iter
+			atomic.AddInt64(&e.met.resumes, 1)
+			return rres, nil
+		}
+		if errors.Is(rerr, context.Canceled) || errors.Is(rerr, context.DeadlineExceeded) {
+			return nil, rerr
+		}
+		chain = append(chain, rerr)
+	}
+	return nil, &FailedRequestError{Workload: req.Workload,
+		Attempts: resp.Attempts, Chain: chain}
+}
+
+// resumeFromStore finishes a request sequentially from its last durable
+// checkpoint (or from scratch when the entry is absent or corrupt — a
+// torn commit must degrade to recomputation, never to an error).
+func (e *Engine) resumeFromStore(ctx context.Context, p *pipeline, ckey string) (*interp.Result, int64, error) {
+	iopts := interp.Options{Ctx: ctx}
+	iter := int64(-1)
+	if entry, err := e.store.Get(ckey); err == nil {
+		if cp, err := entry.Checkpoint(p.prog.Mem); err == nil {
+			iopts.StartBlock = p.prog.LoopHeader
+			iopts.RegFile = cp.Regs
+			iopts.Mem = cp.Mem
+			iter = cp.Iter
+		}
+	}
+	if iter < 0 {
+		iopts.Mem = p.prog.Mem
+		iopts.Regs = p.prog.Regs
+	}
+	res, err := interp.Run(p.prog.F, iopts)
+	return res, iter, err
+}
+
+// retryable reports whether a pipelined failure is worth a sequential
+// retry: stage panics, injected queue faults, deadlocks, and watchdog
+// timeouts are artifacts of the concurrent attempt that sequential
+// execution cannot reproduce. Step-limit blowouts are deterministic and
+// cancellation is the caller's choice; neither retries.
+func retryable(err error) bool {
+	var (
+		sf *rt.StageFailure
+		qf *rt.QueueFaultError
+		dl *rt.DeadlockError
+		to *rt.TimeoutError
+	)
+	return errors.As(err, &sf) || errors.As(err, &qf) ||
+		errors.As(err, &dl) || errors.As(err, &to)
+}
+
+// poisons reports whether a run error means the instance's internal state
+// can no longer be trusted: a stage panic may have died mid-operation on
+// queues or register files, so the instance is quarantined rather than
+// reset — Reset cannot prove a panic-interrupted queue consistent.
+func poisons(err error) bool {
+	var sf *rt.StageFailure
+	return errors.As(err, &sf)
+}
+
+// faultsOf builds the injected fault plan a request's chaos knobs ask
+// for; nil for ordinary requests.
+func faultsOf(req Request, p *pipeline) *rt.FaultPlan {
+	if p.tr == nil || (req.InjectPanic <= 0 && req.InjectStallUS <= 0) {
+		return nil
+	}
+	f := &rt.FaultPlan{}
+	if req.InjectPanic > 0 {
+		f.ThreadPanic = map[int]int64{len(p.tr.Threads) - 1: req.InjectPanic}
+	}
+	if req.InjectStallUS > 0 {
+		f.ThreadStall = map[int]rt.ThreadStall{0: {Every: 64,
+			Delay: time.Duration(req.InjectStallUS) * time.Microsecond}}
+	}
+	return f
+}
+
 // instanceFor fetches a warm instance when the request's geometry matches
-// the pool's; otherwise the run allocates fresh state.
-func (e *Engine) instanceFor(p *pipeline, kind queue.Kind, qcap int) (*rt.Instance, bool) {
-	if e.opts.DisablePool || p.pool == nil || kind != e.opts.Queue || qcap != e.opts.QueueCap {
+// the pool's; otherwise the run allocates fresh state. Fault-injecting
+// requests always run on fresh state (Faults are incompatible with warm
+// instances at the runtime layer).
+func (e *Engine) instanceFor(p *pipeline, kind queue.Kind, qcap int, faults *rt.FaultPlan) (*rt.Instance, bool) {
+	if e.opts.DisablePool || p.pool == nil || faults != nil ||
+		kind != e.opts.Queue || qcap != e.opts.QueueCap {
 		atomic.AddInt64(&e.met.poolMisses, 1)
 		return nil, false
 	}
@@ -450,13 +691,13 @@ func (e *Engine) instanceFor(p *pipeline, kind queue.Kind, qcap int) (*rt.Instan
 	return p.pool.make(), false
 }
 
-func (e *Engine) returnInstance(p *pipeline, inst *rt.Instance) {
+// releaseInstance hands a run's instance back to its pool; poisoned
+// instances (the run panicked) are quarantined, never reissued.
+func (e *Engine) releaseInstance(p *pipeline, inst *rt.Instance, poisoned bool) {
 	if inst == nil || p.pool == nil {
 		return
 	}
-	if !p.pool.put(inst) {
-		atomic.AddInt64(&e.met.poolDrops, 1)
-	}
+	p.pool.release(inst, poisoned)
 }
 
 // compile builds the workload and applies the DSWP transformation; a
@@ -473,11 +714,13 @@ func (e *Engine) compile(req Request, build func() *workloads.Program, key strin
 	tr, err := core.Apply(prog.F, prog.LoopHeader, prof, configOf(req))
 	if err != nil {
 		if errors.Is(err, core.ErrSingleSCC) || errors.Is(err, core.ErrUnprofitable) {
+			e.noteCompile(req.Workload, false, false)
 			return &pipeline{key: key, prog: prog,
 				compileMicros: time.Since(start).Microseconds()}, nil
 		}
 		return nil, fmt.Errorf("engine: transform %s: %w", req.Workload, err)
 	}
+	e.noteCompile(req.Workload, true, tr.Stats.Checkpointable)
 	plan, err := rt.NewPlan(tr.Threads)
 	if err != nil {
 		return nil, fmt.Errorf("engine: plan %s: %w", req.Workload, err)
@@ -526,6 +769,9 @@ func (e *Engine) Shutdown(ctx context.Context) error {
 		}
 		e.failQueued() // races between the draining flag and the queue
 		e.cancelBase()
+		if e.ownStore {
+			e.store.Close()
+		}
 	})
 	return e.shutdownErr
 }

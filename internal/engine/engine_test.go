@@ -222,7 +222,11 @@ func TestOverloadShedding(t *testing.T) {
 func TestGracefulShutdown(t *testing.T) {
 	base := runtime.NumGoroutine()
 	e := New(Options{Workers: 1, QueueDepth: 8})
-	req := Request{Workload: "list-of-lists", Outer: 50, Inner: 6}
+	// The stall injection stretches each run to tens of milliseconds, so
+	// the single worker is deterministically still busy (and the queue
+	// still populated) when the drain begins — without it the runs are
+	// microseconds long and the overlap window is a scheduling accident.
+	req := Request{Workload: "list-of-lists", Outer: 50, Inner: 6, InjectStallUS: 500}
 	want := seqDigest(t, req)
 
 	// Fill the single worker plus the queue behind it.

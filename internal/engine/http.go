@@ -5,14 +5,16 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+
+	rt "dswp/internal/runtime"
 )
 
 // NewMux builds the dswpd HTTP surface over an engine:
 //
 //	POST /run       — execute a pipeline (Request in, Response out)
 //	GET  /metrics   — EngineSnapshot JSON, safe to scrape mid-run
-//	GET  /healthz   — liveness; 503 once draining
-//	GET  /workloads — servable workload names
+//	GET  /healthz   — liveness; 503 once draining; recovery stats
+//	GET  /workloads — servable workloads with compile/breaker status
 //
 // Everything speaks JSON; stdlib net/http only.
 func NewMux(e *Engine) *http.ServeMux {
@@ -32,39 +34,93 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
+// errorBody is the JSON error shape: a stable machine-readable Class
+// alongside the human-readable message, plus the attempt count and
+// failure chain when the engine's retry machinery was involved.
 type errorBody struct {
 	Error string `json:"error"`
+	// Class is the failure taxonomy bucket: "shed", "draining",
+	// "deadline", "deadlock", "timeout", "stage-panic", "queue-fault",
+	// "step-limit", "bad-request", or "internal".
+	Class string `json:"class"`
+	// Attempts and Chain are set for requests that exhausted the retry
+	// budget (*FailedRequestError): every attempt's error, in order.
+	Attempts int      `json:"attempts,omitempty"`
+	Chain    []string `json:"chain,omitempty"`
 }
 
-// statusFor maps the engine's typed errors onto HTTP statuses: shedding
-// is 429 (retryable once load drops), draining is 503, a blown deadline
-// is 504, a bad workload or mode is 400, anything else is a 500.
-func statusFor(err error) int {
-	var uw *UnknownWorkloadError
+// classify maps an error onto its taxonomy class and HTTP status. The
+// supervisor's typed errors each get a distinct class instead of
+// collapsing into 500: deadlock is 508 (Loop Detected — the watchdog
+// proved circular queue waiting), watchdog timeout is 504, a stage panic
+// or injected queue fault is a 500 with its own class, shedding is 429,
+// draining 503. A FailedRequestError classifies by its root cause via
+// multi-error unwrap, so clients see what actually went wrong first.
+func classify(err error) (string, int) {
+	var (
+		uw *UnknownWorkloadError
+		dl *rt.DeadlockError
+		to *rt.TimeoutError
+		sf *rt.StageFailure
+		qf *rt.QueueFaultError
+		sl *rt.StepLimitError
+	)
 	switch {
 	case errors.Is(err, ErrOverloaded):
-		return http.StatusTooManyRequests
+		return "shed", http.StatusTooManyRequests
 	case errors.Is(err, ErrDraining):
-		return http.StatusServiceUnavailable
+		return "draining", http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
-		return http.StatusGatewayTimeout
+		return "deadline", http.StatusGatewayTimeout
+	case errors.As(err, &dl):
+		return "deadlock", http.StatusLoopDetected
+	case errors.As(err, &to):
+		return "timeout", http.StatusGatewayTimeout
+	case errors.As(err, &sf):
+		return "stage-panic", http.StatusInternalServerError
+	case errors.As(err, &qf):
+		return "queue-fault", http.StatusInternalServerError
+	case errors.As(err, &sl):
+		return "step-limit", http.StatusInternalServerError
 	case errors.As(err, &uw):
-		return http.StatusBadRequest
+		return "bad-request", http.StatusBadRequest
 	default:
-		return http.StatusInternalServerError
+		return "internal", http.StatusInternalServerError
 	}
+}
+
+// statusFor maps the engine's typed errors onto HTTP statuses; see
+// classify for the taxonomy.
+func statusFor(err error) int {
+	_, status := classify(err)
+	return status
+}
+
+func errorBodyFor(err error) errorBody {
+	class, _ := classify(err)
+	body := errorBody{Error: err.Error(), Class: class}
+	var fr *FailedRequestError
+	if errors.As(err, &fr) {
+		body.Attempts = fr.Attempts
+		for _, e := range fr.Chain {
+			body.Chain = append(body.Chain, e.Error())
+		}
+	}
+	return body
 }
 
 func (e *Engine) handleRun(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeJSON(w, http.StatusMethodNotAllowed, errorBody{"POST only"})
+		writeJSON(w, http.StatusMethodNotAllowed,
+			errorBody{Error: "POST only", Class: "bad-request"})
 		return
 	}
 	var req Request
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{"bad request: " + err.Error()})
+		writeJSON(w, http.StatusBadRequest,
+			errorBody{Error: "bad request: " + err.Error(), Class: "bad-request"})
 		return
 	}
 	resp, err := e.Run(r.Context(), req)
@@ -73,7 +129,7 @@ func (e *Engine) handleRun(w http.ResponseWriter, r *http.Request) {
 		if status == http.StatusTooManyRequests {
 			w.Header().Set("Retry-After", "1")
 		}
-		writeJSON(w, status, errorBody{err.Error()})
+		writeJSON(w, status, errorBodyFor(err))
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -87,11 +143,14 @@ type health struct {
 	Status   string `json:"status"`
 	InFlight int64  `json:"in_flight"`
 	Queued   int64  `json:"queued"`
+	// Recovery reports the startup crash-recovery pass, when one ran.
+	Recovery *RecoveryStats `json:"recovery,omitempty"`
 }
 
 func (e *Engine) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s := e.met.Snapshot()
-	h := health{Status: "ok", InFlight: s.InFlight, Queued: s.Queued}
+	h := health{Status: "ok", InFlight: s.InFlight, Queued: s.Queued,
+		Recovery: e.LastRecovery()}
 	code := http.StatusOK
 	if e.Draining() {
 		h.Status = "draining"
@@ -101,5 +160,6 @@ func (e *Engine) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (e *Engine) handleWorkloads(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string][]string{"workloads": Workloads()})
+	writeJSON(w, http.StatusOK,
+		map[string][]WorkloadInfo{"workloads": e.WorkloadInfos()})
 }

@@ -94,13 +94,24 @@ func TestHTTPRunEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var wl map[string][]string
+	var wl map[string][]WorkloadInfo
 	if err := json.NewDecoder(wresp.Body).Decode(&wl); err != nil {
 		t.Fatal(err)
 	}
 	wresp.Body.Close()
 	if len(wl["workloads"]) < 12 {
 		t.Fatalf("workloads list too short: %v", wl)
+	}
+	// The workload this test served must report its compile outcome.
+	served := false
+	for _, wi := range wl["workloads"] {
+		if wi.Name == "list-traversal" {
+			served = wi.Compiled && wi.Pipelined != nil && *wi.Pipelined &&
+				wi.Checkpointable != nil && *wi.Checkpointable
+		}
+	}
+	if !served {
+		t.Fatalf("served workload missing compile info: %+v", wl["workloads"])
 	}
 }
 

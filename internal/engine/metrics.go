@@ -31,13 +31,21 @@ type Metrics struct {
 	compiles    int64 // core.Apply compilations actually executed
 
 	// Warm instance pools.
-	poolHits   int64 // runs served on a pooled instance
-	poolMisses int64 // runs that allocated (pool empty, geometry mismatch, disabled)
-	poolMakes  int64 // fresh instances allocated by pools
-	poolDrops  int64 // instances dropped at put (verify failed or pool full)
+	poolHits        int64 // runs served on a pooled instance
+	poolMisses      int64 // runs that allocated (pool empty, geometry mismatch, disabled)
+	poolMakes       int64 // fresh instances allocated by pools
+	poolDrops       int64 // instances dropped at release (pool full)
+	poolQuarantined int64 // instances poisoned (run panicked or Reset-verify failed), never reissued
 
-	// Supervisor outcomes.
-	resumes int64 // runs that fell back to sequential resume
+	// Fault-tolerance outcomes.
+	resumes        int64 // runs that fell back to checkpoint-seeded sequential resume
+	retries        int64 // engine-level sequential retries after a pipelined failure
+	degraded       int64 // requests served sequentially because a breaker was open
+	breakerTrips   int64 // closed->open breaker transitions
+	breakerOpen    int64 // gauge: workloads currently open or half-open
+	durableCommits int64 // checkpoints written to the durable store
+	storeErrors    int64 // durable commits that failed (run unaffected)
+	recovered      int64 // orphaned requests finished by Recover after a restart
 
 	// Latency histograms, log2 buckets over MICROSECONDS — 24 buckets
 	// put the ceiling at 2^23us ~ 8.4s, comfortably above any served run.
@@ -71,12 +79,20 @@ type EngineSnapshot struct {
 	CacheEvicts int64 `json:"cache_evicts"`
 	Compiles    int64 `json:"compiles"`
 
-	PoolHits   int64 `json:"pool_hits"`
-	PoolMisses int64 `json:"pool_misses"`
-	PoolMakes  int64 `json:"pool_makes"`
-	PoolDrops  int64 `json:"pool_drops"`
+	PoolHits        int64 `json:"pool_hits"`
+	PoolMisses      int64 `json:"pool_misses"`
+	PoolMakes       int64 `json:"pool_makes"`
+	PoolDrops       int64 `json:"pool_drops"`
+	PoolQuarantined int64 `json:"pool_quarantined"`
 
-	Resumes int64 `json:"resumes"`
+	Resumes        int64 `json:"resumes"`
+	Retries        int64 `json:"retries"`
+	Degraded       int64 `json:"degraded"`
+	BreakerTrips   int64 `json:"breaker_trips"`
+	BreakerOpen    int64 `json:"breaker_open"`
+	DurableCommits int64 `json:"durable_commits"`
+	StoreErrors    int64 `json:"store_errors"`
+	Recovered      int64 `json:"recovered"`
 
 	LatencyTotalUS   HistSnapshot `json:"latency_total_us"`
 	LatencyQueueUS   HistSnapshot `json:"latency_queue_us"`
@@ -122,12 +138,20 @@ func (m *Metrics) Snapshot() *EngineSnapshot {
 		CacheEvicts: atomic.LoadInt64(&m.cacheEvicts),
 		Compiles:    atomic.LoadInt64(&m.compiles),
 
-		PoolHits:   atomic.LoadInt64(&m.poolHits),
-		PoolMisses: atomic.LoadInt64(&m.poolMisses),
-		PoolMakes:  atomic.LoadInt64(&m.poolMakes),
-		PoolDrops:  atomic.LoadInt64(&m.poolDrops),
+		PoolHits:        atomic.LoadInt64(&m.poolHits),
+		PoolMisses:      atomic.LoadInt64(&m.poolMisses),
+		PoolMakes:       atomic.LoadInt64(&m.poolMakes),
+		PoolDrops:       atomic.LoadInt64(&m.poolDrops),
+		PoolQuarantined: atomic.LoadInt64(&m.poolQuarantined),
 
-		Resumes: atomic.LoadInt64(&m.resumes),
+		Resumes:        atomic.LoadInt64(&m.resumes),
+		Retries:        atomic.LoadInt64(&m.retries),
+		Degraded:       atomic.LoadInt64(&m.degraded),
+		BreakerTrips:   atomic.LoadInt64(&m.breakerTrips),
+		BreakerOpen:    atomic.LoadInt64(&m.breakerOpen),
+		DurableCommits: atomic.LoadInt64(&m.durableCommits),
+		StoreErrors:    atomic.LoadInt64(&m.storeErrors),
+		Recovered:      atomic.LoadInt64(&m.recovered),
 
 		LatencyTotalUS:   snapHist(&m.latTotal),
 		LatencyQueueUS:   snapHist(&m.latQueue),

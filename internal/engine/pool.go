@@ -11,10 +11,19 @@ import (
 // pool is a per-pipeline free list of warm runtime.Instance state —
 // queues, register files, iteration counters — so steady-state serving
 // reuses allocations instead of rebuilding them every run. Instances are
-// exclusive while checked out; put() resets and *verifies* the returned
-// state, dropping anything that fails verification rather than poisoning
-// a future run (the reset-and-verify contract TestInstanceReuseMatchesFresh
-// pins at the runtime layer).
+// exclusive while checked out; release() resets and *verifies* the
+// returned state, dropping anything that fails verification rather than
+// poisoning a future run (the reset-and-verify contract
+// TestInstanceReuseMatchesFresh pins at the runtime layer).
+//
+// Quarantine: an instance whose run panicked (*runtime.StageFailure) is
+// released as poisoned and never re-enters the free list — a panic can
+// die mid-operation on a queue or register file, and Reset cannot prove
+// such state consistent. Verify failures (e.g. after a mid-run cancel
+// left queue residue) quarantine the same way. Both are counted in
+// Metrics.poolQuarantined; admission is structural — release is the only
+// writer of the free list, and both quarantine paths return before the
+// append — so a poisoned instance cannot be reissued.
 type pool struct {
 	plan *rt.Plan
 	kind queue.Kind
@@ -50,20 +59,26 @@ func (p *pool) make() *rt.Instance {
 	return p.plan.NewInstance(p.kind, p.qcap)
 }
 
-// put returns an instance after a run: reset to pristine state, verified,
-// and kept for the next run. Returns false when the instance was dropped —
-// verification failed (a canceled run can leave state only reallocation
-// clears) or the pool is full.
-func (p *pool) put(inst *rt.Instance) bool {
+// release returns an instance after a run. Poisoned instances (the run
+// panicked) are quarantined unconditionally. Otherwise the instance is
+// reset to pristine state and verified; verification failure (a canceled
+// run can leave state only reallocation clears) also quarantines, and a
+// full pool drops the instance as ordinary overflow.
+func (p *pool) release(inst *rt.Instance, poisoned bool) {
+	if poisoned {
+		atomic.AddInt64(&p.met.poolQuarantined, 1)
+		return
+	}
 	inst.Reset()
 	if err := inst.Verify(); err != nil {
-		return false
+		atomic.AddInt64(&p.met.poolQuarantined, 1)
+		return
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if len(p.free) >= cap(p.free) {
-		return false
+		atomic.AddInt64(&p.met.poolDrops, 1)
+		return
 	}
 	p.free = append(p.free, inst)
-	return true
 }

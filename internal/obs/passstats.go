@@ -49,6 +49,13 @@ type PassStats struct {
 	Queues                   int
 	RedundantFlowsEliminated int
 
+	// Checkpointable reports whether the emitted threads support aligned
+	// iteration checkpoints: every thread retains a copy of the loop
+	// header (the epoch barrier anchor) and register ownership is known.
+	// False means supervised runs cannot resume mid-loop — failures
+	// recompute from scratch — a blind spot worth surfacing.
+	Checkpointable bool
+
 	// Flow-packing self-report (zero when the pass is disabled).
 	// PackedFlows counts flows coalesced into multi-word packets,
 	// UnpackedFlows the flows left on their own queue, FlowPackets the
@@ -114,6 +121,8 @@ func (s *PassStats) String() string {
 	fmt.Fprintf(&sb, "  flows:      %d over %d queues (kind: %s) (pos: %s)\n",
 		s.Flows, s.Queues, formatKindMap(s.FlowsByKind), formatKindMap(s.FlowsByPos))
 	fmt.Fprintf(&sb, "  redundant:  %d flows eliminated\n", s.RedundantFlowsEliminated)
+	fmt.Fprintf(&sb, "  checkpoint: aligned iteration checkpoints %s\n",
+		map[bool]string{true: "supported", false: "NOT supported (resume restarts from scratch)"}[s.Checkpointable])
 	if s.PackedFlows > 0 || s.FlowPackets > 0 {
 		fmt.Fprintf(&sb, "  packing:    %d flows packed into %d packets (%d unpacked, %d queues merged)\n",
 			s.PackedFlows, s.FlowPackets, s.UnpackedFlows, s.QueuesMerged)

@@ -27,6 +27,7 @@ import (
 	"sync"
 	"time"
 
+	"dswp/internal/ckptstore"
 	"dswp/internal/interp"
 	"dswp/internal/ir"
 	"dswp/internal/obs"
@@ -98,6 +99,18 @@ type Policy struct {
 	// (runtime.Plan.NewInstance with matching queue kind and capacity).
 	// Incompatible with Faults; see runtime.Options.Instance.
 	Instance *rt.Instance
+	// Store, when non-nil, receives a durable copy of every committed
+	// checkpoint under StoreKey, so recovery can outlive this Run call
+	// (engine retries, process restarts). Store errors never fail the
+	// run — they are counted in Report.StoreErrors and the in-memory
+	// latch keeps working. The supervisor never deletes entries; the
+	// caller owns the key's lifecycle.
+	Store ckptstore.Store
+	// StoreKey names the durable entry. Required when Store is set.
+	StoreKey string
+	// StoreMeta is an opaque blob persisted with each entry (the engine
+	// stores the originating request), making entries self-describing.
+	StoreMeta []byte
 }
 
 // Report describes how a supervised execution went.
@@ -117,6 +130,12 @@ type Report struct {
 	// Canceled is true when the run ended because the caller's context
 	// was canceled or the policy deadline expired.
 	Canceled bool
+	// DurableCommits counts checkpoints successfully written to
+	// Policy.Store (0 when no store is configured).
+	DurableCommits int64
+	// StoreErrors counts durable commits that failed; the in-memory
+	// latch still advanced, so the run itself is unaffected.
+	StoreErrors int64
 	// Elapsed is total supervised wall-clock time.
 	Elapsed time.Duration
 }
@@ -147,6 +166,7 @@ func Run(ctx context.Context, p Pipeline, pol Policy) (*interp.Result, *Report, 
 	var (
 		mu   sync.Mutex
 		last *rt.Checkpoint
+		base *interp.Memory // delta-encoding base for durable commits
 	)
 	var spec *rt.CheckpointSpec
 	if len(p.RegOwner) > 0 && p.LoopHeader != "" {
@@ -158,6 +178,28 @@ func Run(ctx context.Context, p Pipeline, pol Policy) (*interp.Result, *Report, 
 				mu.Lock()
 				last = &cp
 				rep.Checkpoints++
+				if pol.Store != nil && pol.StoreKey != "" {
+					// The pipeline is paused at the barrier, so the
+					// fsync cost lands between iterations, not inside
+					// one; a store failure degrades durability, never
+					// correctness.
+					if base == nil {
+						if p.Mem != nil {
+							base = p.Mem
+						} else {
+							base = interp.NewMemory(cp.Mem.Size())
+						}
+					}
+					e, err := ckptstore.NewEntry(pol.StoreKey, pol.StoreMeta, cp, base)
+					if err == nil {
+						err = pol.Store.Put(e)
+					}
+					if err == nil {
+						rep.DurableCommits++
+					} else {
+						rep.StoreErrors++
+					}
+				}
 				mu.Unlock()
 			},
 		}
@@ -197,6 +239,22 @@ func Run(ctx context.Context, p Pipeline, pol Policy) (*interp.Result, *Report, 
 	mu.Lock()
 	cp := last
 	mu.Unlock()
+
+	// No in-memory checkpoint (e.g. the attempt died before its first
+	// barrier, or this Run was handed a key from a previous attempt):
+	// seed the resume from the durable store. Corrupt or missing entries
+	// fall through to a from-scratch resume — never an error.
+	if cp == nil && pol.Store != nil && pol.StoreKey != "" {
+		if e, err := pol.Store.Get(pol.StoreKey); err == nil {
+			b := p.Mem
+			if b == nil {
+				b = interp.NewMemory(e.BaseLen)
+			}
+			if rc, err := e.Checkpoint(b); err == nil {
+				cp = &rc
+			}
+		}
+	}
 
 	// Sequential resume: re-execute the original loop from the last
 	// consistent cut (or from scratch when no checkpoint committed). The

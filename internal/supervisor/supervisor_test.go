@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"dswp/internal/ckptstore"
 	"dswp/internal/core"
 	"dswp/internal/interp"
 	"dswp/internal/profile"
@@ -228,5 +229,87 @@ func TestCancellationNoResume(t *testing.T) {
 	}
 	if !rep.Canceled {
 		t.Fatal("report does not mark the run canceled")
+	}
+}
+
+// TestDurableCommitsAndStoreSeededResume: checkpoints flow into the
+// configured store, and a fresh Run with no in-memory latch (attempt dies
+// before its first barrier) seeds its sequential resume from the store —
+// the cross-attempt recovery path the serving engine builds on.
+func TestDurableCommitsAndStoreSeededResume(t *testing.T) {
+	p := workloads.ListTraversal(500)
+	pipe, base := prepare(t, p, 2)
+	if base == nil {
+		t.Fatal("list traversal must be transformable")
+	}
+	store := ckptstore.NewMem()
+	defer store.Close()
+
+	// First run: panic late so checkpoints commit durably, resume in-run.
+	pol := supervisor.Policy{
+		QueueCap:        2,
+		CheckpointEvery: 8,
+		Store:           store,
+		StoreKey:        "list.r1",
+		StoreMeta:       []byte("req"),
+		Faults: &rt.FaultPlan{Seed: 5, ThreadPanic: map[int]int64{
+			len(pipe.Threads) - 1: 2000}},
+	}
+	res, rep, err := supervisor.Run(context.Background(), pipe, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cerr := validate.Compare("durable", base, res); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if rep.DurableCommits == 0 || rep.DurableCommits != rep.Checkpoints {
+		t.Fatalf("durable commits = %d, checkpoints = %d", rep.DurableCommits, rep.Checkpoints)
+	}
+	if rep.StoreErrors != 0 {
+		t.Fatalf("store errors = %d", rep.StoreErrors)
+	}
+	e, err := store.Get("list.r1")
+	if err != nil {
+		t.Fatalf("store entry missing after run: %v", err)
+	}
+	if string(e.Meta) != "req" || e.Iter <= 0 {
+		t.Fatalf("stored entry = key %q meta %q iter %d", e.Key, e.Meta, e.Iter)
+	}
+
+	// Second run under the same key: kill thread 0 immediately, so no
+	// checkpoint commits in-memory; the resume must come from the store.
+	pipe2, _ := prepare(t, p, 2)
+	pol2 := supervisor.Policy{
+		QueueCap:        2,
+		CheckpointEvery: 8,
+		Store:           store,
+		StoreKey:        "list.r1",
+		Faults:          &rt.FaultPlan{Seed: 5, ThreadPanic: map[int]int64{0: 1}},
+	}
+	res2, rep2, err := supervisor.Run(context.Background(), pipe2, pol2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.Resumed || rep2.ResumeIter != e.Iter {
+		t.Fatalf("want store-seeded resume from iter %d, got resumed=%v iter=%d",
+			e.Iter, rep2.Resumed, rep2.ResumeIter)
+	}
+	if cerr := validate.Compare("store-seeded", base, res2); cerr != nil {
+		t.Fatal(cerr)
+	}
+
+	// Third run with the entry corrupted: resume falls back to scratch,
+	// still lands on the right answer, never errors on the bad entry.
+	store.Corrupt("list.r1")
+	pipe3, _ := prepare(t, p, 2)
+	res3, rep3, err := supervisor.Run(context.Background(), pipe3, pol2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep3.Resumed || rep3.ResumeIter != -1 {
+		t.Fatalf("corrupt entry: want from-scratch resume, got iter=%d", rep3.ResumeIter)
+	}
+	if cerr := validate.Compare("corrupt-fallback", base, res3); cerr != nil {
+		t.Fatal(cerr)
 	}
 }

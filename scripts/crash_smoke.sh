@@ -1,0 +1,144 @@
+#!/usr/bin/env bash
+# crash_smoke.sh — the durable-serving acceptance gate: SIGKILL dswpd in
+# the middle of a checkpointing run, plant torn artifacts in the
+# checkpoint directory, restart against the same directory, and require
+# the daemon to (a) finish the orphaned run from its last durable commit
+# with the bit-identical digest, (b) skip and GC the corrupt entries
+# without crashing, and (c) leave the store empty and drain cleanly.
+#
+#   scripts/crash_smoke.sh            # plain build
+#   RACE=1 scripts/crash_smoke.sh     # under the race detector (CI)
+#   PORT=9001 scripts/crash_smoke.sh
+#
+# The victim request is pinned (list-traversal n=8000, stall-stretched so
+# the kill lands mid-run), so the smoke is reproducible run-for-run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT="${PORT:-17539}"
+RACE="${RACE:-}"
+BUILDFLAGS=()
+if [ -n "$RACE" ]; then
+  BUILDFLAGS+=(-race)
+fi
+
+WORK="$(mktemp -d)"
+CKPT="$WORK/ckpt"
+DPID=""
+cleanup() {
+  [ -n "$DPID" ] && kill -9 "$DPID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+go build "${BUILDFLAGS[@]}" -o "$WORK/dswpd" ./cmd/dswpd
+
+# jnum/jstr pull one field out of the daemon's indented JSON without jq.
+jnum() { sed -n "s/.*\"$1\": *\([0-9][0-9]*\).*/\1/p" | head -1; }
+jstr() { sed -n "s/.*\"$1\": *\"\([^\"]*\)\".*/\1/p" | head -1; }
+
+start_daemon() {
+  "$WORK/dswpd" -addr "localhost:$PORT" -ckpt-dir "$CKPT" -ckpt-every 4 \
+    >>"$WORK/dswpd.log" 2>&1 &
+  DPID=$!
+  for i in $(seq 1 100); do
+    if curl -sf "http://localhost:$PORT/healthz" >/dev/null 2>&1; then
+      return 0
+    fi
+    if ! kill -0 "$DPID" 2>/dev/null; then
+      echo "crash_smoke: dswpd exited before becoming healthy" >&2
+      cat "$WORK/dswpd.log" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  echo "crash_smoke: dswpd never became healthy" >&2
+  exit 1
+}
+
+start_daemon
+
+# The victim: stall-stretched so it runs for seconds, committing a durable
+# checkpoint every 4 iterations. Fire it in the background — it will die
+# with the daemon.
+curl -s -X POST "http://localhost:$PORT/run" -d \
+  '{"workload":"list-traversal","n":8000,"inject_stall_us":2000,"deadline_ms":120000}' \
+  >"$WORK/victim.json" 2>/dev/null || true &
+
+# Wait for the first durable commit to land on disk, then SIGKILL — no
+# drain, no cleanup, exactly what a crash looks like.
+committed=""
+for i in $(seq 1 400); do
+  if ls "$CKPT"/*.ckpt >/dev/null 2>&1; then
+    committed=1
+    break
+  fi
+  sleep 0.025
+done
+if [ -z "$committed" ]; then
+  echo "crash_smoke: no durable checkpoint appeared in $CKPT" >&2
+  cat "$WORK/dswpd.log" >&2
+  exit 1
+fi
+kill -9 "$DPID"
+wait "$DPID" 2>/dev/null || true
+DPID=""
+
+orphans=$(ls "$CKPT"/*.ckpt 2>/dev/null | wc -l)
+if [ "$orphans" -lt 1 ]; then
+  echo "crash_smoke: SIGKILL left no orphaned checkpoint entry" >&2
+  exit 1
+fi
+
+# Plant crash damage next to the orphan: a truncated garbage entry and a
+# stale temp file from a torn in-progress write.
+printf 'garbage-not-a-checkpoint' >"$CKPT/00deadbeef00dead.ckpt"
+printf 'torn' >"$CKPT/tmp-crash-123"
+
+# Restart against the same directory: recovery runs before the listener
+# opens, so a healthy daemon has already finished the orphan.
+start_daemon
+
+HEALTH=$(curl -sf "http://localhost:$PORT/healthz")
+resumed=$(printf '%s' "$HEALTH" | jnum resumed)
+corrupt=$(printf '%s' "$HEALTH" | jnum corrupt)
+recovered_digest=$(printf '%s' "$HEALTH" | jstr digest)
+if [ "${resumed:-0}" -lt 1 ]; then
+  echo "crash_smoke: restart did not resume the orphaned run: $HEALTH" >&2
+  exit 1
+fi
+if [ "${corrupt:-0}" -lt 1 ]; then
+  echo "crash_smoke: planted corruption was not detected: $HEALTH" >&2
+  exit 1
+fi
+if [ -z "$recovered_digest" ]; then
+  echo "crash_smoke: recovery reported no digest: $HEALTH" >&2
+  exit 1
+fi
+
+# The recovered state must be bit-identical to an uninterrupted sequential
+# run of the same request.
+ref_digest=$(curl -sf -X POST "http://localhost:$PORT/run" -d \
+  '{"workload":"list-traversal","n":8000,"mode":"sequential"}' | jstr digest)
+if [ -z "$ref_digest" ] || [ "$recovered_digest" != "$ref_digest" ]; then
+  echo "crash_smoke: recovered digest $recovered_digest != reference $ref_digest" >&2
+  exit 1
+fi
+
+# Recovery must have cleared the store (orphan finished, garbage GC'd,
+# temp file swept).
+leftovers=$(find "$CKPT" -type f 2>/dev/null | wc -l)
+if [ "$leftovers" -ne 0 ]; then
+  echo "crash_smoke: checkpoint dir not clean after recovery:" >&2
+  find "$CKPT" -type f >&2
+  exit 1
+fi
+
+# And the survivor must still drain cleanly.
+kill -TERM "$DPID"
+if ! wait "$DPID"; then
+  echo "crash_smoke: recovered dswpd did not drain cleanly" >&2
+  exit 1
+fi
+DPID=""
+echo "crash_smoke: ok (resumed=$resumed corrupt=$corrupt digest=$recovered_digest)"
