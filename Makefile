@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race validate bench bench-json bench-json-pr5 serve load-smoke server-smoke crash-smoke clean
+.PHONY: check vet build test race validate bench bench-json bench-json-pr5 serve load-smoke server-smoke crash-smoke metrics-smoke clean
 
 # The gate for every change: vet, build, and the full test suite under
 # the race detector (channels carry every cross-thread dependence, so
@@ -29,12 +29,14 @@ bench:
 	$(GO) test -bench . -benchtime 1x ./...
 
 # Full measurement run: queue microbenchmarks, end-to-end pipeline
-# timings, the false-sharing probe (BENCH_PR4.json), and the
-# checkpoint-commit overhead sweep (BENCH_PR6.json); formats documented
+# timings, the false-sharing probe (BENCH_PR4.json), the
+# checkpoint-commit overhead sweep (BENCH_PR6.json), and the
+# request-tracing overhead sweep (BENCH_PR7.json); formats documented
 # in EXPERIMENTS.md.
 bench-json:
 	$(GO) run ./cmd/dswpbench -benchjson -out BENCH_PR4.json
 	$(GO) run ./cmd/dswpbench -ckptjson -ckptout BENCH_PR6.json
+	$(GO) run ./cmd/dswpbench -obsjson -obsout BENCH_PR7.json
 
 # Serving-path measurement: cold-compile vs cached vs warm-pooled
 # closed-loop throughput and latency, pinned to BENCH_PR5.json (format
@@ -62,6 +64,12 @@ server-smoke:
 # recovery with the corruption skipped.
 crash-smoke:
 	RACE=1 scripts/crash_smoke.sh
+
+# Telemetry smoke: lint the Prometheus exposition, round-trip a traced
+# request through /debug/requests/{id}, check the windowed series and
+# pprof isolation on the debug listener.
+metrics-smoke:
+	RACE=1 scripts/metrics_smoke.sh
 
 clean:
 	$(GO) clean ./...

@@ -5,6 +5,8 @@
 //
 //	dswpbench            # human-readable summary
 //	dswpbench -benchjson # also write BENCH_PR4.json (see -out)
+//	dswpbench -ckptjson  # checkpoint-commit overhead sweep (BENCH_PR6.json)
+//	dswpbench -obsjson   # request-tracing overhead sweep (BENCH_PR7.json)
 //	dswpbench -quick     # shorter measurement windows (CI smoke)
 //
 // The JSON schema is documented in EXPERIMENTS.md ("BENCH_PR4.json
@@ -87,10 +89,16 @@ func main() {
 	quick := flag.Bool("quick", false, "shorter measurement windows (CI smoke; numbers are noisier)")
 	ckptjson := flag.Bool("ckptjson", false, "measure checkpoint-commit overhead instead and write -ckptout")
 	ckptout := flag.String("ckptout", "BENCH_PR6.json", "output path for -ckptjson")
+	obsjson := flag.Bool("obsjson", false, "measure request-tracing overhead instead and write -obsout")
+	obsout := flag.String("obsout", "BENCH_PR7.json", "output path for -obsjson")
 	flag.Parse()
 
 	if *ckptjson {
 		runCkptBench(*quick, *ckptout)
+		return
+	}
+	if *obsjson {
+		runObsBench(*quick, *obsout)
 		return
 	}
 

@@ -1,0 +1,205 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"dswp/internal/engine"
+	"dswp/internal/telemetry"
+)
+
+// obsFile is the BENCH_PR7.json shape: the cost of per-request tracing
+// on the cached supervised serving path, swept over the three telemetry
+// configurations that bracket the feature. "disabled" never mints a
+// trace (the PR 6 serving path); "enabled-unsampled" mints a trace and
+// records every span and bridged run event, then tail sampling drops it
+// — the steady-state production cost; "always-sample" keeps every trace
+// (SampleRate 1), paying materialization into span trees plus ring
+// retention on top — the worst case.
+type obsFile struct {
+	Schema     string `json:"schema"`
+	Quick      bool   `json:"quick"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	// Workload and Clients describe the closed loop each configuration
+	// runs: Clients goroutines issuing the workload back-to-back against
+	// a dedicated warm engine.
+	Workload   string `json:"workload"`
+	Clients    int    `json:"clients"`
+	DurationMS int64  `json:"duration_ms"`
+
+	Configs []obsRun `json:"configs"`
+
+	// TracingOverheadPct headlines: throughput lost with tracing fully
+	// on (always-sample) vs off; UnsampledOverheadPct is the same for the
+	// production configuration (record everything, keep nothing).
+	TracingOverheadPct   float64 `json:"tracing_overhead_pct"`
+	UnsampledOverheadPct float64 `json:"unsampled_overhead_pct"`
+}
+
+type obsRun struct {
+	Config        string  `json:"config"` // disabled | enabled-unsampled | always-sample
+	Requests      int     `json:"requests"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	MeanUS        int64   `json:"mean_us"`
+	P99US         int64   `json:"p99_us"`
+	// OverheadPct is throughput lost vs the disabled configuration.
+	OverheadPct float64 `json:"overhead_pct"`
+	// Tracer accounting for the run (zero when disabled): every request
+	// must be started, and the sampling decision splits kept/dropped.
+	TracesStarted int64 `json:"traces_started"`
+	TracesKept    int64 `json:"traces_kept"`
+	TracesDropped int64 `json:"traces_dropped"`
+}
+
+// runObsBench measures tracing overhead on the serving path and writes
+// out (the BENCH_PR7.json behind EXPERIMENTS.md's telemetry budget).
+func runObsBench(quick bool, out string) {
+	dur := 2 * time.Second
+	if quick {
+		dur = 400 * time.Millisecond
+	}
+	clients := runtime.GOMAXPROCS(0)
+	req := engine.Request{Workload: "list-traversal", N: 64}
+
+	res := &obsFile{
+		Schema:     "dswp-bench-pr7/1",
+		Quick:      quick,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Workload:   fmt.Sprintf("list-traversal[n=%d]", req.N),
+		Clients:    clients,
+		DurationMS: dur.Milliseconds(),
+	}
+
+	configs := []struct {
+		name string
+		topt telemetry.TraceOptions
+	}{
+		{"disabled", telemetry.TraceOptions{Disable: true}},
+		// Negative rate and threshold disable those keep rules: traces are
+		// minted and fully recorded, then always dropped at Finish.
+		{"enabled-unsampled", telemetry.TraceOptions{SampleRate: -1, SlowThreshold: -1}},
+		// SampleRate 1 keeps every trace: full materialization + retention.
+		{"always-sample", telemetry.TraceOptions{SampleRate: 1, SlowThreshold: -1}},
+	}
+
+	fmt.Printf("request-tracing overhead (%s, %d clients, %s per config, supervised cached path):\n",
+		res.Workload, clients, dur)
+	var disabledRPS float64
+	for _, cfg := range configs {
+		r := runObsConfig(cfg.name, cfg.topt, req, clients, dur)
+		if cfg.name == "disabled" {
+			disabledRPS = r.ThroughputRPS
+		} else if disabledRPS > 0 {
+			r.OverheadPct = (disabledRPS/r.ThroughputRPS - 1) * 100
+		}
+		res.Configs = append(res.Configs, r)
+		fmt.Printf("  %-18s %9.0f req/s  mean %5dus  p99 %6dus  %+6.1f%%  traces %d started / %d kept / %d dropped\n",
+			r.Config, r.ThroughputRPS, r.MeanUS, r.P99US, r.OverheadPct,
+			r.TracesStarted, r.TracesKept, r.TracesDropped)
+		if cfg.name == "enabled-unsampled" {
+			res.UnsampledOverheadPct = r.OverheadPct
+		}
+		if cfg.name == "always-sample" {
+			res.TracingOverheadPct = r.OverheadPct
+		}
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		fail(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		f.Close()
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+	fmt.Printf("\nwrote %s\n", out)
+}
+
+// runObsConfig runs one telemetry configuration's closed loop against a
+// dedicated warm engine and reports its throughput, latency, and tracer
+// accounting.
+func runObsConfig(name string, topt telemetry.TraceOptions, req engine.Request,
+	clients int, dur time.Duration) obsRun {
+	e := engine.New(engine.Options{
+		Workers:    clients,
+		QueueDepth: 2 * clients, // closed loop: never shed
+		Telemetry:  topt,
+	})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := e.Shutdown(ctx); err != nil {
+			fail(fmt.Errorf("obs %s: shutdown: %w", name, err))
+		}
+	}()
+	// Prime the cache and pools so the loop measures steady state.
+	if _, err := e.Run(context.Background(), req); err != nil {
+		fail(fmt.Errorf("obs %s: prime: %w", name, err))
+	}
+
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		lats []time.Duration
+		stop = make(chan struct{})
+	)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var mine []time.Duration
+			for {
+				select {
+				case <-stop:
+					mu.Lock()
+					lats = append(lats, mine...)
+					mu.Unlock()
+					return
+				default:
+				}
+				t0 := time.Now()
+				if _, err := e.Run(context.Background(), req); err != nil {
+					fail(fmt.Errorf("obs %s: %w", name, err))
+				}
+				mine = append(mine, time.Since(t0))
+			}
+		}()
+	}
+	time.Sleep(dur)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	r := obsRun{Config: name, Requests: len(lats)}
+	if len(lats) > 0 {
+		r.ThroughputRPS = float64(len(lats)) / elapsed.Seconds()
+		var sum time.Duration
+		for _, l := range lats {
+			sum += l
+		}
+		r.MeanUS = (sum / time.Duration(len(lats))).Microseconds()
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		r.P99US = lats[len(lats)*99/100].Microseconds()
+	}
+	if t := e.Tracer(); t != nil {
+		s := t.Stats()
+		r.TracesStarted = s.Started
+		r.TracesKept = s.KeptError + s.KeptSlow + s.KeptSampled
+		r.TracesDropped = s.Dropped
+	}
+	return r
+}

@@ -8,10 +8,16 @@
 //
 // Endpoints (all JSON, stdlib net/http):
 //
-//	POST /run       {"workload":"181.mcf", ...}   execute a pipeline
-//	GET  /metrics                                  serving counters + latency histograms
-//	GET  /healthz                                  liveness (503 while draining)
-//	GET  /workloads                                workloads with compile/breaker status
+//	POST /run                 {"workload":"181.mcf", ...}   execute a pipeline
+//	GET  /metrics             serving counters + latency histograms (JSON;
+//	                          Prometheus text under Accept negotiation)
+//	GET  /healthz             liveness (503 while draining)
+//	GET  /workloads           workloads with compile/breaker status
+//	GET  /debug/requests      tail-sampled request traces (and /{id})
+//	GET  /debug/vars          windowed time-series + per-workload profiles
+//
+// -debug-addr opens a second listener carrying the same debug surface
+// plus net/http/pprof — profiling stays off the serving port.
 //
 // SIGINT/SIGTERM trigger a graceful drain: the listener stops accepting,
 // queued requests fail with 503, and in-flight runs get -drain-timeout
@@ -24,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -32,6 +39,7 @@ import (
 	"dswp/internal/ckptstore"
 	"dswp/internal/engine"
 	"dswp/internal/queue"
+	"dswp/internal/telemetry"
 )
 
 func main() {
@@ -52,6 +60,12 @@ func main() {
 		retries    = flag.Int("retries", 0, "sequential retries per failed pipelined run (0 = 2, negative disables)")
 		breakerK   = flag.Int("breaker-k", 0, "consecutive failures tripping a workload to sequential (0 = 3, negative disables)")
 		breakerCD  = flag.Duration("breaker-cooldown", 0, "open-breaker cooldown before a half-open probe (0 = 5s)")
+
+		debugAddr   = flag.String("debug-addr", "", "second listener with the debug surface + net/http/pprof (empty = off)")
+		noTelemetry = flag.Bool("no-telemetry", false, "disable request tracing (windowed series stay on)")
+		traceCap    = flag.Int("trace-cap", 0, "retained request traces (0 = 256)")
+		traceSample = flag.Float64("trace-sample", 0, "fraction of ordinary requests tail-sampled (0 = 0.01, negative disables)")
+		traceSlow   = flag.Duration("trace-slow", 0, "latency above which every request's trace is kept (0 = 50ms, negative disables)")
 	)
 	flag.Parse()
 
@@ -84,6 +98,12 @@ func main() {
 		Retries:          *retries,
 		BreakerThreshold: *breakerK,
 		BreakerCooldown:  *breakerCD,
+		Telemetry: telemetry.TraceOptions{
+			Disable:       *noTelemetry,
+			Capacity:      *traceCap,
+			SampleRate:    *traceSample,
+			SlowThreshold: *traceSlow,
+		},
 	})
 
 	// Crash recovery runs before the listener opens: any checkpoint
@@ -103,6 +123,27 @@ func main() {
 	go func() { errCh <- srv.ListenAndServe() }()
 	fmt.Printf("dswpd: serving on %s (%d workloads)\n", *addr, len(engine.Workloads()))
 
+	// The optional debug listener carries the full engine surface (so the
+	// debug endpoints work there too) plus pprof, explicitly registered —
+	// importing net/http/pprof's side effects onto the serving mux would
+	// expose profiling on the public port.
+	var dbg *http.Server
+	if *debugAddr != "" {
+		dmux := engine.NewMux(eng)
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dbg = &http.Server{Addr: *debugAddr, Handler: dmux}
+		go func() {
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "dswpd: debug listener failed: %v\n", err)
+			}
+		}()
+		fmt.Printf("dswpd: debug surface on %s\n", *debugAddr)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
@@ -119,6 +160,9 @@ func main() {
 	// drain the engine under the same grace period.
 	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintf(os.Stderr, "dswpd: http shutdown: %v\n", err)
+	}
+	if dbg != nil {
+		_ = dbg.Shutdown(ctx)
 	}
 	if err := eng.Shutdown(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "dswpd: engine drain exceeded grace, in-flight runs canceled: %v\n", err)

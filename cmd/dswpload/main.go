@@ -44,6 +44,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"runtime"
@@ -54,6 +55,7 @@ import (
 
 	"dswp/internal/engine"
 	"dswp/internal/queue"
+	"dswp/internal/telemetry"
 )
 
 // benchFile is the BENCH_PR5.json shape. Latency quantiles are exact
@@ -88,15 +90,27 @@ type pathResult struct {
 	ThroughputRPS float64 `json:"throughput_rps"`
 	P50US         int64   `json:"p50_us"`
 	P99US         int64   `json:"p99_us"`
+	P999US        int64   `json:"p999_us"`
 	MeanUS        int64   `json:"mean_us"`
 	// Engine-side counters for the in-process paths (zero in HTTP mode).
 	Compiles  int64 `json:"compiles,omitempty"`
 	CacheHits int64 `json:"cache_hits,omitempty"`
 	PoolHits  int64 `json:"pool_hits,omitempty"`
-	// ErrorsByClass tallies failed HTTP requests by the server's typed
-	// error class ("deadlock", "timeout", "stage-panic", "shed", ...),
+	// ErrorsByClass tallies failed requests by the engine's typed error
+	// class ("deadlock", "timeout", "stage-panic", "shed", ...),
 	// mirroring the engine's error taxonomy in the load report.
 	ErrorsByClass map[string]int `json:"errors_by_class,omitempty"`
+	// LatencyByClass breaks non-success latency down by the same classes
+	// (shed requests included): how long did failures take to fail?
+	LatencyByClass map[string]classLatency `json:"latency_by_class,omitempty"`
+}
+
+// classLatency summarizes one error class's latency distribution.
+type classLatency struct {
+	Count  int   `json:"count"`
+	P50US  int64 `json:"p50_us"`
+	P99US  int64 `json:"p99_us"`
+	MeanUS int64 `json:"mean_us"`
 }
 
 func main() {
@@ -115,8 +129,12 @@ func main() {
 		quick     = flag.Bool("quick", false, "shorter window (-duration 500ms) for CI smoke")
 		benchjson = flag.Bool("benchjson", false, "write machine-readable results (see -out)")
 		out       = flag.String("out", "BENCH_PR5.json", "output path for -benchjson")
+		jsonOut   = flag.Bool("json", false, "emit the full summary as one JSON object on stdout (progress moves to stderr)")
 	)
 	flag.Parse()
+	if *jsonOut {
+		human = os.Stderr
+	}
 
 	if *quick && *duration == 3*time.Second {
 		*duration = 500 * time.Millisecond
@@ -130,7 +148,7 @@ func main() {
 
 	mix := buildMix(strings.Split(*mixFlag, ","), *n, *outer, *inner)
 	if *addr != "" {
-		runHTTP(*addr, mix, *clients, *duration, *smoke)
+		runHTTP(*addr, mix, *clients, *duration, *smoke, *jsonOut)
 		return
 	}
 	if *smoke {
@@ -160,7 +178,7 @@ func main() {
 		}
 		res.Mix = append(res.Mix, name)
 	}
-	fmt.Printf("dswpload: GOMAXPROCS=%d workers=%d clients=%d duration=%s\ndswpload: mix %s\n\n",
+	fmt.Fprintf(human, "dswpload: GOMAXPROCS=%d workers=%d clients=%d duration=%s\ndswpload: mix %s\n\n",
 		res.GOMAXPROCS, res.Workers, res.Clients, *duration, strings.Join(res.Mix, " "))
 
 	// Each comparison holds everything but one mechanism constant:
@@ -205,9 +223,9 @@ func main() {
 		res.WarmVsCached = byName[warmName].ThroughputRPS / cached
 	}
 
-	fmt.Printf("\nheadlines:\n")
-	fmt.Printf("  cached_vs_cold_throughput: %.1fx (compile amortization; acceptance: >= 10)\n", res.CachedVsCold)
-	fmt.Printf("  warm_vs_cached_throughput: %.2fx (instance reuse on the pipelined path)\n", res.WarmVsCached)
+	fmt.Fprintf(human, "\nheadlines:\n")
+	fmt.Fprintf(human, "  cached_vs_cold_throughput: %.1fx (compile amortization; acceptance: >= 10)\n", res.CachedVsCold)
+	fmt.Fprintf(human, "  warm_vs_cached_throughput: %.2fx (instance reuse on the pipelined path)\n", res.WarmVsCached)
 
 	if *benchjson {
 		f, err := os.Create(*out)
@@ -223,7 +241,23 @@ func main() {
 		if err := f.Close(); err != nil {
 			fail(err)
 		}
-		fmt.Printf("\nwrote %s\n", *out)
+		fmt.Fprintf(human, "\nwrote %s\n", *out)
+	}
+	if *jsonOut {
+		emitJSON(res)
+	}
+}
+
+// human receives progress and tables; it moves to stderr under -json so
+// stdout carries exactly one machine-readable object.
+var human io.Writer = os.Stdout
+
+// emitJSON writes the machine-readable summary to stdout.
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fail(err)
 	}
 }
 
@@ -287,11 +321,12 @@ func runPath(name, mode string, opts engine.Options, mix []engine.Request, clien
 	}
 
 	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		lats []time.Duration
-		nerr int
-		stop = make(chan struct{})
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		lats      []time.Duration
+		nerr      int
+		classLats = map[string][]time.Duration{}
+		stop      = make(chan struct{})
 	)
 	start := time.Now()
 	for c := 0; c < clients; c++ {
@@ -300,12 +335,16 @@ func runPath(name, mode string, opts engine.Options, mix []engine.Request, clien
 			defer wg.Done()
 			var mine []time.Duration
 			errs := 0
+			myClass := map[string][]time.Duration{}
 			for i := c; ; i++ {
 				select {
 				case <-stop:
 					mu.Lock()
 					lats = append(lats, mine...)
 					nerr += errs
+					for k, v := range myClass {
+						classLats[k] = append(classLats[k], v...)
+					}
 					mu.Unlock()
 					return
 				default:
@@ -316,12 +355,15 @@ func runPath(name, mode string, opts engine.Options, mix []engine.Request, clien
 				el := time.Since(t0)
 				if err != nil || resp.Digest != want[j] {
 					errs++
+					class := "digest-mismatch"
 					if err == nil {
 						fmt.Fprintf(os.Stderr, "dswpload: %s: %s digest %s, want %s\n",
 							name, timed[j].Workload, resp.Digest, want[j])
 					} else {
+						class = engine.ErrorClass(err)
 						fmt.Fprintf(os.Stderr, "dswpload: %s: %s: %v\n", name, timed[j].Workload, err)
 					}
+					myClass[class] = append(myClass[class], el)
 					continue
 				}
 				mine = append(mine, el)
@@ -334,7 +376,7 @@ func runPath(name, mode string, opts engine.Options, mix []engine.Request, clien
 	elapsed := time.Since(start)
 
 	s := e.Metrics().Snapshot()
-	pr := summarize(name, lats, nerr, 0, elapsed)
+	pr := summarize(name, lats, nerr, 0, elapsed, classLats)
 	pr.Mode = mode
 	pr.Compiles = s.Compiles
 	pr.CacheHits = s.CacheHits
@@ -346,7 +388,7 @@ func runPath(name, mode string, opts engine.Options, mix []engine.Request, clien
 // runHTTP drives POST /run on a live dswpd: same closed loop, with
 // cross-request digest consistency as the correctness check (the
 // generator has no in-process reference to compare against).
-func runHTTP(addr string, mix []engine.Request, clients int, dur time.Duration, smoke bool) {
+func runHTTP(addr string, mix []engine.Request, clients int, dur time.Duration, smoke, jsonOut bool) {
 	if !strings.Contains(addr, "://") {
 		addr = "http://" + addr
 	}
@@ -372,6 +414,7 @@ func runHTTP(addr string, mix []engine.Request, clients int, dur time.Duration, 
 		lats        []time.Duration
 		nerr, nshed int
 		byClass     = map[string]int{}
+		classLats   = map[string][]time.Duration{}
 		stop        = make(chan struct{})
 	)
 	start := time.Now()
@@ -382,6 +425,7 @@ func runHTTP(addr string, mix []engine.Request, clients int, dur time.Duration, 
 			var mine []time.Duration
 			errs, shed := 0, 0
 			classes := map[string]int{}
+			myClass := map[string][]time.Duration{}
 			for i := c; ; i++ {
 				select {
 				case <-stop:
@@ -391,6 +435,9 @@ func runHTTP(addr string, mix []engine.Request, clients int, dur time.Duration, 
 					nshed += shed
 					for k, v := range classes {
 						byClass[k] += v
+					}
+					for k, v := range myClass {
+						classLats[k] = append(classLats[k], v...)
 					}
 					mu.Unlock()
 					return
@@ -404,18 +451,22 @@ func runHTTP(addr string, mix []engine.Request, clients int, dur time.Duration, 
 				case err != nil:
 					errs++
 					classes["transport"]++
+					myClass["transport"] = append(myClass["transport"], el)
 					fmt.Fprintf(os.Stderr, "dswpload: http: %s: %v\n", mix[j].Workload, err)
 				case status == http.StatusTooManyRequests:
 					shed++ // load shedding is the server working as designed
 					classes[class]++
+					myClass[class] = append(myClass[class], el)
 				case status != http.StatusOK:
 					errs++
 					classes[class]++
+					myClass[class] = append(myClass[class], el)
 					fmt.Fprintf(os.Stderr, "dswpload: http: %s: status %d class %s\n",
 						mix[j].Workload, status, class)
 				case resp.Digest != want[j]:
 					errs++
 					classes["digest-mismatch"]++
+					myClass["digest-mismatch"] = append(myClass["digest-mismatch"], el)
 					fmt.Fprintf(os.Stderr, "dswpload: http: %s digest %s, want %s\n",
 						mix[j].Workload, resp.Digest, want[j])
 				default:
@@ -429,11 +480,20 @@ func runHTTP(addr string, mix []engine.Request, clients int, dur time.Duration, 
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	pr := summarize("http", lats, nerr, nshed, elapsed)
+	pr := summarize("http", lats, nerr, nshed, elapsed, classLats)
 	if len(byClass) > 0 {
 		pr.ErrorsByClass = byClass
 	}
 	print1(pr)
+	if jsonOut {
+		emitJSON(struct {
+			Schema     string     `json:"schema"`
+			Addr       string     `json:"addr"`
+			Clients    int        `json:"clients"`
+			DurationMS int64      `json:"duration_ms"`
+			Result     pathResult `json:"result"`
+		}{"dswp-load-http/1", base, clients, dur.Milliseconds(), pr})
+	}
 	if nerr > 0 {
 		fail(fmt.Errorf("%d requests failed", nerr))
 	}
@@ -470,7 +530,7 @@ func smokeCheck(client *http.Client, base string) {
 		if err != nil || st != http.StatusOK || resp.Digest == "" {
 			fail(fmt.Errorf("smoke /run %s: status=%d class=%s err=%v", wi.Name, st, class, err))
 		}
-		fmt.Printf("  smoke /run %-24s %s cache=%s pipelined=%v\n",
+		fmt.Fprintf(human, "  smoke /run %-24s %s cache=%s pipelined=%v\n",
 			wi.Name, resp.Digest, resp.Cache, resp.Pipelined)
 	}
 	// After the per-workload runs, /workloads must carry compile info
@@ -489,7 +549,7 @@ func smokeCheck(client *http.Client, base string) {
 			fail(fmt.Errorf("smoke /workloads: %s served but compile info missing: %+v", wi.Name, wi))
 		}
 		if *wi.Pipelined && !*wi.Checkpointable {
-			fmt.Printf("  smoke note: %s pipelined but NOT checkpointable\n", wi.Name)
+			fmt.Fprintf(human, "  smoke note: %s pipelined but NOT checkpointable\n", wi.Name)
 		}
 	}
 
@@ -505,10 +565,90 @@ func smokeCheck(client *http.Client, base string) {
 			snap.Completed, len(cat.Workloads), err))
 	}
 	if snap.PoolQuarantined > 0 {
-		fmt.Printf("  smoke note: %d instance(s) quarantined\n", snap.PoolQuarantined)
+		fmt.Fprintf(human, "  smoke note: %d instance(s) quarantined\n", snap.PoolQuarantined)
 	}
-	fmt.Printf("  smoke /metrics: %d completed, %d compiles, p50 total %dus\n",
+	fmt.Fprintf(human, "  smoke /metrics: %d completed, %d compiles, p50 total %dus\n",
 		snap.Completed, snap.Compiles, snap.LatencyTotalUS.P50)
+
+	smokeTelemetry(client, base)
+}
+
+// smokeTelemetry exercises the PR7 observability surface: the Prometheus
+// representation of /metrics must negotiate correctly and lint clean,
+// /run must stamp X-Request-ID, and the /debug endpoints must answer.
+func smokeTelemetry(client *http.Client, base string) {
+	// Prometheus negotiation: Accept: text/plain flips the representation.
+	req, err := http.NewRequest(http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		fail(err)
+	}
+	req.Header.Set("Accept", "text/plain")
+	hr, err := client.Do(req)
+	if err != nil || hr.StatusCode != http.StatusOK {
+		fail(fmt.Errorf("smoke /metrics (prom): status=%v err=%v", status(hr), err))
+	}
+	if ct := hr.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		fail(fmt.Errorf("smoke /metrics (prom): Content-Type %q, want text/plain", ct))
+	}
+	promText, err := io.ReadAll(hr.Body)
+	hr.Body.Close()
+	if err != nil {
+		fail(fmt.Errorf("smoke /metrics (prom): %v", err))
+	}
+	if problems := telemetry.LintProm(string(promText)); len(problems) > 0 {
+		fail(fmt.Errorf("smoke /metrics (prom): lint: %s", strings.Join(problems, "; ")))
+	}
+	if !strings.Contains(string(promText), "dswp_requests_total") {
+		fail(fmt.Errorf("smoke /metrics (prom): dswp_requests_total missing"))
+	}
+
+	// /run responses must carry the request ID the trace was minted under.
+	body, _ := json.Marshal(engine.Request{Workload: "list-traversal", N: 8})
+	hr, err = client.Post(base+"/run", "application/json", bytes.NewReader(body))
+	if err != nil || hr.StatusCode != http.StatusOK {
+		fail(fmt.Errorf("smoke /run (traced): status=%v err=%v", status(hr), err))
+	}
+	io.Copy(io.Discard, hr.Body)
+	hr.Body.Close()
+	reqID := hr.Header.Get("X-Request-ID")
+	if reqID == "" {
+		fail(fmt.Errorf("smoke /run (traced): no X-Request-ID header"))
+	}
+
+	hr, err = client.Get(base + "/debug/requests")
+	if err != nil || hr.StatusCode != http.StatusOK {
+		fail(fmt.Errorf("smoke /debug/requests: status=%v err=%v", status(hr), err))
+	}
+	var dbg struct {
+		Enabled bool `json:"enabled"`
+		Stats   struct {
+			Started int64 `json:"started"`
+		} `json:"stats"`
+	}
+	err = json.NewDecoder(hr.Body).Decode(&dbg)
+	hr.Body.Close()
+	if err != nil || !dbg.Enabled || dbg.Stats.Started == 0 {
+		fail(fmt.Errorf("smoke /debug/requests: enabled=%v started=%d err=%v",
+			dbg.Enabled, dbg.Stats.Started, err))
+	}
+
+	hr, err = client.Get(base + "/debug/vars?series=0")
+	if err != nil || hr.StatusCode != http.StatusOK {
+		fail(fmt.Errorf("smoke /debug/vars: status=%v err=%v", status(hr), err))
+	}
+	var vars struct {
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		Window        struct {
+			Seconds int `json:"seconds"`
+		} `json:"window"`
+	}
+	err = json.NewDecoder(hr.Body).Decode(&vars)
+	hr.Body.Close()
+	if err != nil || vars.Window.Seconds == 0 {
+		fail(fmt.Errorf("smoke /debug/vars: window_seconds=%d err=%v", vars.Window.Seconds, err))
+	}
+	fmt.Fprintf(human, "  smoke telemetry: prom lints clean (%d bytes), request %s traced, window %ds\n",
+		len(promText), reqID, vars.Window.Seconds)
 }
 
 func status(hr *http.Response) int {
@@ -548,8 +688,28 @@ func post(client *http.Client, base string, req engine.Request) (*engine.Respons
 	return &resp, hr.StatusCode, "", nil
 }
 
-func summarize(name string, lats []time.Duration, nerr, nshed int, elapsed time.Duration) pathResult {
+func summarize(name string, lats []time.Duration, nerr, nshed int, elapsed time.Duration,
+	classLats map[string][]time.Duration) pathResult {
 	pr := pathResult{Path: name, Requests: len(lats), Errors: nerr, Shed: nshed}
+	for class, cl := range classLats {
+		if len(cl) == 0 {
+			continue
+		}
+		sort.Slice(cl, func(i, j int) bool { return cl[i] < cl[j] })
+		var sum time.Duration
+		for _, l := range cl {
+			sum += l
+		}
+		if pr.LatencyByClass == nil {
+			pr.LatencyByClass = map[string]classLatency{}
+		}
+		pr.LatencyByClass[class] = classLatency{
+			Count:  len(cl),
+			P50US:  cl[len(cl)/2].Microseconds(),
+			P99US:  cl[quantIdx(len(cl), 99, 100)].Microseconds(),
+			MeanUS: (sum / time.Duration(len(cl))).Microseconds(),
+		}
+	}
 	if len(lats) == 0 {
 		return pr
 	}
@@ -560,16 +720,27 @@ func summarize(name string, lats []time.Duration, nerr, nshed int, elapsed time.
 	}
 	pr.ThroughputRPS = float64(len(lats)) / elapsed.Seconds()
 	pr.P50US = lats[len(lats)/2].Microseconds()
-	pr.P99US = lats[len(lats)*99/100].Microseconds()
+	pr.P99US = lats[quantIdx(len(lats), 99, 100)].Microseconds()
+	pr.P999US = lats[quantIdx(len(lats), 999, 1000)].Microseconds()
 	pr.MeanUS = (sum / time.Duration(len(lats))).Microseconds()
 	return pr
 }
 
+// quantIdx returns the index of the num/den quantile in a sorted sample
+// of n elements, clamped into range for tiny samples.
+func quantIdx(n, num, den int) int {
+	i := n * num / den
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
 func print1(pr pathResult) {
-	fmt.Printf("  %-7s %7d reqs  %9.0f req/s  p50 %6dus  p99 %7dus  mean %6dus  errs %d shed %d",
-		pr.Path, pr.Requests, pr.ThroughputRPS, pr.P50US, pr.P99US, pr.MeanUS, pr.Errors, pr.Shed)
+	fmt.Fprintf(human, "  %-7s %7d reqs  %9.0f req/s  p50 %6dus  p99 %7dus  p99.9 %7dus  mean %6dus  errs %d shed %d",
+		pr.Path, pr.Requests, pr.ThroughputRPS, pr.P50US, pr.P99US, pr.P999US, pr.MeanUS, pr.Errors, pr.Shed)
 	if pr.Compiles > 0 || pr.CacheHits > 0 {
-		fmt.Printf("  [compiles %d, cache hits %d, pool hits %d]", pr.Compiles, pr.CacheHits, pr.PoolHits)
+		fmt.Fprintf(human, "  [compiles %d, cache hits %d, pool hits %d]", pr.Compiles, pr.CacheHits, pr.PoolHits)
 	}
 	if len(pr.ErrorsByClass) > 0 {
 		classes := make([]string, 0, len(pr.ErrorsByClass))
@@ -577,13 +748,27 @@ func print1(pr pathResult) {
 			classes = append(classes, k)
 		}
 		sort.Strings(classes)
-		fmt.Printf("  [errors:")
+		fmt.Fprintf(human, "  [errors:")
 		for _, k := range classes {
-			fmt.Printf(" %s=%d", k, pr.ErrorsByClass[k])
+			fmt.Fprintf(human, " %s=%d", k, pr.ErrorsByClass[k])
 		}
-		fmt.Printf("]")
+		fmt.Fprintf(human, "]")
 	}
-	fmt.Println()
+	for _, k := range sortedClassKeys(pr.LatencyByClass) {
+		cl := pr.LatencyByClass[k]
+		fmt.Fprintf(human, "\n          %-18s n=%-6d p50 %6dus  p99 %7dus  mean %6dus",
+			k, cl.Count, cl.P50US, cl.P99US, cl.MeanUS)
+	}
+	fmt.Fprintln(human)
+}
+
+func sortedClassKeys(m map[string]classLatency) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func fail(err error) {

@@ -26,6 +26,11 @@ type breaker struct {
 	met       *Metrics
 	now       func() time.Time // injectable clock for tests
 
+	// onTransition, when set, is called (under mu) on every state change:
+	// closed->open trips, open->closed recoveries, and half-open probes
+	// failing back to open. The engine wires it into the telemetry window.
+	onTransition func(wl string)
+
 	mu     sync.Mutex
 	states map[string]*breakerState
 }
@@ -89,6 +94,9 @@ func (b *breaker) record(wl string, ok, probe bool) {
 	if ok {
 		if st.open {
 			atomic.AddInt64(&b.met.breakerOpen, -1)
+			if b.onTransition != nil {
+				b.onTransition(wl)
+			}
 		}
 		st.open = false
 		st.probing = false
@@ -99,6 +107,9 @@ func (b *breaker) record(wl string, ok, probe bool) {
 		// The half-open probe failed: stay open for another cooldown.
 		st.openedAt = b.now()
 		st.probing = false
+		if b.onTransition != nil {
+			b.onTransition(wl)
+		}
 		return
 	}
 	st.consecFails++
@@ -108,6 +119,9 @@ func (b *breaker) record(wl string, ok, probe bool) {
 		st.trips++
 		atomic.AddInt64(&b.met.breakerTrips, 1)
 		atomic.AddInt64(&b.met.breakerOpen, 1)
+		if b.onTransition != nil {
+			b.onTransition(wl)
+		}
 	}
 }
 

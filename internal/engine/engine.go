@@ -41,6 +41,7 @@ import (
 	"dswp/internal/queue"
 	rt "dswp/internal/runtime"
 	"dswp/internal/supervisor"
+	"dswp/internal/telemetry"
 	"dswp/internal/workloads"
 )
 
@@ -130,6 +131,14 @@ type Options struct {
 	// BreakerCooldown is how long a tripped breaker stays open before a
 	// half-open probe re-tests pipelining (default 5s).
 	BreakerCooldown time.Duration
+	// Telemetry configures request tracing with tail sampling; the zero
+	// value traces with defaults, Telemetry.Disable turns tracing off
+	// (the windowed series and per-workload registry stay on either way —
+	// they are aggregation, not retention).
+	Telemetry telemetry.TraceOptions
+	// WindowSeconds sets the per-second time-series retention for
+	// /debug/vars (0 = telemetry.DefaultWindowSeconds, ~5 minutes).
+	WindowSeconds int
 }
 
 func (o Options) withDefaults() Options {
@@ -211,6 +220,10 @@ type Request struct {
 // Response reports one served execution.
 type Response struct {
 	Workload string `json:"workload"`
+	// RequestID is the trace id minted at admission (also echoed in the
+	// X-Request-ID header); empty when tracing is disabled. A slow or
+	// errored request's trace is retrievable at /debug/requests/{id}.
+	RequestID string `json:"request_id,omitempty"`
 	// Key is the cache key the request compiled under.
 	Key string `json:"key"`
 	// Digest is the FNV-1a state digest of the final architectural state
@@ -272,6 +285,14 @@ type Engine struct {
 	// breaker degrades repeatedly-failing workloads to sequential.
 	breaker *breaker
 
+	// Telemetry plane: request traces with tail sampling (tracer may be
+	// nil = disabled; every call site is nil-safe), per-workload labeled
+	// series, and the engine-wide windowed time-series.
+	tracer   *telemetry.Tracer
+	registry *telemetry.Registry
+	window   *telemetry.Window
+	started  time.Time
+
 	// wlMu guards per-workload compile info (Checkpointable, Pipelined)
 	// surfaced by /workloads, and the latest recovery stats for /healthz.
 	wlMu     sync.Mutex
@@ -297,6 +318,13 @@ type job struct {
 	res       *Response
 	err       error
 	done      chan struct{}
+
+	// tr is the request's trace (nil when tracing is off); adm is its
+	// open admission span, ended by the worker that dequeues the job.
+	// The channel handoff orders the caller's writes before the worker's,
+	// so the single-mutator contract on RequestTrace holds.
+	tr  *telemetry.RequestTrace
+	adm *telemetry.Span
 }
 
 // New starts an engine: opts.Workers goroutines consuming a bounded
@@ -315,7 +343,15 @@ func New(opts Options) *Engine {
 		e.store = ckptstore.NewMem()
 		e.ownStore = true
 	}
+	e.tracer = telemetry.NewTracer(opts.Telemetry)
+	e.registry = telemetry.NewRegistry(opts.WindowSeconds)
+	e.window = telemetry.NewWindow(opts.WindowSeconds)
+	e.started = time.Now()
 	e.breaker = newBreaker(opts.BreakerThreshold, opts.BreakerCooldown, e.met)
+	e.breaker.onTransition = func(wl string) {
+		e.window.ObserveBreaker()
+		e.registry.ObserveBreaker(wl)
+	}
 	e.cache = newCache(opts.CacheCap, e.met)
 	e.base, e.cancelBase = context.WithCancel(context.Background())
 	for i := 0; i < opts.Workers; i++ {
@@ -328,6 +364,23 @@ func New(opts Options) *Engine {
 // Metrics exposes the engine's counters; see Metrics.Snapshot.
 func (e *Engine) Metrics() *Metrics { return e.met }
 
+// Tracer exposes the request tracer; nil when tracing is disabled. The
+// debug HTTP surface reads retained traces through it.
+func (e *Engine) Tracer() *telemetry.Tracer { return e.tracer }
+
+// Profile returns one workload's windowed serving profile (rates, error
+// rate, latency quantiles, occupancy high-water over the trailing
+// window) — the feedback signal a future re-planner consumes.
+func (e *Engine) Profile(workload string) telemetry.WindowSnapshot {
+	return e.registry.Profile(workload)
+}
+
+// Window returns the engine-wide windowed time-series snapshot.
+// includeSeries attaches the full retained per-second history.
+func (e *Engine) Window(includeSeries bool) telemetry.WindowSnapshot {
+	return e.window.Snapshot(includeSeries)
+}
+
 // Draining reports whether Shutdown has begun.
 func (e *Engine) Draining() bool { return e.draining.Load() }
 
@@ -335,15 +388,31 @@ func (e *Engine) Draining() bool { return e.draining.Load() }
 // under the request deadline. It blocks until the response is ready, the
 // context expires, or the request is shed.
 func (e *Engine) Run(ctx context.Context, req Request) (*Response, error) {
+	resp, _, err := e.RunTraced(ctx, req)
+	return resp, err
+}
+
+// RunTraced is Run plus the request's trace id ("" when tracing is
+// disabled). The id is minted at admission, so the HTTP layer can echo
+// it as X-Request-ID even for requests that fail — the errored trace is
+// then retrievable from /debug/requests/{id}.
+func (e *Engine) RunTraced(ctx context.Context, req Request) (*Response, string, error) {
 	atomic.AddInt64(&e.met.requests, 1)
+	tr := e.tracer.Start(req.Workload)
+	var id string
+	if tr != nil {
+		id = tr.ID
+	}
 	if e.draining.Load() {
 		atomic.AddInt64(&e.met.drained, 1)
-		return nil, ErrDraining
+		e.observe(tr, req.Workload, false, 0, ErrDraining, false)
+		return nil, id, ErrDraining
 	}
 	build, key, err := resolve(req)
 	if err != nil {
 		atomic.AddInt64(&e.met.failed, 1)
-		return nil, err
+		e.observe(tr, req.Workload, false, 0, err, false)
+		return nil, id, err
 	}
 	if ctx == nil {
 		ctx = context.Background()
@@ -358,23 +427,47 @@ func (e *Engine) Run(ctx context.Context, req Request) (*Response, error) {
 		defer cancel()
 	}
 
-	j := &job{ctx: ctx, req: req, build: build, key: key,
+	adm := tr.Begin("admission")
+	adm.Attr("queue_depth", int64(len(e.pending)))
+	j := &job{ctx: ctx, req: req, build: build, key: key, tr: tr, adm: adm,
 		submitted: time.Now(), done: make(chan struct{})}
 	select {
 	case e.pending <- j:
 		atomic.AddInt64(&e.met.queued, 1)
 	default:
 		atomic.AddInt64(&e.met.shed, 1)
-		return nil, ErrOverloaded
+		tr.End(adm)
+		e.observe(tr, req.Workload, true, 0, ErrOverloaded, false)
+		return nil, id, ErrOverloaded
 	}
 	select {
 	case <-j.done:
-		return j.res, j.err
+		return j.res, id, j.err
 	case <-ctx.Done():
 		// The worker that eventually dequeues the job sees the expired
 		// context and fails it fast; the caller need not wait for that.
+		// The worker also owns finishing the trace — it may still be
+		// mutating it after we return.
 		atomic.AddInt64(&e.met.failed, 1)
-		return nil, ctx.Err()
+		return nil, id, ctx.Err()
+	}
+}
+
+// observe completes a request's telemetry: the tail-sampling decision on
+// its trace plus the windowed and per-workload series. known marks the
+// workload name as resolved — unknown client-supplied names stay out of
+// the labeled series so cardinality stays bounded by the registry.
+func (e *Engine) observe(tr *telemetry.RequestTrace, wl string, known bool,
+	latUS int64, err error, degraded bool) {
+	var class, msg string
+	if err != nil {
+		class, msg = ErrorClass(err), err.Error()
+	}
+	e.tracer.Finish(tr, msg, class)
+	occ := int64(len(e.pending))
+	e.window.Observe(class, latUS, occ)
+	if known {
+		e.registry.Observe(wl, class, latUS, occ, degraded)
 	}
 }
 
@@ -398,9 +491,12 @@ func (e *Engine) serve(j *job) {
 
 	queueWait := time.Since(j.submitted)
 	e.met.latQueue.Add(queueWait.Microseconds())
+	atomic.AddInt64(&e.met.latQueueSum, queueWait.Microseconds())
+	j.tr.End(j.adm)
 	if err := j.ctx.Err(); err != nil {
 		j.err = err
 		atomic.AddInt64(&e.met.expired, 1)
+		e.observe(j.tr, j.req.Workload, true, queueWait.Microseconds(), err, false)
 		return
 	}
 
@@ -413,25 +509,34 @@ func (e *Engine) serve(j *job) {
 	total := time.Since(j.submitted)
 	if j.err != nil {
 		atomic.AddInt64(&e.met.failed, 1)
+		e.observe(j.tr, j.req.Workload, true, total.Microseconds(), j.err, false)
 		return
+	}
+	if j.tr != nil {
+		j.res.RequestID = j.tr.ID
 	}
 	j.res.QueueMicros = queueWait.Microseconds()
 	j.res.TotalMicros = total.Microseconds()
 	e.met.latTotal.Add(j.res.TotalMicros)
+	atomic.AddInt64(&e.met.latTotalSum, j.res.TotalMicros)
 	e.met.latRun.Add(j.res.RunMicros)
+	atomic.AddInt64(&e.met.latRunSum, j.res.RunMicros)
 	atomic.AddInt64(&e.met.completed, 1)
+	e.observe(j.tr, j.req.Workload, true, j.res.TotalMicros, nil, j.res.Degraded)
 }
 
 // execute compiles (or fetches) the pipeline and runs it in the
 // requested mode.
 func (e *Engine) execute(ctx context.Context, j *job) (*Response, error) {
 	req := j.req
+	tr := j.tr
 	resp := &Response{Workload: req.Workload, Key: j.key}
 
 	var (
 		p   *pipeline
 		err error
 	)
+	cs := tr.Begin("cache")
 	if e.opts.DisableCache {
 		resp.Cache = "bypass"
 		atomic.AddInt64(&e.met.cacheBypass, 1)
@@ -451,6 +556,11 @@ func (e *Engine) execute(ctx context.Context, j *job) (*Response, error) {
 			defer e.cache.release(p)
 		}
 	}
+	cs.Attr("outcome", resp.Cache)
+	if resp.CompileMicros > 0 || e.opts.DisableCache {
+		cs.Attr("compile_us", resp.CompileMicros)
+	}
+	tr.End(cs)
 	if err != nil {
 		return nil, err
 	}
@@ -467,6 +577,12 @@ func (e *Engine) execute(ctx context.Context, j *job) (*Response, error) {
 	kind, qcap := e.runGeometry(req)
 	faults := faultsOf(req, p)
 	start := time.Now()
+	rs := tr.Begin("run")
+	mode := req.Mode
+	if mode == "" {
+		mode = "supervised"
+	}
+	rs.Attr("mode", mode).Attr("pipelined", resp.Pipelined)
 	var res *interp.Result
 	switch {
 	case req.Mode == "sequential" || p.tr == nil:
@@ -476,18 +592,21 @@ func (e *Engine) execute(ctx context.Context, j *job) (*Response, error) {
 			Ctx: ctx, Mem: p.prog.Mem, Regs: p.prog.Regs,
 		})
 	case req.Mode == "concurrent":
-		inst, warm := e.instanceFor(p, kind, qcap, faults)
+		inst, warm := e.acquireInstance(tr, p, kind, qcap, faults)
 		resp.Warm = warm
 		res, err = rt.RunCtx(ctx, p.tr.Threads, rt.Options{
 			Plan: p.plan, Instance: inst, Queue: kind, QueueCap: qcap,
 			Mem: p.prog.Mem, Regs: p.prog.Regs, Faults: faults,
+			Recorder: e.tracer.RunRecorder(tr, len(p.tr.Threads)),
 		})
 		e.releaseInstance(p, inst, poisons(err))
 	case req.Mode == "" || req.Mode == "supervised":
-		res, err = e.runSupervised(ctx, req, p, resp, kind, qcap, faults)
+		res, err = e.runSupervised(ctx, req, p, resp, tr, kind, qcap, faults)
 	default:
+		tr.End(rs)
 		return nil, fmt.Errorf("engine: unknown mode %q", req.Mode)
 	}
+	tr.End(rs)
 	if err != nil {
 		return nil, err
 	}
@@ -538,14 +657,19 @@ func (e *Engine) runGeometry(req Request) (queue.Kind, int) {
 // the request's store entry; a crash is the only path that leaves one
 // behind, which is exactly what Recover scans for.
 func (e *Engine) runSupervised(ctx context.Context, req Request, p *pipeline,
-	resp *Response, kind queue.Kind, qcap int, faults *rt.FaultPlan) (*interp.Result, error) {
+	resp *Response, tr *telemetry.RequestTrace, kind queue.Kind, qcap int,
+	faults *rt.FaultPlan) (*interp.Result, error) {
 
 	pipelined, probe := e.breaker.allow(req.Workload)
+	if probe {
+		tr.Event("breaker-probe")
+	}
 	if !pipelined {
 		resp.Degraded = true
 		resp.Pipelined = false
 		resp.Attempts = 1
 		atomic.AddInt64(&e.met.degraded, 1)
+		tr.Event("breaker-degraded")
 		return interp.Run(p.prog.F, interp.Options{
 			Ctx: ctx, Mem: p.prog.Mem, Regs: p.prog.Regs,
 		})
@@ -555,7 +679,7 @@ func (e *Engine) runSupervised(ctx context.Context, req Request, p *pipeline,
 	meta, _ := json.Marshal(req)
 	defer e.store.Delete(ckey)
 
-	inst, warm := e.instanceFor(p, kind, qcap, faults)
+	inst, warm := e.acquireInstance(tr, p, kind, qcap, faults)
 	resp.Warm = warm
 	res, srep, err := supervisor.Run(ctx, supervisor.Pipeline{
 		Threads: p.tr.Threads, Original: p.prog.F,
@@ -566,6 +690,7 @@ func (e *Engine) runSupervised(ctx context.Context, req Request, p *pipeline,
 		Faults: faults, CheckpointEvery: e.opts.CheckpointEvery,
 		DisableResume: true,
 		Store:         e.store, StoreKey: ckey, StoreMeta: meta,
+		Recorder: e.tracer.RunRecorder(tr, len(p.tr.Threads)),
 	})
 	e.releaseInstance(p, inst, poisons(err))
 	resp.Attempts = 1
@@ -593,7 +718,14 @@ func (e *Engine) runSupervised(ctx context.Context, req Request, p *pipeline,
 	for attempt := 1; attempt <= e.opts.Retries; attempt++ {
 		resp.Attempts++
 		atomic.AddInt64(&e.met.retries, 1)
+		rspan := tr.Begin("retry")
+		rspan.Attr("attempt", attempt)
 		rres, iter, rerr := e.resumeFromStore(ctx, p, ckey)
+		rspan.Attr("resume_iter", iter)
+		if rerr != nil {
+			rspan.Attr("error", rerr.Error())
+		}
+		tr.End(rspan)
 		if rerr == nil {
 			resp.Resumed = true
 			resp.ResumeIter = iter
@@ -671,6 +803,17 @@ func faultsOf(req Request, p *pipeline) *rt.FaultPlan {
 			Delay: time.Duration(req.InjectStallUS) * time.Microsecond}}
 	}
 	return f
+}
+
+// acquireInstance is instanceFor wrapped in a "pool-acquire" span, so a
+// retained trace shows whether the run paid an allocation.
+func (e *Engine) acquireInstance(tr *telemetry.RequestTrace, p *pipeline,
+	kind queue.Kind, qcap int, faults *rt.FaultPlan) (*rt.Instance, bool) {
+	ps := tr.Begin("pool-acquire")
+	inst, warm := e.instanceFor(p, kind, qcap, faults)
+	ps.Attr("warm", warm)
+	tr.End(ps)
+	return inst, warm
 }
 
 // instanceFor fetches a warm instance when the request's geometry matches

@@ -5,25 +5,52 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strings"
+	"time"
 
 	rt "dswp/internal/runtime"
+	"dswp/internal/telemetry"
 )
 
 // NewMux builds the dswpd HTTP surface over an engine:
 //
-//	POST /run       — execute a pipeline (Request in, Response out)
-//	GET  /metrics   — EngineSnapshot JSON, safe to scrape mid-run
-//	GET  /healthz   — liveness; 503 once draining; recovery stats
-//	GET  /workloads — servable workloads with compile/breaker status
+//	POST /run                  — execute a pipeline (Request in, Response out)
+//	GET  /metrics              — EngineSnapshot JSON by default; Prometheus
+//	                             text format under Accept negotiation or
+//	                             ?format=prometheus
+//	GET  /healthz              — liveness; 503 once draining; recovery stats
+//	GET  /workloads            — servable workloads with compile/breaker status
+//	GET  /debug/requests       — tail-sampled request traces, newest first
+//	GET  /debug/requests/{id}  — one trace: span tree as JSON, plain text
+//	                             (?format=text), or Chrome trace JSON
+//	                             (?format=chrome)
+//	GET  /debug/vars           — windowed time-series, per-workload
+//	                             profiles, tracer stats
 //
-// Everything speaks JSON; stdlib net/http only.
+// Everything defaults to JSON; stdlib net/http only.
 func NewMux(e *Engine) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/run", e.handleRun)
 	mux.HandleFunc("/metrics", e.handleMetrics)
 	mux.HandleFunc("/healthz", e.handleHealthz)
 	mux.HandleFunc("/workloads", e.handleWorkloads)
+	mux.HandleFunc("/debug/requests", e.handleDebugRequests)
+	mux.HandleFunc("/debug/requests/{id}", e.handleDebugRequest)
+	mux.HandleFunc("/debug/vars", e.handleDebugVars)
 	return mux
+}
+
+// requireGet enforces method discipline on read-only endpoints: anything
+// but GET (or HEAD, which net/http serves as GET minus the body) gets a
+// 405 with the JSON error shape and an Allow header.
+func requireGet(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method == http.MethodGet || r.Method == http.MethodHead {
+		return true
+	}
+	w.Header().Set("Allow", "GET, HEAD")
+	writeJSON(w, http.StatusMethodNotAllowed,
+		errorBody{Error: "GET only", Class: "bad-request"})
+	return false
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -96,6 +123,18 @@ func statusFor(err error) int {
 	return status
 }
 
+// ErrorClass maps an engine error onto its stable taxonomy class
+// ("shed", "deadline", "stage-panic", ...; see errorBody.Class). In-
+// process callers (dswpload, the telemetry plane) use it to bucket
+// failures exactly the way the HTTP error body does.
+func ErrorClass(err error) string {
+	if err == nil {
+		return ""
+	}
+	class, _ := classify(err)
+	return class
+}
+
 func errorBodyFor(err error) errorBody {
 	class, _ := classify(err)
 	body := errorBody{Error: err.Error(), Class: class}
@@ -123,7 +162,10 @@ func (e *Engine) handleRun(w http.ResponseWriter, r *http.Request) {
 			errorBody{Error: "bad request: " + err.Error(), Class: "bad-request"})
 		return
 	}
-	resp, err := e.Run(r.Context(), req)
+	resp, id, err := e.RunTraced(r.Context(), req)
+	if id != "" {
+		w.Header().Set("X-Request-ID", id)
+	}
 	if err != nil {
 		status := statusFor(err)
 		if status == http.StatusTooManyRequests {
@@ -135,7 +177,32 @@ func (e *Engine) handleRun(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// wantsProm decides the /metrics representation: explicit ?format wins,
+// then the Accept header. Prometheus scrapers ask for text/plain (or
+// application/openmetrics-text); everything else — curl, browsers, the
+// existing JSON consumers — keeps getting the byte-identical JSON
+// snapshot.
+func wantsProm(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus", "text":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "openmetrics")
+}
+
 func (e *Engine) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	if wantsProm(r) {
+		w.Header().Set("Content-Type", telemetry.PromContentType)
+		_, _ = w.Write([]byte(e.PromText()))
+		return
+	}
 	writeJSON(w, http.StatusOK, e.met.Snapshot())
 }
 
@@ -148,6 +215,9 @@ type health struct {
 }
 
 func (e *Engine) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
 	s := e.met.Snapshot()
 	h := health{Status: "ok", InFlight: s.InFlight, Queued: s.Queued,
 		Recovery: e.LastRecovery()}
@@ -160,6 +230,78 @@ func (e *Engine) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (e *Engine) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
 	writeJSON(w, http.StatusOK,
 		map[string][]WorkloadInfo{"workloads": e.WorkloadInfos()})
+}
+
+// debugRequests is the /debug/requests shape: the tracer's sampling
+// counters plus every retained trace's summary, newest first.
+type debugRequests struct {
+	Enabled bool                  `json:"enabled"`
+	Stats   telemetry.TracerStats `json:"stats"`
+	Traces  []telemetry.Summary   `json:"traces"`
+}
+
+func (e *Engine) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	writeJSON(w, http.StatusOK, debugRequests{
+		Enabled: e.tracer != nil,
+		Stats:   e.tracer.Stats(),
+		Traces:  e.tracer.List(),
+	})
+}
+
+func (e *Engine) handleDebugRequest(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	id := r.PathValue("id")
+	tr := e.tracer.Get(id)
+	if tr == nil {
+		msg := "no retained trace " + id + " (dropped by tail sampling, evicted, or never minted)"
+		if e.tracer == nil {
+			msg = "request tracing is disabled"
+		}
+		writeJSON(w, http.StatusNotFound, errorBody{Error: msg, Class: "bad-request"})
+		return
+	}
+	switch r.URL.Query().Get("format") {
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = tr.WriteText(w)
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", "attachment; filename="+id+".trace.json")
+		_ = tr.WriteChrome(w)
+	default:
+		writeJSON(w, http.StatusOK, tr)
+	}
+}
+
+// debugVars is the /debug/vars shape: the engine-wide windowed
+// time-series (full per-second history unless ?series=0), each served
+// workload's windowed profile headlines, and the tracer's counters.
+type debugVars struct {
+	UptimeSeconds float64                             `json:"uptime_seconds"`
+	Window        telemetry.WindowSnapshot            `json:"window"`
+	Workloads     map[string]telemetry.WindowSnapshot `json:"workloads,omitempty"`
+	Tracer        telemetry.TracerStats               `json:"tracer"`
+}
+
+func (e *Engine) handleDebugVars(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	includeSeries := r.URL.Query().Get("series") != "0"
+	writeJSON(w, http.StatusOK, debugVars{
+		UptimeSeconds: time.Since(e.started).Seconds(),
+		Window:        e.window.Snapshot(includeSeries),
+		Workloads:     e.registry.Profiles(false),
+		Tracer:        e.tracer.Stats(),
+	})
 }

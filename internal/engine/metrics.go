@@ -53,12 +53,23 @@ type Metrics struct {
 	latQueue   obs.Hist // admission queue wait
 	latRun     obs.Hist // pipeline execution only
 	latCompile obs.Hist // cold compiles only
+
+	// Exact sums alongside each histogram (microseconds): the Prometheus
+	// exposition's _sum needs them, and obs.Hist only knows bucket counts.
+	// They ride outside EngineSnapshot, which stays byte-compatible.
+	latTotalSum   int64
+	latQueueSum   int64
+	latRunSum     int64
+	latCompileSum int64
 }
 
 func newMetrics() *Metrics { return &Metrics{} }
 
 // RecordCompile adds one cold-compile latency sample (microseconds).
-func (m *Metrics) RecordCompile(us int64) { m.latCompile.Add(us) }
+func (m *Metrics) RecordCompile(us int64) {
+	m.latCompile.Add(us)
+	atomic.AddInt64(&m.latCompileSum, us)
+}
 
 // EngineSnapshot is the JSON shape /metrics serves. Quantiles are bucket
 // lower bounds (exact to within 2x, the log2 histogram's resolution).

@@ -1,0 +1,149 @@
+package engine
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"dswp/internal/telemetry"
+)
+
+// PromText renders the engine's full metric surface in Prometheus text
+// exposition format (0.0.4): every EngineSnapshot counter and gauge, the
+// four serving-latency histograms with exact sums, the per-workload
+// labeled series from the telemetry registry, and the tracer's
+// tail-sampling counters. The JSON snapshot on /metrics is untouched —
+// this is the same data under a second content type, chosen by Accept
+// negotiation. LintProm validates the output in tests and CI.
+func (e *Engine) PromText() string {
+	p := telemetry.NewProm()
+	s := e.met.Snapshot()
+	one := func(v int64) []telemetry.Sample {
+		return []telemetry.Sample{{Value: float64(v)}}
+	}
+
+	p.Counter("dswp_requests_total",
+		"Requests admitted or attempted.", one(s.Requests)...)
+	p.Counter("dswp_requests_outcome_total",
+		"Finished requests by terminal outcome.",
+		telemetry.Sample{Labels: []telemetry.Label{telemetry.L("outcome", "completed")}, Value: float64(s.Completed)},
+		telemetry.Sample{Labels: []telemetry.Label{telemetry.L("outcome", "failed")}, Value: float64(s.Failed)},
+		telemetry.Sample{Labels: []telemetry.Label{telemetry.L("outcome", "shed")}, Value: float64(s.Shed)},
+		telemetry.Sample{Labels: []telemetry.Label{telemetry.L("outcome", "drained")}, Value: float64(s.Drained)},
+		telemetry.Sample{Labels: []telemetry.Label{telemetry.L("outcome", "expired")}, Value: float64(s.Expired)})
+	p.Gauge("dswp_inflight", "Requests executing right now.", one(s.InFlight)...)
+	p.Gauge("dswp_queued", "Requests admitted but not yet picked up.", one(s.Queued)...)
+
+	p.Counter("dswp_cache_total",
+		"Compiled-pipeline cache events.",
+		telemetry.Sample{Labels: []telemetry.Label{telemetry.L("event", "hit")}, Value: float64(s.CacheHits)},
+		telemetry.Sample{Labels: []telemetry.Label{telemetry.L("event", "miss")}, Value: float64(s.CacheMisses)},
+		telemetry.Sample{Labels: []telemetry.Label{telemetry.L("event", "bypass")}, Value: float64(s.CacheBypass)},
+		telemetry.Sample{Labels: []telemetry.Label{telemetry.L("event", "evict")}, Value: float64(s.CacheEvicts)})
+	p.Counter("dswp_compiles_total",
+		"core.Apply compilations actually executed.", one(s.Compiles)...)
+
+	p.Counter("dswp_pool_total",
+		"Warm instance pool events.",
+		telemetry.Sample{Labels: []telemetry.Label{telemetry.L("event", "hit")}, Value: float64(s.PoolHits)},
+		telemetry.Sample{Labels: []telemetry.Label{telemetry.L("event", "miss")}, Value: float64(s.PoolMisses)},
+		telemetry.Sample{Labels: []telemetry.Label{telemetry.L("event", "make")}, Value: float64(s.PoolMakes)},
+		telemetry.Sample{Labels: []telemetry.Label{telemetry.L("event", "drop")}, Value: float64(s.PoolDrops)},
+		telemetry.Sample{Labels: []telemetry.Label{telemetry.L("event", "quarantine")}, Value: float64(s.PoolQuarantined)})
+
+	p.Counter("dswp_resumes_total",
+		"Runs finished by checkpoint-seeded sequential resume.", one(s.Resumes)...)
+	p.Counter("dswp_retries_total",
+		"Engine-level sequential retries after a pipelined failure.", one(s.Retries)...)
+	p.Counter("dswp_degraded_total",
+		"Requests served sequentially because a breaker was open.", one(s.Degraded)...)
+	p.Counter("dswp_breaker_trips_total",
+		"Closed-to-open circuit breaker transitions.", one(s.BreakerTrips)...)
+	p.Gauge("dswp_breaker_open",
+		"Workloads whose breaker is currently open or half-open.", one(s.BreakerOpen)...)
+	p.Counter("dswp_durable_commits_total",
+		"Checkpoints written to the durable store.", one(s.DurableCommits)...)
+	p.Counter("dswp_store_errors_total",
+		"Durable commits that failed (runs unaffected).", one(s.StoreErrors)...)
+	p.Counter("dswp_recovered_total",
+		"Orphaned requests finished by crash recovery.", one(s.Recovered)...)
+
+	p.Histogram("dswp_latency_us",
+		"Serving latency in microseconds by path segment (log2 buckets).",
+		telemetry.HistSample{Labels: []telemetry.Label{telemetry.L("path", "total")},
+			Buckets: s.LatencyTotalUS.Buckets, Sum: atomic.LoadInt64(&e.met.latTotalSum)},
+		telemetry.HistSample{Labels: []telemetry.Label{telemetry.L("path", "queue")},
+			Buckets: s.LatencyQueueUS.Buckets, Sum: atomic.LoadInt64(&e.met.latQueueSum)},
+		telemetry.HistSample{Labels: []telemetry.Label{telemetry.L("path", "run")},
+			Buckets: s.LatencyRunUS.Buckets, Sum: atomic.LoadInt64(&e.met.latRunSum)},
+		telemetry.HistSample{Labels: []telemetry.Label{telemetry.L("path", "compile")},
+			Buckets: s.LatencyCompileUS.Buckets, Sum: atomic.LoadInt64(&e.met.latCompileSum)})
+
+	// Per-workload labeled series. Only workloads that resolved are in the
+	// registry, so label cardinality is bounded by the workload registry.
+	wls := e.registry.PromSnapshot()
+	if len(wls) > 0 {
+		reqs := make([]telemetry.Sample, 0, len(wls))
+		degraded := make([]telemetry.Sample, 0, len(wls))
+		occ := make([]telemetry.Sample, 0, len(wls))
+		hists := make([]telemetry.HistSample, 0, len(wls))
+		var errSamples []telemetry.Sample
+		for _, w := range wls {
+			wl := []telemetry.Label{telemetry.L("workload", w.Workload)}
+			reqs = append(reqs, telemetry.Sample{Labels: wl, Value: float64(w.Requests)})
+			degraded = append(degraded, telemetry.Sample{Labels: wl, Value: float64(w.Degraded)})
+			occ = append(occ, telemetry.Sample{Labels: wl, Value: float64(w.OccHW)})
+			hists = append(hists, w.Latency)
+			for _, class := range sortedClasses(w.ByClass) {
+				errSamples = append(errSamples, telemetry.Sample{
+					Labels: []telemetry.Label{telemetry.L("workload", w.Workload), telemetry.L("class", class)},
+					Value:  float64(w.ByClass[class])})
+			}
+		}
+		p.Counter("dswp_workload_requests_total",
+			"Finished requests by workload.", reqs...)
+		if len(errSamples) > 0 {
+			p.Counter("dswp_workload_errors_total",
+				"Errored requests by workload and failure class.", errSamples...)
+		}
+		p.Counter("dswp_workload_degraded_total",
+			"Breaker-degraded sequential serves by workload.", degraded...)
+		p.Gauge("dswp_workload_queue_occupancy_hw",
+			"Lifetime admission-queue occupancy high-water by workload.", occ...)
+		p.Histogram("dswp_workload_latency_us",
+			"End-to-end success latency in microseconds by workload (log2 buckets).",
+			hists...)
+	}
+
+	if e.tracer != nil {
+		ts := e.tracer.Stats()
+		p.Counter("dswp_traces_started_total",
+			"Request traces started.", one(ts.Started)...)
+		p.Counter("dswp_traces_kept_total",
+			"Traces retained by tail sampling, by reason.",
+			telemetry.Sample{Labels: []telemetry.Label{telemetry.L("reason", "error")}, Value: float64(ts.KeptError)},
+			telemetry.Sample{Labels: []telemetry.Label{telemetry.L("reason", "slow")}, Value: float64(ts.KeptSlow)},
+			telemetry.Sample{Labels: []telemetry.Label{telemetry.L("reason", "sampled")}, Value: float64(ts.KeptSampled)})
+		p.Counter("dswp_traces_dropped_total",
+			"Traces discarded by tail sampling.", one(ts.Dropped)...)
+		p.Gauge("dswp_traces_retained",
+			"Traces currently held in the bounded ring.", one(int64(ts.Retained))...)
+		p.Gauge("dswp_trace_capacity",
+			"Trace ring capacity.", one(int64(ts.Capacity))...)
+	}
+
+	p.Gauge("dswp_uptime_seconds", "Engine uptime.",
+		telemetry.Sample{Value: time.Since(e.started).Seconds()})
+	return p.String()
+}
+
+// sortedClasses orders an error-class map's keys for deterministic
+// exposition output.
+func sortedClasses(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

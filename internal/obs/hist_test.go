@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestHistQuantileEmpty: an empty histogram answers 0 for every quantile
+// instead of panicking or returning a bucket bound.
+func TestHistQuantileEmpty(t *testing.T) {
+	var h Hist
+	for _, q := range []float64{0.01, 0.5, 0.99, 1.0} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+	if h.Total() != 0 {
+		t.Errorf("empty Total = %d", h.Total())
+	}
+}
+
+// TestHistQuantileSingleSample: with one sample every quantile answers
+// that sample's bucket lower bound.
+func TestHistQuantileSingleSample(t *testing.T) {
+	for _, v := range []int64{0, 1, 7, 100, 4096} {
+		var h Hist
+		h.Add(v)
+		want := BucketLow(histBucket(v))
+		for _, q := range []float64{0.01, 0.5, 0.9, 0.99, 1.0} {
+			if got := h.Quantile(q); got != want {
+				t.Errorf("single sample %d: Quantile(%v) = %d, want %d", v, q, got, want)
+			}
+		}
+		if h.Total() != 1 {
+			t.Errorf("Total = %d, want 1", h.Total())
+		}
+	}
+}
+
+// TestHistOverflowBucket: values beyond the last bucket's range land in
+// it rather than being dropped, and quantiles saturate at its bound.
+func TestHistOverflowBucket(t *testing.T) {
+	var h Hist
+	huge := int64(1) << 60
+	h.Add(huge)
+	h.Add(huge * 2)
+	if h[HistBuckets-1] != 2 {
+		t.Fatalf("overflow bucket holds %d, want 2", h[HistBuckets-1])
+	}
+	if got, want := h.Quantile(0.5), BucketLow(HistBuckets-1); got != want {
+		t.Fatalf("Quantile(0.5) = %d, want saturated %d", got, want)
+	}
+	// Negative values clamp into bucket 0 rather than indexing out of range.
+	h.Add(-5)
+	if h[0] != 1 {
+		t.Fatalf("negative sample landed in bucket %v, want bucket 0", h)
+	}
+}
+
+// TestHistQuantileMonotonic: under randomized fills, p50 <= p90 <= p99
+// must hold, and each must bracket the true (exact) quantile to within
+// the log2 bucket's factor-of-two resolution.
+func TestHistQuantileMonotonic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		var h Hist
+		n := 1 + rng.Intn(2000)
+		vals := make([]int64, n)
+		for i := range vals {
+			// Mix magnitudes so fills cross many buckets.
+			vals[i] = rng.Int63n(1 << uint(1+rng.Intn(30)))
+			h.Add(vals[i])
+		}
+		p50, p90, p99 := h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99)
+		if p50 > p90 || p90 > p99 {
+			t.Fatalf("trial %d: quantiles not monotonic: p50=%d p90=%d p99=%d", trial, p50, p90, p99)
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		for _, c := range []struct {
+			q   float64
+			got int64
+		}{{0.50, p50}, {0.90, p90}, {0.99, p99}} {
+			rank := int(c.q * float64(n))
+			if rank >= n {
+				rank = n - 1
+			}
+			exact := vals[rank]
+			// The answer is the exact quantile's bucket lower bound.
+			if want := BucketLow(histBucket(exact)); c.got != want {
+				t.Fatalf("trial %d: Quantile(%v) = %d, want bucket bound %d of exact %d",
+					trial, c.q, c.got, want, exact)
+			}
+		}
+		if h.Total() != int64(n) {
+			t.Fatalf("trial %d: Total = %d, want %d", trial, h.Total(), n)
+		}
+	}
+}
+
+// TestBucketBoundsAdjacent pins the bucket-bound algebra the Prometheus
+// exposition depends on: BucketHigh(i) is inclusive, adjacent to
+// BucketLow(i+1), and histBucket maps each bound into its own bucket.
+func TestBucketBoundsAdjacent(t *testing.T) {
+	for i := 0; i < HistBuckets-1; i++ {
+		if BucketHigh(i)+1 != BucketLow(i+1) {
+			t.Errorf("BucketHigh(%d)=%d not adjacent to BucketLow(%d)=%d",
+				i, BucketHigh(i), i+1, BucketLow(i+1))
+		}
+		if got := histBucket(BucketHigh(i)); got != i {
+			t.Errorf("histBucket(BucketHigh(%d)=%d) = %d", i, BucketHigh(i), got)
+		}
+		if got := histBucket(BucketLow(i)); got != i {
+			t.Errorf("histBucket(BucketLow(%d)=%d) = %d", i, BucketLow(i), got)
+		}
+	}
+}

@@ -77,6 +77,16 @@ func BucketLow(i int) int64 {
 	return 1 << (i - 1)
 }
 
+// BucketHigh returns the largest value belonging to bucket i (the
+// inclusive upper bound a Prometheus `le` label wants). The last bucket
+// holds everything larger, so callers should render it as +Inf.
+func BucketHigh(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	return (1 << i) - 1
+}
+
 // QueueMetrics aggregates one synchronization-array queue's activity.
 // All fields are updated atomically during the run; read them only after
 // the run completes (or accept torn-but-monotonic snapshots).

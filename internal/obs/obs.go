@@ -60,6 +60,11 @@ const (
 	// failure. Arg is the checkpoint iteration resumed from (-1 = from
 	// scratch).
 	KResume
+	// KDurableCommit: the supervisor wrote a checkpoint to the durable
+	// store while the pipeline was paused at the epoch barrier. Arg is
+	// the commit's wall-clock cost in microseconds — the fsync the
+	// barrier absorbs, made visible to request traces.
+	KDurableCommit
 )
 
 func (k Kind) String() string {
@@ -92,6 +97,8 @@ func (k Kind) String() string {
 		return "retry"
 	case KResume:
 		return "resume"
+	case KDurableCommit:
+		return "durable-commit"
 	}
 	return "?"
 }
@@ -115,6 +122,29 @@ type Event struct {
 // sequentially by that thread.
 type Recorder interface {
 	Record(Event)
+}
+
+// CoarseRecorder is optionally implemented by Recorders that do not
+// need the per-value flow events (KProduce, KConsume, KBranch,
+// KIteration). Engines check once at startup; a Recorder answering
+// true is skipped at those four emission sites — which fire once per
+// retired flow op, the dominant recorder-on cost — while still
+// receiving every structural event (stage lifetimes, stall intervals,
+// checkpoints, retries, queue capacities). The serving tracer's run
+// bridge uses this so enabled-but-unsampled tracing stays off the
+// per-instruction hot path.
+type CoarseRecorder interface {
+	Recorder
+	CoarseOnly() bool
+}
+
+// FineEvents reports whether rec wants the per-value flow events:
+// false only for a CoarseRecorder that opts out.
+func FineEvents(rec Recorder) bool {
+	if c, ok := rec.(CoarseRecorder); ok {
+		return !c.CoarseOnly()
+	}
+	return true
 }
 
 // Noop is a Recorder that discards everything. It exists to measure the

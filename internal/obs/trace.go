@@ -247,6 +247,10 @@ func (t *Trace) WriteChrome(w io.Writer, threadNames []string) error {
 			ce = chromeEvent{Name: "sequential-resume", Phase: "i", Ts: ts,
 				Pid: chromePidThreads, Tid: ti, Scope: "g",
 				Args: map[string]any{"from_iteration": e.Arg}}
+		case KDurableCommit:
+			ce = chromeEvent{Name: "durable-commit", Phase: "i", Ts: ts,
+				Pid: chromePidThreads, Tid: ti, Scope: "g",
+				Args: map[string]any{"micros": e.Arg}}
 		default:
 			continue
 		}

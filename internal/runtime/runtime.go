@@ -504,6 +504,13 @@ func (e *engine) runThread(ti int) {
 		}
 	}
 	rec := e.rec
+	// fine gates the per-value flow events (produce/consume/branch/
+	// iteration) separately: a CoarseRecorder opting out skips them —
+	// and their per-op clock reads — while keeping structural events.
+	fine := rec
+	if rec != nil && !obs.FineEvents(rec) {
+		fine = nil
+	}
 	blockIdx := e.plan.blockIdx[ti]
 	outerHdr := e.outerHdr[ti]
 	spans := e.plan.spans[ti]
@@ -622,8 +629,8 @@ func (e *engine) runThread(ti int) {
 						Queue: int32(in.Queue), When: t1, Arg: t1 - t0})
 				}
 			}
-			if rec != nil {
-				rec.Record(obs.Event{Kind: obs.KConsume, Thread: int32(ti),
+			if fine != nil {
+				fine.Record(obs.Event{Kind: obs.KConsume, Thread: int32(ti),
 					Queue: int32(in.Queue), When: e.now(), Arg: int64(q.Len())})
 			}
 			if in.Dst != ir.NoReg {
@@ -667,8 +674,8 @@ func (e *engine) runThread(ti int) {
 						Queue: int32(in.Queue), When: t1, Arg: t1 - t0})
 				}
 			}
-			if rec != nil {
-				rec.Record(obs.Event{Kind: obs.KProduce, Thread: int32(ti),
+			if fine != nil {
+				fine.Record(obs.Event{Kind: obs.KProduce, Thread: int32(ti),
 					Queue: int32(in.Queue), When: e.now(), Arg: int64(q.Len())})
 			}
 			pc++
@@ -682,15 +689,15 @@ func (e *engine) runThread(ti int) {
 				block, pc = in.TargetFalse, 0
 			}
 			backEdge := blockIdx[block] <= blockIdx[prev]
-			if rec != nil {
+			if fine != nil {
 				arg := int64(0)
 				if taken {
 					arg = 1
 				}
 				now := e.now()
-				rec.Record(obs.Event{Kind: obs.KBranch, Thread: int32(ti), Queue: -1, When: now, Arg: arg})
+				fine.Record(obs.Event{Kind: obs.KBranch, Thread: int32(ti), Queue: -1, When: now, Arg: arg})
 				if backEdge {
-					rec.Record(obs.Event{Kind: obs.KIteration, Thread: int32(ti), Queue: -1, When: now})
+					fine.Record(obs.Event{Kind: obs.KIteration, Thread: int32(ti), Queue: -1, When: now})
 				}
 			}
 			if backEdge && block == outerHdr {
@@ -709,8 +716,8 @@ func (e *engine) runThread(ti int) {
 			prev := block
 			block, pc = in.Target, 0
 			backEdge := blockIdx[block] <= blockIdx[prev]
-			if rec != nil && backEdge {
-				rec.Record(obs.Event{Kind: obs.KIteration, Thread: int32(ti), Queue: -1, When: e.now()})
+			if fine != nil && backEdge {
+				fine.Record(obs.Event{Kind: obs.KIteration, Thread: int32(ti), Queue: -1, When: e.now()})
 			}
 			if backEdge && block == outerHdr {
 				iters++

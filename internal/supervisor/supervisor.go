@@ -190,12 +190,21 @@ func Run(ctx context.Context, p Pipeline, pol Policy) (*interp.Result, *Report, 
 							base = interp.NewMemory(cp.Mem.Size())
 						}
 					}
+					commitStart := time.Now()
 					e, err := ckptstore.NewEntry(pol.StoreKey, pol.StoreMeta, cp, base)
 					if err == nil {
 						err = pol.Store.Put(e)
 					}
 					if err == nil {
 						rep.DurableCommits++
+						if pol.Recorder != nil {
+							// Every other thread is parked at the epoch
+							// barrier, so stamping the commit on thread 0
+							// cannot race that thread's own emissions.
+							pol.Recorder.Record(obs.Event{Kind: obs.KDurableCommit,
+								Thread: 0, Queue: -1, When: int64(time.Since(start)),
+								Arg: time.Since(commitStart).Microseconds()})
+						}
 					} else {
 						rep.StoreErrors++
 					}

@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# metrics_smoke.sh — build dswpd, serve traffic, and validate the
+# telemetry surface end to end:
+#
+#   - /metrics in Prometheus mode (Accept negotiation AND ?format=) is
+#     lint-clean (telemetry.LintProm via dswpload -smoke) and carries
+#     the core families;
+#   - /metrics without negotiation stays JSON;
+#   - /run stamps X-Request-ID and the trace is retrievable from
+#     /debug/requests/{id} in JSON, text, and Chrome formats;
+#   - /debug/vars serves the windowed series;
+#   - the debug listener (-debug-addr) carries pprof off the main port.
+#
+#   scripts/metrics_smoke.sh           # plain build
+#   RACE=1 scripts/metrics_smoke.sh    # under the race detector (CI)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT="${PORT:-17637}"
+DBGPORT="${DBGPORT:-17638}"
+DUR="${DUR:-1s}"
+RACE="${RACE:-}"
+BUILDFLAGS=()
+if [ -n "$RACE" ]; then
+  BUILDFLAGS+=(-race)
+fi
+
+BIN="$(mktemp -d)"
+trap 'rm -rf "$BIN"' EXIT
+go build "${BUILDFLAGS[@]}" -o "$BIN/dswpd" ./cmd/dswpd
+go build "${BUILDFLAGS[@]}" -o "$BIN/dswpload" ./cmd/dswpload
+
+# -trace-sample 1 keeps every trace so the post-hoc fetches below are
+# deterministic; -trace-slow -1s disables the slow rule to keep "kept"
+# reasons stable.
+"$BIN/dswpd" -addr "localhost:$PORT" -debug-addr "localhost:$DBGPORT" \
+  -trace-sample 1 -trace-slow=-1s &
+DPID=$!
+trap 'kill "$DPID" 2>/dev/null || true; rm -rf "$BIN"' EXIT
+
+for i in $(seq 1 50); do
+  if curl -sf "http://localhost:$PORT/healthz" >/dev/null 2>&1; then
+    break
+  fi
+  if ! kill -0 "$DPID" 2>/dev/null; then
+    echo "metrics_smoke: dswpd exited before becoming healthy" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+
+# The load generator's -smoke pass includes the telemetry gate: a
+# LintProm-validated Prometheus scrape, X-Request-ID round-trip, and
+# /debug/requests + /debug/vars checks.
+"$BIN/dswpload" -addr "localhost:$PORT" -smoke -duration "$DUR" -clients 2
+
+fail() { echo "metrics_smoke: $*" >&2; exit 1; }
+
+# Content negotiation: Accept: text/plain flips to Prometheus text...
+CT=$(curl -s -o /dev/null -w '%{content_type}' -H 'Accept: text/plain' "http://localhost:$PORT/metrics")
+case "$CT" in text/plain*) ;; *) fail "/metrics prom Content-Type: $CT";; esac
+# ...and the default stays JSON.
+CT=$(curl -s -o /dev/null -w '%{content_type}' "http://localhost:$PORT/metrics")
+case "$CT" in application/json*) ;; *) fail "/metrics default Content-Type: $CT";; esac
+
+PROM="$BIN/metrics.prom"
+curl -s "http://localhost:$PORT/metrics?format=prometheus" > "$PROM"
+for family in dswp_requests_total dswp_latency_us_bucket dswp_workload_requests_total \
+              dswp_traces_started_total dswp_uptime_seconds; do
+  grep -q "^$family" "$PROM" || fail "/metrics missing family $family"
+done
+
+# A traced request is retrievable post-hoc in all three formats.
+RID=$(curl -s -D - -o /dev/null -X POST -d '{"workload":"list-traversal","n":64}' \
+  "http://localhost:$PORT/run" | tr -d '\r' | awk -F': ' 'tolower($1)=="x-request-id"{print $2}')
+[ -n "$RID" ] || fail "/run returned no X-Request-ID"
+curl -sf "http://localhost:$PORT/debug/requests/$RID" | grep -q '"id"' \
+  || fail "/debug/requests/$RID JSON fetch failed"
+curl -sf "http://localhost:$PORT/debug/requests/$RID?format=text" | grep -q "request $RID" \
+  || fail "/debug/requests/$RID text fetch failed"
+curl -sf "http://localhost:$PORT/debug/requests/$RID?format=chrome" | grep -q 'traceEvents' \
+  || fail "/debug/requests/$RID chrome fetch failed"
+
+curl -sf "http://localhost:$PORT/debug/vars" | grep -q '"window"' \
+  || fail "/debug/vars missing window"
+
+# The debug listener carries the same surface plus pprof; the serving
+# port must NOT expose pprof.
+curl -sf "http://localhost:$DBGPORT/debug/pprof/cmdline" >/dev/null \
+  || fail "debug listener missing pprof"
+curl -sf "http://localhost:$DBGPORT/metrics" >/dev/null \
+  || fail "debug listener missing /metrics"
+if curl -sf "http://localhost:$PORT/debug/pprof/cmdline" >/dev/null 2>&1; then
+  fail "pprof leaked onto the serving port"
+fi
+
+kill -TERM "$DPID"
+if ! wait "$DPID"; then
+  echo "metrics_smoke: dswpd did not drain cleanly" >&2
+  exit 1
+fi
+echo "metrics_smoke: ok"
