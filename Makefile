@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race validate bench bench-json bench-json-pr5 serve load-smoke server-smoke crash-smoke metrics-smoke clean
+.PHONY: check vet build test race validate bench bench-json bench-json-pr5 serve load-smoke server-smoke crash-smoke metrics-smoke svc-chaos clean
 
 # The gate for every change: vet, build, and the full test suite under
 # the race detector (channels carry every cross-thread dependence, so
@@ -70,6 +70,16 @@ crash-smoke:
 # pprof isolation on the debug listener.
 metrics-smoke:
 	RACE=1 scripts/metrics_smoke.sh
+
+# Service-level chaos soak under the race detector: seeded failpoint
+# schedules (storage faults, pool/compile/retry/HTTP injections) against
+# live engines with concurrent mixed traffic. Contract: correct digest
+# or typed error, empty checkpoint store after drain, no leaked
+# goroutines. CHAOS_SEED=N make svc-chaos replays a schedule; the
+# default seed is the pinned CI schedule.
+CHAOS_SEED ?= 20260808
+svc-chaos:
+	$(GO) run -race ./cmd/dswpchaos -seed $(CHAOS_SEED) -scenarios 8 -requests 32 -v
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,52 @@
+// Command dswpchaos runs the service-level chaos harness from the shell:
+// seeded fault schedules against a live in-process engine, checking the
+// serving contract (correct result or typed error, empty store after
+// drain, no leaked goroutines, live-but-degraded health). Exit status 1
+// means a contract violation; the seed in the output replays it.
+//
+//	dswpchaos -seed 20260808 -scenarios 8 -requests 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dswp/internal/svcchaos"
+)
+
+func main() {
+	var (
+		seed      = flag.Int64("seed", 0, "master seed (0 = derive from clock, printed for replay)")
+		scenarios = flag.Int("scenarios", 8, "engine lifetimes to run")
+		requests  = flag.Int("requests", 32, "requests per scenario")
+		clients   = flag.Int("clients", 4, "concurrent clients per scenario")
+		verbose   = flag.Bool("v", false, "per-scenario progress on stderr")
+	)
+	flag.Parse()
+
+	if *seed == 0 {
+		*seed = time.Now().UnixNano()
+	}
+	cfg := svcchaos.Config{
+		Seed: *seed, Scenarios: *scenarios, Requests: *requests, Clients: *clients,
+	}
+	if *verbose {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "dswpchaos: "+format+"\n", args...)
+		}
+	}
+	fmt.Printf("dswpchaos: seed %d\n", *seed)
+	res, err := svcchaos.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dswpchaos: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Print(res.Summary())
+	if res.Failed() {
+		fmt.Fprintf(os.Stderr, "dswpchaos: %d violations (replay with -seed %d)\n",
+			len(res.Violations), *seed)
+		os.Exit(1)
+	}
+}

@@ -61,6 +61,14 @@ func main() {
 		breakerK   = flag.Int("breaker-k", 0, "consecutive failures tripping a workload to sequential (0 = 3, negative disables)")
 		breakerCD  = flag.Duration("breaker-cooldown", 0, "open-breaker cooldown before a half-open probe (0 = 5s)")
 
+		maxBody       = flag.Int64("max-body", 0, "max /run request-body bytes (0 = 1MiB, negative disables)")
+		maxInflightB  = flag.Int64("max-inflight-bytes", 256<<20, "global in-flight run working-set budget in bytes (0 = unlimited)")
+		maxRequestB   = flag.Int64("max-request-bytes", 64<<20, "per-run working-set cap in bytes (0 = unlimited)")
+		reapAfter     = flag.Duration("reap-after", 60*time.Second, "force-cancel runs executing longer than this (0 = disabled)")
+		readHeaderTmo = flag.Duration("read-header-timeout", 5*time.Second, "HTTP header read timeout (slow-loris guard)")
+		readTmo       = flag.Duration("read-timeout", 30*time.Second, "HTTP full-request read timeout (slow-body guard)")
+		writeTmo      = flag.Duration("write-timeout", 2*time.Minute, "HTTP response write timeout (slow-client guard)")
+
 		debugAddr   = flag.String("debug-addr", "", "second listener with the debug surface + net/http/pprof (empty = off)")
 		noTelemetry = flag.Bool("no-telemetry", false, "disable request tracing (windowed series stay on)")
 		traceCap    = flag.Int("trace-cap", 0, "retained request traces (0 = 256)")
@@ -81,6 +89,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "dswpd: %v\n", err)
 			os.Exit(2)
 		}
+		// Durability-degrade events (a key's commits disabled after
+		// ENOSPC or a failed fsync) are operator-visible, one line each.
+		fs.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "dswpd: "+format+"\n", args...)
+		}
 		store = fs
 	}
 	eng := engine.New(engine.Options{
@@ -98,6 +111,10 @@ func main() {
 		Retries:          *retries,
 		BreakerThreshold: *breakerK,
 		BreakerCooldown:  *breakerCD,
+		MaxBodyBytes:     *maxBody,
+		MaxInFlightBytes: *maxInflightB,
+		MaxRequestBytes:  *maxRequestB,
+		ReapAfter:        *reapAfter,
 		Telemetry: telemetry.TraceOptions{
 			Disable:       *noTelemetry,
 			Capacity:      *traceCap,
@@ -118,7 +135,15 @@ func main() {
 			rec.Resumed, rec.Scanned, rec.GCed, rec.Corrupt)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: engine.NewMux(eng)}
+	// Server-side timeouts bound client misbehavior: a slow-loris header
+	// dribble, a body that never finishes, a reader that never drains the
+	// response. Each costs the abuser their connection, not a goroutine.
+	srv := &http.Server{Addr: *addr, Handler: engine.NewMux(eng),
+		ReadHeaderTimeout: *readHeaderTmo,
+		ReadTimeout:       *readTmo,
+		WriteTimeout:      *writeTmo,
+		MaxHeaderBytes:    1 << 16,
+	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	fmt.Printf("dswpd: serving on %s (%d workloads)\n", *addr, len(engine.Workloads()))

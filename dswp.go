@@ -37,6 +37,7 @@ import (
 	"dswp/internal/core"
 	"dswp/internal/doacross"
 	"dswp/internal/engine"
+	"dswp/internal/failpoint"
 	"dswp/internal/interp"
 	"dswp/internal/ir"
 	"dswp/internal/obs"
@@ -45,6 +46,7 @@ import (
 	rt "dswp/internal/runtime"
 	"dswp/internal/sim"
 	"dswp/internal/supervisor"
+	"dswp/internal/svcchaos"
 	"dswp/internal/validate"
 	"dswp/internal/workloads"
 )
@@ -170,6 +172,18 @@ type (
 	RecoveredRun        = engine.RecoveredRun
 	WorkloadInfo        = engine.WorkloadInfo
 	EngineBreakerInfo   = engine.BreakerInfo
+
+	// Robustness (internal/failpoint, internal/svcchaos, engine
+	// governance): FailpointSite is a named deterministic fault-injection
+	// site (zero-cost while the registry is disarmed);
+	// RequestTooLargeError is the per-request memory-cap rejection;
+	// ChaosConfig/ChaosResult parameterize and report a service-level
+	// chaos run (cmd/dswpchaos, make svc-chaos).
+	FailpointSite        = failpoint.Site
+	FailpointPolicy      = failpoint.Policy
+	RequestTooLargeError = engine.RequestTooLargeError
+	ChaosConfig          = svcchaos.Config
+	ChaosResult          = svcchaos.Result
 )
 
 // Sentinel errors from the transformation (Figure 3 steps 3 and 6).
@@ -184,6 +198,19 @@ var (
 var (
 	ErrOverloaded = engine.ErrOverloaded
 	ErrDraining   = engine.ErrDraining
+)
+
+// Robustness sentinels: ErrResourceExhausted sheds a request over the
+// engine's in-flight memory budget (HTTP 429), ErrReaped marks a run the
+// hung-run reaper force-canceled (HTTP 504), ErrDurabilityLost marks a
+// checkpoint key whose file-store writes are failing (serving continues,
+// durability degraded), ErrFailpointInjected is the root of every
+// deliberately injected fault.
+var (
+	ErrResourceExhausted = engine.ErrResourceExhausted
+	ErrReaped            = engine.ErrReaped
+	ErrDurabilityLost    = ckptstore.ErrDurabilityLost
+	ErrFailpointInjected = failpoint.ErrInjected
 )
 
 // Fault classes for FaultPlan.QueueFault: transient faults recover under
@@ -381,6 +408,32 @@ func RunSupervised(ctx context.Context, tr *Transformed, p *Program, pol Policy)
 // typed error on every run. The report's OK method says whether the
 // contract held.
 func RunChaos(opts ChaosOptions) *ChaosReport { return chaos.Soak(opts) }
+
+// RunServiceChaos executes the service-level chaos harness: concurrent
+// mixed traffic against live engines while seeded failpoint schedules
+// inject storage, pool, compile, retry, and HTTP faults. Every request
+// must end in a digest bit-identical to the sequential reference or a
+// typed error; the checkpoint store must drain to empty; no goroutine
+// may leak. ChaosResult.Failed reports whether the contract held.
+func RunServiceChaos(cfg ChaosConfig) (*ChaosResult, error) { return svcchaos.Run(cfg) }
+
+// EnableFailpoint arms a named fault-injection site with a textual spec —
+// "error(ENOSPC):prob(0.3,42)", "panic(boom):nth(5)", "sleep(2ms)" —
+// and DisableFailpoints disarms everything and zeroes trigger counts.
+// While no site is armed the whole framework costs one atomic load per
+// site visit. FailpointSites lists every registered site;
+// FailpointTriggers returns nonzero per-site hit counts (also exported
+// on /metrics as dswp_failpoint_triggers_total).
+func EnableFailpoint(name, spec string) error { return failpoint.Enable(name, spec) }
+
+// DisableFailpoints disarms every failpoint and clears trigger counts.
+func DisableFailpoints() { failpoint.Reset() }
+
+// FailpointSites lists every failpoint site registered in the process.
+func FailpointSites() []string { return failpoint.Sites() }
+
+// FailpointTriggers reports per-site injection counts (nonzero only).
+func FailpointTriggers() map[string]int64 { return failpoint.Triggers() }
 
 // Validate runs the differential validation harness on one program:
 // interpreter and concurrent-runtime execution across queue-capacity

@@ -1,0 +1,332 @@
+package ckptstore
+
+import (
+	"errors"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+
+	"dswp/internal/failpoint"
+	"dswp/internal/interp"
+	rt "dswp/internal/runtime"
+)
+
+// fsEntry builds a small but real entry for fault tests.
+func fsEntry(t *testing.T, key string) *Entry {
+	t.Helper()
+	base := interp.NewMemory(64)
+	mem := interp.NewMemory(64)
+	mem.Store(3, 42)
+	mem.Store(17, -7)
+	cp := rt.Checkpoint{Iter: 9, Regs: []int64{0, 5}, Mem: mem}
+	e, err := NewEntry(key, []byte(`{"workload":"x"}`), cp, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func openTestStore(t *testing.T) *FileStore {
+	t.Helper()
+	s, err := OpenFile(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// countFiles counts directory entries with the given prefix or suffix.
+func countFiles(t *testing.T, dir, prefix, suffix string) int {
+	t.Helper()
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, de := range des {
+		name := de.Name()
+		if prefix != "" && !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		if suffix != "" && !strings.HasSuffix(name, suffix) {
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+func TestFileStoreENOSPCDegradesKey(t *testing.T) {
+	failpoint.Reset()
+	defer failpoint.Reset()
+	s := openTestStore(t)
+	var logged int
+	s.Logf = func(string, ...any) { logged++ }
+
+	if err := failpoint.Enable("ckptstore/file/write", "error(ENOSPC):once"); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Put(fsEntry(t, "wl.r000001"))
+	if !errors.Is(err, ErrDurabilityLost) {
+		t.Fatalf("ENOSPC put: got %v, want ErrDurabilityLost", err)
+	}
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("put error should carry the errno: %v", err)
+	}
+	if !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("put error should be traceable to the injection: %v", err)
+	}
+	if logged != 1 {
+		t.Fatalf("degrade logged %d times, want 1", logged)
+	}
+	if !s.DurabilityDegraded() || s.DegradedKeys() != 1 {
+		t.Fatalf("store not marked degraded (keys=%d)", s.DegradedKeys())
+	}
+
+	// Later commits for the same key are refused without touching the
+	// disk: the one-shot has burned, so any further trigger would mean
+	// another IO attempt.
+	before := failpoint.Triggers()["ckptstore/file/write"]
+	for i := 0; i < 3; i++ {
+		if err := s.Put(fsEntry(t, "wl.r000001")); !errors.Is(err, ErrDurabilityLost) {
+			t.Fatalf("degraded put %d: got %v", i, err)
+		}
+	}
+	if after := failpoint.Triggers()["ckptstore/file/write"]; after != before {
+		t.Fatalf("degraded key still hit the write path (%d -> %d)", before, after)
+	}
+	if logged != 1 {
+		t.Fatalf("degraded puts re-logged (%d lines)", logged)
+	}
+
+	// Other keys are unaffected.
+	if err := s.Put(fsEntry(t, "wl.r000002")); err != nil {
+		t.Fatalf("healthy key: %v", err)
+	}
+	if _, err := s.Get("wl.r000002"); err != nil {
+		t.Fatalf("healthy key get: %v", err)
+	}
+
+	// Deleting the degraded key clears the mark — the store heals as
+	// requests finish.
+	if err := s.Delete("wl.r000001"); err != nil {
+		t.Fatal(err)
+	}
+	if s.DurabilityDegraded() {
+		t.Fatal("degraded mark survived Delete")
+	}
+	if err := s.Put(fsEntry(t, "wl.r000001")); err != nil {
+		t.Fatalf("key should be writable again after Delete: %v", err)
+	}
+}
+
+func TestFileStoreFsyncFailureDegrades(t *testing.T) {
+	failpoint.Reset()
+	defer failpoint.Reset()
+	s := openTestStore(t)
+	if err := failpoint.Enable("ckptstore/file/sync", "error(EIO):once"); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Put(fsEntry(t, "k"))
+	if !errors.Is(err, ErrDurabilityLost) || !errors.Is(err, syscall.EIO) {
+		t.Fatalf("fsync failure: got %v", err)
+	}
+	// The failed Put must not leave artifacts: no record, no temp file.
+	if n := countFiles(t, s.Dir(), "", fileExt); n != 0 {
+		t.Fatalf("%d record files after failed put", n)
+	}
+	if n := countFiles(t, s.Dir(), "tmp-", ""); n != 0 {
+		t.Fatalf("%d temp files after failed put", n)
+	}
+	if _, err := s.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("get after failed put: %v", err)
+	}
+}
+
+func TestFileStoreShortWrite(t *testing.T) {
+	failpoint.Reset()
+	defer failpoint.Reset()
+	s := openTestStore(t)
+	if err := failpoint.Enable("ckptstore/file/short-write", "error(ENOSPC):once"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(fsEntry(t, "k")); !errors.Is(err, ErrDurabilityLost) {
+		t.Fatalf("short write: got %v", err)
+	}
+	// The half-written temp file is cleaned up by the deferred remove;
+	// reopening the directory must find a clean store either way.
+	s2, err := OpenFile(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, _ := s2.Keys()
+	if len(keys) != 0 {
+		t.Fatalf("short write left readable records: %v", keys)
+	}
+}
+
+func TestFileStoreTornRenameCaughtByCRC(t *testing.T) {
+	failpoint.Reset()
+	defer failpoint.Reset()
+	s := openTestStore(t)
+	if err := failpoint.Enable("ckptstore/file/torn-rename", "error(x):once"); err != nil {
+		t.Fatal(err)
+	}
+	// The lying-disk shape: Put reports success...
+	if err := s.Put(fsEntry(t, "k")); err != nil {
+		t.Fatalf("torn rename must report success (that is the fault): %v", err)
+	}
+	if s.DurabilityDegraded() {
+		t.Fatal("torn rename must not mark the key degraded — the store cannot know")
+	}
+	// ...but the record on disk is sheared, and the CRC catches it at
+	// read time: ErrCorrupt, never a wrong checkpoint.
+	if _, err := s.Get("k"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("torn record read: got %v, want ErrCorrupt", err)
+	}
+	if s.CorruptSkipped() != 1 {
+		t.Fatalf("CorruptSkipped = %d, want 1", s.CorruptSkipped())
+	}
+	// The corrupt record was GC'd on detection.
+	if _, err := s.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("second read: got %v, want ErrNotFound", err)
+	}
+}
+
+func TestFileStoreTornRenameCaughtAtOpen(t *testing.T) {
+	failpoint.Reset()
+	defer failpoint.Reset()
+	s := openTestStore(t)
+	if err := failpoint.Enable("ckptstore/file/torn-rename", "error(x):once"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(fsEntry(t, "k")); err != nil {
+		t.Fatal(err)
+	}
+	failpoint.Reset()
+	// A restart over the same directory sweeps the torn record.
+	s2, err := OpenFile(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.CorruptSkipped() != 1 {
+		t.Fatalf("open scan skipped %d corrupt records, want 1", s2.CorruptSkipped())
+	}
+	keys, _ := s2.Keys()
+	if len(keys) != 0 {
+		t.Fatalf("torn record survived the open scan: %v", keys)
+	}
+}
+
+func TestFileStoreCreateAndRenameFailures(t *testing.T) {
+	failpoint.Reset()
+	defer failpoint.Reset()
+	s := openTestStore(t)
+	if err := failpoint.Enable("ckptstore/file/create", "error(ENOSPC):once"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(fsEntry(t, "a")); !errors.Is(err, ErrDurabilityLost) {
+		t.Fatalf("create failure: %v", err)
+	}
+	if err := failpoint.Enable("ckptstore/file/rename", "error(EIO):once"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(fsEntry(t, "b")); !errors.Is(err, ErrDurabilityLost) {
+		t.Fatalf("rename failure: %v", err)
+	}
+	if n := countFiles(t, s.Dir(), "tmp-", ""); n != 0 {
+		t.Fatalf("%d temp files left by failed rename", n)
+	}
+	if s.DegradedKeys() != 2 {
+		t.Fatalf("degraded keys = %d, want 2", s.DegradedKeys())
+	}
+}
+
+func TestFileStoreReadFaultIsNotCorruption(t *testing.T) {
+	failpoint.Reset()
+	defer failpoint.Reset()
+	s := openTestStore(t)
+	if err := s.Put(fsEntry(t, "k")); err != nil {
+		t.Fatal(err)
+	}
+	if err := failpoint.Enable("ckptstore/file/read", "error(EIO):once"); err != nil {
+		t.Fatal(err)
+	}
+	// A transient read error is surfaced as-is — not ErrCorrupt, not
+	// ErrNotFound — and the record survives for the retry.
+	if _, err := s.Get("k"); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("read fault: %v", err)
+	}
+	if _, err := s.Get("k"); err != nil {
+		t.Fatalf("record should have survived the transient read fault: %v", err)
+	}
+}
+
+// TestFileStoreFaultSoak drives a seeded mixture of every fs fault class
+// through many Put/Get/Delete cycles and asserts the store's contract
+// after each operation: reads return a valid entry, ErrNotFound, or
+// ErrCorrupt — never a wrong record — and a final fault-free reopen comes
+// up clean.
+func TestFileStoreFaultSoak(t *testing.T) {
+	failpoint.Reset()
+	defer failpoint.Reset()
+	dir := t.TempDir()
+	s, err := OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, arm := range []struct{ site, spec string }{
+		{"ckptstore/file/write", "error(ENOSPC):prob(0.15,11)"},
+		{"ckptstore/file/sync", "error(EIO):prob(0.1,12)"},
+		{"ckptstore/file/short-write", "error(ENOSPC):prob(0.1,13)"},
+		{"ckptstore/file/torn-rename", "error(x):prob(0.15,14)"},
+		{"ckptstore/file/rename", "error(EIO):prob(0.1,15)"},
+		{"ckptstore/file/read", "error(EIO):prob(0.1,16)"},
+	} {
+		if err := failpoint.Enable(arm.site, arm.spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys := []string{"a", "b", "c", "d"}
+	for i := 0; i < 200; i++ {
+		key := keys[i%len(keys)]
+		switch i % 3 {
+		case 0:
+			err := s.Put(fsEntry(t, key))
+			if err != nil && !errors.Is(err, ErrDurabilityLost) {
+				t.Fatalf("op %d: put %q: unclassified error %v", i, key, err)
+			}
+		case 1:
+			e, err := s.Get(key)
+			switch {
+			case err == nil:
+				if e.Key != key {
+					t.Fatalf("op %d: get %q returned record for %q", i, key, e.Key)
+				}
+			case errors.Is(err, ErrNotFound), errors.Is(err, ErrCorrupt),
+				errors.Is(err, failpoint.ErrInjected):
+			default:
+				t.Fatalf("op %d: get %q: unclassified error %v", i, key, err)
+			}
+		case 2:
+			if err := s.Delete(key); err != nil {
+				t.Fatalf("op %d: delete %q: %v", i, key, err)
+			}
+		}
+	}
+	failpoint.Reset()
+	for _, key := range keys {
+		s.Delete(key)
+	}
+	s2, err := OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks, _ := s2.Keys(); len(ks) != 0 {
+		t.Fatalf("fault-free reopen found leftovers: %v", ks)
+	}
+	if n := countFiles(t, dir, "tmp-", ""); n != 0 {
+		t.Fatalf("%d temp files survived the soak", n)
+	}
+}

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io/fs"
-	"os"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -96,6 +95,16 @@ func (m *MemStore) Corrupt(key string) {
 
 const fileExt = ".ckpt"
 
+// ErrDurabilityLost reports that a key's durable commits have been
+// disabled after a write-path failure (ENOSPC, failed fsync, failed
+// rename): the store refuses further IO for that key instead of paying a
+// doomed temp-file+fsync cycle on every checkpoint period. Wrapped by
+// the Put error that detects the condition and returned bare by every
+// Put after it; the in-memory checkpoint latch is unaffected, so the
+// request keeps being served from the memory path — durability degrades,
+// correctness does not.
+var ErrDurabilityLost = errors.New("ckptstore: durability lost")
+
 // FileStore persists one encoded record per key in a directory, so
 // checkpoints survive process death. Writes go through a temp file in the
 // same directory, fsync, then an atomic rename over the final name — a
@@ -104,25 +113,39 @@ const fileExt = ".ckpt"
 // File names are the fnv64a hash of the key (keys are request-derived and
 // not filesystem-safe); the key inside the record is authoritative and
 // verified on every read.
+//
+// All IO goes through an FS (fs.go) wrapped with the ckptstore/file/*
+// failpoint sites, so chaos schedules can inject disk faults into a
+// production-shaped store.
 type FileStore struct {
 	dir string
+	fs  FS
+	// Logf, when set, receives one line per durability-degrading event;
+	// set it before first use (dswpd points it at stdout).
+	Logf func(format string, args ...any)
 
-	mu      sync.Mutex
-	names   map[string]string // key -> filename
-	corrupt int
-	closed  bool
+	mu       sync.Mutex
+	names    map[string]string   // key -> filename
+	degraded map[string]struct{} // keys whose durable commits are disabled
+	corrupt  int
+	closed   bool
 }
 
-// OpenFile opens (creating if needed) a file-backed store rooted at dir.
+// OpenFile opens (creating if needed) a file-backed store rooted at dir
+// on the real filesystem.
+func OpenFile(dir string) (*FileStore, error) { return OpenFileFS(dir, OSFS()) }
+
+// OpenFileFS opens a store over an explicit FS (tests and harnesses).
 // The opening scan indexes readable records, deletes temp files from
 // interrupted Puts, and deletes corrupt or torn records — counting them in
 // CorruptSkipped — so a store that crashed mid-write always opens clean.
-func OpenFile(dir string) (*FileStore, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+func OpenFileFS(dir string, fsys FS) (*FileStore, error) {
+	s := &FileStore{dir: dir, fs: hooked{fsys},
+		names: make(map[string]string), degraded: make(map[string]struct{})}
+	if err := s.fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("ckptstore: open %s: %w", dir, err)
 	}
-	s := &FileStore{dir: dir, names: make(map[string]string)}
-	entries, err := os.ReadDir(dir)
+	entries, err := s.fs.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("ckptstore: scan %s: %w", dir, err)
 	}
@@ -132,23 +155,23 @@ func OpenFile(dir string) (*FileStore, error) {
 		}
 		name := de.Name()
 		if strings.HasPrefix(name, "tmp-") {
-			os.Remove(filepath.Join(dir, name))
+			s.fs.Remove(filepath.Join(dir, name))
 			continue
 		}
 		if !strings.HasSuffix(name, fileExt) {
 			continue
 		}
 		path := filepath.Join(dir, name)
-		rec, err := os.ReadFile(path)
+		rec, err := s.fs.ReadFile(path)
 		if err != nil {
 			s.corrupt++
-			os.Remove(path)
+			s.fs.Remove(path)
 			continue
 		}
 		e, err := Decode(rec)
 		if err != nil || fileName(e.Key) != name {
 			s.corrupt++
-			os.Remove(path)
+			s.fs.Remove(path)
 			continue
 		}
 		s.names[e.Key] = name
@@ -174,40 +197,53 @@ func fileName(key string) string {
 
 // Put implements Store: temp file in the same directory, write, fsync,
 // close, atomic rename, best-effort directory fsync.
+//
+// Write-path failures (ENOSPC, a failed write or fsync, a failed rename)
+// degrade durability for the key rather than cascading: the failing Put
+// returns an error wrapping ErrDurabilityLost (and the underlying cause),
+// the event is logged once, and every later Put for the same key returns
+// ErrDurabilityLost immediately without touching the disk. The caller's
+// in-memory checkpoint path keeps working; Delete clears the degraded
+// mark along with the key, so the store converges back to healthy as
+// in-flight requests finish.
 func (s *FileStore) Put(e *Entry) error {
 	if e.Key == "" {
 		return fmt.Errorf("ckptstore: empty key")
 	}
 	s.mu.Lock()
 	closed := s.closed
+	_, degraded := s.degraded[e.Key]
 	s.mu.Unlock()
 	if closed {
 		return fmt.Errorf("ckptstore: store closed")
 	}
-	rec := Encode(e)
-	tmp, err := os.CreateTemp(s.dir, "tmp-*")
-	if err != nil {
-		return fmt.Errorf("ckptstore: put %q: %w", e.Key, err)
+	if degraded {
+		return ErrDurabilityLost
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	rec := Encode(e)
+	tmp, err := s.fs.CreateTemp(s.dir, "tmp-*")
+	if err != nil {
+		return s.degrade(e.Key, "create", err)
+	}
+	defer s.fs.Remove(tmp.Name()) // no-op after a successful rename
 	if _, err := tmp.Write(rec); err != nil {
 		tmp.Close()
-		return fmt.Errorf("ckptstore: put %q: %w", e.Key, err)
+		return s.degrade(e.Key, "write", err)
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
-		return fmt.Errorf("ckptstore: put %q: %w", e.Key, err)
+		return s.degrade(e.Key, "fsync", err)
 	}
 	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("ckptstore: put %q: %w", e.Key, err)
+		return s.degrade(e.Key, "close", err)
 	}
 	name := fileName(e.Key)
-	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, name)); err != nil {
-		return fmt.Errorf("ckptstore: put %q: %w", e.Key, err)
+	if err := s.fs.Rename(tmp.Name(), filepath.Join(s.dir, name)); err != nil {
+		return s.degrade(e.Key, "rename", err)
 	}
 	// Persist the rename itself; rename atomicity holds regardless, so a
 	// failure here only risks losing the newest commit, not corruption.
-	if d, err := os.Open(s.dir); err == nil {
+	if d, err := s.fs.OpenDir(s.dir); err == nil {
 		d.Sync()
 		d.Close()
 	}
@@ -216,6 +252,32 @@ func (s *FileStore) Put(e *Entry) error {
 	s.mu.Unlock()
 	return nil
 }
+
+// degrade marks a key durability-lost after a write-path failure and
+// builds the Put error reporting both the condition and its cause.
+func (s *FileStore) degrade(key, op string, cause error) error {
+	s.mu.Lock()
+	s.degraded[key] = struct{}{}
+	n := len(s.degraded)
+	s.mu.Unlock()
+	if s.Logf != nil {
+		s.Logf("ckptstore: %s failed for %q, durable commits disabled for the key (%d degraded): %v",
+			op, key, n, cause)
+	}
+	return fmt.Errorf("%w: %s %q: %w", ErrDurabilityLost, op, key, cause)
+}
+
+// DegradedKeys reports how many keys currently have durable commits
+// disabled; /healthz lists the checkpoint store as a degraded subsystem
+// while this is nonzero.
+func (s *FileStore) DegradedKeys() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.degraded)
+}
+
+// DurabilityDegraded implements the engine's degraded-subsystem probe.
+func (s *FileStore) DurabilityDegraded() bool { return s.DegradedKeys() > 0 }
 
 // Get implements Store. A record that fails decode or whose embedded key
 // does not match (hash collision, hand-planted file) counts as corrupt,
@@ -228,7 +290,7 @@ func (s *FileStore) Get(key string) (*Entry, error) {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
 	}
 	path := filepath.Join(s.dir, name)
-	rec, err := os.ReadFile(path)
+	rec, err := s.fs.ReadFile(path)
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
 			s.forget(key, false)
@@ -239,7 +301,7 @@ func (s *FileStore) Get(key string) (*Entry, error) {
 	e, err := Decode(rec)
 	if err != nil || e.Key != key {
 		s.forget(key, true)
-		os.Remove(path)
+		s.fs.Remove(path)
 		if err == nil {
 			err = fmt.Errorf("%w: record holds key %q", ErrCorrupt, e.Key)
 		}
@@ -257,16 +319,19 @@ func (s *FileStore) forget(key string, corrupt bool) {
 	s.mu.Unlock()
 }
 
-// Delete implements Store.
+// Delete implements Store. Deleting a key also clears its
+// durability-degraded mark: the next request reusing the key starts with
+// a clean slate.
 func (s *FileStore) Delete(key string) error {
 	s.mu.Lock()
 	name, ok := s.names[key]
 	delete(s.names, key)
+	delete(s.degraded, key)
 	s.mu.Unlock()
 	if !ok {
 		return nil
 	}
-	if err := os.Remove(filepath.Join(s.dir, name)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+	if err := s.fs.Remove(filepath.Join(s.dir, name)); err != nil && !errors.Is(err, fs.ErrNotExist) {
 		return fmt.Errorf("ckptstore: delete %q: %w", key, err)
 	}
 	return nil

@@ -139,6 +139,22 @@ type Options struct {
 	// WindowSeconds sets the per-second time-series retention for
 	// /debug/vars (0 = telemetry.DefaultWindowSeconds, ~5 minutes).
 	WindowSeconds int
+	// MaxInFlightBytes bounds the summed working-set estimate of
+	// concurrently executing runs; admission past it sheds with
+	// ErrResourceExhausted (0 = unlimited; bytes are still accounted).
+	MaxInFlightBytes int64
+	// MaxRequestBytes bounds a single run's working-set estimate;
+	// a request over it fails with *RequestTooLargeError — it can never
+	// succeed by waiting (0 = unlimited).
+	MaxRequestBytes int64
+	// ReapAfter force-cancels any run executing longer than this
+	// wall-clock bound and quarantines its instance; the request fails
+	// with ErrReaped (0 = disabled). Defense in depth against runs that
+	// stop consuming their context.
+	ReapAfter time.Duration
+	// MaxBodyBytes bounds the /run request body; larger bodies get 413
+	// (default 1 MiB; <0 disables the limit).
+	MaxBodyBytes int64
 }
 
 func (o Options) withDefaults() Options {
@@ -170,6 +186,11 @@ func (o Options) withDefaults() Options {
 	}
 	if o.BreakerCooldown <= 0 {
 		o.BreakerCooldown = 5 * time.Second
+	}
+	if o.MaxBodyBytes == 0 {
+		o.MaxBodyBytes = 1 << 20
+	} else if o.MaxBodyBytes < 0 {
+		o.MaxBodyBytes = 0
 	}
 	return o
 }
@@ -285,6 +306,12 @@ type Engine struct {
 	// breaker degrades repeatedly-failing workloads to sequential.
 	breaker *breaker
 
+	// Resource governance: governor accounts and bounds in-flight run
+	// memory (govern.go); reaper force-cancels wall-clock-hung runs
+	// (nil = disabled).
+	governor *governor
+	reaper   *reaper
+
 	// Telemetry plane: request traces with tail sampling (tracer may be
 	// nil = disabled; every call site is nil-safe), per-workload labeled
 	// series, and the engine-wide windowed time-series.
@@ -325,6 +352,11 @@ type job struct {
 	// so the single-mutator contract on RequestTrace holds.
 	tr  *telemetry.RequestTrace
 	adm *telemetry.Span
+
+	// reaped is set by the hung-run reaper when it force-cancels this
+	// job's run; the instance is then quarantined and the error rewrapped
+	// as ErrReaped.
+	reaped atomic.Bool
 }
 
 // New starts an engine: opts.Workers goroutines consuming a bounded
@@ -351,6 +383,12 @@ func New(opts Options) *Engine {
 	e.breaker.onTransition = func(wl string) {
 		e.window.ObserveBreaker()
 		e.registry.ObserveBreaker(wl)
+	}
+	e.governor = newGovernor(opts.MaxInFlightBytes, opts.MaxRequestBytes, e.met)
+	e.governor.onBytes = func(inflight int64) { e.window.ObserveBytes(inflight) }
+	e.reaper = newReaper(opts.ReapAfter, e.met)
+	if e.reaper != nil {
+		e.reaper.onReap = func() { e.window.ObserveReap() }
 	}
 	e.cache = newCache(opts.CacheCap, e.met)
 	e.base, e.cancelBase = context.WithCancel(context.Background())
@@ -412,6 +450,11 @@ func (e *Engine) RunTraced(ctx context.Context, req Request) (*Response, string,
 	if err != nil {
 		atomic.AddInt64(&e.met.failed, 1)
 		e.observe(tr, req.Workload, false, 0, err, false)
+		return nil, id, err
+	}
+	if err := fpAdmit.Fail(); err != nil {
+		atomic.AddInt64(&e.met.failed, 1)
+		e.observe(tr, req.Workload, true, 0, err, false)
 		return nil, id, err
 	}
 	if ctx == nil {
@@ -500,12 +543,20 @@ func (e *Engine) serve(j *job) {
 		return
 	}
 
-	// The run context dies with either the request or a hard shutdown.
+	// The run context dies with the request, a hard shutdown, or the
+	// hung-run reaper.
 	ctx, cancel := context.WithCancel(j.ctx)
 	defer cancel()
 	defer context.AfterFunc(e.base, cancel)()
+	if e.reaper != nil {
+		defer e.reaper.forget(e.reaper.add(j.req.Workload, cancel, &j.reaped))
+	}
 
 	j.res, j.err = e.execute(ctx, j)
+	if j.err != nil && j.reaped.Load() {
+		j.err = fmt.Errorf("%w: %s ran past %s: %w",
+			ErrReaped, j.req.Workload, e.opts.ReapAfter, j.err)
+	}
 	total := time.Since(j.submitted)
 	if j.err != nil {
 		atomic.AddInt64(&e.met.failed, 1)
@@ -550,7 +601,9 @@ func (e *Engine) execute(ctx context.Context, j *job) (*Response, error) {
 			resp.Cache = "hit"
 		} else {
 			resp.Cache = "miss"
-			resp.CompileMicros = p.compileMicros
+			if p != nil { // a failed cold compile has no pipeline
+				resp.CompileMicros = p.compileMicros
+			}
 		}
 		if err == nil {
 			defer e.cache.release(p)
@@ -575,6 +628,15 @@ func (e *Engine) execute(ctx context.Context, j *job) (*Response, error) {
 	}
 
 	kind, qcap := e.runGeometry(req)
+
+	// Memory-accounting admission: reserve the run's working-set estimate
+	// (or shed) now that the compiled geometry is known.
+	est := estimateBytes(p, qcap)
+	if gerr := e.governor.admit(est); gerr != nil {
+		return nil, gerr
+	}
+	defer e.governor.release(est)
+
 	faults := faultsOf(req, p)
 	start := time.Now()
 	rs := tr.Begin("run")
@@ -599,9 +661,9 @@ func (e *Engine) execute(ctx context.Context, j *job) (*Response, error) {
 			Mem: p.prog.Mem, Regs: p.prog.Regs, Faults: faults,
 			Recorder: e.tracer.RunRecorder(tr, len(p.tr.Threads)),
 		})
-		e.releaseInstance(p, inst, poisons(err))
+		e.releaseInstance(p, inst, poisons(err) || j.reaped.Load())
 	case req.Mode == "" || req.Mode == "supervised":
-		res, err = e.runSupervised(ctx, req, p, resp, tr, kind, qcap, faults)
+		res, err = e.runSupervised(ctx, j, p, resp, kind, qcap, faults)
 	default:
 		tr.End(rs)
 		return nil, fmt.Errorf("engine: unknown mode %q", req.Mode)
@@ -656,10 +718,11 @@ func (e *Engine) runGeometry(req Request) (queue.Kind, int) {
 // Terminal outcomes — success, cancellation, exhausted budget — delete
 // the request's store entry; a crash is the only path that leaves one
 // behind, which is exactly what Recover scans for.
-func (e *Engine) runSupervised(ctx context.Context, req Request, p *pipeline,
-	resp *Response, tr *telemetry.RequestTrace, kind queue.Kind, qcap int,
+func (e *Engine) runSupervised(ctx context.Context, j *job, p *pipeline,
+	resp *Response, kind queue.Kind, qcap int,
 	faults *rt.FaultPlan) (*interp.Result, error) {
 
+	req, tr := j.req, j.tr
 	pipelined, probe := e.breaker.allow(req.Workload)
 	if probe {
 		tr.Event("breaker-probe")
@@ -692,7 +755,7 @@ func (e *Engine) runSupervised(ctx context.Context, req Request, p *pipeline,
 		Store:         e.store, StoreKey: ckey, StoreMeta: meta,
 		Recorder: e.tracer.RunRecorder(tr, len(p.tr.Threads)),
 	})
-	e.releaseInstance(p, inst, poisons(err))
+	e.releaseInstance(p, inst, poisons(err) || j.reaped.Load())
 	resp.Attempts = 1
 	if srep != nil {
 		resp.Checkpoints = srep.Checkpoints
@@ -745,6 +808,9 @@ func (e *Engine) runSupervised(ctx context.Context, req Request, p *pipeline,
 // checkpoint (or from scratch when the entry is absent or corrupt — a
 // torn commit must degrade to recomputation, never to an error).
 func (e *Engine) resumeFromStore(ctx context.Context, p *pipeline, ckey string) (*interp.Result, int64, error) {
+	if err := fpResume.Fail(); err != nil {
+		return nil, -1, err
+	}
 	iopts := interp.Options{Ctx: ctx}
 	iter := int64(-1)
 	if entry, err := e.store.Get(ckey); err == nil {
@@ -821,6 +887,12 @@ func (e *Engine) acquireInstance(tr *telemetry.RequestTrace, p *pipeline,
 // requests always run on fresh state (Faults are incompatible with warm
 // instances at the runtime layer).
 func (e *Engine) instanceFor(p *pipeline, kind queue.Kind, qcap int, faults *rt.FaultPlan) (*rt.Instance, bool) {
+	// An injected error forces the cold path (fresh allocation); a sleep
+	// action delays acquisition. Neither may change results.
+	if fpPool.Fail() != nil {
+		atomic.AddInt64(&e.met.poolMisses, 1)
+		return nil, false
+	}
 	if e.opts.DisablePool || p.pool == nil || faults != nil ||
 		kind != e.opts.Queue || qcap != e.opts.QueueCap {
 		atomic.AddInt64(&e.met.poolMisses, 1)
@@ -847,6 +919,9 @@ func (e *Engine) releaseInstance(p *pipeline, inst *rt.Instance, poisoned bool) 
 // single-SCC or unprofitable loop yields a sequential-only pipeline
 // (tr == nil) rather than an error, so the cache remembers the outcome.
 func (e *Engine) compile(req Request, build func() *workloads.Program, key string) (*pipeline, error) {
+	if err := fpCompile.Fail(); err != nil {
+		return nil, fmt.Errorf("engine: compile %s: %w", req.Workload, err)
+	}
 	start := time.Now()
 	atomic.AddInt64(&e.met.compiles, 1)
 	prog := build()
@@ -912,6 +987,7 @@ func (e *Engine) Shutdown(ctx context.Context) error {
 		}
 		e.failQueued() // races between the draining flag and the queue
 		e.cancelBase()
+		e.reaper.close()
 		if e.ownStore {
 			e.store.Close()
 		}

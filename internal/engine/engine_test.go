@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"dswp/internal/interp"
+	"dswp/internal/testutil"
 	"dswp/internal/workloads"
 )
 
@@ -105,6 +106,7 @@ func TestConcurrentIdenticalSingleCompile(t *testing.T) {
 // and checks every response against its sequential reference, with
 // exactly one compile per distinct cache key.
 func TestConcurrentMixedWorkloads(t *testing.T) {
+	testutil.VerifyNone(t)
 	mix := []Request{
 		{Workload: "list-traversal", N: 200},
 		{Workload: "list-traversal", N: 200, PackFlows: true},
@@ -220,6 +222,7 @@ func TestOverloadShedding(t *testing.T) {
 // ErrDraining, later submissions are rejected, and every engine goroutine
 // exits.
 func TestGracefulShutdown(t *testing.T) {
+	testutil.VerifyNone(t)
 	base := runtime.NumGoroutine()
 	e := New(Options{Workers: 1, QueueDepth: 8})
 	// The stall injection stretches each run to tens of milliseconds, so

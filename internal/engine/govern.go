@@ -1,0 +1,218 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrResourceExhausted is returned when admitting a run would push the
+// engine's in-flight memory estimate over Options.MaxInFlightBytes: the
+// request is shed (like ErrOverloaded, it maps to 429) so that accepted
+// requests keep their working sets resident instead of everybody paying
+// for an over-committed heap.
+var ErrResourceExhausted = errors.New("engine: in-flight memory budget exhausted, request shed")
+
+// ErrReaped is returned for a run the hung-run reaper force-canceled
+// after it exceeded Options.ReapAfter of wall-clock execution. The
+// instance it was running on is quarantined, never reissued — a run that
+// ignored its deadline cannot be trusted to have left the queues
+// consistent.
+var ErrReaped = errors.New("engine: run exceeded the hung-run bound and was reaped")
+
+// RequestTooLargeError reports a single request whose estimated working
+// set exceeds Options.MaxRequestBytes — unlike ErrResourceExhausted it
+// can never succeed by waiting, so it maps to 413, not 429.
+type RequestTooLargeError struct {
+	Estimated int64
+	Limit     int64
+}
+
+func (e *RequestTooLargeError) Error() string {
+	return fmt.Sprintf("engine: request working set ~%d bytes exceeds the %d-byte per-request limit",
+		e.Estimated, e.Limit)
+}
+
+// estimateBytes approximates the peak resident bytes one run pins: two
+// memory images (the program's base image plus the checkpoint clone the
+// supervisor snapshots), the synchronization-array backing stores, a
+// per-thread allowance for register files and interpreter state, and a
+// fixed overhead for the job/trace/response plumbing. It is deliberately
+// a slight over-estimate — admission control should saturate before the
+// allocator does, not after.
+func estimateBytes(p *pipeline, qcap int) int64 {
+	const (
+		fixed     = 64 << 10 // job, trace, response, goroutine stacks
+		perThread = 32 << 10 // register file, iteration state, stack slack
+	)
+	est := int64(fixed)
+	if p.prog != nil && p.prog.Mem != nil {
+		est += p.prog.Mem.Size() * 8 * 2
+	}
+	if p.tr != nil {
+		est += int64(p.tr.NumQueues) * int64(qcap) * 8
+		est += int64(len(p.tr.Threads)) * perThread
+	}
+	return est
+}
+
+// governor is the engine's memory-accounting admission layer. It tracks
+// the byte estimate of every in-flight run in Metrics.inflightBytes and
+// refuses admission past the global budget. A nil-limit governor (both
+// caps zero) still accounts, so /metrics reports inflight_bytes even
+// when shedding is disabled.
+type governor struct {
+	maxInFlight int64 // 0 = no global cap
+	maxRequest  int64 // 0 = no per-request cap
+	met         *Metrics
+	// onBytes, when set, feeds the windowed time-series the post-admit
+	// in-flight total (New wires it to the engine window).
+	onBytes func(inflight int64)
+}
+
+func newGovernor(maxInFlight, maxRequest int64, met *Metrics) *governor {
+	return &governor{maxInFlight: maxInFlight, maxRequest: maxRequest, met: met}
+}
+
+// admit reserves n estimated bytes, or explains why it will not.
+func (g *governor) admit(n int64) error {
+	if g.maxRequest > 0 && n > g.maxRequest {
+		atomic.AddInt64(&g.met.requestTooLarge, 1)
+		return &RequestTooLargeError{Estimated: n, Limit: g.maxRequest}
+	}
+	for {
+		cur := atomic.LoadInt64(&g.met.inflightBytes)
+		if g.maxInFlight > 0 && cur+n > g.maxInFlight {
+			atomic.AddInt64(&g.met.shedResource, 1)
+			return fmt.Errorf("%w: %d in flight + %d requested > %d budget",
+				ErrResourceExhausted, cur, n, g.maxInFlight)
+		}
+		if atomic.CompareAndSwapInt64(&g.met.inflightBytes, cur, cur+n) {
+			now := cur + n
+			for {
+				hw := atomic.LoadInt64(&g.met.inflightBytesHW)
+				if now <= hw || atomic.CompareAndSwapInt64(&g.met.inflightBytesHW, hw, now) {
+					break
+				}
+			}
+			if g.onBytes != nil {
+				g.onBytes(now)
+			}
+			return nil
+		}
+	}
+}
+
+// release returns n bytes to the budget.
+func (g *governor) release(n int64) {
+	atomic.AddInt64(&g.met.inflightBytes, -n)
+}
+
+// InFlightBytes reports the governor's current byte estimate of running
+// work (the value the inflight_bytes gauge exports).
+func (e *Engine) InFlightBytes() int64 {
+	return atomic.LoadInt64(&e.met.inflightBytes)
+}
+
+// reaper force-cancels runs that exceed a wall-clock bound. Deadlines
+// already bound well-behaved runs through their contexts; the reaper is
+// defense in depth for the run that stops consuming its context — a
+// wedged stage, a pathological stall — so a hung instance costs one
+// quarantined instance, not a worker forever.
+type reaper struct {
+	after time.Duration
+	met   *Metrics
+	// onReap, when set, feeds the windowed time-series (New wires it).
+	onReap func()
+
+	mu    sync.Mutex
+	seq   int64
+	watch map[int64]*watchedRun
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+type watchedRun struct {
+	workload string
+	started  time.Time
+	cancel   func()
+	reaped   *atomic.Bool
+}
+
+// newReaper starts the scan loop; nil when after is unset (disabled).
+func newReaper(after time.Duration, met *Metrics) *reaper {
+	if after <= 0 {
+		return nil
+	}
+	r := &reaper{after: after, met: met, watch: make(map[int64]*watchedRun),
+		stop: make(chan struct{}), done: make(chan struct{})}
+	go r.loop()
+	return r
+}
+
+// add registers a run; the returned id must be forgotten when it ends.
+func (r *reaper) add(workload string, cancel func(), reaped *atomic.Bool) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	r.seq++
+	id := r.seq
+	r.watch[id] = &watchedRun{workload: workload, started: time.Now(),
+		cancel: cancel, reaped: reaped}
+	r.mu.Unlock()
+	return id
+}
+
+func (r *reaper) forget(id int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	delete(r.watch, id)
+	r.mu.Unlock()
+}
+
+func (r *reaper) loop() {
+	defer close(r.done)
+	// Scan well inside the bound so a hung run overstays by at most
+	// ~12.5%, without a busy loop at small bounds.
+	tick := r.after / 8
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case now := <-t.C:
+			r.mu.Lock()
+			for id, w := range r.watch {
+				if now.Sub(w.started) < r.after {
+					continue
+				}
+				w.reaped.Store(true)
+				w.cancel()
+				delete(r.watch, id)
+				atomic.AddInt64(&r.met.reaped, 1)
+				if r.onReap != nil {
+					r.onReap()
+				}
+			}
+			r.mu.Unlock()
+		}
+	}
+}
+
+func (r *reaper) close() {
+	if r == nil {
+		return
+	}
+	close(r.stop)
+	<-r.done
+}

@@ -1,0 +1,152 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"dswp/internal/testutil"
+)
+
+func TestGovernorAccounting(t *testing.T) {
+	met := newMetrics()
+	g := newGovernor(1000, 0, met)
+	if err := g.admit(600); err != nil {
+		t.Fatalf("first admit: %v", err)
+	}
+	if err := g.admit(600); !errors.Is(err, ErrResourceExhausted) {
+		t.Fatalf("over-budget admit: got %v", err)
+	}
+	if err := g.admit(400); err != nil {
+		t.Fatalf("exact-fit admit: %v", err)
+	}
+	g.release(600)
+	g.release(400)
+	if s := met.Snapshot(); s.InFlightBytes != 0 || s.InFlightBytesHW != 1000 ||
+		s.ShedResource != 1 {
+		t.Fatalf("after release: inflight=%d hw=%d shed=%d",
+			s.InFlightBytes, s.InFlightBytesHW, s.ShedResource)
+	}
+}
+
+func TestGovernorPerRequestCap(t *testing.T) {
+	met := newMetrics()
+	g := newGovernor(0, 100, met)
+	err := g.admit(101)
+	var rtl *RequestTooLargeError
+	if !errors.As(err, &rtl) {
+		t.Fatalf("over-cap admit: got %v", err)
+	}
+	if rtl.Estimated != 101 || rtl.Limit != 100 {
+		t.Fatalf("error detail: %+v", rtl)
+	}
+	// The per-request refusal reserved nothing.
+	if met.Snapshot().InFlightBytes != 0 {
+		t.Fatal("refused request left bytes reserved")
+	}
+	// With no caps at all, large admissions are accounted but never shed.
+	g2 := newGovernor(0, 0, newMetrics())
+	if err := g2.admit(1 << 40); err != nil {
+		t.Fatalf("uncapped admit: %v", err)
+	}
+	g2.release(1 << 40)
+}
+
+func TestEngineShedsOnResourceBudget(t *testing.T) {
+	// One byte of budget: every run's estimate (>=64KB fixed overhead)
+	// exceeds it, so admission must shed with the typed error.
+	e := New(Options{Workers: 1, MaxInFlightBytes: 1})
+	defer e.Shutdown(context.Background())
+	_, err := e.Run(context.Background(), Request{Workload: "list-traversal", N: 16})
+	if !errors.Is(err, ErrResourceExhausted) {
+		t.Fatalf("got %v, want ErrResourceExhausted", err)
+	}
+	if class := ErrorClass(err); class != "resource-exhausted" {
+		t.Fatalf("class = %q", class)
+	}
+	s := e.Metrics().Snapshot()
+	if s.ShedResource != 1 || s.InFlightBytes != 0 {
+		t.Fatalf("shed=%d inflight=%d", s.ShedResource, s.InFlightBytes)
+	}
+}
+
+func TestEngineRequestTooLarge(t *testing.T) {
+	e := New(Options{Workers: 1, MaxRequestBytes: 1})
+	defer e.Shutdown(context.Background())
+	_, err := e.Run(context.Background(), Request{Workload: "list-traversal", N: 16})
+	var rtl *RequestTooLargeError
+	if !errors.As(err, &rtl) {
+		t.Fatalf("got %v, want RequestTooLargeError", err)
+	}
+	if class := ErrorClass(err); class != "request-too-large" {
+		t.Fatalf("class = %q", class)
+	}
+}
+
+func TestEngineBytesReturnToZero(t *testing.T) {
+	testutil.VerifyNone(t)
+	e := New(Options{Workers: 2})
+	defer e.Shutdown(context.Background())
+	for i := 0; i < 4; i++ {
+		if _, err := e.Run(context.Background(), Request{Workload: "list-traversal", N: 64}); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+	if b := e.InFlightBytes(); b != 0 {
+		t.Fatalf("in-flight bytes after quiesce = %d", b)
+	}
+	if hw := e.Metrics().Snapshot().InFlightBytesHW; hw <= 0 {
+		t.Fatalf("high-water never moved (%d)", hw)
+	}
+}
+
+func TestReaperKillsHungRun(t *testing.T) {
+	testutil.VerifyNone(t)
+	// A run stalling 2ms every 64 instructions over a long list runs for
+	// seconds — far past the 100ms reap bound. The reaper must cancel it,
+	// the request must fail with ErrReaped (class "reaped", not a retry
+	// burn), and the engine must remain serviceable.
+	e := New(Options{Workers: 1, ReapAfter: 100 * time.Millisecond,
+		DefaultDeadline: 30 * time.Second})
+	defer e.Shutdown(context.Background())
+	start := time.Now()
+	_, err := e.Run(context.Background(), Request{
+		Workload: "list-traversal", N: 4096, InjectStallUS: 2000})
+	if !errors.Is(err, ErrReaped) {
+		t.Fatalf("got %v, want ErrReaped", err)
+	}
+	if class := ErrorClass(err); class != "reaped" {
+		t.Fatalf("class = %q", class)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("reap took %s — the bound did not bite", d)
+	}
+	s := e.Metrics().Snapshot()
+	if s.Reaped != 1 {
+		t.Fatalf("reaped = %d, want 1", s.Reaped)
+	}
+	if s.Retries != 0 {
+		t.Fatalf("a reaped run burned %d retries", s.Retries)
+	}
+	// The engine still serves after a reap.
+	if _, err := e.Run(context.Background(), Request{Workload: "list-traversal", N: 64}); err != nil {
+		t.Fatalf("run after reap: %v", err)
+	}
+	if w := e.Window(false); w.Reaped60s != 1 {
+		t.Fatalf("window reaped = %d", w.Reaped60s)
+	}
+}
+
+func TestReaperLeavesFastRunsAlone(t *testing.T) {
+	e := New(Options{Workers: 2, ReapAfter: 5 * time.Second})
+	defer e.Shutdown(context.Background())
+	for i := 0; i < 8; i++ {
+		if _, err := e.Run(context.Background(), Request{Workload: "list-traversal", N: 64}); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+	if s := e.Metrics().Snapshot(); s.Reaped != 0 {
+		t.Fatalf("reaper killed %d healthy runs", s.Reaped)
+	}
+}

@@ -4,8 +4,10 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	rt "dswp/internal/runtime"
@@ -92,11 +94,20 @@ func classify(err error) (string, int) {
 		qf *rt.QueueFaultError
 		sl *rt.StepLimitError
 	)
+	var rtl *RequestTooLargeError
 	switch {
 	case errors.Is(err, ErrOverloaded):
 		return "shed", http.StatusTooManyRequests
+	case errors.Is(err, ErrResourceExhausted):
+		return "resource-exhausted", http.StatusTooManyRequests
+	case errors.As(err, &rtl):
+		return "request-too-large", http.StatusRequestEntityTooLarge
 	case errors.Is(err, ErrDraining):
 		return "draining", http.StatusServiceUnavailable
+	case errors.Is(err, ErrReaped):
+		// Check before the context classes: a reaped error wraps the
+		// cancellation it forced.
+		return "reaped", http.StatusGatewayTimeout
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return "deadline", http.StatusGatewayTimeout
 	case errors.As(err, &dl):
@@ -154,10 +165,26 @@ func (e *Engine) handleRun(w http.ResponseWriter, r *http.Request) {
 			errorBody{Error: "POST only", Class: "bad-request"})
 		return
 	}
+	if e.opts.MaxBodyBytes > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, e.opts.MaxBodyBytes)
+	}
+	if err := fpReadBody.Fail(); err != nil {
+		writeJSON(w, http.StatusInternalServerError,
+			errorBody{Error: "reading request body: " + err.Error(), Class: "internal"})
+		return
+	}
 	var req Request
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			atomic.AddInt64(&e.met.bodyTooLarge, 1)
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorBody{Error: fmt.Sprintf("request body exceeds %d bytes", mbe.Limit),
+					Class: "body-too-large"})
+			return
+		}
 		writeJSON(w, http.StatusBadRequest,
 			errorBody{Error: "bad request: " + err.Error(), Class: "bad-request"})
 		return
@@ -173,6 +200,12 @@ func (e *Engine) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, status, errorBodyFor(err))
 		return
+	}
+	if fpWriteResp.Fail() != nil {
+		// Abort the connection instead of writing the response — the
+		// stdlib recovers ErrAbortHandler quietly and resets the
+		// connection, the shape of a peer dying mid-response.
+		panic(http.ErrAbortHandler)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -210,6 +243,10 @@ type health struct {
 	Status   string `json:"status"`
 	InFlight int64  `json:"in_flight"`
 	Queued   int64  `json:"queued"`
+	// Degraded lists subsystems currently serving in a degraded mode
+	// ("checkpoint-store", "breaker:<workload>"); see DegradedSubsystems.
+	// The process stays live (200) — degradation is a warning, not death.
+	Degraded []string `json:"degraded,omitempty"`
 	// Recovery reports the startup crash-recovery pass, when one ran.
 	Recovery *RecoveryStats `json:"recovery,omitempty"`
 }
@@ -220,8 +257,11 @@ func (e *Engine) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	s := e.met.Snapshot()
 	h := health{Status: "ok", InFlight: s.InFlight, Queued: s.Queued,
-		Recovery: e.LastRecovery()}
+		Degraded: e.DegradedSubsystems(), Recovery: e.LastRecovery()}
 	code := http.StatusOK
+	if len(h.Degraded) > 0 {
+		h.Status = "degraded"
+	}
 	if e.Draining() {
 		h.Status = "draining"
 		code = http.StatusServiceUnavailable

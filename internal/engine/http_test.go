@@ -8,6 +8,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"dswp/internal/testutil"
 )
 
 func postRun(t *testing.T, srv *httptest.Server, body string) (*http.Response, []byte) {
@@ -28,6 +30,10 @@ func postRun(t *testing.T, srv *httptest.Server, body string) (*http.Response, [
 // request round-trips to a correct digest, error classes map to their
 // status codes, and /metrics, /healthz, /workloads respond.
 func TestHTTPRunEndpoint(t *testing.T) {
+	testutil.VerifyNone(t)
+	// Cleanups run in reverse order: idle keep-alive transport goroutines
+	// are torn down before the leak check fires.
+	t.Cleanup(http.DefaultClient.CloseIdleConnections)
 	e := New(Options{Workers: 2, QueueDepth: 16})
 	defer shutdown(t, e)
 	srv := httptest.NewServer(NewMux(e))
@@ -58,6 +64,8 @@ func TestHTTPRunEndpoint(t *testing.T) {
 	}
 	if resp, _ := http.Get(srv.URL + "/run"); resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("GET /run: %d", resp.StatusCode)
+	} else {
+		resp.Body.Close()
 	}
 
 	// Observability endpoints.

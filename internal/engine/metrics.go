@@ -3,6 +3,7 @@ package engine
 import (
 	"sync/atomic"
 
+	"dswp/internal/failpoint"
 	"dswp/internal/obs"
 )
 
@@ -46,6 +47,14 @@ type Metrics struct {
 	durableCommits int64 // checkpoints written to the durable store
 	storeErrors    int64 // durable commits that failed (run unaffected)
 	recovered      int64 // orphaned requests finished by Recover after a restart
+
+	// Resource governance (govern.go).
+	shedResource    int64 // runs shed because the in-flight byte budget was full
+	requestTooLarge int64 // runs refused for exceeding the per-request byte cap
+	inflightBytes   int64 // gauge: summed working-set estimate of executing runs
+	inflightBytesHW int64 // lifetime high-water of inflightBytes
+	reaped          int64 // hung runs force-canceled by the reaper
+	bodyTooLarge    int64 // /run bodies rejected at the HTTP layer (413)
 
 	// Latency histograms, log2 buckets over MICROSECONDS — 24 buckets
 	// put the ceiling at 2^23us ~ 8.4s, comfortably above any served run.
@@ -105,6 +114,18 @@ type EngineSnapshot struct {
 	StoreErrors    int64 `json:"store_errors"`
 	Recovered      int64 `json:"recovered"`
 
+	ShedResource    int64 `json:"shed_resource"`
+	RequestTooLarge int64 `json:"request_too_large"`
+	InFlightBytes   int64 `json:"inflight_bytes"`
+	InFlightBytesHW int64 `json:"inflight_bytes_hw"`
+	Reaped          int64 `json:"reaped"`
+	BodyTooLarge    int64 `json:"body_too_large"`
+
+	// Failpoints maps armed-and-triggered failpoint site names to their
+	// trigger counts; empty (omitted) in production, populated only while
+	// a chaos schedule is injecting faults.
+	Failpoints map[string]int64 `json:"failpoints,omitempty"`
+
 	LatencyTotalUS   HistSnapshot `json:"latency_total_us"`
 	LatencyQueueUS   HistSnapshot `json:"latency_queue_us"`
 	LatencyRunUS     HistSnapshot `json:"latency_run_us"`
@@ -163,6 +184,14 @@ func (m *Metrics) Snapshot() *EngineSnapshot {
 		DurableCommits: atomic.LoadInt64(&m.durableCommits),
 		StoreErrors:    atomic.LoadInt64(&m.storeErrors),
 		Recovered:      atomic.LoadInt64(&m.recovered),
+
+		ShedResource:    atomic.LoadInt64(&m.shedResource),
+		RequestTooLarge: atomic.LoadInt64(&m.requestTooLarge),
+		InFlightBytes:   atomic.LoadInt64(&m.inflightBytes),
+		InFlightBytesHW: atomic.LoadInt64(&m.inflightBytesHW),
+		Reaped:          atomic.LoadInt64(&m.reaped),
+		BodyTooLarge:    atomic.LoadInt64(&m.bodyTooLarge),
+		Failpoints:      failpoint.Triggers(),
 
 		LatencyTotalUS:   snapHist(&m.latTotal),
 		LatencyQueueUS:   snapHist(&m.latQueue),

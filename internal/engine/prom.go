@@ -68,6 +68,37 @@ func (e *Engine) PromText() string {
 	p.Counter("dswp_recovered_total",
 		"Orphaned requests finished by crash recovery.", one(s.Recovered)...)
 
+	p.Counter("dswp_shed_resource_total",
+		"Runs shed because the in-flight memory budget was full.", one(s.ShedResource)...)
+	p.Counter("dswp_request_too_large_total",
+		"Runs refused for exceeding the per-request memory cap.", one(s.RequestTooLarge)...)
+	p.Gauge("dswp_inflight_bytes",
+		"Summed working-set estimate of executing runs.", one(s.InFlightBytes)...)
+	p.Gauge("dswp_inflight_bytes_hw",
+		"Lifetime high-water of dswp_inflight_bytes.", one(s.InFlightBytesHW)...)
+	p.Counter("dswp_reaped_total",
+		"Hung runs force-canceled by the wall-clock reaper.", one(s.Reaped)...)
+	p.Counter("dswp_body_too_large_total",
+		"Request bodies rejected at the HTTP layer (413).", one(s.BodyTooLarge)...)
+
+	// Failpoint trigger counts by site: all zero (and absent) in
+	// production, nonzero only while a chaos schedule is armed.
+	if len(s.Failpoints) > 0 {
+		sites := make([]string, 0, len(s.Failpoints))
+		for site := range s.Failpoints {
+			sites = append(sites, site)
+		}
+		sort.Strings(sites)
+		samples := make([]telemetry.Sample, 0, len(sites))
+		for _, site := range sites {
+			samples = append(samples, telemetry.Sample{
+				Labels: []telemetry.Label{telemetry.L("site", site)},
+				Value:  float64(s.Failpoints[site])})
+		}
+		p.Counter("dswp_failpoint_triggers_total",
+			"Injected-fault triggers by failpoint site.", samples...)
+	}
+
 	p.Histogram("dswp_latency_us",
 		"Serving latency in microseconds by path segment (log2 buckets).",
 		telemetry.HistSample{Labels: []telemetry.Label{telemetry.L("path", "total")},

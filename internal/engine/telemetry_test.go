@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"dswp/internal/telemetry"
+	"dswp/internal/testutil"
 )
 
 func alwaysSample() telemetry.TraceOptions {
@@ -205,6 +206,7 @@ func TestSlowRequestKept(t *testing.T) {
 // TestTraceRingBoundedUnderLoad pins the memory cap end to end: far more
 // always-sampled requests than Capacity leave exactly Capacity retained.
 func TestTraceRingBoundedUnderLoad(t *testing.T) {
+	testutil.VerifyNone(t)
 	opts := alwaysSample()
 	opts.Capacity = 8
 	e := New(Options{Workers: 2, QueueDepth: 32, Telemetry: opts})

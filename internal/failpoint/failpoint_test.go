@@ -1,0 +1,203 @@
+package failpoint
+
+import (
+	"errors"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// Test-local sites. Registered once at package init like production sites.
+var (
+	tsBasic = New("failpoint/test/basic")
+	tsNth   = New("failpoint/test/nth")
+	tsProb  = New("failpoint/test/prob")
+	tsPanic = New("failpoint/test/panic")
+	tsSleep = New("failpoint/test/sleep")
+)
+
+func TestDisarmedReturnsNil(t *testing.T) {
+	Reset()
+	for i := 0; i < 100; i++ {
+		if err := tsBasic.Fail(); err != nil {
+			t.Fatalf("disarmed site injected: %v", err)
+		}
+	}
+	if tsBasic.Triggers() != 0 {
+		t.Fatalf("disarmed site counted triggers: %d", tsBasic.Triggers())
+	}
+}
+
+func TestErrorEveryHit(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Enable(tsBasic.Name(), "error(injected)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := tsBasic.Fail(); !errors.Is(err, ErrInjected) {
+			t.Fatalf("hit %d: got %v, want ErrInjected", i, err)
+		}
+	}
+	if got := tsBasic.Triggers(); got != 5 {
+		t.Fatalf("triggers = %d, want 5", got)
+	}
+	Disarm(tsBasic.Name())
+	if err := tsBasic.Fail(); err != nil {
+		t.Fatalf("after disarm: %v", err)
+	}
+}
+
+func TestErrnoMapping(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Enable(tsBasic.Name(), "error(ENOSPC):once"); err != nil {
+		t.Fatal(err)
+	}
+	err := tsBasic.Fail()
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("got %v, want ENOSPC", err)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("injected errno must still wrap ErrInjected: %v", err)
+	}
+	// once: the second hit passes.
+	if err := tsBasic.Fail(); err != nil {
+		t.Fatalf("one-shot fired twice: %v", err)
+	}
+}
+
+func TestNthAndEveryAndTimes(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Enable(tsNth.Name(), "error(x):nth(3)"); err != nil {
+		t.Fatal(err)
+	}
+	var fired []int
+	for i := 1; i <= 6; i++ {
+		if tsNth.Fail() != nil {
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 1 || fired[0] != 3 {
+		t.Fatalf("nth(3) fired at %v", fired)
+	}
+
+	Reset()
+	if err := Enable(tsNth.Name(), "error(x):every(2):times(2)"); err != nil {
+		t.Fatal(err)
+	}
+	fired = nil
+	for i := 1; i <= 10; i++ {
+		if tsNth.Fail() != nil {
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 2 || fired[0] != 2 || fired[1] != 4 {
+		t.Fatalf("every(2):times(2) fired at %v", fired)
+	}
+}
+
+func TestProbDeterministic(t *testing.T) {
+	Reset()
+	defer Reset()
+	run := func() []int {
+		Reset()
+		if err := Enable(tsProb.Name(), "error(x):prob(0.3,42)"); err != nil {
+			t.Fatal(err)
+		}
+		var fired []int
+		for i := 0; i < 200; i++ {
+			if tsProb.Fail() != nil {
+				fired = append(fired, i)
+			}
+		}
+		return fired
+	}
+	a, b := run(), run()
+	if len(a) == 0 || len(a) == 200 {
+		t.Fatalf("prob(0.3) fired %d/200 times", len(a))
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different schedules: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Enable(tsPanic.Name(), "panic(boom):once"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("panic action did not panic")
+		}
+	}()
+	_ = tsPanic.Fail()
+}
+
+func TestSleepAction(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Enable(tsSleep.Name(), "sleep(10ms):once"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := tsSleep.Fail(); err != nil {
+		t.Fatalf("sleep action returned error: %v", err)
+	}
+	if d := time.Since(start); d < 8*time.Millisecond {
+		t.Fatalf("sleep(10ms) returned after %v", d)
+	}
+}
+
+func TestArmUnknownSite(t *testing.T) {
+	if err := Enable("no/such/site", "error(x)"); err == nil {
+		t.Fatal("arming an unregistered site must error")
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate New did not panic")
+		}
+	}()
+	New(tsBasic.Name())
+}
+
+func TestTriggersMap(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Enable(tsBasic.Name(), "error(x):every(2)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		_ = tsBasic.Fail()
+	}
+	m := Triggers()
+	if m[tsBasic.Name()] != 2 {
+		t.Fatalf("Triggers() = %v, want %s=2", m, tsBasic.Name())
+	}
+	if _, ok := m[tsNth.Name()]; ok {
+		t.Fatalf("zero-trigger site leaked into map: %v", m)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"", "frobnicate(x)", "error(x):sometimes", "sleep(fast)",
+		"error(x):nth(0)", "error(x):prob(2,1)", "error(x):once(3)",
+		"error(x):nth(3", "error(x):prob(0.5,zebra)",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}

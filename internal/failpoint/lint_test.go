@@ -1,0 +1,115 @@
+package failpoint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestFailpointSiteHygiene is the vet-style registry check the CI gate
+// runs: it scans the whole source tree (not just the packages this test
+// binary links) and enforces
+//
+//  1. every `failpoint.New("...")` site name is declared exactly once,
+//  2. every name follows the `<package>/<component>/<operation>` scheme,
+//  3. every production site name appears in at least one _test.go file —
+//     an unexercised failpoint is dead weight that will bit-rot.
+//
+// Sites declared inside the failpoint package itself (test fixtures,
+// bench fixtures) are exempt from rule 3.
+func TestFailpointSiteHygiene(t *testing.T) {
+	root := repoRoot(t)
+	siteRe := regexp.MustCompile(`failpoint\.New\("([^"]+)"\)`)
+	// Inside this package sites are declared with a bare New call.
+	ownRe := regexp.MustCompile(`[^.\w]New\("([^"]+)"\)`)
+	nameRe := regexp.MustCompile(`^[a-z0-9-]+(/[a-z0-9-]+){1,3}$`)
+
+	declared := map[string][]string{} // name -> files declaring it
+	var testBlob strings.Builder      // all _test.go content, for reference checks
+
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			base := filepath.Base(path)
+			if base == ".git" || base == "related" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(root, path)
+		code := stripComments(string(src))
+		if strings.HasSuffix(path, "_test.go") {
+			testBlob.WriteString(code)
+		}
+		for _, m := range siteRe.FindAllStringSubmatch(code, -1) {
+			declared[m[1]] = append(declared[m[1]], rel)
+		}
+		if strings.Contains(rel, filepath.Join("internal", "failpoint")) {
+			for _, m := range ownRe.FindAllStringSubmatch(code, -1) {
+				declared[m[1]] = append(declared[m[1]], rel)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(declared) == 0 {
+		t.Fatal("no failpoint sites found — the scan is broken")
+	}
+
+	tests := testBlob.String()
+	for name, files := range declared {
+		if len(files) > 1 {
+			t.Errorf("site %q declared %d times: %v", name, len(files), files)
+		}
+		if !nameRe.MatchString(name) {
+			t.Errorf("site %q does not follow pkg/component/operation naming (%s)",
+				name, files[0])
+		}
+		ownFixture := strings.HasPrefix(name, "failpoint/")
+		if !ownFixture && !strings.Contains(tests, `"`+name+`"`) {
+			t.Errorf("site %q (%s) is referenced by no test — add coverage or remove it",
+				name, files[0])
+		}
+	}
+}
+
+// stripComments drops //-comment lines so documentation examples of
+// failpoint.New don't register as declarations or references.
+func stripComments(src string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(src, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "//") {
+			continue
+		}
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// repoRoot locates the module root from this file's path.
+func repoRoot(t *testing.T) string {
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller info")
+	}
+	root := filepath.Clean(filepath.Join(filepath.Dir(file), "..", ".."))
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("repo root not at %s: %v", root, err)
+	}
+	return root
+}

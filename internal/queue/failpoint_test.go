@@ -1,0 +1,53 @@
+package queue
+
+import (
+	"testing"
+
+	"dswp/internal/failpoint"
+)
+
+// TestFailpointParkDelay arms queue/ring/park with a sleep action and
+// drives both endpoints through the park slow path: the injected delay
+// stretches the sleep/wake handshake window but must never lose or
+// reorder a value.
+func TestFailpointParkDelay(t *testing.T) {
+	failpoint.Reset()
+	defer failpoint.Reset()
+	if err := failpoint.Enable("queue/ring/park", "sleep(2ms):every(1)"); err != nil {
+		t.Fatal(err)
+	}
+	q := New(KindRing, 1)
+	done := make(chan struct{})
+	defer close(done)
+
+	const n = 64
+	errs := make(chan error, 1)
+	go func() {
+		for i := int64(0); i < n; i++ {
+			if !q.Produce(i, done) {
+				errs <- errDone("producer stopped early")
+				return
+			}
+		}
+		errs <- nil
+	}()
+	for i := int64(0); i < n; i++ {
+		v, ok := q.Consume(done)
+		if !ok {
+			t.Fatal("consumer stopped early")
+		}
+		if v != i {
+			t.Fatalf("value %d out of order (want %d)", v, i)
+		}
+	}
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+	if failpoint.Triggers()["queue/ring/park"] == 0 {
+		t.Fatal("the park path never triggered — capacity 1 should force it")
+	}
+}
+
+type errDone string
+
+func (e errDone) Error() string { return string(e) }

@@ -3,7 +3,15 @@ package queue
 import (
 	"runtime"
 	"sync/atomic"
+
+	"dswp/internal/failpoint"
 )
+
+// queue/ring/park perturbs timing on the park slow path — arm it with a
+// sleep action to stretch the sleep/wake handshake window a chaos soak
+// wants to stress. It sits past the spin budget, never on the fast path,
+// and any error action is discarded: a queue cannot "fail", only dally.
+var fpPark = failpoint.New("queue/ring/park")
 
 // ring is a lock-free single-producer/single-consumer bounded FIFO, the
 // software analogue of one synchronization-array cell. Indices are
@@ -160,6 +168,7 @@ func (q *ring) Produce(v int64, done <-chan struct{}) bool {
 			runtime.Gosched()
 		}
 	}
+	_ = fpPark.Fail() // sleep-only timing perturbation
 	for {
 		select { // drain a stale token so the park below cannot fire early
 		case <-q.prodWake:
@@ -188,6 +197,7 @@ func (q *ring) Consume(done <-chan struct{}) (int64, bool) {
 			runtime.Gosched()
 		}
 	}
+	_ = fpPark.Fail() // sleep-only timing perturbation
 	for {
 		select {
 		case <-q.consWake:

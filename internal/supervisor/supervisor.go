@@ -28,11 +28,22 @@ import (
 	"time"
 
 	"dswp/internal/ckptstore"
+	"dswp/internal/failpoint"
 	"dswp/internal/interp"
 	"dswp/internal/ir"
 	"dswp/internal/obs"
 	"dswp/internal/queue"
 	rt "dswp/internal/runtime"
+)
+
+// Failpoint sites on the supervisor's durability path. A triggered
+// supervisor/ckpt/commit surfaces exactly like a store failure — the
+// commit is counted in Report.StoreErrors and the run is unaffected. A
+// triggered supervisor/resume/start fails the sequential resume before
+// it executes, exercising the engine-level retry ladder above.
+var (
+	fpCommit   = failpoint.New("supervisor/ckpt/commit")
+	fpResumeFP = failpoint.New("supervisor/resume/start")
 )
 
 // Pipeline is what the supervisor executes: the DSWP-transformed stage
@@ -193,16 +204,22 @@ func Run(ctx context.Context, p Pipeline, pol Policy) (*interp.Result, *Report, 
 					commitStart := time.Now()
 					e, err := ckptstore.NewEntry(pol.StoreKey, pol.StoreMeta, cp, base)
 					if err == nil {
+						err = fpCommit.Fail()
+					}
+					if err == nil {
 						err = pol.Store.Put(e)
 					}
 					if err == nil {
 						rep.DurableCommits++
 						if pol.Recorder != nil {
-							// Every other thread is parked at the epoch
-							// barrier, so stamping the commit on thread 0
-							// cannot race that thread's own emissions.
+							// The stamp comes from whichever thread drove
+							// this epoch's commit — during a faulted
+							// teardown other threads may already be
+							// emitting their exit events, so the recorder
+							// routes commit stamps off the per-thread
+							// rings (Thread is ignored for this kind).
 							pol.Recorder.Record(obs.Event{Kind: obs.KDurableCommit,
-								Thread: 0, Queue: -1, When: int64(time.Since(start)),
+								Thread: -1, Queue: -1, When: int64(time.Since(start)),
 								Arg: time.Since(commitStart).Microseconds()})
 						}
 					} else {
@@ -283,6 +300,9 @@ func Run(ctx context.Context, p Pipeline, pol Policy) (*interp.Result, *Report, 
 	if pol.Recorder != nil {
 		pol.Recorder.Record(obs.Event{Kind: obs.KResume, Thread: 0, Queue: -1,
 			When: int64(time.Since(start)), Arg: rep.ResumeIter})
+	}
+	if ferr := fpResumeFP.Fail(); ferr != nil {
+		return nil, rep, ferr
 	}
 	rres, rerr := interp.Run(p.Original, iopts)
 	if rerr != nil {

@@ -14,6 +14,7 @@ import (
 	"dswp/internal/profile"
 	rt "dswp/internal/runtime"
 	"dswp/internal/supervisor"
+	"dswp/internal/testutil"
 	"dswp/internal/validate"
 	"dswp/internal/workloads"
 )
@@ -49,6 +50,7 @@ func prepare(t *testing.T, p *workloads.Program, threads int) (supervisor.Pipeli
 // table: for every built-in workload and every induced failure mode, the
 // supervised run must land on the bit-identical sequential state.
 func TestCheckpointResumeEquivalenceAllWorkloads(t *testing.T) {
+	testutil.VerifyNone(t)
 	retry := rt.RetryPolicy{MaxAttempts: 4,
 		Backoff: 5 * time.Microsecond, MaxBackoff: 50 * time.Microsecond}
 	modes := []struct {
@@ -213,6 +215,7 @@ func TestDeadlinePropagates(t *testing.T) {
 }
 
 func TestCancellationNoResume(t *testing.T) {
+	testutil.VerifyNone(t)
 	p := workloads.ListTraversal(2000)
 	pipe, base := prepare(t, p, 2)
 	if base == nil {

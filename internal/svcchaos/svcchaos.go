@@ -1,0 +1,538 @@
+// Package svcchaos is the service-level chaos harness: it drives a live
+// in-process engine with concurrent mixed traffic while seeded failpoint
+// schedules inject storage, pool, compile, retry, and HTTP faults, and
+// checks the serving contract the PR pins:
+//
+//   - every request ends in a correct result (digest bit-identical to the
+//     sequential reference) or a typed error — never a hang, never a
+//     wrong answer, and "internal" only when the error is a deliberate
+//     injection;
+//   - the checkpoint store converges to empty once traffic drains;
+//   - no goroutines leak across a scenario;
+//   - /healthz reflects degraded subsystems while the process stays live.
+//
+// Everything is derived from one seed: engine shape, store choice,
+// failpoint schedule, request mix, and client interleaving nudges all
+// come from sub-seeded PRNGs, so a CI failure replays from its seed.
+// The harness is a library so both `go test ./internal/svcchaos` and
+// cmd/dswpchaos (make svc-chaos) share one implementation.
+package svcchaos
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"dswp/internal/ckptstore"
+	"dswp/internal/engine"
+	"dswp/internal/failpoint"
+	"dswp/internal/testutil"
+)
+
+// Config parameterizes a chaos run. Zero values select the defaults the
+// pinned CI job uses.
+type Config struct {
+	Seed      int64 // master seed (default 1)
+	Scenarios int   // engine lifetimes to run (default 8)
+	Requests  int   // requests per scenario (default 32)
+	Clients   int   // concurrent clients per scenario (default 4)
+	// Logf receives per-scenario progress lines; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) defaults() {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Scenarios <= 0 {
+		c.Scenarios = 8
+	}
+	if c.Requests <= 0 {
+		c.Requests = 32
+	}
+	if c.Clients <= 0 {
+		c.Clients = 4
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// Result aggregates a run. Violations is the contract breach list — empty
+// means the serving stack survived the schedule.
+type Result struct {
+	Scenarios  int
+	Requests   int
+	OK         int // correct digest
+	Typed      int // typed error (shed, deadline, reaped, ...)
+	Injected   int // error traceable to an armed failpoint
+	ByClass    map[string]int
+	Triggered  map[string]int64 // failpoint hits, summed across scenarios
+	Violations []string
+}
+
+// Failed reports whether any invariant broke.
+func (r *Result) Failed() bool { return len(r.Violations) > 0 }
+
+// Summary renders a one-screen report.
+func (r *Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "svcchaos: %d scenarios, %d requests: %d ok, %d typed errors, %d injected\n",
+		r.Scenarios, r.Requests, r.OK, r.Typed, r.Injected)
+	classes := make([]string, 0, len(r.ByClass))
+	for c := range r.ByClass {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		fmt.Fprintf(&b, "  class %-18s %d\n", c, r.ByClass[c])
+	}
+	sites := make([]string, 0, len(r.Triggered))
+	for s := range r.Triggered {
+		sites = append(sites, s)
+	}
+	sort.Strings(sites)
+	for _, s := range sites {
+		fmt.Fprintf(&b, "  failpoint %-28s %d\n", s, r.Triggered[s])
+	}
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "  VIOLATION: %s\n", v)
+	}
+	return b.String()
+}
+
+// shape is one entry in the request menu. Baselines are computed with
+// Mode "sequential" — the untransformed loop on the interpreter — so the
+// digest check is a genuine pipelined-vs-sequential diff, not an
+// engine-vs-itself tautology.
+type shape struct {
+	name string
+	req  engine.Request
+}
+
+func menu() []shape {
+	return []shape{
+		{"list", engine.Request{Workload: "list-traversal", N: 200}},
+		{"list-packed", engine.Request{Workload: "list-traversal", N: 200, PackFlows: true}},
+		{"list-concurrent", engine.Request{Workload: "list-traversal", N: 160, Mode: "concurrent"}},
+		{"lol", engine.Request{Workload: "list-of-lists", Outer: 24, Inner: 4}},
+		{"wc", engine.Request{Workload: "wc"}},
+		{"gzip-seq", engine.Request{Workload: "164.gzip"}}, // single SCC: served sequentially
+	}
+}
+
+// armChoice is one entry in the failpoint schedule menu. Spec is a
+// fmt template taking one %d seed so probabilistic triggers are
+// scenario-deterministic. httpOnly sites abort connections, which only
+// an HTTP client observes sanely.
+type armChoice struct {
+	site     string
+	spec     string
+	httpOnly bool
+}
+
+func armMenu() []armChoice {
+	return []armChoice{
+		{site: "ckptstore/file/write", spec: "error(ENOSPC):prob(0.3,%d)"},
+		{site: "ckptstore/file/sync", spec: "error(EIO):prob(0.3,%d)"},
+		{site: "ckptstore/file/rename", spec: "error(EIO):prob(0.2,%d)"},
+		{site: "supervisor/ckpt/commit", spec: "error(EIO):prob(0.4,%d)"},
+		{site: "engine/pool/acquire", spec: "error(x):prob(0.5,%d)"},
+		{site: "engine/cache/compile", spec: "error(x):nth(3)"},
+		{site: "engine/retry/resume", spec: "error(x):prob(0.5,%d)"},
+		{site: "queue/ring/park", spec: "sleep(200us):prob(0.05,%d)"},
+		{site: "engine/http/write-response", spec: "error(x):prob(0.2,%d)", httpOnly: true},
+	}
+}
+
+// Run executes the full chaos schedule and returns the aggregate result.
+// It never returns a non-nil error for contract violations — those land
+// in Result.Violations — only for harness-level setup failures.
+func Run(cfg Config) (*Result, error) {
+	cfg.defaults()
+	res := &Result{
+		Scenarios: cfg.Scenarios,
+		ByClass:   make(map[string]int),
+		Triggered: make(map[string]int64),
+	}
+
+	// Sequential baselines, computed before any failpoint arms.
+	failpoint.Reset()
+	baselines, err := sequentialBaselines()
+	if err != nil {
+		return nil, fmt.Errorf("computing sequential baselines: %w", err)
+	}
+
+	master := rand.New(rand.NewSource(cfg.Seed))
+	for i := 0; i < cfg.Scenarios; i++ {
+		scen := rand.New(rand.NewSource(master.Int63()))
+		runScenario(i, scen, cfg, baselines, res)
+	}
+	failpoint.Reset()
+	return res, nil
+}
+
+// sequentialBaselines runs every menu shape in Mode "sequential" on a
+// clean engine and records the reference digest.
+func sequentialBaselines() (map[string]string, error) {
+	e := engine.New(engine.Options{Workers: 1})
+	defer e.Shutdown(context.Background())
+	out := make(map[string]string)
+	for _, s := range menu() {
+		req := s.req
+		req.Mode = "sequential"
+		resp, err := e.Run(context.Background(), req)
+		if err != nil {
+			return nil, fmt.Errorf("baseline %s: %w", s.name, err)
+		}
+		out[s.name] = resp.Digest
+	}
+	return out, nil
+}
+
+func runScenario(idx int, rng *rand.Rand, cfg Config, baselines map[string]string, res *Result) {
+	failpoint.Reset()
+	defer failpoint.Reset()
+	gbase := testutil.Snapshot()
+
+	violate := func(format string, args ...any) {
+		res.Violations = append(res.Violations,
+			fmt.Sprintf("scenario %d: %s", idx, fmt.Sprintf(format, args...)))
+	}
+
+	// Store: alternate a real FileStore (fault-injectable file IO) with
+	// the in-memory store.
+	var store ckptstore.Store
+	var fileStore *ckptstore.FileStore
+	if rng.Intn(2) == 0 {
+		dir, err := os.MkdirTemp("", "svcchaos-*")
+		if err != nil {
+			violate("mkdtemp: %v", err)
+			return
+		}
+		defer os.RemoveAll(dir)
+		fs, err := ckptstore.OpenFile(dir)
+		if err != nil {
+			violate("open file store: %v", err)
+			return
+		}
+		fs.Logf = func(string, ...any) {} // degradation is expected here
+		store, fileStore = fs, fs
+	} else {
+		store = ckptstore.NewMem()
+	}
+
+	opts := engine.Options{
+		Workers:         1 + rng.Intn(3),
+		QueueDepth:      4 + rng.Intn(12),
+		Retries:         2,
+		CheckpointEvery: 16,
+		Store:           store,
+		ReapAfter:       2 * time.Second, // hung-run backstop, far above normal latency
+	}
+	if rng.Intn(4) == 0 {
+		// A deliberately tiny memory budget: some requests must shed with
+		// the typed ErrResourceExhausted instead of failing strangely.
+		opts.MaxInFlightBytes = 192 << 10
+	}
+	overHTTP := idx%3 == 2
+
+	// Arm 0–3 failpoints from the menu, seeded.
+	choices := armMenu()
+	rng.Shuffle(len(choices), func(a, b int) { choices[a], choices[b] = choices[b], choices[a] })
+	armTarget := rng.Intn(4)
+	arms := 0
+	connAbortArmed := false
+	for _, c := range choices {
+		if arms >= armTarget {
+			break
+		}
+		if c.httpOnly && !overHTTP {
+			continue
+		}
+		spec := c.spec
+		if strings.Contains(spec, "%d") {
+			spec = fmt.Sprintf(spec, rng.Int63())
+		}
+		if err := failpoint.Enable(c.site, spec); err != nil {
+			violate("arming %s: %v", c.site, err)
+			return
+		}
+		if c.site == "engine/http/write-response" {
+			connAbortArmed = true
+		}
+		arms++
+	}
+
+	e := engine.New(opts)
+	shapes := menu()
+
+	var srv *httptest.Server
+	var client *http.Client
+	if overHTTP {
+		srv = httptest.NewServer(engine.NewMux(e))
+		client = &http.Client{Transport: &http.Transport{}}
+	}
+
+	// Pre-draw every client's PRNG before launching so the schedule is a
+	// pure function of the scenario seed, not of goroutine interleaving.
+	perClient := (cfg.Requests + cfg.Clients - 1) / cfg.Clients
+	clientRNGs := make([]*rand.Rand, cfg.Clients)
+	for c := range clientRNGs {
+		clientRNGs[c] = rand.New(rand.NewSource(rng.Int63()))
+	}
+
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(crng *rand.Rand) {
+			defer wg.Done()
+			for r := 0; r < perClient; r++ {
+				s := shapes[crng.Intn(len(shapes))]
+				req := s.req
+				cancelEarly := false
+				switch crng.Intn(8) {
+				case 0: // stage panic: retries must still land the digest
+					req.InjectPanic = 50 + crng.Int63n(100)
+				case 1: // sub-millisecond deadline: typed deadline error
+					req.DeadlineMillis = 1
+				case 2: // caller walks away mid-request
+					cancelEarly = true
+				}
+				outcome, detail := issue(e, srv, client, req, cancelEarly, connAbortArmed)
+				mu.Lock()
+				res.Requests++
+				switch outcome {
+				case outcomeOK:
+					if detail != baselines[s.name] {
+						res.Violations = append(res.Violations, fmt.Sprintf(
+							"scenario %d: WRONG ANSWER %s: digest %s, sequential %s",
+							idx, s.name, detail, baselines[s.name]))
+					} else {
+						res.OK++
+					}
+				case outcomeTyped:
+					res.Typed++
+					res.ByClass[detail]++
+				case outcomeInjected:
+					res.Injected++
+					res.ByClass[detail]++
+				case outcomeViolation:
+					res.Violations = append(res.Violations,
+						fmt.Sprintf("scenario %d: %s: %s", idx, s.name, detail))
+				}
+				mu.Unlock()
+			}
+		}(clientRNGs[c])
+	}
+	wg.Wait()
+
+	// /healthz must reflect a degraded checkpoint store while staying
+	// live — checked before drain, while the degradation is current.
+	if fileStore != nil && fileStore.DurabilityDegraded() {
+		found := false
+		for _, d := range e.DegradedSubsystems() {
+			if d == "checkpoint-store" {
+				found = true
+			}
+		}
+		if !found {
+			violate("store degraded but missing from DegradedSubsystems: %v",
+				e.DegradedSubsystems())
+		}
+		if overHTTP {
+			if err := checkHealthzDegraded(client, srv.URL); err != nil {
+				violate("healthz: %v", err)
+			}
+		}
+	}
+
+	// Drain. A shutdown that cannot finish inside the grace window means
+	// a run is hung — exactly what the harness exists to catch.
+	sctx, scancel := context.WithTimeout(context.Background(), 30*time.Second)
+	if err := e.Shutdown(sctx); err != nil {
+		violate("shutdown did not drain (hung run?): %v", err)
+	}
+	scancel()
+	if srv != nil {
+		client.CloseIdleConnections()
+		srv.Close()
+	}
+
+	// Collect trigger counts before disarming — Reset clears them.
+	for site, n := range failpoint.Triggers() {
+		res.Triggered[site] += n
+	}
+	failpoint.Reset()
+
+	// The checkpoint store converges to empty: every supervised run
+	// deletes its entry on exit, success or failure.
+	if fileStore != nil {
+		// Disarmed above, so the sweep itself is not faulted.
+		if keys, err := fileStore.Keys(); err != nil {
+			violate("post-drain Keys: %v", err)
+		} else if len(keys) > 0 {
+			violate("checkpoint store not empty after drain: %v", keys)
+		}
+	}
+
+	if leaked := testutil.Leaked(gbase, 5*time.Second); len(leaked) > 0 {
+		violate("%d goroutines leaked; first:\n%s", len(leaked), leaked[0].Stack)
+	}
+	cfg.Logf("scenario %d: %s store, workers=%d, http=%v, %d failpoints armed",
+		idx, storeKind(fileStore), opts.Workers, overHTTP, arms)
+}
+
+func storeKind(fs *ckptstore.FileStore) string {
+	if fs != nil {
+		return "file"
+	}
+	return "mem"
+}
+
+type outcomeKind int
+
+const (
+	outcomeOK outcomeKind = iota
+	outcomeTyped
+	outcomeInjected
+	outcomeViolation
+)
+
+// watchdog bounds any single request: chaos schedules never legitimately
+// run this long, so hitting it means the stack hung.
+const watchdog = 25 * time.Second
+
+// issue sends one request (direct or over HTTP) and classifies the
+// outcome against the serving contract. detail is the digest for
+// outcomeOK, the error class for typed/injected, the description for a
+// violation.
+func issue(e *engine.Engine, srv *httptest.Server, client *http.Client,
+	req engine.Request, cancelEarly, connAbortArmed bool) (outcomeKind, string) {
+	ctx, cancel := context.WithTimeout(context.Background(), watchdog)
+	defer cancel()
+	if cancelEarly {
+		cctx, ccancel := context.WithCancel(ctx)
+		ctx = cctx
+		go func() {
+			time.Sleep(time.Duration(50+req.N) * time.Microsecond)
+			ccancel()
+		}()
+		defer ccancel()
+	}
+	start := time.Now()
+	if srv == nil {
+		resp, err := e.Run(ctx, req)
+		if err == nil {
+			return outcomeOK, resp.Digest
+		}
+		return classifyErr(err, time.Since(start))
+	}
+	return issueHTTP(ctx, srv, client, req, connAbortArmed, start)
+}
+
+func classifyErr(err error, elapsed time.Duration) (outcomeKind, string) {
+	class := engine.ErrorClass(err)
+	if class == "deadline" && elapsed >= watchdog {
+		return outcomeViolation, fmt.Sprintf("request hung for %v: %v", elapsed, err)
+	}
+	if errors.Is(err, failpoint.ErrInjected) {
+		return outcomeInjected, class
+	}
+	if class == "internal" {
+		return outcomeViolation, fmt.Sprintf("untyped error: %v", err)
+	}
+	return outcomeTyped, class
+}
+
+func issueHTTP(ctx context.Context, srv *httptest.Server, client *http.Client,
+	req engine.Request, connAbortArmed bool, start time.Time) (outcomeKind, string) {
+	body, _ := json.Marshal(req)
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		srv.URL+"/run", strings.NewReader(string(body)))
+	if err != nil {
+		return outcomeViolation, fmt.Sprintf("building request: %v", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := client.Do(hreq)
+	if err != nil {
+		if ctx.Err() != nil && time.Since(start) < watchdog {
+			return outcomeTyped, "deadline" // early cancel surfaced at transport
+		}
+		if time.Since(start) >= watchdog {
+			return outcomeViolation, fmt.Sprintf("HTTP request hung: %v", err)
+		}
+		if connAbortArmed {
+			return outcomeInjected, "conn-abort"
+		}
+		return outcomeViolation, fmt.Sprintf("transport error without an armed abort: %v", err)
+	}
+	defer hresp.Body.Close()
+	raw, err := io.ReadAll(hresp.Body)
+	if err != nil {
+		if connAbortArmed || ctx.Err() != nil {
+			return outcomeInjected, "conn-abort"
+		}
+		return outcomeViolation, fmt.Sprintf("truncated response without an armed abort: %v", err)
+	}
+	if hresp.StatusCode == http.StatusOK {
+		var rr engine.Response
+		if err := json.Unmarshal(raw, &rr); err != nil {
+			return outcomeViolation, fmt.Sprintf("unparseable 200 body: %v", err)
+		}
+		return outcomeOK, rr.Digest
+	}
+	var eb struct {
+		Error string `json:"error"`
+		Class string `json:"class"`
+	}
+	if err := json.Unmarshal(raw, &eb); err != nil || eb.Class == "" {
+		return outcomeViolation, fmt.Sprintf("status %d with unparseable error body: %s",
+			hresp.StatusCode, raw)
+	}
+	if strings.Contains(eb.Error, failpoint.ErrInjected.Error()) {
+		return outcomeInjected, eb.Class
+	}
+	if eb.Class == "internal" {
+		return outcomeViolation, fmt.Sprintf("untyped error over HTTP: %s", eb.Error)
+	}
+	return outcomeTyped, eb.Class
+}
+
+func checkHealthzDegraded(client *http.Client, base string) error {
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("degraded process must stay live, got %d", resp.StatusCode)
+	}
+	var h struct {
+		Status   string   `json:"status"`
+		Degraded []string `json:"degraded"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return err
+	}
+	if h.Status != "degraded" {
+		return fmt.Errorf("status %q, want degraded", h.Status)
+	}
+	for _, d := range h.Degraded {
+		if d == "checkpoint-store" {
+			return nil
+		}
+	}
+	return fmt.Errorf("checkpoint-store missing from degraded list %v", h.Degraded)
+}

@@ -288,6 +288,11 @@ func (t *Tracer) recycle(b *runBridge) {
 type runBridge struct {
 	rings   []bridgeRing
 	dropped atomic.Int64
+	// Durable-commit stamps arrive from whichever thread drove the epoch
+	// commit — possibly concurrent with another thread's own emissions
+	// during teardown — so they cannot share a per-thread ring.
+	mu      sync.Mutex
+	commits []obs.Event
 }
 
 type bridgeRing struct {
@@ -306,6 +311,9 @@ func (b *runBridge) reset(threads, capPerThread int) {
 		}
 		b.rings[i].n = 0
 	}
+	b.mu.Lock()
+	b.commits = b.commits[:0]
+	b.mu.Unlock()
 	b.dropped.Store(0)
 }
 
@@ -320,6 +328,14 @@ func (b *runBridge) CoarseOnly() bool { return true }
 // store, one increment — the cost every enabled-but-unsampled pipelined
 // request pays per event.
 func (b *runBridge) Record(e obs.Event) {
+	if e.Kind == obs.KDurableCommit {
+		// Cross-thread emitter (see the commits field): never the hot
+		// path — one commit per checkpoint epoch, not per value.
+		b.mu.Lock()
+		b.commits = append(b.commits, e)
+		b.mu.Unlock()
+		return
+	}
 	ti := int(e.Thread)
 	if ti < 0 || ti >= len(b.rings) {
 		b.dropped.Add(1)
@@ -391,10 +407,6 @@ func (b *runBridge) materialize(tr *RequestTrace) {
 				c := st.child("checkpoint", ts)
 				c.EndNS = ts
 				c.Attr("iteration", e.Arg)
-			case obs.KDurableCommit:
-				c := st.child("durable-commit", ts)
-				c.EndNS = ts
-				c.Attr("micros", e.Arg)
 			case obs.KRetry:
 				c := st.child(fmt.Sprintf("retry q%d", e.Queue), ts)
 				c.EndNS = ts
@@ -419,6 +431,16 @@ func (b *runBridge) materialize(tr *RequestTrace) {
 		if lost := r.n - uint64(len(evs)); r.n > uint64(len(b.rings[ti].buf)) {
 			st.Attr("events_lost", int64(lost))
 		}
+	}
+	// Durable commits are run-level markers: they describe the request's
+	// durability timeline, not any one stage's execution.
+	b.mu.Lock()
+	commits := b.commits
+	b.mu.Unlock()
+	for _, e := range commits {
+		c := run.child("durable-commit", base+e.When)
+		c.EndNS = base + e.When
+		c.Attr("micros", e.Arg)
 	}
 	if d := b.dropped.Load(); d > 0 {
 		run.Attr("bridge_dropped", d)

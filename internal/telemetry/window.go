@@ -32,6 +32,8 @@ type slot struct {
 	lat       obs.Hist // end-to-end latency, microseconds (successes)
 	occHW     int64    // admission-queue occupancy high-water
 	breakerTr int64    // breaker state transitions observed
+	bytesHW   int64    // in-flight working-set bytes high-water
+	reaped    int64    // hung runs force-canceled by the reaper
 }
 
 // NewWindow builds a window retaining seconds slots (0 =
@@ -51,6 +53,7 @@ func (w *Window) slotFor() *slot {
 	if s.sec != sec {
 		s.sec = sec
 		s.requests, s.errors, s.occHW, s.breakerTr = 0, 0, 0, 0
+		s.bytesHW, s.reaped = 0, 0
 		for k := range s.byClass {
 			delete(s.byClass, k)
 		}
@@ -97,6 +100,30 @@ func (w *Window) ObserveBreaker() {
 	w.mu.Unlock()
 }
 
+// ObserveBytes records the in-flight working-set byte total after an
+// admission; slots keep the per-second high-water.
+func (w *Window) ObserveBytes(inflight int64) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	s := w.slotFor()
+	if inflight > s.bytesHW {
+		s.bytesHW = inflight
+	}
+	w.mu.Unlock()
+}
+
+// ObserveReap records one hung run force-canceled by the reaper.
+func (w *Window) ObserveReap() {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	w.slotFor().reaped++
+	w.mu.Unlock()
+}
+
 // histBucketOf mirrors obs's internal bucketing (bit-length) without
 // atomics — window slots are mutex-guarded already.
 func histBucketOf(v int64) int {
@@ -123,6 +150,8 @@ type SecondPoint struct {
 	P99US     int64            `json:"p99_us"`
 	OccHW     int64            `json:"occupancy_hw"`
 	BreakerTr int64            `json:"breaker_transitions,omitempty"`
+	BytesHW   int64            `json:"inflight_bytes_hw,omitempty"`
+	Reaped    int64            `json:"reaped,omitempty"`
 }
 
 // WindowSnapshot is the /debug/vars shape: headline rates over standard
@@ -146,6 +175,10 @@ type WindowSnapshot struct {
 	OccupancyHW60s int64 `json:"occupancy_hw_60s"`
 	// BreakerTransitions60s counts breaker state changes in 60s.
 	BreakerTransitions60s int64 `json:"breaker_transitions_60s"`
+	// InFlightBytesHW60s is the max in-flight working-set byte estimate
+	// seen in 60s; Reaped60s counts reaper kills in the same horizon.
+	InFlightBytesHW60s int64 `json:"inflight_bytes_hw_60s,omitempty"`
+	Reaped60s          int64 `json:"reaped_60s,omitempty"`
 	// Series is the full retained per-second history, oldest first,
 	// empty seconds omitted.
 	Series []SecondPoint `json:"series,omitempty"`
@@ -194,10 +227,15 @@ func (w *Window) Snapshot(includeSeries bool) WindowSnapshot {
 				snap.OccupancyHW60s = s.occHW
 			}
 			snap.BreakerTransitions60s += s.breakerTr
+			if s.bytesHW > snap.InFlightBytesHW60s {
+				snap.InFlightBytesHW60s = s.bytesHW
+			}
+			snap.Reaped60s += s.reaped
 		}
 		if includeSeries {
 			p := SecondPoint{Unix: s.sec, Requests: s.requests, Errors: s.errors,
 				OccHW: s.occHW, BreakerTr: s.breakerTr,
+				BytesHW: s.bytesHW, Reaped: s.reaped,
 				P50US: s.lat.Quantile(0.50), P99US: s.lat.Quantile(0.99)}
 			if len(s.byClass) > 0 {
 				p.ByClass = make(map[string]int64, len(s.byClass))

@@ -1,0 +1,99 @@
+package testutil
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeTB captures Errorf output and runs cleanups on demand, so the
+// checker's failure path can be exercised without failing this test.
+type fakeTB struct {
+	errors   []string
+	cleanups []func()
+}
+
+func (f *fakeTB) Helper() {}
+func (f *fakeTB) Errorf(format string, args ...any) {
+	f.errors = append(f.errors, fmt.Sprintf(format, args...))
+}
+func (f *fakeTB) Cleanup(fn func()) { f.cleanups = append(f.cleanups, fn) }
+func (f *fakeTB) finish() {
+	for i := len(f.cleanups) - 1; i >= 0; i-- {
+		f.cleanups[i]()
+	}
+}
+
+func TestVerifyNoneClean(t *testing.T) {
+	ft := &fakeTB{}
+	VerifyNone(ft)
+	// A goroutine that starts and exits before the cleanup is not a leak.
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+	ft.finish()
+	if len(ft.errors) != 0 {
+		t.Fatalf("clean run reported leaks: %v", ft.errors)
+	}
+}
+
+func TestVerifyNoneCatchesLeak(t *testing.T) {
+	ft := &fakeTB{}
+	VerifyNone(ft)
+	stop := make(chan struct{})
+	go func() { // deliberately still parked at cleanup time
+		<-stop
+	}()
+	// Shrink the settle window for the test: call Leaked directly through
+	// a second checker to keep the wait short, then let the registered
+	// cleanup confirm the same detection.
+	start := time.Now()
+	ft.finish()
+	if len(ft.errors) == 0 {
+		t.Fatal("parked goroutine not reported as a leak")
+	}
+	if !strings.Contains(ft.errors[0], "TestVerifyNoneCatchesLeak") {
+		t.Fatalf("leak report does not identify the creator:\n%s", ft.errors[0])
+	}
+	if elapsed := time.Since(start); elapsed < 2*time.Second {
+		t.Fatalf("settle window not honoured before reporting (%v)", elapsed)
+	}
+	close(stop)
+	// After release the same baseline diffs clean once the goroutine exits.
+	if leaked := Leaked(Snapshot(), time.Second); len(leaked) != 0 {
+		t.Fatalf("post-release snapshot still leaks: %d", len(leaked))
+	}
+}
+
+func TestLeakedSettlesOnLateExit(t *testing.T) {
+	base := Snapshot()
+	go func() { // exits inside the settle window — must not be reported
+		time.Sleep(150 * time.Millisecond)
+	}()
+	if leaked := Leaked(base, 2*time.Second); len(leaked) != 0 {
+		t.Fatalf("goroutine that exited during settle reported as leak: %v", leaked)
+	}
+}
+
+func TestSnapshotParsesSelf(t *testing.T) {
+	snap := Snapshot()
+	if len(snap) == 0 {
+		t.Fatal("snapshot saw no goroutines")
+	}
+	found := false
+	for _, g := range snap {
+		if g.ID == "" {
+			t.Fatalf("goroutine with empty id: %+v", g)
+		}
+		if strings.Contains(g.Stack, "TestSnapshotParsesSelf") {
+			found = true
+			if g.State == "" {
+				t.Fatalf("own goroutine has no state: %+v", g)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("snapshot does not include the calling goroutine")
+	}
+}
