@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race validate bench bench-json bench-json-pr5 serve load-smoke server-smoke crash-smoke metrics-smoke svc-chaos clean
+.PHONY: check vet build test race validate bench bench-json bench-json-pr5 bench-json-pr9 serve load-smoke server-smoke crash-smoke metrics-smoke svc-chaos clean
 
 # The gate for every change: vet, build, and the full test suite under
 # the race detector (channels carry every cross-thread dependence, so
@@ -30,13 +30,21 @@ bench:
 
 # Full measurement run: queue microbenchmarks, end-to-end pipeline
 # timings, the false-sharing probe (BENCH_PR4.json), the
-# checkpoint-commit overhead sweep (BENCH_PR6.json), and the
-# request-tracing overhead sweep (BENCH_PR7.json); formats documented
-# in EXPERIMENTS.md.
+# checkpoint-commit overhead sweep (BENCH_PR6.json), the
+# request-tracing overhead sweep (BENCH_PR7.json), and the multi-core
+# GOMAXPROCS sweep (BENCH_PR9.json); formats documented in
+# EXPERIMENTS.md. The PR9 scaling headlines need >= 4 real cores to
+# mean anything — the file records num_cpu for the reader.
 bench-json:
 	$(GO) run ./cmd/dswpbench -benchjson -out BENCH_PR4.json
 	$(GO) run ./cmd/dswpbench -ckptjson -ckptout BENCH_PR6.json
 	$(GO) run ./cmd/dswpbench -obsjson -obsout BENCH_PR7.json
+	$(GO) run ./cmd/dswpbench -mcjson -mcout BENCH_PR9.json
+
+# Multi-core sweep alone (BENCH_PR9.json): pipeline wall-clock, stage
+# pinning, batch sizing, and cached-serving throughput across GOMAXPROCS.
+bench-json-pr9:
+	$(GO) run ./cmd/dswpbench -mcjson -mcout BENCH_PR9.json
 
 # Serving-path measurement: cold-compile vs cached vs warm-pooled
 # closed-loop throughput and latency, pinned to BENCH_PR5.json (format

@@ -7,6 +7,7 @@
 //	dswpbench -benchjson # also write BENCH_PR4.json (see -out)
 //	dswpbench -ckptjson  # checkpoint-commit overhead sweep (BENCH_PR6.json)
 //	dswpbench -obsjson   # request-tracing overhead sweep (BENCH_PR7.json)
+//	dswpbench -mcjson    # multi-core GOMAXPROCS sweep (BENCH_PR9.json)
 //	dswpbench -quick     # shorter measurement windows (CI smoke)
 //
 // The JSON schema is documented in EXPERIMENTS.md ("BENCH_PR4.json
@@ -91,6 +92,8 @@ func main() {
 	ckptout := flag.String("ckptout", "BENCH_PR6.json", "output path for -ckptjson")
 	obsjson := flag.Bool("obsjson", false, "measure request-tracing overhead instead and write -obsout")
 	obsout := flag.String("obsout", "BENCH_PR7.json", "output path for -obsjson")
+	mcjson := flag.Bool("mcjson", false, "run the multi-core GOMAXPROCS sweep instead and write -mcout")
+	mcout := flag.String("mcout", "BENCH_PR9.json", "output path for -mcjson")
 	flag.Parse()
 
 	if *ckptjson {
@@ -99,6 +102,10 @@ func main() {
 	}
 	if *obsjson {
 		runObsBench(*quick, *obsout)
+		return
+	}
+	if *mcjson {
+		runMCBench(*quick, *mcout)
 		return
 	}
 

@@ -1,0 +1,386 @@
+package main
+
+// The -mcjson tier: the repo's first multi-core measurements. Every
+// earlier artifact (BENCH_PR4–PR7) was collected at GOMAXPROCS=1, which
+// proves mechanism costs but not the paper's actual claim — that
+// decoupling a loop into communicating stages buys wall-clock speedup on
+// parallel hardware. This sweep sets GOMAXPROCS per point and measures:
+//
+//   - per-pipeline wall-clock at P ∈ {1,2,4,8} × {ring,channel} ×
+//     {packed,unpacked}, against a sequential-interpreter baseline;
+//   - stage pinning (runtime.LockOSThread) on vs off at the top P;
+//   - batched-transfer sizing at 1 P vs >1 P (the batch sweet spot
+//     shifts when producer and consumer genuinely overlap);
+//   - cached-serving engine throughput with Workers=Shards=P and the
+//     client count swept {P, 2P, 4P} per point, with per-shard
+//     attribution.
+//
+// The file records num_cpu because the headline ratios only mean
+// something with real cores: on a 1-CPU host extra Ps just timeslice,
+// and the scaling curves are expected to be flat. CI runs this on
+// multi-core runners; EXPERIMENTS.md documents how to read both.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"dswp/internal/core"
+	"dswp/internal/engine"
+	"dswp/internal/interp"
+	"dswp/internal/profile"
+	"dswp/internal/queue"
+	rt "dswp/internal/runtime"
+	"dswp/internal/workloads"
+)
+
+// mcFile is the BENCH_PR9.json shape.
+type mcFile struct {
+	Schema          string `json:"schema"`
+	Quick           bool   `json:"quick"`
+	NumCPU          int    `json:"num_cpu"`
+	StartGOMAXPROCS int    `json:"start_gomaxprocs"`
+	Procs           []int  `json:"procs"`
+
+	// Sequential is the single-threaded interpreter baseline per workload
+	// (P-independent: one goroutine can't use more Ps).
+	Sequential []mcSeq `json:"sequential_baseline"`
+	// Pipeline is the DSWP runtime wall-clock per (workload, P, kind, pack);
+	// vs_sequential > 1 means the pipeline beat the original loop.
+	Pipeline []mcPipe `json:"pipeline"`
+	// Pinning compares LockOSThread on/off at the top P (ring, packed).
+	Pinning []mcPin `json:"stage_pinning"`
+	// BatchSweep re-validates transfer batch sizing at 1 P vs multiple Ps.
+	BatchSweep []mcBatch `json:"batch_sweep"`
+	// Engine is the cached-serving closed loop per P (best client count
+	// of {P, 2P, 4P} plus every rung measured).
+	Engine []mcEngine `json:"engine_serving"`
+
+	// EngineScaling4v1 is the acceptance headline: peak cached-serving
+	// throughput at P=4 over P=1 (target >= 1.8 on >= 4 real cores).
+	EngineScaling4v1 float64 `json:"engine_scaling_4v1"`
+	// BestPipelineSpeedup is the best pipeline-vs-sequential ratio at
+	// P=4 over ring configs, and the config that achieved it.
+	BestPipelineSpeedup float64 `json:"best_pipeline_speedup_vs_sequential"`
+	BestPipelineConfig  string  `json:"best_pipeline_config"`
+}
+
+type mcSeq struct {
+	Workload string  `json:"workload"`
+	NsPerRun float64 `json:"ns_per_run"`
+}
+
+type mcPipe struct {
+	Workload     string  `json:"workload"`
+	Procs        int     `json:"procs"`
+	Kind         string  `json:"kind"`
+	Pack         bool    `json:"pack"`
+	NsPerRun     float64 `json:"ns_per_run"`
+	VsSequential float64 `json:"vs_sequential"`
+}
+
+type mcPin struct {
+	Workload string  `json:"workload"`
+	Procs    int     `json:"procs"`
+	Pinned   bool    `json:"pinned"`
+	NsPerRun float64 `json:"ns_per_run"`
+}
+
+type mcBatch struct {
+	Procs      int     `json:"procs"`
+	Cap        int     `json:"cap"`
+	Batch      int     `json:"batch"`
+	NsPerValue float64 `json:"ns_per_value"`
+}
+
+type mcEngine struct {
+	Procs          int     `json:"procs"`
+	Workers        int     `json:"workers"`
+	Shards         int     `json:"shards"`
+	Clients        int     `json:"clients"`
+	Requests       int     `json:"requests"`
+	ThroughputRPS  float64 `json:"throughput_rps"`
+	P99US          int64   `json:"p99_us"`
+	Best           bool    `json:"best,omitempty"` // this rung is P's peak
+	ShardRequests  []int64 `json:"shard_requests,omitempty"`
+	ShardImbalance float64 `json:"shard_imbalance,omitempty"`
+}
+
+// mcWorkloads is the pipeline sweep set: the two Table 1 loops with the
+// largest recurrence-free late stages plus the linked-list kernels.
+var mcWorkloads = []string{"181.mcf", "wc", "list-traversal"}
+
+func runMCBench(quick bool, out string) {
+	pipeDur, microDur, stepDur := 250*time.Millisecond, 100*time.Millisecond, 400*time.Millisecond
+	procs := []int{1, 2, 4, 8}
+	if quick {
+		pipeDur, microDur, stepDur = 60*time.Millisecond, 25*time.Millisecond, 150*time.Millisecond
+		procs = []int{1, 2, 4}
+	}
+	startP := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(startP)
+
+	res := &mcFile{
+		Schema:          "dswp-bench-pr9/1",
+		Quick:           quick,
+		NumCPU:          runtime.NumCPU(),
+		StartGOMAXPROCS: startP,
+		Procs:           procs,
+	}
+	fmt.Printf("dswpbench -mcjson: NumCPU=%d procs=%v quick=%v\n", res.NumCPU, procs, quick)
+	if res.NumCPU < 4 {
+		fmt.Printf("dswpbench: NOTE: %d CPU(s) — extra Ps timeslice one core; scaling curves will be flat\n", res.NumCPU)
+	}
+
+	// Compile each workload once (both packings); the sweep re-runs the
+	// same translated pipeline under each P so the only variable is the
+	// runtime's available parallelism.
+	type compiled struct {
+		prog  *workloads.Program
+		packs map[bool]*core.Transformed
+	}
+	byName := map[string]*compiled{}
+	for _, name := range mcWorkloads {
+		p := buildWorkload(name)
+		prof, err := profile.Collect(p.F, p.Options())
+		if err != nil {
+			fail(err)
+		}
+		c := &compiled{prog: p, packs: map[bool]*core.Transformed{}}
+		for _, pack := range []bool{false, true} {
+			tr, err := core.Apply(p.F, p.LoopHeader, prof, core.Config{
+				NumThreads: 2, SkipProfitability: true, PackFlows: pack,
+			})
+			if err != nil {
+				fail(fmt.Errorf("%s: %w", name, err))
+			}
+			c.packs[pack] = tr
+		}
+		byName[name] = c
+
+		ns := measure(pipeDur, func(n int) {
+			for i := 0; i < n; i++ {
+				if _, err := interp.Run(p.F, interp.Options{Mem: p.Mem, Regs: p.Regs}); err != nil {
+					fail(fmt.Errorf("%s sequential: %w", name, err))
+				}
+			}
+		})
+		res.Sequential = append(res.Sequential, mcSeq{Workload: name, NsPerRun: ns})
+		fmt.Printf("  sequential %-14s %12.0f ns/run\n", name, ns)
+	}
+	seqNs := map[string]float64{}
+	for _, s := range res.Sequential {
+		seqNs[s.Workload] = s.NsPerRun
+	}
+
+	fmt.Println("\npipeline wall-clock across GOMAXPROCS (ns per run, vs sequential):")
+	topP := procs[len(procs)-1]
+	for _, P := range procs {
+		runtime.GOMAXPROCS(P)
+		for _, name := range mcWorkloads {
+			c := byName[name]
+			for _, pack := range []bool{false, true} {
+				tr := c.packs[pack]
+				for _, kind := range []queue.Kind{queue.KindChannel, queue.KindRing} {
+					ns := measure(pipeDur, func(n int) {
+						for i := 0; i < n; i++ {
+							if _, err := rt.Run(tr.Threads, rt.Options{
+								Mem: c.prog.Mem, Regs: c.prog.Regs, Queue: kind,
+							}); err != nil {
+								fail(fmt.Errorf("%s %s pack=%v P=%d: %w", name, kind, pack, P, err))
+							}
+						}
+					})
+					vs := seqNs[name] / ns
+					res.Pipeline = append(res.Pipeline, mcPipe{
+						Workload: name, Procs: P, Kind: kind.String(), Pack: pack,
+						NsPerRun: ns, VsSequential: vs,
+					})
+					fmt.Printf("  P=%d %-14s %-7s pack=%-5v  %12.0f ns/run  %5.2fx vs seq\n",
+						P, name, kind, pack, ns, vs)
+					if P == 4 && kind == queue.KindRing &&
+						vs > res.BestPipelineSpeedup {
+						res.BestPipelineSpeedup = vs
+						res.BestPipelineConfig = fmt.Sprintf("%s/ring/pack=%v", name, pack)
+					}
+				}
+			}
+		}
+	}
+
+	// Stage pinning: same pipeline, LockOSThread toggled, at the top P.
+	// Pinning only matters when stages can actually land on distinct
+	// cores, so it is swept once at the widest point.
+	fmt.Println("\nstage pinning (runtime.LockOSThread) at top P:")
+	runtime.GOMAXPROCS(topP)
+	{
+		name := "181.mcf"
+		c := byName[name]
+		tr := c.packs[true]
+		for _, pinned := range []bool{false, true} {
+			ns := measure(pipeDur, func(n int) {
+				for i := 0; i < n; i++ {
+					if _, err := rt.Run(tr.Threads, rt.Options{
+						Mem: c.prog.Mem, Regs: c.prog.Regs,
+						Queue: queue.KindRing, LockOSThread: pinned,
+					}); err != nil {
+						fail(fmt.Errorf("%s pinned=%v: %w", name, pinned, err))
+					}
+				}
+			})
+			res.Pinning = append(res.Pinning, mcPin{
+				Workload: name, Procs: topP, Pinned: pinned, NsPerRun: ns})
+			fmt.Printf("  P=%d %-14s pinned=%-5v  %12.0f ns/run\n", topP, name, pinned, ns)
+		}
+	}
+
+	// Batch sizing at 1 P vs multiple Ps: with real overlap the batched
+	// publish amortizes cross-core cache misses, not just atomics.
+	fmt.Println("\nring batch sweep (cap 32, ns per value):")
+	for _, P := range []int{1, topP} {
+		runtime.GOMAXPROCS(P)
+		for _, batch := range []int{1, 8, 32} {
+			ns := measure(microDur, func(n int) { moveValues(queue.KindRing, 32, batch, n) })
+			res.BatchSweep = append(res.BatchSweep, mcBatch{
+				Procs: P, Cap: 32, Batch: batch, NsPerValue: ns})
+			fmt.Printf("  P=%d batch=%-2d  %8.1f ns/value\n", P, batch, ns)
+		}
+	}
+
+	// Cached-serving engine: Workers=Shards=P, sequential execution mode
+	// (the cached path — what the 10x compile-amortization headline runs
+	// on), client count swept so each P gets enough offered load to show
+	// its capacity.
+	fmt.Println("\ncached-serving engine throughput (Workers=Shards=P):")
+	peak := map[int]float64{}
+	for _, P := range procs {
+		runtime.GOMAXPROCS(P)
+		bestIdx := -1
+		for _, clients := range []int{P, 2 * P, 4 * P} {
+			r := mcEngineStep(P, clients, stepDur)
+			res.Engine = append(res.Engine, r)
+			fmt.Printf("  P=%d clients=%-3d  %9.0f req/s  p99 %6dus  imbalance %.2f\n",
+				P, clients, r.ThroughputRPS, r.P99US, r.ShardImbalance)
+			if r.ThroughputRPS > peak[P] {
+				peak[P] = r.ThroughputRPS
+				bestIdx = len(res.Engine) - 1
+			}
+		}
+		if bestIdx >= 0 {
+			res.Engine[bestIdx].Best = true
+		}
+	}
+	if peak[1] > 0 && peak[4] > 0 {
+		res.EngineScaling4v1 = peak[4] / peak[1]
+	}
+
+	runtime.GOMAXPROCS(startP)
+	fmt.Printf("\nheadlines:\n")
+	fmt.Printf("  engine_scaling_4v1: %.2fx (cached serving, P=4 vs P=1; target >= 1.8 on >= 4 cores)\n",
+		res.EngineScaling4v1)
+	fmt.Printf("  best_pipeline_speedup_vs_sequential: %.2fx (%s at P=4)\n",
+		res.BestPipelineSpeedup, res.BestPipelineConfig)
+
+	f, err := os.Create(out)
+	if err != nil {
+		fail(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		f.Close()
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+	fmt.Printf("\nwrote %s\n", out)
+}
+
+// mcEngineStep runs one closed-loop rung against a fresh sharded engine
+// on the cached path and reports throughput with per-shard attribution.
+func mcEngineStep(P, clients int, dur time.Duration) mcEngine {
+	e := engine.New(engine.Options{Workers: P, Shards: P, QueueDepth: 4 * clients})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := e.Shutdown(ctx); err != nil {
+			fail(fmt.Errorf("mc engine shutdown: %w", err))
+		}
+	}()
+	mix := []engine.Request{
+		{Workload: "list-traversal", N: 32, Mode: "sequential"},
+		{Workload: "list-of-lists", Outer: 4, Inner: 2, Mode: "sequential"},
+		{Workload: "wc", Mode: "sequential"},
+		{Workload: "181.mcf", Mode: "sequential"},
+	}
+	for _, req := range mix { // prime: the rung measures cached steady state
+		if _, err := e.Run(context.Background(), req); err != nil {
+			fail(fmt.Errorf("mc prime %s: %w", req.Workload, err))
+		}
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		lats []time.Duration
+		stop = make(chan struct{})
+	)
+	start := time.Now()
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var mine []time.Duration
+			for i := g; ; i++ {
+				select {
+				case <-stop:
+					mu.Lock()
+					lats = append(lats, mine...)
+					mu.Unlock()
+					return
+				default:
+				}
+				t0 := time.Now()
+				if _, err := e.Run(context.Background(), mix[i%len(mix)]); err == nil {
+					mine = append(mine, time.Since(t0))
+				}
+			}
+		}(g)
+	}
+	time.Sleep(dur)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	r := mcEngine{Procs: P, Workers: P, Clients: clients, Requests: len(lats)}
+	snap := e.Metrics().Snapshot()
+	r.Shards = len(snap.Shards)
+	counts := make([]int64, len(snap.Shards))
+	var total, max int64
+	for i, sh := range snap.Shards {
+		counts[i] = sh.Requests
+		total += sh.Requests
+		if sh.Requests > max {
+			max = sh.Requests
+		}
+	}
+	r.ShardRequests = counts
+	if total > 0 && len(counts) > 0 {
+		r.ShardImbalance = float64(max) / (float64(total) / float64(len(counts)))
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		r.ThroughputRPS = float64(len(lats)) / elapsed.Seconds()
+		i := len(lats) * 99 / 100
+		if i >= len(lats) {
+			i = len(lats) - 1
+		}
+		r.P99US = lats[i].Microseconds()
+	}
+	return r
+}

@@ -46,6 +46,8 @@ func main() {
 	var (
 		addr       = flag.String("addr", ":7537", "listen address")
 		workers    = flag.Int("workers", 0, "concurrent pipeline runs (0 = GOMAXPROCS)")
+		shards     = flag.Int("shards", 0, "independent serving shards (0 = GOMAXPROCS, clamped to workers)")
+		pinStages  = flag.Bool("pin-stages", false, "pin each pipeline stage goroutine to its own OS thread")
 		queueDepth = flag.Int("queue-depth", 0, "pending-request bound (0 = 4*workers)")
 		cacheCap   = flag.Int("cache-cap", 32, "max cached compiled pipelines")
 		poolSize   = flag.Int("pool", 0, "warm instances per pipeline (0 = workers)")
@@ -98,6 +100,8 @@ func main() {
 	}
 	eng := engine.New(engine.Options{
 		Workers:          *workers,
+		Shards:           *shards,
+		PinStages:        *pinStages,
 		QueueDepth:       *queueDepth,
 		CacheCap:         *cacheCap,
 		PoolSize:         *poolSize,

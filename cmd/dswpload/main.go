@@ -8,6 +8,7 @@
 //	dswpload                      # in-process: benchmark cold vs cached
 //	                              # vs warm-pooled serving paths
 //	dswpload -benchjson           # ... and pin BENCH_PR5.json
+//	dswpload -ramp -slo 50ms      # double clients until the p99 SLO breaks
 //	dswpload -addr localhost:7537 # drive a running dswpd over HTTP
 //
 // In-process mode measures four serving paths, each comparison holding
@@ -96,6 +97,13 @@ type pathResult struct {
 	Compiles  int64 `json:"compiles,omitempty"`
 	CacheHits int64 `json:"cache_hits,omitempty"`
 	PoolHits  int64 `json:"pool_hits,omitempty"`
+	// ShardRequests is the per-shard request count: home-shard routing
+	// attribution from the engine snapshot for in-process paths, the
+	// executing shard stamped on each response in HTTP mode.
+	ShardRequests []int64 `json:"shard_requests,omitempty"`
+	// ShardImbalance is max(ShardRequests)/mean(ShardRequests); 1.0 is a
+	// perfectly even spread, 0 means no shard data.
+	ShardImbalance float64 `json:"shard_imbalance,omitempty"`
 	// ErrorsByClass tallies failed requests by the engine's typed error
 	// class ("deadlock", "timeout", "stage-panic", "shed", ...),
 	// mirroring the engine's error taxonomy in the load report.
@@ -113,11 +121,41 @@ type classLatency struct {
 	MeanUS int64 `json:"mean_us"`
 }
 
+// rampResult is the -ramp output: client count doubled step by step until
+// the p99 SLO breaches (or the cap), on the full warm serving path.
+type rampResult struct {
+	Schema      string     `json:"schema"`
+	SLOP99US    int64      `json:"slo_p99_us"`
+	Workers     int        `json:"workers"`
+	Shards      int        `json:"shards"`
+	StepMS      int64      `json:"step_ms"`
+	Steps       []rampStep `json:"steps"`
+	PeakClients int        `json:"peak_clients"` // largest client count inside SLO
+	PeakRPS     float64    `json:"peak_rps"`     // its throughput: peak sustainable load
+	SLOBreached bool       `json:"slo_breached"`
+}
+
+// rampStep is one rung of the ramp.
+type rampStep struct {
+	Clients        int     `json:"clients"`
+	Requests       int     `json:"requests"`
+	Errors         int     `json:"errors"`
+	Shed           int     `json:"shed"`
+	ThroughputRPS  float64 `json:"throughput_rps"`
+	P50US          int64   `json:"p50_us"`
+	P99US          int64   `json:"p99_us"`
+	ShardRequests  []int64 `json:"shard_requests,omitempty"`
+	ShardImbalance float64 `json:"shard_imbalance,omitempty"`
+}
+
 func main() {
 	var (
 		addr      = flag.String("addr", "", "drive a running dswpd at this host:port instead of in-process engines")
 		clients   = flag.Int("clients", 0, "closed-loop client goroutines (0 = GOMAXPROCS)")
 		workers   = flag.Int("workers", 0, "in-process engine workers (0 = GOMAXPROCS)")
+		shards    = flag.Int("shards", 0, "in-process engine shards (0 = GOMAXPROCS, clamped to workers)")
+		ramp      = flag.Bool("ramp", false, "ramp clients (1,2,4,...) on the warm path until the p99 SLO breaches")
+		slo       = flag.Duration("slo", 50*time.Millisecond, "p99 latency SLO for -ramp")
 		duration  = flag.Duration("duration", 3*time.Second, "measurement window per serving path")
 		mixFlag   = flag.String("mix", "list-traversal,list-of-lists", "comma-separated workload mix")
 		n         = flag.Int64("n", 32, "list-traversal length in the mix")
@@ -148,6 +186,9 @@ func main() {
 
 	mix := buildMix(strings.Split(*mixFlag, ","), *n, *outer, *inner)
 	if *addr != "" {
+		if *ramp {
+			fail(fmt.Errorf("-ramp is in-process only (it reads engine shard snapshots)"))
+		}
 		runHTTP(*addr, mix, *clients, *duration, *smoke, *jsonOut)
 		return
 	}
@@ -158,6 +199,14 @@ func main() {
 	qk, err := queue.ParseKind(*kind)
 	if err != nil {
 		fail(err)
+	}
+	if *ramp {
+		opts := engine.Options{Workers: *workers, Shards: *shards, Queue: qk, QueueDepth: 512}
+		rr := runRamp(opts, mix, *mode, *slo, *duration)
+		if *jsonOut {
+			emitJSON(rr)
+		}
+		return
 	}
 	res := &benchFile{
 		Schema:     "dswp-bench-pr5/1",
@@ -210,6 +259,7 @@ func main() {
 	byName := map[string]pathResult{}
 	for _, p := range paths {
 		p.opts.Workers = *workers
+		p.opts.Shards = *shards
 		p.opts.QueueDepth = 2 * *clients // closed loop: never shed
 		p.opts.Queue = qk
 		pr := runPath(p.name, p.mode, p.opts, mix, *clients, *duration)
@@ -381,8 +431,162 @@ func runPath(name, mode string, opts engine.Options, mix []engine.Request, clien
 	pr.Compiles = s.Compiles
 	pr.CacheHits = s.CacheHits
 	pr.PoolHits = s.PoolHits
+	pr.ShardRequests, pr.ShardImbalance = shardSpread(s.Shards)
 	print1(pr)
 	return pr
+}
+
+// shardSpread extracts per-shard request counts and the max/mean
+// imbalance ratio from a snapshot's shard list.
+func shardSpread(shards []engine.ShardSnapshot) ([]int64, float64) {
+	if len(shards) == 0 {
+		return nil, 0
+	}
+	counts := make([]int64, len(shards))
+	for i, sh := range shards {
+		counts[i] = sh.Requests
+	}
+	return counts, imbalance(counts)
+}
+
+// imbalance is max/mean over per-shard counts: 1.0 is perfectly even, 0
+// means no traffic (or no shard data).
+func imbalance(counts []int64) float64 {
+	if len(counts) == 0 {
+		return 0
+	}
+	var total, max int64
+	for _, c := range counts {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(max) / (float64(total) / float64(len(counts)))
+}
+
+// runRamp measures peak sustainable load on the warm serving path: one
+// engine (cache and pools on), client count doubled 1→256, each rung a
+// closed loop of stepDur, stopping at the first rung whose p99 exceeds
+// the SLO. Per-rung shard counts come from snapshot deltas, so each
+// rung's spread is attributed to that rung alone.
+func runRamp(opts engine.Options, mix []engine.Request, mode string, slo, stepDur time.Duration) rampResult {
+	e := engine.New(opts)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := e.Shutdown(ctx); err != nil {
+			fail(fmt.Errorf("ramp: shutdown: %w", err))
+		}
+	}()
+
+	want := make([]string, len(mix))
+	timed := make([]engine.Request, len(mix))
+	for i, req := range mix {
+		req.Mode = "sequential"
+		resp, err := e.Run(context.Background(), req)
+		if err != nil {
+			fail(fmt.Errorf("ramp: reference %s: %w", req.Workload, err))
+		}
+		want[i] = resp.Digest
+		req.Mode = mode
+		timed[i] = req
+		if _, err := e.Run(context.Background(), req); err != nil {
+			fail(fmt.Errorf("ramp: prime %s: %w", req.Workload, err))
+		}
+	}
+
+	rr := rampResult{
+		Schema:   "dswp-load-ramp/1",
+		SLOP99US: slo.Microseconds(),
+		Workers:  opts.Workers,
+		StepMS:   stepDur.Milliseconds(),
+	}
+	prevShards := e.Metrics().Snapshot().Shards
+	rr.Shards = len(prevShards)
+	fmt.Fprintf(human, "ramp: workers=%d shards=%d slo p99<=%s step=%s\n",
+		rr.Workers, rr.Shards, slo, stepDur)
+	for c := 1; c <= 256; c *= 2 {
+		var (
+			wg         sync.WaitGroup
+			mu         sync.Mutex
+			lats       []time.Duration
+			errs, shed int
+			stop       = make(chan struct{})
+		)
+		start := time.Now()
+		for g := 0; g < c; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				var mine []time.Duration
+				myErrs, myShed := 0, 0
+				for i := g; ; i++ {
+					select {
+					case <-stop:
+						mu.Lock()
+						lats = append(lats, mine...)
+						errs += myErrs
+						shed += myShed
+						mu.Unlock()
+						return
+					default:
+					}
+					j := i % len(timed)
+					t0 := time.Now()
+					resp, err := e.Run(context.Background(), timed[j])
+					el := time.Since(t0)
+					switch {
+					case err != nil && engine.ErrorClass(err) == "shed":
+						myShed++ // overload shedding is the engine holding its SLO, not a failure
+					case err != nil || resp.Digest != want[j]:
+						myErrs++
+					default:
+						mine = append(mine, el)
+					}
+				}
+			}(g)
+		}
+		time.Sleep(stepDur)
+		close(stop)
+		wg.Wait()
+		elapsed := time.Since(start)
+
+		step := rampStep{Clients: c, Requests: len(lats), Errors: errs, Shed: shed}
+		if len(lats) > 0 {
+			sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+			step.ThroughputRPS = float64(len(lats)) / elapsed.Seconds()
+			step.P50US = lats[len(lats)/2].Microseconds()
+			step.P99US = lats[quantIdx(len(lats), 99, 100)].Microseconds()
+		}
+		cur := e.Metrics().Snapshot().Shards
+		counts := make([]int64, len(cur))
+		for i := range cur {
+			counts[i] = cur[i].Requests
+			if i < len(prevShards) {
+				counts[i] -= prevShards[i].Requests
+			}
+		}
+		prevShards = cur
+		step.ShardRequests = counts
+		step.ShardImbalance = imbalance(counts)
+		rr.Steps = append(rr.Steps, step)
+		fmt.Fprintf(human, "  clients %3d: %9.0f req/s  p50 %6dus  p99 %7dus  errs %d shed %d  imbalance %.2f\n",
+			c, step.ThroughputRPS, step.P50US, step.P99US, errs, shed, step.ShardImbalance)
+		if step.P99US > rr.SLOP99US || len(lats) == 0 {
+			rr.SLOBreached = true
+			break
+		}
+		if step.ThroughputRPS > rr.PeakRPS {
+			rr.PeakRPS, rr.PeakClients = step.ThroughputRPS, c
+		}
+	}
+	fmt.Fprintf(human, "ramp: peak sustainable %0.f req/s at %d clients (slo_breached=%v)\n",
+		rr.PeakRPS, rr.PeakClients, rr.SLOBreached)
+	return rr
 }
 
 // runHTTP drives POST /run on a live dswpd: same closed loop, with
@@ -415,6 +619,7 @@ func runHTTP(addr string, mix []engine.Request, clients int, dur time.Duration, 
 		nerr, nshed int
 		byClass     = map[string]int{}
 		classLats   = map[string][]time.Duration{}
+		shardCounts = map[int]int64{}
 		stop        = make(chan struct{})
 	)
 	start := time.Now()
@@ -426,6 +631,7 @@ func runHTTP(addr string, mix []engine.Request, clients int, dur time.Duration, 
 			errs, shed := 0, 0
 			classes := map[string]int{}
 			myClass := map[string][]time.Duration{}
+			myShards := map[int]int64{}
 			for i := c; ; i++ {
 				select {
 				case <-stop:
@@ -438,6 +644,9 @@ func runHTTP(addr string, mix []engine.Request, clients int, dur time.Duration, 
 					}
 					for k, v := range myClass {
 						classLats[k] = append(classLats[k], v...)
+					}
+					for k, v := range myShards {
+						shardCounts[k] += v
 					}
 					mu.Unlock()
 					return
@@ -470,6 +679,7 @@ func runHTTP(addr string, mix []engine.Request, clients int, dur time.Duration, 
 					fmt.Fprintf(os.Stderr, "dswpload: http: %s digest %s, want %s\n",
 						mix[j].Workload, resp.Digest, want[j])
 				default:
+					myShards[resp.Shard]++
 					mine = append(mine, el)
 				}
 			}
@@ -483,6 +693,20 @@ func runHTTP(addr string, mix []engine.Request, clients int, dur time.Duration, 
 	pr := summarize("http", lats, nerr, nshed, elapsed, classLats)
 	if len(byClass) > 0 {
 		pr.ErrorsByClass = byClass
+	}
+	if len(shardCounts) > 0 {
+		maxID := 0
+		for id := range shardCounts {
+			if id > maxID {
+				maxID = id
+			}
+		}
+		counts := make([]int64, maxID+1)
+		for id, n := range shardCounts {
+			counts[id] = n
+		}
+		pr.ShardRequests = counts
+		pr.ShardImbalance = imbalance(counts)
 	}
 	print1(pr)
 	if jsonOut {
@@ -741,6 +965,9 @@ func print1(pr pathResult) {
 		pr.Path, pr.Requests, pr.ThroughputRPS, pr.P50US, pr.P99US, pr.P999US, pr.MeanUS, pr.Errors, pr.Shed)
 	if pr.Compiles > 0 || pr.CacheHits > 0 {
 		fmt.Fprintf(human, "  [compiles %d, cache hits %d, pool hits %d]", pr.Compiles, pr.CacheHits, pr.PoolHits)
+	}
+	if len(pr.ShardRequests) > 1 {
+		fmt.Fprintf(human, "  [shards %v imbalance %.2f]", pr.ShardRequests, pr.ShardImbalance)
 	}
 	if len(pr.ErrorsByClass) > 0 {
 		classes := make([]string, 0, len(pr.ErrorsByClass))

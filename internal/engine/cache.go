@@ -51,10 +51,10 @@ type cache struct {
 	// lru orders *resident* pipelines by recency; front = most recent.
 	// Entries still compiling are not in the list yet.
 	lru list.List
-	met *Metrics
+	met *shardMetrics
 }
 
-func newCache(cap int, met *Metrics) *cache {
+func newCache(cap int, met *shardMetrics) *cache {
 	return &cache{cap: cap, entries: map[string]*cacheEntry{}, met: met}
 }
 

@@ -99,6 +99,21 @@ type Options struct {
 	// PoolSize bounds warm instances kept per compiled pipeline
 	// (default Workers — at most Workers runs touch one pipeline at once).
 	PoolSize int
+	// Shards splits the engine into independent serving lanes, each with
+	// its own compiled-pipeline cache, pending queue, worker slice, and
+	// metrics block on a distinct cache line (default
+	// min(GOMAXPROCS, Workers); always clamped to Workers so every shard
+	// has at least one worker — a Workers:1 engine therefore behaves
+	// exactly like the pre-sharding single queue). Workload keys route to
+	// shards by consistent hashing; a saturated shard spills execution
+	// (never compilation) to its least-loaded peer.
+	Shards int
+	// PinStages pins every pipeline-stage goroutine to its own OS thread
+	// (runtime.LockOSThread) for the duration of the run. On multi-core
+	// hosts this trades scheduler flexibility for cache affinity between
+	// a stage and the core its queue endpoints are hot on; the mc bench
+	// tier measures whether that trade pays. Results never change.
+	PinStages bool
 	// QueueCap is the default synchronization-array capacity for served
 	// runs (default runtime.DefaultQueueCap). Requests overriding it
 	// bypass the warm pool, whose instances are built for this capacity.
@@ -169,6 +184,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.PoolSize <= 0 {
 		o.PoolSize = o.Workers
+	}
+	if o.Shards <= 0 {
+		o.Shards = runtime.GOMAXPROCS(0)
+	}
+	if o.Shards > o.Workers {
+		o.Shards = o.Workers
 	}
 	if o.QueueCap <= 0 {
 		o.QueueCap = rt.DefaultQueueCap
@@ -279,6 +300,11 @@ type Response struct {
 	ResumeIter int64 `json:"resume_iter,omitempty"`
 	// DurableCheckpoints counts commits written to the checkpoint store.
 	DurableCheckpoints int64 `json:"durable_checkpoints,omitempty"`
+	// Shard is the id of the shard whose worker executed this request;
+	// Spilled is true when that differs from the key's home shard (the
+	// home queue was saturated and execution moved to an idle peer).
+	Shard   int  `json:"shard"`
+	Spilled bool `json:"spilled,omitempty"`
 	// Timing breakdown, microseconds.
 	QueueMicros   int64 `json:"queue_us"`
 	CompileMicros int64 `json:"compile_us"`
@@ -289,12 +315,12 @@ type Response struct {
 // Engine is the serving runtime. Create with New, serve with Run (or the
 // HTTP layer in http.go), stop with Shutdown.
 type Engine struct {
-	opts    Options
-	met     *Metrics
-	cache   *cache
-	pending chan *job
-	stop    chan struct{}
-	wg      sync.WaitGroup
+	opts   Options
+	met    *Metrics
+	shards []*shard
+	ring   *hashRing
+	stop   chan struct{}
+	wg     sync.WaitGroup
 
 	// Durable checkpoint plumbing: every supervised run commits under a
 	// unique key; terminal outcomes delete it, so only a crash leaves
@@ -341,6 +367,7 @@ type job struct {
 	req       Request
 	build     func() *workloads.Program
 	key       string
+	home      *shard // the shard the key hashes to; owns the compiled artifact
 	submitted time.Time
 	res       *Response
 	err       error
@@ -359,16 +386,16 @@ type job struct {
 	reaped atomic.Bool
 }
 
-// New starts an engine: opts.Workers goroutines consuming a bounded
-// pending queue.
+// New starts an engine: opts.Shards independent serving lanes, with
+// opts.Workers goroutines split across their bounded pending queues.
 func New(opts Options) *Engine {
 	opts = opts.withDefaults()
 	e := &Engine{
-		opts:    opts,
-		met:     newMetrics(),
-		pending: make(chan *job, opts.QueueDepth),
-		stop:    make(chan struct{}),
-		wlInfo:  make(map[string]wlCompileInfo),
+		opts:   opts,
+		met:    newMetrics(opts.Shards),
+		ring:   newHashRing(opts.Shards),
+		stop:   make(chan struct{}),
+		wlInfo: make(map[string]wlCompileInfo),
 	}
 	e.store = opts.Store
 	if e.store == nil {
@@ -390,11 +417,30 @@ func New(opts Options) *Engine {
 	if e.reaper != nil {
 		e.reaper.onReap = func() { e.window.ObserveReap() }
 	}
-	e.cache = newCache(opts.CacheCap, e.met)
 	e.base, e.cancelBase = context.WithCancel(context.Background())
-	for i := 0; i < opts.Workers; i++ {
-		e.wg.Add(1)
-		go e.worker()
+
+	// Shard geometry: the engine-wide queue depth and cache capacity
+	// split across shards (ceil, so small configured values still give
+	// every shard a working queue and cache); Workers split evenly with
+	// the remainder going to the lowest shard ids.
+	depth := (opts.QueueDepth + opts.Shards - 1) / opts.Shards
+	ccap := (opts.CacheCap + opts.Shards - 1) / opts.Shards
+	e.shards = make([]*shard, opts.Shards)
+	for i := range e.shards {
+		s := &shard{id: i, pending: make(chan *job, depth), met: &e.met.shards[i]}
+		s.cache = newCache(ccap, s.met)
+		e.shards[i] = s
+	}
+	base, rem := opts.Workers/opts.Shards, opts.Workers%opts.Shards
+	for i, s := range e.shards {
+		w := base
+		if i < rem {
+			w++
+		}
+		for k := 0; k < w; k++ {
+			e.wg.Add(1)
+			go e.worker(s)
+		}
 	}
 	return e
 }
@@ -435,25 +481,32 @@ func (e *Engine) Run(ctx context.Context, req Request) (*Response, error) {
 // it as X-Request-ID even for requests that fail — the errored trace is
 // then retrievable from /debug/requests/{id}.
 func (e *Engine) RunTraced(ctx context.Context, req Request) (*Response, string, error) {
-	atomic.AddInt64(&e.met.requests, 1)
 	tr := e.tracer.Start(req.Workload)
 	var id string
 	if tr != nil {
 		id = tr.ID
 	}
+	// Requests that fail before their key resolves have no home shard;
+	// their counters land on shard 0 so the engine-wide sums stay exact.
 	if e.draining.Load() {
-		atomic.AddInt64(&e.met.drained, 1)
+		sm := &e.met.shards[0]
+		atomic.AddInt64(&sm.requests, 1)
+		atomic.AddInt64(&sm.drained, 1)
 		e.observe(tr, req.Workload, false, 0, ErrDraining, false)
 		return nil, id, ErrDraining
 	}
 	build, key, err := resolve(req)
 	if err != nil {
-		atomic.AddInt64(&e.met.failed, 1)
+		sm := &e.met.shards[0]
+		atomic.AddInt64(&sm.requests, 1)
+		atomic.AddInt64(&sm.failed, 1)
 		e.observe(tr, req.Workload, false, 0, err, false)
 		return nil, id, err
 	}
+	home := e.shards[e.ring.shardFor(key)]
+	atomic.AddInt64(&home.met.requests, 1)
 	if err := fpAdmit.Fail(); err != nil {
-		atomic.AddInt64(&e.met.failed, 1)
+		atomic.AddInt64(&home.met.failed, 1)
 		e.observe(tr, req.Workload, true, 0, err, false)
 		return nil, id, err
 	}
@@ -471,14 +524,12 @@ func (e *Engine) RunTraced(ctx context.Context, req Request) (*Response, string,
 	}
 
 	adm := tr.Begin("admission")
-	adm.Attr("queue_depth", int64(len(e.pending)))
-	j := &job{ctx: ctx, req: req, build: build, key: key, tr: tr, adm: adm,
-		submitted: time.Now(), done: make(chan struct{})}
-	select {
-	case e.pending <- j:
-		atomic.AddInt64(&e.met.queued, 1)
-	default:
-		atomic.AddInt64(&e.met.shed, 1)
+	adm.Attr("shard", int64(home.id))
+	adm.Attr("queue_depth", int64(len(home.pending)))
+	j := &job{ctx: ctx, req: req, build: build, key: key, home: home,
+		tr: tr, adm: adm, submitted: time.Now(), done: make(chan struct{})}
+	if placed := e.dispatch(j); placed == nil {
+		atomic.AddInt64(&home.met.shed, 1)
 		tr.End(adm)
 		e.observe(tr, req.Workload, true, 0, ErrOverloaded, false)
 		return nil, id, ErrOverloaded
@@ -491,7 +542,7 @@ func (e *Engine) RunTraced(ctx context.Context, req Request) (*Response, string,
 		// context and fails it fast; the caller need not wait for that.
 		// The worker also owns finishing the trace — it may still be
 		// mutating it after we return.
-		atomic.AddInt64(&e.met.failed, 1)
+		atomic.AddInt64(&home.met.failed, 1)
 		return nil, id, ctx.Err()
 	}
 }
@@ -507,38 +558,41 @@ func (e *Engine) observe(tr *telemetry.RequestTrace, wl string, known bool,
 		class, msg = ErrorClass(err), err.Error()
 	}
 	e.tracer.Finish(tr, msg, class)
-	occ := int64(len(e.pending))
+	occ := e.queuedTotal()
 	e.window.Observe(class, latUS, occ)
 	if known {
 		e.registry.Observe(wl, class, latUS, occ, degraded)
 	}
 }
 
-func (e *Engine) worker() {
+// worker consumes one shard's pending queue; a shard's workers never
+// touch another shard's queue (spill happens at dispatch, not here).
+func (e *Engine) worker(s *shard) {
 	defer e.wg.Done()
 	for {
 		select {
-		case j := <-e.pending:
-			e.serve(j)
+		case j := <-s.pending:
+			e.serve(s, j)
 		case <-e.stop:
 			return
 		}
 	}
 }
 
-func (e *Engine) serve(j *job) {
-	atomic.AddInt64(&e.met.queued, -1)
-	atomic.AddInt64(&e.met.inflight, 1)
-	defer atomic.AddInt64(&e.met.inflight, -1)
+func (e *Engine) serve(s *shard, j *job) {
+	sm := s.met
+	atomic.AddInt64(&sm.queued, -1)
+	atomic.AddInt64(&sm.inflight, 1)
+	defer atomic.AddInt64(&sm.inflight, -1)
 	defer close(j.done)
 
 	queueWait := time.Since(j.submitted)
-	e.met.latQueue.Add(queueWait.Microseconds())
-	atomic.AddInt64(&e.met.latQueueSum, queueWait.Microseconds())
+	sm.latQueue.Add(queueWait.Microseconds())
+	atomic.AddInt64(&sm.latQueueSum, queueWait.Microseconds())
 	j.tr.End(j.adm)
 	if err := j.ctx.Err(); err != nil {
 		j.err = err
-		atomic.AddInt64(&e.met.expired, 1)
+		atomic.AddInt64(&sm.expired, 1)
 		e.observe(j.tr, j.req.Workload, true, queueWait.Microseconds(), err, false)
 		return
 	}
@@ -552,14 +606,14 @@ func (e *Engine) serve(j *job) {
 		defer e.reaper.forget(e.reaper.add(j.req.Workload, cancel, &j.reaped))
 	}
 
-	j.res, j.err = e.execute(ctx, j)
+	j.res, j.err = e.execute(ctx, s, j)
 	if j.err != nil && j.reaped.Load() {
 		j.err = fmt.Errorf("%w: %s ran past %s: %w",
 			ErrReaped, j.req.Workload, e.opts.ReapAfter, j.err)
 	}
 	total := time.Since(j.submitted)
 	if j.err != nil {
-		atomic.AddInt64(&e.met.failed, 1)
+		atomic.AddInt64(&sm.failed, 1)
 		e.observe(j.tr, j.req.Workload, true, total.Microseconds(), j.err, false)
 		return
 	}
@@ -568,20 +622,25 @@ func (e *Engine) serve(j *job) {
 	}
 	j.res.QueueMicros = queueWait.Microseconds()
 	j.res.TotalMicros = total.Microseconds()
-	e.met.latTotal.Add(j.res.TotalMicros)
-	atomic.AddInt64(&e.met.latTotalSum, j.res.TotalMicros)
-	e.met.latRun.Add(j.res.RunMicros)
-	atomic.AddInt64(&e.met.latRunSum, j.res.RunMicros)
-	atomic.AddInt64(&e.met.completed, 1)
+	sm.latTotal.Add(j.res.TotalMicros)
+	atomic.AddInt64(&sm.latTotalSum, j.res.TotalMicros)
+	sm.latRun.Add(j.res.RunMicros)
+	atomic.AddInt64(&sm.latRunSum, j.res.RunMicros)
+	atomic.AddInt64(&sm.complete, 1)
 	e.observe(j.tr, j.req.Workload, true, j.res.TotalMicros, nil, j.res.Degraded)
 }
 
 // execute compiles (or fetches) the pipeline and runs it in the
-// requested mode.
-func (e *Engine) execute(ctx context.Context, j *job) (*Response, error) {
+// requested mode. s is the executing shard (the worker's own); the
+// compiled artifact always comes from the *home* shard's cache, so a
+// spilled execution shares the home shard's single-flight compile and
+// warm pool instead of duplicating them.
+func (e *Engine) execute(ctx context.Context, s *shard, j *job) (*Response, error) {
 	req := j.req
 	tr := j.tr
-	resp := &Response{Workload: req.Workload, Key: j.key}
+	home := j.home
+	resp := &Response{Workload: req.Workload, Key: j.key,
+		Shard: s.id, Spilled: s != home}
 
 	var (
 		p   *pipeline
@@ -590,12 +649,12 @@ func (e *Engine) execute(ctx context.Context, j *job) (*Response, error) {
 	cs := tr.Begin("cache")
 	if e.opts.DisableCache {
 		resp.Cache = "bypass"
-		atomic.AddInt64(&e.met.cacheBypass, 1)
-		p, err = e.compile(req, j.build, j.key)
+		atomic.AddInt64(&home.met.cacheBypass, 1)
+		p, err = e.compile(req, j.build, j.key, home.met)
 	} else {
 		var hit bool
-		p, hit, err = e.cache.acquire(ctx, j.key, func() (*pipeline, error) {
-			return e.compile(req, j.build, j.key)
+		p, hit, err = home.cache.acquire(ctx, j.key, func() (*pipeline, error) {
+			return e.compile(req, j.build, j.key, home.met)
 		})
 		if hit {
 			resp.Cache = "hit"
@@ -606,7 +665,7 @@ func (e *Engine) execute(ctx context.Context, j *job) (*Response, error) {
 			}
 		}
 		if err == nil {
-			defer e.cache.release(p)
+			defer home.cache.release(p)
 		}
 	}
 	cs.Attr("outcome", resp.Cache)
@@ -654,12 +713,13 @@ func (e *Engine) execute(ctx context.Context, j *job) (*Response, error) {
 			Ctx: ctx, Mem: p.prog.Mem, Regs: p.prog.Regs,
 		})
 	case req.Mode == "concurrent":
-		inst, warm := e.acquireInstance(tr, p, kind, qcap, faults)
+		inst, warm := e.acquireInstance(tr, p, home.met, kind, qcap, faults)
 		resp.Warm = warm
 		res, err = rt.RunCtx(ctx, p.tr.Threads, rt.Options{
 			Plan: p.plan, Instance: inst, Queue: kind, QueueCap: qcap,
 			Mem: p.prog.Mem, Regs: p.prog.Regs, Faults: faults,
-			Recorder: e.tracer.RunRecorder(tr, len(p.tr.Threads)),
+			LockOSThread: e.opts.PinStages,
+			Recorder:     e.tracer.RunRecorder(tr, len(p.tr.Threads)),
 		})
 		e.releaseInstance(p, inst, poisons(err) || j.reaped.Load())
 	case req.Mode == "" || req.Mode == "supervised":
@@ -742,7 +802,7 @@ func (e *Engine) runSupervised(ctx context.Context, j *job, p *pipeline,
 	meta, _ := json.Marshal(req)
 	defer e.store.Delete(ckey)
 
-	inst, warm := e.acquireInstance(tr, p, kind, qcap, faults)
+	inst, warm := e.acquireInstance(tr, p, j.home.met, kind, qcap, faults)
 	resp.Warm = warm
 	res, srep, err := supervisor.Run(ctx, supervisor.Pipeline{
 		Threads: p.tr.Threads, Original: p.prog.F,
@@ -751,8 +811,8 @@ func (e *Engine) runSupervised(ctx context.Context, j *job, p *pipeline,
 	}, supervisor.Policy{
 		Queue: kind, QueueCap: qcap, Plan: p.plan, Instance: inst,
 		Faults: faults, CheckpointEvery: e.opts.CheckpointEvery,
-		DisableResume: true,
-		Store:         e.store, StoreKey: ckey, StoreMeta: meta,
+		DisableResume: true, LockOSThread: e.opts.PinStages,
+		Store: e.store, StoreKey: ckey, StoreMeta: meta,
 		Recorder: e.tracer.RunRecorder(tr, len(p.tr.Threads)),
 	})
 	e.releaseInstance(p, inst, poisons(err) || j.reaped.Load())
@@ -872,11 +932,13 @@ func faultsOf(req Request, p *pipeline) *rt.FaultPlan {
 }
 
 // acquireInstance is instanceFor wrapped in a "pool-acquire" span, so a
-// retained trace shows whether the run paid an allocation.
+// retained trace shows whether the run paid an allocation. sm is the
+// home shard's metrics block — pools belong to cached pipelines, which
+// belong to home shards.
 func (e *Engine) acquireInstance(tr *telemetry.RequestTrace, p *pipeline,
-	kind queue.Kind, qcap int, faults *rt.FaultPlan) (*rt.Instance, bool) {
+	sm *shardMetrics, kind queue.Kind, qcap int, faults *rt.FaultPlan) (*rt.Instance, bool) {
 	ps := tr.Begin("pool-acquire")
-	inst, warm := e.instanceFor(p, kind, qcap, faults)
+	inst, warm := e.instanceFor(p, sm, kind, qcap, faults)
 	ps.Attr("warm", warm)
 	tr.End(ps)
 	return inst, warm
@@ -886,23 +948,23 @@ func (e *Engine) acquireInstance(tr *telemetry.RequestTrace, p *pipeline,
 // the pool's; otherwise the run allocates fresh state. Fault-injecting
 // requests always run on fresh state (Faults are incompatible with warm
 // instances at the runtime layer).
-func (e *Engine) instanceFor(p *pipeline, kind queue.Kind, qcap int, faults *rt.FaultPlan) (*rt.Instance, bool) {
+func (e *Engine) instanceFor(p *pipeline, sm *shardMetrics, kind queue.Kind, qcap int, faults *rt.FaultPlan) (*rt.Instance, bool) {
 	// An injected error forces the cold path (fresh allocation); a sleep
 	// action delays acquisition. Neither may change results.
 	if fpPool.Fail() != nil {
-		atomic.AddInt64(&e.met.poolMisses, 1)
+		atomic.AddInt64(&sm.poolMisses, 1)
 		return nil, false
 	}
 	if e.opts.DisablePool || p.pool == nil || faults != nil ||
 		kind != e.opts.Queue || qcap != e.opts.QueueCap {
-		atomic.AddInt64(&e.met.poolMisses, 1)
+		atomic.AddInt64(&sm.poolMisses, 1)
 		return nil, false
 	}
 	if inst := p.pool.get(); inst != nil {
-		atomic.AddInt64(&e.met.poolHits, 1)
+		atomic.AddInt64(&sm.poolHits, 1)
 		return inst, true
 	}
-	atomic.AddInt64(&e.met.poolMisses, 1)
+	atomic.AddInt64(&sm.poolMisses, 1)
 	return p.pool.make(), false
 }
 
@@ -918,12 +980,12 @@ func (e *Engine) releaseInstance(p *pipeline, inst *rt.Instance, poisoned bool) 
 // compile builds the workload and applies the DSWP transformation; a
 // single-SCC or unprofitable loop yields a sequential-only pipeline
 // (tr == nil) rather than an error, so the cache remembers the outcome.
-func (e *Engine) compile(req Request, build func() *workloads.Program, key string) (*pipeline, error) {
+func (e *Engine) compile(req Request, build func() *workloads.Program, key string, sm *shardMetrics) (*pipeline, error) {
 	if err := fpCompile.Fail(); err != nil {
 		return nil, fmt.Errorf("engine: compile %s: %w", req.Workload, err)
 	}
 	start := time.Now()
-	atomic.AddInt64(&e.met.compiles, 1)
+	atomic.AddInt64(&sm.compiles, 1)
 	prog := build()
 	prof, err := profile.Collect(prog.F, prog.Options())
 	if err != nil {
@@ -947,7 +1009,7 @@ func (e *Engine) compile(req Request, build func() *workloads.Program, key strin
 		compileMicros: time.Since(start).Microseconds()}
 	e.met.RecordCompile(p.compileMicros)
 	if !e.opts.DisablePool {
-		p.pool = newPool(plan, e.opts.Queue, e.opts.QueueCap, e.opts.PoolSize, e.met)
+		p.pool = newPool(plan, e.opts.Queue, e.opts.QueueCap, e.opts.PoolSize, sm)
 	}
 	return p, nil
 }
@@ -997,15 +1059,18 @@ func (e *Engine) Shutdown(ctx context.Context) error {
 
 // failQueued fails every pending-but-unstarted job with ErrDraining.
 func (e *Engine) failQueued() {
-	for {
-		select {
-		case j := <-e.pending:
-			atomic.AddInt64(&e.met.queued, -1)
-			atomic.AddInt64(&e.met.drained, 1)
-			j.err = ErrDraining
-			close(j.done)
-		default:
-			return
+	for _, s := range e.shards {
+	drain:
+		for {
+			select {
+			case j := <-s.pending:
+				atomic.AddInt64(&s.met.queued, -1)
+				atomic.AddInt64(&s.met.drained, 1)
+				j.err = ErrDraining
+				close(j.done)
+			default:
+				break drain
+			}
 		}
 	}
 }

@@ -368,7 +368,7 @@ func TestCacheLRUEviction(t *testing.T) {
 			if _, err := e.Run(context.Background(), Request{Workload: "list-traversal", N: n}); err != nil {
 				t.Fatal(err)
 			}
-			if got := e.cache.len(); got > 2 {
+			if got := e.cacheLen(); got > 2 {
 				t.Fatalf("cache holds %d entries, cap 2", got)
 			}
 		}

@@ -330,6 +330,7 @@ type debugVars struct {
 	UptimeSeconds float64                             `json:"uptime_seconds"`
 	Window        telemetry.WindowSnapshot            `json:"window"`
 	Workloads     map[string]telemetry.WindowSnapshot `json:"workloads,omitempty"`
+	Shards        []ShardSnapshot                     `json:"shards"`
 	Tracer        telemetry.TracerStats               `json:"tracer"`
 }
 
@@ -342,6 +343,7 @@ func (e *Engine) handleDebugVars(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds: time.Since(e.started).Seconds(),
 		Window:        e.window.Snapshot(includeSeries),
 		Workloads:     e.registry.Profiles(false),
+		Shards:        e.met.Snapshot().Shards,
 		Tracer:        e.tracer.Stats(),
 	})
 }

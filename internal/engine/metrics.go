@@ -7,38 +7,74 @@ import (
 	"dswp/internal/obs"
 )
 
-// Metrics holds the engine's serving counters. All fields are updated
-// atomically on the request path and read with atomic loads by
-// Snapshot, so /metrics can export mid-run without pausing anything —
-// the same contract obs.Metrics.Snapshot gives pipeline counters.
-type Metrics struct {
+// shardMetrics is one shard's hot counter block. Every field on the
+// steady-state request path lives here, not on Metrics, so concurrent
+// requests on different shards update disjoint cache lines instead of
+// bouncing one set of counters between cores (the same false-sharing
+// argument obs.QueueMetrics makes for queue endpoints, measured by the
+// dswpbench padding probe). The trailing pad keeps the next shard's
+// block off this one's last line; blocks are allocated contiguously by
+// newMetrics so the layout is deterministic.
+//
+// Attribution: admission-side counters (requests, shed, drained,
+// spilled) and cache/pool/compile counters belong to a request's *home*
+// shard — the one its key hashes to, where its compiled artifact lives.
+// Execution-side counters (queued, inflight, completed, failed, expired,
+// latency) belong to the shard whose worker ran it, which differs from
+// home only for spilled requests. Snapshot sums both views into the
+// engine-wide totals, which stay exact either way.
+type shardMetrics struct {
 	// Request lifecycle.
-	requests  int64 // admitted or attempted
-	completed int64 // finished with a response
-	failed    int64 // finished with an error (run error, deadline, bad request)
-	shed      int64 // rejected with ErrOverloaded (full pending queue)
-	drained   int64 // rejected or failed with ErrDraining during shutdown
-	expired   int64 // deadline passed while still queued
+	requests int64 // admitted or attempted (home)
+	complete int64 // finished with a response (executing shard)
+	failed   int64 // finished with an error (executing shard; pre-dispatch failures home)
+	shed     int64 // rejected with ErrOverloaded — every shard queue full (home)
+	drained  int64 // rejected or failed with ErrDraining during shutdown
+	expired  int64 // deadline passed while still queued (executing shard)
+	spilled  int64 // home-shard queue full, execution placed on a peer (home)
 
 	// Gauges.
 	inflight int64 // requests a worker is executing right now
 	queued   int64 // requests admitted but not yet picked up
 
-	// Compiled-pipeline cache.
+	// Compiled-pipeline cache (home shard).
 	cacheHits   int64
 	cacheMisses int64
-	cacheBypass int64 // DisableCache cold compiles
+	cacheBypass int64
 	cacheEvicts int64
-	compiles    int64 // core.Apply compilations actually executed
+	compiles    int64
 
-	// Warm instance pools.
-	poolHits        int64 // runs served on a pooled instance
-	poolMisses      int64 // runs that allocated (pool empty, geometry mismatch, disabled)
-	poolMakes       int64 // fresh instances allocated by pools
-	poolDrops       int64 // instances dropped at release (pool full)
-	poolQuarantined int64 // instances poisoned (run panicked or Reset-verify failed), never reissued
+	// Warm instance pools (home shard — pools hang off cached pipelines).
+	poolHits        int64
+	poolMisses      int64
+	poolMakes       int64
+	poolDrops       int64
+	poolQuarantined int64
 
-	// Fault-tolerance outcomes.
+	// Latency histograms and exact sums, microseconds (executing shard).
+	latTotal    obs.Hist
+	latQueue    obs.Hist
+	latRun      obs.Hist
+	latTotalSum int64
+	latQueueSum int64
+	latRunSum   int64
+
+	_ [64]byte // keep the next shard's block off this line
+}
+
+// Metrics holds the engine's serving counters: the per-shard hot blocks
+// plus engine-global cold-path counters (fault-tolerance outcomes,
+// resource governance) whose update rates are too low to contend. All
+// fields are updated atomically on their paths and read with atomic
+// loads by Snapshot, so /metrics can export mid-run without pausing
+// anything — the same contract obs.Metrics.Snapshot gives pipeline
+// counters.
+type Metrics struct {
+	// shards are the per-shard hot blocks, one per engine shard,
+	// contiguous so index i's pad separates it from block i+1.
+	shards []shardMetrics
+
+	// Fault-tolerance outcomes (cold: at most once per failed attempt).
 	resumes        int64 // runs that fell back to checkpoint-seeded sequential resume
 	retries        int64 // engine-level sequential retries after a pipelined failure
 	degraded       int64 // requests served sequentially because a breaker was open
@@ -48,7 +84,9 @@ type Metrics struct {
 	storeErrors    int64 // durable commits that failed (run unaffected)
 	recovered      int64 // orphaned requests finished by Recover after a restart
 
-	// Resource governance (govern.go).
+	// Resource governance (govern.go). inflightBytes stays engine-global
+	// deliberately: the byte budget bounds the whole process, so its CAS
+	// must see every shard's reservations.
 	shedResource    int64 // runs shed because the in-flight byte budget was full
 	requestTooLarge int64 // runs refused for exceeding the per-request byte cap
 	inflightBytes   int64 // gauge: summed working-set estimate of executing runs
@@ -56,23 +94,15 @@ type Metrics struct {
 	reaped          int64 // hung runs force-canceled by the reaper
 	bodyTooLarge    int64 // /run bodies rejected at the HTTP layer (413)
 
-	// Latency histograms, log2 buckets over MICROSECONDS — 24 buckets
-	// put the ceiling at 2^23us ~ 8.4s, comfortably above any served run.
-	latTotal   obs.Hist // end to end: queue wait + compile + run
-	latQueue   obs.Hist // admission queue wait
-	latRun     obs.Hist // pipeline execution only
-	latCompile obs.Hist // cold compiles only
-
-	// Exact sums alongside each histogram (microseconds): the Prometheus
-	// exposition's _sum needs them, and obs.Hist only knows bucket counts.
-	// They ride outside EngineSnapshot, which stays byte-compatible.
-	latTotalSum   int64
-	latQueueSum   int64
-	latRunSum     int64
+	// Cold-compile latency (compiles are rare by design — the cache
+	// exists to amortize them — so the histogram stays global).
+	latCompile    obs.Hist
 	latCompileSum int64
 }
 
-func newMetrics() *Metrics { return &Metrics{} }
+func newMetrics(shards int) *Metrics {
+	return &Metrics{shards: make([]shardMetrics, shards)}
+}
 
 // RecordCompile adds one cold-compile latency sample (microseconds).
 func (m *Metrics) RecordCompile(us int64) {
@@ -82,6 +112,8 @@ func (m *Metrics) RecordCompile(us int64) {
 
 // EngineSnapshot is the JSON shape /metrics serves. Quantiles are bucket
 // lower bounds (exact to within 2x, the log2 histogram's resolution).
+// Engine-wide fields are sums over the per-shard blocks; Shards breaks
+// the hot-path counters down by shard.
 type EngineSnapshot struct {
 	Requests  int64 `json:"requests"`
 	Completed int64 `json:"completed"`
@@ -89,6 +121,7 @@ type EngineSnapshot struct {
 	Shed      int64 `json:"shed"`
 	Drained   int64 `json:"drained"`
 	Expired   int64 `json:"expired"`
+	Spilled   int64 `json:"spilled"`
 
 	InFlight int64 `json:"in_flight"`
 	Queued   int64 `json:"queued"`
@@ -130,6 +163,31 @@ type EngineSnapshot struct {
 	LatencyQueueUS   HistSnapshot `json:"latency_queue_us"`
 	LatencyRunUS     HistSnapshot `json:"latency_run_us"`
 	LatencyCompileUS HistSnapshot `json:"latency_compile_us"`
+
+	// Shards is the per-shard breakdown of the hot-path counters,
+	// indexed by shard id. Omitted only by older readers; a single-shard
+	// engine reports one entry.
+	Shards []ShardSnapshot `json:"shards,omitempty"`
+}
+
+// ShardSnapshot is one shard's view of the hot-path counters; see
+// shardMetrics for the home-vs-executing attribution rules.
+type ShardSnapshot struct {
+	ID          int   `json:"id"`
+	Requests    int64 `json:"requests"`
+	Completed   int64 `json:"completed"`
+	Failed      int64 `json:"failed"`
+	Shed        int64 `json:"shed"`
+	Expired     int64 `json:"expired"`
+	Spilled     int64 `json:"spilled"`
+	InFlight    int64 `json:"in_flight"`
+	Queued      int64 `json:"queued"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	CacheEvicts int64 `json:"cache_evicts"`
+	Compiles    int64 `json:"compiles"`
+	PoolHits    int64 `json:"pool_hits"`
+	PoolMisses  int64 `json:"pool_misses"`
 }
 
 // HistSnapshot is one latency histogram with its headline quantiles.
@@ -151,31 +209,23 @@ func snapHist(h *obs.Hist) HistSnapshot {
 	return s
 }
 
-// Snapshot copies every counter with atomic loads; safe mid-run.
+// sumHists merges per-shard histogram blocks into one aggregate snapshot
+// (log2 buckets sum exactly; quantiles are recomputed on the merged
+// buckets, so they are as exact as any single histogram's).
+func sumHists(hs []*obs.Hist) HistSnapshot {
+	var merged obs.Hist
+	for _, h := range hs {
+		for i := range h {
+			merged[i] += atomic.LoadInt64(&h[i])
+		}
+	}
+	return snapHist(&merged)
+}
+
+// Snapshot copies every counter with atomic loads and sums the per-shard
+// blocks into the engine-wide totals; safe mid-run.
 func (m *Metrics) Snapshot() *EngineSnapshot {
-	return &EngineSnapshot{
-		Requests:  atomic.LoadInt64(&m.requests),
-		Completed: atomic.LoadInt64(&m.completed),
-		Failed:    atomic.LoadInt64(&m.failed),
-		Shed:      atomic.LoadInt64(&m.shed),
-		Drained:   atomic.LoadInt64(&m.drained),
-		Expired:   atomic.LoadInt64(&m.expired),
-
-		InFlight: atomic.LoadInt64(&m.inflight),
-		Queued:   atomic.LoadInt64(&m.queued),
-
-		CacheHits:   atomic.LoadInt64(&m.cacheHits),
-		CacheMisses: atomic.LoadInt64(&m.cacheMisses),
-		CacheBypass: atomic.LoadInt64(&m.cacheBypass),
-		CacheEvicts: atomic.LoadInt64(&m.cacheEvicts),
-		Compiles:    atomic.LoadInt64(&m.compiles),
-
-		PoolHits:        atomic.LoadInt64(&m.poolHits),
-		PoolMisses:      atomic.LoadInt64(&m.poolMisses),
-		PoolMakes:       atomic.LoadInt64(&m.poolMakes),
-		PoolDrops:       atomic.LoadInt64(&m.poolDrops),
-		PoolQuarantined: atomic.LoadInt64(&m.poolQuarantined),
-
+	s := &EngineSnapshot{
 		Resumes:        atomic.LoadInt64(&m.resumes),
 		Retries:        atomic.LoadInt64(&m.retries),
 		Degraded:       atomic.LoadInt64(&m.degraded),
@@ -193,9 +243,71 @@ func (m *Metrics) Snapshot() *EngineSnapshot {
 		BodyTooLarge:    atomic.LoadInt64(&m.bodyTooLarge),
 		Failpoints:      failpoint.Triggers(),
 
-		LatencyTotalUS:   snapHist(&m.latTotal),
-		LatencyQueueUS:   snapHist(&m.latQueue),
-		LatencyRunUS:     snapHist(&m.latRun),
 		LatencyCompileUS: snapHist(&m.latCompile),
 	}
+	totalHs := make([]*obs.Hist, 0, len(m.shards))
+	queueHs := make([]*obs.Hist, 0, len(m.shards))
+	runHs := make([]*obs.Hist, 0, len(m.shards))
+	s.Shards = make([]ShardSnapshot, len(m.shards))
+	for i := range m.shards {
+		sm := &m.shards[i]
+		ss := ShardSnapshot{
+			ID:          i,
+			Requests:    atomic.LoadInt64(&sm.requests),
+			Completed:   atomic.LoadInt64(&sm.complete),
+			Failed:      atomic.LoadInt64(&sm.failed),
+			Shed:        atomic.LoadInt64(&sm.shed),
+			Expired:     atomic.LoadInt64(&sm.expired),
+			Spilled:     atomic.LoadInt64(&sm.spilled),
+			InFlight:    atomic.LoadInt64(&sm.inflight),
+			Queued:      atomic.LoadInt64(&sm.queued),
+			CacheHits:   atomic.LoadInt64(&sm.cacheHits),
+			CacheMisses: atomic.LoadInt64(&sm.cacheMisses),
+			CacheEvicts: atomic.LoadInt64(&sm.cacheEvicts),
+			Compiles:    atomic.LoadInt64(&sm.compiles),
+			PoolHits:    atomic.LoadInt64(&sm.poolHits),
+			PoolMisses:  atomic.LoadInt64(&sm.poolMisses),
+		}
+		s.Shards[i] = ss
+
+		s.Requests += ss.Requests
+		s.Completed += ss.Completed
+		s.Failed += ss.Failed
+		s.Shed += ss.Shed
+		s.Drained += atomic.LoadInt64(&sm.drained)
+		s.Expired += ss.Expired
+		s.Spilled += ss.Spilled
+		s.InFlight += ss.InFlight
+		s.Queued += ss.Queued
+		s.CacheHits += ss.CacheHits
+		s.CacheMisses += ss.CacheMisses
+		s.CacheBypass += atomic.LoadInt64(&sm.cacheBypass)
+		s.CacheEvicts += ss.CacheEvicts
+		s.Compiles += ss.Compiles
+		s.PoolHits += ss.PoolHits
+		s.PoolMisses += ss.PoolMisses
+		s.PoolMakes += atomic.LoadInt64(&sm.poolMakes)
+		s.PoolDrops += atomic.LoadInt64(&sm.poolDrops)
+		s.PoolQuarantined += atomic.LoadInt64(&sm.poolQuarantined)
+
+		totalHs = append(totalHs, &sm.latTotal)
+		queueHs = append(queueHs, &sm.latQueue)
+		runHs = append(runHs, &sm.latRun)
+	}
+	s.LatencyTotalUS = sumHists(totalHs)
+	s.LatencyQueueUS = sumHists(queueHs)
+	s.LatencyRunUS = sumHists(runHs)
+	return s
+}
+
+// latSums returns the exact per-path latency sums (microseconds) summed
+// across shards; the Prometheus exposition's _sum lines need them.
+func (m *Metrics) latSums() (total, queue, run int64) {
+	for i := range m.shards {
+		sm := &m.shards[i]
+		total += atomic.LoadInt64(&sm.latTotalSum)
+		queue += atomic.LoadInt64(&sm.latQueueSum)
+		run += atomic.LoadInt64(&sm.latRunSum)
+	}
+	return
 }

@@ -28,13 +28,13 @@ type pool struct {
 	plan *rt.Plan
 	kind queue.Kind
 	qcap int
-	met  *Metrics
+	met  *shardMetrics
 
 	mu   sync.Mutex
 	free []*rt.Instance
 }
 
-func newPool(plan *rt.Plan, kind queue.Kind, qcap, size int, met *Metrics) *pool {
+func newPool(plan *rt.Plan, kind queue.Kind, qcap, size int, met *shardMetrics) *pool {
 	return &pool{plan: plan, kind: kind, qcap: qcap, met: met,
 		free: make([]*rt.Instance, 0, size)}
 }

@@ -1,0 +1,161 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// shard is one independent serving lane: its own compiled-pipeline cache
+// (with the warm pools hanging off the cached pipelines), its own bounded
+// pending queue, its own slice of the worker pool, and its own metrics
+// block on a distinct cache line. Nothing on the steady-state request
+// path — cache mutex, pool free list, admission counters — is shared
+// between shards, so adding cores adds serving lanes instead of adding
+// waiters on one set of locks.
+//
+// Routing is by consistent hash of the cache key (shardFor), so one
+// workload's compiled artifact, warm instances, and single-flight compile
+// state all live in exactly one home shard. When the home shard's queue
+// is saturated, dispatch spills the *execution* to the least-loaded peer;
+// the spilled worker still acquires the pipeline from the home shard's
+// cache, so the single-flight contract (one core.Apply per key, ever,
+// across any mix of home and spilled requests) is structural.
+type shard struct {
+	id      int
+	cache   *cache
+	pending chan *job
+	met     *shardMetrics
+}
+
+// vnodesPerShard is the virtual-node multiplier for the consistent-hash
+// ring. 64 points per shard keeps the expected key imbalance under ~15%
+// and the redistribution on a shard-count change near the ideal
+// (changed/new)/total fraction, while the whole ring stays small enough
+// to rebuild on every New.
+const vnodesPerShard = 64
+
+// hashRing maps cache keys onto shard ids with consistent hashing:
+// each shard owns vnodesPerShard points on a 64-bit ring, a key routes
+// to the first point at or clockwise-after its own hash. Point positions
+// depend only on (shard index, vnode index), so the key→shard assignment
+// is stable across restarts of the same shard count, and changing the
+// count moves only the keys whose successor point changed.
+type hashRing struct {
+	shards int
+	hashes []uint64 // sorted point positions
+	owner  []int    // owner[i] = shard owning hashes[i]
+}
+
+func newHashRing(shards int) *hashRing {
+	r := &hashRing{shards: shards}
+	type point struct {
+		h uint64
+		s int
+	}
+	pts := make([]point, 0, shards*vnodesPerShard)
+	for s := 0; s < shards; s++ {
+		for v := 0; v < vnodesPerShard; v++ {
+			pts = append(pts, point{fnv64a(fmt.Sprintf("shard-%d/vnode-%d", s, v)), s})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].h != pts[j].h {
+			return pts[i].h < pts[j].h
+		}
+		return pts[i].s < pts[j].s // deterministic under (vanishingly rare) collisions
+	})
+	r.hashes = make([]uint64, len(pts))
+	r.owner = make([]int, len(pts))
+	for i, p := range pts {
+		r.hashes[i] = p.h
+		r.owner[i] = p.s
+	}
+	return r
+}
+
+// shardFor routes a cache key to its home shard.
+func (r *hashRing) shardFor(key string) int {
+	if r.shards <= 1 {
+		return 0
+	}
+	h := fnv64a(key)
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) {
+		i = 0
+	}
+	return r.owner[i]
+}
+
+// fnv64a is the 64-bit FNV-1a hash (inline to keep the routing path
+// allocation-free; matches hash/fnv bit for bit).
+func fnv64a(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// dispatch places an admitted job: on its home shard's queue when there
+// is room, otherwise spilled onto the least-loaded peer with space.
+// Returns nil when every shard is saturated — the caller sheds with
+// ErrOverloaded, exactly the single-queue engine's behavior.
+func (e *Engine) dispatch(j *job) *shard {
+	home := j.home
+	select {
+	case home.pending <- j:
+		atomic.AddInt64(&home.met.queued, 1)
+		return home
+	default:
+	}
+	if len(e.shards) == 1 {
+		return nil
+	}
+	// Occupancy-ordered probe: try the emptiest peer first, then the
+	// rest. The length reads race with the workers, so a probe can fail;
+	// any later probe succeeding is still a valid placement.
+	order := make([]*shard, 0, len(e.shards)-1)
+	for _, s := range e.shards {
+		if s != home {
+			order = append(order, s)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return len(order[a].pending) < len(order[b].pending)
+	})
+	for _, s := range order {
+		select {
+		case s.pending <- j:
+			atomic.AddInt64(&s.met.queued, 1)
+			atomic.AddInt64(&home.met.spilled, 1)
+			return s
+		default:
+		}
+	}
+	return nil
+}
+
+// queuedTotal sums pending-queue occupancy across shards (the admission
+// span attribute and the windowed occupancy series use it).
+func (e *Engine) queuedTotal() int64 {
+	var n int64
+	for _, s := range e.shards {
+		n += int64(len(s.pending))
+	}
+	return n
+}
+
+// cacheLen sums resident compiled pipelines across shards (test hook).
+func (e *Engine) cacheLen() int {
+	n := 0
+	for _, s := range e.shards {
+		n += s.cache.len()
+	}
+	return n
+}

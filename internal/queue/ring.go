@@ -57,18 +57,26 @@ type ring struct {
 	consWake chan struct{}
 }
 
-// spinTries bounds the busy-wait phase of a blocking op before parking.
+// spinBudget bounds the busy-wait phase of a blocking op before parking.
 // Gosched is interleaved so a same-P peer can run; past the budget the
 // goroutine parks on the wake channel and costs nothing until notified.
-// On a uniprocessor spinning is pure waste — the opposite endpoint cannot
-// make progress while we burn the CPU — so the spin phase collapses to a
+// With one P spinning is pure waste — the opposite endpoint cannot make
+// progress while we burn the CPU — so the spin phase collapses to a
 // single yielding try, same as the Go runtime's own uniprocessor mutexes.
-var spinTries = func() int {
-	if runtime.NumCPU() == 1 {
+//
+// The budget is re-sampled per blocking op (not frozen at package or ring
+// construction) so rings built before a runtime.GOMAXPROCS change neither
+// spin pointlessly when the process is later confined to one P nor
+// park-early after it is widened — the exact staleness bug a
+// GOMAXPROCS-sweeping benchmark would otherwise inherit from its first
+// sweep point. GOMAXPROCS(0) takes the scheduler lock, so callers only
+// consult this after a first failed try, off the uncontended fast path.
+func spinBudget() int {
+	if runtime.GOMAXPROCS(0) == 1 {
 		return 8
 	}
 	return 64
-}()
+}
 
 func newRing(capacity int) *ring {
 	n := 1
@@ -160,7 +168,10 @@ func (q *ring) TryConsumeN(dst []int64) int {
 }
 
 func (q *ring) Produce(v int64, done <-chan struct{}) bool {
-	for i := 0; i < spinTries; i++ {
+	if q.TryProduce(v) { // uncontended fast path: no budget lookup
+		return true
+	}
+	for i, budget := 0, spinBudget(); i < budget; i++ {
 		if q.TryProduce(v) {
 			return true
 		}
@@ -189,7 +200,10 @@ func (q *ring) Produce(v int64, done <-chan struct{}) bool {
 }
 
 func (q *ring) Consume(done <-chan struct{}) (int64, bool) {
-	for i := 0; i < spinTries; i++ {
+	if v, ok := q.TryConsume(); ok { // uncontended fast path: no budget lookup
+		return v, true
+	}
+	for i, budget := 0, spinBudget(); i < budget; i++ {
 		if v, ok := q.TryConsume(); ok {
 			return v, true
 		}

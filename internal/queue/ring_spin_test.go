@@ -1,0 +1,61 @@
+package queue
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestSpinBudgetTracksGOMAXPROCS pins the contract that the ring's spin
+// budget follows the *current* GOMAXPROCS, not a value frozen at package
+// init or ring construction: a ring built under one setting must adopt
+// the other setting's budget the moment the runtime changes, so a
+// GOMAXPROCS-sweeping process never spins on a uniprocessor or
+// parks-early on a multiprocessor with stale rings.
+func TestSpinBudgetTracksGOMAXPROCS(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	runtime.GOMAXPROCS(1)
+	if got := spinBudget(); got != 8 {
+		t.Fatalf("spinBudget at GOMAXPROCS=1 = %d, want 8", got)
+	}
+	runtime.GOMAXPROCS(2)
+	if got := spinBudget(); got != 64 {
+		t.Fatalf("spinBudget at GOMAXPROCS=2 = %d, want 64", got)
+	}
+	// Flip back down: the same budget must shrink again — this is the
+	// direction the frozen-at-init implementation got wrong.
+	runtime.GOMAXPROCS(1)
+	if got := spinBudget(); got != 8 {
+		t.Fatalf("spinBudget after shrinking back to 1 P = %d, want 8", got)
+	}
+}
+
+// TestRingBlockingAcrossGOMAXPROCSChange exercises a single ring's
+// blocking Produce/Consume before and after a GOMAXPROCS change, proving
+// correctness is budget-independent (the budget only shifts where the
+// spin→park ladder transitions).
+func TestRingBlockingAcrossGOMAXPROCSChange(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	q := New(KindRing, 2)
+	done := make(chan struct{})
+	defer close(done)
+
+	for round, procs := range []int{1, 2, 1} {
+		runtime.GOMAXPROCS(procs)
+		go func() {
+			for i := int64(0); i < 64; i++ {
+				q.Produce(i, done)
+			}
+		}()
+		for i := int64(0); i < 64; i++ {
+			v, ok := q.Consume(done)
+			if !ok || v != i {
+				t.Fatalf("round %d (procs=%d): Consume = (%d, %v), want (%d, true)",
+					round, procs, v, ok, i)
+			}
+		}
+	}
+}
