@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race validate bench bench-json bench-json-pr5 bench-json-pr9 serve load-smoke server-smoke crash-smoke metrics-smoke svc-chaos clean
+.PHONY: check vet build test race validate bench bench-json bench-json-pr5 bench-json-pr9 bench-json-pr10 ps-smoke serve load-smoke server-smoke crash-smoke metrics-smoke svc-chaos clean
 
 # The gate for every change: vet, build, and the full test suite under
 # the race detector (channels carry every cross-thread dependence, so
@@ -40,11 +40,25 @@ bench-json:
 	$(GO) run ./cmd/dswpbench -ckptjson -ckptout BENCH_PR6.json
 	$(GO) run ./cmd/dswpbench -obsjson -obsout BENCH_PR7.json
 	$(GO) run ./cmd/dswpbench -mcjson -mcout BENCH_PR9.json
+	$(GO) run ./cmd/dswpbench -psjson -psout BENCH_PR10.json
 
 # Multi-core sweep alone (BENCH_PR9.json): pipeline wall-clock, stage
 # pinning, batch sizing, and cached-serving throughput across GOMAXPROCS.
 bench-json-pr9:
 	$(GO) run ./cmd/dswpbench -mcjson -mcout BENCH_PR9.json
+
+# PS-DSWP replication sweep alone (BENCH_PR10.json): the directed
+# 3-stage hashred pipeline at replication width {1,2,4} across
+# GOMAXPROCS and both queue substrates. Width curves only separate on
+# >= 4 real cores; the file records num_cpu for the reader.
+bench-json-pr10:
+	$(GO) run ./cmd/dswpbench -psjson -psout BENCH_PR10.json
+
+# Replication smoke for CI: the psdswp differential suite under -race
+# plus a quick -psjson sweep.
+ps-smoke:
+	$(GO) test -race ./internal/psdswp/
+	$(GO) run ./cmd/dswpbench -psjson -quick -psout BENCH_PR10_quick.json
 
 # Serving-path measurement: cold-compile vs cached vs warm-pooled
 # closed-loop throughput and latency, pinned to BENCH_PR5.json (format

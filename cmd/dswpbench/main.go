@@ -94,6 +94,8 @@ func main() {
 	obsout := flag.String("obsout", "BENCH_PR7.json", "output path for -obsjson")
 	mcjson := flag.Bool("mcjson", false, "run the multi-core GOMAXPROCS sweep instead and write -mcout")
 	mcout := flag.String("mcout", "BENCH_PR9.json", "output path for -mcjson")
+	psjson := flag.Bool("psjson", false, "run the PS-DSWP replication sweep instead and write -psout")
+	psout := flag.String("psout", "BENCH_PR10.json", "output path for -psjson")
 	flag.Parse()
 
 	if *ckptjson {
@@ -106,6 +108,10 @@ func main() {
 	}
 	if *mcjson {
 		runMCBench(*quick, *mcout)
+		return
+	}
+	if *psjson {
+		runPSBench(*quick, *psout)
 		return
 	}
 

@@ -1,0 +1,194 @@
+package main
+
+// The -psjson tier: wall-clock for PS-DSWP parallel-stage replication
+// (BENCH_PR10.json). The subject is hashred — a heavy per-element hash
+// chain feeding a small XOR reduction — partitioned by the replication-
+// directed search into induction | hash chain | reduction, so the middle
+// stage holds nearly all the work. The sweep measures the same pipeline
+// at replication width 1 (plain 3-stage DSWP), 2, and 4, across a
+// GOMAXPROCS ladder and both queue substrates:
+//
+//   - at P=1 the widths should tie (replicas timeslice one core and the
+//     fan-out adds queue traffic) — replication buys nothing without
+//     real cores, and the file records num_cpu for exactly that reason;
+//   - at P>=4 width 4 should pull ahead of width 1, because the
+//     replicated stage is the pipeline's bottleneck by construction and
+//     W replicas divide its service time.
+//
+// The headline ratio is width-4-vs-width-1 at the top P on ring queues.
+// CI runs the quick variant on multi-core runners and uploads the file;
+// EXPERIMENTS.md documents how to read it.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"dswp/internal/core"
+	"dswp/internal/interp"
+	"dswp/internal/profile"
+	"dswp/internal/psdswp"
+	"dswp/internal/queue"
+	rt "dswp/internal/runtime"
+	"dswp/internal/workloads"
+)
+
+// psFile is the BENCH_PR10.json shape.
+type psFile struct {
+	Schema          string `json:"schema"`
+	Quick           bool   `json:"quick"`
+	NumCPU          int    `json:"num_cpu"`
+	StartGOMAXPROCS int    `json:"start_gomaxprocs"`
+	Procs           []int  `json:"procs"`
+	Widths          []int  `json:"widths"`
+
+	Workload     string  `json:"workload"`
+	StageWeights []int64 `json:"stage_weights"`
+	PlannedWidth int     `json:"planned_width"`
+
+	// SequentialNsPerRun is the single-threaded interpreter baseline.
+	SequentialNsPerRun float64 `json:"sequential_ns_per_run"`
+	// Points is the sweep: wall-clock per (P, width, kind).
+	Points []psPoint `json:"points"`
+
+	// ReplicationScalingTopP is the headline: width-4 over width-1
+	// wall-clock at the top P on ring queues (>1 means replication won).
+	ReplicationScalingTopP float64 `json:"replication_scaling_top_p"`
+}
+
+type psPoint struct {
+	Procs        int     `json:"procs"`
+	Width        int     `json:"width"`
+	Kind         string  `json:"kind"`
+	Threads      int     `json:"threads"`
+	NsPerRun     float64 `json:"ns_per_run"`
+	VsWidth1     float64 `json:"vs_width1"`
+	VsSequential float64 `json:"vs_sequential"`
+}
+
+func runPSBench(quick bool, out string) {
+	dur := 300 * time.Millisecond
+	procs := []int{1, 2, 4, 8}
+	prog := workloads.HashRedSized(60000, 10)
+	if quick {
+		dur = 80 * time.Millisecond
+		procs = []int{1, 2, 4}
+		prog = workloads.HashRedSized(20000, 10)
+	}
+	widths := []int{1, 2, 4}
+	startP := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(startP)
+
+	res := &psFile{
+		Schema: "dswp-bench-pr10/1", Quick: quick,
+		NumCPU: runtime.NumCPU(), StartGOMAXPROCS: startP,
+		Procs: procs, Widths: widths, Workload: prog.Name,
+	}
+	fmt.Printf("dswpbench -psjson: NumCPU=%d procs=%v widths=%v quick=%v\n",
+		res.NumCPU, procs, widths, quick)
+	if res.NumCPU < 4 {
+		fmt.Printf("dswpbench: NOTE: %d CPU(s) — replicas timeslice one core; expect flat width curves\n", res.NumCPU)
+	}
+
+	prof, err := profile.Collect(prog.F, prog.Options())
+	if err != nil {
+		fail(err)
+	}
+	a, err := core.Analyze(prog.F, prog.LoopHeader, prof, core.Config{
+		NumThreads: 3, SkipProfitability: true, PackFlows: true,
+	})
+	if err != nil {
+		fail(err)
+	}
+	part, tr, rep, err := psdswp.SearchPartition(a, 3)
+	if err != nil {
+		fail(fmt.Errorf("directed partition: %w", err))
+	}
+	res.StageWeights = part.StageWeights()
+	res.PlannedWidth = rep.Width
+	fmt.Printf("  directed partition: stage weights %v, planner chose width %d\n%s",
+		res.StageWeights, rep.Width, rep)
+
+	// One pipeline per width, compiled once; width 1 is the unreplicated
+	// 3-stage pipeline the others are measured against.
+	pipelines := map[int]*core.Transformed{1: tr}
+	for _, w := range widths {
+		if w == 1 {
+			continue
+		}
+		r, err := psdswp.Replicate(tr, rep.Stage, w)
+		if err != nil {
+			fail(fmt.Errorf("replicate width %d: %w", w, err))
+		}
+		pipelines[w] = r.Tr
+	}
+
+	res.SequentialNsPerRun = measure(dur, func(n int) {
+		for i := 0; i < n; i++ {
+			if _, err := interp.Run(prog.F, interp.Options{Mem: prog.Mem, Regs: prog.Regs}); err != nil {
+				fail(fmt.Errorf("sequential: %w", err))
+			}
+		}
+	})
+	fmt.Printf("  sequential %12.0f ns/run\n", res.SequentialNsPerRun)
+
+	fmt.Println("\nreplicated pipeline wall-clock across GOMAXPROCS:")
+	width1 := map[string]float64{} // kind|P -> ns
+	topP := procs[len(procs)-1]
+	for _, P := range procs {
+		runtime.GOMAXPROCS(P)
+		for _, w := range widths {
+			ptr := pipelines[w]
+			for _, kind := range []queue.Kind{queue.KindChannel, queue.KindRing} {
+				ns := measure(dur, func(n int) {
+					for i := 0; i < n; i++ {
+						if _, err := rt.Run(ptr.Threads, rt.Options{
+							Mem: prog.Mem, Regs: prog.Regs, Queue: kind,
+						}); err != nil {
+							fail(fmt.Errorf("P=%d w=%d %s: %w", P, w, kind, err))
+						}
+					}
+				})
+				key := fmt.Sprintf("%s|%d", kind, P)
+				if w == 1 {
+					width1[key] = ns
+				}
+				pt := psPoint{
+					Procs: P, Width: w, Kind: kind.String(),
+					Threads: len(ptr.Threads), NsPerRun: ns,
+					VsSequential: res.SequentialNsPerRun / ns,
+				}
+				if base := width1[key]; base > 0 {
+					pt.VsWidth1 = base / ns
+				}
+				res.Points = append(res.Points, pt)
+				fmt.Printf("  P=%d w=%d %-7s threads=%d  %12.0f ns/run  %5.2fx vs w1  %5.2fx vs seq\n",
+					P, w, kind, pt.Threads, ns, pt.VsWidth1, pt.VsSequential)
+				if P == topP && w == widths[len(widths)-1] && kind == queue.KindRing {
+					res.ReplicationScalingTopP = pt.VsWidth1
+				}
+			}
+		}
+	}
+	runtime.GOMAXPROCS(startP)
+
+	fmt.Printf("\nheadline:\n  replication_scaling_top_p: %.2fx (width %d vs width 1 at P=%d, ring)\n",
+		res.ReplicationScalingTopP, widths[len(widths)-1], topP)
+
+	f, err := os.Create(out)
+	if err != nil {
+		fail(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		f.Close()
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+	fmt.Printf("\nwrote %s\n", out)
+}

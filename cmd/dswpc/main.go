@@ -18,6 +18,7 @@ import (
 	"dswp/internal/ir"
 	"dswp/internal/obs"
 	"dswp/internal/profile"
+	"dswp/internal/psdswp"
 	"dswp/internal/workloads"
 )
 
@@ -39,7 +40,7 @@ func main() {
 	}
 
 	if *list {
-		for _, wb := range append(workloads.Table1Suite(), workloads.CaseStudies()...) {
+		for _, wb := range append(append(workloads.Table1Suite(), workloads.CaseStudies()...), workloads.ReplicationSuite()...) {
 			p := wb.Build()
 			fmt.Printf("%-20s %s\n", p.Name, p.Description)
 		}
@@ -156,7 +157,7 @@ func runStats(workload, file, loop string, threads int) {
 	var progs []*workloads.Program
 	if workload == "all" {
 		progs = append(progs, workloads.ListTraversal(2000), workloads.ListOfLists(100, 6))
-		for _, wb := range append(workloads.Table1Suite(), workloads.CaseStudies()...) {
+		for _, wb := range append(append(workloads.Table1Suite(), workloads.CaseStudies()...), workloads.ReplicationSuite()...) {
 			progs = append(progs, wb.Build())
 		}
 	} else {
@@ -170,40 +171,48 @@ func runStats(workload, file, loop string, threads int) {
 		if i > 0 {
 			fmt.Println()
 		}
-		st, err := statsFor(p, threads)
+		st, rep, err := statsFor(p, threads)
 		if err != nil {
 			fail(fmt.Errorf("%s: %w", p.Name, err))
 		}
 		fmt.Printf("workload %s\n", p.Name)
 		fmt.Print(st)
+		if rep != nil {
+			fmt.Print(rep)
+		}
 	}
 }
 
 // statsFor runs analysis (and, where a pipeline exists, the transformation)
-// to produce the pass statistics for one program.
-func statsFor(p *workloads.Program, threads int) (*obs.PassStats, error) {
+// to produce the pass statistics for one program. Where the transformation
+// yields a pipeline, the PS-DSWP replication analysis runs on top of it and
+// its per-stage decisions — including why a stage cannot be replicated —
+// come back alongside the stats.
+func statsFor(p *workloads.Program, threads int) (*obs.PassStats, *psdswp.Report, error) {
 	prof, err := profile.Collect(p.F, p.Options())
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	a, err := core.Analyze(p.F, p.LoopHeader, prof, core.Config{
 		NumThreads: threads, SkipProfitability: true,
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if a.NumSCCs() == 1 {
-		return a.Stats(), nil
+		return a.Stats(), nil, nil
 	}
 	part := a.Heuristic()
 	if part.N == 1 {
-		return a.Stats(), nil
+		return a.Stats(), nil, nil
 	}
 	tr, err := a.Transform(part)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return tr.Stats, nil
+	rep := psdswp.Analyze(tr)
+	tr.Stats.ReplicableSCCs = rep.ReplicableSCCs()
+	return tr.Stats, rep, nil
 }
 
 func selectProgram(workload, file, loop string) (*workloads.Program, error) {
@@ -215,7 +224,7 @@ func selectProgram(workload, file, loop string) (*workloads.Program, error) {
 		case "list-of-lists", "listsum":
 			return workloads.ListOfLists(100, 6), nil
 		}
-		for _, wb := range append(workloads.Table1Suite(), workloads.CaseStudies()...) {
+		for _, wb := range append(append(workloads.Table1Suite(), workloads.CaseStudies()...), workloads.ReplicationSuite()...) {
 			if wb.Name == workload {
 				return wb.Build(), nil
 			}

@@ -52,6 +52,7 @@ func main() {
 		cacheCap   = flag.Int("cache-cap", 32, "max cached compiled pipelines")
 		poolSize   = flag.Int("pool", 0, "warm instances per pipeline (0 = workers)")
 		queueKind  = flag.String("queue", "channel", "default substrate: channel or ring")
+		replicate  = flag.Bool("replicate", false, "apply PS-DSWP parallel-stage replication to every compile")
 		queueCap   = flag.Int("queue-cap", 0, "default synchronization-array capacity (0 = 32)")
 		deadline   = flag.Duration("deadline", 30*time.Second, "default per-request deadline")
 		noCache    = flag.Bool("no-cache", false, "disable the compiled-pipeline cache")
@@ -107,6 +108,7 @@ func main() {
 		PoolSize:         *poolSize,
 		QueueCap:         *queueCap,
 		Queue:            kind,
+		Replicate:        *replicate,
 		DefaultDeadline:  *deadline,
 		DisableCache:     *noCache,
 		DisablePool:      *noPool,

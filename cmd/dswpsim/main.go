@@ -66,6 +66,7 @@ import (
 	"dswp/internal/ir"
 	"dswp/internal/obs"
 	"dswp/internal/profile"
+	"dswp/internal/psdswp"
 	"dswp/internal/queue"
 	rt "dswp/internal/runtime"
 	"dswp/internal/sim"
@@ -146,6 +147,9 @@ func main() {
 			fmt.Printf("pass stats: not available for scheme %q\n\n", *scheme)
 		} else {
 			fmt.Print(passStats)
+			if runner.psReport != nil {
+				fmt.Print(runner.psReport)
+			}
 			fmt.Println()
 		}
 	}
@@ -276,7 +280,7 @@ func findWorkload(name string) (*workloads.Program, error) {
 	case "list-of-lists", "listsum":
 		return workloads.ListOfLists(100, 6), nil
 	}
-	for _, wb := range append(workloads.Table1Suite(), workloads.CaseStudies()...) {
+	for _, wb := range append(append(workloads.Table1Suite(), workloads.CaseStudies()...), workloads.ReplicationSuite()...) {
 		if wb.Name == name {
 			return wb.Build(), nil
 		}
@@ -307,6 +311,10 @@ type runner struct {
 	instrument bool
 	metrics    *obs.Metrics
 	trace      *obs.Trace
+
+	// psReport is the PS-DSWP replication analysis of the transformed
+	// pipeline (dswp/best schemes only), printed alongside -stats.
+	psReport *psdswp.Report
 }
 
 // recorder builds the instrumentation sink for a run of nThreads threads
@@ -456,6 +464,8 @@ func buildTraces(p *workloads.Program, scheme string, threads int, r *runner) ([
 		if err != nil {
 			return nil, nil, err
 		}
+		r.psReport = psdswp.Analyze(tr)
+		tr.Stats.ReplicableSCCs = r.psReport.ReplicableSCCs()
 		r.regOwner = tr.RegOwner
 		traces, err := r.execute(tr.Threads, p, tr.NumQueues, opts)
 		return traces, tr.Stats, err

@@ -12,6 +12,8 @@
 //     internal/dep),
 //   - the DSWP algorithm itself — SCC partitioning, code splitting, flow
 //     insertion (internal/core),
+//   - PS-DSWP parallel-stage replication: replicable-stage analysis and
+//     the fan-out/fan-in queue rewrite (internal/psdswp),
 //   - a DOACROSS baseline (internal/doacross),
 //   - a functional interpreter and a cycle-level dual-core machine model
 //     with a synchronization array (internal/interp, internal/sim),
@@ -42,6 +44,7 @@ import (
 	"dswp/internal/ir"
 	"dswp/internal/obs"
 	"dswp/internal/profile"
+	"dswp/internal/psdswp"
 	"dswp/internal/queue"
 	rt "dswp/internal/runtime"
 	"dswp/internal/sim"
@@ -78,6 +81,13 @@ type (
 
 	// Partitioning is a valid DAG_SCC partitioning.
 	Partitioning = core.Partitioning
+
+	// ReplicationReport is the PS-DSWP replicability analysis of a
+	// transformed pipeline (per-stage decisions with rejection reasons,
+	// chosen stage and width); ReplicationResult is a replicated
+	// pipeline.
+	ReplicationReport = psdswp.Report
+	ReplicationResult = psdswp.Result
 
 	// MachineConfig describes the simulated CMP; MachineResult is one
 	// timing run.
@@ -293,6 +303,19 @@ func Doacross(p *Program, n int) ([]*Function, error) {
 	return doacross.Transform(p.F, p.LoopHeader, n)
 }
 
+// AnalyzeReplication runs the PS-DSWP replicability analysis on a
+// transformed pipeline: which stages could run as W parallel replicas,
+// and why the others cannot (DESIGN.md §15).
+func AnalyzeReplication(tr *Transformed) *ReplicationReport { return psdswp.Analyze(tr) }
+
+// Replicate rewrites a transformed pipeline so stage runs as width
+// parallel replicas behind a round-robin fan-out/fan-in queue topology.
+// The replicated pipeline is bit-identical to the original; use
+// AnalyzeReplication to find a legal stage and a profile-balanced width.
+func Replicate(tr *Transformed, stage, width int) (*ReplicationResult, error) {
+	return psdswp.Replicate(tr, stage, width)
+}
+
 // RunBaseline executes the program single-threaded on the machine model
 // and returns its timing.
 func RunBaseline(p *Program, m MachineConfig) (*MachineResult, error) {
@@ -495,6 +518,9 @@ func Workloads() map[string]func() *Program {
 		out[wb.Name] = wb.Build
 	}
 	for _, wb := range workloads.CaseStudies() {
+		out[wb.Name] = wb.Build
+	}
+	for _, wb := range workloads.ReplicationSuite() {
 		out[wb.Name] = wb.Build
 	}
 	return out

@@ -38,6 +38,7 @@ import (
 	"dswp/internal/core"
 	"dswp/internal/interp"
 	"dswp/internal/profile"
+	"dswp/internal/psdswp"
 	"dswp/internal/queue"
 	rt "dswp/internal/runtime"
 	"dswp/internal/supervisor"
@@ -108,6 +109,12 @@ type Options struct {
 	// shards by consistent hashing; a saturated shard spills execution
 	// (never compilation) to its least-loaded peer.
 	Shards int
+	// Replicate defaults every request to parallel-stage replication
+	// (psdswp): workloads with a replicable stage compile to a fan-out/
+	// fan-in pipeline at the planner's width. Requests still carry their
+	// own Replicate/ReplicaWidth knobs; this only flips the default on
+	// (the dswpd -replicate flag).
+	Replicate bool
 	// PinStages pins every pipeline-stage goroutine to its own OS thread
 	// (runtime.LockOSThread) for the duration of the run. On multi-core
 	// hosts this trades scheduler flexibility for cache affinity between
@@ -236,6 +243,16 @@ type Request struct {
 	// ConservativeMemory builds the dependence graph with every memory
 	// pair aliasing (the epicdec case-study mode).
 	ConservativeMemory bool `json:"conservative_memory,omitempty"`
+	// Replicate runs the parallel-stage replication planner (psdswp) and,
+	// when it finds a replicable stage, serves the fan-out/fan-in
+	// replicated pipeline. Workloads with no replicable stage fall back
+	// to the plain pipeline — never an error.
+	Replicate bool `json:"replicate,omitempty"`
+	// ReplicaWidth overrides the planner's width choice (0 = let the
+	// profile-driven balance data decide; capped at psdswp.MaxWidth
+	// heuristically but explicit widths are honored). Only meaningful
+	// with Replicate.
+	ReplicaWidth int `json:"replica_width,omitempty"`
 	// Mode selects execution: "supervised" (default; checkpointing and
 	// sequential resume), "concurrent" (raw pipeline runtime), or
 	// "sequential" (the untransformed loop on the interpreter).
@@ -251,7 +268,10 @@ type Request struct {
 	DeadlineMillis int64 `json:"deadline_ms,omitempty"`
 	// InjectPanic > 0 makes the last pipeline stage panic after that many
 	// retired instructions — a fault-injection knob for chaos tests and
-	// the crash-smoke harness. Injection bypasses the warm pool.
+	// the crash-smoke harness. On a replicated pipeline the panic lands
+	// on a single replica of the parallel stage instead, so chaos runs
+	// exercise replica failure isolation. Injection bypasses the warm
+	// pool.
 	InjectPanic int64 `json:"inject_panic,omitempty"`
 	// InjectStallUS > 0 stalls thread 0 that many microseconds every 64
 	// retired instructions, stretching runs so a crash (or a shutdown)
@@ -280,6 +300,11 @@ type Response struct {
 	// Threads and NumQueues describe the compiled pipeline.
 	Threads   int `json:"threads,omitempty"`
 	NumQueues int `json:"num_queues,omitempty"`
+	// ReplicatedStage/ReplicaWidth report parallel-stage replication:
+	// the stage served by ReplicaWidth round-robin replicas (absent when
+	// the pipeline is sequential or replication was not requested).
+	ReplicatedStage int `json:"replicated_stage,omitempty"`
+	ReplicaWidth    int `json:"replica_width,omitempty"`
 	// Cache is "hit", "miss", or "bypass" (cache disabled).
 	Cache string `json:"cache"`
 	// Warm is true when the run reused a pooled instance.
@@ -481,6 +506,9 @@ func (e *Engine) Run(ctx context.Context, req Request) (*Response, error) {
 // it as X-Request-ID even for requests that fail — the errored trace is
 // then retrievable from /debug/requests/{id}.
 func (e *Engine) RunTraced(ctx context.Context, req Request) (*Response, string, error) {
+	if e.opts.Replicate {
+		req.Replicate = true
+	}
 	tr := e.tracer.Start(req.Workload)
 	var id string
 	if tr != nil {
@@ -684,6 +712,11 @@ func (e *Engine) execute(ctx context.Context, s *shard, j *job) (*Response, erro
 	if p.tr != nil {
 		resp.Threads = len(p.tr.Threads)
 		resp.NumQueues = p.tr.NumQueues
+		if topo := p.plan.Topology(); topo.Replicated() {
+			resp.ReplicatedStage = topo.Stage
+			resp.ReplicaWidth = topo.Width
+			atomic.AddInt64(&e.met.replicaRuns, 1)
+		}
 	}
 
 	kind, qcap := e.runGeometry(req)
@@ -704,6 +737,10 @@ func (e *Engine) execute(ctx context.Context, s *shard, j *job) (*Response, erro
 		mode = "supervised"
 	}
 	rs.Attr("mode", mode).Attr("pipelined", resp.Pipelined)
+	if resp.ReplicaWidth > 1 {
+		rs.Attr("replicated_stage", int64(resp.ReplicatedStage))
+		rs.Attr("replica_width", int64(resp.ReplicaWidth))
+	}
 	var res *interp.Result
 	switch {
 	case req.Mode == "sequential" || p.tr == nil:
@@ -719,7 +756,7 @@ func (e *Engine) execute(ctx context.Context, s *shard, j *job) (*Response, erro
 			Plan: p.plan, Instance: inst, Queue: kind, QueueCap: qcap,
 			Mem: p.prog.Mem, Regs: p.prog.Regs, Faults: faults,
 			LockOSThread: e.opts.PinStages,
-			Recorder:     e.tracer.RunRecorder(tr, len(p.tr.Threads)),
+			Recorder:     e.tracer.RunRecorder(tr, len(p.tr.Threads), stageLabels(p)...),
 		})
 		e.releaseInstance(p, inst, poisons(err) || j.reaped.Load())
 	case req.Mode == "" || req.Mode == "supervised":
@@ -744,6 +781,28 @@ func (e *Engine) execute(ctx context.Context, s *shard, j *job) (*Response, erro
 
 // hex16 renders a state digest as fixed-width hex.
 func hex16(d uint64) string { return fmt.Sprintf("%016x", d) }
+
+// stageLabels names a replicated pipeline's threads for per-replica
+// telemetry spans ("stage 1 r0"); nil for sequential pipelines, which
+// keep the default "stage N" names.
+func stageLabels(p *pipeline) []string {
+	if p.plan == nil {
+		return nil
+	}
+	topo := p.plan.Topology()
+	if !topo.Replicated() {
+		return nil
+	}
+	labels := make([]string, topo.Threads)
+	for i := range labels {
+		if topo.StageOf(i) == topo.Stage {
+			labels[i] = fmt.Sprintf("stage %d r%d", topo.Stage, topo.ReplicaOf(i))
+		} else {
+			labels[i] = fmt.Sprintf("stage %d", topo.StageOf(i))
+		}
+	}
+	return labels
+}
 
 // runGeometry resolves the queue substrate and capacity for a request.
 func (e *Engine) runGeometry(req Request) (queue.Kind, int) {
@@ -813,7 +872,7 @@ func (e *Engine) runSupervised(ctx context.Context, j *job, p *pipeline,
 		Faults: faults, CheckpointEvery: e.opts.CheckpointEvery,
 		DisableResume: true, LockOSThread: e.opts.PinStages,
 		Store: e.store, StoreKey: ckey, StoreMeta: meta,
-		Recorder: e.tracer.RunRecorder(tr, len(p.tr.Threads)),
+		Recorder: e.tracer.RunRecorder(tr, len(p.tr.Threads), stageLabels(p)...),
 	})
 	e.releaseInstance(p, inst, poisons(err) || j.reaped.Load())
 	resp.Attempts = 1
@@ -922,7 +981,15 @@ func faultsOf(req Request, p *pipeline) *rt.FaultPlan {
 	}
 	f := &rt.FaultPlan{}
 	if req.InjectPanic > 0 {
-		f.ThreadPanic = map[int]int64{len(p.tr.Threads) - 1: req.InjectPanic}
+		target := len(p.tr.Threads) - 1
+		if topo := p.plan.Topology(); topo.Replicated() {
+			// Kill one replica of the parallel stage rather than the
+			// merge stage: replica death is the failure mode replication
+			// introduces, so it is the one chaos should rehearse.
+			rth := topo.ReplicaThreads()
+			target = rth[len(rth)-1]
+		}
+		f.ThreadPanic = map[int]int64{target: req.InjectPanic}
 	}
 	if req.InjectStallUS > 0 {
 		f.ThreadStall = map[int]rt.ThreadStall{0: {Every: 64,
@@ -1001,10 +1068,31 @@ func (e *Engine) compile(req Request, build func() *workloads.Program, key strin
 		return nil, fmt.Errorf("engine: transform %s: %w", req.Workload, err)
 	}
 	e.noteCompile(req.Workload, true, tr.Stats.Checkpointable)
+	topo := rt.SequentialTopology(len(tr.Threads))
+	if req.Replicate {
+		prep := psdswp.Analyze(tr)
+		tr.Stats.ReplicableSCCs = prep.ReplicableSCCs()
+		width := req.ReplicaWidth
+		if width <= 0 {
+			width = prep.Width
+		}
+		if prep.Replicable() && width >= 2 {
+			res, rerr := psdswp.Replicate(tr, prep.Stage, width)
+			if rerr != nil {
+				// The planner approved the stage; a rewriter refusal is a
+				// compiler bug, not a servable outcome.
+				return nil, fmt.Errorf("engine: replicate %s: %w", req.Workload, rerr)
+			}
+			tr = res.Tr
+			topo = rt.ReplicatedTopology(len(tr.Threads), res.Stage, res.Width)
+			atomic.AddInt64(&e.met.replicatedCompiles, 1)
+		}
+	}
 	plan, err := rt.NewPlan(tr.Threads)
 	if err != nil {
 		return nil, fmt.Errorf("engine: plan %s: %w", req.Workload, err)
 	}
+	plan.SetTopology(topo)
 	p := &pipeline{key: key, prog: prog, tr: tr, plan: plan,
 		compileMicros: time.Since(start).Microseconds()}
 	e.met.RecordCompile(p.compileMicros)

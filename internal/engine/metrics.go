@@ -94,6 +94,11 @@ type Metrics struct {
 	reaped          int64 // hung runs force-canceled by the reaper
 	bodyTooLarge    int64 // /run bodies rejected at the HTTP layer (413)
 
+	// Parallel-stage replication (cold: once per compile / per served
+	// replicated run).
+	replicatedCompiles int64 // compiles that emitted a replicated pipeline
+	replicaRuns        int64 // requests served on a replicated pipeline
+
 	// Cold-compile latency (compiles are rare by design — the cache
 	// exists to amortize them — so the histogram stays global).
 	latCompile    obs.Hist
@@ -146,6 +151,9 @@ type EngineSnapshot struct {
 	DurableCommits int64 `json:"durable_commits"`
 	StoreErrors    int64 `json:"store_errors"`
 	Recovered      int64 `json:"recovered"`
+
+	ReplicatedCompiles int64 `json:"replicated_compiles"`
+	ReplicaRuns        int64 `json:"replica_runs"`
 
 	ShedResource    int64 `json:"shed_resource"`
 	RequestTooLarge int64 `json:"request_too_large"`
@@ -234,6 +242,9 @@ func (m *Metrics) Snapshot() *EngineSnapshot {
 		DurableCommits: atomic.LoadInt64(&m.durableCommits),
 		StoreErrors:    atomic.LoadInt64(&m.storeErrors),
 		Recovered:      atomic.LoadInt64(&m.recovered),
+
+		ReplicatedCompiles: atomic.LoadInt64(&m.replicatedCompiles),
+		ReplicaRuns:        atomic.LoadInt64(&m.replicaRuns),
 
 		ShedResource:    atomic.LoadInt64(&m.shedResource),
 		RequestTooLarge: atomic.LoadInt64(&m.requestTooLarge),

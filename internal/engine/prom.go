@@ -114,6 +114,11 @@ func (e *Engine) PromText() string {
 	p.Counter("dswp_recovered_total",
 		"Orphaned requests finished by crash recovery.", one(s.Recovered)...)
 
+	p.Counter("dswp_replica_compiles_total",
+		"Compiles that emitted a parallel-stage-replicated pipeline.", one(s.ReplicatedCompiles)...)
+	p.Counter("dswp_replica_runs_total",
+		"Requests served on a replicated pipeline.", one(s.ReplicaRuns)...)
+
 	p.Counter("dswp_shed_resource_total",
 		"Runs shed because the in-flight memory budget was full.", one(s.ShedResource)...)
 	p.Counter("dswp_request_too_large_total",

@@ -50,13 +50,15 @@ func resolve(req Request) (func() *workloads.Program, string, error) {
 	if threads <= 0 {
 		threads = 2
 	}
-	key := fmt.Sprintf("%s|t=%d|pack=%t|master=%t|consmem=%t",
-		ident, threads, req.PackFlows, req.MasterLoop, req.ConservativeMemory)
+	key := fmt.Sprintf("%s|t=%d|pack=%t|master=%t|consmem=%t|rep=%t|w=%d",
+		ident, threads, req.PackFlows, req.MasterLoop, req.ConservativeMemory,
+		req.Replicate, req.ReplicaWidth)
 	return build, key, nil
 }
 
 func builtins() []workloads.Builder {
-	return append(workloads.Table1Suite(), workloads.CaseStudies()...)
+	out := append(workloads.Table1Suite(), workloads.CaseStudies()...)
+	return append(out, workloads.ReplicationSuite()...)
 }
 
 // Workloads lists every servable workload name, sorted — the two

@@ -23,7 +23,7 @@ func PassStatsAll() ([]StatsRow, error) {
 		workloads.ListTraversal(2000),
 		workloads.ListOfLists(100, 6),
 	}
-	for _, wb := range append(workloads.Table1Suite(), workloads.CaseStudies()...) {
+	for _, wb := range append(append(workloads.Table1Suite(), workloads.CaseStudies()...), workloads.ReplicationSuite()...) {
 		progs = append(progs, wb.Build())
 	}
 	var rows []StatsRow

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// synthRun records a stage-start/stage-done pair per stage so that stage
+// i's busy time is busy[i] ticks (no stalls, so busy == end - start).
+func synthRun(busy []int64) *Metrics {
+	m := NewMetrics(len(busy), 0)
+	for i := range busy {
+		m.Record(Event{Kind: KStageStart, Thread: int32(i), Queue: -1, When: 0})
+	}
+	for i, b := range busy {
+		m.Record(Event{Kind: KStageDone, Thread: int32(i), Queue: -1, When: b, Arg: 1})
+	}
+	return m
+}
+
+// TestBottleneck pins the replication-hint heuristic: the dominant stage
+// is named and its ratio is busy over the mean of the other stages.
+func TestBottleneck(t *testing.T) {
+	stage, ratio := Bottleneck(synthRun([]int64{100, 600, 200}))
+	if stage != 1 {
+		t.Fatalf("bottleneck stage = %d, want 1", stage)
+	}
+	// 600 over mean(100, 200) = 150 -> 4x.
+	if math.Abs(ratio-4.0) > 1e-9 {
+		t.Fatalf("ratio = %g, want 4.0", ratio)
+	}
+
+	// Balanced pipeline: a stage is still named, ratio hovers at 1.
+	stage, ratio = Bottleneck(synthRun([]int64{300, 300, 300}))
+	if stage < 0 || math.Abs(ratio-1.0) > 1e-9 {
+		t.Fatalf("balanced: stage=%d ratio=%g, want ratio 1.0", stage, ratio)
+	}
+
+	// Degenerate shapes return -1: single stage, or no work at all.
+	if stage, _ := Bottleneck(synthRun([]int64{500})); stage != -1 {
+		t.Fatalf("single-stage bottleneck = %d, want -1", stage)
+	}
+	if stage, _ := Bottleneck(NewMetrics(3, 0)); stage != -1 {
+		t.Fatalf("idle-pipeline bottleneck = %d, want -1", stage)
+	}
+}
+
+// TestReportBottleneckLine: the rendered report carries the replication
+// hint naming the dominant stage.
+func TestReportBottleneckLine(t *testing.T) {
+	rep := FormatReport(synthRun([]int64{100, 600, 200}), []string{"p", "mid", "c"})
+	if !strings.Contains(rep, "bottleneck: stage 1 (mid)") ||
+		!strings.Contains(rep, "replicate this stage (PS-DSWP)") {
+		t.Fatalf("report missing bottleneck hint:\n%s", rep)
+	}
+}

@@ -56,6 +56,15 @@ type PassStats struct {
 	// recompute from scratch — a blind spot worth surfacing.
 	Checkpointable bool
 
+	// Parallel-stage replication self-report (internal/psdswp).
+	// ReplicableSCCs lists DAG_SCC components inside stages the replication
+	// planner judged legal to replicate; ReplicatedStage is the stage the
+	// rewriter actually replicated (-1 when the pipeline is sequential) and
+	// ReplicationWidth its replica count (0 when no planner ran).
+	ReplicableSCCs   []int
+	ReplicatedStage  int
+	ReplicationWidth int
+
 	// Flow-packing self-report (zero when the pass is disabled).
 	// PackedFlows counts flows coalesced into multi-word packets,
 	// UnpackedFlows the flows left on their own queue, FlowPackets the
@@ -123,6 +132,12 @@ func (s *PassStats) String() string {
 	fmt.Fprintf(&sb, "  redundant:  %d flows eliminated\n", s.RedundantFlowsEliminated)
 	fmt.Fprintf(&sb, "  checkpoint: aligned iteration checkpoints %s\n",
 		map[bool]string{true: "supported", false: "NOT supported (resume restarts from scratch)"}[s.Checkpointable])
+	if s.ReplicationWidth > 1 {
+		fmt.Fprintf(&sb, "  replicate:  stage %d at width %d (replicable SCCs %v)\n",
+			s.ReplicatedStage, s.ReplicationWidth, s.ReplicableSCCs)
+	} else if len(s.ReplicableSCCs) > 0 {
+		fmt.Fprintf(&sb, "  replicate:  SCCs %v replicable (pipeline left sequential)\n", s.ReplicableSCCs)
+	}
 	if s.PackedFlows > 0 || s.FlowPackets > 0 {
 		fmt.Fprintf(&sb, "  packing:    %d flows packed into %d packets (%d unpacked, %d queues merged)\n",
 			s.PackedFlows, s.FlowPackets, s.UnpackedFlows, s.QueuesMerged)

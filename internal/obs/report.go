@@ -61,6 +61,35 @@ func ComputeFillDrain(m *Metrics) FillDrain {
 	return fd
 }
 
+// Bottleneck names the stage that gates pipeline throughput: the one
+// with the most busy time. ratio is that stage's busy time over the mean
+// busy time of the other stages — 1.0 is a perfectly balanced pipeline,
+// anything well above it says the named stage is worth replicating
+// (PS-DSWP) if the planner allows it. Returns stage -1 when the metrics
+// cover fewer than two stages or no stage did work.
+func Bottleneck(m *Metrics) (stage int, ratio float64) {
+	stage = -1
+	if m.NumStages() < 2 {
+		return stage, 0
+	}
+	var total, max int64
+	for i := 0; i < m.NumStages(); i++ {
+		busy := m.Stage(i).BusyTicks()
+		total += busy
+		if busy > max {
+			max, stage = busy, i
+		}
+	}
+	if stage < 0 || max == 0 {
+		return -1, 0
+	}
+	rest := float64(total-max) / float64(m.NumStages()-1)
+	if rest <= 0 {
+		return stage, float64(max)
+	}
+	return stage, float64(max) / rest
+}
+
 // FormatReport renders the plain-text pipeline report: a stage
 // utilization table, a queue pressure table, and the fill/drain
 // breakdown. threadNames labels stages (index = thread id; missing
@@ -109,6 +138,11 @@ func FormatReport(m *Metrics, threadNames []string) string {
 	fd := ComputeFillDrain(m)
 	fmt.Fprintf(&sb, "\nfill/drain breakdown (%s): total %d = fill %d + steady %d + drain %d\n",
 		unit, fd.Total, fd.Fill, fd.Steady, fd.Drain)
+	if bs, ratio := Bottleneck(m); bs >= 0 {
+		fmt.Fprintf(&sb, "bottleneck: stage %d (%s), %.1f%% busy, %.2fx the mean of the "+
+			"other stages — replicate this stage (PS-DSWP) if the planner allows it\n",
+			bs, name(bs), 100*m.Stage(bs).Utilization(), ratio)
+	}
 	if bad := m.CheckConsistency(); len(bad) > 0 {
 		fmt.Fprintf(&sb, "\nWARNING: metrics inconsistencies: %s\n", strings.Join(bad, "; "))
 	}

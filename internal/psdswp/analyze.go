@@ -1,0 +1,422 @@
+package psdswp
+
+import (
+	"fmt"
+	"sort"
+
+	"dswp/internal/core"
+	"dswp/internal/dep"
+	"dswp/internal/ir"
+)
+
+// stagePlan is the classified rewrite plan for one replicable stage: the
+// stage's loop skeleton, every queue touching it sorted into the three
+// topology classes the rewriter implements, and the peer threads that need
+// a round-robin counter.
+type stagePlan struct {
+	stage  int
+	fn     *ir.Function
+	header *ir.Block
+	body   *ir.Block
+	// exitTgt is the non-loop side of the header branch; bodyIsTrue says
+	// which branch arm the body is on.
+	exitTgt    *ir.Block
+	bodyIsTrue bool
+
+	// bcast queues are duplicated W-wide at the produce site: loop-control
+	// flags (every replica must observe every iteration's branch decision
+	// to terminate and to keep iteration counts aligned) and initial
+	// live-in deliveries.
+	bcast map[int]bool
+	// dispatch queues carry per-iteration data/sync into the stage; the
+	// producer round-robin dispatches them across sub-queues. carried
+	// marks distance-1 queues: the value produced in iteration i is used
+	// by iteration i+1, so the producer dispatches to replica (i+1)%W and
+	// the replica consumes it at the top of its body instead of the
+	// original site.
+	dispatch []dispatchQ
+	// outQ queues carry values from the stage to downstream consumers;
+	// replica r produces only into sub-queue r and the consumer selects
+	// sub-queue (iteration % W), restoring iteration order.
+	outQ []int
+
+	// peers maps each peer thread index exchanging dispatch/merge traffic
+	// with the stage to its loop skeleton (those peers get a counter).
+	peers map[int]*peerPlan
+}
+
+type dispatchQ struct {
+	q       int
+	carried bool
+}
+
+type peerPlan struct {
+	header *ir.Block
+	body   *ir.Block
+}
+
+// analyzeStage decides replicability of stage s over thread list fns
+// (which must be structurally identical to tr.Threads — the rewriter
+// passes clones) and, when legal, returns the classified plan. A non-empty
+// reason means the stage was rejected.
+func analyzeStage(tr *core.Transformed, fns []*ir.Function, s int) (*stagePlan, string) {
+	p := tr.Partition
+	if s <= 0 || s >= p.N {
+		return nil, "main stage owns loop control and boundary code"
+	}
+	if tr.Stats == nil || tr.Stats.Loop == "" {
+		return nil, "no loop-header record in pass stats"
+	}
+
+	// Master-loop protocol wraps every auxiliary stage in an outer
+	// activation loop; replicas would need their own activation fan-out.
+	for _, f := range tr.Flows {
+		if f.Kind == core.FlowControl && f.Pos == core.FlowInitial {
+			return nil, "master-loop protocol active"
+		}
+	}
+
+	// No loop-carried dependence may stay inside the stage: a carried
+	// register or memory arc means iteration i+1 reads state iteration i
+	// left in the stage's registers or private ordering, which replicas
+	// do not share.
+	for _, a := range p.G.Arcs {
+		if !a.Carried {
+			continue
+		}
+		if p.PartitionOf(a.From) == s && p.PartitionOf(a.To) == s {
+			return nil, fmt.Sprintf("loop-carried %s dependence inside the stage", a.Kind)
+		}
+	}
+
+	// A stage that computes a live-out would need its final flow merged
+	// across replicas (the last iteration's replica holds the value).
+	for _, f := range tr.Flows {
+		if f.From == s && f.Pos == core.FlowFinal {
+			return nil, fmt.Sprintf("stage computes live-out %s", f.Reg)
+		}
+	}
+
+	sp := &stagePlan{stage: s, fn: fns[s], bcast: map[int]bool{}, peers: map[int]*peerPlan{}}
+	if reason := sp.findSkeleton(tr.Stats.Loop, true); reason != "" {
+		return nil, reason
+	}
+	if reason := sp.classifyQueues(tr); reason != "" {
+		return nil, reason
+	}
+	if reason := sp.checkSites(); reason != "" {
+		return nil, reason
+	}
+	if reason := sp.checkPeers(tr, fns); reason != "" {
+		return nil, reason
+	}
+	return sp, ""
+}
+
+// findSkeleton locates the stage's loop and requires the one shape the
+// rewriter handles: a header ending in the loop branch and a single
+// straight-line body that jumps back to the header. Stages with internal
+// control flow (their own branches, multiple body blocks, inner loops) are
+// rejected — their iterations are not uniform units the round-robin
+// dispatch can deal out. In strict mode (the replicated stage itself) the
+// header may hold nothing but flow consumes: replicas execute their header
+// once per global iteration, so any other work there would be duplicated
+// W-wide. Peers stay sequential and only need the shape.
+func (sp *stagePlan) findSkeleton(headerName string, strict bool) string {
+	fn := sp.fn
+	header := fn.BlockByName(headerName)
+	if header == nil {
+		return "stage lost its loop-header copy"
+	}
+	if fn.Entry() == header {
+		return "loop header is the stage entry block"
+	}
+	br := header.Terminator()
+	if br == nil || br.Op != ir.OpBranch {
+		return "loop header does not end in a conditional branch"
+	}
+	if strict {
+		for _, in := range header.Instrs[:len(header.Instrs)-1] {
+			if in.Op != ir.OpConsume {
+				return "loop header holds non-consume work"
+			}
+		}
+	}
+	isBody := func(b *ir.Block) bool {
+		t := b.Terminator()
+		return b != header && t != nil && t.Op == ir.OpJump && t.Target == header
+	}
+	switch {
+	case isBody(br.Target) && !isBody(br.TargetFalse):
+		sp.body, sp.exitTgt, sp.bodyIsTrue = br.Target, br.TargetFalse, true
+	case isBody(br.TargetFalse) && !isBody(br.Target):
+		sp.body, sp.exitTgt, sp.bodyIsTrue = br.TargetFalse, br.Target, false
+	default:
+		return "loop is not a header plus one straight-line body"
+	}
+	sp.header = header
+	idx := map[*ir.Block]int{}
+	for bi, b := range fn.Blocks {
+		idx[b] = bi
+	}
+	if idx[sp.body] < idx[header] {
+		// The runtime finds the outer loop as the earliest block targeted
+		// by a backward transfer; the rewrite's turn block adds a backward
+		// edge into the body, which must not displace the header.
+		return "loop body precedes the header in block layout"
+	}
+	for _, b := range fn.Blocks {
+		for _, succ := range b.Succs() {
+			if succ == sp.body && b != header {
+				return "loop body has entries besides the header"
+			}
+			if succ == header && b != sp.body && idx[b] >= idx[header] {
+				return "loop has back-edges besides the body's"
+			}
+		}
+		if b.Terminator() == nil && idx[b] != len(fn.Blocks)-1 {
+			// Fall-throughs would be re-ordered by the block insertion the
+			// rewrite performs; SimplifyCFG output has explicit
+			// terminators, so this is purely defensive.
+			return "stage has fall-through blocks"
+		}
+	}
+	return ""
+}
+
+// classifyQueues sorts every queue touching the stage into broadcast,
+// dispatch, or merge class, and fixes each dispatch queue's iteration
+// distance from the dependence arcs behind its flows.
+func (sp *stagePlan) classifyQueues(tr *core.Transformed) string {
+	s := sp.stage
+	byQueue := map[int][]core.Flow{}
+	for _, f := range tr.Flows {
+		if f.To == s || f.From == s {
+			byQueue[f.Queue] = append(byQueue[f.Queue], f)
+		}
+	}
+	queues := make([]int, 0, len(byQueue))
+	for q := range byQueue {
+		queues = append(queues, q)
+	}
+	sort.Ints(queues)
+	for _, q := range queues {
+		flows := byQueue[q]
+		in := flows[0].To == s
+		for _, f := range flows {
+			if (f.To == s) != in {
+				return fmt.Sprintf("queue %d mixes inbound and outbound flows", q)
+			}
+		}
+		if !in {
+			for _, f := range flows {
+				if f.Pos != core.FlowLoop {
+					return fmt.Sprintf("queue %d carries a boundary flow out of the stage", q)
+				}
+				if f.Kind == core.FlowControl {
+					return fmt.Sprintf("queue %d carries control out of the stage", q)
+				}
+			}
+			sp.outQ = append(sp.outQ, q)
+			continue
+		}
+		kind, pos := flows[0].Kind, flows[0].Pos
+		uniform := true
+		for _, f := range flows {
+			if f.Kind != kind || f.Pos != pos {
+				uniform = false
+			}
+		}
+		switch {
+		case uniform && pos == core.FlowInitial:
+			sp.bcast[q] = true
+		case uniform && pos == core.FlowLoop && kind == core.FlowControl:
+			sp.bcast[q] = true
+		case pos == core.FlowLoop && kind != core.FlowControl:
+			carried, reason := queueDistance(tr, flows, s)
+			if reason != "" {
+				return reason
+			}
+			sp.dispatch = append(sp.dispatch, dispatchQ{q: q, carried: carried})
+		default:
+			return fmt.Sprintf("queue %d mixes flow classes", q)
+		}
+	}
+	return ""
+}
+
+// queueDistance decides whether a dispatch queue is distance-0 (the value
+// produced in iteration i is used by the stage in iteration i) or
+// distance-1 (used in iteration i+1, a loop-carried cross-stage arc). A
+// queue whose flows feed both same-iteration and next-iteration uses
+// cannot be dealt to a single replica and rejects the stage.
+func queueDistance(tr *core.Transformed, flows []core.Flow, s int) (bool, string) {
+	p := tr.Partition
+	sawCarried, sawSame := false, false
+	for _, f := range flows {
+		if f.Source == nil {
+			return false, fmt.Sprintf("queue %d loop flow without a source", f.Queue)
+		}
+		for _, a := range p.G.Arcs {
+			if a.From != f.Source || p.PartitionOf(a.To) != s {
+				continue
+			}
+			if a.Kind != dep.ArcData && a.Kind != dep.ArcMemory {
+				continue
+			}
+			if a.Carried {
+				sawCarried = true
+			} else {
+				sawSame = true
+			}
+		}
+	}
+	if sawCarried && sawSame {
+		return false, fmt.Sprintf("queue %d mixes same-iteration and carried uses", flows[0].Queue)
+	}
+	return sawCarried, ""
+}
+
+// checkSites verifies every flow op in the stage function sits where the
+// rewrite expects it: control/initial consumes in the header/entry, data
+// consumes and all produces in the body, and carried consumes hoistable —
+// no later read of the consumed register in the same body, and no other
+// definition of it (hoisting then delivers the previous iteration's value
+// to every use, exactly what a pure distance-1 queue requires).
+func (sp *stagePlan) checkSites() string {
+	dispatchOf := map[int]*dispatchQ{}
+	for i := range sp.dispatch {
+		dispatchOf[sp.dispatch[i].q] = &sp.dispatch[i]
+	}
+	outSet := map[int]bool{}
+	for _, q := range sp.outQ {
+		outSet[q] = true
+	}
+	for _, b := range sp.fn.Blocks {
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpConsume:
+				switch b {
+				case sp.header:
+					if !sp.bcast[in.Queue] {
+						return fmt.Sprintf("non-control consume of queue %d in the loop header", in.Queue)
+					}
+				case sp.body:
+					if dispatchOf[in.Queue] == nil {
+						return fmt.Sprintf("loop body consumes non-dispatch queue %d", in.Queue)
+					}
+				default:
+					if !sp.bcast[in.Queue] {
+						return fmt.Sprintf("loop consume of queue %d outside the loop", in.Queue)
+					}
+				}
+			case ir.OpProduce:
+				if b != sp.body || !outSet[in.Queue] {
+					return fmt.Sprintf("produce on queue %d outside the loop body", in.Queue)
+				}
+			}
+		}
+	}
+	// Hoist-safety for carried consumes.
+	for i, in := range sp.body.Instrs {
+		if in.Op != ir.OpConsume {
+			continue
+		}
+		d := dispatchOf[in.Queue]
+		if d == nil || !d.carried || in.Dst == ir.NoReg {
+			continue
+		}
+		for j, other := range sp.body.Instrs {
+			if other == in {
+				continue
+			}
+			if other.Dst == in.Dst {
+				return fmt.Sprintf("carried queue %d register redefined in the body", in.Queue)
+			}
+			if j > i {
+				for _, src := range other.Src {
+					if src == in.Dst {
+						return fmt.Sprintf("carried queue %d value read after its consume site", in.Queue)
+					}
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// checkPeers verifies each peer thread that exchanges dispatch or merge
+// traffic with the stage has the same header-plus-straight-line-body loop
+// skeleton (so a counter inserted at its header top equals the iteration
+// index throughout the body) and that the rewrite sites are contiguous
+// runs in the peer body.
+func (sp *stagePlan) checkPeers(tr *core.Transformed, fns []*ir.Function) string {
+	need := map[int][]int{} // peer thread -> queues rewritten there
+	flowPeer := map[int]int{}
+	for _, f := range tr.Flows {
+		flowPeer[f.Queue] = f.From
+		if f.From == sp.stage {
+			flowPeer[f.Queue] = f.To
+		}
+	}
+	for _, d := range sp.dispatch {
+		need[flowPeer[d.q]] = append(need[flowPeer[d.q]], d.q)
+	}
+	for _, q := range sp.outQ {
+		need[flowPeer[q]] = append(need[flowPeer[q]], q)
+	}
+	peerIdxs := make([]int, 0, len(need))
+	for t := range need {
+		peerIdxs = append(peerIdxs, t)
+	}
+	sort.Ints(peerIdxs)
+	for _, t := range peerIdxs {
+		if t == sp.stage {
+			return "stage exchanges loop flows with itself"
+		}
+		pp := &stagePlan{fn: fns[t]}
+		if reason := pp.findSkeleton(sp.header.Name, false); reason != "" {
+			return fmt.Sprintf("peer stage %d: %s", t, reason)
+		}
+		for _, q := range need[t] {
+			if reason := runInBlock(pp.body, q); reason != "" {
+				return fmt.Sprintf("peer stage %d: %s", t, reason)
+			}
+		}
+		sp.peers[t] = &peerPlan{header: pp.header, body: pp.body}
+	}
+	return ""
+}
+
+// runInBlock checks the flow ops for queue q inside b form one contiguous
+// run (flow packing guarantees this for packed queues; unpacked queues
+// have a single site) and that q appears nowhere else in the function.
+func runInBlock(b *ir.Block, q int) string {
+	first, last, count := -1, -1, 0
+	for i, in := range b.Instrs {
+		if in.Op.IsFlow() && in.Queue == q {
+			if first < 0 {
+				first = i
+			}
+			last = i
+			count++
+		}
+	}
+	if count == 0 {
+		return fmt.Sprintf("queue %d site is outside the loop body", q)
+	}
+	if last-first+1 != count {
+		return fmt.Sprintf("queue %d sites are not contiguous", q)
+	}
+	for _, ob := range b.Fn.Blocks {
+		if ob == b {
+			continue
+		}
+		for _, in := range ob.Instrs {
+			if in.Op.IsFlow() && in.Queue == q {
+				return fmt.Sprintf("queue %d has sites in multiple blocks", q)
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,13 @@
+package psdswp
+
+import "dswp/internal/core"
+
+// AnalyzeStageForTest exposes the per-stage analysis to the external test
+// package.
+func AnalyzeStageForTest(tr *core.Transformed, s int) (any, string) {
+	sp, reason := analyzeStage(tr, tr.Threads, s)
+	if sp == nil {
+		return nil, reason
+	}
+	return sp, reason
+}

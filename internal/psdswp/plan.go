@@ -1,0 +1,107 @@
+package psdswp
+
+import (
+	"fmt"
+
+	"dswp/internal/core"
+)
+
+// SearchPartition looks for the pipeline partition that replicates best,
+// instead of the one TPP balances best. TPP's balance objective is
+// exactly wrong for PS-DSWP: spreading a heavy DOALL payload evenly
+// across stages leaves every stage the same weight and no stage worth
+// replicating, while concentrating the payload in ONE stage makes that
+// stage the widest replication candidate. The search walks contiguous
+// splits of the DAG_SCC's topological order (any monotone assignment
+// along a topological order satisfies Definition 1, so every candidate
+// is a valid partitioning), transforms each, runs the replication
+// analysis, and keeps the candidate with the lowest estimated bottleneck
+//
+//	max(stage weights with the replicable stage divided by its width)
+//
+// — the steady-state critical path of the replicated pipeline. stages
+// must be 2 or 3; 3 is the interesting shape (induction | payload |
+// reduction), 2 covers loops with no serial consumer.
+//
+// Returns the winning partitioning, its transform, and its replication
+// report. An error means no candidate both transformed and replicated.
+func SearchPartition(a *core.LoopAnalysis, stages int) (*core.Partitioning, *core.Transformed, *Report, error) {
+	if stages != 2 && stages != 3 {
+		return nil, nil, nil, fmt.Errorf("psdswp: SearchPartition wants 2 or 3 stages, got %d", stages)
+	}
+	n := len(a.Cond.Comps)
+	if n < stages {
+		return nil, nil, nil, fmt.Errorf("psdswp: %d SCCs cannot fill %d stages", n, stages)
+	}
+
+	var (
+		bestPart   *core.Partitioning
+		bestTr     *core.Transformed
+		bestRep    *Report
+		bestBottle int64 = -1
+	)
+	try := func(assign []int) {
+		part := &core.Partitioning{
+			G: a.G, Cond: a.Cond,
+			Assign: append([]int(nil), assign...),
+			N:      stages, Weights: a.Weights,
+		}
+		if part.Validate() != nil {
+			return
+		}
+		tr, err := a.Transform(part)
+		if err != nil {
+			return
+		}
+		rep := Analyze(tr)
+		if !rep.Replicable() || rep.Width < 2 {
+			return
+		}
+		weights := part.StageWeights()
+		var bottle int64
+		for s, w := range weights {
+			if s == rep.Stage {
+				w = (w + int64(rep.Width) - 1) / int64(rep.Width)
+			}
+			if w > bottle {
+				bottle = w
+			}
+		}
+		if bestBottle < 0 || bottle < bestBottle {
+			bestPart, bestTr, bestRep, bestBottle = part, tr, rep, bottle
+		}
+	}
+
+	assign := make([]int, n)
+	if stages == 2 {
+		for i := 1; i < n; i++ { // stage 0 = comps[:i], stage 1 = comps[i:]
+			for k := range assign {
+				assign[k] = 0
+				if k >= i {
+					assign[k] = 1
+				}
+			}
+			try(assign)
+		}
+	} else {
+		for i := 1; i < n-1; i++ {
+			for j := i + 1; j < n; j++ {
+				for k := range assign {
+					switch {
+					case k < i:
+						assign[k] = 0
+					case k < j:
+						assign[k] = 1
+					default:
+						assign[k] = 2
+					}
+				}
+				try(assign)
+			}
+		}
+	}
+	if bestPart == nil {
+		return nil, nil, nil, fmt.Errorf("psdswp: no %d-stage split of %q replicates", stages, a.F.Name)
+	}
+	return bestPart, bestTr, bestRep, nil
+}

@@ -1,0 +1,175 @@
+// Package psdswp implements parallel-stage replication — the PS-DSWP
+// extension to decoupled software pipelining. A DSWP pipeline's throughput
+// is capped by its slowest stage; a stage whose SCCs carry no
+// cross-iteration dependence is DOALL-shaped and can be replicated W-wide,
+// with the producer round-robin dispatching iterations into W replicas and
+// downstream consumers merging results back in iteration order.
+//
+// The subsystem has two halves:
+//
+//   - A compile-time planner (Analyze) that walks the DAG_SCC partitioning
+//     of a transformed loop and decides, per stage, whether replication is
+//     legal — no loop-carried register or memory dependence inside the
+//     stage, no live-out flows, and a loop shape the rewriter can handle —
+//     recording a rejection reason for every stage it refuses so the
+//     decision is inspectable (dswpc/dswpsim -stats). Width is chosen from
+//     the profile-driven stage-balance data: enough replicas to pull the
+//     replicable stage's weight down to the heaviest sequential stage.
+//
+//   - An IR rewriter (Replicate) that clones the chosen stage W times and
+//     rewrites the queue topology around it: every queue touching the stage
+//     becomes W sub-queues (one per replica, preserving the single static
+//     producer and consumer per queue that keeps the lock-free SPSC ring
+//     sound), loop-control flags and initial live-ins are broadcast to all
+//     replicas, per-iteration data is dispatched by a round-robin counter
+//     in the producer, and downstream stages select the sub-queue of the
+//     current iteration's replica, which restores iteration order without
+//     sequence tags: per sub-queue the n-th produce still meets the n-th
+//     consume, so the dense-FIFO correctness argument of the base
+//     transformation carries over unchanged.
+//
+// Replicated pipelines run on the unmodified concurrent runtime: replicas
+// are ordinary stage threads with ordinary queues, so queue kinds, flow
+// packing, fault plans, checkpoint barriers, and the supervisor all apply
+// as-is. Each replica observes every outer-loop iteration (it consumes the
+// loop-control flag even for iterations it skips), so per-thread iteration
+// counts stay globally aligned and the checkpoint epoch barrier semantics
+// are preserved across replicas.
+package psdswp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dswp/internal/core"
+)
+
+// MaxWidth caps the automatic replication width. Sweeps may request any
+// width explicitly; the planner never recommends more than this.
+const MaxWidth = 4
+
+// Decision records the planner's verdict for one pipeline stage.
+type Decision struct {
+	// Stage is the pipeline stage index (1..N-1; stage 0 is the main
+	// thread and is never replicated — it owns the loop control and the
+	// pre/post-loop boundary code).
+	Stage int
+	// SCCs lists the DAG_SCC component indices assigned to the stage.
+	SCCs []int
+	// Weight is the stage's estimated dynamic cycles (profile-driven).
+	Weight int64
+	// Replicable reports whether the stage passed every legality check.
+	Replicable bool
+	// Reason says why the stage was rejected (empty when Replicable).
+	Reason string
+}
+
+// Report is the planner's output for one transformed loop: the per-stage
+// decisions, the chosen stage, and the recommended width.
+type Report struct {
+	Decisions []Decision
+	// Stage is the chosen replication target (the heaviest replicable
+	// stage), or -1 when no stage is replicable.
+	Stage int
+	// Width is the recommended replication width: ceil(stage weight /
+	// heaviest other stage weight), clamped to [1, MaxWidth]. 1 means
+	// replication is legal but the balance data says it cannot pay.
+	Width int
+}
+
+// Replicable reports whether the loop has a stage worth replicating at
+// width >= 2.
+func (r *Report) Replicable() bool { return r.Stage >= 0 }
+
+// ReplicableSCCs flattens the SCC lists of every replicable stage, sorted —
+// the PassStats self-report field.
+func (r *Report) ReplicableSCCs() []int {
+	var out []int
+	for _, d := range r.Decisions {
+		if d.Replicable {
+			out = append(out, d.SCCs...)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// String renders the decision report for -stats output.
+func (r *Report) String() string {
+	var sb strings.Builder
+	sb.WriteString("replication:\n")
+	for _, d := range r.Decisions {
+		verdict := "replicable"
+		if !d.Replicable {
+			verdict = "rejected: " + d.Reason
+		}
+		fmt.Fprintf(&sb, "  stage %d (SCCs %v, weight %d): %s\n", d.Stage, d.SCCs, d.Weight, verdict)
+	}
+	switch {
+	case r.Stage < 0:
+		sb.WriteString("  decision: no replicable stage\n")
+	case r.Width < 2:
+		fmt.Fprintf(&sb, "  decision: stage %d replicable, but balance data recommends width 1 (no win)\n", r.Stage)
+	default:
+		fmt.Fprintf(&sb, "  decision: replicate stage %d at width %d\n", r.Stage, r.Width)
+	}
+	return sb.String()
+}
+
+// Analyze runs the replication planner over a transformed loop. It never
+// modifies tr.
+func Analyze(tr *core.Transformed) *Report {
+	rep := &Report{Stage: -1, Width: 1}
+	p := tr.Partition
+	if p == nil {
+		return rep
+	}
+	weights := p.StageWeights()
+	for s := 1; s < p.N; s++ {
+		d := Decision{Stage: s, Weight: weights[s]}
+		for scc, part := range p.Assign {
+			if part == s {
+				d.SCCs = append(d.SCCs, scc)
+			}
+		}
+		if _, reason := analyzeStage(tr, tr.Threads, s); reason != "" {
+			d.Reason = reason
+		} else {
+			d.Replicable = true
+		}
+		rep.Decisions = append(rep.Decisions, d)
+		if d.Replicable && (rep.Stage < 0 || d.Weight > weights[rep.Stage]) {
+			rep.Stage = s
+		}
+	}
+	if rep.Stage >= 0 {
+		rep.Width = widthFor(weights, rep.Stage)
+	}
+	return rep
+}
+
+// widthFor picks the replication width from the stage-balance data: the
+// replicated stage's effective weight is weight/W, so W replicas are
+// needed to pull it down to the heaviest remaining sequential stage —
+// beyond that the bottleneck moves elsewhere and extra replicas only burn
+// cores.
+func widthFor(weights []int64, stage int) int {
+	var maxOther int64
+	for s, w := range weights {
+		if s != stage && w > maxOther {
+			maxOther = w
+		}
+	}
+	if maxOther <= 0 {
+		return MaxWidth
+	}
+	w := int((weights[stage] + maxOther - 1) / maxOther)
+	if w < 1 {
+		w = 1
+	}
+	if w > MaxWidth {
+		w = MaxWidth
+	}
+	return w
+}

@@ -1,0 +1,599 @@
+package psdswp
+
+import (
+	"fmt"
+	"sort"
+
+	"dswp/internal/core"
+	"dswp/internal/ir"
+)
+
+// Result is a replicated pipeline: a new Transformed whose thread list
+// holds Width copies of the chosen stage, plus the topology facts the
+// runtime and serving layers label replicas with. The input Transformed is
+// never modified — every thread function is cloned before rewriting.
+type Result struct {
+	Tr *core.Transformed
+	// Stage is the replicated stage's original index; the replicas occupy
+	// thread indices Stage..Stage+Width-1 in Tr.Threads, and every later
+	// stage shifts up by Width-1.
+	Stage int
+	Width int
+}
+
+// ReplicaThreads lists the thread indices holding the replicas.
+func (r *Result) ReplicaThreads() []int {
+	out := make([]int, r.Width)
+	for k := range out {
+		out[k] = r.Stage + k
+	}
+	return out
+}
+
+// ThreadIndex maps an original stage index into the replicated thread
+// list (the first replica for the replicated stage itself).
+func (r *Result) ThreadIndex(stage int) int {
+	if stage > r.Stage {
+		return stage + r.Width - 1
+	}
+	return stage
+}
+
+// Replicate rewrites tr so that stage runs as width round-robin replicas.
+// The stage must be replicable per Analyze; width must be >= 2.
+//
+// The queue topology transformation, per queue class:
+//
+//   - Broadcast (loop-control flags, initial live-ins): the produce is
+//     duplicated once per replica, each copy on that replica's sub-queue.
+//     Every replica therefore observes every iteration's branch decision —
+//     replicas whose turn it is not skip the body through a turn block that
+//     still takes the loop back-edge, keeping per-thread iteration counts
+//     (and so checkpoint epoch barriers) globally aligned.
+//
+//   - Dispatch (per-iteration data/sync into the stage): the producer
+//     gains an iteration counter c (incremented at its loop header, so
+//     c == i throughout the body of iteration i) and each produce site
+//     becomes a W-way selection chain writing sub-queue (c+d) mod W, where
+//     d is the queue's iteration distance. Distance-1 queues — the value
+//     produced in iteration i is used by iteration i+1 — dispatch one
+//     replica ahead, and the replica consumes them at the top of its body
+//     (the hoist is legal because the planner verified no body instruction
+//     reads the register after the original site and none redefines it).
+//     Replica 0's first body uses the broadcast initial value instead, and
+//     the one value left in flight after the last iteration is drained on
+//     the exit path by the replica whose turn would have been next, keeping
+//     the produces == consumes invariant the validation metrics assert.
+//
+//   - Merge (data/sync out of the stage): replica r produces only into its
+//     own sub-queue, and the downstream consumer — which also gains an
+//     iteration counter — selects sub-queue (c mod W). Per sub-queue the
+//     n-th produce meets the n-th consume exactly as in the sequential
+//     pipeline, so in-order merge needs no sequence tags: iteration order
+//     is restored by construction.
+//
+// Every sub-queue keeps one static producer and one static consumer, so
+// the lock-free SPSC ring substrate remains sound for every queue.
+func Replicate(tr *core.Transformed, stage, width int) (*Result, error) {
+	if width < 2 {
+		return nil, fmt.Errorf("psdswp: width %d (want >= 2)", width)
+	}
+	fns := make([]*ir.Function, len(tr.Threads))
+	for i, fn := range tr.Threads {
+		fns[i] = fn.Clone()
+	}
+	sp, reason := analyzeStage(tr, fns, stage)
+	if reason != "" {
+		return nil, fmt.Errorf("psdswp: stage %d not replicable: %s", stage, reason)
+	}
+
+	r := &rewriter{tr: tr, sp: sp, width: width, nextQ: tr.NumQueues, subQ: map[int][]int{}}
+	r.allocSubQueues()
+	for _, t := range r.peerOrder() {
+		r.rewritePeer(t, fns[t])
+	}
+	// Broadcast producers need no counter, so they may live in threads that
+	// exchange no dispatch/merge traffic with the stage — expand their
+	// produce sites in every non-stage thread.
+	for t, fn := range fns {
+		if t != stage {
+			r.broadcastIn(fn)
+		}
+	}
+	replicas := make([]*ir.Function, width)
+	for k := 0; k < width; k++ {
+		replicas[k] = sp.fn.Clone()
+		replicas[k].Name = fmt.Sprintf("%s.ps%d", sp.fn.Name, k)
+	}
+	for k, rf := range replicas {
+		if err := r.rewriteReplica(rf, k); err != nil {
+			return nil, err
+		}
+	}
+
+	newFns := make([]*ir.Function, 0, len(fns)+width-1)
+	newFns = append(newFns, fns[:stage]...)
+	newFns = append(newFns, replicas...)
+	newFns = append(newFns, fns[stage+1:]...)
+	for i, fn := range newFns {
+		if err := fn.Verify(); err != nil {
+			return nil, fmt.Errorf("psdswp: replicated thread %d invalid: %w", i, err)
+		}
+	}
+
+	res := &Result{Stage: stage, Width: width}
+	res.Tr = r.assemble(newFns, res)
+	return res, nil
+}
+
+// rewriter carries the state of one replication rewrite.
+type rewriter struct {
+	tr    *core.Transformed
+	sp    *stagePlan
+	width int
+	nextQ int
+	// subQ maps each queue touching the stage to its W sub-queues
+	// (subQ[q][0] == q, keeping untouched queue numbers stable).
+	subQ map[int][]int
+}
+
+func (r *rewriter) allocSubQueues() {
+	qs := make([]int, 0, len(r.sp.bcast)+len(r.sp.dispatch)+len(r.sp.outQ))
+	for q := range r.sp.bcast {
+		qs = append(qs, q)
+	}
+	for _, d := range r.sp.dispatch {
+		qs = append(qs, d.q)
+	}
+	qs = append(qs, r.sp.outQ...)
+	sort.Ints(qs)
+	for _, q := range qs {
+		sub := make([]int, r.width)
+		sub[0] = q
+		for k := 1; k < r.width; k++ {
+			sub[k] = r.nextQ
+			r.nextQ++
+		}
+		r.subQ[q] = sub
+	}
+}
+
+func (r *rewriter) peerOrder() []int {
+	ts := make([]int, 0, len(r.sp.peers))
+	for t := range r.sp.peers {
+		ts = append(ts, t)
+	}
+	sort.Ints(ts)
+	return ts
+}
+
+// newInstr builds a placed-nowhere instruction.
+func newInstr(fn *ir.Function, op ir.Op, dst ir.Reg, srcs []ir.Reg, imm int64) *ir.Instr {
+	in := fn.NewInstr(op)
+	in.Dst = dst
+	in.Src = srcs
+	in.Imm = imm
+	return in
+}
+
+func newConst(fn *ir.Function, dst ir.Reg, v int64) *ir.Instr {
+	return newInstr(fn, ir.OpConst, dst, nil, v)
+}
+
+func newJump(fn *ir.Function, target *ir.Block) *ir.Instr {
+	in := fn.NewInstr(ir.OpJump)
+	in.Target = target
+	return in
+}
+
+func newBranch(fn *ir.Function, cond ir.Reg, taken, fall *ir.Block) *ir.Instr {
+	in := fn.NewInstr(ir.OpBranch)
+	in.Src = []ir.Reg{cond}
+	in.Target = taken
+	in.TargetFalse = fall
+	return in
+}
+
+// cloneFlow copies a produce/consume onto another queue.
+func cloneFlow(fn *ir.Function, in *ir.Instr, q int) *ir.Instr {
+	ni := fn.NewInstr(in.Op)
+	ni.Dst = in.Dst
+	ni.Src = append([]ir.Reg(nil), in.Src...)
+	ni.Imm = in.Imm
+	ni.Queue = q
+	return ni
+}
+
+// insertBeforeTerminator places ins at the end of b, before its terminator
+// if it has one.
+func insertBeforeTerminator(b *ir.Block, ins ...*ir.Instr) {
+	at := len(b.Instrs)
+	if b.Terminator() != nil {
+		at--
+	}
+	tail := append([]*ir.Instr(nil), b.Instrs[at:]...)
+	b.Instrs = b.Instrs[:at]
+	for _, in := range ins {
+		b.Append(in)
+	}
+	for _, in := range tail {
+		b.Append(in)
+	}
+}
+
+// counter is the per-peer (or per-replica) round-robin iteration counter:
+// ctr is incremented modulo W at the top of the loop header, so it equals
+// i mod W throughout iteration i's body (it starts at -1 and the header
+// runs once before each body).
+type counter struct {
+	ctr, one, w ir.Reg
+	k           []ir.Reg // consts 0..W-2 for the selection chains
+}
+
+func (r *rewriter) addCounter(fn *ir.Function, header *ir.Block, withConsts bool) counter {
+	c := counter{ctr: fn.NewReg(), one: fn.NewReg(), w: fn.NewReg()}
+	init := []*ir.Instr{
+		newConst(fn, c.ctr, -1),
+		newConst(fn, c.one, 1),
+		newConst(fn, c.w, int64(r.width)),
+	}
+	if withConsts {
+		for k := 0; k < r.width-1; k++ {
+			kr := fn.NewReg()
+			c.k = append(c.k, kr)
+			init = append(init, newConst(fn, kr, int64(k)))
+		}
+	}
+	insertBeforeTerminator(fn.Entry(), init...)
+	tmp := fn.NewReg()
+	header.InsertBefore(0, newInstr(fn, ir.OpAdd, tmp, []ir.Reg{c.ctr, c.one}, 0))
+	header.InsertBefore(1, newInstr(fn, ir.OpRem, c.ctr, []ir.Reg{tmp, c.w}, 0))
+	return c
+}
+
+// rewritePeer rewrites one sequential peer thread: broadcast produces are
+// duplicated in place, dispatch produce runs and merge consume runs become
+// W-way selection chains on the peer's iteration counter.
+func (r *rewriter) rewritePeer(t int, fn *ir.Function) {
+	pp := r.sp.peers[t]
+	c := r.addCounter(fn, pp.header, true)
+
+	for _, d := range r.sp.dispatch {
+		if r.queuePeer(d.q) != t {
+			continue
+		}
+		offset := 0
+		if d.carried {
+			offset = 1
+		}
+		r.rewriteRun(fn, pp.body, d.q, c, offset, fmt.Sprintf("ps.d%d", d.q))
+	}
+	for _, q := range r.sp.outQ {
+		if r.queuePeer(q) != t {
+			continue
+		}
+		r.rewriteRun(fn, pp.body, q, c, 0, fmt.Sprintf("ps.m%d", q))
+	}
+}
+
+// queuePeer returns the peer thread on the far side of queue q.
+func (r *rewriter) queuePeer(q int) int {
+	for _, f := range r.tr.Flows {
+		if f.Queue != q {
+			continue
+		}
+		if f.From == r.sp.stage {
+			return f.To
+		}
+		return f.From
+	}
+	return -1
+}
+
+// broadcastIn expands every produce on a broadcast queue into W copies,
+// one per sub-queue, in place.
+func (r *rewriter) broadcastIn(fn *ir.Function) {
+	for _, b := range fn.Blocks {
+		rebuilt := make([]*ir.Instr, 0, len(b.Instrs))
+		changed := false
+		for _, in := range b.Instrs {
+			rebuilt = append(rebuilt, in)
+			if in.Op != ir.OpProduce || !r.sp.bcast[in.Queue] {
+				continue
+			}
+			changed = true
+			for k := 1; k < r.width; k++ {
+				ni := cloneFlow(fn, in, r.subQ[in.Queue][k])
+				ni.Block = b
+				rebuilt = append(rebuilt, ni)
+			}
+		}
+		if changed {
+			b.Instrs = rebuilt
+		}
+	}
+}
+
+// rewriteRun replaces the contiguous flow run for queue q inside block b
+// with a selection chain: compare the counter against 0..W-2 (falling
+// through to the last arm), each arm holding the run retargeted at
+// sub-queue (arm+offset) mod W, converging on a continuation block that
+// keeps the rest of b.
+func (r *rewriter) rewriteRun(fn *ir.Function, b *ir.Block, q int, c counter, offset int, name string) {
+	// The run may have moved into a continuation block by an earlier
+	// rewrite of the same body; locate it fresh.
+	b = r.findRunBlock(fn, b, q)
+	lo, hi := -1, -1
+	for i, in := range b.Instrs {
+		if in.Op.IsFlow() && in.Queue == q {
+			if lo < 0 {
+				lo = i
+			}
+			hi = i
+		}
+	}
+	run := append([]*ir.Instr(nil), b.Instrs[lo:hi+1]...)
+	tail := append([]*ir.Instr(nil), b.Instrs[hi+1:]...)
+	b.Instrs = b.Instrs[:lo]
+
+	cont := fn.NewBlock(name + ".cont")
+	for _, in := range tail {
+		in.Block = cont
+		cont.Instrs = append(cont.Instrs, in)
+	}
+	arms := make([]*ir.Block, r.width)
+	for k := 0; k < r.width; k++ {
+		arm := fn.NewBlock(fmt.Sprintf("%s.a%d", name, k))
+		sub := r.subQ[q][(k+offset)%r.width]
+		for _, in := range run {
+			ni := in
+			if k > 0 {
+				ni = cloneFlow(fn, in, sub)
+			} else {
+				ni.Queue = sub
+			}
+			arm.Append(ni)
+		}
+		arm.Append(newJump(fn, cont))
+		arms[k] = arm
+	}
+	// Selection chain: the first compare extends b, later ones get their
+	// own blocks, and the final branch falls through to the last arm.
+	cur := b
+	for k := 0; k < r.width-1; k++ {
+		e := fn.NewReg()
+		cur.Append(newInstr(fn, ir.OpCmpEQ, e, []ir.Reg{c.ctr, c.k[k]}, 0))
+		if k == r.width-2 {
+			cur.Append(newBranch(fn, e, arms[k], arms[k+1]))
+		} else {
+			next := fn.NewBlock(fmt.Sprintf("%s.c%d", name, k+1))
+			cur.Append(newBranch(fn, e, arms[k], next))
+			cur = next
+		}
+	}
+}
+
+// findRunBlock locates the block currently holding queue q's run: the
+// original body, or a continuation block split off it.
+func (r *rewriter) findRunBlock(fn *ir.Function, body *ir.Block, q int) *ir.Block {
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op.IsFlow() && in.Queue == q {
+				return b
+			}
+		}
+	}
+	panic(fmt.Sprintf("psdswp: queue %d run vanished from %s", q, body.Name))
+}
+
+// rewriteReplica turns one clone of the stage function into replica k:
+// every touched queue is remapped to the replica's sub-queue, a turn block
+// on the header's continue edge skips bodies belonging to other replicas
+// (while still taking the loop back-edge so iteration counts stay
+// aligned), carried consumes are hoisted to the body top (guarded off the
+// first body on replica 0, which uses the broadcast initial value
+// instead), and the exit path drains the final in-flight carried value on
+// the one replica whose turn would have been next.
+func (r *rewriter) rewriteReplica(rf *ir.Function, k int) error {
+	// Re-locate the skeleton in this clone.
+	sk := &stagePlan{fn: rf}
+	if reason := sk.findSkeleton(r.sp.header.Name, true); reason != "" {
+		return fmt.Errorf("psdswp: replica %d lost the loop skeleton: %s", k, reason)
+	}
+	carriedQ := map[int]bool{}
+	hasCarried := false
+	for _, d := range r.sp.dispatch {
+		if d.carried {
+			carriedQ[d.q] = true
+			hasCarried = true
+		}
+	}
+
+	// Collect the carried consumes before remapping queue numbers.
+	var carriedRun []*ir.Instr
+	kept := make([]*ir.Instr, 0, len(sk.body.Instrs))
+	for _, in := range sk.body.Instrs {
+		if in.Op == ir.OpConsume && carriedQ[in.Queue] {
+			carriedRun = append(carriedRun, in)
+			continue
+		}
+		kept = append(kept, in)
+	}
+	sk.body.Instrs = kept
+
+	// Remap every flow op to this replica's sub-queues — including the
+	// carried consumes just detached from the body, which the function walk
+	// no longer sees.
+	remap := func(in *ir.Instr) {
+		if in.Op.IsFlow() {
+			if sub, ok := r.subQ[in.Queue]; ok {
+				in.Queue = sub[k]
+			}
+		}
+	}
+	rf.Instrs(remap)
+	for _, in := range carriedRun {
+		remap(in)
+	}
+
+	// Counter and constants.
+	c := r.addCounter(rf, sk.header, false)
+	rk := rf.NewReg()
+	insertBeforeTerminator(rf.Entry(), newConst(rf, rk, int64(k)))
+	var first ir.Reg = ir.NoReg
+	if hasCarried && k == 0 {
+		first = rf.NewReg()
+		insertBeforeTerminator(rf.Entry(), newConst(rf, first, 1))
+	}
+
+	// Body entry: hoisted carried consumes, guarded on replica 0.
+	bodyEntry := sk.body
+	if hasCarried {
+		if k == 0 {
+			guard := rf.NewBlock("ps.first")
+			skip := rf.NewBlock("ps.first.skip")
+			cons := rf.NewBlock("ps.carried")
+			guard.Append(newBranch(rf, first, skip, cons))
+			skip.Append(newConst(rf, first, 0))
+			skip.Append(newJump(rf, sk.body))
+			for _, in := range carriedRun {
+				in.Block = cons
+				cons.Instrs = append(cons.Instrs, in)
+			}
+			cons.Append(newJump(rf, sk.body))
+			bodyEntry = guard
+		} else {
+			rest := sk.body.Instrs
+			sk.body.Instrs = nil
+			for _, in := range carriedRun {
+				sk.body.Append(in)
+			}
+			sk.body.Instrs = append(sk.body.Instrs, rest...)
+		}
+	}
+
+	// Turn block: advance the shared iteration counter and run the body
+	// only when it is this replica's turn; otherwise take the back-edge
+	// straight away, which is what keeps every replica's iteration count
+	// equal to the global iteration count.
+	turn := rf.NewBlock("ps.turn")
+	mine := rf.NewReg()
+	tmp := rf.NewReg()
+	turn.Append(newInstr(rf, ir.OpAdd, tmp, []ir.Reg{c.ctr, c.one}, 0))
+	turn.Append(newInstr(rf, ir.OpRem, c.ctr, []ir.Reg{tmp, c.w}, 0))
+	turn.Append(newInstr(rf, ir.OpCmpEQ, mine, []ir.Reg{c.ctr, rk}, 0))
+	turn.Append(newBranch(rf, mine, bodyEntry, sk.header))
+	// The counter now advances in the turn block (once per iteration, on
+	// the continue edge) rather than in the header, which also runs once
+	// more on exit; drop the header increment addCounter installed.
+	sk.header.Instrs = append(sk.header.Instrs[:0], sk.header.Instrs[2:]...)
+
+	br := sk.header.Terminator()
+	if sk.bodyIsTrue {
+		br.Target = turn
+	} else {
+		br.TargetFalse = turn
+	}
+
+	// Exit drain: after N iterations every replica's counter reads
+	// (N-1) mod W, so the replica with (ctr+1) mod W == k consumes the one
+	// carried value dispatched for the iteration that never ran. Replica 0
+	// skips the drain when the loop ran zero iterations (its first-body
+	// guard is still armed — nothing was produced at all).
+	if hasCarried {
+		chk := rf.NewBlock("ps.drain.chk")
+		drain := rf.NewBlock("ps.drain")
+		exit := sk.exitTgt
+		t1, t2, e := rf.NewReg(), rf.NewReg(), rf.NewReg()
+		chk.Append(newInstr(rf, ir.OpAdd, t1, []ir.Reg{c.ctr, c.one}, 0))
+		chk.Append(newInstr(rf, ir.OpRem, t2, []ir.Reg{t1, c.w}, 0))
+		chk.Append(newInstr(rf, ir.OpCmpEQ, e, []ir.Reg{t2, rk}, 0))
+		chk.Append(newBranch(rf, e, drain, exit))
+		dead := rf.NewReg()
+		for _, in := range carriedRun {
+			dst := ir.NoReg
+			if in.Dst != ir.NoReg {
+				dst = dead
+			}
+			dc := rf.NewInstr(ir.OpConsume)
+			dc.Dst = dst
+			dc.Queue = in.Queue
+			drain.Append(dc)
+		}
+		drain.Append(newJump(rf, exit))
+		drainEntry := chk
+		if k == 0 {
+			armed := rf.NewBlock("ps.drain.armed")
+			armed.Append(newBranch(rf, first, exit, chk))
+			drainEntry = armed
+		}
+		if sk.bodyIsTrue {
+			br.TargetFalse = drainEntry
+		} else {
+			br.Target = drainEntry
+		}
+	}
+	return nil
+}
+
+// assemble builds the replicated Transformed: flows expanded across
+// sub-queues with thread indices remapped, register ownership shifted
+// (stage-owned registers fall to replica 0 — legal at checkpoint
+// boundaries because a replicable stage's registers are dead across
+// iterations by the no-carried-dependence criterion), and the pass stats
+// updated with the replication self-report.
+func (r *rewriter) assemble(fns []*ir.Function, res *Result) *core.Transformed {
+	s, w := res.Stage, res.Width
+	mapIdx := func(t int) int {
+		if t > s {
+			return t + w - 1
+		}
+		return t
+	}
+	var flows []core.Flow
+	for _, f := range r.tr.Flows {
+		sub, touched := r.subQ[f.Queue]
+		if !touched {
+			f.From, f.To = mapIdx(f.From), mapIdx(f.To)
+			flows = append(flows, f)
+			continue
+		}
+		for k := 0; k < w; k++ {
+			nf := f
+			nf.Queue = sub[k]
+			if f.To == s {
+				nf.From, nf.To = mapIdx(f.From), s+k
+			} else {
+				nf.From, nf.To = s+k, mapIdx(f.To)
+			}
+			flows = append(flows, nf)
+		}
+	}
+	owner := make([]int, len(r.tr.RegOwner))
+	for reg, t := range r.tr.RegOwner {
+		owner[reg] = mapIdx(t)
+	}
+
+	st := *r.tr.Stats
+	st.Threads = len(fns)
+	st.Queues = r.nextQ
+	st.Flows = len(flows)
+	st.FlowsByKind = map[string]int{}
+	st.FlowsByPos = map[string]int{}
+	for _, f := range flows {
+		st.FlowsByKind[f.Kind.String()]++
+		st.FlowsByPos[f.Pos.String()]++
+	}
+	st.ReplicatedStage = s
+	st.ReplicationWidth = w
+
+	return &core.Transformed{
+		Original:  r.tr.Original,
+		Threads:   fns,
+		Partition: r.tr.Partition,
+		Flows:     flows,
+		NumQueues: r.nextQ,
+		Stats:     &st,
+		RegOwner:  owner,
+	}
+}

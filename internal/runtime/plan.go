@@ -27,6 +27,7 @@ type Plan struct {
 	maxSpan   int
 	blockIdx  []map[*ir.Block]int
 	outerHdr  []*ir.Block
+	topo      *Topology
 }
 
 // NewPlan analyzes fns into a reusable static plan. It performs the same

@@ -1,0 +1,89 @@
+package runtime
+
+import "fmt"
+
+// Topology maps a plan's thread list back onto pipeline stages, including
+// parallel-stage replication (internal/psdswp): a replicated pipeline's
+// thread list holds Width replicas of one stage, and every layer that
+// attributes work to threads — per-replica telemetry spans, supervisor
+// failure reports, the engine's replica metrics — needs the thread ->
+// (stage, replica) mapping rather than the raw index. A nil *Topology
+// everywhere means the identity mapping: thread i is stage i.
+type Topology struct {
+	// Stage is the replicated stage index (-1 when the pipeline is
+	// sequential); Width is its replica count (1 when sequential).
+	Stage int
+	Width int
+	// Threads is the pipeline's thread count.
+	Threads int
+}
+
+// SequentialTopology is the identity mapping for an unreplicated
+// n-thread pipeline.
+func SequentialTopology(n int) *Topology {
+	return &Topology{Stage: -1, Width: 1, Threads: n}
+}
+
+// ReplicatedTopology describes a pipeline whose thread list holds width
+// replicas of stage at indices stage..stage+width-1 (the psdswp layout).
+func ReplicatedTopology(threads, stage, width int) *Topology {
+	return &Topology{Stage: stage, Width: width, Threads: threads}
+}
+
+// Replicated reports whether any stage runs more than one replica.
+func (t *Topology) Replicated() bool { return t != nil && t.Width > 1 }
+
+// StageOf maps a thread index to its pipeline stage.
+func (t *Topology) StageOf(thread int) int {
+	if !t.Replicated() || thread < t.Stage {
+		return thread
+	}
+	if thread < t.Stage+t.Width {
+		return t.Stage
+	}
+	return thread - t.Width + 1
+}
+
+// ReplicaOf maps a thread index to its replica ordinal within its stage
+// (0 for every thread of an unreplicated stage).
+func (t *Topology) ReplicaOf(thread int) int {
+	if t.Replicated() && thread >= t.Stage && thread < t.Stage+t.Width {
+		return thread - t.Stage
+	}
+	return 0
+}
+
+// ReplicaThreads lists the thread indices holding replicas (nil when the
+// pipeline is sequential).
+func (t *Topology) ReplicaThreads() []int {
+	if !t.Replicated() {
+		return nil
+	}
+	out := make([]int, t.Width)
+	for k := range out {
+		out[k] = t.Stage + k
+	}
+	return out
+}
+
+// Label renders a thread's stage attribution: "stage2" for sequential
+// stages, "stage1.r0" for replicas.
+func (t *Topology) Label(thread int) string {
+	if t.Replicated() && thread >= t.Stage && thread < t.Stage+t.Width {
+		return fmt.Sprintf("stage%d.r%d", t.Stage, thread-t.Stage)
+	}
+	return fmt.Sprintf("stage%d", t.StageOf(thread))
+}
+
+// SetTopology attaches the thread -> stage mapping to the plan. Call it
+// once, right after NewPlan and before the plan is shared; a plan without
+// one reports the identity (sequential) topology.
+func (p *Plan) SetTopology(t *Topology) { p.topo = t }
+
+// Topology returns the plan's thread -> stage mapping (never nil).
+func (p *Plan) Topology() *Topology {
+	if p.topo == nil {
+		return SequentialTopology(len(p.fns))
+	}
+	return p.topo
+}

@@ -128,6 +128,12 @@ func menu() []shape {
 		{"lol", engine.Request{Workload: "list-of-lists", Outer: 24, Inner: 4}},
 		{"wc", engine.Request{Workload: "wc"}},
 		{"gzip-seq", engine.Request{Workload: "164.gzip"}}, // single SCC: served sequentially
+		// PS-DSWP replicated pipelines: the panic draw below lands on a
+		// single replica of the parallel stage (see engine.faultsOf), so
+		// the soak rehearses replica death under the same
+		// correct-or-typed-error contract.
+		{"compress-rep", engine.Request{Workload: "29.compress", Replicate: true}},
+		{"jpegenc-rep", engine.Request{Workload: "jpegenc", Replicate: true, ReplicaWidth: 4}},
 	}
 }
 

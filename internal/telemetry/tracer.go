@@ -260,10 +260,13 @@ func (t *Tracer) Retained() int {
 
 // RunRecorder arms tr with a bounded obs.Recorder bridging the pipeline
 // run's events (stage boundaries, stalls, checkpoints, retries, resume)
-// into the trace. threads sizes the per-stage rings. Returns nil — not a
+// into the trace. threads sizes the per-stage rings. labels, when it has
+// one entry per thread, overrides the default "stage N" span names — the
+// replicated-pipeline path passes "stage N rK" so each replica gets its
+// own span while staying on its stage's export track. Returns nil — not a
 // typed-nil interface — when tracing is off or the trace is nil, so the
 // runtime's one-nil-check contract holds.
-func (t *Tracer) RunRecorder(tr *RequestTrace, threads int) obs.Recorder {
+func (t *Tracer) RunRecorder(tr *RequestTrace, threads int, labels ...string) obs.Recorder {
 	if t == nil || tr == nil || threads <= 0 {
 		return nil
 	}
@@ -272,6 +275,9 @@ func (t *Tracer) RunRecorder(tr *RequestTrace, threads int) obs.Recorder {
 		b = &runBridge{}
 	}
 	b.reset(threads, t.opts.EventCap)
+	if len(labels) == threads {
+		b.labels = append(b.labels[:0], labels...)
+	}
 	tr.bridge = b
 	return b
 }
@@ -286,7 +292,10 @@ func (t *Tracer) recycle(b *runBridge) {
 // per stage, like obs.Trace) until the tail-sampling decision. Bounded:
 // each stage keeps its most recent capPerThread events.
 type runBridge struct {
-	rings   []bridgeRing
+	rings []bridgeRing
+	// labels overrides per-thread span names when non-empty (replicated
+	// pipelines name spans "stage N rK").
+	labels  []string
 	dropped atomic.Int64
 	// Durable-commit stamps arrive from whichever thread drove the epoch
 	// commit — possibly concurrent with another thread's own emissions
@@ -305,6 +314,7 @@ func (b *runBridge) reset(threads, capPerThread int) {
 		b.rings = make([]bridgeRing, threads)
 	}
 	b.rings = b.rings[:threads]
+	b.labels = b.labels[:0]
 	for i := range b.rings {
 		if len(b.rings[i].buf) != capPerThread {
 			b.rings[i].buf = make([]obs.Event, capPerThread)
@@ -372,7 +382,11 @@ func (b *runBridge) materialize(tr *RequestTrace) {
 		if len(evs) == 0 {
 			continue
 		}
-		st := run.child(fmt.Sprintf("stage %d", ti), base)
+		name := fmt.Sprintf("stage %d", ti)
+		if ti < len(b.labels) && b.labels[ti] != "" {
+			name = b.labels[ti]
+		}
+		st := run.child(name, base)
 		st.EndNS = base
 		var produces, consumes, branches, iterations int64
 		var open *Span // current stall span

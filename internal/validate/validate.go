@@ -8,10 +8,13 @@
 // images and live-outs versus sequential execution of the untransformed
 // loop every time. Every leg also runs against the flow-packed transform
 // (core.Config.PackFlows), so queue kind and packing are both proven to
-// never change results. The paper's correctness argument — the
-// synchronization array plus an acyclic partition guarantees the original
-// semantics under any schedule — is checked here as an executable claim
-// rather than assumed.
+// never change results. Workloads with a replicable stage (psdswp) rerun
+// the interpreter and runtime legs on the width-2 and width-4 replicated
+// pipelines, plus a supervised run that panics one replica, so
+// parallel-stage replication is held to the same contract. The paper's
+// correctness argument — the synchronization array plus an acyclic
+// partition guarantees the original semantics under any schedule — is
+// checked here as an executable claim rather than assumed.
 //
 // Capacity-sweep runs additionally carry an obs.Metrics recorder and assert
 // flow conservation: on a clean run every queue's produce count equals its
@@ -32,6 +35,7 @@ import (
 	"dswp/internal/interp"
 	"dswp/internal/obs"
 	"dswp/internal/profile"
+	"dswp/internal/psdswp"
 	"dswp/internal/queue"
 	rt "dswp/internal/runtime"
 	"dswp/internal/supervisor"
@@ -355,6 +359,73 @@ func Program(p *workloads.Program, opts Options) *Report {
 	// sequential state. The supervisor's contract (typed error or correct
 	// result, never a hang, never a wrong answer) is asserted here with
 	// the same check as every other engine.
+	// (e) Parallel-stage replication (psdswp): when the planner finds a
+	// replicable stage, replicate the plain and packed transforms at widths
+	// 2 and 4 and hold the replicated pipelines to the same bit-identical
+	// contract — interpreter capacity sweep with flow-conservation metrics,
+	// both queue substrates, and a supervised run that panics one replica
+	// (the supervisor must recover via sequential resume to the exact
+	// sequential state, proving replica failures are contained).
+	for _, v := range variants {
+		prep := psdswp.Analyze(v.tr)
+		if !prep.Replicable() {
+			continue
+		}
+		for _, width := range []int{2, 4} {
+			if expired() {
+				return rep
+			}
+			res, err := psdswp.Replicate(v.tr, prep.Stage, width)
+			if err != nil {
+				rep.Runs++
+				rep.Failures = append(rep.Failures,
+					fmt.Sprintf("replicate %sw=%d: %v", v.tag, width, err))
+				continue
+			}
+			rtr := res.Tr
+			for _, cap := range append([]int{0}, opts.Caps...) {
+				if expired() {
+					return rep
+				}
+				io := iopts
+				io.QueueCap = cap
+				m := obs.NewMetrics(len(rtr.Threads), rtr.NumQueues)
+				io.Recorder = m
+				tag := fmt.Sprintf("interp replicated %sw=%d cap=%d", v.tag, width, cap)
+				ires, err := interp.RunThreads(rtr.Threads, io)
+				check(tag, ires, err)
+				checkMetrics(tag, m, err)
+			}
+			for _, kind := range []queue.Kind{queue.KindChannel, queue.KindRing} {
+				for _, cap := range opts.Caps {
+					if expired() {
+						return rep
+					}
+					tag := fmt.Sprintf("runtime replicated %sw=%d %s cap=%d", v.tag, width, kind, cap)
+					rres, err := rt.RunCtx(ctx, rtr.Threads, rt.Options{
+						QueueCap: cap, Queue: kind, Mem: p.Mem, Regs: p.Regs,
+						MaxSteps: opts.MaxSteps, Timeout: opts.Timeout,
+					})
+					check(tag, rres, err)
+				}
+			}
+			if expired() {
+				return rep
+			}
+			rpipe := supervisor.Pipeline{
+				Threads: rtr.Threads, Original: p.F, LoopHeader: p.LoopHeader,
+				RegOwner: rtr.RegOwner, Mem: p.Mem, Regs: p.Regs,
+			}
+			tag := fmt.Sprintf("supervised replicated %sw=%d replica-panic", v.tag, width)
+			sres, _, err := supervisor.Run(ctx, rpipe, supervisor.Policy{
+				CheckpointEvery: 16, MaxSteps: opts.MaxSteps, AttemptTimeout: opts.Timeout,
+				Faults: &rt.FaultPlan{Seed: opts.Seed, ThreadPanic: map[int]int64{
+					res.ReplicaThreads()[width-1]: 300}},
+			})
+			check(tag, sres, err)
+		}
+	}
+
 	pipe := supervisor.Pipeline{
 		Threads: tr.Threads, Original: p.F, LoopHeader: p.LoopHeader,
 		RegOwner: tr.RegOwner, Mem: p.Mem, Regs: p.Regs,
@@ -412,7 +483,7 @@ func AllPrograms() []*workloads.Program {
 		workloads.ListTraversal(500),
 		workloads.ListOfLists(40, 5),
 	}
-	for _, wb := range append(workloads.Table1Suite(), workloads.CaseStudies()...) {
+	for _, wb := range append(append(workloads.Table1Suite(), workloads.CaseStudies()...), workloads.ReplicationSuite()...) {
 		progs = append(progs, wb.Build())
 	}
 	return progs
